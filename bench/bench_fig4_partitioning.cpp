@@ -1,0 +1,88 @@
+// Figure 4: partitioning of the rake receiver onto DSP, dedicated
+// hardware and the reconfigurable array.
+//
+// Prints the task-to-resource assignment with bottom-up load numbers
+// for the paper's maximum scenario (18 virtual fingers), then runs an
+// actual soft-handover reception and reports the DSP-side task split
+// measured by the cost model.
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/receiver.hpp"
+#include "src/rake/scenario.hpp"
+#include "src/sdr/partitioning.hpp"
+
+int main() {
+  using namespace rsp;
+  bench::title("Figure 4 — partitioning of the rake receiver");
+
+  const auto tasks = sdr::rake_partitioning(rake::kMaxVirtualFingers);
+  bench::Table t({"task", "resource", "Mops at full load"});
+  for (const auto& task : tasks) {
+    t.row({task.task, sdr::resource_name(task.resource),
+           bench::fmt(task.mops, 1)});
+  }
+  t.print();
+
+  bench::Table sum({"resource class", "total Mops", "share"});
+  const double reconf = sdr::total_mops(tasks, sdr::Resource::kReconfigurable);
+  const double ded = sdr::total_mops(tasks, sdr::Resource::kDedicated);
+  const double dspm = sdr::total_mops(tasks, sdr::Resource::kDsp);
+  const double all = reconf + ded + dspm;
+  sum.row({"reconfigurable", bench::fmt(reconf, 1), bench::fmt(reconf / all, 2)});
+  sum.row({"dedicated", bench::fmt(ded, 1), bench::fmt(ded / all, 2)});
+  sum.row({"DSP", bench::fmt(dspm, 1), bench::fmt(dspm / all, 2)});
+  sum.print();
+
+  // Measured DSP split from an actual reception.
+  Rng rng(11);
+  std::vector<std::vector<CplxF>> streams;
+  rake::RakeConfig cfg;
+  for (int b = 0; b < 3; ++b) {
+    phy::BasestationConfig bs;
+    bs.scrambling_code = 16u * static_cast<std::uint32_t>(b + 1);
+    bs.cpich_gain = 0.5;
+    phy::DpchConfig ch;
+    ch.sf = 64;
+    ch.code_index = 3;
+    ch.gain = 0.7;
+    ch.bits.resize(128);
+    for (auto& bit : ch.bits) bit = rng.bit() ? 1 : 0;
+    bs.channels.push_back(ch);
+    phy::UmtsDownlinkTx tx(bs);
+    phy::MultipathChannel mp({{3 * b + 2, {0.7, 0.1}, 0.0},
+                              {3 * b + 9, {0.0, 0.4}, 0.0}},
+                             3.84e6);
+    streams.push_back(mp.run(tx.generate(64 * 64)[0], 60.0, rng));
+    cfg.scrambling_codes.push_back(bs.scrambling_code);
+  }
+  auto rx = phy::combine_basestations(streams);
+  rx = phy::awgn(rx, 10.0, rng);
+  cfg.sf = 64;
+  cfg.code_index = 3;
+  cfg.paths_per_bs = 2;
+  dsp::DspModel dsp;
+  rake::RakeReceiver receiver(cfg);
+  const auto out = receiver.receive(rx, &dsp);
+
+  bench::note("\nMeasured DSP-side task split (3 basestations x 2 paths, "
+              "1.07 ms capture):");
+  bench::Table m({"DSP task", "instructions", "cycles", "MIPS if repeated "
+                  "every 10 ms"});
+  for (const auto& [name, stats] : dsp.tasks()) {
+    m.row({name, bench::fmt_int(stats.instructions),
+           bench::fmt_int(stats.cycles),
+           bench::fmt(static_cast<double>(stats.instructions) / 0.01 / 1e6,
+                      1)});
+  }
+  m.print();
+  bench::note("Active fingers assigned: " +
+              bench::fmt_int(static_cast<long long>(out.fingers.size())));
+
+  bench::note(
+      "\nShape check: >90% of the operations are word-level streaming\n"
+      "work on the reconfigurable array; the DSP carries only search/\n"
+      "estimation/control — the paper's Figure 4 split.");
+  return 0;
+}

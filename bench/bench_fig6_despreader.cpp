@@ -1,0 +1,48 @@
+// Figure 6: the rake despreader on the reconfigurable array — OVSF
+// chips from a preloaded circular FIFO, complex multiplication,
+// complex accumulation with counter/comparator-controlled dump.
+//
+// Sweeps the downlink spreading-factor range 4..512 and reports
+// throughput, resources and bit-exactness per operating point.
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/rake/maps.hpp"
+
+int main() {
+  using namespace rsp;
+  bench::title("Figure 6 — rake despreader on the reconfigurable array");
+
+  bench::Table t({"SF", "chips", "symbols", "cycles", "cycles/chip",
+                  "ALU-PAEs", "RAM-PAEs", "bit-exact"});
+  for (const int sf : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    Rng rng(static_cast<std::uint64_t>(sf));
+    const std::size_t n_chips = static_cast<std::size_t>(sf) * 24;
+    std::vector<CplxI> chips(n_chips);
+    for (auto& c : chips) {
+      c = {static_cast<int>(rng.below(2048)) - 1024,
+           static_cast<int>(rng.below(2048)) - 1024};
+    }
+    const int k = sf / 2 + 1;
+    xpp::ConfigurationManager mgr;
+    xpp::RunResult stats;
+    const auto mapped = rake::maps::run_despreader(mgr, chips, sf, k, &stats);
+    const auto golden = rake::despread(chips, sf, k);
+    t.row({bench::fmt_int(sf),
+           bench::fmt_int(static_cast<long long>(n_chips)),
+           bench::fmt_int(static_cast<long long>(mapped.size())),
+           bench::fmt_int(stats.cycles),
+           bench::fmt(static_cast<double>(stats.cycles) /
+                          static_cast<double>(n_chips), 3),
+           bench::fmt_int(stats.info.alu_cells),
+           bench::fmt_int(stats.info.ram_cells),
+           mapped == golden ? "yes" : "NO"});
+  }
+  t.print();
+
+  bench::note(
+      "\nShape check: the same three-ALU datapath serves every spreading\n"
+      "factor from 4 to 512 at one chip per cycle — only the preloaded\n"
+      "OVSF FIFO contents and the counter modulus change, which is what\n"
+      "makes the despreader software-defined.");
+  return 0;
+}

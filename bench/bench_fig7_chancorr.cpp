@@ -1,0 +1,112 @@
+// Figure 7: channel correction unit with STTD decoding on the array —
+// weight FIFOs, complex multiplications, the pair swap and the final
+// combination.
+#include <cmath>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/maps.hpp"
+
+namespace {
+
+using namespace rsp;
+
+std::vector<CplxI> random_symbols(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(1600)) - 800,
+         static_cast<int>(rng.below(1600)) - 800};
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Figure 7 — channel correction unit (incl. STTD decoding)");
+
+  const auto symbols = random_symbols(2048, 5);
+
+  // Plain MRC weighting.
+  {
+    rake::CorrectorWeights w;
+    w.conj_h1 = rake::quantize_weight({0.7, -0.4});
+    xpp::ConfigurationManager mgr;
+    xpp::RunResult stats;
+    const auto mapped = rake::maps::run_chancorr(mgr, symbols, w, &stats);
+    const auto golden = rake::channel_correct(symbols, w);
+    bench::Table t({"MRC weighting", "value"});
+    t.row({"symbols", bench::fmt_int(static_cast<long long>(symbols.size()))});
+    t.row({"bit-exact vs golden", mapped == golden ? "yes" : "NO"});
+    t.row({"ALU-PAEs", bench::fmt_int(stats.info.alu_cells)});
+    t.row({"RAM-PAEs (weight FIFO)", bench::fmt_int(stats.info.ram_cells)});
+    t.row({"cycles/symbol",
+           bench::fmt(static_cast<double>(stats.cycles) /
+                          static_cast<double>(symbols.size()), 3)});
+    t.print();
+  }
+
+  // STTD decode + weighting.
+  {
+    rake::CorrectorWeights w;
+    w.sttd = true;
+    w.conj_h1 = rake::quantize_weight({0.8, 0.1});
+    w.h2 = rake::quantize_weight({-0.35, 0.55});
+    xpp::ConfigurationManager mgr;
+    xpp::RunResult stats;
+    const auto mapped = rake::maps::run_chancorr(mgr, symbols, w, &stats);
+    const auto golden = rake::channel_correct(symbols, w);
+    bench::Table t({"STTD decode + weighting", "value"});
+    t.row({"symbol pairs",
+           bench::fmt_int(static_cast<long long>(symbols.size() / 2))});
+    t.row({"bit-exact vs golden", mapped == golden ? "yes" : "NO"});
+    t.row({"ALU-PAEs", bench::fmt_int(stats.info.alu_cells)});
+    t.row({"RAM-PAEs (weight FIFOs)", bench::fmt_int(stats.info.ram_cells)});
+    t.row({"cycles/symbol",
+           bench::fmt(static_cast<double>(stats.cycles) /
+                          static_cast<double>(symbols.size()), 3)});
+    t.print();
+  }
+
+  // Diversity gain demonstration: STTD decoding recovers the combined
+  // |h1|^2 + |h2|^2 energy.
+  {
+    const CplxF h1{0.8, 0.1};
+    const CplxF h2{-0.35, 0.55};
+    const auto tx_syms = phy::qpsk_map({0, 0, 1, 0, 0, 1, 1, 1});
+    const auto ant = phy::sttd_encode(tx_syms);
+    std::vector<CplxI> rx;
+    const double scale = 700.0;
+    for (std::size_t i = 0; i < tx_syms.size(); ++i) {
+      const CplxF r = h1 * ant[0][i] + h2 * ant[1][i];
+      rx.push_back({static_cast<int>(std::lround(r.real() * scale)),
+                    static_cast<int>(std::lround(r.imag() * scale))});
+    }
+    rake::CorrectorWeights w;
+    w.sttd = true;
+    w.conj_h1 = rake::quantize_weight(std::conj(h1));
+    w.h2 = rake::quantize_weight(h2);
+    xpp::ConfigurationManager mgr;
+    const auto decoded = rake::maps::run_chancorr(mgr, rx, w);
+    const double g = std::norm(h1) + std::norm(h2);
+    bench::Table t({"symbol", "tx (I,Q)", "decoded (I,Q)", "expected gain x tx"});
+    for (std::size_t i = 0; i < tx_syms.size(); ++i) {
+      t.row({bench::fmt_int(static_cast<long long>(i)),
+             "(" + bench::fmt(tx_syms[i].real(), 2) + "," +
+                 bench::fmt(tx_syms[i].imag(), 2) + ")",
+             "(" + bench::fmt_int(decoded[i].re) + "," +
+                 bench::fmt_int(decoded[i].im) + ")",
+             "(" + bench::fmt(g * tx_syms[i].real() * scale, 0) + "," +
+                 bench::fmt(g * tx_syms[i].imag() * scale, 0) + ")"});
+    }
+    t.print();
+  }
+
+  bench::note(
+      "\nShape check: the 8-PAE Figure 7 pipeline sustains one symbol per\n"
+      "cycle, decodes STTD pairs bit-exactly against the golden model and\n"
+      "delivers the (|h1|^2+|h2|^2) diversity gain the paper relies on.");
+  return 0;
+}

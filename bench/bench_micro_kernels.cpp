@@ -1,0 +1,74 @@
+// Microbenchmarks (google-benchmark): golden signal-processing kernels
+// — host-side cost of the bit-true chains used throughout the
+// experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/convcode.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/dedhw/viterbi.hpp"
+#include "src/phy/fft.hpp"
+#include "src/rake/golden.hpp"
+
+namespace {
+
+using namespace rsp;
+
+void BM_ScramblerChips(benchmark::State& state) {
+  dedhw::UmtsScrambler scr(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scr.next2());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScramblerChips);
+
+void BM_Fft64Fixed(benchmark::State& state) {
+  Rng rng(1);
+  std::array<CplxI, 64> in{};
+  for (auto& c : in) {
+    c = {static_cast<int>(rng.below(1023)) - 511,
+         static_cast<int>(rng.below(1023)) - 511};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::fft64_fixed(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fft64Fixed);
+
+void BM_GoldenDespread(benchmark::State& state) {
+  const int sf = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<CplxI> chips(static_cast<std::size_t>(sf) * 32);
+  for (auto& c : chips) {
+    c = {static_cast<int>(rng.below(2048)) - 1024,
+         static_cast<int>(rng.below(2048)) - 1024};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rake::despread(chips, sf, 1));
+  }
+  state.SetItemsProcessed(static_cast<long long>(state.iterations()) *
+                          static_cast<long long>(chips.size()));
+}
+BENCHMARK(BM_GoldenDespread)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto coded = dedhw::conv_encode(bits, dedhw::CodeRate::kR12, true);
+  std::vector<std::int32_t> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) soft[i] = coded[i] ? 64 : -64;
+  dedhw::ViterbiDecoder dec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(soft, bits.size(), true));
+  }
+  state.SetItemsProcessed(static_cast<long long>(state.iterations()) *
+                          static_cast<long long>(bits.size()));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(240)->Arg(960);
+
+}  // namespace
+
+BENCHMARK_MAIN();

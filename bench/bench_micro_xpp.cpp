@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark): simulator and configuration
+// manager performance — how fast the host simulates array cycles,
+// loads/releases configurations and streams the Figure 5/6 datapaths.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/nml.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace {
+
+using namespace rsp;
+using namespace rsp::xpp;
+
+Configuration chain_config(int stages) {
+  ConfigBuilder b("chain");
+  const auto in = b.input("in");
+  PortRef prev = in.out(0);
+  for (int i = 0; i < stages; ++i) {
+    const auto a = b.alu("a" + std::to_string(i), Opcode::kAdd);
+    b.tie(a, 1, 1);
+    b.connect(prev, a.in(0));
+    prev = a.out(0);
+  }
+  const auto out = b.output("out");
+  b.connect(prev, out.in(0));
+  return b.build();
+}
+
+void BM_SimulatorStep(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  ConfigurationManager mgr;
+  const auto id = mgr.load(chain_config(stages));
+  auto& in = mgr.input(id, "in");
+  long long fed = 0;
+  for (auto _ : state) {
+    if (in.pending() < 4) {
+      in.feed(std::vector<Word>(1024, 1));
+      fed += 1024;
+    }
+    mgr.sim().step();
+  }
+  state.counters["objects"] = static_cast<double>(stages + 2);
+  state.counters["fires/s"] = benchmark::Counter(
+      static_cast<double>(mgr.sim().total_fires()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorStep)->Arg(8)->Arg(32)->Arg(62);
+
+void BM_ConfigLoadRelease(benchmark::State& state) {
+  const auto cfg = rake::maps::despreader_config(64, 3);
+  ConfigurationManager mgr;
+  for (auto _ : state) {
+    const auto id = mgr.load(cfg);
+    mgr.release(id);
+  }
+}
+BENCHMARK(BM_ConfigLoadRelease);
+
+void BM_DescramblerStream(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t n = 1024;
+  std::vector<CplxI> chips(n);
+  for (auto& c : chips) {
+    c = {static_cast<int>(rng.below(2048)) - 1024,
+         static_cast<int>(rng.below(2048)) - 1024};
+  }
+  dedhw::UmtsScrambler scr(16);
+  std::vector<std::uint8_t> code2(n);
+  for (auto& c : code2) c = scr.next2();
+  for (auto _ : state) {
+    ConfigurationManager mgr;
+    benchmark::DoNotOptimize(rake::maps::run_descrambler(mgr, chips, code2));
+  }
+  state.SetItemsProcessed(static_cast<long long>(state.iterations()) *
+                          static_cast<long long>(n));
+}
+BENCHMARK(BM_DescramblerStream);
+
+void BM_NmlRoundTrip(benchmark::State& state) {
+  const auto cfg = rake::maps::despreader_config(256, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_nml(to_nml(cfg)));
+  }
+}
+BENCHMARK(BM_NmlRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Shared table-printing helpers for the figure/table reproduction
+// harnesses.  Every bench binary prints a self-contained report:
+// paper values (where the paper gives them) next to measured/modeled
+// values from this implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rsp::bench {
+
+inline void title(const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    const auto line = [&] {
+      std::printf("+");
+      for (const auto w : width) {
+        for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    line();
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(width[c]), headers_[c].c_str());
+    }
+    std::printf("\n");
+    line();
+    for (const auto& r : rows_) {
+      std::printf("|");
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        std::printf(" %-*s |", static_cast<int>(width[c]), r[c].c_str());
+      }
+      std::printf("\n");
+    }
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace rsp::bench

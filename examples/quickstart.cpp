@@ -1,0 +1,70 @@
+// Quickstart: program the reconfigurable array in five minutes.
+//
+// Builds a small software-defined datapath — a 4-tap moving-average
+// filter on packed complex samples — loads it through the
+// configuration manager, streams samples, and prints the result along
+// with the resources the configuration occupies.
+//
+//   filter:  in -> CMULS(x 1/1) -> CACCUM(dump every 4, >>2) -> out
+//
+// Everything the paper calls "software-defined" happens here: the
+// datapath is a value (Configuration), placement/routing happen at
+// load time, and the same binary could load a completely different
+// datapath next.
+#include <cstdio>
+
+#include "src/common/cplx.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/nml.hpp"
+#include "src/xpp/runner.hpp"
+
+int main() {
+  using namespace rsp;
+  using namespace rsp::xpp;
+
+  // 1. Describe the datapath (the "annotated C" stage of Figure 3).
+  ConfigBuilder b("moving_average");
+  const auto in = b.input("in");
+  const auto cnt = b.counter("cnt", {0, 1, 4});          // dump every 4th
+  const auto acc = b.alu_shift("acc", Opcode::kCAccum, 2);  // sum/4
+  const auto out = b.output("out");
+  b.connect(in.out(0), acc.in(0));
+  b.connect(cnt.out(1), acc.in(1));
+  b.connect(acc.out(0), out.in(0));
+  const Configuration cfg = b.build();
+
+  // 2. The structural hand-off format (NML subset) is plain text:
+  std::printf("--- NML ---\n%s-----------\n", to_nml(cfg).c_str());
+
+  // 3. Load onto an XPP-64A-shaped array and stream samples.
+  ConfigurationManager mgr;
+
+  std::vector<Word> samples;
+  for (int i = 0; i < 16; ++i) {
+    samples.push_back(pack_cplx({100 * (i + 1), -50 * (i + 1)}));
+  }
+  const auto r = run_config(mgr, cfg, {{"in", samples}}, {{"out", 4}});
+
+  // 4. Results + resource report.
+  std::printf("4-sample complex averages:\n");
+  for (const auto w : r.outputs.at("out")) {
+    const CplxI z = unpack_cplx(w);
+    std::printf("  (%d, %d)\n", z.re, z.im);
+  }
+  std::printf("\nresources: %d ALU-PAEs, %d RAM-PAEs, %d I/O channels, "
+              "%d routing segments\n",
+              r.info.alu_cells, r.info.ram_cells, r.info.io_channels,
+              r.info.routing_segments);
+  std::printf("configuration time: %lld cycles; execution: %lld cycles\n",
+              r.load_cycles, r.cycles);
+
+  // 5. Per-object utilization (run once more, keeping the config
+  // loaded so the statistics stay accessible).
+  const ConfigId id = mgr.load(cfg);
+  mgr.input(id, "in").feed(samples);
+  mgr.sim().run_until_quiescent(10000);
+  std::printf("\nutilization:\n%s",
+              mgr.sim().utilization_report(mgr.info(id).group).c_str());
+  mgr.release(id);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Example: UMTS/W-CDMA soft handover with the full rake receiver.
+//
+// Three basestations (distinct scrambling codes) transmit the same
+// dedicated channel; each arrives over its own multipath channel.  The
+// receiver runs pilot acquisition, channel estimation and combining
+// exactly as in paper §3.1, then the reconfigurable-array datapath
+// (Figures 5-7) reproduces one finger bit-exactly.
+#include <cstdio>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/maps.hpp"
+#include "src/rake/receiver.hpp"
+
+int main() {
+  using namespace rsp;
+  Rng rng(2026);
+
+  // --- transmit side: 3 basestations, same DCH data (soft handover) --
+  std::vector<std::uint8_t> data(256);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+
+  const int sf = 64;
+  const int code_index = 3;
+  std::vector<std::vector<CplxF>> streams;
+  rake::RakeConfig rx_cfg;
+  const int n_chips = sf * 128;
+  for (int b = 0; b < 3; ++b) {
+    phy::BasestationConfig bs;
+    bs.scrambling_code = 16u * static_cast<std::uint32_t>(b + 1);
+    bs.cpich_gain = 0.5;
+    phy::DpchConfig ch;
+    ch.sf = sf;
+    ch.code_index = code_index;
+    ch.gain = 0.7;
+    ch.bits = data;
+    bs.channels.push_back(ch);
+    phy::UmtsDownlinkTx tx(bs);
+    // Each basestation has its own multipath profile.
+    phy::MultipathChannel mp({{4 * b + 2, {0.7, 0.1}, 0.0},
+                              {4 * b + 11, {0.0, 0.45}, 0.0}},
+                             dedhw::kChipRateHz);
+    streams.push_back(mp.run(tx.generate(n_chips)[0], 60.0, rng));
+    rx_cfg.scrambling_codes.push_back(bs.scrambling_code);
+  }
+  auto rx = phy::combine_basestations(streams);
+  rx = phy::awgn(rx, 6.0, rng);  // noisy cell border
+
+  // --- receive side: acquisition + rake combining ---
+  rx_cfg.sf = sf;
+  rx_cfg.code_index = code_index;
+  rx_cfg.paths_per_bs = 2;
+  rx_cfg.pilot_amplitude = 0.5;
+  rake::RakeReceiver receiver(rx_cfg);
+  dsp::DspModel dsp;
+  const auto out = receiver.receive(rx, &dsp);
+
+  std::printf("soft handover: %zu fingers assigned\n", out.fingers.size());
+  for (const auto& f : out.fingers) {
+    std::printf("  BS %d  delay %3d chips  |h| = %.2f\n", f.basestation,
+                f.delay, std::abs(f.channel.h1));
+  }
+
+  int errors = 0;
+  for (std::size_t i = 0; i < out.bits.size(); ++i) {
+    errors += (out.bits[i] != data[i % data.size()]) ? 1 : 0;
+  }
+  std::printf("decoded %zu bits, %d errors (BER %.4f)\n", out.bits.size(),
+              errors,
+              static_cast<double>(errors) /
+                  static_cast<double>(out.bits.size()));
+
+  std::printf("DSP load: %lld instructions across %zu control tasks\n",
+              dsp.total_instructions(), dsp.tasks().size());
+
+  // --- the same finger on the reconfigurable array (Figures 5-6) ---
+  const auto& f0 = out.fingers.front();
+  const auto rx_q = rake::quantize_chips(rx, rx_cfg.quant_scale);
+  std::vector<CplxI> aligned(rx_q.begin() + f0.delay,
+                             rx_q.begin() + f0.delay + sf * 32);
+  dedhw::UmtsScrambler scr(
+      rx_cfg.scrambling_codes[static_cast<std::size_t>(f0.basestation)]);
+  std::vector<std::uint8_t> code2(aligned.size());
+  for (auto& c : code2) c = scr.next2();
+
+  xpp::ConfigurationManager mgr;
+  const auto descr = rake::maps::run_descrambler(mgr, aligned, code2);
+  const auto symbols = rake::maps::run_despreader(mgr, descr, sf, code_index);
+  const auto golden =
+      rake::despread(rake::descramble(aligned, code2), sf, code_index);
+  std::printf("array-mapped finger (Figs 5-6): %zu symbols, bit-exact vs "
+              "golden: %s\n",
+              symbols.size(), symbols == golden ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Example: a complete IEEE 802.11a link at every rate mode, with the
+// FFT64 running on the simulated reconfigurable array for one of the
+// frames (paper §3.2).
+#include <cstdio>
+
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+int main() {
+  using namespace rsp;
+  Rng rng(7);
+
+  std::vector<std::uint8_t> psdu(800);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+
+  std::printf("%-6s %-10s %-6s %-8s %-8s %s\n", "Mbit/s", "modulation",
+              "rate", "symbols", "errors", "status");
+  for (const auto& mode : phy::all_rate_modes()) {
+    phy::OfdmTransmitter tx;
+    auto capture = tx.build_ppdu(psdu, mode.mbps);
+    std::vector<CplxF> lead(200, CplxF{0, 0});
+    capture.insert(capture.begin(), lead.begin(), lead.end());
+    // Indoor multipath within the cyclic prefix + noise.
+    phy::MultipathChannel ch({{0, {0.9, 0.0}, 0.0}, {5, {0.25, 0.2}, 0.0}},
+                             phy::kOfdmSampleRateHz);
+    const auto rx = ch.run(capture, 26.0, rng);
+
+    ofdm::OfdmRxConfig cfg;
+    cfg.mbps = mode.mbps;
+    ofdm::OfdmReceiver receiver(cfg);
+    const auto res = receiver.receive(rx, psdu.size());
+
+    int errors = -1;
+    if (res.preamble_found && res.psdu.size() == psdu.size()) {
+      errors = 0;
+      for (std::size_t i = 0; i < psdu.size(); ++i) {
+        errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+      }
+    }
+    const char* coding =
+        mode.rate == dedhw::CodeRate::kR12
+            ? "1/2"
+            : (mode.rate == dedhw::CodeRate::kR23 ? "2/3" : "3/4");
+    std::printf("%-6d %-10s %-6s %-8d %-8d %s\n", mode.mbps,
+                modulation_name(mode.mod), coding, res.symbols_decoded,
+                errors, errors == 0 ? "OK" : "DEGRADED");
+  }
+
+  // One frame with the FFT64 on the simulated array (bit-true 4-bit
+  // datapath of Figure 9).
+  {
+    phy::OfdmTransmitter tx;
+    auto capture = tx.build_ppdu(psdu, 12);
+    std::vector<CplxF> lead(160, CplxF{0, 0});
+    capture.insert(capture.begin(), lead.begin(), lead.end());
+    const auto rx = phy::awgn(capture, 28.0, rng);
+
+    ofdm::OfdmRxConfig cfg;
+    cfg.mbps = 12;
+    cfg.use_fixed_fft = true;  // golden twin of the array datapath
+    ofdm::OfdmReceiver receiver(cfg);
+    const auto res = receiver.receive(rx, psdu.size());
+
+    int errors = 0;
+    for (std::size_t i = 0; i < res.psdu.size() && i < psdu.size(); ++i) {
+      errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+    }
+    std::printf("\n12 Mbit/s frame via the bit-true FFT64 datapath: %d "
+                "errors\n", errors);
+
+    // Prove the golden fixed FFT equals the array execution for the
+    // first DATA symbol.
+    std::array<CplxI, 64> body{};
+    const std::size_t pos = res.frame_start + 2 * 64 + 80 + 16;  // skip SIGNAL
+    for (int i = 0; i < 64; ++i) {
+      const CplxF v = rx[pos + static_cast<std::size_t>(i)];
+      body[static_cast<std::size_t>(i)] = {
+          saturate(static_cast<std::int64_t>(std::lround(v.real() * 511.0)),
+                   10),
+          saturate(static_cast<std::int64_t>(std::lround(v.imag() * 511.0)),
+                   10)};
+    }
+    xpp::ConfigurationManager mgr;
+    const auto mapped = ofdm::maps::run_fft64(mgr, body);
+    const auto golden = phy::fft64_fixed(body);
+    std::printf("array FFT64 == golden fixed-point: %s\n",
+                mapped == golden ? "yes (bit-exact)" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Integer and floating complex types shared by the golden reference
+// chains, the PHY substrate and the array-mapped datapaths.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+#include "src/common/word.hpp"
+
+namespace rsp {
+
+/// Floating-point complex baseband sample.
+using CplxF = std::complex<double>;
+
+/// Integer complex value with explicit-width semantics supplied by the
+/// caller (the datapath decides where to wrap/saturate).
+struct CplxI {
+  std::int32_t re = 0;
+  std::int32_t im = 0;
+
+  friend constexpr CplxI operator+(CplxI a, CplxI b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend constexpr CplxI operator-(CplxI a, CplxI b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  /// Full-precision complex product (caller rescales).
+  friend constexpr CplxI operator*(CplxI a, CplxI b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend constexpr bool operator==(CplxI a, CplxI b) = default;
+
+  [[nodiscard]] constexpr CplxI conj() const { return {re, -im}; }
+  /// |z|^2 as a 64-bit value to avoid overflow in accumulators.
+  [[nodiscard]] constexpr std::int64_t norm2() const {
+    return std::int64_t{re} * re + std::int64_t{im} * im;
+  }
+  [[nodiscard]] CplxF to_f() const {
+    return {static_cast<double>(re), static_cast<double>(im)};
+  }
+};
+
+/// Conjugate product a * conj(b), full precision.
+[[nodiscard]] constexpr CplxI conj_mul(CplxI a, CplxI b) {
+  return a * b.conj();
+}
+
+/// Pack a CplxI (each half must fit 12 bits after any caller scaling)
+/// into a 24-bit array word.
+[[nodiscard]] constexpr std::int32_t pack_cplx(CplxI z) {
+  return pack_iq(z.re, z.im);
+}
+
+/// Unpack a 24-bit array word into its 12+12 complex halves.
+[[nodiscard]] constexpr CplxI unpack_cplx(std::int32_t w) {
+  return {unpack_i(w), unpack_q(w)};
+}
+
+/// Saturate both components to @p bits.
+[[nodiscard]] constexpr CplxI sat_cplx(CplxI z, int bits) {
+  return {saturate(z.re, bits), saturate(z.im, bits)};
+}
+
+/// Component-wise arithmetic shift right with rounding.
+[[nodiscard]] constexpr CplxI shr_round(CplxI z, int shift) {
+  return {shr_round(z.re, shift), shr_round(z.im, shift)};
+}
+
+/// Quantize a unit-range float complex to @p bits two's complement
+/// (full scale = 2^(bits-1) - 1).
+[[nodiscard]] inline CplxI quantize(CplxF z, int bits) {
+  const double fs = static_cast<double>((1 << (bits - 1)) - 1);
+  return {saturate(static_cast<std::int64_t>(std::lround(z.real() * fs)), bits),
+          saturate(static_cast<std::int64_t>(std::lround(z.imag() * fs)), bits)};
+}
+
+/// Dequantize back to unit range.
+[[nodiscard]] inline CplxF dequantize(CplxI z, int bits) {
+  const double fs = static_cast<double>((1 << (bits - 1)) - 1);
+  return {z.re / fs, z.im / fs};
+}
+
+}  // namespace rsp

@@ -1,0 +1,34 @@
+// Small decibel/ratio helpers used by link-level experiments.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <iterator>
+
+namespace rsp {
+
+[[nodiscard]] inline double db_to_lin(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+[[nodiscard]] inline double lin_to_db(double lin) {
+  return 10.0 * std::log10(lin);
+}
+
+/// Signal-to-quantization-noise ratio between a reference and a test
+/// sequence: 10*log10( sum|ref|^2 / sum|ref-test|^2 ).
+template <typename Range>
+[[nodiscard]] double sqnr_db(const Range& ref, const Range& test) {
+  double sig = 0.0;
+  double err = 0.0;
+  auto it = std::begin(test);
+  for (const auto& r : ref) {
+    const auto d = r - *it++;
+    sig += std::norm(r);
+    err += std::norm(d);
+  }
+  if (err <= 0.0) return 200.0;  // bit-exact: report a large finite SQNR
+  return lin_to_db(sig / err);
+}
+
+}  // namespace rsp

@@ -1,0 +1,73 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rsp {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64 for state seeding.
+std::uint64_t splitmix(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t Rng::below(std::uint32_t n) {
+  return static_cast<std::uint32_t>(uniform() * n);
+}
+
+bool Rng::bit() { return (next() >> 63) != 0; }
+
+double Rng::gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double a = 2.0 * std::numbers::pi * u2;
+  spare_ = r * std::sin(a);
+  have_spare_ = true;
+  return r * std::cos(a);
+}
+
+CplxF Rng::cgaussian(double power) {
+  const double s = std::sqrt(power / 2.0);
+  return {s * gaussian(), s * gaussian()};
+}
+
+}  // namespace rsp

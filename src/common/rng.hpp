@@ -1,0 +1,42 @@
+// Deterministic random sources for workload generation and channels.
+//
+// All stochastic behaviour in the repository flows through this class so
+// experiments replay bit-identically for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp {
+
+/// xoshiro256** generator with convenience draws for PHY workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n).
+  std::uint32_t below(std::uint32_t n);
+
+  /// Single fair bit.
+  bool bit();
+
+  /// Standard normal (Box-Muller, cached second value).
+  double gaussian();
+
+  /// Circularly-symmetric complex Gaussian with E|z|^2 = @p power.
+  CplxF cgaussian(double power = 1.0);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rsp

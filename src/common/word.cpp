@@ -1,0 +1,14 @@
+#include "src/common/word.hpp"
+
+// Compile-time self-checks of the shared datapath arithmetic.
+namespace rsp {
+static_assert(sign_extend(0xFFF, 12) == -1);
+static_assert(sign_extend(0x7FF, 12) == 2047);
+static_assert(wrap24(0x800000) == -8388608);
+static_assert(sat_add24(0x7FFFFF, 1) == 0x7FFFFF);
+static_assert(sat_sub24(-0x800000, 1) == -0x800000);
+static_assert(unpack_i(pack_iq(-5, 7)) == -5);
+static_assert(unpack_q(pack_iq(-5, 7)) == 7);
+static_assert(shr_round(5, 1) == 3);
+static_assert(shr_round(-5, 1) == -3);
+}  // namespace rsp

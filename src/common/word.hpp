@@ -1,0 +1,90 @@
+// 24-bit datapath arithmetic for the XPP-class array.
+//
+// The XPP-64A processes 24-bit words (paper, Section 4: "Each ALU-PAE
+// processes 24 bit words").  Complex baseband samples are carried as a
+// packed pair of 12-bit two's-complement values (paper, Section 3.1:
+// "12-bits for I and Q each", Figure 5: "2x12 bit packed input data").
+//
+// All helpers here are constexpr and branch-light so both the simulator
+// and the golden reference chains share one definition of the arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rsp {
+
+/// Number of bits in an array data word.
+inline constexpr int kWordBits = 24;
+/// Bits per packed I/Q half-word.
+inline constexpr int kHalfBits = 12;
+
+/// Sign-extend the low @p bits of @p v to a full int32.
+[[nodiscard]] constexpr std::int32_t sign_extend(std::int32_t v, int bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  const std::uint32_t x = static_cast<std::uint32_t>(v) & ((1u << bits) - 1u);
+  return static_cast<std::int32_t>((x ^ m) - m);
+}
+
+/// Wrap @p v into a 24-bit two's-complement word (hardware wrap-around).
+[[nodiscard]] constexpr std::int32_t wrap24(std::int64_t v) {
+  return sign_extend(static_cast<std::int32_t>(v & 0xFFFFFF), kWordBits);
+}
+
+/// Saturate @p v to @p bits two's-complement range.
+[[nodiscard]] constexpr std::int32_t saturate(std::int64_t v, int bits) {
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  if (v > hi) return static_cast<std::int32_t>(hi);
+  if (v < lo) return static_cast<std::int32_t>(lo);
+  return static_cast<std::int32_t>(v);
+}
+
+/// Saturating add on the 24-bit datapath.
+[[nodiscard]] constexpr std::int32_t sat_add24(std::int32_t a, std::int32_t b) {
+  return saturate(std::int64_t{a} + b, kWordBits);
+}
+
+/// Saturating subtract on the 24-bit datapath.
+[[nodiscard]] constexpr std::int32_t sat_sub24(std::int32_t a, std::int32_t b) {
+  return saturate(std::int64_t{a} - b, kWordBits);
+}
+
+/// Saturating multiply on the 24-bit datapath.
+[[nodiscard]] constexpr std::int32_t sat_mul24(std::int32_t a, std::int32_t b) {
+  return saturate(std::int64_t{a} * b, kWordBits);
+}
+
+/// Arithmetic shift right with round-to-nearest (ties away from zero).
+[[nodiscard]] constexpr std::int32_t shr_round(std::int32_t v, int shift) {
+  if (shift <= 0) return v;
+  const std::int32_t bias = 1 << (shift - 1);
+  return (v >= 0) ? ((v + bias) >> shift)
+                  : -(((-v) + bias) >> shift);
+}
+
+/// Pack two signed 12-bit halves (I in the low half, Q in the high half)
+/// into one 24-bit word, as the array's packed complex representation.
+[[nodiscard]] constexpr std::int32_t pack_iq(std::int32_t i, std::int32_t q) {
+  const std::uint32_t lo = static_cast<std::uint32_t>(i) & 0xFFF;
+  const std::uint32_t hi = (static_cast<std::uint32_t>(q) & 0xFFF) << kHalfBits;
+  return sign_extend(static_cast<std::int32_t>(hi | lo), kWordBits);
+}
+
+/// Extract the signed I (low) half of a packed word.
+[[nodiscard]] constexpr std::int32_t unpack_i(std::int32_t w) {
+  return sign_extend(w, kHalfBits);
+}
+
+/// Extract the signed Q (high) half of a packed word.
+[[nodiscard]] constexpr std::int32_t unpack_q(std::int32_t w) {
+  return sign_extend(w >> kHalfBits, kHalfBits);
+}
+
+/// True if @p v fits a @p bits-wide two's-complement field.
+[[nodiscard]] constexpr bool fits(std::int64_t v, int bits) {
+  return v >= -(std::int64_t{1} << (bits - 1)) &&
+         v <= (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+}  // namespace rsp

@@ -1,0 +1,81 @@
+#include "src/dedhw/convcode.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rsp::dedhw {
+namespace {
+
+// Puncturing keep-patterns over (A,B) pairs, per IEEE 802.11a-1999
+// §17.3.5.6: rate 2/3 sends A1 B1 A2 (drops B2); rate 3/4 sends
+// A1 B1 A2 B3 (drops B2, A3).
+struct Pattern {
+  int period;            // pairs per period
+  bool keep_a[3];
+  bool keep_b[3];
+};
+
+constexpr Pattern pattern_for(CodeRate r) {
+  switch (r) {
+    case CodeRate::kR12: return {1, {true, true, true}, {true, true, true}};
+    case CodeRate::kR23: return {2, {true, true, true}, {true, false, true}};
+    case CodeRate::kR34: return {3, {true, true, false}, {true, false, true}};
+  }
+  return {1, {true, true, true}, {true, true, true}};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> conv_encode(const std::vector<std::uint8_t>& bits,
+                                      CodeRate rate, bool add_tail) {
+  const Pattern pat = pattern_for(rate);
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() * 2 + 16);
+  unsigned window = 0;
+  std::size_t pair = 0;
+  const auto push = [&](std::uint8_t bit) {
+    window = ((window << 1) | bit) & 0x7Fu;
+    const auto a = static_cast<std::uint8_t>(std::popcount(window & kG0) & 1);
+    const auto b = static_cast<std::uint8_t>(std::popcount(window & kG1) & 1);
+    const int ph = static_cast<int>(pair % static_cast<std::size_t>(pat.period));
+    if (pat.keep_a[ph]) out.push_back(a);
+    if (pat.keep_b[ph]) out.push_back(b);
+    ++pair;
+  };
+  for (const auto b : bits) push(b & 1u);
+  if (add_tail) {
+    for (int i = 0; i < kConstraintLen - 1; ++i) push(0);
+  }
+  return out;
+}
+
+std::size_t conv_coded_len(std::size_t n_info, CodeRate rate, bool add_tail) {
+  const Pattern pat = pattern_for(rate);
+  const std::size_t pairs =
+      n_info + (add_tail ? static_cast<std::size_t>(kConstraintLen - 1) : 0u);
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const int ph = static_cast<int>(p % static_cast<std::size_t>(pat.period));
+    n += pat.keep_a[ph] ? 1u : 0u;
+    n += pat.keep_b[ph] ? 1u : 0u;
+  }
+  return n;
+}
+
+std::vector<std::int32_t> depuncture(const std::vector<std::int32_t>& soft,
+                                     CodeRate rate) {
+  const Pattern pat = pattern_for(rate);
+  std::vector<std::int32_t> out;
+  out.reserve(soft.size() * 2);
+  std::size_t i = 0;
+  std::size_t pair = 0;
+  while (i < soft.size()) {
+    const int ph = static_cast<int>(pair % static_cast<std::size_t>(pat.period));
+    out.push_back(pat.keep_a[ph] && i < soft.size() ? soft[i++] : 0);
+    out.push_back(pat.keep_b[ph] && i < soft.size() ? soft[i++] : 0);
+    ++pair;
+  }
+  return out;
+}
+
+}  // namespace rsp::dedhw

@@ -1,0 +1,46 @@
+// Rate-1/2 K=7 convolutional encoder (g0=133o, g1=171o) with the
+// 802.11a puncturing patterns for rates 2/3 and 3/4.  Forward error
+// correction is dedicated hardware in the paper's OFDM partitioning
+// ("A Viterbi decoder is used for the forward error correction",
+// Figure 8 maps Viterbi onto dedicated hardware).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsp::dedhw {
+
+/// Code rates used by 802.11a / HIPERLAN-2.
+enum class CodeRate : std::uint8_t { kR12, kR23, kR34 };
+
+/// Numerator/denominator of a code rate.
+[[nodiscard]] constexpr int code_rate_num(CodeRate r) {
+  return r == CodeRate::kR12 ? 1 : (r == CodeRate::kR23 ? 2 : 3);
+}
+[[nodiscard]] constexpr int code_rate_den(CodeRate r) {
+  return r == CodeRate::kR12 ? 2 : (r == CodeRate::kR23 ? 3 : 4);
+}
+
+/// Constraint length and generator taps (window newest-bit-LSB).
+inline constexpr int kConstraintLen = 7;
+inline constexpr unsigned kG0 = 0x6D;  // 133 octal
+inline constexpr unsigned kG1 = 0x4F;  // 171 octal
+inline constexpr int kNumStates = 1 << (kConstraintLen - 1);
+
+/// Encode @p bits (0/1 values).  Appends @p tail zero bits when
+/// @p add_tail so the decoder can terminate in state 0, then punctures
+/// to @p rate.  Output is the punctured coded bit sequence.
+[[nodiscard]] std::vector<std::uint8_t> conv_encode(
+    const std::vector<std::uint8_t>& bits, CodeRate rate, bool add_tail = true);
+
+/// Number of punctured coded bits produced for @p n_info input bits
+/// (including tail if @p add_tail).
+[[nodiscard]] std::size_t conv_coded_len(std::size_t n_info, CodeRate rate,
+                                         bool add_tail = true);
+
+/// Expand a punctured soft stream back to the rate-1/2 lattice with
+/// zero (erasure) metrics in the stolen positions.
+[[nodiscard]] std::vector<std::int32_t> depuncture(
+    const std::vector<std::int32_t>& soft, CodeRate rate);
+
+}  // namespace rsp::dedhw

@@ -1,0 +1,124 @@
+#include "src/dedhw/convcode_gen.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace rsp::dedhw {
+namespace {
+
+/// Reverse the low @p k bits (octal-convention generator -> the
+/// newest-bit-LSB window masks used by the encoder/decoder loops).
+unsigned reverse_bits(unsigned v, int k) {
+  unsigned out = 0;
+  for (int i = 0; i < k; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+std::vector<unsigned> window_masks(const ConvSpec& spec) {
+  std::vector<unsigned> masks;
+  masks.reserve(spec.generators_octal.size());
+  for (const unsigned g : spec.generators_octal) {
+    masks.push_back(reverse_bits(g, spec.constraint_length));
+  }
+  return masks;
+}
+
+}  // namespace
+
+ConvSpec umts_rate13() { return {9, {0557, 0663, 0711}}; }
+ConvSpec umts_rate12() { return {9, {0561, 0753}}; }
+
+std::vector<std::uint8_t> conv_encode_gen(const std::vector<std::uint8_t>& bits,
+                                          const ConvSpec& spec, bool add_tail) {
+  if (spec.constraint_length < 2 || spec.constraint_length > 13 ||
+      spec.generators_octal.empty()) {
+    throw std::invalid_argument("conv_encode_gen: bad spec");
+  }
+  const auto masks = window_masks(spec);
+  const unsigned window_mask = (1u << spec.constraint_length) - 1u;
+  std::vector<std::uint8_t> out;
+  out.reserve((bits.size() + static_cast<std::size_t>(spec.constraint_length)) *
+              masks.size());
+  unsigned window = 0;
+  const auto push = [&](std::uint8_t bit) {
+    window = ((window << 1) | bit) & window_mask;
+    for (const unsigned m : masks) {
+      out.push_back(static_cast<std::uint8_t>(std::popcount(window & m) & 1));
+    }
+  };
+  for (const auto b : bits) push(b & 1u);
+  if (add_tail) {
+    for (int i = 0; i < spec.constraint_length - 1; ++i) push(0);
+  }
+  return out;
+}
+
+ViterbiDecoderGen::ViterbiDecoderGen(ConvSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_states() > 4096) {
+    throw std::invalid_argument("ViterbiDecoderGen: too many states");
+  }
+  masks_ = window_masks(spec_);
+}
+
+std::vector<std::uint8_t> ViterbiDecoderGen::decode(
+    const std::vector<std::int32_t>& soft, std::size_t n_info,
+    bool terminated) const {
+  const int n_out = spec_.rate_denominator();
+  const int states = spec_.num_states();
+  const int k = spec_.constraint_length;
+  const std::size_t steps = soft.size() / static_cast<std::size_t>(n_out);
+
+  constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+  std::vector<std::int64_t> metric(static_cast<std::size_t>(states), kNegInf);
+  std::vector<std::int64_t> next(static_cast<std::size_t>(states), kNegInf);
+  metric[0] = 0;
+  std::vector<std::uint8_t> surv(steps * static_cast<std::size_t>(states));
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (int s = 0; s < states; ++s) {
+      if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
+      for (unsigned bit = 0; bit < 2; ++bit) {
+        const unsigned window =
+            ((static_cast<unsigned>(s) << 1) | bit) & ((1u << k) - 1u);
+        std::int64_t m = metric[static_cast<std::size_t>(s)];
+        for (int g = 0; g < n_out; ++g) {
+          const std::int32_t sv =
+              soft[step * static_cast<std::size_t>(n_out) +
+                   static_cast<std::size_t>(g)];
+          const int expected =
+              std::popcount(window & masks_[static_cast<std::size_t>(g)]) & 1;
+          m += expected ? sv : -sv;
+        }
+        const unsigned ns = window & (static_cast<unsigned>(states) - 1u);
+        if (m > next[ns]) {
+          next[ns] = m;
+          surv[step * static_cast<std::size_t>(states) + ns] =
+              static_cast<std::uint8_t>((static_cast<unsigned>(s) >> (k - 2)) &
+                                        1u);
+        }
+      }
+    }
+    std::swap(metric, next);
+  }
+
+  unsigned state = 0;
+  if (!terminated) {
+    state = static_cast<unsigned>(
+        std::max_element(metric.begin(), metric.end()) - metric.begin());
+  }
+  std::vector<std::uint8_t> decoded(steps);
+  for (std::size_t step = steps; step-- > 0;) {
+    decoded[step] = static_cast<std::uint8_t>(state & 1u);
+    const unsigned p = surv[step * static_cast<std::size_t>(states) + state];
+    state = (state >> 1) | (p << (k - 2));
+  }
+  if (decoded.size() > n_info) decoded.resize(n_info);
+  return decoded;
+}
+
+}  // namespace rsp::dedhw

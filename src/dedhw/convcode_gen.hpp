@@ -1,0 +1,54 @@
+// Generalized convolutional coding: arbitrary constraint length K and
+// rate 1/n generator sets.  The UMTS downlink (TS 25.212) uses K=9
+// codes at rates 1/2 and 1/3; the 802.11a-specific K=7 code in
+// convcode.hpp remains the hot path for the OFDM chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsp::dedhw {
+
+/// A rate-1/n convolutional code.  Generators are given in the
+/// conventional octal form (MSB = tap on the current input bit).
+struct ConvSpec {
+  int constraint_length = 9;
+  std::vector<unsigned> generators_octal = {0557, 0663, 0711};
+
+  [[nodiscard]] int rate_denominator() const {
+    return static_cast<int>(generators_octal.size());
+  }
+  [[nodiscard]] int num_states() const {
+    return 1 << (constraint_length - 1);
+  }
+};
+
+/// TS 25.212 rate-1/3 K=9 code (G0=557, G1=663, G2=711 octal).
+[[nodiscard]] ConvSpec umts_rate13();
+/// TS 25.212 rate-1/2 K=9 code (G0=561, G1=753 octal).
+[[nodiscard]] ConvSpec umts_rate12();
+
+/// Encode @p bits; appends K-1 zero tail bits when @p add_tail.
+[[nodiscard]] std::vector<std::uint8_t> conv_encode_gen(
+    const std::vector<std::uint8_t>& bits, const ConvSpec& spec,
+    bool add_tail = true);
+
+/// Soft-decision Viterbi decoder for any ConvSpec (states <= 4096).
+/// Soft convention matches ViterbiDecoder: positive favours bit 1,
+/// zero is an erasure.
+class ViterbiDecoderGen {
+ public:
+  explicit ViterbiDecoderGen(ConvSpec spec);
+
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      const std::vector<std::int32_t>& soft, std::size_t n_info,
+      bool terminated = true) const;
+
+  [[nodiscard]] const ConvSpec& spec() const { return spec_; }
+
+ private:
+  ConvSpec spec_;
+  std::vector<unsigned> masks_;  // newest-bit-LSB tap masks
+};
+
+}  // namespace rsp::dedhw

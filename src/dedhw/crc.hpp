@@ -1,0 +1,68 @@
+// Generic bitwise CRC used for frame integrity checks in the examples
+// and the Layer-2 hand-off (paper Figure 8 ends at "Layer 2").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsp::dedhw {
+
+/// MSB-first CRC over a bit sequence.
+class Crc {
+ public:
+  /// @param width register width in bits (<= 32)
+  /// @param poly  generator polynomial without the leading x^width term
+  /// @param init  initial register value
+  /// @param final_xor value XORed into the result
+  constexpr Crc(int width, std::uint32_t poly, std::uint32_t init = 0,
+                std::uint32_t final_xor = 0)
+      : width_(width), poly_(poly), init_(init), final_xor_(final_xor) {}
+
+  [[nodiscard]] std::uint32_t compute(const std::vector<std::uint8_t>& bits) const {
+    const std::uint32_t top = 1u << (width_ - 1);
+    const std::uint32_t mask = (width_ == 32) ? ~0u : ((1u << width_) - 1u);
+    std::uint32_t reg = init_ & mask;
+    for (const auto b : bits) {
+      const std::uint32_t in = (b & 1u) ^ ((reg & top) ? 1u : 0u);
+      reg = (reg << 1) & mask;
+      if (in) reg ^= poly_ & mask;
+    }
+    return (reg ^ final_xor_) & mask;
+  }
+
+  /// Append the CRC bits (MSB first) to @p bits.
+  void append(std::vector<std::uint8_t>& bits) const {
+    const std::uint32_t c = compute(bits);
+    for (int i = width_ - 1; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((c >> i) & 1u));
+    }
+  }
+
+  /// Verify a bit sequence with trailing CRC.
+  [[nodiscard]] bool check(const std::vector<std::uint8_t>& bits) const {
+    if (bits.size() < static_cast<std::size_t>(width_)) return false;
+    std::vector<std::uint8_t> payload(bits.begin(),
+                                      bits.end() - width_);
+    const std::uint32_t expect = compute(payload);
+    std::uint32_t got = 0;
+    for (int i = 0; i < width_; ++i) {
+      got = (got << 1) | (bits[bits.size() - static_cast<std::size_t>(width_) +
+                               static_cast<std::size_t>(i)] &
+                          1u);
+    }
+    return got == expect;
+  }
+
+ private:
+  int width_;
+  std::uint32_t poly_;
+  std::uint32_t init_;
+  std::uint32_t final_xor_;
+};
+
+/// UMTS TS 25.212 CRC-16: x^16 + x^12 + x^5 + 1.
+inline constexpr Crc kCrc16Umts{16, 0x1021};
+/// CRC-8 (x^8 + x^7 + x^4 + x^3 + x + 1), used by short transport blocks.
+inline constexpr Crc kCrc8Umts{8, 0x9B};
+
+}  // namespace rsp::dedhw

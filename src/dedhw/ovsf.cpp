@@ -1,0 +1,18 @@
+#include "src/dedhw/ovsf.hpp"
+
+#include <stdexcept>
+
+namespace rsp::dedhw {
+
+std::vector<std::int8_t> ovsf_code(int sf, int k) {
+  if (!ovsf_valid(sf, k)) {
+    throw std::invalid_argument("ovsf_code: invalid (sf,k)");
+  }
+  std::vector<std::int8_t> out(static_cast<std::size_t>(sf));
+  for (int i = 0; i < sf; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(ovsf_chip(sf, k, i));
+  }
+  return out;
+}
+
+}  // namespace rsp::dedhw

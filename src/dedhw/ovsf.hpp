@@ -1,0 +1,63 @@
+// OVSF (orthogonal variable spreading factor) channelization codes,
+// TS 25.213 §4.3.1.  Downlink spreading factors range "4 to 512"
+// (paper, Section 3.1).  Codes are defined by the recursion
+//   C(2sf, 2k)   = [C(sf,k),  C(sf,k)]
+//   C(2sf, 2k+1) = [C(sf,k), -C(sf,k)]
+// with C(1,0) = [+1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsp::dedhw {
+
+inline constexpr int kMinSpreadingFactor = 4;
+inline constexpr int kMaxSpreadingFactor = 512;
+
+/// Chip @p i of code (sf, k) as ±1, computed in O(log sf) without
+/// materializing the code (the dedicated-hardware generator streams it).
+[[nodiscard]] constexpr int ovsf_chip(int sf, int k, int i) {
+  // Peeling the recursion one level at a time: at the outermost level
+  // the code index parity (k bit 0) pairs with the MSB of the chip
+  // index, so chip i of C(sf,k) has sign parity <k, bitrev(i)>.
+  int sign = 0;
+  int depth = 0;
+  for (int s = sf; s > 1; s >>= 1) ++depth;
+  for (int level = 0; level < depth; ++level) {
+    const int kbit = (k >> level) & 1;
+    const int ibit = (i >> (depth - 1 - level)) & 1;
+    sign ^= kbit & ibit;
+  }
+  return sign ? -1 : 1;
+}
+
+/// Full code as a vector of ±1.
+[[nodiscard]] std::vector<std::int8_t> ovsf_code(int sf, int k);
+
+/// True if (sf, k) is a valid downlink code index.
+[[nodiscard]] constexpr bool ovsf_valid(int sf, int k) {
+  if (sf < 1 || sf > kMaxSpreadingFactor) return false;
+  if ((sf & (sf - 1)) != 0) return false;  // power of two
+  return k >= 0 && k < sf;
+}
+
+/// Streaming generator (one chip per call), matching the dedicated
+/// "Spreading Code Generation" block of Figure 4.
+class OvsfGenerator {
+ public:
+  OvsfGenerator(int sf, int k) : sf_(sf), k_(k) {}
+  int next() {
+    const int c = ovsf_chip(sf_, k_, pos_);
+    pos_ = (pos_ + 1) % sf_;
+    return c;
+  }
+  void reset() { pos_ = 0; }
+  int sf() const { return sf_; }
+
+ private:
+  int sf_;
+  int k_;
+  int pos_ = 0;
+};
+
+}  // namespace rsp::dedhw

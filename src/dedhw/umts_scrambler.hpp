@@ -1,0 +1,56 @@
+// 3GPP downlink scrambling-code generator (TS 25.213 §5.2.2).
+//
+// In the paper's partitioning (Figure 4) scrambling/spreading code
+// generation is continuous bit-level work mapped onto *dedicated
+// hardware*; the reconfigurable array receives the code as a two-bit
+// stream and converts it to ±1±j with a multiplexer (Figure 5).  This
+// class is that dedicated hardware: two 18-bit Gold-code LFSRs
+//   x: 1 + X^7 + X^18         (seeded 1,0,...,0 then advanced n steps)
+//   y: 1 + X^5 + X^7 + X^10 + X^18   (seeded all ones)
+// producing the complex scrambling sequence
+//   C(i) = (1 - 2 zI(i)) + j (1 - 2 zQ(i)).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp::dedhw {
+
+class UmtsScrambler {
+ public:
+  /// @param code_number downlink scrambling code n (primary codes are
+  ///        multiples of 16; each basestation has its own).
+  explicit UmtsScrambler(std::uint32_t code_number);
+
+  /// Two-bit representation of the next chip: bit0 = I, bit1 = Q —
+  /// exactly the stream handed to the array in Figure 5.
+  std::uint8_t next2();
+
+  /// Next chip as a complex ±1±j value.
+  CplxI next();
+
+  /// Restart the sequence (frame boundary).
+  void reset();
+
+  /// Advance @p chips without producing output (time offsets for
+  /// multipath-aligned fingers).
+  void skip(long long chips);
+
+  std::uint32_t code_number() const { return code_; }
+
+ private:
+  void seed();
+  void step();
+
+  std::uint32_t code_;
+  std::uint32_t x_ = 0;  // 18-bit states, bit 0 = s(i)
+  std::uint32_t y_ = 0;
+};
+
+/// Length of one radio frame in chips (10 ms at 3.84 Mcps).
+inline constexpr int kChipsPerFrame = 38400;
+/// UMTS chip rate (paper: "the UMTS/W-CDMA chip rate is 3.84 MHz").
+inline constexpr double kChipRateHz = 3.84e6;
+
+}  // namespace rsp::dedhw

@@ -1,0 +1,107 @@
+#include "src/dedhw/viterbi.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace rsp::dedhw {
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+/// Precomputed per-transition expected coded bits.
+struct Trellis {
+  // expected[state][bit] = (a, b) coded bits for input `bit` from `state`.
+  std::uint8_t a[kNumStates][2];
+  std::uint8_t b[kNumStates][2];
+};
+
+Trellis make_trellis() {
+  Trellis t{};
+  for (unsigned s = 0; s < kNumStates; ++s) {
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      const unsigned window = ((s << 1) | bit) & 0x7Fu;
+      t.a[s][bit] = static_cast<std::uint8_t>(std::popcount(window & kG0) & 1);
+      t.b[s][bit] = static_cast<std::uint8_t>(std::popcount(window & kG1) & 1);
+    }
+  }
+  return t;
+}
+
+const Trellis& trellis() {
+  static const Trellis t = make_trellis();
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ViterbiDecoder::decode(
+    const std::vector<std::int32_t>& soft, std::size_t n_info,
+    bool terminated) const {
+  const Trellis& t = trellis();
+  const std::size_t steps = soft.size() / 2;
+
+  std::vector<std::int64_t> metric(kNumStates, kNegInf);
+  std::vector<std::int64_t> next(kNumStates, kNegInf);
+  metric[0] = 0;  // encoder starts in the all-zero state
+
+  // Survivor memory: predecessor input bit is implied by the state
+  // transition; we store the predecessor state's low bit decision via
+  // the chosen previous state.
+  std::vector<std::uint8_t> surv(steps * kNumStates);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::int32_t sa = soft[2 * step];
+    const std::int32_t sb = soft[2 * step + 1];
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (unsigned bit = 0; bit < 2; ++bit) {
+        const unsigned ns = ((s << 1) | bit) & (kNumStates - 1);
+        // Metric: +soft when the expected bit is 1, -soft when 0.
+        const std::int64_t m = metric[s] +
+                               (t.a[s][bit] ? sa : -sa) +
+                               (t.b[s][bit] ? sb : -sb);
+        if (m > next[ns]) {
+          next[ns] = m;
+          // Predecessor state reconstructible: s = (ns >> 1) | (p << 5)?
+          // Store the bit needed to disambiguate: the high bit of s.
+          surv[step * kNumStates + ns] =
+              static_cast<std::uint8_t>((s >> (kConstraintLen - 2)) & 1u);
+        }
+      }
+    }
+    std::swap(metric, next);
+  }
+
+  // Select the final state.
+  unsigned state = 0;
+  if (!terminated) {
+    state = static_cast<unsigned>(
+        std::max_element(metric.begin(), metric.end()) - metric.begin());
+  }
+
+  // Traceback.  Input bit at each step equals the low bit of the state
+  // reached; the predecessor is (state >> 1) | (surv_bit << 5).
+  std::vector<std::uint8_t> decoded(steps);
+  for (std::size_t step = steps; step-- > 0;) {
+    decoded[step] = static_cast<std::uint8_t>(state & 1u);
+    const unsigned p = surv[step * kNumStates + state];
+    state = (state >> 1) | (p << (kConstraintLen - 2));
+  }
+
+  if (decoded.size() > n_info) decoded.resize(n_info);
+  return decoded;
+}
+
+std::vector<std::uint8_t> ViterbiDecoder::decode_hard(
+    const std::vector<std::uint8_t>& coded, std::size_t n_info,
+    bool terminated) const {
+  std::vector<std::int32_t> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    soft[i] = coded[i] ? 64 : -64;
+  }
+  return decode(soft, n_info, terminated);
+}
+
+}  // namespace rsp::dedhw

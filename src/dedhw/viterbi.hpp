@@ -1,0 +1,34 @@
+// Soft-decision Viterbi decoder for the K=7 rate-1/2 code (64 states),
+// with depuncturing handled upstream (erasures enter as zero metrics).
+// This block is "dedicated hardware" in the paper's Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dedhw/convcode.hpp"
+
+namespace rsp::dedhw {
+
+/// Maximum-likelihood sequence decoder.
+///
+/// Soft input convention: one std::int32_t per rate-1/2 coded bit;
+/// positive values favour bit 1, negative favour bit 0, magnitude is
+/// confidence, zero is an erasure (punctured position).
+class ViterbiDecoder {
+ public:
+  /// Decode @p soft (2 values per trellis step).  @p n_info is the
+  /// number of information bits to return.  When @p terminated, the
+  /// encoder appended K-1 zero tail bits and the survivor is forced to
+  /// end in state 0.
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      const std::vector<std::int32_t>& soft, std::size_t n_info,
+      bool terminated = true) const;
+
+  /// Convenience: hard-decision decode of 0/1 coded bits.
+  [[nodiscard]] std::vector<std::uint8_t> decode_hard(
+      const std::vector<std::uint8_t>& coded, std::size_t n_info,
+      bool terminated = true) const;
+};
+
+}  // namespace rsp::dedhw

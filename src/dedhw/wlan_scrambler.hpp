@@ -1,0 +1,39 @@
+// IEEE 802.11a data scrambler/descrambler (Section 17.3.5.4 of the
+// standard): self-synchronizing LFSR with polynomial x^7 + x^4 + 1.
+// In the paper's OFDM partitioning the descrambler runs on the
+// reconfigurable processor (Figure 8 places "Descrambler" between the
+// FFT output path and the Viterbi-decoded bit stream in Figure 10's
+// resident configuration 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsp::dedhw {
+
+class WlanScrambler {
+ public:
+  /// @param seed initial 7-bit LFSR state (non-zero).
+  explicit WlanScrambler(std::uint8_t seed = 0x5D) : state_(seed & 0x7F) {}
+
+  /// Next scrambling bit.
+  std::uint8_t next_bit() {
+    const std::uint8_t fb =
+        static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+    state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+    return fb;
+  }
+
+  /// Scramble (= descramble) a bit sequence in place.
+  void apply(std::vector<std::uint8_t>& bits) {
+    for (auto& b : bits) b = static_cast<std::uint8_t>((b ^ next_bit()) & 1u);
+  }
+
+  void reset(std::uint8_t seed) { state_ = seed & 0x7F; }
+  std::uint8_t state() const { return state_; }
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace rsp::dedhw

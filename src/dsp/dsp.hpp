@@ -1,0 +1,105 @@
+// DSP / microcontroller cost model.
+//
+// The paper partitions "algorithmic parts with low criticality, mostly
+// implementing control code" onto a DSP (Figures 4 and 8) and quotes
+// the class of device: "Modern high-performance DSPs can provide
+// around 1600 MIPS at clock speeds of 200 MHz" (Section 1).  We model
+// the DSP as an instruction/cycle accountant: control and estimation
+// tasks charge operations, and experiments read back the implied MIPS
+// load to reproduce the partitioning claims (Fig. 4/8 benches) and the
+// protocol demands (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsp::dsp {
+
+/// Instruction classes with distinct costs.
+enum class DspOp : std::uint8_t {
+  kAlu,        ///< add/sub/logic, 1 cycle
+  kMac,        ///< multiply-accumulate, 1 cycle (8 issue slots at 1600 MIPS/200 MHz)
+  kLoadStore,  ///< memory access, 1 cycle
+  kBranch,     ///< control flow, 2 cycles
+  kDiv,        ///< iterative divide, 18 cycles
+  kSqrt,       ///< iterative square root, 24 cycles
+};
+
+[[nodiscard]] constexpr int op_cycles(DspOp op) {
+  switch (op) {
+    case DspOp::kAlu:
+    case DspOp::kMac:
+    case DspOp::kLoadStore: return 1;
+    case DspOp::kBranch:    return 2;
+    case DspOp::kDiv:       return 18;
+    case DspOp::kSqrt:      return 24;
+  }
+  return 1;
+}
+
+/// Paper-quoted reference DSP.
+inline constexpr double kDspClockHz = 200.0e6;
+inline constexpr double kDspPeakMips = 1600.0;
+/// Instructions retired per cycle at peak (1600 MIPS / 200 MHz).
+inline constexpr double kIssueWidth = kDspPeakMips * 1.0e6 / kDspClockHz;
+
+class DspModel {
+ public:
+  explicit DspModel(double clock_hz = kDspClockHz) : clock_hz_(clock_hz) {}
+
+  /// Charge @p count operations of class @p op to task @p task.
+  void charge(const std::string& task, DspOp op, long long count = 1) {
+    auto& t = tasks_[task];
+    t.instructions += count;
+    t.cycles += count * op_cycles(op);
+    total_instructions_ += count;
+    total_cycles_ += count * op_cycles(op);
+  }
+
+  [[nodiscard]] long long total_instructions() const { return total_instructions_; }
+  [[nodiscard]] long long total_cycles() const { return total_cycles_; }
+
+  /// Wall-clock time the charged work occupies (single-issue model,
+  /// conservative; divide by kIssueWidth for the paper's VLIW DSP).
+  [[nodiscard]] double busy_seconds() const {
+    return static_cast<double>(total_cycles_) / clock_hz_;
+  }
+
+  /// MIPS demand if the charged work must complete within @p window_s.
+  [[nodiscard]] double mips_required(double window_s) const {
+    return static_cast<double>(total_instructions_) / window_s / 1.0e6;
+  }
+
+  /// Fraction of the DSP consumed when the work recurs every
+  /// @p window_s (1.0 = fully loaded at peak issue width).
+  [[nodiscard]] double utilization(double window_s) const {
+    return busy_seconds() / kIssueWidth / window_s;
+  }
+
+  struct TaskStats {
+    long long instructions = 0;
+    long long cycles = 0;
+  };
+
+  [[nodiscard]] const std::map<std::string, TaskStats>& tasks() const {
+    return tasks_;
+  }
+
+  void reset() {
+    tasks_.clear();
+    total_instructions_ = 0;
+    total_cycles_ = 0;
+  }
+
+  [[nodiscard]] double clock_hz() const { return clock_hz_; }
+
+ private:
+  double clock_hz_;
+  std::map<std::string, TaskStats> tasks_;
+  long long total_instructions_ = 0;
+  long long total_cycles_ = 0;
+};
+
+}  // namespace rsp::dsp

@@ -1,0 +1,110 @@
+#include "src/gsm/burst.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rsp::gsm {
+
+const std::array<std::uint8_t, kTrainingBits>& tsc0() {
+  // TSC0 = 00100101110000100010010111 (GSM 05.02).
+  static const std::array<std::uint8_t, kTrainingBits> t = {
+      0, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0,
+      0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 1, 1};
+  return t;
+}
+
+Burst Burst::make(const std::vector<std::uint8_t>& payload114) {
+  if (payload114.size() != 2 * kDataBits) {
+    throw std::invalid_argument("Burst::make: need 114 payload bits");
+  }
+  Burst b;
+  int pos = kTailBits;  // tail bits stay 0
+  for (int i = 0; i < kDataBits; ++i) {
+    b.bits[static_cast<std::size_t>(pos++)] =
+        payload114[static_cast<std::size_t>(i)] & 1u;
+  }
+  ++pos;  // stealing bit
+  for (int i = 0; i < kTrainingBits; ++i) {
+    b.bits[static_cast<std::size_t>(pos++)] = tsc0()[static_cast<std::size_t>(i)];
+  }
+  ++pos;  // stealing bit
+  for (int i = 0; i < kDataBits; ++i) {
+    b.bits[static_cast<std::size_t>(pos++)] =
+        payload114[static_cast<std::size_t>(kDataBits + i)] & 1u;
+  }
+  return b;
+}
+
+std::vector<std::uint8_t> Burst::payload() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * kDataBits);
+  for (int i = 0; i < kDataBits; ++i) {
+    out.push_back(bits[static_cast<std::size_t>(kTailBits + i)]);
+  }
+  const int second = kTailBits + kDataBits + kStealingBits + kTrainingBits +
+                     kStealingBits;
+  for (int i = 0; i < kDataBits; ++i) {
+    out.push_back(bits[static_cast<std::size_t>(second + i)]);
+  }
+  return out;
+}
+
+std::vector<CplxF> gmsk_map(const Burst& b) {
+  std::vector<CplxF> out(kBurstSymbols);
+  for (int i = 0; i < kBurstSymbols; ++i) {
+    out[static_cast<std::size_t>(i)] = {
+        b.bits[static_cast<std::size_t>(i)] ? -1.0 : 1.0, 0.0};
+  }
+  return out;
+}
+
+std::vector<CplxF> psk8_map(const std::vector<std::uint8_t>& bits) {
+  if (bits.size() % 3 != 0) {
+    throw std::invalid_argument("psk8_map: bit count not divisible by 3");
+  }
+  // Gray mapping: octant i carries word kWordOfOctant[i], so adjacent
+  // phases differ in exactly one bit.
+  static const int kOctantOfWord[8] = {0, 1, 3, 2, 7, 6, 4, 5};
+  std::vector<CplxF> out;
+  out.reserve(bits.size() / 3);
+  for (std::size_t i = 0; i < bits.size(); i += 3) {
+    const int w = (bits[i] << 2) | (bits[i + 1] << 1) | bits[i + 2];
+    const double phase =
+        2.0 * std::numbers::pi * kOctantOfWord[w] / 8.0;
+    out.push_back({std::cos(phase), std::sin(phase)});
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> psk8_unmap_hard(const std::vector<CplxF>& symbols) {
+  static const int kWordOfOctant[8] = {0, 1, 3, 2, 6, 7, 5, 4};
+  const int* inverse = kWordOfOctant;
+  std::vector<std::uint8_t> out;
+  out.reserve(symbols.size() * 3);
+  for (const auto& s : symbols) {
+    double phase = std::atan2(s.imag(), s.real());
+    if (phase < 0) phase += 2.0 * std::numbers::pi;
+    const int octant =
+        static_cast<int>(std::lround(phase * 8.0 /
+                                     (2.0 * std::numbers::pi))) % 8;
+    const int w = inverse[octant];
+    out.push_back(static_cast<std::uint8_t>((w >> 2) & 1));
+    out.push_back(static_cast<std::uint8_t>((w >> 1) & 1));
+    out.push_back(static_cast<std::uint8_t>(w & 1));
+  }
+  return out;
+}
+
+std::vector<CplxF> isi_channel(const std::vector<CplxF>& x,
+                               const std::vector<CplxF>& h) {
+  std::vector<CplxF> y(x.size() + h.size() - 1, CplxF{0.0, 0.0});
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      y[n + k] += h[k] * x[n];
+    }
+  }
+  return y;
+}
+
+}  // namespace rsp::gsm

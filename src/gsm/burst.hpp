@@ -1,0 +1,67 @@
+// GSM-class TDMA burst substrate (the 2G rungs of the paper's
+// Figures 1-2: GSM / GPRS / EDGE).
+//
+// Modelled at the discrete-time equivalent baseband level: the GMSK
+// (GSM) or 8-PSK (EDGE) modulated burst passes through an L-tap
+// complex ISI channel; the receiver estimates the channel from the
+// 26-symbol training midamble and equalizes with MLSE.  This is the
+// processing whose MIPS demand Figure 1 quotes at 10 (GSM) to 1000
+// (EDGE); having it executable lets the Figure 1 bench measure real
+// operation counts instead of citing constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp::gsm {
+
+/// GSM 05.02 normal-burst geometry (in symbols).
+inline constexpr int kTailBits = 3;
+inline constexpr int kDataBits = 57;
+inline constexpr int kStealingBits = 1;
+inline constexpr int kTrainingBits = 26;
+inline constexpr int kBurstSymbols =
+    2 * kTailBits + 2 * kDataBits + 2 * kStealingBits + kTrainingBits;  // 148
+/// GSM symbol rate (270.833 ksym/s).
+inline constexpr double kSymbolRateHz = 270.833e3;
+/// Bursts per second per timeslot (1 / 4.615 ms frame).
+inline constexpr double kBurstsPerSecond = 216.68;
+
+/// Training sequence code 0 (GSM 05.02 Table 5.2.3), as 0/1 bits.
+[[nodiscard]] const std::array<std::uint8_t, kTrainingBits>& tsc0();
+
+/// A normal burst: payload 114 bits (2 x 57) around the midamble.
+struct Burst {
+  std::array<std::uint8_t, kBurstSymbols> bits{};
+
+  /// Assemble from 114 payload bits (tail + stealing bits zero,
+  /// midamble = TSC0).
+  static Burst make(const std::vector<std::uint8_t>& payload114);
+
+  /// Extract the 114 payload bits.
+  [[nodiscard]] std::vector<std::uint8_t> payload() const;
+
+  /// Index of the first midamble symbol within the burst.
+  static constexpr int midamble_offset() {
+    return kTailBits + kDataBits + kStealingBits;  // 61
+  }
+};
+
+/// GMSK at the discrete-time equivalent level: bits -> +-1 real
+/// symbols (the MSK phase rotation is absorbed into the channel taps).
+[[nodiscard]] std::vector<CplxF> gmsk_map(const Burst& b);
+
+/// EDGE 8-PSK mapping: 3 bits per symbol, Gray-coded, with the
+/// standard 3*pi/8 per-symbol rotation removed (absorbed in channel).
+[[nodiscard]] std::vector<CplxF> psk8_map(const std::vector<std::uint8_t>& bits);
+[[nodiscard]] std::vector<std::uint8_t> psk8_unmap_hard(
+    const std::vector<CplxF>& symbols);
+
+/// Pass symbols through an L-tap ISI channel: y[n] = sum h[k] x[n-k].
+[[nodiscard]] std::vector<CplxF> isi_channel(const std::vector<CplxF>& x,
+                                             const std::vector<CplxF>& h);
+
+}  // namespace rsp::gsm

@@ -1,0 +1,176 @@
+#include "src/gsm/equalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rsp::gsm {
+
+std::vector<CplxF> estimate_isi_channel(const std::vector<CplxF>& rx,
+                                        int taps, dsp::DspModel* dsp) {
+  if (taps < 1 || taps > 8) {
+    throw std::invalid_argument("estimate_isi_channel: 1..8 taps");
+  }
+  const int off = Burst::midamble_offset();
+  // Correlate against the central training symbols, skipping the first
+  // `taps` so preceding data symbols do not leak into the estimate.
+  const int skip = taps;
+  const int n_corr = kTrainingBits - skip - taps;
+  if (static_cast<int>(rx.size()) < off + kTrainingBits) {
+    throw std::invalid_argument("estimate_isi_channel: capture too short");
+  }
+  std::vector<CplxF> h(static_cast<std::size_t>(taps), CplxF{0.0, 0.0});
+  const auto& t = tsc0();
+  for (int k = 0; k < taps; ++k) {
+    CplxF acc{0.0, 0.0};
+    for (int n = skip; n < skip + n_corr; ++n) {
+      const double tn = t[static_cast<std::size_t>(n)] ? -1.0 : 1.0;
+      acc += rx[static_cast<std::size_t>(off + n + k)] * tn;
+    }
+    h[static_cast<std::size_t>(k)] = acc / static_cast<double>(n_corr);
+  }
+  if (dsp != nullptr) {
+    dsp->charge("gsm_channel_estimation", dsp::DspOp::kMac,
+                static_cast<long long>(taps) * n_corr);
+  }
+  return h;
+}
+
+std::vector<int> mlse_equalize(const std::vector<CplxF>& rx,
+                               const std::vector<CplxF>& h,
+                               const std::vector<CplxF>& alphabet,
+                               std::size_t n_symbols, int init_index,
+                               dsp::DspModel* dsp) {
+  const int A = static_cast<int>(alphabet.size());
+  const int L = static_cast<int>(h.size());
+  if (A < 2 || L < 1) {
+    throw std::invalid_argument("mlse_equalize: bad alphabet/channel");
+  }
+  int states = 1;
+  for (int i = 0; i < L - 1; ++i) {
+    states *= A;
+    if (states > 4096) {
+      throw std::invalid_argument("mlse_equalize: trellis too large");
+    }
+  }
+  if (rx.size() < n_symbols) {
+    throw std::invalid_argument("mlse_equalize: capture shorter than burst");
+  }
+
+  // State encodes the last (L-1) symbols, most recent in the low digit.
+  constexpr double kInf = std::numeric_limits<double>::max() / 4;
+  // Initial state: all digits = init_index (GSM tail symbols).
+  int init_state = 0;
+  for (int i = 0; i < L - 1; ++i) init_state = init_state * A + init_index;
+
+  std::vector<double> metric(static_cast<std::size_t>(states), kInf);
+  std::vector<double> next(static_cast<std::size_t>(states), kInf);
+  metric[static_cast<std::size_t>(init_state)] = 0.0;
+  std::vector<std::int16_t> surv(n_symbols * static_cast<std::size_t>(states));
+
+  long long macs = 0;
+  for (std::size_t n = 0; n < n_symbols; ++n) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (int s = 0; s < states; ++s) {
+      if (metric[static_cast<std::size_t>(s)] >= kInf) continue;
+      for (int a = 0; a < A; ++a) {
+        // Predicted observation: h[0]*new + h[k]*history(k-1).
+        CplxF pred = h[0] * alphabet[static_cast<std::size_t>(a)];
+        int digits = s;
+        for (int k = 1; k < L; ++k) {
+          const int sym = digits % A;
+          digits /= A;
+          pred += h[static_cast<std::size_t>(k)] *
+                  alphabet[static_cast<std::size_t>(sym)];
+        }
+        const CplxF err = rx[n] - pred;
+        const double m =
+            metric[static_cast<std::size_t>(s)] + std::norm(err);
+        macs += L + 2;
+        // Next state: shift the new symbol into the low digit.
+        int ns = s;
+        if (L > 1) {
+          ns = (s * A + a) % states;
+        }
+        if (m < next[static_cast<std::size_t>(ns)]) {
+          next[static_cast<std::size_t>(ns)] = m;
+          surv[n * static_cast<std::size_t>(states) +
+               static_cast<std::size_t>(ns)] = static_cast<std::int16_t>(s);
+        }
+      }
+    }
+    std::swap(metric, next);
+  }
+  if (dsp != nullptr) dsp->charge("mlse", dsp::DspOp::kMac, macs);
+
+  // Best final state, then traceback.
+  int state = static_cast<int>(
+      std::min_element(metric.begin(), metric.end()) - metric.begin());
+  std::vector<int> decided(n_symbols);
+  for (std::size_t n = n_symbols; n-- > 0;) {
+    const int prev =
+        surv[n * static_cast<std::size_t>(states) + static_cast<std::size_t>(state)];
+    // The symbol entering at step n is the low digit of `state` if
+    // L > 1, else recomputed from the branch (prev -> state).
+    if (states > 1) {
+      decided[n] = state % A;
+    } else {
+      // Memoryless channel: re-derive the best symbol at step n.
+      double best = kInf;
+      int best_a = 0;
+      for (int a = 0; a < A; ++a) {
+        const CplxF err = rx[n] - h[0] * alphabet[static_cast<std::size_t>(a)];
+        if (std::norm(err) < best) {
+          best = std::norm(err);
+          best_a = a;
+        }
+      }
+      decided[n] = best_a;
+    }
+    state = prev;
+  }
+  return decided;
+}
+
+GsmRxResult gsm_receive(const std::vector<CplxF>& rx, int taps,
+                        dsp::DspModel* dsp) {
+  GsmRxResult res;
+  res.channel = estimate_isi_channel(rx, taps, dsp);
+  static const std::vector<CplxF> kBpsk = {{1.0, 0.0}, {-1.0, 0.0}};
+  // Tail bits are 0 -> symbol +1 -> alphabet index 0.
+  const auto idx = mlse_equalize(rx, res.channel, kBpsk, kBurstSymbols, 0, dsp);
+  Burst b;
+  for (int i = 0; i < kBurstSymbols; ++i) {
+    b.bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(idx[static_cast<std::size_t>(i)]);
+  }
+  res.payload = b.payload();
+  return res;
+}
+
+std::vector<std::uint8_t> edge_receive(const std::vector<CplxF>& rx,
+                                       const std::vector<CplxF>& h,
+                                       std::size_t n_symbols,
+                                       dsp::DspModel* dsp) {
+  static const std::vector<CplxF> kPsk8 = [] {
+    std::vector<std::uint8_t> all;
+    for (int w = 0; w < 8; ++w) {
+      all.push_back(static_cast<std::uint8_t>((w >> 2) & 1));
+      all.push_back(static_cast<std::uint8_t>((w >> 1) & 1));
+      all.push_back(static_cast<std::uint8_t>(w & 1));
+    }
+    return psk8_map(all);
+  }();
+  const auto idx = mlse_equalize(rx, h, kPsk8, n_symbols, 0, dsp);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(n_symbols * 3);
+  for (const int a : idx) {
+    bits.push_back(static_cast<std::uint8_t>((a >> 2) & 1));
+    bits.push_back(static_cast<std::uint8_t>((a >> 1) & 1));
+    bits.push_back(static_cast<std::uint8_t>(a & 1));
+  }
+  return bits;
+}
+
+}  // namespace rsp::gsm

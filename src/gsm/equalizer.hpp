@@ -1,0 +1,46 @@
+// Midamble channel estimation + MLSE equalization for the GSM/EDGE
+// burst substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dsp/dsp.hpp"
+#include "src/gsm/burst.hpp"
+
+namespace rsp::gsm {
+
+/// Least-squares-style channel estimate from the training midamble:
+/// h[k] ~ (1/N) sum_n y[off + k + n] conj(t[n]) over the central
+/// training symbols (the TSC autocorrelation is impulse-like there).
+/// @p rx must be the burst-aligned observation (y[0] = first symbol).
+[[nodiscard]] std::vector<CplxF> estimate_isi_channel(
+    const std::vector<CplxF>& rx, int taps, dsp::DspModel* dsp = nullptr);
+
+/// Maximum-likelihood sequence estimation over an arbitrary symbol
+/// alphabet and an L-tap channel (alphabet^(L-1) trellis states).
+/// Returns alphabet indices for @p n_symbols.  @p init_index is the
+/// known leading symbol (GSM tail bits), used to pin the start state.
+[[nodiscard]] std::vector<int> mlse_equalize(
+    const std::vector<CplxF>& rx, const std::vector<CplxF>& h,
+    const std::vector<CplxF>& alphabet, std::size_t n_symbols,
+    int init_index = 0, dsp::DspModel* dsp = nullptr);
+
+/// Full GSM burst receiver: channel estimation from the midamble,
+/// MLSE over +-1 symbols, payload extraction.
+struct GsmRxResult {
+  std::vector<std::uint8_t> payload;  ///< 114 bits
+  std::vector<CplxF> channel;         ///< estimated taps
+};
+
+[[nodiscard]] GsmRxResult gsm_receive(const std::vector<CplxF>& rx, int taps,
+                                      dsp::DspModel* dsp = nullptr);
+
+/// EDGE-class 8-PSK MLSE receiver over a short (<= 2-tap) channel:
+/// equalizes @p n_symbols and returns the hard bit decisions.
+[[nodiscard]] std::vector<std::uint8_t> edge_receive(
+    const std::vector<CplxF>& rx, const std::vector<CplxF>& h,
+    std::size_t n_symbols, dsp::DspModel* dsp = nullptr);
+
+}  // namespace rsp::gsm

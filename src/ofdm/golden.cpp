@@ -1,0 +1,375 @@
+#include "src/ofdm/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/dedhw/viterbi.hpp"
+#include "src/dedhw/wlan_scrambler.hpp"
+#include "src/phy/interleaver.hpp"
+#include "src/phy/modulation.hpp"
+
+namespace rsp::ofdm {
+
+using phy::kCyclicPrefix;
+using phy::kOfdmFft;
+using phy::kSymbolSamples;
+
+std::vector<CplxF> downsample2(const std::vector<CplxF>& x) {
+  std::vector<CplxF> out;
+  out.reserve((x.size() + 1) / 2);
+  for (std::size_t i = 0; i < x.size(); i += 2) out.push_back(x[i]);
+  return out;
+}
+
+PreambleMetric PreambleDetector::metric(const std::vector<CplxF>& rx,
+                                        std::size_t n) const {
+  PreambleMetric m;
+  CplxF c{0.0, 0.0};
+  double p = 0.0;
+  for (int k = 0; k < window_; ++k) {
+    const std::size_t a = n + static_cast<std::size_t>(k);
+    const std::size_t b = a + 16;
+    if (b >= rx.size()) return m;
+    c += rx[a] * std::conj(rx[b]);
+    p += std::norm(rx[b]);
+  }
+  m.corr = c;
+  m.ratio = (p > 1e-12) ? std::abs(c) / p : 0.0;
+  return m;
+}
+
+std::optional<std::size_t> PreambleDetector::detect(
+    const std::vector<CplxF>& rx, dsp::DspModel* dsp) const {
+  // Scan for a plateau of high delay-correlation (the 10 repeated
+  // short symbols), then report where the plateau ends.
+  int run = 0;
+  std::size_t plateau_start = 0;
+  const std::size_t limit = rx.size() > 48 ? rx.size() - 48 : 0;
+  for (std::size_t n = 0; n < limit; ++n) {
+    const PreambleMetric m = metric(rx, n);
+    if (dsp != nullptr) {
+      dsp->charge("framing_sync", dsp::DspOp::kMac, window_ * 2);
+    }
+    if (m.ratio > threshold_) {
+      if (run == 0) plateau_start = n;
+      ++run;
+    } else if (run > 0) {
+      // Plateau over: require most of the short preamble (>= 80
+      // samples of correlation support).
+      if (run >= 80) {
+        // The correlator loses correlation `window` samples before the
+        // short sequence ends.
+        return plateau_start + static_cast<std::size_t>(run) +
+               static_cast<std::size_t>(16 + window_) - 1;
+      }
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t fine_sync(const std::vector<CplxF>& rx, std::size_t coarse,
+                      dsp::DspModel* dsp) {
+  // Reference long-training body (64 samples starting after the 32 GI).
+  static const std::vector<CplxF> ref = [] {
+    const auto lp = phy::long_preamble();
+    return std::vector<CplxF>(lp.begin() + 32, lp.begin() + 96);
+  }();
+  const int radius = 24;
+  double best = -1.0;
+  std::size_t best_n = coarse + 32;
+  for (int d = -radius; d <= radius; ++d) {
+    const long long n0 = static_cast<long long>(coarse) + 32 + d;
+    if (n0 < 0) continue;
+    CplxF acc{0.0, 0.0};
+    bool ok = true;
+    for (int k = 0; k < kOfdmFft; ++k) {
+      const std::size_t idx = static_cast<std::size_t>(n0 + k);
+      if (idx >= rx.size()) {
+        ok = false;
+        break;
+      }
+      acc += rx[idx] * std::conj(ref[static_cast<std::size_t>(k)]);
+    }
+    if (dsp != nullptr) dsp->charge("framing_sync", dsp::DspOp::kMac, kOfdmFft);
+    if (ok && std::norm(acc) > best) {
+      best = std::norm(acc);
+      best_n = static_cast<std::size_t>(n0);
+    }
+  }
+  return best_n;
+}
+
+double estimate_cfo(const std::vector<CplxF>& rx, std::size_t sp_start,
+                    int n_samples, dsp::DspModel* dsp) {
+  CplxF acc{0.0, 0.0};
+  for (int n = 0; n < n_samples; ++n) {
+    const std::size_t a = sp_start + static_cast<std::size_t>(n);
+    const std::size_t b = a + 16;
+    if (b >= rx.size()) break;
+    acc += rx[b] * std::conj(rx[a]);
+  }
+  if (dsp != nullptr) {
+    dsp->charge("framing_sync", dsp::DspOp::kMac, n_samples);
+  }
+  const double phase = std::arg(acc);
+  return phase / (2.0 * std::numbers::pi) * (phy::kOfdmSampleRateHz / 16.0);
+}
+
+std::vector<CplxF> correct_cfo(const std::vector<CplxF>& rx, double cfo_hz,
+                               double sample_rate_hz) {
+  std::vector<CplxF> out(rx.size());
+  const double w = -2.0 * std::numbers::pi * cfo_hz / sample_rate_hz;
+  for (std::size_t n = 0; n < rx.size(); ++n) {
+    const double ph = w * static_cast<double>(n);
+    out[n] = rx[n] * CplxF{std::cos(ph), std::sin(ph)};
+  }
+  return out;
+}
+
+std::vector<CplxF> estimate_channel_lt(const std::vector<CplxF>& rx,
+                                       std::size_t lt_start,
+                                       dsp::DspModel* dsp) {
+  if (lt_start + 2 * kOfdmFft > rx.size()) {
+    throw std::invalid_argument("estimate_channel_lt: capture too short");
+  }
+  std::vector<CplxF> sum(kOfdmFft, CplxF{0.0, 0.0});
+  for (int rep = 0; rep < 2; ++rep) {
+    std::vector<CplxF> sym(rx.begin() + static_cast<std::ptrdiff_t>(lt_start) +
+                               rep * kOfdmFft,
+                           rx.begin() + static_cast<std::ptrdiff_t>(lt_start) +
+                               (rep + 1) * kOfdmFft);
+    phy::fft(sym, false);
+    for (int k = 0; k < kOfdmFft; ++k) {
+      sum[static_cast<std::size_t>(k)] += sym[static_cast<std::size_t>(k)];
+    }
+  }
+  const auto& L = phy::long_training_symbol();
+  std::vector<CplxF> h(kOfdmFft, CplxF{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const int bin = (k + kOfdmFft) % kOfdmFft;
+    const double l = static_cast<double>(L[static_cast<std::size_t>(k + 26)]);
+    h[static_cast<std::size_t>(bin)] =
+        sum[static_cast<std::size_t>(bin)] / (2.0 * l) /
+        std::sqrt(static_cast<double>(kOfdmFft));
+  }
+  if (dsp != nullptr) {
+    dsp->charge("channel_estimation", dsp::DspOp::kMac, 2 * kOfdmFft * 4);
+    dsp->charge("channel_estimation", dsp::DspOp::kDiv, 52);
+  }
+  return h;
+}
+
+std::optional<phy::SignalField> decode_signal(const std::vector<CplxF>& rx,
+                                              std::size_t lt_start,
+                                              const std::vector<CplxF>& h,
+                                              dsp::DspModel* dsp) {
+  const std::size_t pos = lt_start + 2 * kOfdmFft;  // SIGNAL incl. CP
+  if (pos + kSymbolSamples > rx.size()) return std::nullopt;
+  std::vector<CplxF> body(
+      rx.begin() + static_cast<std::ptrdiff_t>(pos + kCyclicPrefix),
+      rx.begin() + static_cast<std::ptrdiff_t>(pos + kSymbolSamples));
+  phy::fft(body, false);
+  for (auto& v : body) v /= std::sqrt(static_cast<double>(kOfdmFft));
+
+  std::vector<CplxF> eq(phy::kDataCarriers);
+  const auto& dc = phy::data_carriers();
+  for (int i = 0; i < phy::kDataCarriers; ++i) {
+    const int bin = (dc[static_cast<std::size_t>(i)] + kOfdmFft) % kOfdmFft;
+    const CplxF hk = h[static_cast<std::size_t>(bin)];
+    eq[static_cast<std::size_t>(i)] =
+        (std::norm(hk) > 1e-9) ? body[static_cast<std::size_t>(bin)] / hk
+                               : CplxF{0.0, 0.0};
+  }
+  auto llr = phy::soft_demap(eq, phy::Modulation::kBpsk, 256.0);
+  llr = phy::deinterleave_soft(llr, 48, 1);
+  dedhw::ViterbiDecoder vit;
+  // 24 coded bits incl. the 6-bit tail -> decode 18 information bits
+  // with forced zero termination.
+  const auto bits = vit.decode(llr, 18, true);
+  if (dsp != nullptr) {
+    dsp->charge("framing_sync", dsp::DspOp::kMac, 48 * 4);
+    dsp->charge("framing_sync", dsp::DspOp::kBranch, 24);
+  }
+  phy::SignalField f;
+  if (!phy::parse_signal_field(bits, f)) return std::nullopt;
+  return f;
+}
+
+std::vector<CplxF> OfdmReceiver::transform_symbol(
+    const std::vector<CplxF>& body) const {
+  if (static_cast<int>(body.size()) != kOfdmFft) {
+    throw std::invalid_argument("transform_symbol: need 64 samples");
+  }
+  if (!cfg_.use_fixed_fft) {
+    std::vector<CplxF> bins = body;
+    phy::fft(bins, false);
+    // Match the transmitter's sqrt(N) normalization.
+    for (auto& v : bins) v /= std::sqrt(static_cast<double>(kOfdmFft));
+    return bins;
+  }
+  // Bit-true datapath: quantize to 10 bits, fixed FFT (DFT/64), rescale.
+  std::array<CplxI, phy::kFftSize> in{};
+  for (int i = 0; i < kOfdmFft; ++i) {
+    in[static_cast<std::size_t>(i)] = {
+        saturate(static_cast<std::int64_t>(std::lround(
+                     body[static_cast<std::size_t>(i)].real() *
+                     cfg_.fixed_fft_scale)),
+                 10),
+        saturate(static_cast<std::int64_t>(std::lround(
+                     body[static_cast<std::size_t>(i)].imag() *
+                     cfg_.fixed_fft_scale)),
+                 10)};
+  }
+  const auto out = phy::fft64_fixed(in);
+  // fft64_fixed computes DFT(x*scale)/64; the float path returns
+  // DFT(x)/sqrt(64), so rescale by 64 / (scale * sqrt(64)).
+  const double rescale =
+      static_cast<double>(kOfdmFft) /
+      (cfg_.fixed_fft_scale * std::sqrt(static_cast<double>(kOfdmFft)));
+  std::vector<CplxF> bins(kOfdmFft);
+  for (int k = 0; k < kOfdmFft; ++k) {
+    const auto& z = out[static_cast<std::size_t>(k)];
+    bins[static_cast<std::size_t>(k)] =
+        CplxF{static_cast<double>(z.re), static_cast<double>(z.im)} * rescale;
+  }
+  return bins;
+}
+
+OfdmRxResult OfdmReceiver::receive(const std::vector<CplxF>& rx,
+                                   std::size_t n_psdu_bits,
+                                   dsp::DspModel* dsp) const {
+  OfdmRxResult res;
+  const phy::RateMode& mode = phy::rate_mode(cfg_.mbps);
+
+  PreambleDetector det;
+  const auto coarse = det.detect(rx, dsp);
+  if (!coarse) return res;
+  res.preamble_found = true;
+
+  // CFO estimation from the short preamble (which ends at *coarse),
+  // then derotation of the whole capture.
+  std::vector<CplxF> work;
+  const std::vector<CplxF>* capture = &rx;
+  if (cfg_.correct_cfo && *coarse > 120) {
+    res.cfo_hz = estimate_cfo(rx, *coarse - 120, 96, dsp);
+    work = correct_cfo(rx, res.cfo_hz, phy::kOfdmSampleRateHz);
+    capture = &work;
+  }
+  const std::vector<CplxF>& rxc = *capture;
+
+  // Fine timing on the long preamble.
+  const std::size_t lt = fine_sync(rxc, *coarse, dsp);
+  res.frame_start = lt;
+
+  const auto h = estimate_channel_lt(rxc, lt, dsp);
+
+  // SIGNAL symbol: verify (receive_auto trusts it; here cfg_ drives).
+  const auto sig = decode_signal(rxc, lt, h, dsp);
+  if (sig) {
+    res.signal_ok = true;
+    res.signal = *sig;
+  }
+
+  const int nsym = phy::OfdmTransmitter::num_data_symbols(n_psdu_bits,
+                                                          cfg_.mbps);
+  std::vector<std::int32_t> soft;
+  soft.reserve(static_cast<std::size_t>(nsym) *
+               static_cast<std::size_t>(mode.ncbps));
+  // First DATA symbol: after the long training (128) + SIGNAL (80).
+  std::size_t pos = lt + 2 * kOfdmFft + kSymbolSamples;
+  for (int s = 0; s < nsym; ++s) {
+    if (pos + kSymbolSamples > rxc.size()) break;
+    const std::vector<CplxF> body(
+        rxc.begin() + static_cast<std::ptrdiff_t>(pos + kCyclicPrefix),
+        rxc.begin() + static_cast<std::ptrdiff_t>(pos + kSymbolSamples));
+    auto bins = transform_symbol(body);
+
+    // One-tap equalization on data carriers + common pilot phase.
+    std::vector<CplxF> eq(phy::kDataCarriers);
+    CplxF pilot_acc{0.0, 0.0};
+    const int pol = phy::pilot_polarity(s);
+    const double pv[4] = {1.0, 1.0, 1.0, -1.0};
+    const auto& pc = phy::pilot_carriers();
+    for (int i = 0; i < phy::kPilotCarriers; ++i) {
+      const int bin = (pc[static_cast<std::size_t>(i)] + kOfdmFft) % kOfdmFft;
+      const CplxF hk = h[static_cast<std::size_t>(bin)];
+      if (std::norm(hk) > 1e-9) {
+        pilot_acc += bins[static_cast<std::size_t>(bin)] *
+                     std::conj(hk) * (pol * pv[i]);
+      }
+    }
+    const CplxF phase =
+        std::abs(pilot_acc) > 1e-12 ? pilot_acc / std::abs(pilot_acc)
+                                    : CplxF{1.0, 0.0};
+    const auto& dc = phy::data_carriers();
+    for (int i = 0; i < phy::kDataCarriers; ++i) {
+      const int bin = (dc[static_cast<std::size_t>(i)] + kOfdmFft) % kOfdmFft;
+      const CplxF hk = h[static_cast<std::size_t>(bin)];
+      eq[static_cast<std::size_t>(i)] =
+          (std::norm(hk) > 1e-9)
+              ? bins[static_cast<std::size_t>(bin)] / hk * std::conj(phase)
+              : CplxF{0.0, 0.0};
+    }
+    if (dsp != nullptr) {
+      dsp->charge("demodulation", dsp::DspOp::kMac, phy::kDataCarriers * 4);
+      dsp->charge("demodulation", dsp::DspOp::kDiv, phy::kDataCarriers);
+    }
+
+    auto llr = phy::soft_demap(eq, mode.mod, 256.0);
+    llr = phy::deinterleave_soft(llr, mode.ncbps, bits_per_symbol(mode.mod));
+    soft.insert(soft.end(), llr.begin(), llr.end());
+    pos += kSymbolSamples;
+    ++res.symbols_decoded;
+  }
+
+  // Depuncture + Viterbi + descramble.
+  const auto lattice = dedhw::depuncture(soft, mode.rate);
+  const std::size_t n_info = static_cast<std::size_t>(res.symbols_decoded) *
+                             static_cast<std::size_t>(mode.ndbps);
+  if (n_info < 6) return res;
+  dedhw::ViterbiDecoder vit;
+  auto decoded = vit.decode(lattice, n_info - 6, true);
+  dedhw::WlanScrambler scr(cfg_.scramble_seed);
+  scr.apply(decoded);
+
+  // Strip SERVICE (16 bits), keep the PSDU.
+  if (decoded.size() > 16 + n_psdu_bits) {
+    res.psdu.assign(decoded.begin() + 16,
+                    decoded.begin() + 16 +
+                        static_cast<std::ptrdiff_t>(n_psdu_bits));
+  } else if (decoded.size() > 16) {
+    res.psdu.assign(decoded.begin() + 16, decoded.end());
+  }
+  return res;
+}
+
+OfdmRxResult OfdmReceiver::receive_auto(const std::vector<CplxF>& rx,
+                                        dsp::DspModel* dsp) const {
+  // Cheap pre-pass to locate the frame and read the SIGNAL field.
+  PreambleDetector det;
+  const auto coarse = det.detect(rx, dsp);
+  if (!coarse) return {};
+  const std::size_t lt = fine_sync(rx, *coarse, dsp);
+  const auto h = estimate_channel_lt(rx, lt, dsp);
+  const auto sig = decode_signal(rx, lt, h, dsp);
+  if (!sig) {
+    OfdmRxResult res;
+    res.preamble_found = true;
+    res.frame_start = lt;
+    return res;
+  }
+  // Re-run the full chain with the detected parameters.
+  OfdmRxConfig cfg = cfg_;
+  cfg.mbps = sig->mbps;
+  OfdmReceiver inner(cfg);
+  auto res = inner.receive(rx, sig->length_bits, dsp);
+  res.signal_ok = true;
+  res.signal = *sig;
+  return res;
+}
+
+}  // namespace rsp::ofdm

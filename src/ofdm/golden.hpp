@@ -1,0 +1,125 @@
+// Golden OFDM decoder chain (paper §3.2 / Figure 8): down-sampling,
+// preamble detection, framing/synchronization, FFT64, channel
+// equalization, demodulation, deinterleaving, Viterbi decoding and
+// descrambling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dsp/dsp.hpp"
+#include "src/phy/fft.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::ofdm {
+
+/// Decimate-by-2 with no filtering (the RF front end in Figure 8 has
+/// already band-limited the signal; the paper's module merely halves
+/// the A/D oversampling).
+[[nodiscard]] std::vector<CplxF> downsample2(const std::vector<CplxF>& x);
+
+/// Delay-and-correlate metric against the 16-sample periodic short
+/// preamble: c[n] = sum_{k<W} r[n+k] conj(r[n+k+16]), p[n] = matched
+/// power.  Detection = |c|^2 > threshold^2 * p^2 plateau.
+struct PreambleMetric {
+  double ratio = 0.0;   ///< |c| / p
+  CplxF corr{0.0, 0.0};
+};
+
+class PreambleDetector {
+ public:
+  explicit PreambleDetector(int window = 32, double threshold = 0.6)
+      : window_(window), threshold_(threshold) {}
+
+  /// Metric at offset @p n.
+  [[nodiscard]] PreambleMetric metric(const std::vector<CplxF>& rx,
+                                      std::size_t n) const;
+
+  /// Find the start of the long preamble (first sample after the short
+  /// training sequence).  Returns nullopt if no plateau is found.
+  [[nodiscard]] std::optional<std::size_t> detect(
+      const std::vector<CplxF>& rx, dsp::DspModel* dsp = nullptr) const;
+
+ private:
+  int window_;
+  double threshold_;
+};
+
+/// Fine symbol timing: cross-correlate with the known 64-sample long
+/// training symbol around @p coarse; returns the index of the first
+/// long-training symbol body.
+[[nodiscard]] std::size_t fine_sync(const std::vector<CplxF>& rx,
+                                    std::size_t coarse,
+                                    dsp::DspModel* dsp = nullptr);
+
+/// Carrier-frequency-offset estimate (Hz) from the periodicity of the
+/// short preamble: cfo = arg(sum r[n] conj(r[n+16])) / (2 pi 16 Ts).
+/// Unambiguous up to +-fs/32 (+-625 kHz at 20 MHz).
+[[nodiscard]] double estimate_cfo(const std::vector<CplxF>& rx,
+                                  std::size_t sp_start, int n_samples = 128,
+                                  dsp::DspModel* dsp = nullptr);
+
+/// Derotate a capture by -cfo (undo a carrier frequency offset).
+[[nodiscard]] std::vector<CplxF> correct_cfo(const std::vector<CplxF>& rx,
+                                             double cfo_hz,
+                                             double sample_rate_hz);
+
+/// Per-carrier channel estimate from the two long training symbols
+/// (H_k = mean(Y1_k, Y2_k) / L_k), indexed by FFT bin.
+[[nodiscard]] std::vector<CplxF> estimate_channel_lt(
+    const std::vector<CplxF>& rx, std::size_t lt_start,
+    dsp::DspModel* dsp = nullptr);
+
+struct OfdmRxConfig {
+  int mbps = 6;
+  bool use_fixed_fft = false;    ///< run the bit-true FFT64 datapath
+  bool correct_cfo = true;       ///< estimate + remove carrier offset
+  std::uint8_t scramble_seed = 0x5D;
+  double fixed_fft_scale = 511.0;  ///< float->10-bit input quantization
+};
+
+struct OfdmRxResult {
+  std::vector<std::uint8_t> psdu;        ///< decoded PSDU bits
+  std::size_t frame_start = 0;           ///< detected long-preamble index
+  int symbols_decoded = 0;
+  bool preamble_found = false;
+  double cfo_hz = 0.0;                   ///< estimated carrier offset
+  bool signal_ok = false;                ///< SIGNAL field decoded + parity OK
+  phy::SignalField signal;               ///< detected rate / length
+};
+
+/// Decode the SIGNAL symbol (first symbol after the long training,
+/// BPSK rate 1/2) given the per-carrier channel estimate @p h.
+[[nodiscard]] std::optional<phy::SignalField> decode_signal(
+    const std::vector<CplxF>& rx, std::size_t lt_start,
+    const std::vector<CplxF>& h, dsp::DspModel* dsp = nullptr);
+
+/// Full receiver over a PPDU capture (one frame).
+class OfdmReceiver {
+ public:
+  explicit OfdmReceiver(OfdmRxConfig cfg) : cfg_(cfg) {}
+
+  /// Reception with the configured rate and known PSDU size (the
+  /// SIGNAL symbol is verified but cfg_.mbps drives demodulation).
+  [[nodiscard]] OfdmRxResult receive(const std::vector<CplxF>& rx,
+                                     std::size_t n_psdu_bits,
+                                     dsp::DspModel* dsp = nullptr) const;
+
+  /// Fully self-describing reception: rate and frame length are taken
+  /// from the decoded SIGNAL field ("Framing and Sync" in Figure 8).
+  [[nodiscard]] OfdmRxResult receive_auto(const std::vector<CplxF>& rx,
+                                          dsp::DspModel* dsp = nullptr) const;
+
+  /// FFT of one symbol (float path or bit-true fixed path rescaled).
+  [[nodiscard]] std::vector<CplxF> transform_symbol(
+      const std::vector<CplxF>& body) const;
+
+  const OfdmRxConfig& config() const { return cfg_; }
+
+ private:
+  OfdmRxConfig cfg_;
+};
+
+}  // namespace rsp::ofdm

@@ -1,0 +1,446 @@
+#include "src/ofdm/maps.hpp"
+
+#include <stdexcept>
+
+#include "src/dedhw/wlan_scrambler.hpp"
+#include "src/xpp/builder.hpp"
+
+namespace rsp::ofdm::maps {
+
+using phy::Fft64Tables;
+using phy::fft64_tables;
+using phy::kFftSize;
+using xpp::ConfigBuilder;
+using xpp::Configuration;
+using xpp::Opcode;
+using xpp::RamMode;
+using xpp::RamParams;
+using xpp::Word;
+
+namespace {
+
+std::vector<Word> pack_all(const std::vector<CplxI>& v) {
+  std::vector<Word> out;
+  out.reserve(v.size());
+  for (const auto& z : v) out.push_back(pack_cplx(z));
+  return out;
+}
+
+RamParams clut(std::vector<Word> preload) {
+  RamParams p;
+  p.mode = RamMode::kCircularLut;
+  p.capacity = static_cast<int>(preload.size());
+  p.preload = std::move(preload);
+  return p;
+}
+
+}  // namespace
+
+Configuration fft64_stage_config(int stage) {
+  if (stage < 0 || stage >= phy::kFftStages) {
+    throw std::invalid_argument("fft64_stage_config: stage 0..2");
+  }
+  const Fft64Tables& t = fft64_tables();
+  ConfigBuilder b("fig9_fft64_s" + std::to_string(stage));
+
+  // ---- load phase: samples stream into the dual-ported data RAM ----
+  const auto data = b.input("data");
+  std::vector<Word> waddr_in(kFftSize);
+  for (int n = 0; n < kFftSize; ++n) {
+    waddr_in[static_cast<std::size_t>(n)] =
+        (stage == 0) ? t.input_perm[static_cast<std::size_t>(n)] : n;
+  }
+  const auto wlut_in = b.ram("waddr_in", clut(std::move(waddr_in)));
+  RamParams rama;
+  rama.mode = RamMode::kRam;
+  rama.capacity = kFftSize;
+  const auto ram_a = b.ram("ram_a", std::move(rama));
+  b.connect(wlut_in.out(0), ram_a.in(1));  // write addr
+  b.connect(data.out(0), ram_a.in(2));     // write data
+
+  // ---- compute phase (released by "go" tokens) ----
+  std::vector<Word> raddr;
+  std::vector<Word> twiddle;
+  raddr.reserve(kFftSize);
+  twiddle.reserve(kFftSize);
+  const auto& st = t.stages[static_cast<std::size_t>(stage)];
+  for (int bf = 0; bf < 16; ++bf) {
+    for (int m = 0; m < 4; ++m) {
+      raddr.push_back(st.addr[static_cast<std::size_t>(bf)]
+                             [static_cast<std::size_t>(m)]);
+      twiddle.push_back(pack_cplx(
+          t.rom[static_cast<std::size_t>(st.twiddle[static_cast<std::size_t>(
+              bf)][static_cast<std::size_t>(m)])]));
+    }
+  }
+  const auto go = b.control_input("go");
+  const auto rlut = b.ram("raddr", clut(raddr));
+  b.connect(go.out(0), rlut.in(0));  // gated replay
+  b.connect(rlut.out(0), ram_a.in(0));
+
+  // Twiddle multiplication: Q11 twiddles + 2-bit stage scaling.
+  const auto twl = b.ram("twiddle", clut(twiddle));
+  const auto tmul = b.alu_shift("tmul", Opcode::kCMulShr, phy::kBranchShift);
+  b.connect(ram_a.out(0), tmul.in(0));
+  b.connect(twl.out(0), tmul.in(1));
+
+  // Deserialize the branch stream into v0..v3.
+  const auto cnt_hi = b.counter("cnt_hi", {0, 1, 4});
+  const auto sel_hi = b.alu("sel_hi", Opcode::kGe);
+  b.tie(sel_hi, 1, 2);
+  b.connect(cnt_hi.out(0), sel_hi.in(0));
+  const auto dmx_hi = b.alu("dmx_hi", Opcode::kDemux);
+  b.connect(sel_hi.out(0), dmx_hi.in(0));
+  b.connect(tmul.out(0), dmx_hi.in(1));
+  const auto cnt01 = b.counter("cnt01", {0, 1, 2});
+  const auto dmx01 = b.alu("dmx01", Opcode::kDemux);
+  b.connect(cnt01.out(0), dmx01.in(0));
+  b.connect(dmx_hi.out(0), dmx01.in(1));
+  const auto cnt23 = b.counter("cnt23", {0, 1, 2});
+  const auto dmx23 = b.alu("dmx23", Opcode::kDemux);
+  b.connect(cnt23.out(0), dmx23.in(0));
+  b.connect(dmx_hi.out(1), dmx23.in(1));
+  // v0 = dmx01.out0, v1 = dmx01.out1, v2 = dmx23.out0, v3 = dmx23.out1
+
+  // Radix-4 kernel (Figure 9) on complex-arithmetic ALUs.
+  const auto t0 = b.alu("t0", Opcode::kCAdd);
+  const auto t1 = b.alu("t1", Opcode::kCSub);
+  const auto t2 = b.alu("t2", Opcode::kCAdd);
+  const auto t3s = b.alu("t3s", Opcode::kCSub);
+  const auto t3 = b.alu("t3", Opcode::kCRotMj);
+  b.connect(dmx01.out(0), t0.in(0));
+  b.connect(dmx23.out(0), t0.in(1));
+  b.connect(dmx01.out(0), t1.in(0));
+  b.connect(dmx23.out(0), t1.in(1));
+  b.connect(dmx01.out(1), t2.in(0));
+  b.connect(dmx23.out(1), t2.in(1));
+  b.connect(dmx01.out(1), t3s.in(0));
+  b.connect(dmx23.out(1), t3s.in(1));
+  b.connect(t3s.out(0), t3.in(0));
+
+  const auto y0 = b.alu("y0", Opcode::kCAdd);
+  const auto y1 = b.alu("y1", Opcode::kCAdd);
+  const auto y2 = b.alu("y2", Opcode::kCSub);
+  const auto y3 = b.alu("y3", Opcode::kCSub);
+  b.connect(t0.out(0), y0.in(0));
+  b.connect(t2.out(0), y0.in(1));
+  b.connect(t1.out(0), y1.in(0));
+  b.connect(t3.out(0), y1.in(1));
+  b.connect(t0.out(0), y2.in(0));
+  b.connect(t2.out(0), y2.in(1));
+  b.connect(t1.out(0), y3.in(0));
+  b.connect(t3.out(0), y3.in(1));
+
+  // Serialize y0..y3 ("output multiplexer" controlled by a counter
+  // and comparator).
+  const auto m01 = b.alu("m01", Opcode::kMergeAlt);
+  b.connect(y0.out(0), m01.in(0));
+  b.connect(y1.out(0), m01.in(1));
+  const auto m23 = b.alu("m23", Opcode::kMergeAlt);
+  b.connect(y2.out(0), m23.in(0));
+  b.connect(y3.out(0), m23.in(1));
+  const auto cnt_out = b.counter("cnt_out", {0, 1, 4});
+  const auto sel_out = b.alu("sel_out", Opcode::kGe);
+  b.tie(sel_out, 1, 2);
+  b.connect(cnt_out.out(0), sel_out.in(0));
+  const auto mout = b.alu("mout", Opcode::kMergeSel);
+  b.connect(sel_out.out(0), mout.in(0));
+  b.connect(m01.out(0), mout.in(1));
+  b.connect(m23.out(0), mout.in(2));
+
+  // Write back to the second port RAM (in-place address sequence).
+  RamParams ramb;
+  ramb.mode = RamMode::kRam;
+  ramb.capacity = kFftSize;
+  const auto ram_b = b.ram("ram_b", std::move(ramb));
+  const auto wlut_out = b.ram("waddr_out", clut(raddr));
+  b.connect(wlut_out.out(0), ram_b.in(1));
+  b.connect(mout.out(0), ram_b.in(2));
+
+  // ---- drain phase (released by "go2" tokens): natural order ----
+  const auto go2 = b.control_input("go2");
+  std::vector<Word> ident(kFftSize);
+  for (int n = 0; n < kFftSize; ++n) ident[static_cast<std::size_t>(n)] = n;
+  const auto rlut_out = b.ram("raddr_out", clut(std::move(ident)));
+  b.connect(go2.out(0), rlut_out.in(0));
+  b.connect(rlut_out.out(0), ram_b.in(0));
+  const auto out = b.output("out");
+  b.connect(ram_b.out(0), out.in(0));
+
+  return b.build();
+}
+
+std::array<CplxI, kFftSize> run_fft64(xpp::ConfigurationManager& mgr,
+                                      const std::array<CplxI, kFftSize>& in,
+                                      std::vector<xpp::RunResult>* stats) {
+  std::vector<Word> stream;
+  stream.reserve(kFftSize);
+  for (const auto& z : in) stream.push_back(pack_cplx(z));
+
+  const std::vector<Word> ones(kFftSize, 1);
+  for (int stage = 0; stage < phy::kFftStages; ++stage) {
+    const auto cfg = fft64_stage_config(stage);
+    const xpp::ConfigId id = mgr.load(cfg);
+    const long long start = mgr.sim().cycle();
+
+    mgr.input(id, "data").feed(stream);
+    mgr.sim().run_until_quiescent(100000);   // load into RAM A
+    mgr.input(id, "go").feed(ones);
+    mgr.sim().run_until_quiescent(100000);   // butterfly pass into RAM B
+    mgr.input(id, "go2").feed(ones);
+    auto& sink = mgr.output(id, "out");
+    long long guard = 0;
+    while (sink.data().size() < static_cast<std::size_t>(kFftSize)) {
+      mgr.sim().step();
+      if (++guard > 100000) {
+        throw xpp::ConfigError("run_fft64: drain timeout");
+      }
+    }
+    stream = sink.take();
+    if (stats != nullptr) {
+      xpp::RunResult r;
+      r.cycles = mgr.sim().cycle() - start;
+      r.load_cycles = mgr.info(id).load_cycles;
+      r.info = mgr.info(id);
+      stats->push_back(std::move(r));
+    }
+    mgr.release(id);
+  }
+
+  std::array<CplxI, kFftSize> out{};
+  for (int n = 0; n < kFftSize; ++n) {
+    out[static_cast<std::size_t>(n)] =
+        unpack_cplx(stream[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+namespace {
+
+/// One-ALU packed-complex conjugation pass on the array.
+std::array<CplxI, kFftSize> run_conj64(xpp::ConfigurationManager& mgr,
+                                       const std::array<CplxI, kFftSize>& in) {
+  ConfigBuilder b("conj64");
+  const auto data = b.input("data");
+  const auto cj = b.alu("conj", Opcode::kCConj);
+  const auto out = b.output("out");
+  b.connect(data.out(0), cj.in(0));
+  b.connect(cj.out(0), out.in(0));
+  std::vector<Word> feed;
+  feed.reserve(kFftSize);
+  for (const auto& z : in) feed.push_back(pack_cplx(z));
+  const auto r = xpp::run_config(mgr, b.build(), {{"data", feed}},
+                                 {{"out", kFftSize}});
+  std::array<CplxI, kFftSize> res{};
+  for (int n = 0; n < kFftSize; ++n) {
+    res[static_cast<std::size_t>(n)] =
+        unpack_cplx(r.outputs.at("out")[static_cast<std::size_t>(n)]);
+  }
+  return res;
+}
+
+}  // namespace
+
+std::array<CplxI, kFftSize> run_ifft64(xpp::ConfigurationManager& mgr,
+                                       const std::array<CplxI, kFftSize>& in) {
+  const auto c1 = run_conj64(mgr, in);
+  const auto f = run_fft64(mgr, c1);
+  return run_conj64(mgr, f);
+}
+
+std::vector<std::array<CplxI, kFftSize>> run_fft64_batch(
+    xpp::ConfigurationManager& mgr,
+    const std::vector<std::array<CplxI, kFftSize>>& in) {
+  std::vector<std::vector<Word>> streams(in.size());
+  for (std::size_t t = 0; t < in.size(); ++t) {
+    streams[t].reserve(kFftSize);
+    for (const auto& z : in[t]) streams[t].push_back(pack_cplx(z));
+  }
+  const std::vector<Word> ones(kFftSize, 1);
+  for (int stage = 0; stage < phy::kFftStages; ++stage) {
+    const xpp::ConfigId id = mgr.load(fft64_stage_config(stage));
+    for (auto& stream : streams) {
+      mgr.input(id, "data").feed(stream);
+      mgr.sim().run_until_quiescent(100000);
+      mgr.input(id, "go").feed(ones);
+      mgr.sim().run_until_quiescent(100000);
+      mgr.input(id, "go2").feed(ones);
+      auto& sink = mgr.output(id, "out");
+      long long guard = 0;
+      while (sink.data().size() < static_cast<std::size_t>(kFftSize)) {
+        mgr.sim().step();
+        if (++guard > 100000) {
+          throw xpp::ConfigError("run_fft64_batch: drain timeout");
+        }
+      }
+      stream = sink.take();
+    }
+    mgr.release(id);
+  }
+  std::vector<std::array<CplxI, kFftSize>> out(in.size());
+  for (std::size_t t = 0; t < in.size(); ++t) {
+    for (int n = 0; n < kFftSize; ++n) {
+      out[t][static_cast<std::size_t>(n)] =
+          unpack_cplx(streams[t][static_cast<std::size_t>(n)]);
+    }
+  }
+  return out;
+}
+
+Configuration downsample2_config() {
+  ConfigBuilder b("fig10_cfg1_downsample");
+  const auto data = b.input("data");
+  const auto cnt = b.counter("cnt", {0, 1, 2});
+  const auto dmx = b.alu("dmx", Opcode::kDemux);
+  const auto out = b.output("out");
+  b.connect(cnt.out(0), dmx.in(0));
+  b.connect(data.out(0), dmx.in(1));
+  b.connect(dmx.out(0), out.in(0));  // even samples kept; odd discarded
+  return b.build();
+}
+
+Configuration preamble_config(bool merged_output) {
+  ConfigBuilder b("fig10_cfg2a_preamble");
+  const auto data = b.input("data");
+  const auto dup1 = b.alu("dup1", Opcode::kDup);
+  b.connect(data.out(0), dup1.in(0));
+
+  // 16-sample delay line: FIFO preloaded with zeros.
+  RamParams fifo;
+  fifo.mode = RamMode::kFifo;
+  fifo.capacity = 32;
+  fifo.preload.assign(16, 0);
+  const auto delay = b.ram("delay16", std::move(fifo));
+  b.connect(dup1.out(1), delay.in(0));
+  const auto dup2 = b.alu("dup2", Opcode::kDup);
+  b.connect(delay.out(0), dup2.in(0));
+  const auto conj = b.alu("conj", Opcode::kCConj);
+  b.connect(dup2.out(0), conj.in(0));
+
+  // corr = sum r[n] * conj(r[n-16]) over 16-sample blocks.  The >>13
+  // pre-scaling keeps 16-sample block sums of 10-bit-sample products
+  // inside the 12-bit accumulator output without saturating.
+  const auto cmul_c = b.alu_shift("cmul_corr", Opcode::kCMulShr, 13);
+  b.connect(dup1.out(0), cmul_c.in(0));
+  b.connect(conj.out(0), cmul_c.in(1));
+  const auto cnt = b.counter("cnt16", {0, 1, 16});
+  const auto acc_c = b.alu_shift("acc_corr", Opcode::kCAccum, 0);
+  b.connect(cmul_c.out(0), acc_c.in(0));
+  b.connect(cnt.out(1), acc_c.in(1));
+
+  // power = sum |r[n-16]|^2 over the same blocks.
+  const auto cmul_p = b.alu_shift("cmul_pow", Opcode::kCMulShr, 13);
+  b.connect(dup2.out(1), cmul_p.in(0));
+  b.connect(conj.out(0), cmul_p.in(1));
+  const auto acc_p = b.alu_shift("acc_pow", Opcode::kCAccum, 0);
+  b.connect(cmul_p.out(0), acc_p.in(0));
+  b.connect(cnt.out(1), acc_p.in(1));
+
+  if (merged_output) {
+    const auto merge = b.alu("metric_merge", Opcode::kMergeAlt);
+    b.connect(acc_c.out(0), merge.in(0));
+    b.connect(acc_p.out(0), merge.in(1));
+    const auto out = b.output("metrics");
+    b.connect(merge.out(0), out.in(0));
+  } else {
+    const auto out_c = b.output("corr");
+    b.connect(acc_c.out(0), out_c.in(0));
+    const auto out_p = b.output("power");
+    b.connect(acc_p.out(0), out_p.in(0));
+  }
+  return b.build();
+}
+
+Configuration demod_config(const std::vector<CplxI>& conj_h_q, int shift) {
+  if (conj_h_q.empty()) {
+    throw std::invalid_argument("demod_config: empty coefficient table");
+  }
+  ConfigBuilder b("fig10_cfg2b_demod");
+  const auto data = b.input("data");
+  const auto h = b.ram("chan_coeff", clut(pack_all(conj_h_q)));
+  const auto mul = b.alu_shift("cmul", Opcode::kCMulShr, shift);
+  const auto out = b.output("out");
+  b.connect(data.out(0), mul.in(0));
+  b.connect(h.out(0), mul.in(1));
+  b.connect(mul.out(0), out.in(0));
+  return b.build();
+}
+
+Configuration wlan_descrambler_config(std::uint8_t seed) {
+  ConfigBuilder b("fig10_cfg1_descrambler");
+  const auto data = b.input("data");
+  // The self-synchronizing LFSR's output is 127-periodic for a fixed
+  // seed, so the sequence lives in a circular LUT (one RAM-PAE) and a
+  // single XOR ALU descrambles one bit per cycle.
+  dedhw::WlanScrambler scr(seed);
+  std::vector<Word> seq(127);
+  for (auto& w : seq) w = scr.next_bit();
+  const auto lut = b.ram("scramble_seq", clut(std::move(seq)));
+  const auto x = b.alu("xor", Opcode::kXor);
+  const auto out = b.output("out");
+  b.connect(data.out(0), x.in(0));
+  b.connect(lut.out(0), x.in(1));
+  b.connect(x.out(0), out.in(0));
+  return b.build();
+}
+
+std::vector<std::uint8_t> run_wlan_descrambler(xpp::ConfigurationManager& mgr,
+                                               const std::vector<std::uint8_t>& bits,
+                                               std::uint8_t seed,
+                                               xpp::RunResult* stats) {
+  std::vector<Word> words;
+  words.reserve(bits.size());
+  for (const auto b : bits) words.push_back(b & 1);
+  auto r = xpp::run_config(mgr, wlan_descrambler_config(seed),
+                           {{"data", words}}, {{"out", bits.size()}});
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  for (const auto w : r.outputs.at("out")) {
+    out.push_back(static_cast<std::uint8_t>(w & 1));
+  }
+  if (stats != nullptr) *stats = std::move(r);
+  return out;
+}
+
+std::vector<CplxI> run_downsample2(xpp::ConfigurationManager& mgr,
+                                   const std::vector<CplxI>& samples,
+                                   xpp::RunResult* stats) {
+  auto r = xpp::run_config(mgr, downsample2_config(),
+                           {{"data", pack_all(samples)}},
+                           {{"out", (samples.size() + 1) / 2}});
+  std::vector<CplxI> out;
+  for (const auto w : r.outputs.at("out")) out.push_back(unpack_cplx(w));
+  if (stats != nullptr) *stats = std::move(r);
+  return out;
+}
+
+PreambleBlocks run_preamble(xpp::ConfigurationManager& mgr,
+                            const std::vector<CplxI>& samples,
+                            xpp::RunResult* stats) {
+  const std::size_t blocks = samples.size() / 16;
+  auto r = xpp::run_config(mgr, preamble_config(),
+                           {{"data", pack_all(samples)}},
+                           {{"corr", blocks}, {"power", blocks}});
+  PreambleBlocks out;
+  for (const auto w : r.outputs.at("corr")) out.corr.push_back(unpack_cplx(w));
+  for (const auto w : r.outputs.at("power")) {
+    out.power.push_back(unpack_cplx(w).re);
+  }
+  if (stats != nullptr) *stats = std::move(r);
+  return out;
+}
+
+std::vector<CplxI> run_demod(xpp::ConfigurationManager& mgr,
+                             const std::vector<CplxI>& bins,
+                             const std::vector<CplxI>& conj_h_q, int shift,
+                             xpp::RunResult* stats) {
+  auto r = xpp::run_config(mgr, demod_config(conj_h_q, shift),
+                           {{"data", pack_all(bins)}},
+                           {{"out", bins.size()}});
+  std::vector<CplxI> out;
+  for (const auto w : r.outputs.at("out")) out.push_back(unpack_cplx(w));
+  if (stats != nullptr) *stats = std::move(r);
+  return out;
+}
+
+}  // namespace rsp::ofdm::maps

@@ -1,0 +1,100 @@
+// Array-mapped OFDM decoder configurations (paper Figures 9 and 10).
+//
+// The FFT64 is mapped as the paper describes: data RAM-PAEs, preloaded
+// circular LUTs for read/write addresses and twiddle factors, one
+// packed-complex multiplier per branch feeding the radix-4 kernel, and
+// counters/comparators steering the (de)multiplexer trees.  One
+// configuration executes one radix-4 stage; the harness circulates the
+// data through the dual-ported RAM for the three iterations ("The
+// output is read back to the dual-ported data RAM for the next
+// iteration").  Barrier tokens ("go"/"go2") model the stage-sequencing
+// events of the real device's configuration manager.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/phy/fft.hpp"
+#include "src/xpp/configuration.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::ofdm::maps {
+
+/// One radix-4 stage of the FFT64 (stage = 0..2).  I/O objects:
+/// "data" (64 packed samples, address order), "go" (64 read-release
+/// tokens), "go2" (64 output-release tokens), output "out" (64 packed
+/// words, address order).  Stage 0 additionally performs the
+/// digit-reversed load permutation.
+[[nodiscard]] xpp::Configuration fft64_stage_config(int stage);
+
+/// Run a full 64-point transform through the three stage passes;
+/// bit-identical to phy::fft64_fixed.  @p stats (optional) receives
+/// per-stage run results.
+[[nodiscard]] std::array<CplxI, phy::kFftSize> run_fft64(
+    xpp::ConfigurationManager& mgr,
+    const std::array<CplxI, phy::kFftSize>& in,
+    std::vector<xpp::RunResult>* stats = nullptr);
+
+/// Inverse transform on the array: a one-ALU conjugation configuration
+/// wraps the forward kernel (IDFT = conj o DFT/64 o conj) — the OFDM
+/// *transmit* path reusing the same Figure 9 resources.
+[[nodiscard]] std::array<CplxI, phy::kFftSize> run_ifft64(
+    xpp::ConfigurationManager& mgr,
+    const std::array<CplxI, phy::kFftSize>& in);
+
+/// Transform a burst of symbols with each stage configuration loaded
+/// once (the kernel stays resident across the burst, as it would for a
+/// frame's worth of OFDM symbols) — amortizes configuration time.
+[[nodiscard]] std::vector<std::array<CplxI, phy::kFftSize>> run_fft64_batch(
+    xpp::ConfigurationManager& mgr,
+    const std::vector<std::array<CplxI, phy::kFftSize>>& in);
+
+/// Figure 10, configuration 1 (resident): down-sampling by 2.
+[[nodiscard]] xpp::Configuration downsample2_config();
+
+/// Figure 10, configuration 2a (transient): short-preamble
+/// delay-and-correlate.  Emits block correlation ("corr") and block
+/// power ("power") metrics, one pair per 16 input samples.  With
+/// @p merged_output the two metric streams are time-multiplexed onto a
+/// single output channel "metrics" (corr, power, corr, ...), saving an
+/// I/O channel so the full Figure 10 schedule fits the four
+/// dual-channel ports.
+[[nodiscard]] xpp::Configuration preamble_config(bool merged_output = false);
+
+/// Figure 10, configuration 2b (loaded after 2a is freed): per-carrier
+/// channel correction X_k = (Y_k * conj(H_k)) >> shift with the
+/// DSP-computed coefficients in a preloaded LUT.
+[[nodiscard]] xpp::Configuration demod_config(
+    const std::vector<CplxI>& conj_h_q, int shift);
+
+/// Figure 10, configuration 1 (resident): the 802.11a data descrambler
+/// — decoded bits XORed with the 127-periodic scrambling sequence for
+/// @p seed, held in a circular LUT.
+[[nodiscard]] xpp::Configuration wlan_descrambler_config(std::uint8_t seed);
+
+/// Run helpers.
+[[nodiscard]] std::vector<CplxI> run_downsample2(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& samples,
+    xpp::RunResult* stats = nullptr);
+
+struct PreambleBlocks {
+  std::vector<CplxI> corr;   ///< per-16-sample block correlation
+  std::vector<std::int32_t> power;  ///< per-block delayed power
+};
+
+[[nodiscard]] PreambleBlocks run_preamble(xpp::ConfigurationManager& mgr,
+                                          const std::vector<CplxI>& samples,
+                                          xpp::RunResult* stats = nullptr);
+
+[[nodiscard]] std::vector<CplxI> run_demod(xpp::ConfigurationManager& mgr,
+                                           const std::vector<CplxI>& bins,
+                                           const std::vector<CplxI>& conj_h_q,
+                                           int shift,
+                                           xpp::RunResult* stats = nullptr);
+
+[[nodiscard]] std::vector<std::uint8_t> run_wlan_descrambler(
+    xpp::ConfigurationManager& mgr, const std::vector<std::uint8_t>& bits,
+    std::uint8_t seed, xpp::RunResult* stats = nullptr);
+
+}  // namespace rsp::ofdm::maps

@@ -1,0 +1,70 @@
+#include "src/phy/channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/dbmath.hpp"
+
+namespace rsp::phy {
+
+double doppler_hz_for_speed(double speed_m_s, double carrier_hz) {
+  constexpr double c = 299792458.0;
+  return speed_m_s / c * carrier_hz;
+}
+
+MultipathChannel::MultipathChannel(std::vector<Tap> taps, double sample_rate_hz)
+    : taps_(std::move(taps)), fs_(sample_rate_hz) {}
+
+void MultipathChannel::enable_rayleigh(long long coherence_samples, Rng& rng) {
+  coherence_ = coherence_samples;
+  ray_rng_ = &rng;
+  ray_gain_.assign(taps_.size(), CplxF{1.0, 0.0});
+  for (auto& g : ray_gain_) g = rng.cgaussian(1.0);
+}
+
+int MultipathChannel::max_delay() const {
+  int d = 0;
+  for (const auto& t : taps_) d = std::max(d, t.delay_samples);
+  return d;
+}
+
+std::vector<CplxF> MultipathChannel::run(const std::vector<CplxF>& x,
+                                         double esn0_db, Rng& rng) {
+  const std::size_t n = x.size() + static_cast<std::size_t>(max_delay());
+  std::vector<CplxF> y(n, CplxF{0.0, 0.0});
+  for (std::size_t p = 0; p < taps_.size(); ++p) {
+    const Tap& t = taps_[p];
+    const double w = 2.0 * std::numbers::pi * t.doppler_hz / fs_;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const long long global = sample_index_ + static_cast<long long>(i);
+      CplxF g = t.gain;
+      if (coherence_ > 0) {
+        // Block Rayleigh fading with deterministic redraw schedule.
+        const long long block = global / coherence_;
+        // Hash the block index into the per-path gain (stable draw).
+        Rng block_rng(static_cast<std::uint64_t>(block) * 2654435761u + p * 97u);
+        g *= block_rng.cgaussian(1.0);
+      }
+      const double ph = w * static_cast<double>(global);
+      const CplxF rot{std::cos(ph), std::sin(ph)};
+      y[i + static_cast<std::size_t>(t.delay_samples)] += g * rot * x[i];
+    }
+  }
+  sample_index_ += static_cast<long long>(x.size());
+
+  const double n0 = db_to_lin(-esn0_db);
+  const double sigma = std::sqrt(n0);
+  for (auto& v : y) v += rng.cgaussian(sigma * sigma);
+  return y;
+}
+
+std::vector<CplxF> awgn(const std::vector<CplxF>& x, double esn0_db, Rng& rng) {
+  const double n0 = db_to_lin(-esn0_db);
+  std::vector<CplxF> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] + rng.cgaussian(n0);
+  }
+  return y;
+}
+
+}  // namespace rsp::phy

@@ -1,0 +1,60 @@
+// Baseband channel models: AWGN and tapped-delay-line multipath with
+// Doppler.  These replace the RF front end / air interface of the
+// paper's evaluation board (Figure 11) — the rake receiver needs
+// resolvable multipaths from several basestations (soft handover) and
+// Figure 2's mobility axis maps to Doppler spread.
+#pragma once
+
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/common/rng.hpp"
+
+namespace rsp::phy {
+
+/// Speed-of-light mobility -> Doppler conversion at 2 GHz carrier.
+[[nodiscard]] double doppler_hz_for_speed(double speed_m_s,
+                                          double carrier_hz = 2.0e9);
+
+/// One propagation path.
+struct Tap {
+  int delay_samples = 0;   ///< excess delay in chip/sample periods
+  CplxF gain{1.0, 0.0};    ///< mean complex gain
+  double doppler_hz = 0.0; ///< fading rotation rate for this path
+};
+
+/// Tapped-delay-line channel: y[n] = sum_p g_p(n) x[n - d_p] + w[n].
+/// Fading is modelled as a deterministic phase rotation at the path's
+/// Doppler frequency (single-reflector model) — enough to exercise
+/// path tracking and channel re-estimation without a full Jakes
+/// simulator; Rayleigh amplitude can be layered on via @p rayleigh.
+class MultipathChannel {
+ public:
+  MultipathChannel(std::vector<Tap> taps, double sample_rate_hz);
+
+  /// Enable Rayleigh block fading: tap gains are redrawn from CN(0, |g|^2)
+  /// every @p coherence_samples.
+  void enable_rayleigh(long long coherence_samples, Rng& rng);
+
+  /// Pass @p x through the channel, then add complex AWGN so the
+  /// resulting Es/N0 equals @p esn0_db given unit input signal power.
+  [[nodiscard]] std::vector<CplxF> run(const std::vector<CplxF>& x,
+                                       double esn0_db, Rng& rng);
+
+  const std::vector<Tap>& taps() const { return taps_; }
+  [[nodiscard]] int max_delay() const;
+
+ private:
+  std::vector<Tap> taps_;
+  double fs_;
+  long long coherence_ = 0;
+  Rng* ray_rng_ = nullptr;
+  std::vector<CplxF> ray_gain_;
+  long long sample_index_ = 0;
+};
+
+/// AWGN only (flat channel), Es/N0 in dB for unit-power input.
+[[nodiscard]] std::vector<CplxF> awgn(const std::vector<CplxF>& x,
+                                      double esn0_db, Rng& rng);
+
+}  // namespace rsp::phy

@@ -1,0 +1,155 @@
+#include "src/phy/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/word.hpp"
+
+namespace rsp::phy {
+
+void fft(std::vector<CplxF>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const CplxF wl{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      CplxF w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const CplxF u = x[i + k];
+        const CplxF v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+namespace {
+
+constexpr int digit_rev64(int n) {
+  // Reflect the three base-4 digits of n.
+  const int d0 = n & 3;
+  const int d1 = (n >> 2) & 3;
+  const int d2 = (n >> 4) & 3;
+  return (d0 << 4) | (d1 << 2) | d2;
+}
+
+Fft64Tables make_tables() {
+  Fft64Tables t{};
+  for (int n = 0; n < kFftSize; ++n) {
+    t.input_perm[static_cast<std::size_t>(n)] = digit_rev64(n);
+  }
+  // Stage s operates on blocks of length L = 4^(s+1).
+  for (int s = 0; s < kFftStages; ++s) {
+    const int len = 1 << (2 * (s + 1));  // 4, 16, 64
+    const int quarter = len / 4;
+    const int stride = kFftSize / len;   // twiddle exponent unit
+    int bf = 0;
+    for (int g = 0; g < kFftSize; g += len) {
+      for (int k = 0; k < quarter; ++k, ++bf) {
+        for (int m = 0; m < 4; ++m) {
+          t.stages[static_cast<std::size_t>(s)]
+              .addr[static_cast<std::size_t>(bf)][static_cast<std::size_t>(m)] =
+              g + k + m * quarter;
+          t.stages[static_cast<std::size_t>(s)]
+              .twiddle[static_cast<std::size_t>(bf)]
+                      [static_cast<std::size_t>(m)] = (m * k * stride) % kFftSize;
+        }
+      }
+    }
+  }
+  const double fs = static_cast<double>(1 << kTwiddleFrac);
+  for (int k = 0; k < kFftSize; ++k) {
+    const double a = -2.0 * std::numbers::pi * k / kFftSize;
+    // Clamp to 12 bits so ROM entries fit the packed 12+12 word format
+    // the array streams (cos(0): 2048 -> 2047, a 0.05% gain error).
+    t.rom[static_cast<std::size_t>(k)] = {
+        saturate(static_cast<std::int64_t>(std::lround(std::cos(a) * fs)),
+                 kHalfBits),
+        saturate(static_cast<std::int64_t>(std::lround(std::sin(a) * fs)),
+                 kHalfBits)};
+  }
+  return t;
+}
+
+}  // namespace
+
+const Fft64Tables& fft64_tables() {
+  static const Fft64Tables t = make_tables();
+  return t;
+}
+
+CplxI fft64_branch(CplxI x, CplxI w) {
+  const CplxI p = x * w;  // full precision
+  return sat_cplx(shr_round(p, kBranchShift), kHalfBits);
+}
+
+namespace {
+
+/// Saturating 12-bit complex add/sub (kCAdd/kCSub semantics).
+CplxI cadd12(CplxI a, CplxI b) { return sat_cplx(a + b, kHalfBits); }
+CplxI csub12(CplxI a, CplxI b) { return sat_cplx(a - b, kHalfBits); }
+/// Multiply by -j: -j(x + jy) = y - jx (kCRotMj semantics, saturated).
+CplxI rot_mj(CplxI z) { return sat_cplx({z.im, -z.re}, kHalfBits); }
+
+}  // namespace
+
+std::array<CplxI, kFftSize> fft64_fixed(const std::array<CplxI, kFftSize>& in) {
+  const Fft64Tables& t = fft64_tables();
+  std::array<CplxI, kFftSize> x{};
+  // Load in digit-reversed order (the write-address LUT of Figure 9).
+  for (int n = 0; n < kFftSize; ++n) {
+    x[static_cast<std::size_t>(t.input_perm[static_cast<std::size_t>(n)])] =
+        in[static_cast<std::size_t>(n)];
+  }
+  for (int s = 0; s < kFftStages; ++s) {
+    const auto& st = t.stages[static_cast<std::size_t>(s)];
+    for (int bf = 0; bf < 16; ++bf) {
+      const auto& addr = st.addr[static_cast<std::size_t>(bf)];
+      const auto& twi = st.twiddle[static_cast<std::size_t>(bf)];
+      CplxI v[4];
+      for (int m = 0; m < 4; ++m) {
+        v[m] = fft64_branch(
+            x[static_cast<std::size_t>(addr[static_cast<std::size_t>(m)])],
+            t.rom[static_cast<std::size_t>(twi[static_cast<std::size_t>(m)])]);
+      }
+      const CplxI t0 = cadd12(v[0], v[2]);
+      const CplxI t1 = csub12(v[0], v[2]);
+      const CplxI t2 = cadd12(v[1], v[3]);
+      const CplxI t3 = rot_mj(csub12(v[1], v[3]));
+      x[static_cast<std::size_t>(addr[0])] = cadd12(t0, t2);
+      x[static_cast<std::size_t>(addr[1])] = cadd12(t1, t3);
+      x[static_cast<std::size_t>(addr[2])] = csub12(t0, t2);
+      x[static_cast<std::size_t>(addr[3])] = csub12(t1, t3);
+    }
+  }
+  return x;
+}
+
+std::array<CplxI, kFftSize> ifft64_fixed(const std::array<CplxI, kFftSize>& in) {
+  std::array<CplxI, kFftSize> conj_in{};
+  for (int n = 0; n < kFftSize; ++n) {
+    conj_in[static_cast<std::size_t>(n)] = in[static_cast<std::size_t>(n)].conj();
+  }
+  auto out = fft64_fixed(conj_in);
+  for (auto& z : out) z = z.conj();
+  return out;
+}
+
+}  // namespace rsp::phy

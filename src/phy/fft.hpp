@@ -1,0 +1,72 @@
+// FFT support: a floating-point reference transform plus the bit-true
+// fixed-point FFT64 of the paper's OFDM decoder.
+//
+// Paper, Section 3.2: "The FFT64 uses the radix-4 approach... Read and
+// write addresses are stored in circular lookup tables, which are
+// implemented as preloaded FIFOs.  Twiddle factors for all 3 stages of
+// the FFT64 are also stored in a lookup table...  The accuracy of the
+// complex input signal is 10 bit.  With every stage a scaling (2-bit
+// right shift) is required to prevent overflow.  For three stages of
+// the FFT64 we finally get a 4-bit precision in the result."
+//
+// The golden model here performs exactly the operations of the mapped
+// pipeline (Figure 9): per branch one packed-complex multiply by a
+// Q11 twiddle with a 13-bit rounded shift (11 twiddle bits + the
+// 2-bit stage scaling), then the radix-4 butterfly on saturating
+// 12-bit adders.  The array-mapped configuration shares these tables
+// and must produce identical bits.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp::phy {
+
+/// In-place radix-2 FFT (size = power of two).  Forward uses
+/// exp(-j2pi/N); inverse scales by 1/N.
+void fft(std::vector<CplxF>& x, bool inverse = false);
+
+inline constexpr int kFftSize = 64;
+inline constexpr int kFftStages = 3;
+inline constexpr int kTwiddleFrac = 11;   ///< Q11 twiddles
+inline constexpr int kStageScaleBits = 2; ///< per-stage right shift
+/// Per-branch shift inside a stage: twiddle fraction + stage scaling.
+inline constexpr int kBranchShift = kTwiddleFrac + kStageScaleBits;
+
+/// Precomputed address/twiddle tables (the contents of the preloaded
+/// FIFOs/LUTs in Figure 9).
+struct Fft64Tables {
+  std::array<int, kFftSize> input_perm;  ///< load address for sample n
+  struct Stage {
+    /// 16 butterflies x 4 branch addresses into the data RAM.
+    std::array<std::array<int, 4>, 16> addr;
+    /// 16 butterflies x 4 twiddle LUT indices (exponents mod 64).
+    std::array<std::array<int, 4>, 16> twiddle;
+  };
+  std::array<Stage, kFftStages> stages;
+  /// Q11 twiddle ROM: W_64^k = exp(-j 2 pi k / 64), k = 0..63.
+  std::array<CplxI, kFftSize> rom;
+};
+
+[[nodiscard]] const Fft64Tables& fft64_tables();
+
+/// One twiddled branch: (x * w) >> kBranchShift, rounded, saturated to
+/// 12 bits per component — identical to a kCMulShr ALU with shift 13.
+[[nodiscard]] CplxI fft64_branch(CplxI x, CplxI w);
+
+/// Bit-true fixed-point 64-point forward FFT.  Inputs are 10-bit
+/// complex samples; the result equals DFT(x)/64 at 4-bit effective
+/// precision (paper's scaling).
+[[nodiscard]] std::array<CplxI, kFftSize> fft64_fixed(
+    const std::array<CplxI, kFftSize>& in);
+
+/// Bit-true inverse transform via the conjugation identity
+/// IDFT(x) = conj(DFT(conj(x)))/N: with fft64_fixed computing DFT/64,
+/// conj o fft64_fixed o conj equals the IDFT exactly (same datapath,
+/// no extra ROMs) — how the OFDM transmitter reuses the Fig. 9 kernel.
+[[nodiscard]] std::array<CplxI, kFftSize> ifft64_fixed(
+    const std::array<CplxI, kFftSize>& in);
+
+}  // namespace rsp::phy

@@ -1,0 +1,59 @@
+// IEEE 802.11a block interleaver (§17.3.5.6): two permutations applied
+// per OFDM symbol so adjacent coded bits land on non-adjacent carriers
+// and alternate significance positions in the constellation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rsp::phy {
+
+/// First+second permutation for one symbol of @p ncbps coded bits with
+/// @p nbpsc bits per subcarrier.
+[[nodiscard]] inline std::vector<std::uint8_t> interleave(
+    const std::vector<std::uint8_t>& in, int ncbps, int nbpsc) {
+  if (static_cast<int>(in.size()) != ncbps) {
+    throw std::invalid_argument("interleave: size != NCBPS");
+  }
+  const int s = std::max(nbpsc / 2, 1);
+  std::vector<std::uint8_t> out(in.size());
+  for (int k = 0; k < ncbps; ++k) {
+    const int i = (ncbps / 16) * (k % 16) + k / 16;
+    const int j = s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+    out[static_cast<std::size_t>(j)] = in[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+/// Inverse of interleave().
+[[nodiscard]] inline std::vector<std::uint8_t> deinterleave(
+    const std::vector<std::uint8_t>& in, int ncbps, int nbpsc) {
+  if (static_cast<int>(in.size()) != ncbps) {
+    throw std::invalid_argument("deinterleave: size != NCBPS");
+  }
+  const int s = std::max(nbpsc / 2, 1);
+  std::vector<std::uint8_t> out(in.size());
+  for (int j = 0; j < ncbps; ++j) {
+    const int i = s * (j / s) + (j + (16 * j) / ncbps) % s;
+    const int k = 16 * i - (ncbps - 1) * ((16 * i) / ncbps);
+    out[static_cast<std::size_t>(k)] = in[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+/// Soft-value deinterleaver (same permutation over LLRs).
+[[nodiscard]] inline std::vector<std::int32_t> deinterleave_soft(
+    const std::vector<std::int32_t>& in, int ncbps, int nbpsc) {
+  const int s = std::max(nbpsc / 2, 1);
+  std::vector<std::int32_t> out(in.size());
+  for (int j = 0; j < ncbps; ++j) {
+    const int i = s * (j / s) + (j + (16 * j) / ncbps) % s;
+    const int k = 16 * i - (ncbps - 1) * ((16 * i) / ncbps);
+    out[static_cast<std::size_t>(k)] = in[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+}  // namespace rsp::phy

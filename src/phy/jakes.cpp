@@ -1,0 +1,67 @@
+#include "src/phy/jakes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/dbmath.hpp"
+
+namespace rsp::phy {
+
+JakesFader::JakesFader(double doppler_hz, double sample_rate_hz, Rng& rng,
+                       int oscillators)
+    : fd_(doppler_hz), fs_(sample_rate_hz) {
+  // Random arrival angles give each oscillator a Doppler f_d cos(a);
+  // random phases decorrelate the I and Q rails (Rayleigh envelope).
+  freq_.reserve(static_cast<std::size_t>(oscillators));
+  phase_i_.reserve(static_cast<std::size_t>(oscillators));
+  phase_q_.reserve(static_cast<std::size_t>(oscillators));
+  for (int k = 0; k < oscillators; ++k) {
+    const double angle = 2.0 * std::numbers::pi * rng.uniform();
+    freq_.push_back(2.0 * std::numbers::pi * fd_ * std::cos(angle) / fs_);
+    phase_i_.push_back(2.0 * std::numbers::pi * rng.uniform());
+    phase_q_.push_back(2.0 * std::numbers::pi * rng.uniform());
+  }
+  norm_ = 1.0 / std::sqrt(static_cast<double>(oscillators));
+}
+
+CplxF JakesFader::gain(long long n) const {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t k = 0; k < freq_.size(); ++k) {
+    const double arg = freq_[k] * static_cast<double>(n);
+    re += std::cos(arg + phase_i_[k]);
+    im += std::cos(arg + phase_q_[k]);
+  }
+  return {re * norm_, im * norm_};
+}
+
+JakesChannel::JakesChannel(std::vector<JakesTap> taps, double sample_rate_hz,
+                           Rng& rng)
+    : taps_(std::move(taps)), fs_(sample_rate_hz) {
+  faders_.reserve(taps_.size());
+  for (const auto& t : taps_) {
+    faders_.emplace_back(t.doppler_hz, fs_, rng);
+  }
+}
+
+std::vector<CplxF> JakesChannel::run(const std::vector<CplxF>& x,
+                                     double esn0_db, Rng& noise_rng) {
+  int max_delay = 0;
+  for (const auto& t : taps_) max_delay = std::max(max_delay, t.delay_samples);
+  std::vector<CplxF> y(x.size() + static_cast<std::size_t>(max_delay),
+                       CplxF{0.0, 0.0});
+  for (std::size_t p = 0; p < taps_.size(); ++p) {
+    const double amp = std::sqrt(taps_[p].power);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+      const CplxF g = faders_[p].gain(pos_ + static_cast<long long>(n));
+      y[n + static_cast<std::size_t>(taps_[p].delay_samples)] +=
+          amp * g * x[n];
+    }
+  }
+  pos_ += static_cast<long long>(x.size());
+  const double n0 = db_to_lin(-esn0_db);
+  for (auto& v : y) v += noise_rng.cgaussian(n0);
+  return y;
+}
+
+}  // namespace rsp::phy

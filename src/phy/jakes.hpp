@@ -1,0 +1,63 @@
+// Jakes-model Rayleigh fading: sum-of-sinusoids tap processes with the
+// classic U-shaped Doppler spectrum.  Replaces the deterministic
+// single-reflector rotation of MultipathChannel when realistic
+// amplitude fading matters (Figure 2's mobility axis).
+#pragma once
+
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/common/rng.hpp"
+
+namespace rsp::phy {
+
+/// One Rayleigh-fading tap gain process, unit average power.
+class JakesFader {
+ public:
+  /// @param doppler_hz maximum Doppler shift f_d
+  /// @param oscillators number of sinusoids (>= 8 for good statistics)
+  JakesFader(double doppler_hz, double sample_rate_hz, Rng& rng,
+             int oscillators = 16);
+
+  /// Gain at sample index @p n (stateless in n: safe to re-evaluate).
+  [[nodiscard]] CplxF gain(long long n) const;
+
+  [[nodiscard]] double doppler_hz() const { return fd_; }
+
+ private:
+  double fd_;
+  double fs_;
+  std::vector<double> freq_;    // per-oscillator Doppler (rad/sample)
+  std::vector<double> phase_i_; // random phases, in-phase rail
+  std::vector<double> phase_q_;
+  double norm_;
+};
+
+/// Multipath channel with independent Jakes-faded taps.
+struct JakesTap {
+  int delay_samples = 0;
+  double power = 1.0;      ///< mean tap power (sum typ. normalized to 1)
+  double doppler_hz = 0.0;
+};
+
+class JakesChannel {
+ public:
+  JakesChannel(std::vector<JakesTap> taps, double sample_rate_hz, Rng& rng);
+
+  /// y[n] = sum_p sqrt(P_p) g_p(n) x[n - d_p] + AWGN at @p esn0_db.
+  [[nodiscard]] std::vector<CplxF> run(const std::vector<CplxF>& x,
+                                       double esn0_db, Rng& noise_rng);
+
+  /// Tap gain processes (exposed for statistics tests).
+  [[nodiscard]] const JakesFader& fader(std::size_t tap) const {
+    return faders_[tap];
+  }
+
+ private:
+  std::vector<JakesTap> taps_;
+  std::vector<JakesFader> faders_;
+  double fs_;
+  long long pos_ = 0;
+};
+
+}  // namespace rsp::phy

@@ -1,0 +1,48 @@
+// Subcarrier modulation schemes of IEEE 802.11a (§17.3.5.7) plus the
+// QPSK symbol mapping of the UMTS downlink.  "The standards define
+// various modulation schemes and code rates, which specify data rates
+// from 6 up to 54 Mbit/sec" (paper, Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp::phy {
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+[[nodiscard]] constexpr int bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:  return 1;
+    case Modulation::kQpsk:  return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 0;
+}
+
+[[nodiscard]] const char* modulation_name(Modulation m);
+
+/// Map @p bits (0/1, length divisible by bits_per_symbol) to unit-mean-
+/// power constellation points with 802.11a normalization and Gray
+/// labelling.
+[[nodiscard]] std::vector<CplxF> modulate(const std::vector<std::uint8_t>& bits,
+                                          Modulation m);
+
+/// Max-log soft demapper.  Produces one LLR per bit; positive favours
+/// bit 1 (the ViterbiDecoder convention).  @p scale converts distances
+/// to integer confidence (typ. 64/noise-var; saturated to +-2^20).
+[[nodiscard]] std::vector<std::int32_t> soft_demap(
+    const std::vector<CplxF>& symbols, Modulation m, double scale = 64.0);
+
+/// Hard-decision demapper.
+[[nodiscard]] std::vector<std::uint8_t> hard_demap(
+    const std::vector<CplxF>& symbols, Modulation m);
+
+/// Full constellation (2^bits points, index = Gray-labelled bit word,
+/// MSB first) — exposed for tests and the demapper LUTs.
+[[nodiscard]] const std::vector<CplxF>& constellation(Modulation m);
+
+}  // namespace rsp::phy

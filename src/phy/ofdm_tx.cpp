@@ -1,0 +1,317 @@
+#include "src/phy/ofdm_tx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/dedhw/wlan_scrambler.hpp"
+#include "src/phy/fft.hpp"
+#include "src/phy/interleaver.hpp"
+
+namespace rsp::phy {
+
+const std::vector<RateMode>& all_rate_modes() {
+  using dedhw::CodeRate;
+  static const std::vector<RateMode> modes = {
+      {6,  Modulation::kBpsk,  CodeRate::kR12, 48,  24},
+      {9,  Modulation::kBpsk,  CodeRate::kR34, 48,  36},
+      {12, Modulation::kQpsk,  CodeRate::kR12, 96,  48},
+      {18, Modulation::kQpsk,  CodeRate::kR34, 96,  72},
+      {24, Modulation::kQam16, CodeRate::kR12, 192, 96},
+      {36, Modulation::kQam16, CodeRate::kR34, 192, 144},
+      {48, Modulation::kQam64, CodeRate::kR23, 288, 192},
+      {54, Modulation::kQam64, CodeRate::kR34, 288, 216},
+  };
+  return modes;
+}
+
+const RateMode& rate_mode(int mbps) {
+  for (const auto& m : all_rate_modes()) {
+    if (m.mbps == mbps) return m;
+  }
+  throw std::invalid_argument("rate_mode: unsupported rate");
+}
+
+const std::vector<int>& data_carriers() {
+  static const std::vector<int> carriers = [] {
+    std::vector<int> c;
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0 || k == 7 || k == -7 || k == 21 || k == -21) continue;
+      c.push_back(k);
+    }
+    return c;
+  }();
+  return carriers;
+}
+
+const std::vector<int>& pilot_carriers() {
+  static const std::vector<int> carriers = {-21, -7, 7, 21};
+  return carriers;
+}
+
+int pilot_polarity(int n) {
+  // 127-periodic polarity sequence = scrambler LFSR output with
+  // all-ones seed, mapped 0 -> +1, 1 -> -1.  DATA symbol n uses p_{n+1}
+  // (p_0 belongs to the SIGNAL symbol).
+  static const std::vector<int> seq = [] {
+    dedhw::WlanScrambler s(0x7F);
+    std::vector<int> p(127);
+    for (auto& v : p) v = s.next_bit() ? -1 : 1;
+    return p;
+  }();
+  return seq[static_cast<std::size_t>((n + 1) % 127)];
+}
+
+const std::vector<int>& long_training_symbol() {
+  // L_-26..26 per IEEE 802.11a Table G.6 (0 at DC).
+  static const std::vector<int> L = {
+      1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1,
+      -1, 1, 1, 1, 1,  // -26..-1
+      0,
+      1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1,
+      1, -1, 1, 1, 1, 1};  // 1..26
+  return L;
+}
+
+namespace {
+
+/// Map logical carrier k in [-32, 31] to FFT bin.
+constexpr int bin_of(int k) { return (k + kOfdmFft) % kOfdmFft; }
+
+/// 64-point IFFT of @p bins, returns time samples.
+std::vector<CplxF> ifft64(std::vector<CplxF> bins) {
+  fft(bins, /*inverse=*/true);
+  // Undo the 1/N of the library inverse so OFDM symbols keep roughly
+  // unit subcarrier power, then normalize to unit mean sample power.
+  for (auto& v : bins) v *= std::sqrt(static_cast<double>(kOfdmFft));
+  return bins;
+}
+
+}  // namespace
+
+std::vector<CplxF> short_preamble() {
+  // S_k nonzero on +-4, +-8, ..., +-24 (12 carriers), Table G.2.
+  static const std::vector<std::pair<int, CplxF>> s = [] {
+    const double a = std::sqrt(13.0 / 6.0);
+    const CplxF pp{a, a};
+    const CplxF mm{-a, -a};
+    return std::vector<std::pair<int, CplxF>>{
+        {-24, pp}, {-20, mm}, {-16, pp}, {-12, mm}, {-8, mm}, {-4, pp},
+        {4, mm},   {8, mm},   {12, pp},  {16, pp},  {20, pp}, {24, pp}};
+  }();
+  std::vector<CplxF> bins(kOfdmFft, CplxF{0.0, 0.0});
+  for (const auto& [k, v] : s) bins[static_cast<std::size_t>(bin_of(k))] = v;
+  const std::vector<CplxF> t = ifft64(std::move(bins));
+  // Periodicity 16: repeat the first 16 samples 10 times (160 samples).
+  std::vector<CplxF> out;
+  out.reserve(160);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 16; ++i) out.push_back(t[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<CplxF> long_preamble() {
+  std::vector<CplxF> bins(kOfdmFft, CplxF{0.0, 0.0});
+  const auto& L = long_training_symbol();
+  for (int k = -26; k <= 26; ++k) {
+    bins[static_cast<std::size_t>(bin_of(k))] =
+        CplxF{static_cast<double>(L[static_cast<std::size_t>(k + 26)]), 0.0};
+  }
+  const std::vector<CplxF> t = ifft64(std::move(bins));
+  std::vector<CplxF> out;
+  out.reserve(160);
+  for (int i = 32; i < 64; ++i) out.push_back(t[static_cast<std::size_t>(i)]);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int i = 0; i < 64; ++i) out.push_back(t[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<CplxF> assemble_symbol(const std::vector<CplxF>& points,
+                                   int symbol_index) {
+  if (static_cast<int>(points.size()) != kDataCarriers) {
+    throw std::invalid_argument("assemble_symbol: need 48 points");
+  }
+  std::vector<CplxF> bins(kOfdmFft, CplxF{0.0, 0.0});
+  const auto& dc = data_carriers();
+  for (int i = 0; i < kDataCarriers; ++i) {
+    bins[static_cast<std::size_t>(bin_of(dc[static_cast<std::size_t>(i)]))] =
+        points[static_cast<std::size_t>(i)];
+  }
+  const int pol = pilot_polarity(symbol_index);
+  const double pv[4] = {1.0, 1.0, 1.0, -1.0};
+  const auto& pc = pilot_carriers();
+  for (int i = 0; i < kPilotCarriers; ++i) {
+    bins[static_cast<std::size_t>(bin_of(pc[static_cast<std::size_t>(i)]))] =
+        CplxF{pol * pv[i], 0.0};
+  }
+  return bins;
+}
+
+namespace {
+
+/// RATE words (R1 first) per IEEE 802.11a Table 80.
+constexpr struct { int mbps; unsigned word; } kRateWords[] = {
+    {6, 0b1101},  {9, 0b1111},  {12, 0b0101}, {18, 0b0111},
+    {24, 0b1001}, {36, 0b1011}, {48, 0b0001}, {54, 0b0011},
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> signal_field_bits(const SignalField& f) {
+  unsigned rate_word = 0;
+  bool found = false;
+  for (const auto& rw : kRateWords) {
+    if (rw.mbps == f.mbps) {
+      rate_word = rw.word;
+      found = true;
+    }
+  }
+  if (!found) throw std::invalid_argument("signal_field_bits: bad rate");
+  if (f.length_bits > 4095) {
+    throw std::invalid_argument("signal_field_bits: length > 4095 bits");
+  }
+  std::vector<std::uint8_t> bits;
+  bits.reserve(24);
+  for (int i = 3; i >= 0; --i) {  // R1..R4, R1 = MSB of the word
+    bits.push_back(static_cast<std::uint8_t>((rate_word >> i) & 1u));
+  }
+  bits.push_back(0);  // reserved
+  for (int i = 0; i < 12; ++i) {  // LENGTH, LSB first
+    bits.push_back(static_cast<std::uint8_t>((f.length_bits >> i) & 1u));
+  }
+  std::uint8_t parity = 0;
+  for (const auto b : bits) parity ^= b;
+  bits.push_back(parity);            // even parity over bits 0..16
+  bits.insert(bits.end(), 6, 0);     // tail
+  return bits;
+}
+
+bool parse_signal_field(const std::vector<std::uint8_t>& bits,
+                        SignalField& out) {
+  if (bits.size() < 18) return false;
+  std::uint8_t parity = 0;
+  for (int i = 0; i < 17; ++i) parity ^= bits[static_cast<std::size_t>(i)];
+  if (parity != bits[17]) return false;
+  unsigned rate_word = 0;
+  for (int i = 0; i < 4; ++i) {
+    rate_word = (rate_word << 1) | (bits[static_cast<std::size_t>(i)] & 1u);
+  }
+  bool found = false;
+  for (const auto& rw : kRateWords) {
+    if (rw.word == rate_word) {
+      out.mbps = rw.mbps;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  std::size_t len = 0;
+  for (int i = 0; i < 12; ++i) {
+    len |= static_cast<std::size_t>(bits[static_cast<std::size_t>(5 + i)] & 1u)
+           << i;
+  }
+  out.length_bits = len;
+  return true;
+}
+
+int signal_pilot_polarity() { return pilot_polarity(-1); }
+
+std::vector<CplxF> signal_symbol_points(const SignalField& f) {
+  const auto bits = signal_field_bits(f);
+  // Rate-1/2 coding, tail already part of the 24 bits.
+  const auto coded = dedhw::conv_encode(bits, dedhw::CodeRate::kR12, false);
+  const auto il = interleave(coded, 48, 1);
+  return modulate(il, Modulation::kBpsk);
+}
+
+int OfdmTransmitter::num_data_symbols(std::size_t n_bits, int mbps) {
+  const RateMode& m = rate_mode(mbps);
+  // SERVICE (16) + PSDU + tail (6), rounded up to whole symbols.
+  const std::size_t total = 16 + n_bits + 6;
+  return static_cast<int>((total + static_cast<std::size_t>(m.ndbps) - 1) /
+                          static_cast<std::size_t>(m.ndbps));
+}
+
+std::vector<std::uint8_t> OfdmTransmitter::encode_data_bits(
+    const std::vector<std::uint8_t>& psdu_bits, int mbps) const {
+  const RateMode& m = rate_mode(mbps);
+  const int nsym = num_data_symbols(psdu_bits.size(), mbps);
+  const std::size_t n_info =
+      static_cast<std::size_t>(nsym) * static_cast<std::size_t>(m.ndbps) - 6;
+
+  // SERVICE + PSDU + pad, scrambled; tail added unscrambled by the
+  // encoder (the standard zeroes the scrambled tail positions).
+  std::vector<std::uint8_t> bits(n_info, 0);
+  std::copy(psdu_bits.begin(), psdu_bits.end(), bits.begin() + 16);
+  dedhw::WlanScrambler scr(seed_);
+  scr.apply(bits);
+
+  std::vector<std::uint8_t> coded = dedhw::conv_encode(bits, m.rate, true);
+
+  // Per-symbol interleaving.
+  std::vector<std::uint8_t> out;
+  out.reserve(coded.size());
+  for (int s = 0; s < nsym; ++s) {
+    const auto begin =
+        coded.begin() + static_cast<std::ptrdiff_t>(s) * m.ncbps;
+    std::vector<std::uint8_t> sym(begin, begin + m.ncbps);
+    const auto il = interleave(sym, m.ncbps, bits_per_symbol(m.mod));
+    out.insert(out.end(), il.begin(), il.end());
+  }
+  return out;
+}
+
+std::vector<CplxF> OfdmTransmitter::build_ppdu(
+    const std::vector<std::uint8_t>& psdu_bits, int mbps) const {
+  const RateMode& m = rate_mode(mbps);
+  const auto coded = encode_data_bits(psdu_bits, mbps);
+  const int nsym = static_cast<int>(coded.size()) / m.ncbps;
+
+  std::vector<CplxF> out = short_preamble();
+  const auto lp = long_preamble();
+  out.insert(out.end(), lp.begin(), lp.end());
+
+  // SIGNAL symbol (BPSK rate 1/2, pilot polarity p_0).
+  {
+    SignalField sf;
+    sf.mbps = mbps;
+    sf.length_bits = psdu_bits.size();
+    const auto points = signal_symbol_points(sf);
+    std::vector<CplxF> bins(kOfdmFft, CplxF{0.0, 0.0});
+    const auto& dc = data_carriers();
+    for (int i = 0; i < kDataCarriers; ++i) {
+      bins[static_cast<std::size_t>(bin_of(dc[static_cast<std::size_t>(i)]))] =
+          points[static_cast<std::size_t>(i)];
+    }
+    const int pol = signal_pilot_polarity();
+    const double pv[4] = {1.0, 1.0, 1.0, -1.0};
+    const auto& pc = pilot_carriers();
+    for (int i = 0; i < kPilotCarriers; ++i) {
+      bins[static_cast<std::size_t>(bin_of(pc[static_cast<std::size_t>(i)]))] =
+          CplxF{pol * pv[i], 0.0};
+    }
+    const auto t = ifft64(std::move(bins));
+    for (int i = kOfdmFft - kCyclicPrefix; i < kOfdmFft; ++i) {
+      out.push_back(t[static_cast<std::size_t>(i)]);
+    }
+    out.insert(out.end(), t.begin(), t.end());
+  }
+
+  for (int s = 0; s < nsym; ++s) {
+    const auto begin = coded.begin() + static_cast<std::ptrdiff_t>(s) * m.ncbps;
+    const std::vector<std::uint8_t> sym_bits(begin, begin + m.ncbps);
+    const auto points = modulate(sym_bits, m.mod);
+    auto bins = assemble_symbol(points, s);
+    const auto t = ifft64(std::move(bins));
+    // Cyclic prefix + body.
+    for (int i = kOfdmFft - kCyclicPrefix; i < kOfdmFft; ++i) {
+      out.push_back(t[static_cast<std::size_t>(i)]);
+    }
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace rsp::phy

@@ -1,0 +1,108 @@
+// IEEE 802.11a OFDM transmitter: the synthetic air interface feeding
+// the paper's OFDM decoder (Section 3.2).  "symbols are modulated and
+// spread over 48 low-bandwidth carriers, with an additional 4 carriers
+// containing pilot signals"; rate modes span 6..54 Mbit/s.
+//
+// The PLCP SIGNAL field is implemented (BPSK, rate 1/2, own symbol
+// right after the long preamble) so the receiver can self-detect the
+// rate and frame length.  One deviation, recorded in DESIGN.md: the
+// 12-bit LENGTH field carries the PSDU size in BITS (not octets) to
+// keep the bit-oriented API exact for arbitrary payloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dedhw/convcode.hpp"
+#include "src/phy/modulation.hpp"
+
+namespace rsp::phy {
+
+/// 20 MHz sampling; 64-point FFT; 16-sample cyclic prefix.
+inline constexpr int kOfdmFft = 64;
+inline constexpr int kCyclicPrefix = 16;
+inline constexpr int kSymbolSamples = kOfdmFft + kCyclicPrefix;
+inline constexpr int kDataCarriers = 48;
+inline constexpr int kPilotCarriers = 4;
+inline constexpr double kOfdmSampleRateHz = 20.0e6;
+
+/// One 802.11a rate mode.
+struct RateMode {
+  int mbps;
+  Modulation mod;
+  dedhw::CodeRate rate;
+  int ncbps;  ///< coded bits per OFDM symbol
+  int ndbps;  ///< data bits per OFDM symbol
+};
+
+/// The eight mandatory/optional modes, ordered by data rate.
+[[nodiscard]] const std::vector<RateMode>& all_rate_modes();
+/// Lookup by data rate; throws on unknown rate.
+[[nodiscard]] const RateMode& rate_mode(int mbps);
+
+/// Data subcarrier logical indices (-26..26 without 0, +-7, +-21).
+[[nodiscard]] const std::vector<int>& data_carriers();
+/// Pilot subcarriers: -21, -7, 7, 21.
+[[nodiscard]] const std::vector<int>& pilot_carriers();
+/// Pilot polarity for data symbol @p n (p_{n+1} of the standard's
+/// 127-periodic sequence; symbol 0 here is the first DATA symbol).
+[[nodiscard]] int pilot_polarity(int n);
+
+/// Short training sequence: 160 samples (10 x 16).
+[[nodiscard]] std::vector<CplxF> short_preamble();
+/// Long training sequence: 160 samples (32 GI + 2 x 64).
+[[nodiscard]] std::vector<CplxF> long_preamble();
+/// The frequency-domain long-training symbol L_k on carriers -26..26.
+[[nodiscard]] const std::vector<int>& long_training_symbol();
+
+/// SIGNAL field contents (IEEE 802.11a §17.3.4).
+struct SignalField {
+  int mbps = 6;
+  std::size_t length_bits = 0;  ///< PSDU size in bits (deviation: not octets)
+};
+
+/// The 24 SIGNAL bits: RATE(4), reserved(1), LENGTH(12, LSB first),
+/// even parity(1), tail(6 zeros).
+[[nodiscard]] std::vector<std::uint8_t> signal_field_bits(const SignalField& f);
+
+/// Inverse of signal_field_bits; returns false on bad parity, unknown
+/// rate word or nonzero tail.
+[[nodiscard]] bool parse_signal_field(const std::vector<std::uint8_t>& bits,
+                                      SignalField& out);
+
+/// The 48 BPSK points of the SIGNAL symbol (coded + interleaved).
+[[nodiscard]] std::vector<CplxF> signal_symbol_points(const SignalField& f);
+
+/// Pilot polarity of the SIGNAL symbol (p_0 of the 127-sequence).
+[[nodiscard]] int signal_pilot_polarity();
+
+/// Frequency-domain assembly of one data symbol: place 48 constellation
+/// points and 4 pilots, return the 64 FFT bins (natural order).
+[[nodiscard]] std::vector<CplxF> assemble_symbol(
+    const std::vector<CplxF>& points, int symbol_index);
+
+class OfdmTransmitter {
+ public:
+  explicit OfdmTransmitter(std::uint8_t scramble_seed = 0x5D)
+      : seed_(scramble_seed) {}
+
+  /// Build a complete PPDU (preambles + DATA) for @p psdu_bits at
+  /// @p mbps.  Returns 20 MHz time-domain samples with unit mean power.
+  [[nodiscard]] std::vector<CplxF> build_ppdu(
+      const std::vector<std::uint8_t>& psdu_bits, int mbps) const;
+
+  /// The scrambled+coded+interleaved bit stream (exposed for tests).
+  [[nodiscard]] std::vector<std::uint8_t> encode_data_bits(
+      const std::vector<std::uint8_t>& psdu_bits, int mbps) const;
+
+  /// Number of DATA OFDM symbols for a PSDU of @p n_bits at @p mbps.
+  [[nodiscard]] static int num_data_symbols(std::size_t n_bits, int mbps);
+
+  std::uint8_t seed() const { return seed_; }
+
+ private:
+  std::uint8_t seed_;
+};
+
+}  // namespace rsp::phy

@@ -1,0 +1,122 @@
+#include "src/phy/umts_tx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsp::phy {
+
+std::vector<CplxF> qpsk_map(const std::vector<std::uint8_t>& bits) {
+  if (bits.size() % 2 != 0) {
+    throw std::invalid_argument("qpsk_map: odd bit count");
+  }
+  const double a = 1.0 / std::sqrt(2.0);
+  std::vector<CplxF> out;
+  out.reserve(bits.size() / 2);
+  for (std::size_t i = 0; i < bits.size(); i += 2) {
+    out.push_back({a * (1 - 2 * static_cast<int>(bits[i] & 1u)),
+                   a * (1 - 2 * static_cast<int>(bits[i + 1] & 1u))});
+  }
+  return out;
+}
+
+std::vector<std::vector<CplxF>> sttd_encode(const std::vector<CplxF>& symbols) {
+  if (symbols.size() % 2 != 0) {
+    throw std::invalid_argument("sttd_encode: symbol count must be even");
+  }
+  std::vector<CplxF> a0 = symbols;
+  std::vector<CplxF> a1(symbols.size());
+  for (std::size_t t = 0; t < symbols.size(); t += 2) {
+    a1[t] = -std::conj(symbols[t + 1]);
+    a1[t + 1] = std::conj(symbols[t]);
+  }
+  return {std::move(a0), std::move(a1)};
+}
+
+UmtsDownlinkTx::UmtsDownlinkTx(BasestationConfig cfg)
+    : cfg_(std::move(cfg)), scrambler_(cfg_.scrambling_code) {
+  for (const auto& ch : cfg_.channels) {
+    if (!dedhw::ovsf_valid(ch.sf, ch.code_index) ||
+        ch.sf < dedhw::kMinSpreadingFactor) {
+      throw std::invalid_argument("UmtsDownlinkTx: invalid OVSF code");
+    }
+    if (ch.bits.empty() || ch.bits.size() % 2 != 0) {
+      throw std::invalid_argument("UmtsDownlinkTx: channel needs even bits");
+    }
+    diversity_ = diversity_ || ch.sttd;
+  }
+  symbols_.resize(cfg_.channels.size());
+}
+
+void UmtsDownlinkTx::reset() {
+  scrambler_.reset();
+  chip_pos_ = 0;
+  for (auto& s : symbols_) s.clear();
+}
+
+std::vector<std::vector<CplxF>> UmtsDownlinkTx::generate(int n_chips) {
+  const int n_ant = num_antennas();
+  std::vector<std::vector<CplxF>> out(
+      static_cast<std::size_t>(n_ant),
+      std::vector<CplxF>(static_cast<std::size_t>(n_chips), CplxF{0, 0}));
+  const double cpich_a = cfg_.cpich_gain / std::sqrt(2.0);
+
+  for (int i = 0; i < n_chips; ++i) {
+    const long long p = chip_pos_ + i;
+    const CplxI code = scrambler_.next();
+    const CplxF c{static_cast<double>(code.re), static_cast<double>(code.im)};
+
+    for (int a = 0; a < n_ant; ++a) {
+      CplxF sum{0.0, 0.0};
+      // CPICH: antenna 0 transmits A on every chip; the diversity
+      // antenna uses an alternating-sign pilot pattern per 256-chip
+      // symbol (simplified TS 25.211 diversity CPICH).
+      if (cfg_.cpich_gain > 0.0) {
+        const long long sym = p / kCpichSf;
+        const double sign = (a == 0) ? 1.0 : ((sym % 2 == 0) ? 1.0 : -1.0);
+        sum += CplxF{cpich_a * sign, cpich_a * sign};
+      }
+      for (std::size_t ch = 0; ch < cfg_.channels.size(); ++ch) {
+        const auto& dpch = cfg_.channels[ch];
+        const auto m = static_cast<std::size_t>(p / dpch.sf);
+        // Extend the symbol stream on demand (bits repeat cyclically).
+        while (symbols_[ch].size() <= m + 1) {
+          const std::size_t bi = (2 * symbols_[ch].size()) % dpch.bits.size();
+          const double q = 1.0 / std::sqrt(2.0);
+          symbols_[ch].push_back(
+              {q * (1 - 2 * static_cast<int>(dpch.bits[bi] & 1u)),
+               q * (1 - 2 * static_cast<int>(dpch.bits[bi + 1] & 1u))});
+        }
+        CplxF s;
+        if (a == 0 || !dpch.sttd) {
+          if (a == 1) continue;  // non-STTD channels transmit on antenna 0
+          s = symbols_[ch][m];
+        } else {
+          // STTD antenna 1: (-s2*, s1*) per symbol pair.
+          s = (m % 2 == 0) ? -std::conj(symbols_[ch][m + 1])
+                           : std::conj(symbols_[ch][m - 1]);
+        }
+        const int chip = dedhw::ovsf_chip(dpch.sf, dpch.code_index,
+                                          static_cast<int>(p % dpch.sf));
+        sum += dpch.gain * static_cast<double>(chip) * s;
+      }
+      out[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] =
+          cfg_.gain * c * sum;
+    }
+  }
+  chip_pos_ += n_chips;
+  return out;
+}
+
+std::vector<CplxF> combine_basestations(
+    const std::vector<std::vector<CplxF>>& streams) {
+  std::size_t n = 0;
+  for (const auto& s : streams) n = std::max(n, s.size());
+  std::vector<CplxF> out(n, CplxF{0.0, 0.0});
+  for (const auto& s : streams) {
+    for (std::size_t i = 0; i < s.size(); ++i) out[i] += s[i];
+  }
+  return out;
+}
+
+}  // namespace rsp::phy

@@ -1,0 +1,83 @@
+// UMTS/W-CDMA downlink transmitter: the synthetic basestation(s) whose
+// composite signal the rake receiver detects.  Supports the paper's
+// soft-handover scenario ("up to six basestations, with the reception
+// of three multipaths per basestation", Section 3.1): each basestation
+// has its own scrambling code, a common pilot channel (CPICH) for path
+// search / channel estimation, and dedicated channels (DPCH) with
+// spreading factors 4..512, optionally STTD-encoded over two antennas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dedhw/ovsf.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::phy {
+
+/// One dedicated physical channel.
+struct DpchConfig {
+  int sf = 128;                     ///< spreading factor 4..512
+  int code_index = 1;               ///< OVSF code k (0 reserved for CPICH tree)
+  double gain = 1.0;                ///< linear amplitude
+  bool sttd = false;                ///< space-time transmit diversity
+  std::vector<std::uint8_t> bits;   ///< data bits (pairs -> QPSK symbols)
+};
+
+/// One basestation.
+struct BasestationConfig {
+  std::uint32_t scrambling_code = 0;
+  double gain = 1.0;
+  double cpich_gain = 0.5;          ///< pilot amplitude (0 disables CPICH)
+  std::vector<DpchConfig> channels;
+};
+
+/// CPICH parameters: SF 256, code 0, all-ones QPSK symbol A = (1+j)/sqrt(2).
+inline constexpr int kCpichSf = 256;
+
+/// QPSK mapping used on the downlink: bit pair (b0,b1) ->
+/// ((1-2 b0) + j (1-2 b1)) / sqrt(2).
+[[nodiscard]] std::vector<CplxF> qpsk_map(const std::vector<std::uint8_t>& bits);
+
+/// STTD encode a symbol stream: returns the two antenna streams
+/// (antenna 0 = s1, s2, ...; antenna 1 = -s2*, s1*, ...), paper §3.1.
+[[nodiscard]] std::vector<std::vector<CplxF>> sttd_encode(
+    const std::vector<CplxF>& symbols);
+
+class UmtsDownlinkTx {
+ public:
+  explicit UmtsDownlinkTx(BasestationConfig cfg);
+
+  /// True if any channel uses STTD (two antenna streams).
+  [[nodiscard]] bool diversity() const { return diversity_; }
+  [[nodiscard]] int num_antennas() const { return diversity_ ? 2 : 1; }
+
+  /// Generate @p n_chips of the scrambled composite downlink, one
+  /// vector per antenna.  Consecutive calls continue the stream.
+  [[nodiscard]] std::vector<std::vector<CplxF>> generate(int n_chips);
+
+  /// Restart from chip 0 / frame boundary.
+  void reset();
+
+  const BasestationConfig& config() const { return cfg_; }
+
+  /// Symbols actually transmitted on channel @p ch (for BER checks).
+  [[nodiscard]] const std::vector<CplxF>& channel_symbols(int ch) const {
+    return symbols_[static_cast<std::size_t>(ch)];
+  }
+
+ private:
+  BasestationConfig cfg_;
+  bool diversity_ = false;
+  dedhw::UmtsScrambler scrambler_;
+  long long chip_pos_ = 0;
+  std::vector<std::vector<CplxF>> symbols_;  // per channel
+};
+
+/// Sum per-antenna chip streams of several basestations (each already
+/// scaled by its gain).
+[[nodiscard]] std::vector<CplxF> combine_basestations(
+    const std::vector<std::vector<CplxF>>& streams);
+
+}  // namespace rsp::phy

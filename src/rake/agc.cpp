@@ -1,0 +1,27 @@
+#include "src/rake/agc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsp::rake {
+
+double Agc::scale_for(const std::vector<CplxF>& window) const {
+  if (window.empty()) return target_;
+  double power = 0.0;
+  for (const auto& s : window) power += std::norm(s);
+  // rms per complex sample; per-rail rms is that / sqrt(2).
+  const double rms =
+      std::sqrt(power / static_cast<double>(window.size()) / 2.0);
+  if (rms < 1e-12) return target_;
+  return target_ / rms;
+}
+
+double Agc::scale_for_prefix(const std::vector<CplxF>& rx,
+                             std::size_t n) const {
+  const std::size_t take = std::min(n, rx.size());
+  return scale_for(std::vector<CplxF>(rx.begin(),
+                                      rx.begin() +
+                                          static_cast<std::ptrdiff_t>(take)));
+}
+
+}  // namespace rsp::rake

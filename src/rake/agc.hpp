@@ -1,0 +1,35 @@
+// Digital AGC in front of the 12-bit quantizer.
+//
+// The paper's datapath assumes "12-bits for I and Q each"; keeping the
+// signal in that window across the huge dynamic range of a mobile
+// channel is the A/D front end's job.  This block estimates the rms
+// input level over a window and returns the quantizer scale that puts
+// the signal at a configurable backoff below full scale.
+#pragma once
+
+#include <vector>
+
+#include "src/common/cplx.hpp"
+
+namespace rsp::rake {
+
+class Agc {
+ public:
+  /// @param target_rms_lsb desired rms level in quantizer LSBs
+  ///        (full scale is 2047; ~256 leaves 18 dB of crest headroom)
+  explicit Agc(double target_rms_lsb = 256.0) : target_(target_rms_lsb) {}
+
+  /// Scale factor for quantize_chips() given a measurement window.
+  [[nodiscard]] double scale_for(const std::vector<CplxF>& window) const;
+
+  /// Convenience: measure on a leading prefix of @p rx.
+  [[nodiscard]] double scale_for_prefix(const std::vector<CplxF>& rx,
+                                        std::size_t n) const;
+
+  [[nodiscard]] double target_rms_lsb() const { return target_; }
+
+ private:
+  double target_;
+};
+
+}  // namespace rsp::rake

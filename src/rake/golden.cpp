@@ -1,0 +1,157 @@
+#include "src/rake/golden.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/word.hpp"
+
+namespace rsp::rake {
+
+std::array<std::int32_t, 4> descramble_sel4_table() {
+  std::array<std::int32_t, 4> t{};
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    const CplxI c{1 - 2 * static_cast<int>(b & 1u),
+                  1 - 2 * static_cast<int>((b >> 1) & 1u)};
+    t[b] = pack_cplx(c.conj());
+  }
+  return t;
+}
+
+CplxI descramble_chip(CplxI r, std::uint8_t code2) {
+  const CplxI cc = unpack_cplx(descramble_sel4_table()[code2 & 3u]);
+  const CplxI p = r * cc;
+  return sat_cplx(shr_round(p, kDescrambleShift), kHalfBits);
+}
+
+std::vector<CplxI> descramble(const std::vector<CplxI>& chips,
+                              const std::vector<std::uint8_t>& code2) {
+  if (chips.size() > code2.size()) {
+    throw std::invalid_argument("descramble: code stream too short");
+  }
+  std::vector<CplxI> out(chips.size());
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    out[i] = descramble_chip(chips[i], code2[i]);
+  }
+  return out;
+}
+
+std::vector<CplxI> despread(const std::vector<CplxI>& chips, int sf,
+                            int code_index) {
+  if (!dedhw::ovsf_valid(sf, code_index)) {
+    throw std::invalid_argument("despread: invalid OVSF code");
+  }
+  const int shift = despread_shift(sf);
+  std::vector<CplxI> out;
+  out.reserve(chips.size() / static_cast<std::size_t>(sf));
+  long long acc_re = 0;
+  long long acc_im = 0;
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const int pos = static_cast<int>(i % static_cast<std::size_t>(sf));
+    const int c = dedhw::ovsf_chip(sf, code_index, pos);
+    acc_re += c * chips[i].re;
+    acc_im += c * chips[i].im;
+    if (pos == sf - 1) {
+      // kCAccum dump: 31-bit clamp, rounded shift, 12-bit saturate.
+      const CplxI sym{
+          saturate(shr_round(static_cast<std::int32_t>(saturate(acc_re, 31)),
+                             shift),
+                   kHalfBits),
+          saturate(shr_round(static_cast<std::int32_t>(saturate(acc_im, 31)),
+                             shift),
+                   kHalfBits)};
+      out.push_back(sym);
+      acc_re = 0;
+      acc_im = 0;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// (a * b) >> kWeightFrac, rounded, 12-bit saturated (kCMulShr, shift 10).
+CplxI cmul_w(CplxI a, CplxI b) {
+  return sat_cplx(shr_round(a * b, kWeightFrac), kHalfBits);
+}
+
+}  // namespace
+
+std::vector<CplxI> channel_correct(const std::vector<CplxI>& symbols,
+                                   const CorrectorWeights& w) {
+  std::vector<CplxI> out;
+  if (!w.sttd) {
+    out.reserve(symbols.size());
+    for (const auto& r : symbols) out.push_back(cmul_w(r, w.conj_h1));
+    return out;
+  }
+  if (symbols.size() % 2 != 0) {
+    throw std::invalid_argument("channel_correct: STTD needs symbol pairs");
+  }
+  out.resize(symbols.size());
+  const CplxI neg_h2 = sat_cplx({-w.h2.re, -w.h2.im}, kHalfBits);
+  for (std::size_t t = 0; t < symbols.size(); t += 2) {
+    const CplxI a1 = cmul_w(symbols[t], w.conj_h1);
+    const CplxI a2 = cmul_w(symbols[t + 1], w.conj_h1);
+    const CplxI b1 = cmul_w(symbols[t].conj(), neg_h2);
+    const CplxI b2 = cmul_w(symbols[t + 1].conj(), w.h2);
+    out[t] = sat_cplx(a1 + b2, kHalfBits);
+    out[t + 1] = sat_cplx(a2 + b1, kHalfBits);
+  }
+  return out;
+}
+
+std::vector<CplxI> combine(const std::vector<std::vector<CplxI>>& fingers) {
+  if (fingers.empty()) return {};
+  const std::size_t n = fingers.front().size();
+  for (const auto& f : fingers) {
+    if (f.size() != n) {
+      throw std::invalid_argument("combine: finger length mismatch");
+    }
+  }
+  // Full-precision accumulation with one final 12-bit saturation —
+  // the kCAccum semantics of the mapped combiner.
+  std::vector<CplxI> out(n, CplxI{0, 0});
+  for (std::size_t i = 0; i < n; ++i) {
+    long long re = 0;
+    long long im = 0;
+    for (const auto& f : fingers) {
+      re += f[i].re;
+      im += f[i].im;
+    }
+    out[i] = {saturate(re, kHalfBits), saturate(im, kHalfBits)};
+  }
+  return out;
+}
+
+std::vector<CplxI> quantize_chips(const std::vector<CplxF>& x, double scale) {
+  std::vector<CplxI> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = {saturate(static_cast<std::int64_t>(
+                           std::lround(x[i].real() * scale)),
+                       kHalfBits),
+              saturate(static_cast<std::int64_t>(
+                           std::lround(x[i].imag() * scale)),
+                       kHalfBits)};
+  }
+  return out;
+}
+
+CplxI quantize_weight(CplxF h) {
+  const double fs = static_cast<double>(1 << kWeightFrac);
+  return {saturate(static_cast<std::int64_t>(std::lround(h.real() * fs)),
+                   kHalfBits),
+          saturate(static_cast<std::int64_t>(std::lround(h.imag() * fs)),
+                   kHalfBits)};
+}
+
+std::vector<std::uint8_t> qpsk_slice(const std::vector<CplxI>& symbols) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * 2);
+  for (const auto& s : symbols) {
+    bits.push_back(s.re >= 0 ? 0 : 1);
+    bits.push_back(s.im >= 0 ? 0 : 1);
+  }
+  return bits;
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,91 @@
+// Bit-true golden reference of the rake finger datapath (paper §3.1).
+//
+// Every function here performs exactly the operation of the
+// corresponding array-mapped unit in Figures 5-7 (packed 12+12 complex
+// arithmetic with the same shifts and saturation), so the mapped
+// configurations can be verified bit-for-bit against this chain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dedhw/ovsf.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::rake {
+
+/// Post-descrambler shift: r * conj(c) with c = +-1 +- j doubles the
+/// magnitude (|c|^2 = 2), so the product is halved back into 12 bits.
+inline constexpr int kDescrambleShift = 1;
+
+/// Q-format of channel weights fed to the corrector (Q10: +-2.0 range).
+inline constexpr int kWeightFrac = 10;
+
+/// The +-1 +- j constant selected by a 2-bit scrambling code word,
+/// conjugated for descrambling, packed for the SEL4 table of Figure 5.
+/// bit0 = I, bit1 = Q; code value (1-2*I) + j(1-2*Q), conjugated.
+[[nodiscard]] std::array<std::int32_t, 4> descramble_sel4_table();
+
+/// Descramble one chip: (r * conj(c(code2))) >> 1, rounded, saturated
+/// to 12 bits per component (one kSel4 + one kCMulShr ALU).
+[[nodiscard]] CplxI descramble_chip(CplxI r, std::uint8_t code2);
+
+/// Descramble a chip sequence against a scrambling code stream.
+[[nodiscard]] std::vector<CplxI> descramble(
+    const std::vector<CplxI>& chips, const std::vector<std::uint8_t>& code2);
+
+/// Despreader output shift for spreading factor @p sf: keeps the
+/// accumulated symbol at ~4x chip amplitude (2 bits of processing-gain
+/// headroom) while fitting 12 bits.
+[[nodiscard]] constexpr int despread_shift(int sf) {
+  int log2sf = 0;
+  for (int s = sf; s > 1; s >>= 1) ++log2sf;
+  return log2sf > 2 ? log2sf - 2 : 0;
+}
+
+/// Despread: multiply by the +-1 OVSF chips and accumulate over @p sf
+/// chips; each symbol is the accumulator >> despread_shift(sf),
+/// rounded, saturated to 12 bits (kCMulShr + kCAccum + counter).
+[[nodiscard]] std::vector<CplxI> despread(const std::vector<CplxI>& chips,
+                                          int sf, int code_index);
+
+/// Channel-correct (and STTD-decode) a despread symbol stream.
+///
+/// Weights are packed Q10 values.  Non-diversity MRC: y_t =
+/// (r_t * w) >> 10 with w = conj(h1).  STTD (Figure 7): symbols arrive
+/// in pairs (r1, r2) and
+///    s1 = (r1 * conj(h1))>>10 + (conj(r2) * h2)>>10
+///    s2 = (r2 * conj(h1))>>10 + (conj(r1) * -h2)>>10
+/// each add saturating at 12 bits — exactly the DUP/CCONJ/CMULS/
+/// swap/CADD pipeline of the mapped configuration.
+struct CorrectorWeights {
+  CplxI conj_h1;      ///< Q10, conj of the antenna-1 coefficient
+  CplxI h2;           ///< Q10 antenna-2 coefficient (ignored unless sttd)
+  bool sttd = false;
+};
+
+[[nodiscard]] std::vector<CplxI> channel_correct(
+    const std::vector<CplxI>& symbols, const CorrectorWeights& w);
+
+/// Maximum-ratio combining across fingers: saturating 12-bit complex
+/// sum of per-finger corrected symbols (vectors must be equal length).
+[[nodiscard]] std::vector<CplxI> combine(
+    const std::vector<std::vector<CplxI>>& fingers);
+
+/// Quantize float chips to the 12-bit I/Q input format ("Symbol
+/// Encoding: 12-bits for I and Q each"), with @p scale mapping unit
+/// amplitude to @p scale LSBs.
+[[nodiscard]] std::vector<CplxI> quantize_chips(const std::vector<CplxF>& x,
+                                                double scale = 256.0);
+
+/// Quantize a float channel coefficient to packed Q10.
+[[nodiscard]] CplxI quantize_weight(CplxF h);
+
+/// Hard QPSK decisions from corrected symbols: bit pair per symbol
+/// (b0 from I sign, b1 from Q sign).
+[[nodiscard]] std::vector<std::uint8_t> qpsk_slice(
+    const std::vector<CplxI>& symbols);
+
+}  // namespace rsp::rake

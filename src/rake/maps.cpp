@@ -1,0 +1,206 @@
+#include "src/rake/maps.hpp"
+
+#include "src/dedhw/ovsf.hpp"
+#include "src/xpp/builder.hpp"
+
+namespace rsp::rake::maps {
+
+using xpp::ConfigBuilder;
+using xpp::Configuration;
+using xpp::Opcode;
+using xpp::RamMode;
+using xpp::RamParams;
+using xpp::Word;
+
+std::vector<Word> pack_stream(const std::vector<CplxI>& v) {
+  std::vector<Word> out;
+  out.reserve(v.size());
+  for (const auto& z : v) out.push_back(pack_cplx(z));
+  return out;
+}
+
+std::vector<CplxI> unpack_stream(const std::vector<Word>& v) {
+  std::vector<CplxI> out;
+  out.reserve(v.size());
+  for (const auto w : v) out.push_back(unpack_cplx(w));
+  return out;
+}
+
+Configuration descrambler_config() {
+  ConfigBuilder b("fig5_descrambler");
+  const auto data = b.input("data");
+  const auto code = b.input("code");
+  // "packed constants" multiplexer: 2-bit code word selects conj(+-1+-j).
+  const auto tbl = descramble_sel4_table();
+  const auto mux = b.sel4("codemux", {tbl[0], tbl[1], tbl[2], tbl[3]});
+  // Complex multiplication with the >>1 rescaling (|code|^2 = 2).
+  const auto mul = b.alu_shift("cmul", Opcode::kCMulShr, kDescrambleShift);
+  const auto out = b.output("out");
+  b.connect(code.out(0), mux.in(0));
+  b.connect(data.out(0), mul.in(0));
+  b.connect(mux.out(0), mul.in(1));
+  b.connect(mul.out(0), out.in(0));
+  return b.build();
+}
+
+Configuration despreader_config(int sf, int code_index) {
+  ConfigBuilder b("fig6_despreader");
+  const auto data = b.input("data");
+  // "Fifo with OVSF codes": circular LUT streaming the +-1 chips
+  // (packed as real values) in step with the data.
+  std::vector<Word> ovsf;
+  ovsf.reserve(static_cast<std::size_t>(sf));
+  for (int i = 0; i < sf; ++i) {
+    ovsf.push_back(pack_cplx({dedhw::ovsf_chip(sf, code_index, i), 0}));
+  }
+  RamParams lut;
+  lut.mode = RamMode::kCircularLut;
+  lut.capacity = static_cast<int>(ovsf.size());
+  lut.preload = std::move(ovsf);
+  const auto codes = b.ram("ovsf_fifo", std::move(lut));
+  // "Complex Multiplication" by the +-1 chip.
+  const auto mul = b.alu_shift("cmul", Opcode::kCMulShr, 0);
+  // "Counter" + "Comparator (result shift out)": the counter's wrap
+  // event is the dump strobe of the complex accumulator.
+  const auto cnt = b.counter("cnt", {0, 1, sf});
+  const auto acc = b.alu_shift("cacc", Opcode::kCAccum, despread_shift(sf));
+  const auto out = b.output("out");
+  b.connect(data.out(0), mul.in(0));
+  b.connect(codes.out(0), mul.in(1));
+  b.connect(mul.out(0), acc.in(0));
+  b.connect(cnt.out(1), acc.in(1));
+  b.connect(acc.out(0), out.in(0));
+  return b.build();
+}
+
+Configuration chancorr_config(const CorrectorWeights& w) {
+  ConfigBuilder b("fig7_chancorr");
+  const auto sym = b.input("data");
+  const auto out = b.output("out");
+
+  if (!w.sttd) {
+    // Plain MRC weighting: one weight FIFO entry, one complex mult.
+    RamParams wts;
+    wts.mode = RamMode::kCircularLut;
+    wts.capacity = 1;
+    wts.preload = {pack_cplx(w.conj_h1)};
+    const auto wfifo = b.ram("weights", std::move(wts));
+    const auto mul = b.alu_shift("cmul", Opcode::kCMulShr, kWeightFrac);
+    b.connect(sym.out(0), mul.in(0));
+    b.connect(wfifo.out(0), mul.in(1));
+    b.connect(mul.out(0), out.in(0));
+    return b.build();
+  }
+
+  // STTD decode (Figure 7): two weighted branches; the conjugated
+  // branch is pair-swapped before the final addition.
+  const auto dup = b.alu("dup", Opcode::kDup);
+  b.connect(sym.out(0), dup.in(0));
+
+  RamParams wa;
+  wa.mode = RamMode::kCircularLut;
+  wa.capacity = 1;
+  wa.preload = {pack_cplx(w.conj_h1)};
+  const auto wts_a = b.ram("weights_a", std::move(wa));
+  const auto mul_a = b.alu_shift("cmul_a", Opcode::kCMulShr, kWeightFrac);
+  b.connect(dup.out(0), mul_a.in(0));
+  b.connect(wts_a.out(0), mul_a.in(1));
+
+  const auto conj = b.alu("conj", Opcode::kCConj);
+  b.connect(dup.out(1), conj.in(0));
+  const CplxI neg_h2 = sat_cplx({-w.h2.re, -w.h2.im}, kHalfBits);
+  RamParams wb;
+  wb.mode = RamMode::kCircularLut;
+  wb.capacity = 2;
+  wb.preload = {pack_cplx(neg_h2), pack_cplx(w.h2)};
+  const auto wts_b = b.ram("weights_b", std::move(wb));
+  const auto mul_b = b.alu_shift("cmul_b", Opcode::kCMulShr, kWeightFrac);
+  b.connect(conj.out(0), mul_b.in(0));
+  b.connect(wts_b.out(0), mul_b.in(1));
+
+  // Pair swap of the B branch: demux even/odd, merge odd-first ("Swap").
+  const auto cnt = b.counter("pair_cnt", {0, 1, 2});
+  const auto demux = b.alu("demux", Opcode::kDemux);
+  b.connect(cnt.out(0), demux.in(0));
+  b.connect(mul_b.out(0), demux.in(1));
+  const auto merge = b.alu("swap_merge", Opcode::kMergeAlt);
+  b.connect(demux.out(1), merge.in(0));  // b2 first
+  b.connect(demux.out(0), merge.in(1));  // then b1
+
+  const auto add = b.alu("cadd", Opcode::kCAdd);
+  b.connect(mul_a.out(0), add.in(0));
+  b.connect(merge.out(0), add.in(1));
+  b.connect(add.out(0), out.in(0));
+  return b.build();
+}
+
+Configuration combiner_config(int num_fingers) {
+  ConfigBuilder b("fig7_combiner");
+  const auto data = b.input("data");
+  const auto cnt = b.counter("cnt", {0, 1, num_fingers});
+  const auto acc = b.alu_shift("cacc", Opcode::kCAccum, 0);
+  const auto out = b.output("out");
+  b.connect(data.out(0), acc.in(0));
+  b.connect(cnt.out(1), acc.in(1));
+  b.connect(acc.out(0), out.in(0));
+  return b.build();
+}
+
+namespace {
+
+std::vector<CplxI> run_simple(xpp::ConfigurationManager& mgr,
+                              const Configuration& cfg,
+                              std::map<std::string, std::vector<Word>> inputs,
+                              std::size_t expected_out,
+                              xpp::RunResult* stats) {
+  auto r = xpp::run_config(mgr, cfg, inputs, {{"out", expected_out}});
+  auto out = unpack_stream(r.outputs.at("out"));
+  if (stats != nullptr) *stats = std::move(r);
+  return out;
+}
+
+}  // namespace
+
+std::vector<CplxI> run_descrambler(xpp::ConfigurationManager& mgr,
+                                   const std::vector<CplxI>& chips,
+                                   const std::vector<std::uint8_t>& code2,
+                                   xpp::RunResult* stats) {
+  std::vector<Word> code_words;
+  code_words.reserve(code2.size());
+  for (const auto c : code2) code_words.push_back(c & 3);
+  return run_simple(mgr, descrambler_config(),
+                    {{"data", pack_stream(chips)}, {"code", code_words}},
+                    chips.size(), stats);
+}
+
+std::vector<CplxI> run_despreader(xpp::ConfigurationManager& mgr,
+                                  const std::vector<CplxI>& chips, int sf,
+                                  int code_index, xpp::RunResult* stats) {
+  return run_simple(mgr, despreader_config(sf, code_index),
+                    {{"data", pack_stream(chips)}},
+                    chips.size() / static_cast<std::size_t>(sf), stats);
+}
+
+std::vector<CplxI> run_chancorr(xpp::ConfigurationManager& mgr,
+                                const std::vector<CplxI>& symbols,
+                                const CorrectorWeights& w,
+                                xpp::RunResult* stats) {
+  return run_simple(mgr, chancorr_config(w), {{"data", pack_stream(symbols)}},
+                    symbols.size(), stats);
+}
+
+std::vector<CplxI> run_combiner(xpp::ConfigurationManager& mgr,
+                                const std::vector<std::vector<CplxI>>& fingers,
+                                xpp::RunResult* stats) {
+  // Interleave finger streams: f0[0], f1[0], ..., f0[1], f1[1], ...
+  const std::size_t n = fingers.front().size();
+  std::vector<CplxI> tdm;
+  tdm.reserve(n * fingers.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& f : fingers) tdm.push_back(f[i]);
+  }
+  return run_simple(mgr, combiner_config(static_cast<int>(fingers.size())),
+                    {{"data", pack_stream(tdm)}}, n, stats);
+}
+
+}  // namespace rsp::rake::maps

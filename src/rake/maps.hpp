@@ -1,0 +1,56 @@
+// Array-mapped rake datapath configurations (paper Figures 5-7).
+//
+// Each builder returns a Configuration whose behaviour is bit-identical
+// to the golden chain in golden.hpp; the *_run helpers stream data
+// through a ConfigurationManager and return the produced words.
+//
+// I/O object names: inputs "data" (packed 12+12 chips) and, for the
+// descrambler, "code" (2-bit scrambling words); output "out".
+#pragma once
+
+#include <vector>
+
+#include "src/rake/golden.hpp"
+#include "src/xpp/configuration.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::rake::maps {
+
+/// Figure 5: scrambling-code multiplexer (2-bit -> conj(+-1+-j) packed
+/// constants) feeding a complex multiplier.
+[[nodiscard]] xpp::Configuration descrambler_config();
+
+/// Figure 6: OVSF chips from a circular LUT, complex multiplication,
+/// complex accumulation with counter/comparator-driven dump.
+[[nodiscard]] xpp::Configuration despreader_config(int sf, int code_index);
+
+/// Figure 7: channel correction (+ STTD decode) for one finger.  The
+/// channel weights live in preloaded FIFOs exactly as in the figure.
+[[nodiscard]] xpp::Configuration chancorr_config(const CorrectorWeights& w);
+
+/// Maximum-ratio combining of @p num_fingers time-multiplexed streams.
+[[nodiscard]] xpp::Configuration combiner_config(int num_fingers);
+
+/// Run helpers (load, stream, collect, release).
+[[nodiscard]] std::vector<CplxI> run_descrambler(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& chips,
+    const std::vector<std::uint8_t>& code2, xpp::RunResult* stats = nullptr);
+
+[[nodiscard]] std::vector<CplxI> run_despreader(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& chips, int sf,
+    int code_index, xpp::RunResult* stats = nullptr);
+
+[[nodiscard]] std::vector<CplxI> run_chancorr(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& symbols,
+    const CorrectorWeights& w, xpp::RunResult* stats = nullptr);
+
+[[nodiscard]] std::vector<CplxI> run_combiner(
+    xpp::ConfigurationManager& mgr,
+    const std::vector<std::vector<CplxI>>& fingers,
+    xpp::RunResult* stats = nullptr);
+
+/// Pack/unpack helpers shared with the OFDM maps.
+[[nodiscard]] std::vector<xpp::Word> pack_stream(const std::vector<CplxI>& v);
+[[nodiscard]] std::vector<CplxI> unpack_stream(const std::vector<xpp::Word>& v);
+
+}  // namespace rsp::rake::maps

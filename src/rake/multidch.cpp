@@ -1,0 +1,44 @@
+#include "src/rake/multidch.hpp"
+
+#include <stdexcept>
+
+namespace rsp::rake {
+
+MultiDchReceiver::MultiDchReceiver(RakeConfig base,
+                                   std::vector<DchParams> channels)
+    : base_(std::move(base)), channels_(std::move(channels)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("MultiDchReceiver: no channels");
+  }
+  for (const auto& ch : channels_) {
+    if (!dedhw::ovsf_valid(ch.sf, ch.code_index)) {
+      throw std::invalid_argument("MultiDchReceiver: invalid OVSF code");
+    }
+  }
+}
+
+MultiDchReceiver::Output MultiDchReceiver::receive(
+    const std::vector<CplxF>& rx, dsp::DspModel* dsp) const {
+  // Acquisition is channel-independent (CPICH-based): run it once.
+  RakeConfig acq = base_;
+  acq.sf = channels_.front().sf;
+  acq.code_index = channels_.front().code_index;
+  acq.sttd = channels_.front().sttd;
+  RakeReceiver acquirer(acq);
+  const auto fingers = acquirer.acquire(rx, dsp);
+
+  Output out;
+  out.fingers = fingers;
+  out.per_channel.reserve(channels_.size());
+  for (const auto& ch : channels_) {
+    RakeConfig cfg = base_;
+    cfg.sf = ch.sf;
+    cfg.code_index = ch.code_index;
+    cfg.sttd = ch.sttd;
+    RakeReceiver receiver(cfg);
+    out.per_channel.push_back(receiver.receive_with_fingers(rx, fingers));
+  }
+  return out;
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,52 @@
+// Multi-DCH reception: several dedicated channels per basestation
+// share one acquisition (Table 1's 2-DCH scenarios).
+//
+// A rake finger exists per (basestation, path, channel); the search
+// and channel estimation are common per (basestation, path), so the
+// receiver acquires once and despreads each channel's OVSF code
+// against the same aligned chip stream — exactly the extra
+// multiplexing contexts of the paper's single physical finger.
+#pragma once
+
+#include <vector>
+
+#include "src/rake/receiver.hpp"
+
+namespace rsp::rake {
+
+/// Per-channel despreading parameters.
+struct DchParams {
+  int sf = 128;
+  int code_index = 1;
+  bool sttd = false;
+};
+
+class MultiDchReceiver {
+ public:
+  /// @p base supplies basestations, search and pilot parameters; its
+  /// own sf/code_index are ignored.
+  MultiDchReceiver(RakeConfig base, std::vector<DchParams> channels);
+
+  struct Output {
+    std::vector<RakeOutput> per_channel;   ///< one RakeOutput per DCH
+    std::vector<FingerInfo> fingers;       ///< shared finger assignment
+    /// Virtual fingers the scenario needs (fingers x channels) — the
+    /// Table 1 accounting.
+    [[nodiscard]] int virtual_fingers() const {
+      return static_cast<int>(fingers.size() * per_channel.size());
+    }
+  };
+
+  [[nodiscard]] Output receive(const std::vector<CplxF>& rx,
+                               dsp::DspModel* dsp = nullptr) const;
+
+  [[nodiscard]] const std::vector<DchParams>& channels() const {
+    return channels_;
+  }
+
+ private:
+  RakeConfig base_;
+  std::vector<DchParams> channels_;
+};
+
+}  // namespace rsp::rake

@@ -1,0 +1,157 @@
+#include "src/rake/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::rake {
+
+RakeReceiver::RakeReceiver(RakeConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.scrambling_codes.empty()) {
+    throw std::invalid_argument("RakeReceiver: no basestations configured");
+  }
+  if (!dedhw::ovsf_valid(cfg_.sf, cfg_.code_index)) {
+    throw std::invalid_argument("RakeReceiver: invalid OVSF code");
+  }
+}
+
+std::vector<CplxI> RakeReceiver::finger_despread(
+    const std::vector<CplxI>& rx_q, std::uint32_t scrambling_code,
+    int delay) const {
+  // Aligned chip stream for this finger.
+  const auto n_avail =
+      static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+          0, static_cast<std::ptrdiff_t>(rx_q.size()) - delay));
+  const std::size_t n_chips =
+      n_avail / static_cast<std::size_t>(cfg_.sf) *
+      static_cast<std::size_t>(cfg_.sf);
+  std::vector<CplxI> aligned(rx_q.begin() + delay,
+                             rx_q.begin() + delay +
+                                 static_cast<std::ptrdiff_t>(n_chips));
+  // Scrambling code stream from the dedicated-hardware generator.
+  dedhw::UmtsScrambler scr(scrambling_code);
+  std::vector<std::uint8_t> code2(n_chips);
+  for (auto& c : code2) c = scr.next2();
+
+  const auto descrambled = descramble(aligned, code2);
+  return despread(descrambled, cfg_.sf, cfg_.code_index);
+}
+
+RakeOutput RakeReceiver::receive_with_fingers(
+    const std::vector<CplxF>& rx,
+    const std::vector<FingerInfo>& fingers) const {
+  const auto rx_q = quantize_chips(rx, cfg_.quant_scale);
+
+  RakeOutput out;
+  out.fingers = fingers;
+  std::size_t min_symbols = static_cast<std::size_t>(-1);
+  for (const auto& f : fingers) {
+    auto symbols = finger_despread(
+        rx_q, cfg_.scrambling_codes[static_cast<std::size_t>(f.basestation)],
+        f.delay);
+    CorrectorWeights w;
+    w.conj_h1 = quantize_weight(std::conj(f.channel.h1));
+    w.h2 = quantize_weight(f.channel.h2);
+    w.sttd = cfg_.sttd;
+    if (w.sttd && symbols.size() % 2 != 0) symbols.pop_back();
+    out.per_finger.push_back(channel_correct(symbols, w));
+    min_symbols = std::min(min_symbols, out.per_finger.back().size());
+  }
+  if (out.per_finger.empty()) return out;
+  for (auto& f : out.per_finger) f.resize(min_symbols);
+  out.combined = combine(out.per_finger);
+  out.bits = qpsk_slice(out.combined);
+  return out;
+}
+
+std::vector<FingerInfo> RakeReceiver::acquire(const std::vector<CplxF>& rx,
+                                              dsp::DspModel* dsp) const {
+  std::vector<FingerInfo> fingers;
+  for (std::size_t bs = 0; bs < cfg_.scrambling_codes.size(); ++bs) {
+    PathSearcher searcher(cfg_.scrambling_codes[bs], cfg_.search);
+    const auto paths = searcher.search(rx, cfg_.paths_per_bs, dsp);
+    for (const auto& p : paths) {
+      FingerInfo f;
+      f.basestation = static_cast<int>(bs);
+      f.delay = p.delay;
+      f.energy = p.energy;
+      f.channel = estimate_channel(rx, cfg_.scrambling_codes[bs], p.delay,
+                                   cfg_.pilot_amplitude, cfg_.sttd,
+                                   /*n_chips=*/512, dsp);
+      fingers.push_back(f);
+    }
+  }
+  if (dsp != nullptr) {
+    // Control & synchronization bookkeeping per finger assignment.
+    dsp->charge("control_sync", dsp::DspOp::kAlu,
+                static_cast<long long>(fingers.size()) * 24);
+    dsp->charge("control_sync", dsp::DspOp::kBranch,
+                static_cast<long long>(fingers.size()) * 8);
+  }
+  return fingers;
+}
+
+RakeOutput RakeReceiver::receive(const std::vector<CplxF>& rx,
+                                 dsp::DspModel* dsp) const {
+  return receive_with_fingers(rx, acquire(rx, dsp));
+}
+
+RakeOutput RakeReceiver::receive_tracked(const std::vector<CplxF>& rx,
+                                         int block_chips,
+                                         dsp::DspModel* dsp) const {
+  const auto fingers = acquire(rx, dsp);
+  const auto rx_q = quantize_chips(rx, cfg_.quant_scale);
+
+  RakeOutput out;
+  out.fingers = fingers;
+  // Despreading is channel-independent: run the whole frame once per
+  // finger, then correct block-by-block with re-estimated weights.
+  int sym_per_block = std::max(1, block_chips / cfg_.sf);
+  if (cfg_.sttd && sym_per_block % 2 != 0) ++sym_per_block;
+
+  std::size_t min_symbols = static_cast<std::size_t>(-1);
+  std::vector<std::vector<CplxI>> despread_streams;
+  for (const auto& f : fingers) {
+    despread_streams.push_back(finger_despread(
+        rx_q, cfg_.scrambling_codes[static_cast<std::size_t>(f.basestation)],
+        f.delay));
+    min_symbols = std::min(min_symbols, despread_streams.back().size());
+  }
+  if (despread_streams.empty()) return out;
+  if (cfg_.sttd && min_symbols % 2 != 0) --min_symbols;
+
+  for (std::size_t fi = 0; fi < fingers.size(); ++fi) {
+    const auto& f = fingers[fi];
+    auto& symbols = despread_streams[fi];
+    symbols.resize(min_symbols);
+    std::vector<CplxI> corrected;
+    corrected.reserve(min_symbols);
+    for (std::size_t s0 = 0; s0 < min_symbols;
+         s0 += static_cast<std::size_t>(sym_per_block)) {
+      const std::size_t s1 =
+          std::min(min_symbols, s0 + static_cast<std::size_t>(sym_per_block));
+      const long long start_chip = static_cast<long long>(s0) * cfg_.sf;
+      const auto est = estimate_channel(
+          rx, cfg_.scrambling_codes[static_cast<std::size_t>(f.basestation)],
+          f.delay, cfg_.pilot_amplitude, cfg_.sttd, /*n_chips=*/512, dsp,
+          start_chip);
+      CorrectorWeights w;
+      w.conj_h1 = quantize_weight(std::conj(est.h1));
+      w.h2 = quantize_weight(est.h2);
+      w.sttd = cfg_.sttd;
+      const std::vector<CplxI> block(symbols.begin() +
+                                         static_cast<std::ptrdiff_t>(s0),
+                                     symbols.begin() +
+                                         static_cast<std::ptrdiff_t>(s1));
+      const auto cb = channel_correct(block, w);
+      corrected.insert(corrected.end(), cb.begin(), cb.end());
+    }
+    out.per_finger.push_back(std::move(corrected));
+  }
+  out.combined = combine(out.per_finger);
+  out.bits = qpsk_slice(out.combined);
+  return out;
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,89 @@
+// Full mobile-terminal rake receiver (paper §3.1): detection, tracking,
+// descrambling, despreading, channel correction and combination of
+// CDMA signals, including the soft-handover scenario ("up to six
+// basestations, with the reception of three multipaths per
+// basestation") and STTD decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dsp/dsp.hpp"
+#include "src/rake/golden.hpp"
+#include "src/rake/search.hpp"
+
+namespace rsp::rake {
+
+struct RakeConfig {
+  /// Scrambling codes of the basestations in the active set.
+  std::vector<std::uint32_t> scrambling_codes;
+  /// DCH parameters (one dedicated channel; the scenario bench scales
+  /// channel counts analytically via FingerScenario).
+  int sf = 128;
+  int code_index = 1;
+  bool sttd = false;
+  /// Paths combined per basestation.
+  int paths_per_bs = 3;
+  /// Known transmitted CPICH amplitude (signalled in a real network).
+  double pilot_amplitude = 0.5;
+  /// Input quantization: unit amplitude -> this many LSBs.
+  double quant_scale = 256.0;
+  SearchParams search;
+};
+
+/// One active finger after search + estimation.
+struct FingerInfo {
+  int basestation = 0;
+  int delay = 0;
+  ChannelEstimate channel;
+  double energy = 0.0;
+};
+
+struct RakeOutput {
+  std::vector<CplxI> combined;          ///< MRC-combined corrected symbols
+  std::vector<std::uint8_t> bits;       ///< hard QPSK decisions
+  std::vector<FingerInfo> fingers;      ///< active finger assignment
+  std::vector<std::vector<CplxI>> per_finger;  ///< corrected, per finger
+};
+
+class RakeReceiver {
+ public:
+  explicit RakeReceiver(RakeConfig cfg);
+
+  /// Run acquisition + reception over @p rx (chip-rate samples, frame-
+  /// aligned at index 0).  DSP-side tasks charge @p dsp when provided.
+  [[nodiscard]] RakeOutput receive(const std::vector<CplxF>& rx,
+                                   dsp::DspModel* dsp = nullptr) const;
+
+  /// Reception with externally supplied fingers (skips acquisition) —
+  /// used by the tracker loop and the mapped-configuration harness.
+  [[nodiscard]] RakeOutput receive_with_fingers(
+      const std::vector<CplxF>& rx, const std::vector<FingerInfo>& fingers)
+      const;
+
+  /// Reception with the continuously-running channel estimator: the
+  /// CPICH-based coefficients are re-estimated every @p block_chips
+  /// (the paper's estimator and tracker run throughout reception),
+  /// which keeps the corrector aligned under Doppler.
+  [[nodiscard]] RakeOutput receive_tracked(const std::vector<CplxF>& rx,
+                                           int block_chips = 2560,
+                                           dsp::DspModel* dsp = nullptr) const;
+
+  /// Acquisition only: path search + initial channel estimation.
+  [[nodiscard]] std::vector<FingerInfo> acquire(const std::vector<CplxF>& rx,
+                                                dsp::DspModel* dsp) const;
+
+  const RakeConfig& config() const { return cfg_; }
+
+  /// Single-finger datapath (bit-true): descramble + despread the
+  /// stream seen at @p delay for basestation @p bs.
+  [[nodiscard]] std::vector<CplxI> finger_despread(
+      const std::vector<CplxI>& rx_q, std::uint32_t scrambling_code,
+      int delay) const;
+
+ private:
+  RakeConfig cfg_;
+};
+
+}  // namespace rsp::rake

@@ -1,0 +1,17 @@
+#include "src/rake/scenario.hpp"
+
+namespace rsp::rake {
+
+std::vector<FingerScenario> table1_scenarios() {
+  std::vector<FingerScenario> out;
+  for (int dch : {1, 2}) {
+    for (int bs = 1; bs <= 6; ++bs) {
+      for (int mp = 1; mp <= 3; ++mp) {
+        out.push_back({bs, dch, mp});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,51 @@
+// Rake receiver finger scenarios (paper Table 1).
+//
+// "For this operational implementation, 18 (6x3) rake fingers for the
+// descrambling and despreading operations must be realized.  As the
+// UMTS/W-CDMA chip rate is 3.84 MHz, a single physical finger is
+// actually implemented...  The minimum operational frequency of the
+// single finger to accommodate this maximum scenario is thus
+// 18 x 3.84 MHz = 69.12 MHz."  (paper, Section 3.1)
+#pragma once
+
+#include <vector>
+
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::rake {
+
+/// Maximum virtual fingers the single physical finger time-multiplexes.
+inline constexpr int kMaxVirtualFingers = 18;
+/// Clock of the fully-loaded physical finger: 18 x 3.84 MHz.
+inline constexpr double kMaxFingerClockHz = kMaxVirtualFingers *
+                                            dedhw::kChipRateHz;
+
+/// One operating point of the soft-handover scenario matrix.
+struct FingerScenario {
+  int basestations = 1;  ///< simultaneous basestations (soft handover), 1..6
+  int channels = 1;      ///< dedicated channels (DCH) per basestation
+  int multipaths = 1;    ///< resolvable paths combined per basestation
+
+  /// Virtual fingers needed: one per (basestation, channel, path).
+  [[nodiscard]] constexpr int virtual_fingers() const {
+    return basestations * channels * multipaths;
+  }
+  /// Clock the single time-multiplexed physical finger must run at.
+  [[nodiscard]] constexpr double required_clock_hz() const {
+    return virtual_fingers() * dedhw::kChipRateHz;
+  }
+  /// Fits the implemented maximum (Table 1's shaded cells are the
+  /// scenarios that need the full 69.12 MHz).
+  [[nodiscard]] constexpr bool feasible() const {
+    return virtual_fingers() <= kMaxVirtualFingers;
+  }
+  [[nodiscard]] constexpr bool needs_full_clock() const {
+    return virtual_fingers() == kMaxVirtualFingers;
+  }
+};
+
+/// The full Table 1 matrix: basestations 1..6 x multipaths 1..3 for 1
+/// and 2 DCH configurations.
+[[nodiscard]] std::vector<FingerScenario> table1_scenarios();
+
+}  // namespace rsp::rake

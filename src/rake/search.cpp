@@ -1,0 +1,182 @@
+#include "src/rake/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::rake {
+namespace {
+
+/// CPICH pilot chip n (unit amplitude): code(n) * (1+j)/sqrt(2).
+std::vector<CplxF> pilot_sequence(std::uint32_t code, std::size_t n) {
+  dedhw::UmtsScrambler s(code);
+  const double a = 1.0 / std::sqrt(2.0);
+  std::vector<CplxF> out(n);
+  for (auto& v : out) {
+    const CplxI c = s.next();
+    // code * A, A = (1+j)/sqrt(2)
+    const CplxF cf{static_cast<double>(c.re), static_cast<double>(c.im)};
+    v = cf * CplxF{a, a};
+  }
+  return out;
+}
+
+void charge_corr(dsp::DspModel* dsp, const char* task, long long macs) {
+  if (dsp == nullptr) return;
+  dsp->charge(task, dsp::DspOp::kMac, macs);
+  dsp->charge(task, dsp::DspOp::kLoadStore, macs / 4);
+  dsp->charge(task, dsp::DspOp::kBranch, macs / 64 + 1);
+}
+
+}  // namespace
+
+PathSearcher::PathSearcher(std::uint32_t scrambling_code, SearchParams params)
+    : code_(scrambling_code), params_(params) {}
+
+void PathSearcher::ensure_pilot(std::size_t n) const {
+  if (pilot_.size() < n) pilot_ = pilot_sequence(code_, n);
+}
+
+PathCandidate PathSearcher::probe(const std::vector<CplxF>& rx, int delay,
+                                  int n_chips, dsp::DspModel* dsp) const {
+  ensure_pilot(static_cast<std::size_t>(n_chips));
+  CplxF acc{0.0, 0.0};
+  int used = 0;
+  for (int n = 0; n < n_chips; ++n) {
+    const std::size_t idx = static_cast<std::size_t>(delay + n);
+    if (idx >= rx.size()) break;
+    acc += rx[idx] * std::conj(pilot_[static_cast<std::size_t>(n)]);
+    ++used;
+  }
+  charge_corr(dsp, "path_search", used);
+  PathCandidate c;
+  c.delay = delay;
+  if (used > 0) {
+    c.h = acc / static_cast<double>(used);
+    c.energy = std::norm(c.h);
+  }
+  return c;
+}
+
+std::vector<PathCandidate> PathSearcher::search(const std::vector<CplxF>& rx,
+                                                int max_paths,
+                                                dsp::DspModel* dsp) const {
+  // Coarse pass.
+  std::vector<PathCandidate> coarse;
+  for (int d = 0; d < params_.window_chips; d += params_.coarse_step) {
+    coarse.push_back(probe(rx, d, params_.coarse_chips, dsp));
+  }
+  std::sort(coarse.begin(), coarse.end(),
+            [](const auto& a, const auto& b) { return a.energy > b.energy; });
+
+  // Fine pass around the strongest coarse hits.
+  std::vector<PathCandidate> fine;
+  const int probes = std::min<int>(static_cast<int>(coarse.size()),
+                                   std::max(max_paths * 2, 4));
+  for (int i = 0; i < probes; ++i) {
+    const int center = coarse[static_cast<std::size_t>(i)].delay;
+    for (int d = center - params_.fine_radius; d <= center + params_.fine_radius;
+         ++d) {
+      if (d < 0) continue;
+      fine.push_back(probe(rx, d, params_.fine_chips, dsp));
+    }
+  }
+  std::sort(fine.begin(), fine.end(),
+            [](const auto& a, const auto& b) { return a.energy > b.energy; });
+
+  // Greedy selection of distinct delays above threshold.
+  std::vector<PathCandidate> out;
+  const double floor_e =
+      fine.empty() ? 0.0 : fine.front().energy * params_.threshold_ratio;
+  for (const auto& c : fine) {
+    if (static_cast<int>(out.size()) >= max_paths) break;
+    if (c.energy < floor_e) break;
+    bool distinct = true;
+    for (const auto& o : out) {
+      if (std::abs(o.delay - c.delay) <= 1) distinct = false;
+    }
+    if (distinct) out.push_back(c);
+  }
+  if (dsp != nullptr) {
+    dsp->charge("path_search", dsp::DspOp::kBranch,
+                static_cast<long long>(fine.size()));
+  }
+  return out;
+}
+
+PathTracker::PathTracker(std::uint32_t scrambling_code, int integrate_chips,
+                         int hysteresis)
+    : searcher_(scrambling_code, SearchParams{}),
+      integrate_(integrate_chips),
+      hysteresis_(hysteresis) {}
+
+int PathTracker::track(const std::vector<CplxF>& rx, int delay,
+                       dsp::DspModel* dsp) {
+  const double on = searcher_.probe(rx, delay, integrate_, dsp).energy;
+  const double early =
+      delay > 0 ? searcher_.probe(rx, delay - 1, integrate_, dsp).energy : 0.0;
+  const double late = searcher_.probe(rx, delay + 1, integrate_, dsp).energy;
+  int dir = 0;
+  if (early > on && early >= late) dir = -1;
+  if (late > on && late > early) dir = +1;
+  if (dir != 0 && dir == pending_dir_) {
+    ++pending_count_;
+  } else {
+    pending_dir_ = dir;
+    pending_count_ = dir != 0 ? 1 : 0;
+  }
+  if (dir != 0 && pending_count_ >= hysteresis_) {
+    pending_count_ = 0;
+    pending_dir_ = 0;
+    return delay + dir;
+  }
+  return delay;
+}
+
+ChannelEstimate estimate_channel(const std::vector<CplxF>& rx,
+                                 std::uint32_t scrambling_code, int delay,
+                                 double pilot_amplitude, bool diversity,
+                                 int n_chips, dsp::DspModel* dsp,
+                                 long long start_chip) {
+  dedhw::UmtsScrambler s(scrambling_code);
+  s.skip(start_chip);
+  const double a = pilot_amplitude / std::sqrt(2.0);
+  CplxF acc1{0.0, 0.0};
+  CplxF acc2{0.0, 0.0};
+  int used = 0;
+  for (int n = 0; n < n_chips; ++n) {
+    const std::size_t idx =
+        static_cast<std::size_t>(delay + start_chip + n);
+    const CplxI ci = s.next();
+    if (idx >= rx.size()) break;
+    const CplxF code{static_cast<double>(ci.re), static_cast<double>(ci.im)};
+    const CplxF pilot = code * CplxF{a, a};
+    const CplxF z = rx[idx] * std::conj(pilot);
+    acc1 += z;
+    if (diversity) {
+      // Diversity pilot alternates sign per 256-chip symbol.
+      const double sign =
+          (((start_chip + n) / 256) % 2 == 0) ? 1.0 : -1.0;
+      acc2 += z * sign;
+    }
+    ++used;
+  }
+  if (dsp != nullptr) {
+    dsp->charge("channel_estimation", dsp::DspOp::kMac,
+                used * (diversity ? 2 : 1));
+    dsp->charge("channel_estimation", dsp::DspOp::kLoadStore, used / 2);
+    dsp->charge("channel_estimation", dsp::DspOp::kDiv, 2);
+  }
+  ChannelEstimate est;
+  if (used > 0) {
+    // E[r * conj(pilot)] = h * |pilot|^2; per-chip |pilot|^2 =
+    // |code|^2 * |A|^2 = 2 * (2a^2) = 2 * pilot_amplitude^2.
+    const double norm = 2.0 * pilot_amplitude * pilot_amplitude * used;
+    est.h1 = acc1 / norm;
+    if (diversity) est.h2 = acc2 / norm;
+  }
+  return est;
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,105 @@
+// Path search, tracking and channel estimation (paper §3.1):
+// "A path searcher performs a correlation of a fixed set of pilot
+// signals over a sliding window to detect the paths with the strongest
+// signal values...  The path searcher divides itself into a coarse and
+// a fine searcher, with differing repetition intervals and accuracies.
+// A path tracker is responsible for the tracking and the
+// resynchronization of the paths...  The channel estimator calculates
+// the channel coefficients... on the basis of a specific sequence of
+// pilot signals."
+//
+// These tasks are control-dominated and run on the DSP in the paper's
+// partitioning (Figure 4); the heavy correlations charge MAC
+// operations to the DspModel so the partitioning benches can report
+// the load split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dsp/dsp.hpp"
+
+namespace rsp::rake {
+
+struct SearchParams {
+  int window_chips = 128;     ///< delay search window
+  // PN correlation decorrelates within one chip, so the coarse pass
+  // scans every chip; coarse vs. fine differ in integration length
+  // ("differing repetition intervals and accuracies", paper §3.1).
+  int coarse_step = 1;        ///< coarse searcher lag granularity
+  int coarse_chips = 256;     ///< integration length, coarse pass
+  int fine_chips = 512;       ///< integration length, fine pass
+  int fine_radius = 2;        ///< +-chips refined around each coarse peak
+  double threshold_ratio = 0.10;  ///< min energy relative to strongest
+};
+
+struct PathCandidate {
+  int delay = 0;         ///< chips
+  double energy = 0.0;   ///< correlation energy
+  CplxF h{0.0, 0.0};     ///< coarse channel coefficient at this delay
+};
+
+/// Pilot correlator against one basestation's CPICH.
+class PathSearcher {
+ public:
+  PathSearcher(std::uint32_t scrambling_code, SearchParams params);
+
+  /// Two-stage (coarse + fine) search for the @p max_paths strongest
+  /// delays.  Charges correlation MACs and control to @p dsp if given.
+  [[nodiscard]] std::vector<PathCandidate> search(
+      const std::vector<CplxF>& rx, int max_paths,
+      dsp::DspModel* dsp = nullptr) const;
+
+  /// Correlation energy and coefficient at a single delay.
+  [[nodiscard]] PathCandidate probe(const std::vector<CplxF>& rx, int delay,
+                                    int n_chips,
+                                    dsp::DspModel* dsp = nullptr) const;
+
+  const SearchParams& params() const { return params_; }
+
+ private:
+  std::uint32_t code_;
+  SearchParams params_;
+  mutable std::vector<CplxF> pilot_;  // cached conj pilot sequence
+
+  void ensure_pilot(std::size_t n) const;
+};
+
+/// Early-late path tracker: nudges @p delay toward the locally
+/// strongest correlation; @p hysteresis consecutive confirmations are
+/// required before a move.
+class PathTracker {
+ public:
+  PathTracker(std::uint32_t scrambling_code, int integrate_chips = 256,
+              int hysteresis = 2);
+
+  /// Track one path; returns the (possibly adjusted) delay.
+  [[nodiscard]] int track(const std::vector<CplxF>& rx, int delay,
+                          dsp::DspModel* dsp = nullptr);
+
+ private:
+  PathSearcher searcher_;
+  int integrate_;
+  int hysteresis_;
+  int pending_dir_ = 0;
+  int pending_count_ = 0;
+};
+
+/// CPICH channel estimation for one (basestation, delay) path.
+/// @p pilot_amplitude is the known transmitted CPICH amplitude.
+/// When @p diversity is true, also estimates the second-antenna
+/// coefficient from the alternating-sign diversity pilot.
+struct ChannelEstimate {
+  CplxF h1{0.0, 0.0};
+  CplxF h2{0.0, 0.0};
+};
+
+/// @p start_chip lets the continuously-running estimator re-estimate
+/// later in the frame (code-aligned: pilot chip index = start_chip + n).
+[[nodiscard]] ChannelEstimate estimate_channel(
+    const std::vector<CplxF>& rx, std::uint32_t scrambling_code, int delay,
+    double pilot_amplitude, bool diversity = false, int n_chips = 512,
+    dsp::DspModel* dsp = nullptr, long long start_chip = 0);
+
+}  // namespace rsp::rake

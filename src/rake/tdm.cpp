@@ -1,0 +1,79 @@
+#include "src/rake/tdm.hpp"
+
+#include <stdexcept>
+
+#include "src/common/word.hpp"
+#include "src/dedhw/ovsf.hpp"
+
+namespace rsp::rake {
+
+TdmFinger::TdmFinger(std::vector<Context> contexts)
+    : contexts_(std::move(contexts)) {
+  if (contexts_.empty() ||
+      static_cast<int>(contexts_.size()) > 18) {
+    throw std::invalid_argument("TdmFinger: 1..18 contexts supported");
+  }
+  for (const auto& c : contexts_) {
+    if (!dedhw::ovsf_valid(c.sf, c.code_index)) {
+      throw std::invalid_argument("TdmFinger: invalid OVSF code");
+    }
+  }
+}
+
+std::vector<std::vector<CplxI>> TdmFinger::process(
+    const std::vector<CplxI>& rx) {
+  struct State {
+    dedhw::UmtsScrambler scrambler;
+    long long chip = 0;       // code-aligned chip index
+    long long acc_re = 0;
+    long long acc_im = 0;
+  };
+  std::vector<State> st;
+  st.reserve(contexts_.size());
+  for (const auto& c : contexts_) {
+    st.push_back({dedhw::UmtsScrambler(c.scrambling_code), 0, 0, 0});
+  }
+
+  std::vector<std::vector<CplxI>> out(contexts_.size());
+
+  // Outer loop = chip slots; inner loop = the 18x time multiplex.
+  const long long n = static_cast<long long>(rx.size());
+  for (long long slot = 0;; ++slot) {
+    bool any = false;
+    for (std::size_t k = 0; k < contexts_.size(); ++k) {
+      const auto& ctx = contexts_[k];
+      auto& s = st[k];
+      const long long rx_idx = s.chip + ctx.delay;
+      if (rx_idx >= n) continue;
+      if (slot != s.chip) continue;  // contexts advance one chip per slot
+      any = true;
+      ++chip_ops_;
+      const std::uint8_t code2 = s.scrambler.next2();
+      const CplxI d = descramble_chip(rx[static_cast<std::size_t>(rx_idx)],
+                                      code2);
+      const int pos = static_cast<int>(s.chip % ctx.sf);
+      const int ov = dedhw::ovsf_chip(ctx.sf, ctx.code_index, pos);
+      s.acc_re += ov * d.re;
+      s.acc_im += ov * d.im;
+      if (pos == ctx.sf - 1) {
+        const int shift = despread_shift(ctx.sf);
+        out[k].push_back(
+            {saturate(shr_round(static_cast<std::int32_t>(
+                                    saturate(s.acc_re, 31)),
+                                shift),
+                      kHalfBits),
+             saturate(shr_round(static_cast<std::int32_t>(
+                                    saturate(s.acc_im, 31)),
+                                shift),
+                      kHalfBits)});
+        s.acc_re = 0;
+        s.acc_im = 0;
+      }
+      ++s.chip;
+    }
+    if (!any) break;
+  }
+  return out;
+}
+
+}  // namespace rsp::rake

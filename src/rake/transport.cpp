@@ -1,0 +1,109 @@
+#include "src/rake/transport.hpp"
+
+#include <stdexcept>
+
+namespace rsp::rake {
+
+std::vector<std::uint8_t> block_interleave(
+    const std::vector<std::uint8_t>& bits, int cols) {
+  if (cols < 1) throw std::invalid_argument("block_interleave: cols >= 1");
+  const std::size_t n = bits.size();
+  const std::size_t rows =
+      (n + static_cast<std::size_t>(cols) - 1) / static_cast<std::size_t>(cols);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (int c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(c);
+      if (idx < n) out.push_back(bits[idx]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Index permutation of block_interleave for length @p n.
+std::vector<std::size_t> interleave_order(std::size_t n, int cols) {
+  const std::size_t rows =
+      (n + static_cast<std::size_t>(cols) - 1) / static_cast<std::size_t>(cols);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (int c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(c);
+      if (idx < n) order.push_back(idx);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> block_deinterleave(
+    const std::vector<std::uint8_t>& bits, int cols) {
+  const auto order = interleave_order(bits.size(), cols);
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[order[i]] = bits[i];
+  }
+  return out;
+}
+
+std::vector<std::int32_t> block_deinterleave_soft(
+    const std::vector<std::int32_t>& soft, int cols) {
+  const auto order = interleave_order(soft.size(), cols);
+  std::vector<std::int32_t> out(soft.size());
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    out[order[i]] = soft[i];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> TransportEncoder::encode(
+    const std::vector<std::uint8_t>& payload) const {
+  std::vector<std::uint8_t> bits = payload;
+  dedhw::kCrc16Umts.append(bits);
+  const auto coded = dedhw::conv_encode_gen(bits, cfg_.code, true);
+  return block_interleave(coded, cfg_.interleave_cols);
+}
+
+std::size_t TransportEncoder::coded_length(std::size_t n_payload) const {
+  const std::size_t info = n_payload + 16;  // + CRC16
+  return (info + static_cast<std::size_t>(cfg_.code.constraint_length - 1)) *
+         static_cast<std::size_t>(cfg_.code.rate_denominator());
+}
+
+TransportResult TransportDecoder::decode(const std::vector<std::int32_t>& soft,
+                                         std::size_t n_payload) const {
+  TransportResult res;
+  const auto lattice = block_deinterleave_soft(soft, cfg_.interleave_cols);
+  const std::size_t n_info = n_payload + 16;
+  auto decoded = viterbi_.decode(lattice, n_info, true);
+  if (decoded.size() < n_info) return res;
+  res.crc_ok = dedhw::kCrc16Umts.check(decoded);
+  decoded.resize(n_payload);
+  res.payload = std::move(decoded);
+  return res;
+}
+
+std::vector<std::int32_t> qpsk_soft_bits(const std::vector<CplxI>& symbols) {
+  std::vector<std::int32_t> soft;
+  soft.reserve(symbols.size() * 2);
+  for (const auto& s : symbols) {
+    // QPSK map: bit 0 -> +, bit 1 -> -; decoder convention is positive
+    // favours bit 1, so negate the components.
+    soft.push_back(-s.re);
+    soft.push_back(-s.im);
+  }
+  return soft;
+}
+
+TransportResult TransportDecoder::decode_symbols(
+    const std::vector<CplxI>& symbols, std::size_t n_payload) const {
+  return decode(qpsk_soft_bits(symbols), n_payload);
+}
+
+}  // namespace rsp::rake

@@ -1,0 +1,78 @@
+// UMTS downlink transport-channel chain (TS 25.212 class): CRC
+// attachment, rate-1/3 K=9 convolutional coding, block interleaving,
+// and the inverse chain fed by the rake's combined soft symbols.
+// This is the processing between the paper's rake receiver output and
+// the "Layer 2" hand-off, and the bulk of Figure 1's UMTS decode MIPS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/dedhw/convcode_gen.hpp"
+#include "src/dedhw/crc.hpp"
+
+namespace rsp::rake {
+
+/// Block interleaver: write row-major into @p cols columns, read
+/// column-major (TS 25.212 first interleaver shape).
+[[nodiscard]] std::vector<std::uint8_t> block_interleave(
+    const std::vector<std::uint8_t>& bits, int cols);
+[[nodiscard]] std::vector<std::uint8_t> block_deinterleave(
+    const std::vector<std::uint8_t>& bits, int cols);
+[[nodiscard]] std::vector<std::int32_t> block_deinterleave_soft(
+    const std::vector<std::int32_t>& soft, int cols);
+
+struct TransportConfig {
+  int interleave_cols = 32;
+  dedhw::ConvSpec code = dedhw::umts_rate13();
+};
+
+/// Encoder: payload -> CRC16 -> convolutional code (+tail) ->
+/// interleave.  The output length is what the DPCH must carry.
+class TransportEncoder {
+ public:
+  explicit TransportEncoder(TransportConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      const std::vector<std::uint8_t>& payload) const;
+
+  /// Coded bits produced for @p n_payload bits.
+  [[nodiscard]] std::size_t coded_length(std::size_t n_payload) const;
+
+  const TransportConfig& config() const { return cfg_; }
+
+ private:
+  TransportConfig cfg_;
+};
+
+struct TransportResult {
+  std::vector<std::uint8_t> payload;
+  bool crc_ok = false;
+};
+
+/// Decoder: soft coded bits -> deinterleave -> Viterbi -> CRC check.
+class TransportDecoder {
+ public:
+  explicit TransportDecoder(TransportConfig cfg = {})
+      : cfg_(cfg), viterbi_(cfg.code) {}
+
+  /// @p n_payload is the transport-block size (signalled by L3).
+  [[nodiscard]] TransportResult decode(const std::vector<std::int32_t>& soft,
+                                       std::size_t n_payload) const;
+
+  /// Convenience: soft values straight from combined rake QPSK symbols
+  /// (I then Q per symbol, which is the DPCH bit order).
+  [[nodiscard]] TransportResult decode_symbols(
+      const std::vector<CplxI>& symbols, std::size_t n_payload) const;
+
+ private:
+  TransportConfig cfg_;
+  dedhw::ViterbiDecoderGen viterbi_;
+};
+
+/// Soft bit stream (I, Q per symbol) from combined rake symbols.
+[[nodiscard]] std::vector<std::int32_t> qpsk_soft_bits(
+    const std::vector<CplxI>& symbols);
+
+}  // namespace rsp::rake

@@ -1,0 +1,65 @@
+// Umbrella header for the reconfigurable-SDR library.
+//
+// Include this for the whole public API, or include the per-module
+// headers directly (they are self-contained).
+#pragma once
+
+// Common substrate: datapath arithmetic, complex types, RNG.
+#include "src/common/cplx.hpp"
+#include "src/common/dbmath.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/word.hpp"
+
+// XPP-class reconfigurable array.
+#include "src/xpp/builder.hpp"
+#include "src/xpp/macros.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/nml.hpp"
+#include "src/xpp/runner.hpp"
+
+// Dedicated-hardware blocks.
+#include "src/dedhw/convcode.hpp"
+#include "src/dedhw/convcode_gen.hpp"
+#include "src/dedhw/crc.hpp"
+#include "src/dedhw/ovsf.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/dedhw/viterbi.hpp"
+#include "src/dedhw/wlan_scrambler.hpp"
+
+// DSP cost model.
+#include "src/dsp/dsp.hpp"
+
+// PHY substrate.
+#include "src/phy/channel.hpp"
+#include "src/phy/fft.hpp"
+#include "src/phy/interleaver.hpp"
+#include "src/phy/jakes.hpp"
+#include "src/phy/modulation.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/phy/umts_tx.hpp"
+
+// 2G baseline.
+#include "src/gsm/burst.hpp"
+#include "src/gsm/equalizer.hpp"
+
+// Rake receiver application.
+#include "src/rake/agc.hpp"
+#include "src/rake/golden.hpp"
+#include "src/rake/maps.hpp"
+#include "src/rake/multidch.hpp"
+#include "src/rake/receiver.hpp"
+#include "src/rake/scenario.hpp"
+#include "src/rake/search.hpp"
+#include "src/rake/tdm.hpp"
+#include "src/rake/transport.hpp"
+
+// OFDM decoder application.
+#include "src/ofdm/golden.hpp"
+#include "src/ofdm/maps.hpp"
+
+// SDR terminal integration.
+#include "src/sdr/area_model.hpp"
+#include "src/sdr/board.hpp"
+#include "src/sdr/mips_model.hpp"
+#include "src/sdr/partitioning.hpp"
+#include "src/sdr/rate_mobility.hpp"

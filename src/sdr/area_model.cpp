@@ -1,0 +1,34 @@
+#include "src/sdr/area_model.hpp"
+
+namespace rsp::sdr {
+
+AreaBreakdown AreaModel::area(const xpp::ArrayGeometry& g) {
+  AreaBreakdown a;
+  a.alu_pae_mm2 = kAluPaeMm2 * g.alu_count();
+  a.ram_pae_mm2 = kRamPaeMm2 * g.ram_count();
+  a.io_mm2 = kIoPortMm2 * (g.io_channels / 2);
+  a.config_manager_mm2 = kConfigMgrMm2;
+  const double core =
+      a.alu_pae_mm2 + a.ram_pae_mm2 + a.io_mm2 + a.config_manager_mm2;
+  a.routing_overhead_mm2 = core * kRoutingFactor;
+  a.total_mm2 = core + a.routing_overhead_mm2;
+  return a;
+}
+
+double AreaModel::power_mw(const xpp::ArrayGeometry& g, long long fires,
+                           long long cycles, double clock_hz) {
+  if (cycles <= 0) return 0.0;
+  const double seconds = static_cast<double>(cycles) / clock_hz;
+  // Mixed ALU/RAM activity: weight by array composition.
+  const double ram_share =
+      static_cast<double>(g.ram_count()) /
+      static_cast<double>(g.ram_count() + g.alu_count());
+  const double pj_per_fire =
+      kAluFirePj * (1.0 - ram_share) + kRamFirePj * ram_share;
+  const double dynamic_mw =
+      static_cast<double>(fires) * pj_per_fire * 1.0e-12 / seconds * 1.0e3;
+  const double leakage_mw = kLeakageMwPerMm2 * area(g).total_mm2;
+  return dynamic_mw + leakage_mw;
+}
+
+}  // namespace rsp::sdr

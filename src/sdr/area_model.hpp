@@ -1,0 +1,51 @@
+// Silicon area / power model of the XPP64A (Figure 12).
+//
+// Figure 12 is a die plot of the XPP64A-1 on the STMicroelectronics
+// HCMOS9 0.13 um process (110 nm physical gate length, 6-8 Cu metal
+// layers, dual-Vt).  We cannot reproduce silicon; instead this model
+// reproduces the figure's quantitative content as calibrated
+// per-element area/power estimates so experiments can report die area
+// and activity-based power for any configuration.  Constants are
+// engineering estimates for a 24-bit datapath PAE with local routing
+// on a 130 nm process; DESIGN.md records the substitution.
+#pragma once
+
+#include "src/xpp/array.hpp"
+#include "src/xpp/sim.hpp"
+
+namespace rsp::sdr {
+
+struct AreaBreakdown {
+  double alu_pae_mm2 = 0.0;
+  double ram_pae_mm2 = 0.0;
+  double io_mm2 = 0.0;
+  double config_manager_mm2 = 0.0;
+  double routing_overhead_mm2 = 0.0;
+  double total_mm2 = 0.0;
+};
+
+class AreaModel {
+ public:
+  // Per-element estimates (mm^2, 130 nm).
+  static constexpr double kAluPaeMm2 = 0.22;   ///< 24-bit ALU + regs + routing
+  static constexpr double kRamPaeMm2 = 0.30;   ///< 512x24 dual-port SRAM + ctl
+  static constexpr double kIoPortMm2 = 0.15;   ///< dual-channel I/O port
+  static constexpr double kConfigMgrMm2 = 1.2; ///< configuration manager + bus
+  static constexpr double kRoutingFactor = 0.18;  ///< global routing overhead
+
+  // Dynamic energy per element activation (pJ at 1.2 V, 130 nm).
+  static constexpr double kAluFirePj = 18.0;
+  static constexpr double kRamFirePj = 30.0;
+  static constexpr double kLeakageMwPerMm2 = 0.8;  ///< dual-Vt leakage
+
+  /// Die area for a given geometry.
+  [[nodiscard]] static AreaBreakdown area(const xpp::ArrayGeometry& g);
+
+  /// Average power (mW) for a workload: @p fires object activations
+  /// over @p cycles at @p clock_hz, on a die of @p geometry.
+  [[nodiscard]] static double power_mw(const xpp::ArrayGeometry& g,
+                                       long long fires, long long cycles,
+                                       double clock_hz);
+};
+
+}  // namespace rsp::sdr

@@ -1,0 +1,74 @@
+#include "src/sdr/board.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsp::sdr {
+
+SliceRecord TimeSlicer::slice(
+    const std::string& name,
+    const std::function<void(xpp::ConfigurationManager&)>& body) {
+  SliceRecord rec;
+  rec.name = name;
+  const long long cycles0 = mgr_.sim().cycle();
+  const long long cfg0 = mgr_.total_config_cycles();
+  const int alu_before = mgr_.resources().used_alu_cells();
+  mgr_.resources().reset_peaks();
+
+  body(mgr_);
+
+  rec.cycles = mgr_.sim().cycle() - cycles0;
+  rec.config_cycles = mgr_.total_config_cycles() - cfg0;
+  rec.peak_alu_cells = mgr_.resources().peak_alu_cells();
+  rec.peak_ram_cells = mgr_.resources().peak_ram_cells();
+  if (mgr_.resources().used_alu_cells() != alu_before) {
+    throw std::logic_error("TimeSlicer: slice '" + name +
+                           "' leaked array resources");
+  }
+  history_.push_back(rec);
+  return rec;
+}
+
+long long TimeSlicer::total_cycles() const {
+  long long n = 0;
+  for (const auto& r : history_) n += r.cycles;
+  return n;
+}
+
+long long TimeSlicer::total_config_cycles() const {
+  long long n = 0;
+  for (const auto& r : history_) n += r.config_cycles;
+  return n;
+}
+
+double TimeSlicer::config_overhead() const {
+  const long long t = total_cycles();
+  return t > 0 ? static_cast<double>(total_config_cycles()) /
+                     static_cast<double>(t)
+               : 0.0;
+}
+
+int TimeSlicer::peak_alu_cells() const {
+  int peak = 0;
+  for (const auto& r : history_) peak = std::max(peak, r.peak_alu_cells);
+  return peak;
+}
+
+int TimeSlicer::sum_alu_cells() const {
+  // A dedicated-hardware design provisions every protocol's peak
+  // simultaneously; sum the distinct protocols' peaks.
+  int sum = 0;
+  std::vector<std::string> seen;
+  for (const auto& r : history_) {
+    if (std::find(seen.begin(), seen.end(), r.name) != seen.end()) continue;
+    seen.push_back(r.name);
+    int peak = 0;
+    for (const auto& q : history_) {
+      if (q.name == r.name) peak = std::max(peak, q.peak_alu_cells);
+    }
+    sum += peak;
+  }
+  return sum;
+}
+
+}  // namespace rsp::sdr

@@ -1,0 +1,78 @@
+// SDR evaluation board (Figure 11) and multi-standard time slicing.
+//
+// The board couples a MIPS 4Kc-class microcontroller (housekeeping),
+// a DSP slot, a streaming FPGA for data routing / dedicated hardware,
+// and the XPP-64A reconfigurable array.  The TimeSlicer realizes the
+// multi-link claim: "By time-slicing the processing of both protocols
+// over the same hardware, a large savings in the resources required
+// can be achieved" (Section 3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dsp/dsp.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::sdr {
+
+class SdrBoard {
+ public:
+  explicit SdrBoard(xpp::ArrayGeometry geom = {})
+      : array_(geom), dsp_(dsp::kDspClockHz), uc_(/*MIPS 4Kc*/ 100.0e6) {}
+
+  xpp::ConfigurationManager& array() { return array_; }
+  dsp::DspModel& dsp() { return dsp_; }
+  dsp::DspModel& microcontroller() { return uc_; }
+
+  /// Account words moved through the streaming-FPGA crossbar.
+  void fpga_route(long long words) { fpga_words_ += words; }
+  [[nodiscard]] long long fpga_words_routed() const { return fpga_words_; }
+
+ private:
+  xpp::ConfigurationManager array_;
+  dsp::DspModel dsp_;
+  dsp::DspModel uc_;
+  long long fpga_words_ = 0;
+};
+
+/// Record of one processing slice on the shared array.
+struct SliceRecord {
+  std::string name;
+  long long cycles = 0;         ///< total array cycles in the slice
+  long long config_cycles = 0;  ///< cycles spent (re)configuring
+  int peak_alu_cells = 0;       ///< ALU-PAEs in use during the slice
+  int peak_ram_cells = 0;
+};
+
+class TimeSlicer {
+ public:
+  explicit TimeSlicer(xpp::ConfigurationManager& mgr) : mgr_(mgr) {}
+
+  /// Execute @p body as one named slice; resource/config/cycle deltas
+  /// are recorded.  The body receives the shared manager and must
+  /// release everything it loads (asserted).
+  SliceRecord slice(const std::string& name,
+                    const std::function<void(xpp::ConfigurationManager&)>& body);
+
+  [[nodiscard]] const std::vector<SliceRecord>& history() const {
+    return history_;
+  }
+
+  /// Total cycles across slices and the share spent reconfiguring.
+  [[nodiscard]] long long total_cycles() const;
+  [[nodiscard]] long long total_config_cycles() const;
+  [[nodiscard]] double config_overhead() const;
+
+  /// Peak simultaneous ALU demand across slices vs. the sum a
+  /// non-shared (one array per protocol) design would need.
+  [[nodiscard]] int peak_alu_cells() const;
+  [[nodiscard]] int sum_alu_cells() const;
+
+ private:
+  xpp::ConfigurationManager& mgr_;
+  std::vector<SliceRecord> history_;
+};
+
+}  // namespace rsp::sdr

@@ -1,0 +1,76 @@
+#include "src/sdr/mips_model.hpp"
+
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/rake/scenario.hpp"
+
+namespace rsp::sdr {
+namespace {
+
+// --- bottom-up operation counts from the implemented datapaths ---
+
+// Rake finger, per chip (golden.hpp chain): scrambling-code mux (1),
+// complex multiply 4 mul + 2 add (6), OVSF multiply-accumulate on I/Q
+// (4), counters/control (1).
+constexpr double kFingerOpsPerChip = 12.0;
+// Path searcher: delay-correlation, 8 ops per lag-chip, continuously
+// re-run over the search window with ~50% duty cycle.
+constexpr double kSearchOpsPerChip = 8.0 * 0.5;
+// Channel estimation + correction + combining, per chip equivalent.
+constexpr double kEstimateOpsPerChip = 3.0;
+// Downlink channel decoding (convolutional/turbo class), ops per
+// information bit at the 2 Mbit/s peak rate.
+constexpr double kUmtsDecodeOpsPerBit = 900.0;
+constexpr double kUmtsPeakBitRate = 2.0e6;
+
+// OFDM symbol rate: 250 ksym/s (4 us symbols).
+constexpr double kOfdmSymRate = 250.0e3;
+// FFT64 radix-4: 3 stages x 16 butterflies x (4 cmul + 8 cadd).
+constexpr double kFftOpsPerSymbol = 3.0 * 16.0 * (4.0 * 6.0 + 8.0 * 2.0);
+// Equalize 48 carriers (cmul + scale) + pilot phase tracking.
+constexpr double kEqOpsPerSymbol = 48.0 * 8.0 + 64.0;
+// Preamble/sync correlators amortized per symbol.
+constexpr double kSyncOpsPerSymbol = 512.0;
+// Viterbi K=7: 64 states x 2 ACS ops per trellis step.
+constexpr double kViterbiOpsPerStep = 64.0 * 2.0;
+
+}  // namespace
+
+double umts_rake_mips(int virtual_fingers) {
+  const double chip_ops =
+      (kFingerOpsPerChip * virtual_fingers + kSearchOpsPerChip * 128.0 +
+       kEstimateOpsPerChip * virtual_fingers) *
+      dedhw::kChipRateHz;
+  const double decode_ops = kUmtsDecodeOpsPerBit * kUmtsPeakBitRate;
+  return (chip_ops + decode_ops) / 1.0e6;
+}
+
+double ofdm_wlan_mips(int mbps) {
+  const auto& m = phy::rate_mode(mbps);
+  const double demap_ops = 48.0 * bits_per_symbol(m.mod) * 4.0;
+  const double viterbi_ops =
+      static_cast<double>(m.ndbps) * kViterbiOpsPerStep;
+  const double per_symbol = kFftOpsPerSymbol + kEqOpsPerSymbol +
+                            kSyncOpsPerSymbol + demap_ops + viterbi_ops +
+                            static_cast<double>(m.ncbps);  // deinterleave
+  return per_symbol * kOfdmSymRate / 1.0e6;
+}
+
+std::vector<ProtocolMips> figure1_series() {
+  // GSM: 270.8 kbit/s burst rate, 16-state equalizer + speech codec.
+  const double gsm = 270.8e3 * 30.0 / 1.0e6;
+  // GPRS/HSCSD: up to 8 timeslots of GSM-class processing + RLC/MAC.
+  const double gprs = 8.0 * gsm + 25.0;
+  // EDGE: 8-PSK soft equalization roughly 10x the GPRS complexity
+  // (higher-order modulation, incremental redundancy).
+  const double edge = 10.0 * gprs;
+  return {
+      {"GSM", 10.0, gsm, 0.0096},
+      {"GPRS/HSCSD", 100.0, gprs, 0.1152},
+      {"EDGE", 1000.0, edge, 0.384},
+      {"UMTS/WCDMA", 10000.0, umts_rake_mips(rake::kMaxVirtualFingers), 2.0},
+      {"OFDM WLAN", 5000.0, ofdm_wlan_mips(54), 54.0},
+  };
+}
+
+}  // namespace rsp::sdr

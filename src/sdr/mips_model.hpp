@@ -1,0 +1,35 @@
+// Processing-power requirements of wireless access protocols (Figure 1).
+//
+// The paper quotes the industry-consensus series: GSM ~10 MIPS,
+// GPRS/HSCSD ~100, EDGE ~1000, UMTS/W-CDMA up to 10000, OFDM WLAN
+// ~5000.  We reproduce the series two ways: the quoted consensus
+// values, and a bottom-up model computed from the operation counts of
+// the receiver chains in this repository scaled to each protocol's
+// symbol/chip rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsp::sdr {
+
+struct ProtocolMips {
+  std::string name;
+  double paper_mips = 0.0;    ///< Figure 1 consensus value
+  double modeled_mips = 0.0;  ///< bottom-up from our implementation
+  double data_rate_mbps = 0.0;
+};
+
+/// The Figure 1 series with bottom-up models.
+[[nodiscard]] std::vector<ProtocolMips> figure1_series();
+
+/// Bottom-up UMTS/W-CDMA rake demand for a given scenario (ops/chip
+/// derived from the golden finger datapath; includes searcher and
+/// estimator overhead).
+[[nodiscard]] double umts_rake_mips(int virtual_fingers);
+
+/// Bottom-up OFDM WLAN demand at @p mbps (FFT + equalize + demap +
+/// Viterbi ops per symbol at 250 ksym/s).
+[[nodiscard]] double ofdm_wlan_mips(int mbps);
+
+}  // namespace rsp::sdr

@@ -1,0 +1,71 @@
+#include "src/sdr/partitioning.hpp"
+
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::sdr {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kReconfigurable: return "reconfigurable";
+    case Resource::kDedicated:      return "dedicated";
+    case Resource::kDsp:            return "DSP";
+  }
+  return "?";
+}
+
+std::vector<TaskLoad> rake_partitioning(int virtual_fingers) {
+  const double chip_mops = dedhw::kChipRateHz / 1.0e6;
+  const double f = static_cast<double>(virtual_fingers);
+  // Figure 4 assignment.
+  return {
+      // Word-level streaming datapath -> reconfigurable array.
+      {"de-scrambling", Resource::kReconfigurable, 7.0 * f * chip_mops},
+      {"de-spreading", Resource::kReconfigurable, 4.0 * f * chip_mops},
+      {"channel correction", Resource::kReconfigurable, 0.5 * f * chip_mops},
+      {"combining", Resource::kReconfigurable, 0.25 * f * chip_mops},
+      // Bit-level continuous generators -> dedicated hardware.
+      {"scrambling code generation", Resource::kDedicated, 2.0 * chip_mops},
+      {"spreading code generation", Resource::kDedicated, 1.0 * chip_mops},
+      // Control-flow tasks -> DSP.
+      {"pilot acquisition (path search)", Resource::kDsp, 4.0 * chip_mops},
+      {"channel estimation", Resource::kDsp, 0.6 * f * chip_mops},
+      {"control & synchronization", Resource::kDsp, 0.2 * f * chip_mops},
+  };
+}
+
+std::vector<TaskLoad> ofdm_partitioning(int mbps) {
+  const auto& m = phy::rate_mode(mbps);
+  const double sym_mops = 0.25;  // 250 ksym/s in Mops units per op/symbol
+  const double fft_ops = 3.0 * 16.0 * (4.0 * 6.0 + 8.0 * 2.0);
+  const double demod_ops = 48.0 * (8.0 + 4.0 * bits_per_symbol(m.mod));
+  const double viterbi_ops = static_cast<double>(m.ndbps) * 128.0;
+  // Figure 8 assignment.
+  return {
+      // RF/AD -> dedicated (not modelled as ops).
+      {"RF receiver / A-D", Resource::kDedicated, 0.0},
+      // Reconfigurable processor.
+      {"down-sampling", Resource::kReconfigurable, 40.0},   // 40 Msps decimate
+      {"framing & sync (preamble)", Resource::kReconfigurable,
+       512.0 * sym_mops},
+      {"FFT64", Resource::kReconfigurable, fft_ops * sym_mops},
+      {"demodulation", Resource::kReconfigurable, demod_ops * sym_mops},
+      {"descrambler", Resource::kReconfigurable,
+       static_cast<double>(m.ndbps) * sym_mops},
+      // Dedicated hardware.
+      {"Viterbi decoder", Resource::kDedicated, viterbi_ops * sym_mops},
+      // DSP / microprocessor.
+      {"layer-2 processing", Resource::kDsp, 50.0},
+      {"configuration control", Resource::kDsp, 5.0},
+  };
+}
+
+double total_mops(const std::vector<TaskLoad>& tasks, Resource r) {
+  double sum = 0.0;
+  for (const auto& t : tasks) {
+    if (t.resource == r) sum += t.mops;
+  }
+  return sum;
+}
+
+}  // namespace rsp::sdr

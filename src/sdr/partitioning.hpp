@@ -1,0 +1,38 @@
+// Task-to-resource partitioning (Figures 4 and 8).
+//
+// "Critical computational parts with high data streaming demands are
+// mapped onto the reconfigurable processing array.  Algorithmic parts
+// with low criticality, mostly implementing control code, are mapped
+// onto the DSP/microcontroller."  Bit-level continuous tasks go to
+// dedicated hardware.  These descriptors encode the paper's two
+// partitioning figures together with bottom-up load estimates, so the
+// benches can print the per-resource split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsp::sdr {
+
+enum class Resource { kReconfigurable, kDedicated, kDsp };
+
+[[nodiscard]] const char* resource_name(Resource r);
+
+struct TaskLoad {
+  std::string task;
+  Resource resource = Resource::kDsp;
+  double mops = 0.0;  ///< millions of operations per second at full load
+};
+
+/// Figure 4: rake receiver partitioning for a soft-handover scenario
+/// with @p virtual_fingers active fingers.
+[[nodiscard]] std::vector<TaskLoad> rake_partitioning(int virtual_fingers);
+
+/// Figure 8: OFDM decoder partitioning at @p mbps.
+[[nodiscard]] std::vector<TaskLoad> ofdm_partitioning(int mbps);
+
+/// Aggregate load on one resource class.
+[[nodiscard]] double total_mops(const std::vector<TaskLoad>& tasks,
+                                Resource r);
+
+}  // namespace rsp::sdr

@@ -1,0 +1,41 @@
+#include "src/sdr/rate_mobility.hpp"
+
+namespace rsp::sdr {
+
+const char* mobility_name(Mobility m) {
+  switch (m) {
+    case Mobility::kIndoorStationary: return "indoor/stationary";
+    case Mobility::kIndoorWalking:    return "indoor/on foot";
+    case Mobility::kOutdoorWalking:   return "outdoor/on foot";
+    case Mobility::kOutdoorVehicle:   return "outdoor/vehicle";
+  }
+  return "?";
+}
+
+double mobility_speed(Mobility m) {
+  switch (m) {
+    case Mobility::kIndoorStationary: return 0.0;
+    case Mobility::kIndoorWalking:    return 1.5;
+    case Mobility::kOutdoorWalking:   return 1.5;
+    case Mobility::kOutdoorVehicle:   return 33.0;  // ~120 km/h
+  }
+  return 0.0;
+}
+
+std::vector<RateEnvelope> figure2_envelope() {
+  return {
+      {"GSM", Mobility::kOutdoorVehicle, 0.0096},
+      {"GSM", Mobility::kIndoorStationary, 0.0096},
+      {"EDGE", Mobility::kOutdoorVehicle, 0.2},
+      {"EDGE", Mobility::kIndoorStationary, 0.384},
+      {"UMTS", Mobility::kOutdoorVehicle, 0.384},
+      {"UMTS", Mobility::kOutdoorWalking, 0.384},
+      {"UMTS", Mobility::kIndoorStationary, 2.0},
+      {"HIPERLAN/2", Mobility::kIndoorWalking, 54.0},
+      {"HIPERLAN/2", Mobility::kIndoorStationary, 54.0},
+      {"IEEE 802.11a", Mobility::kIndoorWalking, 54.0},
+      {"IEEE 802.11a", Mobility::kIndoorStationary, 54.0},
+  };
+}
+
+}  // namespace rsp::sdr

@@ -1,0 +1,34 @@
+// Data rate vs. mobility envelope (Figure 2).
+//
+// The paper plots the service envelope of each access protocol:
+// W-CDMA serves "a few hundred kbit/s at high mobility up to 2 Mbit/s
+// in stationary environments"; 802.11a / HIPERLAN-2 reach 54 Mbit/s in
+// stationary and low-mobility environments.  The bench reproduces the
+// published envelope and backs the WLAN side with measured link
+// simulations (highest rate mode whose BER survives a given Doppler).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsp::sdr {
+
+/// Mobility classes of Figure 2's y-axis.
+enum class Mobility { kIndoorStationary, kIndoorWalking, kOutdoorWalking,
+                      kOutdoorVehicle };
+
+[[nodiscard]] const char* mobility_name(Mobility m);
+
+/// Representative speed (m/s) for a mobility class.
+[[nodiscard]] double mobility_speed(Mobility m);
+
+struct RateEnvelope {
+  std::string protocol;
+  Mobility mobility = Mobility::kIndoorStationary;
+  double rate_mbps = 0.0;  ///< achievable data rate at this mobility
+};
+
+/// The published Figure 2 envelope.
+[[nodiscard]] std::vector<RateEnvelope> figure2_envelope();
+
+}  // namespace rsp::sdr

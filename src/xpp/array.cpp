@@ -1,0 +1,230 @@
+#include "src/xpp/array.hpp"
+
+#include <algorithm>
+
+namespace rsp::xpp {
+
+ResourceMap::ResourceMap(ArrayGeometry geom)
+    : geom_(geom),
+      cell_owner_(static_cast<std::size_t>(geom.rows * geom.cols()), kNoConfig),
+      io_owner_(static_cast<std::size_t>(geom.io_channels), kNoConfig),
+      h_used_(cell_owner_.size(), 0),
+      v_used_(cell_owner_.size(), 0) {}
+
+bool ResourceMap::cell_free(Coord at) const {
+  return cell_owner_[static_cast<std::size_t>(idx(at))] == kNoConfig;
+}
+
+ConfigId ResourceMap::owner(Coord at) const {
+  return cell_owner_[static_cast<std::size_t>(idx(at))];
+}
+
+Coord ResourceMap::auto_place(ObjectKind kind, ConfigId id) {
+  const bool wants_ram = (kind == ObjectKind::kRam);
+  if (wants_ram) {
+    for (int col : {0, geom_.alu_cols + 1}) {
+      for (int row = 0; row < geom_.rows; ++row) {
+        const Coord at{row, col};
+        if (cell_free(at)) {
+          cell_owner_[static_cast<std::size_t>(idx(at))] = id;
+          return at;
+        }
+      }
+    }
+    throw ConfigError("array: no free RAM-PAE");
+  }
+  for (int col = 1; col <= geom_.alu_cols; ++col) {
+    for (int row = 0; row < geom_.rows; ++row) {
+      const Coord at{row, col};
+      if (cell_free(at)) {
+        cell_owner_[static_cast<std::size_t>(idx(at))] = id;
+        return at;
+      }
+    }
+  }
+  throw ConfigError("array: no free ALU-PAE");
+}
+
+int ResourceMap::route(Coord src, Coord dst, ConfigId id) {
+  // L-shaped route: horizontal along src.row, then vertical along
+  // dst.col.  I/O pseudo-coordinates (col -1 / col == cols()) are
+  // clamped to the array edge.
+  const int cols = geom_.cols();
+  const auto clampc = [cols](int c) { return std::clamp(c, 0, cols - 1); };
+  int used = 0;
+  const int c0 = clampc(src.col);
+  const int c1 = clampc(dst.col);
+  const int step = (c1 >= c0) ? 1 : -1;
+  for (int c = c0; c != c1 + step; c += step) {
+    const int cell = src.row * cols + c;
+    if (h_used_[static_cast<std::size_t>(cell)] >= geom_.h_tracks_per_cell) {
+      throw ConfigError("array: horizontal routing congestion at row " +
+                        std::to_string(src.row) + " col " + std::to_string(c));
+    }
+    ++h_used_[static_cast<std::size_t>(cell)];
+    segments_.push_back({cell, true, id});
+    ++used;
+  }
+  const int rstep = (dst.row >= src.row) ? 1 : -1;
+  for (int r = src.row; r != dst.row + rstep; r += rstep) {
+    const int cell = r * cols + c1;
+    if (v_used_[static_cast<std::size_t>(cell)] >= geom_.v_tracks_per_cell) {
+      throw ConfigError("array: vertical routing congestion at row " +
+                        std::to_string(r) + " col " + std::to_string(c1));
+    }
+    ++v_used_[static_cast<std::size_t>(cell)];
+    segments_.push_back({cell, false, id});
+    ++used;
+  }
+  return used;
+}
+
+Placement ResourceMap::place(const Configuration& cfg, ConfigId id) {
+  // Two-phase: validate-and-claim with rollback on failure so a
+  // rejected load leaves the array untouched.
+  const auto cells_snapshot = cell_owner_;
+  const auto io_snapshot = io_owner_;
+  const auto h_snapshot = h_used_;
+  const auto v_snapshot = v_used_;
+  const auto seg_snapshot_size = segments_.size();
+  try {
+    Placement out;
+    const int n = static_cast<int>(cfg.objects.size());
+    out.object_cell.assign(static_cast<std::size_t>(n), Coord{-1, -1});
+    out.io_channel.assign(static_cast<std::size_t>(n), -1);
+
+    int next_io = 0;
+    for (int oi = 0; oi < n; ++oi) {
+      const auto& o = cfg.objects[static_cast<std::size_t>(oi)];
+      if (o.kind == ObjectKind::kInput || o.kind == ObjectKind::kOutput) {
+        if (o.kind == ObjectKind::kInput && o.control) {
+          // Control-event source: injected by the configuration
+          // manager, no physical channel claimed.
+          continue;
+        }
+        while (next_io < geom_.io_channels &&
+               io_owner_[static_cast<std::size_t>(next_io)] != kNoConfig) {
+          ++next_io;
+        }
+        if (next_io >= geom_.io_channels) {
+          throw ConfigError("array: no free I/O channel for '" + o.name + "'");
+        }
+        io_owner_[static_cast<std::size_t>(next_io)] = id;
+        out.io_channel[static_cast<std::size_t>(oi)] = next_io;
+        continue;
+      }
+      if (o.placement) {
+        const Coord at = *o.placement;
+        if (at.row < 0 || at.row >= geom_.rows || at.col < 0 ||
+            at.col >= geom_.cols()) {
+          throw ConfigError("array: placement for '" + o.name +
+                            "' out of bounds");
+        }
+        const bool ram_cell = geom_.is_ram_col(at.col);
+        if (ram_cell != (o.kind == ObjectKind::kRam)) {
+          throw ConfigError("array: placement for '" + o.name +
+                            "' on wrong PAE type");
+        }
+        if (!cell_free(at)) {
+          throw ConfigError(
+              "array: cell occupied — configuration may not overwrite '" +
+              o.name + "' target");
+        }
+        cell_owner_[static_cast<std::size_t>(idx(at))] = id;
+        out.object_cell[static_cast<std::size_t>(oi)] = at;
+      } else {
+        out.object_cell[static_cast<std::size_t>(oi)] =
+            auto_place(o.kind, id);
+      }
+    }
+
+    // Route every connection between placed endpoints.
+    for (const auto& c : cfg.connections) {
+      const auto endpoint = [&](PortRef p) -> Coord {
+        const auto i = static_cast<std::size_t>(p.object);
+        if (out.io_channel[i] >= 0) {
+          // I/O channels sit at the left array edge, one per row.
+          return Coord{out.io_channel[i] % geom_.rows, -1};
+        }
+        if (out.object_cell[i].col < 0) {
+          // Control-event input: injected at the config-manager edge.
+          return Coord{0, -1};
+        }
+        return out.object_cell[i];
+      };
+      out.routing_segments += route(endpoint(c.src), endpoint(c.dst), id);
+    }
+    peak_alu_ = std::max(peak_alu_, used_alu_cells());
+    peak_ram_ = std::max(peak_ram_, used_ram_cells());
+    return out;
+  } catch (...) {
+    cell_owner_ = cells_snapshot;
+    io_owner_ = io_snapshot;
+    h_used_ = h_snapshot;
+    v_used_ = v_snapshot;
+    segments_.resize(seg_snapshot_size);
+    throw;
+  }
+}
+
+void ResourceMap::release(ConfigId id) {
+  for (auto& o : cell_owner_) {
+    if (o == id) o = kNoConfig;
+  }
+  for (auto& o : io_owner_) {
+    if (o == id) o = kNoConfig;
+  }
+  std::erase_if(segments_, [&](const Segment& s) {
+    if (s.owner != id) return false;
+    auto& counts = s.horizontal ? h_used_ : v_used_;
+    --counts[static_cast<std::size_t>(s.cell)];
+    return true;
+  });
+}
+
+int ResourceMap::free_alu_cells() const {
+  int n = 0;
+  for (int row = 0; row < geom_.rows; ++row) {
+    for (int col = 1; col <= geom_.alu_cols; ++col) {
+      n += cell_free({row, col}) ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+int ResourceMap::free_ram_cells() const {
+  int n = 0;
+  for (int row = 0; row < geom_.rows; ++row) {
+    n += cell_free({row, 0}) ? 1 : 0;
+    n += cell_free({row, geom_.alu_cols + 1}) ? 1 : 0;
+  }
+  return n;
+}
+
+int ResourceMap::free_io_channels() const {
+  int n = 0;
+  for (const auto o : io_owner_) n += (o == kNoConfig) ? 1 : 0;
+  return n;
+}
+
+int ResourceMap::routing_in_use() const {
+  return static_cast<int>(segments_.size());
+}
+
+std::string ResourceMap::occupancy_map() const {
+  std::string s;
+  for (int row = 0; row < geom_.rows; ++row) {
+    for (int col = 0; col < geom_.cols(); ++col) {
+      const ConfigId o = owner({row, col});
+      if (o == kNoConfig) {
+        s += geom_.is_ram_col(col) ? 'r' : '.';
+      } else {
+        s += static_cast<char>('A' + (o % 26));
+      }
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace rsp::xpp

@@ -1,0 +1,109 @@
+// Physical array geometry, placement and routing-resource accounting.
+//
+// XPP-64A geometry (paper, Section 4): "an 8x8 array of computing
+// elements called ALU Processing Array Elements (ALU-PAEs) with a row
+// of 8 storage elements called RAM-PAEs on either side.  Each PAE also
+// includes individually configurable vertical and horizontal routing
+// resources."  We model the RAM-PAEs as the leftmost and rightmost
+// columns of a rows x (alu_cols + 2) grid and account routing as
+// horizontal/vertical track usage along L-shaped paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/xpp/configuration.hpp"
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+struct ArrayGeometry {
+  int rows = 8;
+  int alu_cols = 8;
+  int io_channels = 8;        ///< 4 dual-channel I/O ports
+  // Routing capacity per cell.  The XPP routes over segmented busses
+  // with register forwarding; our router is a naive single-L-path
+  // model, so the per-cell track budget is set generously to avoid
+  // artificial congestion (real congestion still shows on tiny
+  // geometries and is unit-tested with reduced budgets).
+  int h_tracks_per_cell = 24;
+  int v_tracks_per_cell = 24;
+
+  [[nodiscard]] int cols() const { return alu_cols + 2; }
+  [[nodiscard]] bool is_ram_col(int col) const {
+    return col == 0 || col == alu_cols + 1;
+  }
+  [[nodiscard]] int alu_count() const { return rows * alu_cols; }
+  [[nodiscard]] int ram_count() const { return rows * 2; }
+};
+
+/// Identifier of a loaded configuration.
+using ConfigId = int;
+inline constexpr ConfigId kNoConfig = -1;
+
+/// Outcome of placing one configuration.
+struct Placement {
+  std::vector<Coord> object_cell;   ///< per object; {-1,-1} for I/O objects
+  std::vector<int> io_channel;      ///< per object; -1 for array objects
+  int routing_segments = 0;         ///< total track segments consumed
+};
+
+/// Tracks which configuration owns each PAE, each I/O channel and each
+/// routing track — the array's resource-management state.
+class ResourceMap {
+ public:
+  explicit ResourceMap(ArrayGeometry geom);
+
+  const ArrayGeometry& geometry() const { return geom_; }
+
+  /// Place @p cfg for owner @p id.  Honours explicit placements,
+  /// auto-places the rest (first fit), and routes every connection.
+  /// Throws ConfigError if any resource is unavailable — loaded
+  /// configurations can never be overwritten.
+  Placement place(const Configuration& cfg, ConfigId id);
+
+  /// Release every resource owned by @p id.
+  void release(ConfigId id);
+
+  /// Owner of a cell (kNoConfig if free).
+  [[nodiscard]] ConfigId owner(Coord at) const;
+
+  [[nodiscard]] int free_alu_cells() const;
+  [[nodiscard]] int free_ram_cells() const;
+  [[nodiscard]] int free_io_channels() const;
+  [[nodiscard]] int used_alu_cells() const { return geom_.alu_count() - free_alu_cells(); }
+  [[nodiscard]] int used_ram_cells() const { return geom_.ram_count() - free_ram_cells(); }
+
+  /// Total routing segments currently in use.
+  [[nodiscard]] int routing_in_use() const;
+
+  /// High-water marks since the last reset_peaks() (used by the
+  /// time-slicing experiments to compare against a non-shared design).
+  [[nodiscard]] int peak_alu_cells() const { return peak_alu_; }
+  [[nodiscard]] int peak_ram_cells() const { return peak_ram_; }
+  void reset_peaks() {
+    peak_alu_ = used_alu_cells();
+    peak_ram_ = used_ram_cells();
+  }
+
+  /// ASCII occupancy map (one char per cell) for reports.
+  [[nodiscard]] std::string occupancy_map() const;
+
+ private:
+  [[nodiscard]] int idx(Coord at) const { return at.row * geom_.cols() + at.col; }
+  [[nodiscard]] bool cell_free(Coord at) const;
+  Coord auto_place(ObjectKind kind, ConfigId id);
+  int route(Coord src, Coord dst, ConfigId id);
+
+  ArrayGeometry geom_;
+  std::vector<ConfigId> cell_owner_;       // rows*cols
+  std::vector<ConfigId> io_owner_;         // io_channels
+  std::vector<int> h_used_;                // per cell
+  std::vector<int> v_used_;                // per cell
+  int peak_alu_ = 0;
+  int peak_ram_ = 0;
+  struct Segment { int cell; bool horizontal; ConfigId owner; };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,166 @@
+#include "src/xpp/builder.hpp"
+
+#include <set>
+
+namespace rsp::xpp {
+
+ObjHandle ConfigBuilder::add(ObjectSpec spec) {
+  cfg_.objects.push_back(std::move(spec));
+  return {static_cast<int>(cfg_.objects.size()) - 1};
+}
+
+ObjHandle ConfigBuilder::alu(const std::string& name, Opcode op,
+                             AluParams extra) {
+  extra.op = op;
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kAlu;
+  s.alu = extra;
+  return add(std::move(s));
+}
+
+ObjHandle ConfigBuilder::alu_shift(const std::string& name, Opcode op,
+                                   int shift) {
+  AluParams p;
+  p.op = op;
+  p.shift = shift;
+  return alu(name, op, p);
+}
+
+ObjHandle ConfigBuilder::sel4(const std::string& name,
+                              const std::array<Word, 4>& table) {
+  AluParams p;
+  p.op = Opcode::kSel4;
+  p.table = table;
+  return alu(name, Opcode::kSel4, p);
+}
+
+ObjHandle ConfigBuilder::counter(const std::string& name, CounterParams p) {
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kCounter;
+  s.counter = p;
+  return add(std::move(s));
+}
+
+ObjHandle ConfigBuilder::ram(const std::string& name, RamParams p) {
+  if (p.capacity <= 0 || p.capacity > kRamWords) {
+    throw ConfigError("config '" + cfg_.name + "': RAM '" + name +
+                      "' capacity out of range");
+  }
+  if ((p.mode == RamMode::kLut || p.mode == RamMode::kCircularLut) &&
+      p.preload.empty()) {
+    throw ConfigError("config '" + cfg_.name + "': RAM '" + name +
+                      "' LUT mode requires preload");
+  }
+  if (static_cast<int>(p.preload.size()) > p.capacity) {
+    throw ConfigError("config '" + cfg_.name + "': RAM '" + name +
+                      "' preload exceeds capacity");
+  }
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kRam;
+  s.ram = std::move(p);
+  return add(std::move(s));
+}
+
+ObjHandle ConfigBuilder::input(const std::string& name) {
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kInput;
+  return add(std::move(s));
+}
+
+ObjHandle ConfigBuilder::control_input(const std::string& name) {
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kInput;
+  s.control = true;
+  return add(std::move(s));
+}
+
+ObjHandle ConfigBuilder::output(const std::string& name) {
+  ObjectSpec s;
+  s.name = name;
+  s.kind = ObjectKind::kOutput;
+  return add(std::move(s));
+}
+
+void ConfigBuilder::tie(ObjHandle obj, int port, Word value) {
+  cfg_.objects.at(static_cast<std::size_t>(obj.index))
+      .consts.emplace_back(port, value);
+}
+
+void ConfigBuilder::connect(PortRef src, PortRef dst) {
+  cfg_.connections.push_back({src, dst, std::nullopt});
+}
+
+void ConfigBuilder::connect_preload(PortRef src, PortRef dst, Word initial) {
+  cfg_.connections.push_back({src, dst, initial});
+}
+
+void ConfigBuilder::place(ObjHandle obj, Coord at) {
+  cfg_.objects.at(static_cast<std::size_t>(obj.index)).placement = at;
+}
+
+void ConfigBuilder::validate() const {
+  std::set<std::string> names;
+  for (const auto& o : cfg_.objects) {
+    if (!names.insert(o.name).second) {
+      throw ConfigError("config '" + cfg_.name + "': duplicate object name '" +
+                        o.name + "'");
+    }
+  }
+  const int n = static_cast<int>(cfg_.objects.size());
+  for (const auto& c : cfg_.connections) {
+    if (c.src.object < 0 || c.src.object >= n || c.dst.object < 0 ||
+        c.dst.object >= n) {
+      throw ConfigError("config '" + cfg_.name +
+                        "': connection references unknown object");
+    }
+    if (c.src.port < 0 || c.src.port >= kMaxOut || c.dst.port < 0 ||
+        c.dst.port >= kMaxIn) {
+      throw ConfigError("config '" + cfg_.name +
+                        "': connection port index out of range");
+    }
+    const auto& so = cfg_.objects[static_cast<std::size_t>(c.src.object)];
+    if (so.kind == ObjectKind::kOutput) {
+      throw ConfigError("config '" + cfg_.name +
+                        "': OUTPUT object used as a source");
+    }
+    const auto& dobj = cfg_.objects[static_cast<std::size_t>(c.dst.object)];
+    if (dobj.kind == ObjectKind::kInput) {
+      throw ConfigError("config '" + cfg_.name +
+                        "': INPUT object used as a sink");
+    }
+  }
+  // Required-input coverage for ALU objects.
+  for (int oi = 0; oi < n; ++oi) {
+    const auto& o = cfg_.objects[static_cast<std::size_t>(oi)];
+    if (o.kind != ObjectKind::kAlu) continue;
+    const OpInfo info = op_info(o.alu.op);
+    for (int port = 0; port < kMaxIn; ++port) {
+      if (((info.in_mask >> port) & 1u) == 0) continue;
+      bool bound = false;
+      for (const auto& c : cfg_.connections) {
+        if (c.dst == PortRef{oi, port}) bound = true;
+      }
+      for (const auto& [p, v] : o.consts) {
+        (void)v;
+        if (p == port) bound = true;
+      }
+      if (!bound) {
+        throw ConfigError("config '" + cfg_.name + "': object '" + o.name +
+                          "' (" + opcode_name(o.alu.op) + ") input " +
+                          std::to_string(port) + " unbound");
+      }
+    }
+  }
+}
+
+Configuration ConfigBuilder::build() const {
+  validate();
+  return cfg_;
+}
+
+}  // namespace rsp::xpp

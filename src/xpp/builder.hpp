@@ -1,0 +1,71 @@
+// ConfigBuilder: the high-level programming front end for the array.
+//
+// Plays the role of the NML/XPP-VC design flow in the paper's Figure 3:
+// configurations are authored in C++ against a typed API instead of a
+// separate language, then handed to the ConfigurationManager.
+#pragma once
+
+#include <string>
+
+#include "src/xpp/configuration.hpp"
+
+namespace rsp::xpp {
+
+/// Handle to an object under construction; produces port references.
+struct ObjHandle {
+  int index = -1;
+  [[nodiscard]] constexpr PortRef in(int port = 0) const { return {index, port}; }
+  [[nodiscard]] constexpr PortRef out(int port = 0) const { return {index, port}; }
+};
+
+class ConfigBuilder {
+ public:
+  explicit ConfigBuilder(std::string name) { cfg_.name = std::move(name); }
+
+  /// Add an ALU-PAE running @p op.
+  ObjHandle alu(const std::string& name, Opcode op, AluParams extra = {});
+
+  /// Add an ALU-PAE with a post-shift (kMulShr/kShl/kShr/kAccum/...).
+  ObjHandle alu_shift(const std::string& name, Opcode op, int shift);
+
+  /// Add a kSel4 constant multiplexer with the given table.
+  ObjHandle sel4(const std::string& name, const std::array<Word, 4>& table);
+
+  /// Add a counter object.
+  ObjHandle counter(const std::string& name, CounterParams p);
+
+  /// Add a RAM-PAE.
+  ObjHandle ram(const std::string& name, RamParams p);
+
+  /// Add an external streaming input / output channel.
+  ObjHandle input(const std::string& name);
+  ObjHandle output(const std::string& name);
+
+  /// Add a control-event input: tokens come from the configuration
+  /// manager / sequencer, so no physical I/O channel is consumed.
+  ObjHandle control_input(const std::string& name);
+
+  /// Tie input @p port of @p obj to a constant.
+  void tie(ObjHandle obj, int port, Word value);
+
+  /// Connect two ports, optionally preloading an initial token.
+  void connect(PortRef src, PortRef dst);
+  void connect_preload(PortRef src, PortRef dst, Word initial);
+
+  /// Request explicit placement for @p obj.
+  void place(ObjHandle obj, Coord at);
+
+  /// Finish; validates port bounds, duplicate names and required inputs.
+  [[nodiscard]] Configuration build() const;
+
+  /// Number of objects added so far.
+  [[nodiscard]] int size() const { return static_cast<int>(cfg_.objects.size()); }
+
+ private:
+  ObjHandle add(ObjectSpec spec);
+  void validate() const;
+
+  Configuration cfg_;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,83 @@
+// Configuration: the software-defined description of array behaviour.
+//
+// "The functionality of the reconfigurable array is defined by
+// software-based configurations, which describe the behavior of the
+// processing elements and the routing between them" (paper, Section 2).
+// A Configuration is a pure value: a list of object specifications plus
+// a list of connections.  It is instantiated onto physical resources by
+// the ConfigurationManager.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/xpp/alu.hpp"
+#include "src/xpp/counter.hpp"
+#include "src/xpp/ram.hpp"
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+/// Specification of one configurable object.
+struct ObjectSpec {
+  std::string name;
+  ObjectKind kind = ObjectKind::kAlu;
+  AluParams alu;                   ///< kAlu
+  CounterParams counter;           ///< kCounter
+  RamParams ram;                   ///< kRam
+  std::optional<Coord> placement;  ///< explicit placement (else auto)
+  /// Control-event input: tokens are injected by the configuration
+  /// manager (sequencing events), not through a physical I/O channel.
+  bool control = false;
+  /// Constant-tied inputs: (port, value).
+  std::vector<std::pair<int, Word>> consts;
+};
+
+/// Reference to a port of an object within a Configuration.
+struct PortRef {
+  int object = -1;
+  int port = 0;
+  friend constexpr bool operator==(PortRef, PortRef) = default;
+};
+
+/// One point-to-point connection (the manager merges connections with a
+/// common source into a single fanned-out net).
+struct ConnSpec {
+  PortRef src;
+  PortRef dst;
+  std::optional<Word> preload;  ///< initial token (primes feedback loops)
+};
+
+/// A complete, loadable configuration.
+struct Configuration {
+  std::string name;
+  std::vector<ObjectSpec> objects;
+  std::vector<ConnSpec> connections;
+
+  /// Count of objects of a given kind (resource estimation).
+  [[nodiscard]] int count(ObjectKind k) const {
+    int n = 0;
+    for (const auto& o : objects) n += (o.kind == k) ? 1 : 0;
+    return n;
+  }
+  /// ALU-PAE demand (ALUs + counters share the ALU-PAE pool).
+  [[nodiscard]] int alu_demand() const {
+    return count(ObjectKind::kAlu) + count(ObjectKind::kCounter);
+  }
+  [[nodiscard]] int ram_demand() const { return count(ObjectKind::kRam); }
+  /// Physical I/O channel demand (control-event inputs excluded).
+  [[nodiscard]] int io_demand() const {
+    int n = 0;
+    for (const auto& o : objects) {
+      if ((o.kind == ObjectKind::kInput && !o.control) ||
+          o.kind == ObjectKind::kOutput) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace rsp::xpp

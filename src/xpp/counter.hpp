@@ -1,0 +1,57 @@
+// Counter object: an ALU-PAE configured as a modulo sequence generator.
+//
+// The paper's despreader and FFT64 mappings use counters to drive
+// address generation and comparators ("A simple counter and comparator
+// control the multiplexer stages", Section 3.2).
+#pragma once
+
+#include "src/common/word.hpp"
+#include "src/xpp/object.hpp"
+
+namespace rsp::xpp {
+
+struct CounterParams {
+  Word start = 0;
+  Word step = 1;
+  Word modulo = 0;  ///< > 0: wrap to start when the count reaches start+modulo*step
+};
+
+/// Emits start, start+step, ... on out0; emits 1 on out1 on the wrapping
+/// step (else 0).  If in0 is bound it acts as a step-enable token: one
+/// count per consumed token.
+class CounterObject final : public Object {
+ public:
+  CounterObject(std::string name, CounterParams p)
+      : Object(std::move(name), ObjectKind::kCounter),
+        p_(p),
+        value_(p.start),
+        remaining_(p.modulo) {}
+
+  const CounterParams& params() const { return p_; }
+
+ protected:
+  bool do_fire() override {
+    const bool gated = in_bound(0);
+    if (gated && !in_ready(0)) return false;
+    if (!out_ready(0) || !out_ready(1)) return false;
+    const bool wraps = p_.modulo > 0 && remaining_ == 1;
+    out_write(0, value_);
+    out_write(1, wraps ? 1 : 0);
+    if (gated) in_consume(0);
+    if (wraps) {
+      value_ = p_.start;
+      remaining_ = p_.modulo;
+    } else {
+      value_ = wrap24(static_cast<long long>(value_) + p_.step);
+      if (p_.modulo > 0) --remaining_;
+    }
+    return true;
+  }
+
+ private:
+  CounterParams p_;
+  Word value_;
+  Word remaining_;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,69 @@
+// External streaming I/O channels.
+//
+// "Four dual-channel Input/Output ports, capable of functioning in
+// streaming and RAM-addressing modes, handle external communication"
+// (paper, Section 4).  We model the streaming mode: an input channel
+// feeds a software-supplied sample queue into the array at up to one
+// word per cycle; an output channel drains results into a vector.
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/xpp/object.hpp"
+
+namespace rsp::xpp {
+
+/// Number of independent streaming channels (4 dual-channel ports).
+inline constexpr int kIoChannels = 8;
+
+class InputObject final : public Object {
+ public:
+  explicit InputObject(std::string name)
+      : Object(std::move(name), ObjectKind::kInput) {}
+
+  /// Queue samples for streaming into the array.
+  void feed(const std::vector<Word>& samples) {
+    queue_.insert(queue_.end(), samples.begin(), samples.end());
+  }
+  void feed(Word v) { queue_.push_back(v); }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ protected:
+  bool do_fire() override {
+    if (queue_.empty() || !out_ready(0)) return false;
+    out_write(0, queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+ private:
+  std::deque<Word> queue_;
+};
+
+class OutputObject final : public Object {
+ public:
+  explicit OutputObject(std::string name)
+      : Object(std::move(name), ObjectKind::kOutput) {}
+
+  /// All words received so far.
+  [[nodiscard]] const std::vector<Word>& data() const { return data_; }
+
+  /// Move the received words out, clearing the sink.
+  [[nodiscard]] std::vector<Word> take() { return std::exchange(data_, {}); }
+
+ protected:
+  bool do_fire() override {
+    if (!in_ready(0)) return false;
+    data_.push_back(in_peek(0));
+    in_consume(0);
+    return true;
+  }
+
+ private:
+  std::vector<Word> data_;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,80 @@
+// Macro subgraphs: common datapath fragments built from multiple PAEs.
+//
+// The paper's block diagrams treat complex arithmetic as units mapped
+// onto "complex-arithmetic ALUs" (Figure 9); the packed-complex opcodes
+// model that directly.  These macros provide the word-granular
+// decomposition of the same functions onto scalar PAEs, used by the
+// ablation bench to quantify the cost of the coarse-grained choice.
+#pragma once
+
+#include <string>
+
+#include "src/xpp/builder.hpp"
+
+namespace rsp::xpp::macros {
+
+/// Clamp a word stream to 12-bit two's complement using MIN/MAX PAEs.
+/// Returns the port carrying the clipped stream.  Adds 2 ALU-PAEs.
+inline PortRef clip12(ConfigBuilder& b, const std::string& prefix,
+                      PortRef src) {
+  const auto lo = b.alu(prefix + ".min", Opcode::kMin);
+  b.tie(lo, 1, 2047);
+  const auto hi = b.alu(prefix + ".max", Opcode::kMax);
+  b.tie(hi, 1, -2048);
+  b.connect(src, lo.in(0));
+  b.connect(lo.out(0), hi.in(0));
+  return hi.out(0);
+}
+
+/// Complex multiply on scalar PAEs, bit-identical to a single kCMulShr
+/// ALU with the same @p shift for operands up to 11 bits per component
+/// (full 12-bit extremes can overflow the 24-bit scalar adders, which
+/// saturate where kCMulShr keeps full intermediate precision).  Consumes packed 12+12 streams @p a and
+/// @p b, produces a packed 12+12 stream.  Adds 13 ALU-PAEs:
+/// 2x UNPACK, 4x MUL, SUB, ADD, 2x SHRR, 2x clip12 (2 PAEs each), PACK
+/// = 15 ALU-PAEs.
+inline PortRef scalar_cmul(ConfigBuilder& b, const std::string& prefix,
+                           int shift, PortRef a, PortRef bb) {
+  const auto ua = b.alu(prefix + ".ua", Opcode::kUnpack);
+  const auto ub = b.alu(prefix + ".ub", Opcode::kUnpack);
+  b.connect(a, ua.in(0));
+  b.connect(bb, ub.in(0));
+
+  const auto mrr = b.alu(prefix + ".mrr", Opcode::kMul);
+  const auto mii = b.alu(prefix + ".mii", Opcode::kMul);
+  const auto mri = b.alu(prefix + ".mri", Opcode::kMul);
+  const auto mir = b.alu(prefix + ".mir", Opcode::kMul);
+  b.connect(ua.out(0), mrr.in(0));  // a.re * b.re
+  b.connect(ub.out(0), mrr.in(1));
+  b.connect(ua.out(1), mii.in(0));  // a.im * b.im
+  b.connect(ub.out(1), mii.in(1));
+  b.connect(ua.out(0), mri.in(0));  // a.re * b.im
+  b.connect(ub.out(1), mri.in(1));
+  b.connect(ua.out(1), mir.in(0));  // a.im * b.re
+  b.connect(ub.out(0), mir.in(1));
+
+  const auto re = b.alu(prefix + ".re", Opcode::kSub);
+  const auto im = b.alu(prefix + ".im", Opcode::kAdd);
+  b.connect(mrr.out(0), re.in(0));
+  b.connect(mii.out(0), re.in(1));
+  b.connect(mri.out(0), im.in(0));
+  b.connect(mir.out(0), im.in(1));
+
+  const auto sre = b.alu_shift(prefix + ".sre", Opcode::kShrRound, shift);
+  const auto sim = b.alu_shift(prefix + ".sim", Opcode::kShrRound, shift);
+  b.connect(re.out(0), sre.in(0));
+  b.connect(im.out(0), sim.in(0));
+
+  const PortRef cre = clip12(b, prefix + ".cre", sre.out(0));
+  const PortRef cim = clip12(b, prefix + ".cim", sim.out(0));
+
+  const auto pk = b.alu(prefix + ".pk", Opcode::kPack);
+  b.connect(cre, pk.in(0));
+  b.connect(cim, pk.in(1));
+  return pk.out(0);
+}
+
+/// Number of ALU-PAEs consumed by one scalar_cmul instance.
+inline constexpr int kScalarCmulAlus = 15;
+
+}  // namespace rsp::xpp::macros

@@ -1,0 +1,138 @@
+#include "src/xpp/manager.hpp"
+
+#include <set>
+
+namespace rsp::xpp {
+
+ConfigurationManager::ConfigurationManager(ArrayGeometry geom)
+    : resources_(geom) {}
+
+long long config_load_cycles(const Configuration& cfg) {
+  // Distinct source ports = nets to route.
+  std::set<std::pair<int, int>> srcs;
+  for (const auto& c : cfg.connections) srcs.insert({c.src.object, c.src.port});
+  return kLoadCyclesBase +
+         kLoadCyclesPerObject * static_cast<long long>(cfg.objects.size()) +
+         kLoadCyclesPerNet * static_cast<long long>(srcs.size());
+}
+
+ConfigId ConfigurationManager::load(const Configuration& cfg) {
+  const ConfigId id = next_id_++;
+  const Placement placement = resources_.place(cfg, id);
+
+  // Instantiate runtime objects.
+  std::vector<std::unique_ptr<Object>> objects;
+  objects.reserve(cfg.objects.size());
+  for (const auto& spec : cfg.objects) {
+    switch (spec.kind) {
+      case ObjectKind::kAlu:
+        objects.push_back(std::make_unique<AluObject>(spec.name, spec.alu));
+        break;
+      case ObjectKind::kCounter:
+        objects.push_back(
+            std::make_unique<CounterObject>(spec.name, spec.counter));
+        break;
+      case ObjectKind::kRam:
+        objects.push_back(std::make_unique<RamObject>(spec.name, spec.ram));
+        break;
+      case ObjectKind::kInput:
+        objects.push_back(std::make_unique<InputObject>(spec.name));
+        break;
+      case ObjectKind::kOutput:
+        objects.push_back(std::make_unique<OutputObject>(spec.name));
+        break;
+    }
+    for (const auto& [port, value] : spec.consts) {
+      objects.back()->set_const(port, value);
+    }
+  }
+
+  // Build nets: one per distinct source port, fanned out to all sinks.
+  std::vector<std::unique_ptr<Net>> nets;
+  std::map<std::pair<int, int>, Net*> by_src;
+  for (const auto& conn : cfg.connections) {
+    const auto key = std::make_pair(conn.src.object, conn.src.port);
+    Net* net = nullptr;
+    const auto it = by_src.find(key);
+    if (it == by_src.end()) {
+      nets.push_back(std::make_unique<Net>());
+      net = nets.back().get();
+      by_src.emplace(key, net);
+      objects[static_cast<std::size_t>(conn.src.object)]->bind_out(
+          conn.src.port, *net);
+    } else {
+      net = it->second;
+    }
+    objects[static_cast<std::size_t>(conn.dst.object)]->bind_in(conn.dst.port,
+                                                                *net);
+    if (conn.preload) net->preload(*conn.preload);
+  }
+
+  // Charge configuration-write time; everything already on the array
+  // keeps executing during the load.
+  const long long cost = config_load_cycles(cfg);
+  sim_.run(cost);
+  total_config_cycles_ += cost;
+
+  LoadedConfig lc;
+  lc.name = cfg.name;
+  lc.group = sim_.add_group(std::move(objects), std::move(nets));
+  for (const auto cell : placement.object_cell) {
+    if (cell.col < 0) continue;
+    if (resources_.geometry().is_ram_col(cell.col)) {
+      ++lc.ram_cells;
+    } else {
+      ++lc.alu_cells;
+    }
+  }
+  for (const auto ch : placement.io_channel) lc.io_channels += (ch >= 0) ? 1 : 0;
+  lc.routing_segments = placement.routing_segments;
+  lc.load_cycles = cost;
+  lc.loaded_at_cycle = sim_.cycle();
+  loaded_.emplace(id, lc);
+  return id;
+}
+
+void ConfigurationManager::release(ConfigId id) {
+  const auto it = loaded_.find(id);
+  if (it == loaded_.end()) {
+    throw ConfigError("manager: release of unknown configuration");
+  }
+  const long long cost =
+      kReleaseCyclesPerObject *
+      (it->second.alu_cells + it->second.ram_cells + it->second.io_channels);
+  sim_.run(cost);
+  total_config_cycles_ += cost;
+  sim_.remove_group(it->second.group);
+  resources_.release(id);
+  loaded_.erase(it);
+}
+
+const LoadedConfig& ConfigurationManager::info(ConfigId id) const {
+  const auto it = loaded_.find(id);
+  if (it == loaded_.end()) {
+    throw ConfigError("manager: info for unknown configuration");
+  }
+  return it->second;
+}
+
+InputObject& ConfigurationManager::input(ConfigId id, const std::string& name) {
+  auto* obj = sim_.find(info(id).group, name);
+  auto* in = dynamic_cast<InputObject*>(obj);
+  if (in == nullptr) {
+    throw ConfigError("manager: no input object '" + name + "'");
+  }
+  return *in;
+}
+
+OutputObject& ConfigurationManager::output(ConfigId id,
+                                           const std::string& name) {
+  auto* obj = sim_.find(info(id).group, name);
+  auto* out = dynamic_cast<OutputObject*>(obj);
+  if (out == nullptr) {
+    throw ConfigError("manager: no output object '" + name + "'");
+  }
+  return *out;
+}
+
+}  // namespace rsp::xpp

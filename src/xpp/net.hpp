@@ -1,0 +1,88 @@
+// Token-carrying communication resource between PAE ports.
+//
+// The paper (Sections 2 and 4): "Handshake protocols implemented in the
+// communication resources maintain a token-oriented data flow."  A Net
+// models one registered routing resource: it holds at most one token,
+// the producer may refill it in the same cycle a consumer drains it
+// (combinational ready path, giving one-value-per-cycle pipelining),
+// and a token fans out to every sink and is only released once all
+// sinks have consumed it — no token is ever lost or duplicated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+class Net {
+ public:
+  /// Register a consumer; returns its sink index.
+  int add_sink() {
+    return num_sinks_++;
+  }
+
+  int num_sinks() const { return num_sinks_; }
+
+  /// Preload an initial token (register preloading; required to prime
+  /// feedback loops such as accumulators).
+  void preload(Word v) {
+    value_ = v;
+    has_value_ = true;
+    consumed_mask_ = 0;
+  }
+
+  /// True if sink @p sink can consume a token this cycle.
+  [[nodiscard]] bool can_read(int sink) const {
+    return has_value_ && ((consumed_mask_ >> sink) & 1u) == 0;
+  }
+
+  /// Value of the current token (valid only if some sink can_read).
+  [[nodiscard]] Word peek() const { return value_; }
+
+  /// Consume the current token for sink @p sink.
+  void consume(int sink) { consumed_mask_ |= 1u << sink; }
+
+  /// True if the producer can stage a new token this cycle.  The slot
+  /// counts as free once every sink has consumed the resident token.
+  [[nodiscard]] bool can_write() const {
+    return !staged_.has_value() && (!has_value_ || all_consumed());
+  }
+
+  /// Stage a token; it becomes visible to sinks at the next commit.
+  void stage(Word v) { staged_ = v; }
+
+  /// End-of-cycle register update.
+  void commit() {
+    if (has_value_ && all_consumed()) {
+      has_value_ = false;
+      consumed_mask_ = 0;
+    }
+    if (staged_) {
+      value_ = *staged_;
+      has_value_ = true;
+      consumed_mask_ = 0;
+      staged_.reset();
+    }
+  }
+
+  /// True if a token is resident (for quiescence / drain checks).
+  [[nodiscard]] bool occupied() const { return has_value_ || staged_.has_value(); }
+
+ private:
+  [[nodiscard]] bool all_consumed() const {
+    const std::uint32_t full = (num_sinks_ >= 32)
+                                   ? ~0u
+                                   : ((1u << num_sinks_) - 1u);
+    return (consumed_mask_ & full) == full;
+  }
+
+  Word value_ = 0;
+  bool has_value_ = false;
+  std::uint32_t consumed_mask_ = 0;
+  std::optional<Word> staged_;
+  int num_sinks_ = 0;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,344 @@
+#include "src/xpp/nml.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/xpp/builder.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+const std::map<std::string, Opcode>& opcode_table() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int i = 0; i <= static_cast<int>(Opcode::kCAccum); ++i) {
+      const auto op = static_cast<Opcode>(i);
+      t.emplace(opcode_name(op), op);
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+Word parse_word(const std::string& s) {
+  std::size_t pos = 0;
+  const long v = std::stol(s, &pos, 0);
+  if (pos != s.size()) throw ConfigError("nml: bad number '" + s + "'");
+  return static_cast<Word>(v);
+}
+
+std::vector<Word> parse_list(const std::string& s) {
+  std::vector<Word> out;
+  std::string cur;
+  for (const char ch : s + ",") {
+    if (ch == ',') {
+      if (!cur.empty()) out.push_back(parse_word(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  return out;
+}
+
+/// Split "name.inK" / "name.outK" into (name, is_out, K).
+struct PortName {
+  std::string obj;
+  bool is_out = false;
+  int port = 0;
+};
+
+PortName parse_port(const std::string& s) {
+  const auto dot = s.find('.');
+  if (dot == std::string::npos) throw ConfigError("nml: bad port '" + s + "'");
+  PortName p;
+  p.obj = s.substr(0, dot);
+  const std::string rest = s.substr(dot + 1);
+  if (rest.rfind("out", 0) == 0) {
+    p.is_out = true;
+    p.port = rest.size() > 3 ? parse_word(rest.substr(3)) : 0;
+  } else if (rest.rfind("in", 0) == 0) {
+    p.is_out = false;
+    p.port = rest.size() > 2 ? parse_word(rest.substr(2)) : 0;
+  } else {
+    throw ConfigError("nml: bad port '" + s + "'");
+  }
+  return p;
+}
+
+/// key=value option lookup.
+std::optional<std::string> option(const std::vector<std::string>& toks,
+                                  std::size_t from, const std::string& key) {
+  for (std::size_t i = from; i < toks.size(); ++i) {
+    if (toks[i].rfind(key + "=", 0) == 0) {
+      return toks[i].substr(key.size() + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+bool flag(const std::vector<std::string>& toks, std::size_t from,
+          const std::string& key) {
+  for (std::size_t i = from; i < toks.size(); ++i) {
+    if (toks[i] == key) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Opcode opcode_from_name(const std::string& name) {
+  const auto it = opcode_table().find(name);
+  if (it == opcode_table().end()) {
+    throw ConfigError("nml: unknown opcode '" + name + "'");
+  }
+  return it->second;
+}
+
+Configuration parse_nml(const std::string& text) {
+  std::optional<ConfigBuilder> builder;
+  std::map<std::string, ObjHandle> objs;
+
+  const auto lookup = [&](const std::string& name) -> ObjHandle {
+    const auto it = objs.find(name);
+    if (it == objs.end()) throw ConfigError("nml: unknown object '" + name + "'");
+    return it->second;
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& cmd = toks[0];
+
+    if (cmd == "config") {
+      if (toks.size() < 2) throw ConfigError("nml: config needs a name");
+      builder.emplace(toks[1]);
+      continue;
+    }
+    if (!builder) throw ConfigError("nml: missing 'config' header");
+
+    if (cmd == "obj") {
+      if (toks.size() < 3) throw ConfigError("nml: obj needs name and kind");
+      const std::string& name = toks[1];
+      const std::string& kind = toks[2];
+      if (kind == "INPUT") {
+        objs.emplace(name, builder->input(name));
+      } else if (kind == "CINPUT") {
+        objs.emplace(name, builder->control_input(name));
+      } else if (kind == "OUTPUT") {
+        objs.emplace(name, builder->output(name));
+      } else if (kind == "ALU") {
+        if (toks.size() < 4) throw ConfigError("nml: ALU needs an opcode");
+        AluParams p;
+        p.op = opcode_from_name(toks[3]);
+        if (const auto s = option(toks, 4, "shift")) p.shift = parse_word(*s);
+        if (flag(toks, 4, "wrap")) p.saturate = false;
+        if (const auto t = option(toks, 4, "table")) {
+          const auto vals = parse_list(*t);
+          if (vals.size() != 4) throw ConfigError("nml: table needs 4 values");
+          std::copy(vals.begin(), vals.end(), p.table.begin());
+        }
+        objs.emplace(name, builder->alu(name, p.op, p));
+      } else if (kind == "COUNTER") {
+        CounterParams p;
+        if (const auto s = option(toks, 3, "start")) p.start = parse_word(*s);
+        if (const auto s = option(toks, 3, "step")) p.step = parse_word(*s);
+        if (const auto s = option(toks, 3, "mod")) p.modulo = parse_word(*s);
+        objs.emplace(name, builder->counter(name, p));
+      } else if (kind == "RAM") {
+        if (toks.size() < 4) throw ConfigError("nml: RAM needs a mode");
+        RamParams p;
+        const std::string& mode = toks[3];
+        if (mode == "RAM") {
+          p.mode = RamMode::kRam;
+        } else if (mode == "FIFO") {
+          p.mode = RamMode::kFifo;
+        } else if (mode == "LUT") {
+          p.mode = RamMode::kLut;
+        } else if (mode == "CLUT") {
+          p.mode = RamMode::kCircularLut;
+        } else {
+          throw ConfigError("nml: unknown RAM mode '" + mode + "'");
+        }
+        if (const auto s = option(toks, 4, "cap")) p.capacity = parse_word(*s);
+        if (const auto s = option(toks, 4, "preload")) p.preload = parse_list(*s);
+        objs.emplace(name, builder->ram(name, std::move(p)));
+      } else {
+        throw ConfigError("nml: unknown object kind '" + kind + "'");
+      }
+    } else if (cmd == "tie") {
+      if (toks.size() < 3) throw ConfigError("nml: tie needs port and value");
+      const PortName p = parse_port(toks[1]);
+      if (p.is_out) throw ConfigError("nml: tie target must be an input");
+      builder->tie(lookup(p.obj), p.port, parse_word(toks[2]));
+    } else if (cmd == "conn") {
+      if (toks.size() < 3) throw ConfigError("nml: conn needs two ports");
+      const PortName s = parse_port(toks[1]);
+      const PortName d = parse_port(toks[2]);
+      if (!s.is_out || d.is_out) {
+        throw ConfigError("nml: conn must go out-port -> in-port");
+      }
+      const PortRef src{lookup(s.obj).index, s.port};
+      const PortRef dst{lookup(d.obj).index, d.port};
+      if (const auto pl = option(toks, 3, "preload")) {
+        builder->connect_preload(src, dst, parse_word(*pl));
+      } else {
+        builder->connect(src, dst);
+      }
+    } else if (cmd == "place") {
+      if (toks.size() < 4) throw ConfigError("nml: place needs obj row col");
+      builder->place(lookup(toks[1]),
+                     {parse_word(toks[2]), parse_word(toks[3])});
+    } else {
+      throw ConfigError("nml: unknown directive '" + cmd + "'");
+    }
+  }
+  if (!builder) throw ConfigError("nml: empty description");
+  return builder->build();
+}
+
+Configuration parse_nml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("nml: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_nml(buf.str());
+}
+
+std::string to_nml(const Configuration& cfg) {
+  std::ostringstream os;
+  os << "config " << cfg.name << "\n";
+  for (const auto& o : cfg.objects) {
+    os << "obj " << o.name << " ";
+    switch (o.kind) {
+      case ObjectKind::kInput:
+        os << (o.control ? "CINPUT" : "INPUT");
+        break;
+      case ObjectKind::kOutput:
+        os << "OUTPUT";
+        break;
+      case ObjectKind::kAlu: {
+        os << "ALU " << opcode_name(o.alu.op);
+        if (o.alu.shift != 0) os << " shift=" << o.alu.shift;
+        if (!o.alu.saturate) os << " wrap";
+        if (o.alu.op == Opcode::kSel4) {
+          os << " table=" << o.alu.table[0] << "," << o.alu.table[1] << ","
+             << o.alu.table[2] << "," << o.alu.table[3];
+        }
+        break;
+      }
+      case ObjectKind::kCounter:
+        os << "COUNTER start=" << o.counter.start << " step=" << o.counter.step
+           << " mod=" << o.counter.modulo;
+        break;
+      case ObjectKind::kRam: {
+        os << "RAM ";
+        switch (o.ram.mode) {
+          case RamMode::kRam: os << "RAM"; break;
+          case RamMode::kFifo: os << "FIFO"; break;
+          case RamMode::kLut: os << "LUT"; break;
+          case RamMode::kCircularLut: os << "CLUT"; break;
+        }
+        os << " cap=" << o.ram.capacity;
+        if (!o.ram.preload.empty()) {
+          os << " preload=";
+          for (std::size_t i = 0; i < o.ram.preload.size(); ++i) {
+            os << (i ? "," : "") << o.ram.preload[i];
+          }
+        }
+        break;
+      }
+    }
+    os << "\n";
+    for (const auto& [port, value] : o.consts) {
+      os << "tie " << o.name << ".in" << port << " " << value << "\n";
+    }
+    if (o.placement) {
+      os << "place " << o.name << " " << o.placement->row << " "
+         << o.placement->col << "\n";
+    }
+  }
+  for (const auto& c : cfg.connections) {
+    os << "conn " << cfg.objects[static_cast<std::size_t>(c.src.object)].name
+       << ".out" << c.src.port << " "
+       << cfg.objects[static_cast<std::size_t>(c.dst.object)].name << ".in"
+       << c.dst.port;
+    if (c.preload) os << " preload=" << *c.preload;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string to_dot(const Configuration& cfg) {
+  std::ostringstream os;
+  os << "digraph \"" << cfg.name << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+  for (const auto& o : cfg.objects) {
+    std::string label = o.name;
+    std::string shape = "box";
+    switch (o.kind) {
+      case ObjectKind::kAlu:
+        label += "\\n" + std::string(opcode_name(o.alu.op));
+        if (o.alu.shift != 0) label += " >>" + std::to_string(o.alu.shift);
+        shape = "box";
+        break;
+      case ObjectKind::kCounter:
+        label += "\\nCOUNTER mod " + std::to_string(o.counter.modulo);
+        shape = "oval";
+        break;
+      case ObjectKind::kRam: {
+        const char* mode = o.ram.mode == RamMode::kRam
+                               ? "RAM"
+                               : (o.ram.mode == RamMode::kFifo
+                                      ? "FIFO"
+                                      : (o.ram.mode == RamMode::kLut
+                                             ? "LUT"
+                                             : "CLUT"));
+        label += std::string("\\n") + mode + " x" +
+                 std::to_string(o.ram.preload.empty()
+                                    ? o.ram.capacity
+                                    : static_cast<int>(o.ram.preload.size()));
+        shape = "box3d";
+        break;
+      }
+      case ObjectKind::kInput:
+        label += o.control ? "\\n(control)" : "\\nINPUT";
+        shape = "invhouse";
+        break;
+      case ObjectKind::kOutput:
+        label += "\\nOUTPUT";
+        shape = "house";
+        break;
+    }
+    os << "  \"" << o.name << "\" [label=\"" << label << "\", shape="
+       << shape << "];\n";
+  }
+  for (const auto& c : cfg.connections) {
+    os << "  \"" << cfg.objects[static_cast<std::size_t>(c.src.object)].name
+       << "\" -> \""
+       << cfg.objects[static_cast<std::size_t>(c.dst.object)].name
+       << "\" [label=\"o" << c.src.port << ">i" << c.dst.port << "\"";
+    if (c.preload) os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rsp::xpp

@@ -1,0 +1,44 @@
+// Minimal NML-like textual configuration format.
+//
+// The paper's design flow (Figure 3) lowers annotated C through XPP-VC
+// into NML, the array's native structural language.  This loader covers
+// the structural subset needed here so configurations can also be
+// authored/shipped as plain text:
+//
+//   config <name>
+//   obj <name> INPUT | CINPUT | OUTPUT
+//   obj <name> ALU <OPCODE> [shift=<n>] [wrap] [table=a,b,c,d]
+//   obj <name> COUNTER [start=<n>] [step=<n>] [mod=<n>]
+//   obj <name> RAM RAM|FIFO|LUT|CLUT [cap=<n>] [preload=a,b,...]
+//   tie  <obj>.in<k> <value>
+//   conn <obj>.out<k> <obj>.in<k> [preload=<value>]
+//   place <obj> <row> <col>
+//
+// '#' starts a comment.  Throws ConfigError on any malformed input.
+#pragma once
+
+#include <string>
+
+#include "src/xpp/configuration.hpp"
+
+namespace rsp::xpp {
+
+/// Parse an NML-subset description into a Configuration.
+[[nodiscard]] Configuration parse_nml(const std::string& text);
+
+/// Parse an NML file from disk (throws ConfigError if unreadable).
+[[nodiscard]] Configuration parse_nml_file(const std::string& path);
+
+/// Emit a Configuration back to the textual format (round-trippable for
+/// everything the loader accepts).
+[[nodiscard]] std::string to_nml(const Configuration& cfg);
+
+/// Opcode from its canonical name (as printed by opcode_name).
+[[nodiscard]] Opcode opcode_from_name(const std::string& name);
+
+/// Graphviz (dot) rendering of a configuration's dataflow graph —
+/// objects as nodes (shape by PAE kind), connections as edges labelled
+/// with port indices.  Feed to `dot -Tsvg` to visualize a mapping.
+[[nodiscard]] std::string to_dot(const Configuration& cfg);
+
+}  // namespace rsp::xpp

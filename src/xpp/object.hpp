@@ -1,0 +1,115 @@
+// Base class for configurable array objects (PAEs and I/O channels).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "src/xpp/net.hpp"
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+/// Maximum data ports per object.  Three inputs cover every opcode
+/// (select + two operands); two outputs cover demux/swap/unpack.
+inline constexpr int kMaxIn = 3;
+inline constexpr int kMaxOut = 2;
+
+/// A configurable object instantiated on the array.  Subclasses define
+/// the firing rule; the base class provides port bindings, the
+/// once-per-cycle discipline and fire statistics.
+class Object {
+ public:
+  Object(std::string name, ObjectKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+  virtual ~Object() = default;
+
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  const std::string& name() const { return name_; }
+  ObjectKind kind() const { return kind_; }
+
+  /// Bind input port @p i to @p net (registers this object as a sink).
+  void bind_in(int i, Net& net) {
+    in_[i].net = &net;
+    in_[i].sink = net.add_sink();
+  }
+
+  /// Tie input port @p i to a constant (always ready, never consumed).
+  void set_const(int i, Word v) { in_[i].cst = v; }
+
+  /// Bind output port @p i to @p net.
+  void bind_out(int i, Net& net) { out_[i] = &net; }
+
+  [[nodiscard]] bool in_bound(int i) const {
+    return in_[i].net != nullptr || in_[i].cst.has_value();
+  }
+  [[nodiscard]] bool out_bound(int i) const { return out_[i] != nullptr; }
+
+  /// Reset the fired flag at the start of a cycle.
+  void begin_cycle() { fired_ = false; }
+
+  /// Attempt to fire (at most once per cycle).  Returns true on fire.
+  bool clock() {
+    if (fired_) return false;
+    if (!do_fire()) return false;
+    fired_ = true;
+    ++fire_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool fired_this_cycle() const { return fired_; }
+  [[nodiscard]] long long fire_count() const { return fire_count_; }
+
+ protected:
+  /// Subclass firing rule: check readiness, consume inputs, stage
+  /// outputs.  Must be all-or-nothing.
+  virtual bool do_fire() = 0;
+
+  /// True if input @p i has a token (constants are always ready).
+  [[nodiscard]] bool in_ready(int i) const {
+    const auto& b = in_[i];
+    if (b.cst) return true;
+    return b.net != nullptr && b.net->can_read(b.sink);
+  }
+
+  /// Peek input @p i without consuming.
+  [[nodiscard]] Word in_peek(int i) const {
+    const auto& b = in_[i];
+    return b.cst ? *b.cst : b.net->peek();
+  }
+
+  /// Consume the token on input @p i (no-op for constants).
+  void in_consume(int i) {
+    auto& b = in_[i];
+    if (!b.cst && b.net) b.net->consume(b.sink);
+  }
+
+  /// True if output @p i can accept a token.  Unbound outputs accept
+  /// and discard (dangling results are legal).
+  [[nodiscard]] bool out_ready(int i) const {
+    return out_[i] == nullptr || out_[i]->can_write();
+  }
+
+  /// Stage @p v on output @p i.
+  void out_write(int i, Word v) {
+    if (out_[i] != nullptr) out_[i]->stage(v);
+  }
+
+ private:
+  struct InBind {
+    Net* net = nullptr;
+    int sink = -1;
+    std::optional<Word> cst;
+  };
+
+  std::string name_;
+  ObjectKind kind_;
+  std::array<InBind, kMaxIn> in_{};
+  std::array<Net*, kMaxOut> out_{};
+  bool fired_ = false;
+  long long fire_count_ = 0;
+};
+
+}  // namespace rsp::xpp

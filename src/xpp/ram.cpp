@@ -1,0 +1,101 @@
+#include "src/xpp/ram.hpp"
+
+#include <algorithm>
+
+namespace rsp::xpp {
+
+RamObject::RamObject(std::string name, RamParams p)
+    : Object(std::move(name), ObjectKind::kRam), p_(std::move(p)) {
+  if (p_.capacity <= 0 || p_.capacity > kRamWords) {
+    throw ConfigError("RAM '" + this->name() + "': capacity out of range");
+  }
+  if (static_cast<int>(p_.preload.size()) > p_.capacity) {
+    throw ConfigError("RAM '" + this->name() + "': preload exceeds capacity");
+  }
+  switch (p_.mode) {
+    case RamMode::kRam:
+    case RamMode::kLut:
+    case RamMode::kCircularLut:
+      mem_.assign(static_cast<std::size_t>(p_.capacity), 0);
+      std::copy(p_.preload.begin(), p_.preload.end(), mem_.begin());
+      break;
+    case RamMode::kFifo:
+      fifo_.assign(p_.preload.begin(), p_.preload.end());
+      break;
+  }
+  if ((p_.mode == RamMode::kLut || p_.mode == RamMode::kCircularLut) &&
+      p_.preload.empty()) {
+    throw ConfigError("RAM '" + this->name() + "': LUT mode requires preload");
+  }
+}
+
+bool RamObject::do_fire() {
+  switch (p_.mode) {
+    case RamMode::kRam:         return fire_ram();
+    case RamMode::kFifo:        return fire_fifo();
+    case RamMode::kLut:         return fire_lut();
+    case RamMode::kCircularLut: return fire_circular();
+  }
+  return false;
+}
+
+bool RamObject::fire_ram() {
+  // Dual-ported: read and write ports operate independently; either or
+  // both may transfer in one cycle.
+  bool any = false;
+  if (in_bound(0) && in_ready(0) && out_ready(0)) {
+    const auto addr = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(in_peek(0)) %
+        static_cast<std::uint32_t>(p_.capacity));
+    out_write(0, mem_[addr]);
+    in_consume(0);
+    any = true;
+  }
+  if (in_bound(1) && in_bound(2) && in_ready(1) && in_ready(2)) {
+    const auto addr = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(in_peek(1)) %
+        static_cast<std::uint32_t>(p_.capacity));
+    mem_[addr] = in_peek(2);
+    in_consume(1);
+    in_consume(2);
+    any = true;
+  }
+  return any;
+}
+
+bool RamObject::fire_fifo() {
+  bool any = false;
+  if (in_bound(0) && in_ready(0) &&
+      static_cast<int>(fifo_.size()) < p_.capacity) {
+    fifo_.push_back(in_peek(0));
+    in_consume(0);
+    any = true;
+  }
+  if (!fifo_.empty() && out_bound(0) && out_ready(0)) {
+    out_write(0, fifo_.front());
+    fifo_.pop_front();
+    any = true;
+  }
+  return any;
+}
+
+bool RamObject::fire_lut() {
+  if (!in_ready(0) || !out_ready(0)) return false;
+  const auto addr = static_cast<std::size_t>(
+      static_cast<std::uint32_t>(in_peek(0)) % p_.preload.size());
+  out_write(0, p_.preload[addr]);
+  in_consume(0);
+  return true;
+}
+
+bool RamObject::fire_circular() {
+  const bool gated = in_bound(0);
+  if (gated && !in_ready(0)) return false;
+  if (!out_ready(0)) return false;
+  out_write(0, p_.preload[replay_pos_]);
+  replay_pos_ = (replay_pos_ + 1) % p_.preload.size();
+  if (gated) in_consume(0);
+  return true;
+}
+
+}  // namespace rsp::xpp

@@ -1,0 +1,56 @@
+// RAM-PAE: storage element of the array.
+//
+// "RAM-PAEs contain 512x24 bits of dual-ported SRAM and can be
+// configured as standard RAM and FIFO modes" (paper, Section 4).  The
+// FFT64 mapping additionally uses preloaded circular lookup FIFOs for
+// read/write addresses and twiddle factors (Section 3.2), modelled here
+// as kLut / kCircularLut.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/xpp/object.hpp"
+
+namespace rsp::xpp {
+
+/// Words per RAM-PAE.
+inline constexpr int kRamWords = 512;
+
+struct RamParams {
+  RamMode mode = RamMode::kRam;
+  int capacity = kRamWords;     ///< FIFO depth / RAM size in words
+  std::vector<Word> preload;    ///< initial contents (FIFO/LUT/RAM)
+};
+
+/// Port map by mode:
+///  kRam:          in0 = read addr -> out0 = data; in1 = write addr,
+///                 in2 = write data (both ports may fire in one cycle).
+///  kFifo:         in0 = push data; out0 = pop data.
+///  kLut:          in0 = addr -> out0 = preload[addr].
+///  kCircularLut:  out0 = replay of preload (optionally gated by in0).
+class RamObject final : public Object {
+ public:
+  RamObject(std::string name, RamParams p);
+
+  const RamParams& params() const { return p_; }
+
+  /// FIFO occupancy (kFifo only).
+  [[nodiscard]] int fifo_size() const { return static_cast<int>(fifo_.size()); }
+
+ protected:
+  bool do_fire() override;
+
+ private:
+  bool fire_ram();
+  bool fire_fifo();
+  bool fire_lut();
+  bool fire_circular();
+
+  RamParams p_;
+  std::vector<Word> mem_;
+  std::deque<Word> fifo_;
+  std::size_t replay_pos_ = 0;
+};
+
+}  // namespace rsp::xpp

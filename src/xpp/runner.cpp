@@ -1,0 +1,56 @@
+#include "src/xpp/runner.hpp"
+
+namespace rsp::xpp {
+
+RunResult run_config(ConfigurationManager& mgr, const Configuration& cfg,
+                     const std::map<std::string, std::vector<Word>>& inputs,
+                     const std::map<std::string, std::size_t>& expected,
+                     long long max_cycles) {
+  const ConfigId id = mgr.load(cfg);
+  RunResult r;
+  r.info = mgr.info(id);
+  r.load_cycles = r.info.load_cycles;
+
+  for (const auto& [name, samples] : inputs) {
+    mgr.input(id, name).feed(samples);
+  }
+  std::vector<OutputObject*> outs;
+  std::vector<std::size_t> want;
+  outs.reserve(expected.size());
+  for (const auto& [name, count] : expected) {
+    outs.push_back(&mgr.output(id, name));
+    want.push_back(count);
+  }
+
+  const long long start = mgr.sim().cycle();
+  long long idle_streak = 0;
+  while (mgr.sim().cycle() - start < max_cycles) {
+    bool done = true;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i]->data().size() < want[i]) done = false;
+    }
+    if (done) break;
+    const int fires = mgr.sim().step();
+    idle_streak = (fires == 0) ? idle_streak + 1 : 0;
+    if (idle_streak > 2) {
+      mgr.release(id);
+      throw ConfigError("run_config('" + cfg.name +
+                        "'): array idle before expected outputs");
+    }
+  }
+  r.cycles = mgr.sim().cycle() - start;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (outs[i]->data().size() < want[i]) {
+      mgr.release(id);
+      throw ConfigError("run_config('" + cfg.name + "'): timeout");
+    }
+  }
+  for (const auto& [name, count] : expected) {
+    (void)count;
+    r.outputs[name] = mgr.output(id, name).take();
+  }
+  mgr.release(id);
+  return r;
+}
+
+}  // namespace rsp::xpp

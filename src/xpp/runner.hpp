@@ -1,0 +1,31 @@
+// Convenience harness: load a configuration, stream inputs, run the
+// clock until the expected outputs are produced (or the array goes
+// quiescent), collect outputs, release the configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/xpp/manager.hpp"
+
+namespace rsp::xpp {
+
+struct RunResult {
+  std::map<std::string, std::vector<Word>> outputs;
+  long long cycles = 0;        ///< execution cycles (excl. configuration)
+  long long load_cycles = 0;   ///< configuration-write cycles
+  LoadedConfig info;
+};
+
+/// Run @p cfg on @p mgr with the given input streams.  @p expected maps
+/// output object names to the number of words to wait for; the run
+/// stops early once all are reached, and throws ConfigError if the
+/// array goes idle or @p max_cycles elapse first.
+[[nodiscard]] RunResult run_config(
+    ConfigurationManager& mgr, const Configuration& cfg,
+    const std::map<std::string, std::vector<Word>>& inputs,
+    const std::map<std::string, std::size_t>& expected,
+    long long max_cycles = 1'000'000);
+
+}  // namespace rsp::xpp

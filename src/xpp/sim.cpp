@@ -1,0 +1,100 @@
+#include "src/xpp/sim.hpp"
+
+#include <cstdio>
+
+namespace rsp::xpp {
+
+Simulator::GroupId Simulator::add_group(
+    std::vector<std::unique_ptr<Object>> objects,
+    std::vector<std::unique_ptr<Net>> nets) {
+  const GroupId id = next_id_++;
+  groups_.emplace(id, Group{std::move(objects), std::move(nets)});
+  return id;
+}
+
+void Simulator::remove_group(GroupId id) { groups_.erase(id); }
+
+int Simulator::step() {
+  for (auto& [id, g] : groups_) {
+    (void)id;
+    for (auto& o : g.objects) o->begin_cycle();
+  }
+  int fires = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, g] : groups_) {
+      (void)id;
+      for (auto& o : g.objects) {
+        if (!o->fired_this_cycle() && o->clock()) {
+          progress = true;
+          ++fires;
+        }
+      }
+    }
+  }
+  for (auto& [id, g] : groups_) {
+    (void)id;
+    for (auto& n : g.nets) n->commit();
+  }
+  ++cycle_;
+  total_fires_ += fires;
+  return fires;
+}
+
+void Simulator::run(long long n) {
+  for (long long i = 0; i < n; ++i) step();
+}
+
+long long Simulator::run_until_quiescent(long long max_cycles) {
+  for (long long i = 0; i < max_cycles; ++i) {
+    if (step() == 0) return i + 1;
+  }
+  return max_cycles;
+}
+
+Object* Simulator::find(GroupId id, const std::string& name) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return nullptr;
+  for (auto& o : it->second.objects) {
+    if (o->name() == name) return o.get();
+  }
+  return nullptr;
+}
+
+std::vector<ObjectStats> Simulator::stats(GroupId id) const {
+  std::vector<ObjectStats> out;
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return out;
+  out.reserve(it->second.objects.size());
+  for (const auto& o : it->second.objects) {
+    out.push_back({o->name(), o->fire_count()});
+  }
+  return out;
+}
+
+std::string Simulator::utilization_report(GroupId id, long long cycles) const {
+  if (cycles < 0) cycles = cycle_;
+  std::string out;
+  char line[128];
+  for (const auto& s : stats(id)) {
+    const double u = cycles > 0 ? static_cast<double>(s.fires) /
+                                      static_cast<double>(cycles)
+                                : 0.0;
+    std::snprintf(line, sizeof(line), "%-16s %10lld fires  %5.1f %%\n",
+                  s.name.c_str(), s.fires, 100.0 * u);
+    out += line;
+  }
+  return out;
+}
+
+int Simulator::object_count() const {
+  int n = 0;
+  for (const auto& [id, g] : groups_) {
+    (void)id;
+    n += static_cast<int>(g.objects.size());
+  }
+  return n;
+}
+
+}  // namespace rsp::xpp

@@ -1,0 +1,78 @@
+// Cycle-driven simulator of the array.
+//
+// "All resources in the XPP-64A execute completely synchronously.  A
+// single clock domain is used for the entire device." (paper, Section 4)
+// Each cycle every object may fire at most once; within a cycle the
+// firing set is resolved to a fixed point so a full pipeline sustains
+// one value per cycle per stage, and a freed net can be refilled in the
+// same cycle (combinational handshake path).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/xpp/net.hpp"
+#include "src/xpp/object.hpp"
+
+namespace rsp::xpp {
+
+/// Fire statistics for one object.
+struct ObjectStats {
+  std::string name;
+  long long fires = 0;
+};
+
+class Simulator {
+ public:
+  using GroupId = int;
+
+  /// Install a group of objects and nets (one loaded configuration).
+  GroupId add_group(std::vector<std::unique_ptr<Object>> objects,
+                    std::vector<std::unique_ptr<Net>> nets);
+
+  /// Remove a group (partial reconfiguration: other groups keep state).
+  void remove_group(GroupId id);
+
+  /// Advance one clock cycle.  Returns the number of object fires.
+  int step();
+
+  /// Advance @p n cycles.
+  void run(long long n);
+
+  /// Run until a cycle with zero fires or until @p max_cycles elapse.
+  /// Returns the number of cycles advanced.
+  long long run_until_quiescent(long long max_cycles);
+
+  [[nodiscard]] long long cycle() const { return cycle_; }
+  [[nodiscard]] long long total_fires() const { return total_fires_; }
+
+  /// Look up an object by name within a group (nullptr if absent).
+  [[nodiscard]] Object* find(GroupId id, const std::string& name);
+
+  /// Fire statistics of every object in a group.
+  [[nodiscard]] std::vector<ObjectStats> stats(GroupId id) const;
+
+  /// Formatted utilization report for a group: per-object fires and
+  /// activity relative to @p cycles (defaults to the global cycle
+  /// counter) — the per-PAE duty cycles behind the power model.
+  [[nodiscard]] std::string utilization_report(GroupId id,
+                                               long long cycles = -1) const;
+
+  /// Live object count across all groups.
+  [[nodiscard]] int object_count() const;
+
+ private:
+  struct Group {
+    std::vector<std::unique_ptr<Object>> objects;
+    std::vector<std::unique_ptr<Net>> nets;
+  };
+
+  std::map<GroupId, Group> groups_;
+  GroupId next_id_ = 0;
+  long long cycle_ = 0;
+  long long total_fires_ = 0;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,107 @@
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:      return "NOP";
+    case Opcode::kAdd:      return "ADD";
+    case Opcode::kSub:      return "SUB";
+    case Opcode::kMul:      return "MUL";
+    case Opcode::kMulShr:   return "MULSHR";
+    case Opcode::kNeg:      return "NEG";
+    case Opcode::kAbs:      return "ABS";
+    case Opcode::kMin:      return "MIN";
+    case Opcode::kMax:      return "MAX";
+    case Opcode::kAnd:      return "AND";
+    case Opcode::kOr:       return "OR";
+    case Opcode::kXor:      return "XOR";
+    case Opcode::kNot:      return "NOT";
+    case Opcode::kShl:      return "SHL";
+    case Opcode::kShr:      return "SHR";
+    case Opcode::kShrRound: return "SHRR";
+    case Opcode::kEq:       return "EQ";
+    case Opcode::kNe:       return "NE";
+    case Opcode::kLt:       return "LT";
+    case Opcode::kLe:       return "LE";
+    case Opcode::kGt:       return "GT";
+    case Opcode::kGe:       return "GE";
+    case Opcode::kMux:      return "MUX";
+    case Opcode::kDemux:    return "DEMUX";
+    case Opcode::kSwap:     return "SWAP";
+    case Opcode::kMergeAlt: return "MERGEA";
+    case Opcode::kMergeSel: return "MERGES";
+    case Opcode::kGate:     return "GATE";
+    case Opcode::kDup:      return "DUP";
+    case Opcode::kPack:     return "PACK";
+    case Opcode::kUnpack:   return "UNPACK";
+    case Opcode::kSel4:     return "SEL4";
+    case Opcode::kAccum:    return "ACCUM";
+    case Opcode::kCAdd:     return "CADD";
+    case Opcode::kCSub:     return "CSUB";
+    case Opcode::kCMulShr:  return "CMULS";
+    case Opcode::kCConj:    return "CCONJ";
+    case Opcode::kCRotMj:   return "CROTMJ";
+    case Opcode::kCNeg:     return "CNEG";
+    case Opcode::kCAccum:   return "CACCUM";
+  }
+  return "?";
+}
+
+OpInfo op_info(Opcode op) {
+  // Masks: bit i of in_mask = input i required; bit i of out_mask =
+  // output i driven.
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kNeg:
+    case Opcode::kAbs:
+    case Opcode::kNot:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kShrRound:
+    case Opcode::kSel4:
+    case Opcode::kCConj:
+    case Opcode::kCNeg:
+    case Opcode::kCRotMj:
+      return {0b001, 0b01, false};
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kMulShr:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kLt:
+    case Opcode::kLe:
+    case Opcode::kGt:
+    case Opcode::kGe:
+    case Opcode::kPack:
+    case Opcode::kCAdd:
+    case Opcode::kCSub:
+    case Opcode::kCMulShr:
+      return {0b011, 0b01, false};
+    case Opcode::kMux:
+    case Opcode::kMergeSel:
+      return {0b111, 0b01, false};
+    case Opcode::kSwap:
+      return {0b111, 0b11, false};
+    case Opcode::kDemux:
+      return {0b011, 0b11, false};
+    case Opcode::kMergeAlt:
+      return {0b011, 0b01, true};
+    case Opcode::kGate:
+    case Opcode::kAccum:
+    case Opcode::kCAccum:
+      return {0b011, 0b01, true};
+    case Opcode::kDup:
+    case Opcode::kUnpack:
+      return {0b001, 0b11, false};
+  }
+  return {};
+}
+
+}  // namespace rsp::xpp

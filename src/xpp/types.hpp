@@ -1,0 +1,96 @@
+// Fundamental types of the XPP-class coarse-grained reconfigurable array.
+//
+// The model follows the device described in the paper (Section 4): an
+// 8x8 array of ALU processing array elements (ALU-PAEs) flanked by a
+// column of 8 RAM-PAEs on either side, a 24-bit datapath, four
+// dual-channel I/O ports, a single synchronous clock domain and a
+// token-oriented handshake protocol on every communication resource.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rsp::xpp {
+
+/// One 24-bit array word, stored sign-extended in an int32.
+using Word = std::int32_t;
+
+/// Position of a PAE in the array (row 0 at the top).
+struct Coord {
+  int row = 0;
+  int col = 0;
+  friend constexpr bool operator==(Coord, Coord) = default;
+};
+
+/// Classes of configurable objects.
+enum class ObjectKind : std::uint8_t {
+  kAlu,      ///< ALU-PAE (includes counters/comparators/muxes)
+  kCounter,  ///< ALU-PAE configured as an address/sequence counter
+  kRam,      ///< RAM-PAE (RAM / FIFO / LUT modes)
+  kInput,    ///< external streaming input channel
+  kOutput,   ///< external streaming output channel
+};
+
+/// Operating modes of a RAM-PAE (paper: "512x24 bits of dual-ported
+/// SRAM ... configured as standard RAM and FIFO modes"; the FFT64 uses
+/// preloaded circular lookup FIFOs for addresses and twiddles).
+enum class RamMode : std::uint8_t {
+  kRam,          ///< dual-ported: read port (addr->data) + write port
+  kFifo,         ///< streaming FIFO, optionally preloaded
+  kLut,          ///< read-only: addr -> preloaded data
+  kCircularLut,  ///< free-running replay of the preloaded contents
+};
+
+/// ALU-PAE instruction set (word-granular DSP-style operations plus the
+/// packed-complex operations the paper's figures use as units:
+/// "Complex Multiplication", "Merge", "Swap", counters and comparators).
+enum class Opcode : std::uint8_t {
+  kNop,
+  // -- word arithmetic ----------------------------------------------------
+  kAdd, kSub, kMul, kMulShr, kNeg, kAbs, kMin, kMax,
+  kAnd, kOr, kXor, kNot, kShl, kShr, kShrRound,
+  // -- comparators (emit 0/1 event words) ---------------------------------
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // -- stream steering -----------------------------------------------------
+  kMux,       ///< out0 = in0 ? in2 : in1
+  kDemux,     ///< route in1 to out0 (in0==0) or out1 (in0!=0)
+  kSwap,      ///< (out0,out1) = in0 ? (in2,in1) : (in1,in2)
+  kMergeAlt,  ///< alternate in0,in1 -> out0
+  kMergeSel,  ///< out0 = selected input (in0 chooses in1/in2), only it is consumed
+  kGate,      ///< pass in0 to out0 iff in1 != 0 (both consumed)
+  kDup,       ///< duplicate in0 to out0 and out1
+  // -- packing -------------------------------------------------------------
+  kPack,      ///< out0 = pack_iq(in0, in1)
+  kUnpack,    ///< out0 = I(in0), out1 = Q(in0)
+  kSel4,      ///< out0 = table[in0 & 3]  (packed-constant multiplexer, Fig. 5)
+  // -- accumulation --------------------------------------------------------
+  kAccum,     ///< acc += in0; when in1 != 0 emit acc>>shift and reset
+  // -- packed complex (12+12) ----------------------------------------------
+  kCAdd, kCSub, kCMulShr, kCConj, kCNeg,
+  kCRotMj,    ///< multiply by -j (radix-4 butterfly rotation, Fig. 9)
+  kCAccum,    ///< complex accumulate with dump event (despreader core)
+};
+
+/// Human-readable opcode name.
+[[nodiscard]] const char* opcode_name(Opcode op);
+
+/// Static description of an opcode used for configuration validation.
+struct OpInfo {
+  unsigned in_mask = 0;   ///< bit i set => input i must be bound (wire or const)
+  unsigned out_mask = 0;  ///< bit i set => output i may be driven
+  bool stateful = false;  ///< keeps internal state across fires
+};
+
+/// Lookup table entry for @p op.
+[[nodiscard]] OpInfo op_info(Opcode op);
+
+/// Error thrown for malformed or unplaceable configurations and for
+/// protocol violations (e.g. loading onto occupied resources — the
+/// paper's "configurations cannot be overwritten illegally").
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,54 @@
+#include "src/common/cplx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp {
+namespace {
+
+TEST(Cplx, Arithmetic) {
+  const CplxI a{3, 4};
+  const CplxI b{-2, 5};
+  EXPECT_EQ(a + b, (CplxI{1, 9}));
+  EXPECT_EQ(a - b, (CplxI{5, -1}));
+  // (3+4j)(-2+5j) = -6 + 15j - 8j + 20j^2 = -26 + 7j
+  EXPECT_EQ(a * b, (CplxI{-26, 7}));
+  EXPECT_EQ(a.conj(), (CplxI{3, -4}));
+  EXPECT_EQ(a.norm2(), 25);
+}
+
+TEST(Cplx, ConjMul) {
+  const CplxI a{3, 4};
+  const CplxI b{-2, 5};
+  EXPECT_EQ(conj_mul(a, b), a * b.conj());
+  // a * conj(a) = |a|^2 real
+  EXPECT_EQ(conj_mul(a, a), (CplxI{25, 0}));
+}
+
+TEST(Cplx, PackRoundTrip) {
+  const CplxI z{-1234, 987};
+  EXPECT_EQ(unpack_cplx(pack_cplx(z)), z);
+}
+
+TEST(Cplx, SatAndShift) {
+  EXPECT_EQ(sat_cplx({5000, -5000}, 12), (CplxI{2047, -2048}));
+  EXPECT_EQ(shr_round(CplxI{5, -5}, 1), (CplxI{3, -3}));
+}
+
+TEST(Cplx, QuantizeRoundTrip) {
+  const CplxF z{0.5, -0.25};
+  const CplxI q = quantize(z, 12);
+  EXPECT_EQ(q.re, 1024);  // 0.5 * 2047 = 1023.5 -> 1024
+  EXPECT_EQ(q.im, -512);
+  const CplxF back = dequantize(q, 12);
+  EXPECT_NEAR(back.real(), 0.5, 1e-3);
+  EXPECT_NEAR(back.imag(), -0.25, 1e-3);
+}
+
+TEST(Cplx, QuantizeSaturates) {
+  const CplxI q = quantize({2.0, -2.0}, 12);
+  EXPECT_EQ(q.re, 2047);
+  EXPECT_EQ(q.im, -2048);
+}
+
+}  // namespace
+}  // namespace rsp

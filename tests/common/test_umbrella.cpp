@@ -1,0 +1,13 @@
+// The umbrella header must compile standalone and expose the API.
+#include "src/rsp.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, HeaderCompilesAndNamesResolve) {
+  rsp::Rng rng(1);
+  EXPECT_NE(rng.next(), rng.next());
+  EXPECT_EQ(rsp::rake::kMaxVirtualFingers, 18);
+  EXPECT_EQ(rsp::xpp::ArrayGeometry{}.alu_count(), 64);
+  EXPECT_EQ(rsp::phy::rate_mode(54).ndbps, 216);
+  EXPECT_EQ(rsp::gsm::kBurstSymbols, 148);
+}

@@ -1,0 +1,71 @@
+#include "src/common/word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp {
+namespace {
+
+TEST(Word, SignExtend) {
+  EXPECT_EQ(sign_extend(0x000, 12), 0);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FFFFF, 24), 8388607);
+  EXPECT_EQ(sign_extend(0x800000, 24), -8388608);
+}
+
+TEST(Word, Wrap24) {
+  EXPECT_EQ(wrap24(0), 0);
+  EXPECT_EQ(wrap24(8388607), 8388607);
+  EXPECT_EQ(wrap24(8388608), -8388608);  // wraps
+  EXPECT_EQ(wrap24(-8388609), 8388607);
+  EXPECT_EQ(wrap24(1LL << 40), 0);
+}
+
+TEST(Word, Saturate) {
+  EXPECT_EQ(saturate(100, 12), 100);
+  EXPECT_EQ(saturate(5000, 12), 2047);
+  EXPECT_EQ(saturate(-5000, 12), -2048);
+  EXPECT_EQ(saturate((1LL << 40), 24), 8388607);
+  EXPECT_EQ(saturate(-(1LL << 40), 24), -8388608);
+}
+
+TEST(Word, SatArithmetic) {
+  EXPECT_EQ(sat_add24(8388600, 100), 8388607);
+  EXPECT_EQ(sat_add24(-8388600, -100), -8388608);
+  EXPECT_EQ(sat_add24(1, 2), 3);
+  EXPECT_EQ(sat_sub24(-8388600, 100), -8388608);
+  EXPECT_EQ(sat_mul24(4096, 4096), 8388607);
+  EXPECT_EQ(sat_mul24(-4096, 4096), -8388608);
+  EXPECT_EQ(sat_mul24(3, -7), -21);
+}
+
+TEST(Word, ShrRound) {
+  EXPECT_EQ(shr_round(4, 1), 2);
+  EXPECT_EQ(shr_round(5, 1), 3);   // rounds away from zero
+  EXPECT_EQ(shr_round(-5, 1), -3);
+  EXPECT_EQ(shr_round(7, 2), 2);
+  EXPECT_EQ(shr_round(-7, 2), -2);
+  EXPECT_EQ(shr_round(123, 0), 123);
+}
+
+TEST(Word, PackUnpackRoundTrip) {
+  for (int i = -2048; i <= 2047; i += 73) {
+    for (int q = -2048; q <= 2047; q += 97) {
+      const auto w = pack_iq(i, q);
+      EXPECT_EQ(unpack_i(w), i);
+      EXPECT_EQ(unpack_q(w), q);
+      EXPECT_EQ(w, sign_extend(w, kWordBits)) << "packed word must be 24-bit";
+    }
+  }
+}
+
+TEST(Word, Fits) {
+  EXPECT_TRUE(fits(2047, 12));
+  EXPECT_FALSE(fits(2048, 12));
+  EXPECT_TRUE(fits(-2048, 12));
+  EXPECT_FALSE(fits(-2049, 12));
+}
+
+}  // namespace
+}  // namespace rsp

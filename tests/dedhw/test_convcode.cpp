@@ -1,0 +1,81 @@
+#include "src/dedhw/convcode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::dedhw {
+namespace {
+
+TEST(ConvCode, RateHalfLength) {
+  const std::vector<std::uint8_t> bits(10, 1);
+  const auto coded = conv_encode(bits, CodeRate::kR12, true);
+  EXPECT_EQ(coded.size(), (10u + 6u) * 2u);
+  EXPECT_EQ(conv_coded_len(10, CodeRate::kR12, true), coded.size());
+}
+
+TEST(ConvCode, PuncturedLengths) {
+  // Rate 2/3: 3 output bits per 2 input; rate 3/4: 4 per 3.
+  const std::vector<std::uint8_t> bits(12, 0);
+  const auto r23 = conv_encode(bits, CodeRate::kR23, false);
+  EXPECT_EQ(r23.size(), 12u * 3u / 2u);
+  const auto r34 = conv_encode(bits, CodeRate::kR34, false);
+  EXPECT_EQ(r34.size(), 12u * 4u / 3u);
+  EXPECT_EQ(conv_coded_len(12, CodeRate::kR23, false), r23.size());
+  EXPECT_EQ(conv_coded_len(12, CodeRate::kR34, false), r34.size());
+}
+
+TEST(ConvCode, AllZeroInputGivesAllZeroOutput) {
+  const std::vector<std::uint8_t> bits(20, 0);
+  for (const auto rate :
+       {CodeRate::kR12, CodeRate::kR23, CodeRate::kR34}) {
+    for (const auto b : conv_encode(bits, rate, true)) {
+      EXPECT_EQ(b, 0);
+    }
+  }
+}
+
+TEST(ConvCode, KnownImpulseResponse) {
+  // A single 1 followed by zeros produces the generator sequences:
+  // g0 = 133o = 1011011, g1 = 171o = 1111001 read tap-by-tap.
+  std::vector<std::uint8_t> bits(7, 0);
+  bits[0] = 1;
+  const auto coded = conv_encode(bits, CodeRate::kR12, false);
+  ASSERT_EQ(coded.size(), 14u);
+  // Output pair k = (parity(g0 window), parity(g1 window)): the A
+  // stream spells g0's taps over time, B spells g1's.
+  const std::vector<std::uint8_t> g0 = {1, 0, 1, 1, 0, 1, 1};
+  const std::vector<std::uint8_t> g1 = {1, 1, 1, 1, 0, 0, 1};
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_EQ(coded[static_cast<std::size_t>(2 * k)],
+              g0[static_cast<std::size_t>(k)]) << "A stream, step " << k;
+    EXPECT_EQ(coded[static_cast<std::size_t>(2 * k + 1)],
+              g1[static_cast<std::size_t>(k)]) << "B stream, step " << k;
+  }
+}
+
+TEST(ConvCode, DepunctureRestoresLattice) {
+  // Depuncturing a punctured stream must give 2 values per step with
+  // zeros exactly at the stolen positions.
+  const std::vector<std::int32_t> soft = {10, 11, 20, 31};  // rate 3/4, 3 steps
+  const auto lattice = depuncture(soft, CodeRate::kR34);
+  // Pattern: A1 B1 A2 B3 -> (10,11) (20,0) (0,31)
+  EXPECT_EQ(lattice,
+            (std::vector<std::int32_t>{10, 11, 20, 0, 0, 31}));
+}
+
+TEST(ConvCode, DepunctureRate23) {
+  const std::vector<std::int32_t> soft = {1, 2, 3, 4, 5, 6};  // A1B1A2 A3B3A4
+  const auto lattice = depuncture(soft, CodeRate::kR23);
+  EXPECT_EQ(lattice, (std::vector<std::int32_t>{1, 2, 3, 0, 4, 5, 6, 0}));
+}
+
+TEST(ConvCode, RateAccessors) {
+  EXPECT_EQ(code_rate_num(CodeRate::kR12), 1);
+  EXPECT_EQ(code_rate_den(CodeRate::kR12), 2);
+  EXPECT_EQ(code_rate_num(CodeRate::kR23), 2);
+  EXPECT_EQ(code_rate_den(CodeRate::kR23), 3);
+  EXPECT_EQ(code_rate_num(CodeRate::kR34), 3);
+  EXPECT_EQ(code_rate_den(CodeRate::kR34), 4);
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

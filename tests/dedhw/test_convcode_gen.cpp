@@ -1,0 +1,102 @@
+#include "src/dedhw/convcode_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/convcode.hpp"
+
+namespace rsp::dedhw {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+TEST(ConvGen, SpecAccessors) {
+  const auto r13 = umts_rate13();
+  EXPECT_EQ(r13.constraint_length, 9);
+  EXPECT_EQ(r13.rate_denominator(), 3);
+  EXPECT_EQ(r13.num_states(), 256);
+  EXPECT_EQ(umts_rate12().rate_denominator(), 2);
+}
+
+TEST(ConvGen, MatchesSpecializedK7Encoder) {
+  // The general encoder with the 802.11a spec must reproduce the
+  // specialized rate-1/2 encoder bit for bit.
+  const ConvSpec k7{7, {0133, 0171}};
+  const auto bits = random_bits(200, 1);
+  EXPECT_EQ(conv_encode_gen(bits, k7, true),
+            conv_encode(bits, CodeRate::kR12, true));
+}
+
+TEST(ConvGen, AllZeroMapsToAllZero) {
+  const auto coded = conv_encode_gen(std::vector<std::uint8_t>(50, 0),
+                                     umts_rate13(), true);
+  EXPECT_EQ(coded.size(), (50u + 8u) * 3u);
+  for (const auto b : coded) EXPECT_EQ(b, 0);
+}
+
+class ConvGenRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvGenRoundTrip, CleanDecode) {
+  const auto spec = GetParam() == 0 ? umts_rate13() : umts_rate12();
+  const auto bits = random_bits(160, 7);
+  const auto coded = conv_encode_gen(bits, spec, true);
+  std::vector<std::int32_t> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) soft[i] = coded[i] ? 64 : -64;
+  ViterbiDecoderGen dec(spec);
+  EXPECT_EQ(dec.decode(soft, bits.size(), true), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(UmtsCodes, ConvGenRoundTrip, ::testing::Values(0, 1));
+
+TEST(ConvGen, Rate13CodingGainBeatsRate12) {
+  // At the same Es/N0 per coded bit, the K=9 rate-1/3 code must decode
+  // at least as cleanly as rate-1/2 (more redundancy).
+  Rng rng(5);
+  const auto bits = random_bits(500, 9);
+  const double sigma = 1.05;
+  const auto run = [&](const ConvSpec& spec) {
+    const auto coded = conv_encode_gen(bits, spec, true);
+    std::vector<std::int32_t> soft(coded.size());
+    Rng ch(11);
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      const double y = (coded[i] ? 1.0 : -1.0) + sigma * ch.gaussian();
+      soft[i] = static_cast<std::int32_t>(y * 64.0);
+    }
+    ViterbiDecoderGen dec(spec);
+    const auto out = dec.decode(soft, bits.size(), true);
+    int errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      errors += (out[i] != bits[i]) ? 1 : 0;
+    }
+    return errors;
+  };
+  EXPECT_LE(run(umts_rate13()), run(umts_rate12()));
+}
+
+TEST(ConvGen, CorrectsScatteredErrors) {
+  const auto bits = random_bits(300, 13);
+  auto coded = conv_encode_gen(bits, umts_rate13(), true);
+  for (std::size_t i = 15; i < coded.size(); i += 45) coded[i] ^= 1;
+  std::vector<std::int32_t> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) soft[i] = coded[i] ? 64 : -64;
+  ViterbiDecoderGen dec(umts_rate13());
+  EXPECT_EQ(dec.decode(soft, bits.size(), true), bits)
+      << "K=9 free distance must absorb scattered flips";
+}
+
+TEST(ConvGen, RejectsBadSpecs) {
+  EXPECT_THROW((void)conv_encode_gen({1}, {1, {07}}, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)conv_encode_gen({1}, {9, {}}, true),
+               std::invalid_argument);
+  EXPECT_THROW(ViterbiDecoderGen({14, {07777, 05555}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

@@ -1,0 +1,60 @@
+#include "src/dedhw/crc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::dedhw {
+namespace {
+
+std::vector<std::uint8_t> bits_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (const int b : v) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(Crc, AppendThenCheckPasses) {
+  auto bits = bits_of({1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0});
+  kCrc16Umts.append(bits);
+  EXPECT_EQ(bits.size(), 12u + 16u);
+  EXPECT_TRUE(kCrc16Umts.check(bits));
+}
+
+TEST(Crc, DetectsSingleBitErrors) {
+  auto bits = bits_of({1, 1, 0, 1, 0, 1, 0, 0, 1, 0});
+  kCrc16Umts.append(bits);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto corrupted = bits;
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(kCrc16Umts.check(corrupted)) << "bit " << i;
+  }
+}
+
+TEST(Crc, DetectsBurstErrorsUpToWidth) {
+  auto bits = bits_of({0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1});
+  kCrc8Umts.append(bits);
+  // Any burst of length <= 8 must be caught.
+  for (std::size_t start = 0; start + 8 <= bits.size(); ++start) {
+    auto corrupted = bits;
+    for (std::size_t i = 0; i < 8; ++i) corrupted[start + i] ^= 1;
+    EXPECT_FALSE(kCrc8Umts.check(corrupted)) << "burst at " << start;
+  }
+}
+
+TEST(Crc, ZeroMessageNonZeroWithInit) {
+  const Crc crc(16, 0x1021, 0xFFFF);
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_NE(crc.compute(zeros), 0u);
+  EXPECT_EQ(kCrc16Umts.compute(zeros), 0u) << "zero-init CRC of zeros is zero";
+}
+
+TEST(Crc, TooShortFailsCheck) {
+  EXPECT_FALSE(kCrc16Umts.check(bits_of({1, 0, 1})));
+}
+
+TEST(Crc, DifferentMessagesDifferentCrc) {
+  auto a = bits_of({1, 0, 1, 0, 1, 0, 1, 0});
+  auto b = bits_of({1, 0, 1, 0, 1, 0, 1, 1});
+  EXPECT_NE(kCrc16Umts.compute(a), kCrc16Umts.compute(b));
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

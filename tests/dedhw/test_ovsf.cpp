@@ -1,0 +1,96 @@
+#include "src/dedhw/ovsf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::dedhw {
+namespace {
+
+TEST(Ovsf, BaseCodes) {
+  EXPECT_EQ(ovsf_code(1, 0), (std::vector<std::int8_t>{1}));
+  EXPECT_EQ(ovsf_code(2, 0), (std::vector<std::int8_t>{1, 1}));
+  EXPECT_EQ(ovsf_code(2, 1), (std::vector<std::int8_t>{1, -1}));
+  EXPECT_EQ(ovsf_code(4, 1), (std::vector<std::int8_t>{1, 1, -1, -1}));
+  EXPECT_EQ(ovsf_code(4, 3), (std::vector<std::int8_t>{1, -1, -1, 1}));
+}
+
+TEST(Ovsf, RecursionHolds) {
+  // C(2sf, 2k) = [C, C]; C(2sf, 2k+1) = [C, -C].
+  for (int sf : {2, 4, 8, 16}) {
+    for (int k = 0; k < sf; ++k) {
+      const auto parent = ovsf_code(sf, k);
+      const auto even = ovsf_code(2 * sf, 2 * k);
+      const auto odd = ovsf_code(2 * sf, 2 * k + 1);
+      for (int i = 0; i < sf; ++i) {
+        EXPECT_EQ(even[static_cast<std::size_t>(i)], parent[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(even[static_cast<std::size_t>(i + sf)], parent[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(odd[static_cast<std::size_t>(i)], parent[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(odd[static_cast<std::size_t>(i + sf)], -parent[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+}
+
+class OvsfOrthogonality : public ::testing::TestWithParam<int> {};
+
+TEST_P(OvsfOrthogonality, AllPairsOrthogonal) {
+  const int sf = GetParam();
+  for (int k1 = 0; k1 < sf; ++k1) {
+    for (int k2 = 0; k2 < sf; ++k2) {
+      long long dot = 0;
+      for (int i = 0; i < sf; ++i) {
+        dot += ovsf_chip(sf, k1, i) * ovsf_chip(sf, k2, i);
+      }
+      EXPECT_EQ(dot, k1 == k2 ? sf : 0)
+          << "sf=" << sf << " k1=" << k1 << " k2=" << k2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadingFactors, OvsfOrthogonality,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(Ovsf, LargeSfOrthogonalSample) {
+  // SF 512 full O(sf^3) check is slow; sample code pairs.
+  const int sf = kMaxSpreadingFactor;
+  for (int k1 : {0, 1, 255, 256, 511}) {
+    for (int k2 : {0, 1, 255, 256, 511}) {
+      long long dot = 0;
+      for (int i = 0; i < sf; ++i) {
+        dot += ovsf_chip(sf, k1, i) * ovsf_chip(sf, k2, i);
+      }
+      EXPECT_EQ(dot, k1 == k2 ? sf : 0);
+    }
+  }
+}
+
+TEST(Ovsf, GeneratorStreamsAndWraps) {
+  OvsfGenerator gen(8, 3);
+  const auto ref = ovsf_code(8, 3);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(gen.next(), ref[static_cast<std::size_t>(i)]);
+    }
+  }
+  gen.reset();
+  EXPECT_EQ(gen.next(), ref[0]);
+}
+
+TEST(Ovsf, Validation) {
+  EXPECT_TRUE(ovsf_valid(4, 0));
+  EXPECT_TRUE(ovsf_valid(512, 511));
+  EXPECT_FALSE(ovsf_valid(512, 512));
+  EXPECT_FALSE(ovsf_valid(3, 0)) << "not a power of two";
+  EXPECT_FALSE(ovsf_valid(1024, 0)) << "beyond downlink range";
+  EXPECT_FALSE(ovsf_valid(4, -1));
+  EXPECT_THROW((void)ovsf_code(5, 0), std::invalid_argument);
+}
+
+TEST(Ovsf, ChipsAreUnit) {
+  for (int i = 0; i < 256; ++i) {
+    const int c = ovsf_chip(256, 129, i);
+    EXPECT_TRUE(c == 1 || c == -1);
+  }
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

@@ -1,0 +1,113 @@
+#include "src/dedhw/umts_scrambler.hpp"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rsp::dedhw {
+namespace {
+
+TEST(UmtsScrambler, DeterministicAndResettable) {
+  UmtsScrambler a(16);
+  std::vector<std::uint8_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(a.next2());
+  a.reset();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next2(), first[i]);
+}
+
+TEST(UmtsScrambler, CodesDifferAcrossBasestations) {
+  // Primary scrambling codes are multiples of 16; distinct codes must
+  // produce distinct sequences.
+  UmtsScrambler a(0);
+  UmtsScrambler b(16);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += (a.next2() == b.next2()) ? 1 : 0;
+  EXPECT_LT(same, 200) << "sequences must decorrelate";
+  EXPECT_GT(same, 20) << "and still share the 2-bit alphabet";
+}
+
+TEST(UmtsScrambler, ChipValuesAreUnitQpsk) {
+  UmtsScrambler s(32);
+  for (int i = 0; i < 128; ++i) {
+    const CplxI c = s.next();
+    EXPECT_EQ(std::abs(c.re), 1);
+    EXPECT_EQ(std::abs(c.im), 1);
+  }
+}
+
+TEST(UmtsScrambler, BalancedSequence) {
+  // Gold-code property: roughly equal numbers of +1 and -1 on each rail.
+  UmtsScrambler s(16);
+  int sum_i = 0;
+  int sum_q = 0;
+  const int n = 38400;
+  for (int i = 0; i < n; ++i) {
+    const CplxI c = s.next();
+    sum_i += c.re;
+    sum_q += c.im;
+  }
+  EXPECT_LT(std::abs(sum_i), n / 50);
+  EXPECT_LT(std::abs(sum_q), n / 50);
+}
+
+TEST(UmtsScrambler, LowCrossCorrelation) {
+  // Correlating one basestation's code against another's must stay
+  // near zero relative to the autocorrelation peak.
+  const int n = 4096;
+  UmtsScrambler a(16);
+  UmtsScrambler b(48);
+  long long cross_re = 0;
+  for (int i = 0; i < n; ++i) {
+    const CplxI ca = a.next();
+    const CplxI cb = b.next();
+    // Re{ca * conj(cb)}
+    cross_re += ca.re * cb.re + ca.im * cb.im;
+  }
+  EXPECT_LT(std::llabs(cross_re), n / 8) << "cross-correlation must be small";
+}
+
+TEST(UmtsScrambler, AutocorrelationPeakAtZeroLag) {
+  const int n = 2048;
+  UmtsScrambler a(16);
+  UmtsScrambler b(16);
+  b.skip(7);  // misaligned copy
+  long long aligned = 0;
+  long long misaligned = 0;
+  UmtsScrambler a2(16);
+  for (int i = 0; i < n; ++i) {
+    const CplxI c1 = a.next();
+    const CplxI c2 = a2.next();
+    aligned += c1.re * c2.re + c1.im * c2.im;
+  }
+  UmtsScrambler a3(16);
+  for (int i = 0; i < n; ++i) {
+    const CplxI c1 = a3.next();
+    const CplxI c3 = b.next();
+    misaligned += c1.re * c3.re + c1.im * c3.im;
+  }
+  EXPECT_EQ(aligned, 2 * n) << "perfect alignment: |c|^2 = 2 per chip";
+  EXPECT_LT(std::llabs(misaligned), n / 4);
+}
+
+TEST(UmtsScrambler, SkipMatchesConsume) {
+  UmtsScrambler a(80);
+  UmtsScrambler b(80);
+  for (int i = 0; i < 100; ++i) (void)a.next2();
+  b.skip(100);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next2(), b.next2());
+}
+
+TEST(UmtsScrambler, TwoBitEncodingMatchesComplex) {
+  UmtsScrambler a(7);
+  UmtsScrambler b(7);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint8_t bits = a.next2();
+    const CplxI c = b.next();
+    EXPECT_EQ(c.re, 1 - 2 * (bits & 1));
+    EXPECT_EQ(c.im, 1 - 2 * ((bits >> 1) & 1));
+  }
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

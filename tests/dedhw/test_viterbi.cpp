@@ -1,0 +1,128 @@
+#include "src/dedhw/viterbi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace rsp::dedhw {
+namespace {
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+TEST(Viterbi, DecodesCleanRateHalf) {
+  Rng rng(1);
+  const auto bits = random_bits(rng, 120);
+  const auto coded = conv_encode(bits, CodeRate::kR12, true);
+  ViterbiDecoder dec;
+  EXPECT_EQ(dec.decode_hard(coded, bits.size(), true), bits);
+}
+
+class ViterbiRates : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(ViterbiRates, DecodesCleanPunctured) {
+  Rng rng(7);
+  const auto bits = random_bits(rng, 96);
+  const auto coded = conv_encode(bits, GetParam(), true);
+  std::vector<std::int32_t> soft;
+  soft.reserve(coded.size());
+  for (const auto b : coded) soft.push_back(b ? 64 : -64);
+  const auto lattice = depuncture(soft, GetParam());
+  ViterbiDecoder dec;
+  EXPECT_EQ(dec.decode(lattice, bits.size(), true), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ViterbiRates,
+                         ::testing::Values(CodeRate::kR12, CodeRate::kR23,
+                                           CodeRate::kR34));
+
+TEST(Viterbi, CorrectsHardBitErrors) {
+  Rng rng(3);
+  const auto bits = random_bits(rng, 200);
+  auto coded = conv_encode(bits, CodeRate::kR12, true);
+  // Flip well-separated coded bits (free distance 10 tolerates them).
+  for (std::size_t i = 20; i < coded.size(); i += 40) coded[i] ^= 1;
+  ViterbiDecoder dec;
+  EXPECT_EQ(dec.decode_hard(coded, bits.size(), true), bits);
+}
+
+TEST(Viterbi, SoftBeatsHardOnNoisyChannel) {
+  Rng rng(11);
+  const auto bits = random_bits(rng, 400);
+  const auto coded = conv_encode(bits, CodeRate::kR12, true);
+  // BPSK over AWGN at low SNR.
+  const double sigma = 0.9;
+  std::vector<std::int32_t> soft(coded.size());
+  std::vector<std::uint8_t> hard(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double y = (coded[i] ? 1.0 : -1.0) + sigma * rng.gaussian();
+    soft[i] = static_cast<std::int32_t>(y * 64.0);
+    hard[i] = y > 0.0 ? 1 : 0;
+  }
+  ViterbiDecoder dec;
+  const auto soft_dec = dec.decode(soft, bits.size(), true);
+  const auto hard_dec = dec.decode_hard(hard, bits.size(), true);
+  int soft_err = 0;
+  int hard_err = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    soft_err += (soft_dec[i] != bits[i]) ? 1 : 0;
+    hard_err += (hard_dec[i] != bits[i]) ? 1 : 0;
+  }
+  EXPECT_LE(soft_err, hard_err) << "soft decisions can only help";
+}
+
+TEST(Viterbi, CodingGainOverUncoded) {
+  // At moderate SNR the decoded BER must beat the raw channel BER.
+  Rng rng(5);
+  const auto bits = random_bits(rng, 2000);
+  const auto coded = conv_encode(bits, CodeRate::kR12, true);
+  const double sigma = 0.7;
+  std::vector<std::int32_t> soft(coded.size());
+  long long raw_errors = 0;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double y = (coded[i] ? 1.0 : -1.0) + sigma * rng.gaussian();
+    soft[i] = static_cast<std::int32_t>(y * 64.0);
+    raw_errors += ((y > 0.0 ? 1 : 0) != coded[i]) ? 1 : 0;
+  }
+  ViterbiDecoder dec;
+  const auto decoded = dec.decode(soft, bits.size(), true);
+  long long dec_errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    dec_errors += (decoded[i] != bits[i]) ? 1 : 0;
+  }
+  const double raw_ber = static_cast<double>(raw_errors) /
+                         static_cast<double>(coded.size());
+  const double dec_ber = static_cast<double>(dec_errors) /
+                         static_cast<double>(bits.size());
+  EXPECT_GT(raw_ber, 0.01) << "channel must actually be noisy";
+  EXPECT_LT(dec_ber, raw_ber / 4.0) << "K=7 code must show coding gain";
+}
+
+TEST(Viterbi, UnterminatedDecodingWorks) {
+  Rng rng(17);
+  const auto bits = random_bits(rng, 150);
+  const auto coded = conv_encode(bits, CodeRate::kR12, false);
+  ViterbiDecoder dec;
+  const auto decoded = dec.decode_hard(coded, bits.size(), false);
+  // The final few bits may be unreliable without termination; the bulk
+  // must match.
+  int errors = 0;
+  for (std::size_t i = 0; i + 8 < bits.size(); ++i) {
+    errors += (decoded[i] != bits[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(Viterbi, ErasuresOnlyStillDecodable) {
+  // All-erasure input decodes to *something* of the right length
+  // without crashing (all paths tie).
+  ViterbiDecoder dec;
+  const std::vector<std::int32_t> soft(64, 0);
+  EXPECT_EQ(dec.decode(soft, 26, true).size(), 26u);
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

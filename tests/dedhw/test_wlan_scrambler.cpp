@@ -1,0 +1,56 @@
+#include "src/dedhw/wlan_scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::dedhw {
+namespace {
+
+TEST(WlanScrambler, Period127) {
+  WlanScrambler s(0x7F);
+  std::vector<std::uint8_t> seq;
+  for (int i = 0; i < 254; ++i) seq.push_back(s.next_bit());
+  for (int i = 0; i < 127; ++i) {
+    EXPECT_EQ(seq[static_cast<std::size_t>(i)],
+              seq[static_cast<std::size_t>(i + 127)]);
+  }
+}
+
+TEST(WlanScrambler, KnownAllOnesPrefix) {
+  // IEEE 802.11a Figure G.2: with the all-ones seed the first bits of
+  // the 127-bit sequence are 0000 1110 1111 0010 ...
+  WlanScrambler s(0x7F);
+  const std::vector<std::uint8_t> expect = {0, 0, 0, 0, 1, 1, 1, 0,
+                                            1, 1, 1, 1, 0, 0, 1, 0};
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(s.next_bit(), expect[i]) << "bit " << i;
+  }
+}
+
+TEST(WlanScrambler, ScrambleIsInvolution) {
+  WlanScrambler a(0x5D);
+  WlanScrambler b(0x5D);
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 200; ++i) bits.push_back((i * 7 + 3) % 2);
+  const auto original = bits;
+  a.apply(bits);
+  EXPECT_NE(bits, original);
+  b.apply(bits);
+  EXPECT_EQ(bits, original);
+}
+
+TEST(WlanScrambler, Balanced) {
+  WlanScrambler s(0x7F);
+  int ones = 0;
+  for (int i = 0; i < 127; ++i) ones += s.next_bit();
+  EXPECT_EQ(ones, 64) << "m-sequence of period 127 has 64 ones";
+}
+
+TEST(WlanScrambler, ResetRestoresState) {
+  WlanScrambler s(0x11);
+  const auto b0 = s.next_bit();
+  s.reset(0x11);
+  EXPECT_EQ(s.next_bit(), b0);
+}
+
+}  // namespace
+}  // namespace rsp::dedhw

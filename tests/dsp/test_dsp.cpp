@@ -1,0 +1,53 @@
+#include "src/dsp/dsp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::dsp {
+namespace {
+
+TEST(Dsp, OpCostsOrdered) {
+  EXPECT_EQ(op_cycles(DspOp::kAlu), 1);
+  EXPECT_EQ(op_cycles(DspOp::kMac), 1);
+  EXPECT_GT(op_cycles(DspOp::kDiv), op_cycles(DspOp::kBranch));
+  EXPECT_GT(op_cycles(DspOp::kSqrt), op_cycles(DspOp::kDiv));
+}
+
+TEST(Dsp, ChargeAccumulatesPerTask) {
+  DspModel dsp;
+  dsp.charge("search", DspOp::kMac, 100);
+  dsp.charge("search", DspOp::kDiv, 2);
+  dsp.charge("control", DspOp::kBranch, 10);
+  EXPECT_EQ(dsp.total_instructions(), 112);
+  EXPECT_EQ(dsp.total_cycles(), 100 + 2 * 18 + 10 * 2);
+  ASSERT_EQ(dsp.tasks().size(), 2u);
+  EXPECT_EQ(dsp.tasks().at("search").instructions, 102);
+  EXPECT_EQ(dsp.tasks().at("control").cycles, 20);
+}
+
+TEST(Dsp, MipsAndUtilization) {
+  DspModel dsp;
+  dsp.charge("t", DspOp::kMac, 1'000'000);
+  // 1M instructions in 10 ms -> 100 MIPS.
+  EXPECT_NEAR(dsp.mips_required(0.01), 100.0, 1e-6);
+  // Busy time at 200 MHz: 5 ms single-issue; 8-wide -> 6.25% of 10 ms.
+  EXPECT_NEAR(dsp.busy_seconds(), 5e-3, 1e-9);
+  EXPECT_NEAR(dsp.utilization(0.01), 5e-3 / kIssueWidth / 0.01, 1e-9);
+}
+
+TEST(Dsp, PaperReferenceNumbers) {
+  // "around 1600 MIPS at clock speeds of 200 MHz"
+  EXPECT_EQ(kDspPeakMips, 1600.0);
+  EXPECT_EQ(kDspClockHz, 200.0e6);
+  EXPECT_EQ(kIssueWidth, 8.0);
+}
+
+TEST(Dsp, ResetClears) {
+  DspModel dsp;
+  dsp.charge("x", DspOp::kAlu, 5);
+  dsp.reset();
+  EXPECT_EQ(dsp.total_instructions(), 0);
+  EXPECT_TRUE(dsp.tasks().empty());
+}
+
+}  // namespace
+}  // namespace rsp::dsp

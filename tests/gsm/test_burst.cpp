@@ -1,0 +1,103 @@
+#include "src/gsm/burst.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace rsp::gsm {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bits(2 * kDataBits);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+TEST(GsmBurst, Geometry) {
+  EXPECT_EQ(kBurstSymbols, 148);
+  EXPECT_EQ(Burst::midamble_offset(), 61);
+  EXPECT_EQ(tsc0().size(), 26u);
+}
+
+TEST(GsmBurst, PayloadRoundTrip) {
+  const auto payload = random_payload(1);
+  const Burst b = Burst::make(payload);
+  EXPECT_EQ(b.payload(), payload);
+  // Tail bits zero.
+  for (int i = 0; i < kTailBits; ++i) {
+    EXPECT_EQ(b.bits[static_cast<std::size_t>(i)], 0);
+    EXPECT_EQ(b.bits[static_cast<std::size_t>(kBurstSymbols - 1 - i)], 0);
+  }
+  // Midamble = TSC0.
+  for (int i = 0; i < kTrainingBits; ++i) {
+    EXPECT_EQ(b.bits[static_cast<std::size_t>(Burst::midamble_offset() + i)],
+              tsc0()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GsmBurst, MakeRejectsBadPayload) {
+  EXPECT_THROW(Burst::make(std::vector<std::uint8_t>(100, 0)),
+               std::invalid_argument);
+}
+
+TEST(GsmBurst, GmskMapIsAntipodal) {
+  const Burst b = Burst::make(random_payload(2));
+  const auto s = gmsk_map(b);
+  ASSERT_EQ(s.size(), static_cast<std::size_t>(kBurstSymbols));
+  for (int i = 0; i < kBurstSymbols; ++i) {
+    EXPECT_EQ(s[static_cast<std::size_t>(i)].real(),
+              b.bits[static_cast<std::size_t>(i)] ? -1.0 : 1.0);
+    EXPECT_EQ(s[static_cast<std::size_t>(i)].imag(), 0.0);
+  }
+}
+
+TEST(GsmBurst, Psk8RoundTripAndUnitPower) {
+  Rng rng(3);
+  std::vector<std::uint8_t> bits(3 * 120);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto sym = psk8_map(bits);
+  ASSERT_EQ(sym.size(), 120u);
+  for (const auto& s : sym) {
+    EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+  }
+  EXPECT_EQ(psk8_unmap_hard(sym), bits);
+  EXPECT_THROW((void)psk8_map({1, 0}), std::invalid_argument);
+}
+
+TEST(GsmBurst, Psk8GrayNeighborsDifferInOneBit) {
+  // Adjacent octants differ in exactly one bit.
+  std::vector<std::uint8_t> all;
+  for (int w = 0; w < 8; ++w) {
+    all.push_back(static_cast<std::uint8_t>((w >> 2) & 1));
+    all.push_back(static_cast<std::uint8_t>((w >> 1) & 1));
+    all.push_back(static_cast<std::uint8_t>(w & 1));
+  }
+  const auto sym = psk8_map(all);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const double d = std::abs(sym[static_cast<std::size_t>(i)] -
+                                sym[static_cast<std::size_t>(j)]);
+      if (i != j && d < 0.8) {  // adjacent octants
+        const int diff = __builtin_popcount(static_cast<unsigned>(i ^ j));
+        EXPECT_EQ(diff, 1) << "octant words " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(GsmBurst, IsiChannelConvolves) {
+  const std::vector<CplxF> x = {{1, 0}, {0, 0}, {-1, 0}};
+  const std::vector<CplxF> h = {{1, 0}, {0.5, 0}};
+  const auto y = isi_channel(x, h);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_NEAR(std::abs(y[0] - CplxF{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - CplxF{0.5, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[2] - CplxF{-1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[3] - CplxF{-0.5, 0.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rsp::gsm

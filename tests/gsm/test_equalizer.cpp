@@ -1,0 +1,133 @@
+#include "src/gsm/equalizer.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+
+namespace rsp::gsm {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bits(2 * kDataBits);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+int payload_errors(const std::vector<std::uint8_t>& tx,
+                   const std::vector<std::uint8_t>& rx) {
+  int e = 0;
+  for (std::size_t i = 0; i < tx.size(); ++i) e += (tx[i] != rx[i]) ? 1 : 0;
+  return e;
+}
+
+TEST(GsmEqualizer, CleanFlatChannelRoundTrip) {
+  const auto payload = random_payload(1);
+  const auto tx = gmsk_map(Burst::make(payload));
+  const auto res = gsm_receive(tx, 1);
+  EXPECT_EQ(payload_errors(payload, res.payload), 0);
+  EXPECT_NEAR(res.channel[0].real(), 1.0, 0.05);
+}
+
+TEST(GsmEqualizer, ChannelEstimateRecoversTaps) {
+  const auto payload = random_payload(2);
+  const std::vector<CplxF> h = {{0.9, 0.1}, {0.4, -0.2}, {-0.15, 0.1}};
+  const auto rx = isi_channel(gmsk_map(Burst::make(payload)), h);
+  const auto est = estimate_isi_channel(rx, 3);
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    EXPECT_NEAR(est[k].real(), h[k].real(), 0.12) << "tap " << k;
+    EXPECT_NEAR(est[k].imag(), h[k].imag(), 0.12) << "tap " << k;
+  }
+}
+
+class GsmIsi : public ::testing::TestWithParam<int> {};
+
+TEST_P(GsmIsi, MlseEqualizesKnownIsiChannels) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto payload = random_payload(static_cast<std::uint64_t>(seed) + 10);
+  const std::vector<CplxF> h = {{0.85, 0.05},
+                                {0.45 * rng.uniform(), 0.3 * rng.uniform()},
+                                {-0.25 * rng.uniform(), 0.15 * rng.uniform()}};
+  auto rx = isi_channel(gmsk_map(Burst::make(payload)), h);
+  rx.resize(kBurstSymbols);
+  rx = phy::awgn(rx, 14.0, rng);
+  const auto res = gsm_receive(rx, 3);
+  EXPECT_LE(payload_errors(payload, res.payload), 1)
+      << "MLSE must clean a 3-tap channel at 14 dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GsmIsi, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GsmEqualizer, MlseBeatsSymbolBySymbolSlicing) {
+  Rng rng(9);
+  const auto payload = random_payload(11);
+  const std::vector<CplxF> h = {{0.8, 0.0}, {0.55, 0.2}};
+  auto rx = isi_channel(gmsk_map(Burst::make(payload)), h);
+  rx.resize(kBurstSymbols);
+  rx = phy::awgn(rx, 10.0, rng);
+
+  // Naive slicer ignoring ISI.
+  Burst naive;
+  for (int i = 0; i < kBurstSymbols; ++i) {
+    naive.bits[static_cast<std::size_t>(i)] =
+        rx[static_cast<std::size_t>(i)].real() < 0 ? 1 : 0;
+  }
+  const int naive_errors = payload_errors(payload, naive.payload());
+  const auto res = gsm_receive(rx, 2);
+  const int mlse_errors = payload_errors(payload, res.payload);
+  EXPECT_GT(naive_errors, 5) << "channel must actually cause ISI";
+  EXPECT_LT(mlse_errors, naive_errors / 3);
+}
+
+TEST(GsmEqualizer, ChargesDspWork) {
+  const auto payload = random_payload(12);
+  const auto tx = gmsk_map(Burst::make(payload));
+  dsp::DspModel dsp;
+  (void)gsm_receive(tx, 3, &dsp);
+  EXPECT_TRUE(dsp.tasks().count("gsm_channel_estimation"));
+  EXPECT_TRUE(dsp.tasks().count("mlse"));
+  // Figure 1 cross-check: instructions/burst x bursts/s lands in the
+  // ~10 MIPS class the paper quotes for GSM.
+  const double mips = static_cast<double>(dsp.total_instructions()) *
+                      kBurstsPerSecond / 1.0e6;
+  EXPECT_GT(mips, 0.3);
+  EXPECT_LT(mips, 40.0);
+}
+
+TEST(GsmEqualizer, EdgePsk8CleanRoundTrip) {
+  Rng rng(13);
+  std::vector<std::uint8_t> bits(3 * 116);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  auto sym = psk8_map(bits);
+  // Leading reference symbol pins the trellis start (index 0 symbol).
+  sym.insert(sym.begin(), psk8_map({0, 0, 0})[0]);
+  const std::vector<CplxF> h = {{0.95, 0.05}, {0.3, -0.15}};
+  auto rx = isi_channel(sym, h);
+  rx.resize(sym.size());
+  rx = phy::awgn(rx, 22.0, rng);
+  const auto decoded = edge_receive(rx, h, sym.size());
+  // Drop the reference symbol's bits.
+  const std::vector<std::uint8_t> tail(decoded.begin() + 3, decoded.end());
+  EXPECT_EQ(payload_errors(bits, tail), 0)
+      << "8 trellis states over a 2-tap channel, EDGE class";
+}
+
+TEST(GsmEqualizer, MlseRejectsOversizedTrellis) {
+  const std::vector<CplxF> alphabet(8, CplxF{1, 0});
+  const std::vector<CplxF> h(6, CplxF{0.5, 0});  // 8^5 states
+  EXPECT_THROW((void)mlse_equalize({{1, 0}}, h, alphabet, 1),
+               std::invalid_argument);
+}
+
+TEST(GsmEqualizer, EstimatorRejectsBadArgs) {
+  EXPECT_THROW((void)estimate_isi_channel({}, 0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_isi_channel(std::vector<CplxF>(10), 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::gsm

@@ -1,0 +1,109 @@
+// Carrier-frequency-offset estimation and correction ("Framing and
+// Sync" in Figure 8 — real front ends always have residual CFO).
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::ofdm {
+namespace {
+
+std::vector<CplxF> apply_cfo(const std::vector<CplxF>& x, double cfo_hz) {
+  std::vector<CplxF> out(x.size());
+  const double w = 2.0 * std::numbers::pi * cfo_hz / phy::kOfdmSampleRateHz;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double ph = w * static_cast<double>(n);
+    out[n] = x[n] * CplxF{std::cos(ph), std::sin(ph)};
+  }
+  return out;
+}
+
+std::vector<CplxF> impaired_frame(const std::vector<std::uint8_t>& psdu,
+                                  int mbps, double cfo_hz, double esn0_db,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> lead(160, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = apply_cfo(capture, cfo_hz);
+  return phy::awgn(capture, esn0_db, rng);
+}
+
+TEST(Cfo, EstimatorAccurateOnCleanPreamble) {
+  phy::OfdmTransmitter tx;
+  const auto ppdu = tx.build_ppdu(std::vector<std::uint8_t>(48, 1), 6);
+  for (const double cfo : {-200000.0, -40000.0, 0.0, 65000.0, 300000.0}) {
+    const auto rx = apply_cfo(ppdu, cfo);
+    // Short preamble occupies [0, 160); estimate over its middle.
+    const double est = estimate_cfo(rx, 16, 96);
+    EXPECT_NEAR(est, cfo, 2000.0) << "cfo " << cfo;
+  }
+}
+
+TEST(Cfo, CorrectCfoInvertsApplyCfo) {
+  Rng rng(1);
+  std::vector<CplxF> x(256);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const double cfo = 123456.0;
+  const auto back =
+      correct_cfo(apply_cfo(x, cfo), cfo, phy::kOfdmSampleRateHz);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    EXPECT_NEAR(std::abs(back[n] - x[n]), 0.0, 1e-9);
+  }
+}
+
+class CfoDecode : public ::testing::TestWithParam<double> {};
+
+TEST_P(CfoDecode, FrameDecodesUnderOffset) {
+  const double cfo = GetParam();
+  Rng rng(3);
+  std::vector<std::uint8_t> psdu(360);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  const auto rx = impaired_frame(psdu, 12, cfo, 26.0, 4);
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(rx, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  EXPECT_NEAR(res.cfo_hz, cfo, 3000.0);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0) << "cfo " << cfo << " Hz";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CfoDecode,
+                         ::testing::Values(-250000.0, -60000.0, 80000.0,
+                                           200000.0));
+
+TEST(Cfo, UncorrectedOffsetBreaksTheLink) {
+  // Sanity: with correction disabled, a 100 kHz offset (2.5 carrier
+  // spacings over a frame) destroys the decode.
+  Rng rng(5);
+  std::vector<std::uint8_t> psdu(360);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  const auto rx = impaired_frame(psdu, 12, 100000.0, 26.0, 6);
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  cfg.correct_cfo = false;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(rx, psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < res.psdu.size() && i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_GT(errors + (res.psdu.empty() ? 1 : 0),
+            static_cast<int>(psdu.size() / 10))
+      << "CFO must actually hurt when uncorrected";
+}
+
+}  // namespace
+}  // namespace rsp::ofdm

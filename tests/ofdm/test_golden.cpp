@@ -1,0 +1,175 @@
+#include "src/ofdm/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+
+namespace rsp::ofdm {
+namespace {
+
+TEST(OfdmGolden, Downsample2TakesEvenSamples) {
+  const std::vector<CplxF> x = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const auto y = downsample2(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0].real(), 0.0);
+  EXPECT_EQ(y[1].real(), 2.0);
+  EXPECT_EQ(y[2].real(), 4.0);
+}
+
+TEST(OfdmGolden, PreambleDetectorFindsFrame) {
+  Rng rng(1);
+  phy::OfdmTransmitter tx;
+  std::vector<std::uint8_t> psdu(100);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  auto ppdu = tx.build_ppdu(psdu, 6);
+  // Prepend noise-only lead-in.
+  std::vector<CplxF> capture(300, CplxF{0, 0});
+  capture.insert(capture.end(), ppdu.begin(), ppdu.end());
+  capture = phy::awgn(capture, 15.0, rng);
+
+  PreambleDetector det;
+  const auto start = det.detect(capture);
+  ASSERT_TRUE(start.has_value());
+  // True long-preamble start: 300 (lead-in) + 160 (short preamble).
+  EXPECT_NEAR(static_cast<double>(*start), 460.0, 24.0);
+}
+
+TEST(OfdmGolden, PreambleDetectorIgnoresNoise) {
+  Rng rng(2);
+  std::vector<CplxF> noise(2000, CplxF{0, 0});
+  noise = phy::awgn(noise, 0.0, rng);
+  PreambleDetector det;
+  EXPECT_FALSE(det.detect(noise).has_value());
+}
+
+TEST(OfdmGolden, FineSyncLocksExactly) {
+  Rng rng(3);
+  phy::OfdmTransmitter tx;
+  std::vector<std::uint8_t> psdu(50);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  const auto ppdu = tx.build_ppdu(psdu, 12);
+  std::vector<CplxF> capture(137, CplxF{0, 0});
+  capture.insert(capture.end(), ppdu.begin(), ppdu.end());
+  capture = phy::awgn(capture, 25.0, rng);
+  // Coarse estimate off by a few samples.
+  const std::size_t lt = fine_sync(capture, 137 + 160 - 5);
+  EXPECT_EQ(lt, 137u + 160u + 32u) << "first long-training body sample";
+}
+
+TEST(OfdmGolden, ChannelEstimateFlatChannel) {
+  Rng rng(4);
+  phy::OfdmTransmitter tx;
+  const auto ppdu = tx.build_ppdu(std::vector<std::uint8_t>(24, 1), 6);
+  const auto capture = phy::awgn(ppdu, 30.0, rng);
+  const auto h = estimate_channel_lt(capture, 160 + 32);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const int bin = (k + 64) % 64;
+    EXPECT_NEAR(std::abs(h[static_cast<std::size_t>(bin)]), 1.0, 0.15)
+        << "carrier " << k;
+  }
+}
+
+class OfdmRates : public ::testing::TestWithParam<int> {};
+
+TEST_P(OfdmRates, CleanDecodeAllRates) {
+  Rng rng(5);
+  const int mbps = GetParam();
+  std::vector<std::uint8_t> psdu(400);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> lead(200, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, 30.0, rng);
+
+  OfdmRxConfig cfg;
+  cfg.mbps = mbps;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0) << mbps << " Mbit/s";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, OfdmRates,
+                         ::testing::Values(6, 9, 12, 18, 24, 36, 48, 54));
+
+TEST(OfdmGolden, FixedFftPathDecodesRobustRates) {
+  // The bit-true FFT64 datapath (4-bit result precision) must still
+  // carry the robust modes.
+  Rng rng(6);
+  std::vector<std::uint8_t> psdu(200);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, 12);
+  std::vector<CplxF> lead(150, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, 28.0, rng);
+
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  cfg.use_fixed_fft = true;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(OfdmGolden, DecodesThroughMultipath) {
+  Rng rng(7);
+  std::vector<std::uint8_t> psdu(300);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto ppdu = tx.build_ppdu(psdu, 12);
+  std::vector<CplxF> capture(180, CplxF{0, 0});
+  capture.insert(capture.end(), ppdu.begin(), ppdu.end());
+  // Two-tap channel within the cyclic prefix.
+  phy::MultipathChannel ch({{0, {0.9, 0.0}, 0.0}, {4, {0.25, 0.3}, 0.0}},
+                           20.0e6);
+  const auto rx = ch.run(capture, 24.0, rng);
+
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(rx, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0) << "equalizer must absorb in-CP multipath";
+}
+
+TEST(OfdmGolden, ChargesDspTasks) {
+  Rng rng(8);
+  std::vector<std::uint8_t> psdu(64);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, 6);
+  std::vector<CplxF> lead(100, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, 25.0, rng);
+  dsp::DspModel dsp;
+  OfdmRxConfig cfg;
+  cfg.mbps = 6;
+  OfdmReceiver receiver(cfg);
+  (void)receiver.receive(capture, psdu.size(), &dsp);
+  EXPECT_TRUE(dsp.tasks().count("framing_sync"));
+  EXPECT_TRUE(dsp.tasks().count("channel_estimation"));
+  EXPECT_TRUE(dsp.tasks().count("demodulation"));
+}
+
+}  // namespace
+}  // namespace rsp::ofdm

@@ -1,0 +1,238 @@
+// Bit-exactness and behaviour of the Figure 9/10 array mappings.
+#include "src/ofdm/maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/wlan_scrambler.hpp"
+
+namespace rsp::ofdm {
+namespace {
+
+std::array<CplxI, 64> random_samples(std::uint64_t seed, int amp = 500) {
+  Rng rng(seed);
+  std::array<CplxI, 64> out{};
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp};
+  }
+  return out;
+}
+
+TEST(OfdmMaps, Fft64MatchesGoldenBitExactly) {
+  xpp::ConfigurationManager mgr;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto in = random_samples(static_cast<std::uint64_t>(trial) + 1);
+    const auto mapped = maps::run_fft64(mgr, in);
+    const auto golden = phy::fft64_fixed(in);
+    for (int k = 0; k < 64; ++k) {
+      ASSERT_EQ(mapped[static_cast<std::size_t>(k)],
+                golden[static_cast<std::size_t>(k)])
+          << "trial " << trial << " bin " << k;
+    }
+  }
+}
+
+TEST(OfdmMaps, Ifft64InvertsTransformWithinQuantization) {
+  // ifft(fft(x)) ~ x/64 (the forward kernel scales by 1/64); with a
+  // pre-scaled input the round trip returns the input shape.
+  Rng rng(55);
+  std::array<CplxI, 64> x{};
+  for (auto& c : x) {
+    c = {static_cast<int>(rng.below(800)) - 400,
+         static_cast<int>(rng.below(800)) - 400};
+  }
+  xpp::ConfigurationManager mgr;
+  const auto mapped = maps::run_ifft64(mgr, x);
+  const auto golden = phy::ifft64_fixed(x);
+  for (int k = 0; k < 64; ++k) {
+    ASSERT_EQ(mapped[static_cast<std::size_t>(k)],
+              golden[static_cast<std::size_t>(k)])
+        << "bin " << k;
+  }
+}
+
+TEST(OfdmMaps, Ifft64MatchesFloatInverse) {
+  Rng rng(56);
+  std::array<CplxI, 64> x{};
+  std::vector<CplxF> xf(64);
+  for (int n = 0; n < 64; ++n) {
+    const CplxI q{static_cast<int>(rng.below(1000)) - 500,
+                  static_cast<int>(rng.below(1000)) - 500};
+    x[static_cast<std::size_t>(n)] = q;
+    xf[static_cast<std::size_t>(n)] = {static_cast<double>(q.re),
+                                       static_cast<double>(q.im)};
+  }
+  const auto fixed = phy::ifft64_fixed(x);
+  phy::fft(xf, /*inverse=*/true);  // IDFT with 1/64 scaling
+  for (int n = 0; n < 64; ++n) {
+    EXPECT_NEAR(fixed[static_cast<std::size_t>(n)].re,
+                xf[static_cast<std::size_t>(n)].real(), 4.0) << n;
+    EXPECT_NEAR(fixed[static_cast<std::size_t>(n)].im,
+                xf[static_cast<std::size_t>(n)].imag(), 4.0) << n;
+  }
+}
+
+TEST(OfdmMaps, Fft64BatchMatchesSingleTransforms) {
+  xpp::ConfigurationManager mgr;
+  std::vector<std::array<CplxI, 64>> burst;
+  for (int t = 0; t < 4; ++t) {
+    burst.push_back(random_samples(40 + static_cast<std::uint64_t>(t)));
+  }
+  const long long cfg_before = mgr.total_config_cycles();
+  const auto batch = maps::run_fft64_batch(mgr, burst);
+  const long long batch_cfg = mgr.total_config_cycles() - cfg_before;
+  ASSERT_EQ(batch.size(), burst.size());
+  long long single_cfg = 0;
+  for (std::size_t t = 0; t < burst.size(); ++t) {
+    const long long c0 = mgr.total_config_cycles();
+    const auto single = maps::run_fft64(mgr, burst[t]);
+    single_cfg += mgr.total_config_cycles() - c0;
+    ASSERT_EQ(batch[t], single) << "transform " << t;
+    ASSERT_EQ(single, phy::fft64_fixed(burst[t]));
+  }
+  EXPECT_LT(batch_cfg * 3, single_cfg)
+      << "resident kernel must amortize configuration time";
+}
+
+TEST(OfdmMaps, Fft64StageResources) {
+  // Figure 9 inventory: data RAMs, address/twiddle LUTs (RAM-PAEs),
+  // complex multiplier + radix-4 kernel + steering (ALU-PAEs).
+  const auto cfg = maps::fft64_stage_config(0);
+  EXPECT_EQ(cfg.ram_demand(), 7);
+  EXPECT_LE(cfg.alu_demand(), 24);
+  EXPECT_GE(cfg.alu_demand(), 18);
+  // "go"/"go2" are control-event inputs (no physical channel), so the
+  // kernel needs just one data-in + one data-out channel.
+  EXPECT_EQ(cfg.io_demand(), 2);
+  EXPECT_THROW((void)maps::fft64_stage_config(3), std::invalid_argument);
+}
+
+TEST(OfdmMaps, Fft64FitsOnXpp64a) {
+  const auto cfg = maps::fft64_stage_config(1);
+  const xpp::ArrayGeometry g;
+  EXPECT_LE(cfg.alu_demand(), g.alu_count());
+  EXPECT_LE(cfg.ram_demand(), g.ram_count());
+  EXPECT_LE(cfg.io_demand(), g.io_channels);
+}
+
+TEST(OfdmMaps, DownsamplerHalvesStream) {
+  std::vector<CplxI> samples;
+  for (int i = 0; i < 32; ++i) samples.push_back({i, -i});
+  xpp::ConfigurationManager mgr;
+  const auto out = maps::run_downsample2(mgr, samples);
+  ASSERT_EQ(out.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], (CplxI{2 * i, -2 * i}));
+  }
+}
+
+TEST(OfdmMaps, PreambleCorrelatorDetectsPeriodicity) {
+  // Periodic-16 input: the delay-correlator ratio |corr|/power must be
+  // high; random input: low.
+  Rng rng(9);
+  std::vector<CplxI> periodic;
+  std::vector<CplxI> base;
+  for (int i = 0; i < 16; ++i) {
+    base.push_back({static_cast<int>(rng.below(800)) - 400,
+                    static_cast<int>(rng.below(800)) - 400});
+  }
+  for (int rep = 0; rep < 10; ++rep) {
+    periodic.insert(periodic.end(), base.begin(), base.end());
+  }
+  std::vector<CplxI> random;
+  for (int i = 0; i < 160; ++i) {
+    random.push_back({static_cast<int>(rng.below(800)) - 400,
+                      static_cast<int>(rng.below(800)) - 400});
+  }
+  xpp::ConfigurationManager mgr;
+  const auto pb = maps::run_preamble(mgr, periodic);
+  const auto rb = maps::run_preamble(mgr, random);
+  // Skip the first two blocks (delay-line warmup), compare ratios.
+  double p_ratio = 0.0;
+  double r_ratio = 0.0;
+  for (std::size_t i = 2; i < pb.corr.size(); ++i) {
+    p_ratio += std::sqrt(static_cast<double>(pb.corr[i].norm2())) /
+               (std::abs(pb.power[i]) + 1.0);
+    r_ratio += std::sqrt(static_cast<double>(rb.corr[i].norm2())) /
+               (std::abs(rb.power[i]) + 1.0);
+  }
+  EXPECT_GT(p_ratio, 3.0 * r_ratio);
+}
+
+TEST(OfdmMaps, DemodAppliesCoefficients) {
+  Rng rng(10);
+  std::vector<CplxI> bins;
+  std::vector<CplxI> coeff;
+  const int shift = 10;
+  for (int i = 0; i < 48; ++i) {
+    bins.push_back({static_cast<int>(rng.below(1000)) - 500,
+                    static_cast<int>(rng.below(1000)) - 500});
+  }
+  for (int i = 0; i < 48; ++i) {
+    coeff.push_back({static_cast<int>(rng.below(1000)) - 500,
+                     static_cast<int>(rng.below(1000)) - 500});
+  }
+  xpp::ConfigurationManager mgr;
+  const auto out = maps::run_demod(mgr, bins, coeff, shift);
+  ASSERT_EQ(out.size(), bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const CplxI expect =
+        sat_cplx(shr_round(bins[i] * coeff[i], shift), kHalfBits);
+    ASSERT_EQ(out[i], expect) << i;
+  }
+}
+
+TEST(OfdmMaps, WlanDescramblerMatchesLfsr) {
+  Rng rng(11);
+  std::vector<std::uint8_t> bits(300);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  for (const std::uint8_t seed : {0x5D, 0x7F, 0x11}) {
+    auto golden = bits;
+    dedhw::WlanScrambler scr(seed);
+    scr.apply(golden);
+    xpp::ConfigurationManager mgr;
+    xpp::RunResult stats;
+    const auto mapped = maps::run_wlan_descrambler(mgr, bits, seed, &stats);
+    ASSERT_EQ(mapped, golden) << "seed " << static_cast<int>(seed);
+    EXPECT_EQ(stats.info.alu_cells, 1);
+    EXPECT_EQ(stats.info.ram_cells, 1);
+  }
+}
+
+TEST(OfdmMaps, WlanDescramblerIsInvolutionOnArray) {
+  Rng rng(12);
+  std::vector<std::uint8_t> bits(254);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  xpp::ConfigurationManager mgr;
+  const auto once = maps::run_wlan_descrambler(mgr, bits, 0x2A);
+  const auto twice = maps::run_wlan_descrambler(mgr, once, 0x2A);
+  EXPECT_EQ(twice, bits);
+}
+
+TEST(OfdmMaps, ReconfigScheduleFig10) {
+  // Config 1 resident; 2a loaded, used, released; 2b then fits in the
+  // freed resources and reuses cells 2a occupied.
+  xpp::ConfigurationManager mgr;
+  const auto cfg1 = maps::downsample2_config();
+  const xpp::ConfigId id1 = mgr.load(cfg1);
+
+  const auto cfg2a = maps::preamble_config();
+  const xpp::ConfigId id2a = mgr.load(cfg2a);
+  const int alu_during_2a = mgr.resources().used_alu_cells();
+  mgr.release(id2a);
+
+  std::vector<CplxI> h(48, CplxI{512, 0});
+  const auto cfg2b = maps::demod_config(h, 10);
+  const xpp::ConfigId id2b = mgr.load(cfg2b);
+  const int alu_during_2b = mgr.resources().used_alu_cells();
+
+  EXPECT_LT(alu_during_2b, alu_during_2a)
+      << "demodulator needs fewer cells than the correlator";
+  EXPECT_TRUE(mgr.loaded(id1)) << "config 1 stays resident";
+  mgr.release(id2b);
+  mgr.release(id1);
+}
+
+}  // namespace
+}  // namespace rsp::ofdm

@@ -1,0 +1,135 @@
+// OFDM receiver robustness: false alarms, truncation, clipping and
+// misconfiguration must degrade gracefully.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::ofdm {
+namespace {
+
+std::vector<CplxF> frame(const std::vector<std::uint8_t>& psdu, int mbps,
+                         double esn0_db, std::uint64_t seed,
+                         std::size_t lead = 160) {
+  Rng rng(seed);
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> head(lead, CplxF{0, 0});
+  capture.insert(capture.begin(), head.begin(), head.end());
+  return phy::awgn(capture, esn0_db, rng);
+}
+
+TEST(OfdmRobustness, PreambleFalseAlarmRateOnNoise) {
+  PreambleDetector det;
+  int alarms = 0;
+  for (int t = 0; t < 20; ++t) {
+    Rng rng(1000 + static_cast<std::uint64_t>(t));
+    std::vector<CplxF> noise(2500, CplxF{0, 0});
+    noise = phy::awgn(noise, 0.0, rng);
+    alarms += det.detect(noise).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(alarms, 0) << "plateau criterion must reject noise";
+}
+
+TEST(OfdmRobustness, TruncatedFrameDecodesPrefix) {
+  Rng rng(2);
+  std::vector<std::uint8_t> psdu(480);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  auto capture = frame(psdu, 12, 28.0, 3);
+  // Chop off the last two DATA symbols.
+  capture.resize(capture.size() - 160);
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  const int full_syms = phy::OfdmTransmitter::num_data_symbols(psdu.size(), 12);
+  EXPECT_EQ(res.symbols_decoded, full_syms - 2);
+  EXPECT_FALSE(res.psdu.empty());
+}
+
+TEST(OfdmRobustness, HardClippedCaptureStillDecodesRobustMode) {
+  Rng rng(4);
+  std::vector<std::uint8_t> psdu(240);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  auto capture = frame(psdu, 6, 24.0, 5);
+  // Limiter at ~1 sigma of the OFDM envelope.
+  for (auto& s : capture) {
+    const double lim = 0.8;
+    s = {std::clamp(s.real(), -lim, lim), std::clamp(s.imag(), -lim, lim)};
+  }
+  OfdmRxConfig cfg;
+  cfg.mbps = 6;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0) << "BPSK 1/2 must shrug off envelope clipping";
+}
+
+TEST(OfdmRobustness, SignalFieldFlagsRateMismatch) {
+  Rng rng(6);
+  std::vector<std::uint8_t> psdu(360);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  const auto capture = frame(psdu, 24, 26.0, 7);
+  // Receiver misconfigured for 6 Mbit/s: the SIGNAL decode still
+  // reports the true rate, so the caller can detect the mismatch.
+  OfdmRxConfig cfg;
+  cfg.mbps = 6;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_TRUE(res.signal_ok);
+  EXPECT_EQ(res.signal.mbps, 24);
+  EXPECT_NE(res.signal.mbps, receiver.config().mbps);
+}
+
+TEST(OfdmRobustness, BackToBackFramesFirstOneDecoded) {
+  Rng rng(8);
+  std::vector<std::uint8_t> a(120);
+  std::vector<std::uint8_t> b(120);
+  for (auto& x : a) x = rng.bit() ? 1 : 0;
+  for (auto& x : b) x = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto cap = tx.build_ppdu(a, 12);
+  const auto second = tx.build_ppdu(b, 12);
+  cap.insert(cap.end(), 120, CplxF{0, 0});
+  cap.insert(cap.end(), second.begin(), second.end());
+  std::vector<CplxF> lead(140, CplxF{0, 0});
+  cap.insert(cap.begin(), lead.begin(), lead.end());
+  cap = phy::awgn(cap, 26.0, rng);
+
+  OfdmRxConfig cfg;
+  cfg.mbps = 12;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(cap, a.size());
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_EQ(res.psdu.size(), a.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    errors += (res.psdu[i] != a[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0) << "detector must lock the first frame";
+}
+
+TEST(OfdmRobustness, EmptyInputSafe) {
+  OfdmRxConfig cfg;
+  OfdmReceiver receiver(cfg);
+  EXPECT_NO_THROW({
+    const auto res = receiver.receive({}, 100);
+    EXPECT_FALSE(res.preamble_found);
+  });
+  EXPECT_NO_THROW({
+    const auto res = receiver.receive_auto({});
+    EXPECT_FALSE(res.signal_ok);
+  });
+}
+
+}  // namespace
+}  // namespace rsp::ofdm

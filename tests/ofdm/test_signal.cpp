@@ -1,0 +1,143 @@
+// SIGNAL field (PLCP header) encode/decode and self-describing
+// reception.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::ofdm {
+namespace {
+
+TEST(SignalField, BitsRoundTripAllRates) {
+  for (const auto& mode : phy::all_rate_modes()) {
+    phy::SignalField f;
+    f.mbps = mode.mbps;
+    f.length_bits = 1234;
+    const auto bits = phy::signal_field_bits(f);
+    ASSERT_EQ(bits.size(), 24u);
+    for (int i = 18; i < 24; ++i) {
+      EXPECT_EQ(bits[static_cast<std::size_t>(i)], 0) << "tail must be zero";
+    }
+    phy::SignalField parsed;
+    ASSERT_TRUE(phy::parse_signal_field(bits, parsed));
+    EXPECT_EQ(parsed.mbps, f.mbps);
+    EXPECT_EQ(parsed.length_bits, f.length_bits);
+  }
+}
+
+TEST(SignalField, ParityDetectsCorruption) {
+  phy::SignalField f;
+  f.mbps = 24;
+  f.length_bits = 777;
+  auto bits = phy::signal_field_bits(f);
+  phy::SignalField parsed;
+  for (int i = 0; i < 18; ++i) {
+    auto corrupted = bits;
+    corrupted[static_cast<std::size_t>(i)] ^= 1;
+    EXPECT_FALSE(phy::parse_signal_field(corrupted, parsed) &&
+                 parsed.mbps == f.mbps && parsed.length_bits == f.length_bits)
+        << "single-bit corruption at " << i << " must not parse cleanly";
+  }
+}
+
+TEST(SignalField, RejectsBadInputs) {
+  phy::SignalField f;
+  f.mbps = 11;
+  EXPECT_THROW((void)phy::signal_field_bits(f), std::invalid_argument);
+  f.mbps = 6;
+  f.length_bits = 4096;
+  EXPECT_THROW((void)phy::signal_field_bits(f), std::invalid_argument);
+  phy::SignalField out;
+  EXPECT_FALSE(phy::parse_signal_field({1, 0, 1}, out)) << "too short";
+}
+
+TEST(SignalField, SymbolIsBpsk48) {
+  phy::SignalField f;
+  f.mbps = 54;
+  f.length_bits = 2000;
+  const auto pts = phy::signal_symbol_points(f);
+  ASSERT_EQ(pts.size(), 48u);
+  for (const auto& p : pts) {
+    EXPECT_NEAR(std::abs(std::abs(p.real()) - 1.0), 0.0, 1e-9);
+    EXPECT_EQ(p.imag(), 0.0);
+  }
+}
+
+TEST(SignalField, PilotPolarityIsP0) {
+  // SIGNAL uses p_0 = +1 (scrambler first output bit is 0).
+  EXPECT_EQ(phy::signal_pilot_polarity(), 1);
+}
+
+class ReceiveAuto : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReceiveAuto, DetectsRateAndLength) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int mbps = GetParam();
+  std::vector<std::uint8_t> psdu(360);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> lead(170, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, 26.0, rng);
+
+  // The receiver is configured for the WRONG rate; receive_auto must
+  // discover the true one from the SIGNAL field.
+  OfdmRxConfig cfg;
+  cfg.mbps = (mbps == 6) ? 54 : 6;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive_auto(capture);
+  ASSERT_TRUE(res.preamble_found);
+  ASSERT_TRUE(res.signal_ok);
+  EXPECT_EQ(res.signal.mbps, mbps);
+  EXPECT_EQ(res.signal.length_bits, psdu.size());
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ReceiveAuto,
+                         ::testing::Values(6, 9, 12, 18, 24, 36, 48, 54));
+
+TEST(ReceiveAuto, SurvivesMultipath) {
+  Rng rng(77);
+  std::vector<std::uint8_t> psdu(504);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, 36);
+  std::vector<CplxF> lead(140, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  phy::MultipathChannel ch({{0, {0.9, 0.0}, 0.0}, {6, {0.2, 0.3}, 0.0}},
+                           20.0e6);
+  const auto rx = ch.run(capture, 25.0, rng);
+  OfdmRxConfig cfg;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive_auto(rx);
+  ASSERT_TRUE(res.signal_ok);
+  EXPECT_EQ(res.signal.mbps, 36);
+  ASSERT_EQ(res.psdu.size(), psdu.size());
+  int errors = 0;
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(ReceiveAuto, NoSignalOnNoise) {
+  Rng rng(5);
+  std::vector<CplxF> noise(3000, CplxF{0, 0});
+  noise = phy::awgn(noise, 0.0, rng);
+  OfdmRxConfig cfg;
+  OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive_auto(noise);
+  EXPECT_FALSE(res.signal_ok);
+  EXPECT_TRUE(res.psdu.empty());
+}
+
+}  // namespace
+}  // namespace rsp::ofdm

@@ -1,0 +1,87 @@
+#include "src/phy/channel.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/dbmath.hpp"
+
+namespace rsp::phy {
+namespace {
+
+TEST(Channel, AwgnNoisePowerMatchesEsN0) {
+  Rng rng(1);
+  std::vector<CplxF> x(20000, CplxF{1.0, 0.0});
+  const double esn0 = 7.0;
+  const auto y = awgn(x, esn0, rng);
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) err += std::norm(y[i] - x[i]);
+  const double measured = lin_to_db(static_cast<double>(x.size()) / err);
+  EXPECT_NEAR(measured, esn0, 0.3);
+}
+
+TEST(Channel, SingleTapDelayShiftsSignal) {
+  Rng rng(2);
+  MultipathChannel ch({{5, {1.0, 0.0}, 0.0}}, 3.84e6);
+  std::vector<CplxF> x(32, CplxF{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto y = ch.run(x, 100.0, rng);  // negligible noise
+  ASSERT_EQ(y.size(), 37u);
+  EXPECT_NEAR(std::abs(y[5] - CplxF{1.0, 0.0}), 0.0, 1e-3);
+  EXPECT_NEAR(std::abs(y[0]), 0.0, 1e-3);
+}
+
+TEST(Channel, MultipathSuperposition) {
+  Rng rng(3);
+  MultipathChannel ch({{0, {0.5, 0.0}, 0.0}, {3, {0.0, 0.5}, 0.0}}, 3.84e6);
+  std::vector<CplxF> x(16, CplxF{0.0, 0.0});
+  x[0] = {2.0, 0.0};
+  const auto y = ch.run(x, 100.0, rng);
+  EXPECT_NEAR(std::abs(y[0] - CplxF{1.0, 0.0}), 0.0, 1e-2);
+  EXPECT_NEAR(std::abs(y[3] - CplxF{0.0, 1.0}), 0.0, 1e-2);
+}
+
+TEST(Channel, DopplerRotatesPhase) {
+  Rng rng(4);
+  const double fs = 3.84e6;
+  const double fd = fs / 360.0;  // 1 degree... actually 1/360 cycle/sample
+  MultipathChannel ch({{0, {1.0, 0.0}, fd}}, fs);
+  std::vector<CplxF> x(360, CplxF{1.0, 0.0});
+  const auto y = ch.run(x, 120.0, rng);
+  // After 180 samples the phase advanced pi (half a Doppler cycle).
+  EXPECT_NEAR(y[180].real(), -1.0, 0.05);
+  // Phase continuity across calls:
+  const auto y2 = ch.run(x, 120.0, rng);
+  EXPECT_NEAR(y2[0].real(), std::cos(2.0 * std::acos(-1.0) * fd / fs * 360.0),
+              0.05);
+}
+
+TEST(Channel, MaxDelayReported) {
+  MultipathChannel ch({{2, {1, 0}, 0}, {9, {1, 0}, 0}, {4, {1, 0}, 0}}, 1.0);
+  EXPECT_EQ(ch.max_delay(), 9);
+}
+
+TEST(Channel, DopplerForSpeed) {
+  // 2 GHz carrier, 30 m/s -> ~200 Hz.
+  EXPECT_NEAR(doppler_hz_for_speed(30.0), 200.0, 1.0);
+  EXPECT_EQ(doppler_hz_for_speed(0.0), 0.0);
+}
+
+TEST(Channel, RayleighFadingVariesAcrossBlocks) {
+  Rng rng(5);
+  Rng fade_rng(6);
+  MultipathChannel ch({{0, {1.0, 0.0}, 0.0}}, 1.0e6);
+  ch.enable_rayleigh(64, fade_rng);
+  std::vector<CplxF> x(512, CplxF{1.0, 0.0});
+  const auto y = ch.run(x, 100.0, rng);
+  // Gains differ between fading blocks.
+  const double m0 = std::abs(y[10]);
+  const double m1 = std::abs(y[100]);
+  const double m2 = std::abs(y[300]);
+  EXPECT_TRUE(std::abs(m0 - m1) > 1e-3 || std::abs(m1 - m2) > 1e-3);
+  // Within one block the gain is constant.
+  EXPECT_NEAR(std::abs(y[10]), std::abs(y[20]), 1e-4);
+}
+
+}  // namespace
+}  // namespace rsp::phy

@@ -1,0 +1,186 @@
+#include "src/phy/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/dbmath.hpp"
+#include "src/common/rng.hpp"
+
+namespace rsp::phy {
+namespace {
+
+TEST(FloatFft, MatchesDirectDft) {
+  Rng rng(1);
+  std::vector<CplxF> x(64);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  auto y = x;
+  fft(y, false);
+  for (int k = 0; k < 64; ++k) {
+    CplxF acc{0.0, 0.0};
+    for (int n = 0; n < 64; ++n) {
+      const double a = -2.0 * std::numbers::pi * k * n / 64.0;
+      acc += x[static_cast<std::size_t>(n)] * CplxF{std::cos(a), std::sin(a)};
+    }
+    EXPECT_NEAR(std::abs(acc - y[static_cast<std::size_t>(k)]), 0.0, 1e-9);
+  }
+}
+
+TEST(FloatFft, InverseRoundTrip) {
+  Rng rng(2);
+  std::vector<CplxF> x(128);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  auto y = x;
+  fft(y, false);
+  fft(y, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - y[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(FloatFft, RejectsNonPowerOfTwo) {
+  std::vector<CplxF> x(48);
+  EXPECT_THROW(fft(x, false), std::invalid_argument);
+}
+
+TEST(Fft64Tables, AddressesPartitionEveryStage) {
+  const auto& t = fft64_tables();
+  for (int s = 0; s < kFftStages; ++s) {
+    std::vector<int> seen(kFftSize, 0);
+    for (const auto& bf : t.stages[static_cast<std::size_t>(s)].addr) {
+      for (const int a : bf) {
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, kFftSize);
+        ++seen[static_cast<std::size_t>(a)];
+      }
+    }
+    for (const int c : seen) {
+      EXPECT_EQ(c, 1) << "each address read/written exactly once per stage";
+    }
+  }
+}
+
+TEST(Fft64Tables, InputPermIsInvolution) {
+  const auto& t = fft64_tables();
+  for (int n = 0; n < kFftSize; ++n) {
+    const int p = t.input_perm[static_cast<std::size_t>(n)];
+    EXPECT_EQ(t.input_perm[static_cast<std::size_t>(p)], n);
+  }
+}
+
+TEST(Fft64Tables, TwiddleRomIsUnitCircleQ11) {
+  const auto& t = fft64_tables();
+  for (int k = 0; k < kFftSize; ++k) {
+    const auto& w = t.rom[static_cast<std::size_t>(k)];
+    const double mag =
+        std::sqrt(static_cast<double>(w.norm2())) / 2048.0;
+    EXPECT_NEAR(mag, 1.0, 0.01) << "k=" << k;
+    EXPECT_LE(w.re, 2047);
+    EXPECT_GE(w.re, -2048);
+  }
+}
+
+TEST(Fft64Fixed, ImpulseGivesFlatSpectrum) {
+  std::array<CplxI, kFftSize> in{};
+  in[0] = {511, 0};
+  const auto out = fft64_fixed(in);
+  // DFT of impulse = constant 511; scaled by 1/64 with rounding ->
+  // every bin identical.
+  for (int k = 1; k < kFftSize; ++k) {
+    EXPECT_EQ(out[static_cast<std::size_t>(k)].re, out[0].re);
+    EXPECT_EQ(out[static_cast<std::size_t>(k)].im, out[0].im);
+  }
+  EXPECT_NEAR(out[0].re, 511.0 / 64.0, 1.5);
+}
+
+TEST(Fft64Fixed, DcInputConcentratesInBinZero) {
+  std::array<CplxI, kFftSize> in{};
+  for (auto& v : in) v = {400, 0};
+  const auto out = fft64_fixed(in);
+  // Bin 0 = 64*400/64 = ~400; every other bin ~0.
+  EXPECT_NEAR(out[0].re, 400.0, 8.0);
+  for (int k = 1; k < kFftSize; ++k) {
+    EXPECT_LE(std::abs(out[static_cast<std::size_t>(k)].re), 4) << k;
+    EXPECT_LE(std::abs(out[static_cast<std::size_t>(k)].im), 4) << k;
+  }
+}
+
+TEST(Fft64Fixed, SingleToneLandsInRightBin) {
+  for (const int tone : {1, 5, 17, 33, 63}) {
+    std::array<CplxI, kFftSize> in{};
+    for (int n = 0; n < kFftSize; ++n) {
+      const double a = 2.0 * std::numbers::pi * tone * n / 64.0;
+      in[static_cast<std::size_t>(n)] = {
+          static_cast<std::int32_t>(std::lround(450.0 * std::cos(a))),
+          static_cast<std::int32_t>(std::lround(450.0 * std::sin(a)))};
+    }
+    const auto out = fft64_fixed(in);
+    // Expected: bin `tone` = 450 (by DFT/64 scaling), others small.
+    long long best = -1;
+    int best_k = -1;
+    for (int k = 0; k < kFftSize; ++k) {
+      const long long e = out[static_cast<std::size_t>(k)].norm2();
+      if (e > best) {
+        best = e;
+        best_k = k;
+      }
+    }
+    EXPECT_EQ(best_k, tone);
+    EXPECT_NEAR(out[static_cast<std::size_t>(tone)].re, 450.0, 12.0);
+  }
+}
+
+TEST(Fft64Fixed, MatchesFloatFftWithinQuantization) {
+  Rng rng(77);
+  double sig = 0.0;
+  double err = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::array<CplxI, kFftSize> in{};
+    std::vector<CplxF> xf(kFftSize);
+    for (int n = 0; n < kFftSize; ++n) {
+      const CplxI q = {static_cast<int>(rng.below(1023)) - 511,
+                       static_cast<int>(rng.below(1023)) - 511};
+      in[static_cast<std::size_t>(n)] = q;
+      xf[static_cast<std::size_t>(n)] = {static_cast<double>(q.re),
+                                         static_cast<double>(q.im)};
+    }
+    fft(xf, false);
+    const auto out = fft64_fixed(in);
+    for (int k = 0; k < kFftSize; ++k) {
+      const CplxF ref = xf[static_cast<std::size_t>(k)] / 64.0;
+      const CplxF got{static_cast<double>(out[static_cast<std::size_t>(k)].re),
+                      static_cast<double>(out[static_cast<std::size_t>(k)].im)};
+      sig += std::norm(ref);
+      err += std::norm(ref - got);
+    }
+  }
+  const double sqnr = lin_to_db(sig / err);
+  // Paper: "we finally get a 4-bit precision in the result" — the
+  // fixed transform is a coarse but usable approximation.
+  EXPECT_GT(sqnr, 18.0) << "SQNR dB";
+}
+
+TEST(Fft64Fixed, LinearityInScaling) {
+  Rng rng(123);
+  std::array<CplxI, kFftSize> a{};
+  std::array<CplxI, kFftSize> b{};
+  for (int n = 0; n < kFftSize; ++n) {
+    const int re = static_cast<int>(rng.below(200)) - 100;
+    const int im = static_cast<int>(rng.below(200)) - 100;
+    a[static_cast<std::size_t>(n)] = {re, im};
+    b[static_cast<std::size_t>(n)] = {4 * re, 4 * im};
+  }
+  const auto ya = fft64_fixed(a);
+  const auto yb = fft64_fixed(b);
+  for (int k = 0; k < kFftSize; ++k) {
+    // 4x input -> ~4x output (within rounding of the shared datapath).
+    EXPECT_NEAR(yb[static_cast<std::size_t>(k)].re,
+                4.0 * ya[static_cast<std::size_t>(k)].re, 9.0);
+    EXPECT_NEAR(yb[static_cast<std::size_t>(k)].im,
+                4.0 * ya[static_cast<std::size_t>(k)].im, 9.0);
+  }
+}
+
+}  // namespace
+}  // namespace rsp::phy

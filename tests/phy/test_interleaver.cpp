@@ -1,0 +1,98 @@
+#include "src/phy/interleaver.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/ofdm_tx.hpp"
+
+namespace rsp::phy {
+namespace {
+
+struct ModeParams {
+  int ncbps;
+  int nbpsc;
+};
+
+class InterleaverModes : public ::testing::TestWithParam<ModeParams> {};
+
+TEST_P(InterleaverModes, RoundTrip) {
+  const auto [ncbps, nbpsc] = GetParam();
+  Rng rng(4);
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(ncbps));
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  EXPECT_EQ(deinterleave(interleave(bits, ncbps, nbpsc), ncbps, nbpsc), bits);
+}
+
+TEST_P(InterleaverModes, IsPermutation) {
+  const auto [ncbps, nbpsc] = GetParam();
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(ncbps));
+  // Tag positions by low bits so we can verify a bijection.
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(ncbps), 0);
+  std::iota(bits.begin(), bits.end(), 0);  // wraps mod 256, fine for 288
+  const auto il = interleave(bits, ncbps, nbpsc);
+  long long sum_in = 0;
+  long long sum_out = 0;
+  for (int i = 0; i < ncbps; ++i) {
+    sum_in += bits[static_cast<std::size_t>(i)];
+    sum_out += il[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(sum_in, sum_out) << "interleaver must only permute";
+  (void)seen;
+}
+
+TEST_P(InterleaverModes, AdjacentBitsSeparated) {
+  // The design goal: adjacent coded bits map onto nonadjacent
+  // positions (>= 2 apart) after interleaving.
+  const auto [ncbps, nbpsc] = GetParam();
+  std::vector<int> pos(static_cast<std::size_t>(ncbps));
+  for (int k = 0; k < ncbps; ++k) {
+    std::vector<std::uint8_t> probe(static_cast<std::size_t>(ncbps), 0);
+    probe[static_cast<std::size_t>(k)] = 1;
+    const auto il = interleave(probe, ncbps, nbpsc);
+    for (int j = 0; j < ncbps; ++j) {
+      if (il[static_cast<std::size_t>(j)]) pos[static_cast<std::size_t>(k)] = j;
+    }
+  }
+  for (int k = 0; k + 1 < ncbps; ++k) {
+    EXPECT_GE(std::abs(pos[static_cast<std::size_t>(k)] -
+                       pos[static_cast<std::size_t>(k + 1)]),
+              2)
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ieee80211aModes, InterleaverModes,
+    ::testing::Values(ModeParams{48, 1}, ModeParams{96, 2}, ModeParams{192, 4},
+                      ModeParams{288, 6}));
+
+TEST(Interleaver, SoftDeinterleaveMatchesBitDeinterleave) {
+  Rng rng(8);
+  const int ncbps = 192;
+  const int nbpsc = 4;
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(ncbps));
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto il = interleave(bits, ncbps, nbpsc);
+  std::vector<std::int32_t> soft(il.size());
+  for (std::size_t i = 0; i < il.size(); ++i) soft[i] = il[i] ? 64 : -64;
+  const auto dsoft = deinterleave_soft(soft, ncbps, nbpsc);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(dsoft[i] > 0, bits[i] == 1);
+  }
+}
+
+TEST(Interleaver, RejectsWrongSize) {
+  EXPECT_THROW((void)interleave({1, 0}, 48, 1), std::invalid_argument);
+  EXPECT_THROW((void)deinterleave({1, 0}, 48, 1), std::invalid_argument);
+}
+
+TEST(Interleaver, MatchesRateModeTables) {
+  for (const auto& m : all_rate_modes()) {
+    EXPECT_EQ(m.ncbps, 48 * bits_per_symbol(m.mod));
+  }
+}
+
+}  // namespace
+}  // namespace rsp::phy

@@ -1,0 +1,108 @@
+#include "src/phy/jakes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace rsp::phy {
+namespace {
+
+TEST(Jakes, UnitAveragePower) {
+  Rng rng(1);
+  JakesFader f(100.0, 1.0e6, rng, 24);
+  double p = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    p += std::norm(f.gain(static_cast<long long>(i) * 50));
+  }
+  EXPECT_NEAR(p / n, 1.0, 0.15);
+}
+
+TEST(Jakes, RayleighEnvelopeStatistics) {
+  // For a Rayleigh envelope with unit mean-square, P(|g| < 0.5) ~ 0.22
+  // and the median is sqrt(ln 2) ~ 0.83.
+  Rng rng(2);
+  JakesFader f(80.0, 1.0e6, rng, 32);
+  int below_half = 0;
+  int below_median = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double env = std::abs(f.gain(static_cast<long long>(i) * 97));
+    below_half += (env < 0.5) ? 1 : 0;
+    below_median += (env < std::sqrt(std::log(2.0))) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / n, 1.0 - std::exp(-0.25),
+              0.05);
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.06);
+}
+
+TEST(Jakes, TemporalCorrelationFollowsDoppler) {
+  // Autocorrelation ~ J0(2 pi fd tau): strong at small lags, weak past
+  // the coherence time ~ 0.4 / fd.
+  Rng rng(3);
+  const double fd = 200.0;
+  const double fs = 1.0e6;
+  JakesFader f(fd, fs, rng, 32);
+  const int n = 20000;
+  const auto corr_at = [&](long long lag) {
+    CplxF acc{0.0, 0.0};
+    for (int i = 0; i < n; ++i) {
+      acc += f.gain(i) * std::conj(f.gain(i + lag));
+    }
+    return std::abs(acc) / n;
+  };
+  const double r0 = corr_at(0);
+  const double r_small = corr_at(static_cast<long long>(0.05 / fd * fs));
+  const double r_large = corr_at(static_cast<long long>(2.0 / fd * fs));
+  EXPECT_GT(r_small, 0.85 * r0) << "well inside coherence time";
+  EXPECT_LT(r_large, 0.5 * r0) << "decorrelated past several coherence times";
+}
+
+TEST(Jakes, ZeroDopplerIsStatic) {
+  Rng rng(4);
+  JakesFader f(0.0, 1.0e6, rng);
+  const CplxF g0 = f.gain(0);
+  EXPECT_NEAR(std::abs(f.gain(1000000) - g0), 0.0, 1e-9);
+}
+
+TEST(Jakes, ChannelAppliesDelaysAndPower) {
+  Rng rng(5);
+  JakesChannel ch({{0, 0.8, 0.0}, {7, 0.2, 0.0}}, 1.0e6, rng);
+  std::vector<CplxF> x(64, CplxF{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  Rng nrng(6);
+  const auto y = ch.run(x, 200.0, nrng);
+  ASSERT_EQ(y.size(), 71u);
+  // Impulse response peaks at delays 0 and 7, silence elsewhere.
+  EXPECT_GT(std::abs(y[0]), 0.05);
+  EXPECT_GT(std::abs(y[7]), 0.01);
+  for (const int k : {1, 2, 3, 4, 5, 6, 8, 9}) {
+    EXPECT_LT(std::abs(y[static_cast<std::size_t>(k)]), 1e-6) << k;
+  }
+}
+
+TEST(Jakes, ContinuousAcrossCalls) {
+  Rng rng(7);
+  JakesChannel a({{0, 1.0, 150.0}}, 1.0e6, rng);
+  Rng rng2(7);
+  JakesChannel b({{0, 1.0, 150.0}}, 1.0e6, rng2);
+  std::vector<CplxF> x(100, CplxF{1.0, 0.0});
+  Rng n1(8);
+  Rng n2(8);
+  const auto whole = b.run(std::vector<CplxF>(200, CplxF{1.0, 0.0}), 200.0, n2);
+  const auto first = a.run(x, 200.0, n1);
+  const auto second = a.run(x, 200.0, n1);
+  // Split processing must equal one continuous run (same fader state).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(std::abs(first[static_cast<std::size_t>(i)] -
+                         whole[static_cast<std::size_t>(i)]),
+                0.0, 1e-9);
+    EXPECT_NEAR(std::abs(second[static_cast<std::size_t>(i)] -
+                         whole[static_cast<std::size_t>(i + 100)]),
+                0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rsp::phy

@@ -1,0 +1,106 @@
+#include "src/phy/modulation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace rsp::phy {
+namespace {
+
+class ModulationRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationRoundTrip, HardDemapInvertsModulate) {
+  const Modulation m = GetParam();
+  Rng rng(5);
+  std::vector<std::uint8_t> bits(
+      static_cast<std::size_t>(bits_per_symbol(m)) * 64);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto symbols = modulate(bits, m);
+  EXPECT_EQ(hard_demap(symbols, m), bits);
+}
+
+TEST_P(ModulationRoundTrip, UnitAveragePower) {
+  const Modulation m = GetParam();
+  const auto& points = constellation(m);
+  double p = 0.0;
+  for (const auto& s : points) p += std::norm(s);
+  EXPECT_NEAR(p / static_cast<double>(points.size()), 1.0, 1e-9)
+      << modulation_name(m);
+}
+
+TEST_P(ModulationRoundTrip, GrayNeighborsDifferInOneBit) {
+  // Adjacent constellation points along each axis differ in one bit —
+  // check via minimum-distance pairs.
+  const Modulation m = GetParam();
+  const auto& points = constellation(m);
+  double dmin = 1e9;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      dmin = std::min(dmin, std::abs(points[i] - points[j]));
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (std::abs(points[i] - points[j]) < dmin * 1.001) {
+        EXPECT_EQ(__builtin_popcount(static_cast<unsigned>(i ^ j)), 1)
+            << modulation_name(m) << " words " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_P(ModulationRoundTrip, SoftLlrSignsMatchHardDecisions) {
+  const Modulation m = GetParam();
+  Rng rng(9);
+  std::vector<std::uint8_t> bits(
+      static_cast<std::size_t>(bits_per_symbol(m)) * 32);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto symbols = modulate(bits, m);
+  const auto llr = soft_demap(symbols, m);
+  ASSERT_EQ(llr.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      EXPECT_GT(llr[i], 0) << "bit " << i;
+    } else {
+      EXPECT_LT(llr[i], 0) << "bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ModulationRoundTrip,
+                         ::testing::Values(Modulation::kBpsk, Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Modulation, BitsPerSymbol) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6);
+}
+
+TEST(Modulation, RejectsBadLength) {
+  EXPECT_THROW((void)modulate({1}, Modulation::kQpsk), std::invalid_argument);
+}
+
+TEST(Modulation, NoisyHardDemapDegradesGracefully) {
+  Rng rng(3);
+  std::vector<std::uint8_t> bits(6000);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  const auto symbols = modulate(bits, Modulation::kQam16);
+  std::vector<CplxF> noisy(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    noisy[i] = symbols[i] + rng.cgaussian(0.01);  // 20 dB SNR
+  }
+  const auto decided = hard_demap(noisy, Modulation::kQam16);
+  int errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    errors += (decided[i] != bits[i]) ? 1 : 0;
+  }
+  EXPECT_LT(errors, static_cast<int>(bits.size() / 100));
+}
+
+}  // namespace
+}  // namespace rsp::phy

@@ -1,0 +1,135 @@
+#include "src/phy/ofdm_tx.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/fft.hpp"
+
+namespace rsp::phy {
+namespace {
+
+TEST(OfdmTx, RateModeTablesMatchStandard) {
+  ASSERT_EQ(all_rate_modes().size(), 8u);
+  EXPECT_EQ(rate_mode(6).ndbps, 24);
+  EXPECT_EQ(rate_mode(9).ndbps, 36);
+  EXPECT_EQ(rate_mode(12).ndbps, 48);
+  EXPECT_EQ(rate_mode(18).ndbps, 72);
+  EXPECT_EQ(rate_mode(24).ndbps, 96);
+  EXPECT_EQ(rate_mode(36).ndbps, 144);
+  EXPECT_EQ(rate_mode(48).ndbps, 192);
+  EXPECT_EQ(rate_mode(54).ndbps, 216);
+  for (const auto& m : all_rate_modes()) {
+    // Data rate = NDBPS / 4 us.
+    EXPECT_EQ(m.mbps, m.ndbps / 4);
+  }
+  EXPECT_THROW((void)rate_mode(11), std::invalid_argument);
+}
+
+TEST(OfdmTx, CarrierMaps) {
+  EXPECT_EQ(data_carriers().size(), 48u);
+  EXPECT_EQ(pilot_carriers().size(), 4u);
+  for (const int p : pilot_carriers()) {
+    for (const int d : data_carriers()) EXPECT_NE(p, d);
+  }
+  for (const int d : data_carriers()) EXPECT_NE(d, 0) << "DC unused";
+}
+
+TEST(OfdmTx, PilotPolarityPeriodic) {
+  for (int n = 0; n < 127; ++n) {
+    EXPECT_EQ(pilot_polarity(n), pilot_polarity(n + 127));
+    EXPECT_TRUE(pilot_polarity(n) == 1 || pilot_polarity(n) == -1);
+  }
+}
+
+TEST(OfdmTx, ShortPreambleIsPeriodic16) {
+  const auto sp = short_preamble();
+  ASSERT_EQ(sp.size(), 160u);
+  for (std::size_t i = 0; i + 16 < sp.size(); ++i) {
+    EXPECT_NEAR(std::abs(sp[i] - sp[i + 16]), 0.0, 1e-9);
+  }
+}
+
+TEST(OfdmTx, LongPreambleStructure) {
+  const auto lp = long_preamble();
+  ASSERT_EQ(lp.size(), 160u);
+  // Two identical 64-sample bodies after the 32-sample guard.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(lp[static_cast<std::size_t>(32 + i)] -
+                         lp[static_cast<std::size_t>(96 + i)]),
+                0.0, 1e-9);
+  }
+  // Guard = tail of the body (cyclic prefix): lp[i] == lp[128 + i].
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(lp[static_cast<std::size_t>(i)] -
+                         lp[static_cast<std::size_t>(128 + i)]),
+                0.0, 1e-9);
+  }
+}
+
+TEST(OfdmTx, LongTrainingSymbolRecoverable) {
+  // FFT of the long-preamble body must reproduce L_k on carriers.
+  const auto lp = long_preamble();
+  std::vector<CplxF> body(lp.begin() + 32, lp.begin() + 96);
+  fft(body, false);
+  const auto& L = long_training_symbol();
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const int bin = (k + 64) % 64;
+    const double expect =
+        static_cast<double>(L[static_cast<std::size_t>(k + 26)]);
+    EXPECT_NEAR(body[static_cast<std::size_t>(bin)].real() /
+                    std::sqrt(64.0),
+                expect, 1e-6)
+        << "carrier " << k;
+  }
+}
+
+TEST(OfdmTx, NumDataSymbols) {
+  // 100 PSDU bits at 6 Mbit/s: (16+100+6)/24 = 5.08 -> 6 symbols.
+  EXPECT_EQ(OfdmTransmitter::num_data_symbols(100, 6), 6);
+  EXPECT_EQ(OfdmTransmitter::num_data_symbols(100, 54), 1);
+  EXPECT_EQ(OfdmTransmitter::num_data_symbols(216 - 22, 54), 1);
+  EXPECT_EQ(OfdmTransmitter::num_data_symbols(216 - 21, 54), 2);
+}
+
+TEST(OfdmTx, PpduLengthMatchesSymbolCount) {
+  Rng rng(1);
+  std::vector<std::uint8_t> psdu(160);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  OfdmTransmitter tx;
+  const auto ppdu = tx.build_ppdu(psdu, 12);
+  const int nsym = OfdmTransmitter::num_data_symbols(psdu.size(), 12);
+  // preambles (320) + SIGNAL (80) + DATA symbols
+  EXPECT_EQ(ppdu.size(), 400u + static_cast<std::size_t>(nsym) * 80u);
+}
+
+TEST(OfdmTx, EncodedBitsLengthConsistent) {
+  Rng rng(2);
+  std::vector<std::uint8_t> psdu(200);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  OfdmTransmitter tx;
+  for (const auto& m : all_rate_modes()) {
+    const auto coded = tx.encode_data_bits(psdu, m.mbps);
+    EXPECT_EQ(coded.size() % static_cast<std::size_t>(m.ncbps), 0u);
+    EXPECT_EQ(static_cast<int>(coded.size()) / m.ncbps,
+              OfdmTransmitter::num_data_symbols(psdu.size(), m.mbps));
+  }
+}
+
+TEST(OfdmTx, MeanPowerNearUnity) {
+  Rng rng(3);
+  std::vector<std::uint8_t> psdu(400);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  OfdmTransmitter tx;
+  const auto ppdu = tx.build_ppdu(psdu, 24);
+  double p = 0.0;
+  for (const auto& s : ppdu) p += std::norm(s);
+  p /= static_cast<double>(ppdu.size());
+  EXPECT_GT(p, 0.4);
+  EXPECT_LT(p, 1.6);
+}
+
+}  // namespace
+}  // namespace rsp::phy

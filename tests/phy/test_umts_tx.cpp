@@ -1,0 +1,186 @@
+#include "src/phy/umts_tx.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/ovsf.hpp"
+
+namespace rsp::phy {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+TEST(UmtsTx, QpskMapValues) {
+  const auto s = qpsk_map({0, 0, 0, 1, 1, 0, 1, 1});
+  const double a = 1.0 / std::sqrt(2.0);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_NEAR(std::abs(s[0] - CplxF{a, a}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s[1] - CplxF{a, -a}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s[2] - CplxF{-a, a}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s[3] - CplxF{-a, -a}), 0.0, 1e-12);
+}
+
+TEST(UmtsTx, SttdEncodePairs) {
+  const std::vector<CplxF> s = {{1, 2}, {3, -4}, {-5, 6}, {7, 8}};
+  const auto ant = sttd_encode(s);
+  ASSERT_EQ(ant.size(), 2u);
+  EXPECT_EQ(ant[0], s);
+  EXPECT_NEAR(std::abs(ant[1][0] - CplxF{-3, -4}), 0.0, 1e-12);  // -s2*
+  EXPECT_NEAR(std::abs(ant[1][1] - CplxF{1, -2}), 0.0, 1e-12);   // s1*
+  EXPECT_NEAR(std::abs(ant[1][2] - CplxF{-7, 8}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(ant[1][3] - CplxF{-5, -6}), 0.0, 1e-12);
+}
+
+TEST(UmtsTx, DespreadRecoversSymbolsNoiselessly) {
+  // One DPCH, no pilot: descramble+despread in float must return the
+  // transmitted QPSK symbols exactly.
+  BasestationConfig cfg;
+  cfg.scrambling_code = 16;
+  cfg.cpich_gain = 0.0;
+  DpchConfig ch;
+  ch.sf = 16;
+  ch.code_index = 3;
+  ch.bits = random_bits(64, 9);
+  cfg.channels.push_back(ch);
+  UmtsDownlinkTx tx(cfg);
+  const int nsym = 20;
+  const auto chips = tx.generate(16 * nsym)[0];
+
+  dedhw::UmtsScrambler scr(16);
+  for (int m = 0; m < nsym; ++m) {
+    CplxF acc{0.0, 0.0};
+    for (int i = 0; i < 16; ++i) {
+      const CplxI c = scr.next();
+      const CplxF code{static_cast<double>(c.re), static_cast<double>(c.im)};
+      const int ov = dedhw::ovsf_chip(16, 3, i);
+      acc += chips[static_cast<std::size_t>(16 * m + i)] * std::conj(code) *
+             static_cast<double>(ov);
+    }
+    acc /= 2.0 * 16.0;  // |code|^2 = 2, spreading factor 16
+    const CplxF expect = tx.channel_symbols(0)[static_cast<std::size_t>(m)];
+    EXPECT_NEAR(std::abs(acc - expect), 0.0, 1e-9) << "symbol " << m;
+  }
+}
+
+TEST(UmtsTx, OrthogonalChannelsDoNotLeak) {
+  BasestationConfig cfg;
+  cfg.scrambling_code = 32;
+  cfg.cpich_gain = 0.5;
+  DpchConfig a;
+  a.sf = 32;
+  a.code_index = 5;
+  a.bits = random_bits(64, 1);
+  DpchConfig b;
+  b.sf = 32;
+  b.code_index = 9;
+  b.bits = random_bits(64, 2);
+  cfg.channels = {a, b};
+  UmtsDownlinkTx tx(cfg);
+  const auto chips = tx.generate(32 * 10)[0];
+
+  // Despread with code (32,9): channel a and the CPICH (code 0 tree)
+  // must vanish; only b's symbols remain.
+  dedhw::UmtsScrambler scr(32);
+  for (int m = 0; m < 10; ++m) {
+    CplxF acc{0.0, 0.0};
+    for (int i = 0; i < 32; ++i) {
+      const CplxI c = scr.next();
+      const CplxF code{static_cast<double>(c.re), static_cast<double>(c.im)};
+      acc += chips[static_cast<std::size_t>(32 * m + i)] * std::conj(code) *
+             static_cast<double>(dedhw::ovsf_chip(32, 9, i));
+    }
+    acc /= 2.0 * 32.0;
+    const CplxF expect = tx.channel_symbols(1)[static_cast<std::size_t>(m)];
+    EXPECT_NEAR(std::abs(acc - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(UmtsTx, CpichDetectableByCorrelation) {
+  BasestationConfig cfg;
+  cfg.scrambling_code = 48;
+  cfg.cpich_gain = 0.5;
+  UmtsDownlinkTx tx(cfg);
+  const auto chips = tx.generate(512)[0];
+  dedhw::UmtsScrambler scr(48);
+  CplxF acc{0.0, 0.0};
+  for (int i = 0; i < 512; ++i) {
+    const CplxI c = scr.next();
+    const CplxF pilot =
+        CplxF{static_cast<double>(c.re), static_cast<double>(c.im)} *
+        CplxF{1.0, 1.0} / std::sqrt(2.0);
+    acc += chips[static_cast<std::size_t>(i)] * std::conj(pilot);
+  }
+  acc /= 2.0 * 512.0;
+  EXPECT_NEAR(std::abs(acc), 0.5 / std::sqrt(2.0) * std::sqrt(2.0), 0.01)
+      << "correlation recovers the CPICH amplitude";
+}
+
+TEST(UmtsTx, SttdTransmitsTwoAntennas) {
+  BasestationConfig cfg;
+  cfg.scrambling_code = 0;
+  cfg.cpich_gain = 0.0;
+  DpchConfig ch;
+  ch.sf = 8;
+  ch.code_index = 1;
+  ch.sttd = true;
+  ch.bits = random_bits(32, 3);
+  cfg.channels.push_back(ch);
+  UmtsDownlinkTx tx(cfg);
+  EXPECT_EQ(tx.num_antennas(), 2);
+  const auto streams = tx.generate(64);
+  ASSERT_EQ(streams.size(), 2u);
+  // Antenna streams differ but have equal power.
+  double p0 = 0.0;
+  double p1 = 0.0;
+  double diff = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    p0 += std::norm(streams[0][static_cast<std::size_t>(i)]);
+    p1 += std::norm(streams[1][static_cast<std::size_t>(i)]);
+    diff += std::norm(streams[0][static_cast<std::size_t>(i)] -
+                      streams[1][static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(p0, p1, 1e-9);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(UmtsTx, ResetReplaysStream) {
+  BasestationConfig cfg;
+  cfg.scrambling_code = 16;
+  DpchConfig ch;
+  ch.sf = 16;
+  ch.code_index = 2;
+  ch.bits = random_bits(32, 4);
+  cfg.channels.push_back(ch);
+  UmtsDownlinkTx tx(cfg);
+  const auto first = tx.generate(128)[0];
+  tx.reset();
+  const auto second = tx.generate(128)[0];
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_NEAR(std::abs(first[static_cast<std::size_t>(i)] -
+                         second[static_cast<std::size_t>(i)]),
+                0.0, 1e-12);
+  }
+}
+
+TEST(UmtsTx, RejectsInvalidConfigs) {
+  BasestationConfig cfg;
+  cfg.scrambling_code = 1;
+  DpchConfig ch;
+  ch.sf = 3;  // not a power of two
+  ch.bits = {0, 1};
+  cfg.channels.push_back(ch);
+  EXPECT_THROW(UmtsDownlinkTx{cfg}, std::invalid_argument);
+  cfg.channels[0].sf = 16;
+  cfg.channels[0].bits = {1};  // odd
+  EXPECT_THROW(UmtsDownlinkTx{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::phy

@@ -1,0 +1,147 @@
+#include "src/rake/golden.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/word.hpp"
+
+namespace rsp::rake {
+namespace {
+
+TEST(RakeGolden, Sel4TableIsConjugateCodes) {
+  const auto t = descramble_sel4_table();
+  // code bits (bit0=I, bit1=Q): c = (1-2I) + j(1-2Q), table = conj(c).
+  EXPECT_EQ(unpack_cplx(t[0]), (CplxI{1, -1}));    // c = 1+j
+  EXPECT_EQ(unpack_cplx(t[1]), (CplxI{-1, -1}));   // c = -1+j
+  EXPECT_EQ(unpack_cplx(t[2]), (CplxI{1, 1}));     // c = 1-j
+  EXPECT_EQ(unpack_cplx(t[3]), (CplxI{-1, 1}));    // c = -1-j
+}
+
+TEST(RakeGolden, DescrambleInvertsScrambling) {
+  // Scrambling a symbol by c then descrambling by conj(c)/2 must give
+  // the symbol back exactly for clean inputs.
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CplxI s{static_cast<int>(rng.below(2000)) - 1000,
+                  static_cast<int>(rng.below(2000)) - 1000};
+    const std::uint8_t code2 = static_cast<std::uint8_t>(rng.below(4));
+    const CplxI c{1 - 2 * (code2 & 1), 1 - 2 * ((code2 >> 1) & 1)};
+    const CplxI scrambled = s * c;  // fits 12 bits? products +-2000
+    const CplxI back = descramble_chip(sat_cplx(scrambled, kHalfBits), code2);
+    // r*conj(c) = s*|c|^2 = 2s; >>1 returns s (rounding-free).
+    EXPECT_EQ(back, sat_cplx(s, kHalfBits));
+  }
+}
+
+TEST(RakeGolden, DespreadShiftPolicy) {
+  EXPECT_EQ(despread_shift(4), 0);
+  EXPECT_EQ(despread_shift(8), 1);
+  EXPECT_EQ(despread_shift(64), 4);
+  EXPECT_EQ(despread_shift(512), 7);
+}
+
+class DespreadSf : public ::testing::TestWithParam<int> {};
+
+TEST_P(DespreadSf, RecoversConstantSymbol) {
+  const int sf = GetParam();
+  const int k = sf / 2 + 1;
+  // Chips = symbol * ovsf chip (already descrambled).
+  const CplxI sym{100, -50};
+  std::vector<CplxI> chips;
+  const int nsym = 5;
+  for (int m = 0; m < nsym; ++m) {
+    for (int i = 0; i < sf; ++i) {
+      const int c = dedhw::ovsf_chip(sf, k, i);
+      chips.push_back({sym.re * c, sym.im * c});
+    }
+  }
+  const auto out = despread(chips, sf, k);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(nsym));
+  const int shift = despread_shift(sf);
+  const CplxI expect{saturate((sym.re * sf) >> shift, kHalfBits),
+                     saturate((sym.im * sf) >> shift, kHalfBits)};
+  for (const auto& o : out) EXPECT_EQ(o, expect);
+}
+
+TEST_P(DespreadSf, RejectsOrthogonalCode) {
+  const int sf = GetParam();
+  // Chips spread with code k1; despread with different k2 -> zeros.
+  const int k1 = 1;
+  const int k2 = sf - 1;
+  std::vector<CplxI> chips;
+  for (int i = 0; i < sf; ++i) {
+    const int c = dedhw::ovsf_chip(sf, k1, i);
+    chips.push_back({500 * c, -300 * c});
+  }
+  const auto out = despread(chips, sf, k2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (CplxI{0, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadingFactors, DespreadSf,
+                         ::testing::Values(4, 16, 64, 256, 512));
+
+TEST(RakeGolden, ChannelCorrectMrcRotates) {
+  // y = r * conj(h) >> 10 with h = j: rotates -90 degrees.
+  CorrectorWeights w;
+  w.conj_h1 = quantize_weight(std::conj(CplxF{0.0, 1.0}));
+  const std::vector<CplxI> in = {{100, 0}, {0, 200}};
+  const auto out = channel_correct(in, w);
+  EXPECT_EQ(out[0], (CplxI{0, -100}));
+  EXPECT_EQ(out[1], (CplxI{200, 0}));
+}
+
+TEST(RakeGolden, SttdDecodeRecoversBothSymbols) {
+  // Symbols s1, s2 through h1, h2 with STTD encoding; decode must
+  // produce (|h1|^2+|h2|^2) * s within quantization.
+  const CplxF h1{0.8, -0.3};
+  const CplxF h2{-0.4, 0.6};
+  const CplxF s1{0.7, 0.7};
+  const CplxF s2{-0.7, 0.7};
+  // r1 = h1 s1 - h2 s2*; r2 = h1 s2 + h2 s1*.
+  const CplxF r1 = h1 * s1 - h2 * std::conj(s2);
+  const CplxF r2 = h1 * s2 + h2 * std::conj(s1);
+  const double scale = 512.0;
+  const std::vector<CplxI> in = {
+      {static_cast<int>(std::lround(r1.real() * scale)),
+       static_cast<int>(std::lround(r1.imag() * scale))},
+      {static_cast<int>(std::lround(r2.real() * scale)),
+       static_cast<int>(std::lround(r2.imag() * scale))}};
+  CorrectorWeights w;
+  w.sttd = true;
+  w.conj_h1 = quantize_weight(std::conj(h1));
+  w.h2 = quantize_weight(h2);
+  const auto out = channel_correct(in, w);
+  const double g = std::norm(h1) + std::norm(h2);
+  EXPECT_NEAR(out[0].re, g * s1.real() * scale, 6.0);
+  EXPECT_NEAR(out[0].im, g * s1.imag() * scale, 6.0);
+  EXPECT_NEAR(out[1].re, g * s2.real() * scale, 6.0);
+  EXPECT_NEAR(out[1].im, g * s2.imag() * scale, 6.0);
+}
+
+TEST(RakeGolden, CombineSaturatesOnce) {
+  const std::vector<std::vector<CplxI>> fingers = {
+      {{1500, -1500}}, {{1000, -1000}}};
+  const auto out = combine(fingers);
+  EXPECT_EQ(out[0], (CplxI{2047, -2048}));
+}
+
+TEST(RakeGolden, CombineLengthMismatchThrows) {
+  EXPECT_THROW((void)combine({{{1, 1}}, {{1, 1}, {2, 2}}}),
+               std::invalid_argument);
+}
+
+TEST(RakeGolden, QuantizeChipsSaturates) {
+  const auto q = quantize_chips({{10.0, -10.0}}, 256.0);
+  EXPECT_EQ(q[0], (CplxI{2047, -2048}));
+}
+
+TEST(RakeGolden, QpskSliceSigns) {
+  EXPECT_EQ(qpsk_slice({{5, 5}, {5, -5}, {-5, 5}, {-5, -5}}),
+            (std::vector<std::uint8_t>{0, 0, 0, 1, 1, 0, 1, 1}));
+}
+
+}  // namespace
+}  // namespace rsp::rake

@@ -1,0 +1,156 @@
+// Bit-exactness of the array-mapped rake datapath (Figures 5-7)
+// against the golden chain.
+#include "src/rake/maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+
+namespace rsp::rake {
+namespace {
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed,
+                                int amp = 1000) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp};
+  }
+  return out;
+}
+
+TEST(RakeMaps, DescramblerMatchesGolden) {
+  const auto chips = random_chips(256, 1);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<std::uint8_t> code2(chips.size());
+  for (auto& c : code2) c = scr.next2();
+
+  xpp::ConfigurationManager mgr;
+  xpp::RunResult stats;
+  const auto mapped = maps::run_descrambler(mgr, chips, code2, &stats);
+  const auto golden = descramble(chips, code2);
+  ASSERT_EQ(mapped.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(mapped[i], golden[i]) << "chip " << i;
+  }
+  // Figure 5 resource shape: code mux + complex multiplier.
+  EXPECT_EQ(stats.info.alu_cells, 2);
+  EXPECT_EQ(stats.info.io_channels, 3);
+}
+
+TEST(RakeMaps, DescramblerSustainsPipelineRate) {
+  const auto chips = random_chips(512, 2);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<std::uint8_t> code2(chips.size());
+  for (auto& c : code2) c = scr.next2();
+  xpp::ConfigurationManager mgr;
+  xpp::RunResult stats;
+  (void)maps::run_descrambler(mgr, chips, code2, &stats);
+  EXPECT_LT(stats.cycles, static_cast<long long>(chips.size()) + 16)
+      << "one chip per cycle once the pipeline is full";
+}
+
+class DespreaderSf : public ::testing::TestWithParam<int> {};
+
+TEST_P(DespreaderSf, MatchesGolden) {
+  const int sf = GetParam();
+  const int k = 1;
+  const auto chips = random_chips(static_cast<std::size_t>(sf) * 6, 3);
+  xpp::ConfigurationManager mgr;
+  const auto mapped = maps::run_despreader(mgr, chips, sf, k);
+  const auto golden = despread(chips, sf, k);
+  ASSERT_EQ(mapped.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(mapped[i], golden[i]) << "symbol " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadingFactors, DespreaderSf,
+                         ::testing::Values(4, 8, 64, 256, 512));
+
+TEST(RakeMaps, DespreaderResourceShape) {
+  xpp::ConfigurationManager mgr;
+  xpp::RunResult stats;
+  const auto chips = random_chips(64, 4);
+  (void)maps::run_despreader(mgr, chips, 16, 3, &stats);
+  // Figure 6: complex multiplier + accumulator + counter on ALU-PAEs,
+  // OVSF codes in one RAM-PAE circular FIFO.
+  EXPECT_EQ(stats.info.alu_cells, 3);
+  EXPECT_EQ(stats.info.ram_cells, 1);
+}
+
+TEST(RakeMaps, ChancorrMrcMatchesGolden) {
+  const auto symbols = random_chips(128, 5);
+  CorrectorWeights w;
+  w.conj_h1 = quantize_weight({0.7, -0.4});
+  xpp::ConfigurationManager mgr;
+  const auto mapped = maps::run_chancorr(mgr, symbols, w);
+  const auto golden = channel_correct(symbols, w);
+  ASSERT_EQ(mapped.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(mapped[i], golden[i]) << "symbol " << i;
+  }
+}
+
+TEST(RakeMaps, ChancorrSttdMatchesGolden) {
+  const auto symbols = random_chips(128, 6);
+  CorrectorWeights w;
+  w.sttd = true;
+  w.conj_h1 = quantize_weight({0.8, 0.1});
+  w.h2 = quantize_weight({-0.35, 0.55});
+  xpp::ConfigurationManager mgr;
+  xpp::RunResult stats;
+  const auto mapped = maps::run_chancorr(mgr, symbols, w, &stats);
+  const auto golden = channel_correct(symbols, w);
+  ASSERT_EQ(mapped.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(mapped[i], golden[i]) << "symbol " << i;
+  }
+  // The Figure 7 STTD pipeline: dup, 2 cmuls, conj, demux, merge, add
+  // + the pair counter = 8 ALU-PAEs, two weight FIFOs in RAM-PAEs.
+  EXPECT_EQ(stats.info.alu_cells, 8);
+  EXPECT_EQ(stats.info.ram_cells, 2);
+}
+
+TEST(RakeMaps, CombinerMatchesGolden) {
+  std::vector<std::vector<CplxI>> fingers;
+  for (int f = 0; f < 3; ++f) {
+    fingers.push_back(random_chips(64, 10 + static_cast<std::uint64_t>(f),
+                                   600));
+  }
+  xpp::ConfigurationManager mgr;
+  const auto mapped = maps::run_combiner(mgr, fingers);
+  const auto golden = combine(fingers);
+  ASSERT_EQ(mapped.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(mapped[i], golden[i]) << "symbol " << i;
+  }
+}
+
+TEST(RakeMaps, FullFingerChainOnArrayMatchesGolden) {
+  // Figure 4's full reconfigurable datapath: descramble -> despread ->
+  // correct, each stage on the array, chained through the harness.
+  const int sf = 32;
+  const auto chips = random_chips(static_cast<std::size_t>(sf) * 8, 20);
+  dedhw::UmtsScrambler scr(48);
+  std::vector<std::uint8_t> code2(chips.size());
+  for (auto& c : code2) c = scr.next2();
+  CorrectorWeights w;
+  w.conj_h1 = quantize_weight({0.9, -0.2});
+
+  xpp::ConfigurationManager mgr;
+  const auto d1 = maps::run_descrambler(mgr, chips, code2);
+  const auto d2 = maps::run_despreader(mgr, d1, sf, 3);
+  const auto d3 = maps::run_chancorr(mgr, d2, w);
+
+  const auto g = channel_correct(despread(descramble(chips, code2), sf, 3), w);
+  ASSERT_EQ(d3.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    ASSERT_EQ(d3[i], g[i]) << "symbol " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rsp::rake

@@ -1,0 +1,163 @@
+#include "src/rake/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/umts_tx.hpp"
+
+namespace rsp::rake {
+namespace {
+
+struct LinkSetup {
+  std::vector<phy::UmtsDownlinkTx> txs;
+  std::vector<std::vector<std::uint8_t>> tx_bits;  // per basestation
+  RakeConfig cfg;
+};
+
+LinkSetup make_link(int n_bs, int sf, bool sttd, std::uint64_t seed) {
+  LinkSetup ls;
+  Rng rng(seed);
+  for (int b = 0; b < n_bs; ++b) {
+    phy::BasestationConfig bs;
+    bs.scrambling_code = 16u * static_cast<std::uint32_t>(b + 1);
+    bs.cpich_gain = 0.5;
+    phy::DpchConfig ch;
+    ch.sf = sf;
+    ch.code_index = 3;
+    ch.gain = 0.7;
+    ch.sttd = sttd;
+    ch.bits.resize(256);
+    if (b == 0) {
+      for (auto& bit : ch.bits) bit = rng.bit() ? 1 : 0;
+    } else {
+      // Soft handover: every basestation transmits the same DCH data.
+      ch.bits = ls.tx_bits[0];
+    }
+    if (b == 0) ls.tx_bits.push_back(ch.bits);
+    bs.channels.push_back(ch);
+    ls.txs.emplace_back(std::move(bs));
+    ls.cfg.scrambling_codes.push_back(16u * static_cast<std::uint32_t>(b + 1));
+  }
+  ls.cfg.sf = sf;
+  ls.cfg.code_index = 3;
+  ls.cfg.sttd = sttd;
+  ls.cfg.pilot_amplitude = 0.5;
+  return ls;
+}
+
+int count_bit_errors(const std::vector<std::uint8_t>& tx_bits,
+                     const std::vector<std::uint8_t>& rx_bits) {
+  int errors = 0;
+  for (std::size_t i = 0; i < rx_bits.size(); ++i) {
+    errors += (rx_bits[i] != tx_bits[i % tx_bits.size()]) ? 1 : 0;
+  }
+  return errors;
+}
+
+TEST(RakeReceiver, SingleBsSinglePathCleanLink) {
+  auto ls = make_link(1, 64, false, 1);
+  const auto chips = ls.txs[0].generate(64 * 64)[0];
+  Rng rng(2);
+  phy::MultipathChannel ch({{5, {0.95, 0.1}, 0.0}}, 3.84e6);
+  const auto rx = ch.run(chips, 22.0, rng);
+  ls.cfg.paths_per_bs = 1;
+  RakeReceiver receiver(ls.cfg);
+  const auto out = receiver.receive(rx);
+  ASSERT_GE(out.fingers.size(), 1u);
+  EXPECT_EQ(out.fingers[0].delay, 5);
+  ASSERT_GT(out.bits.size(), 60u);
+  EXPECT_EQ(count_bit_errors(ls.tx_bits[0], out.bits), 0);
+}
+
+TEST(RakeReceiver, MultipathCombiningBeatsSingleFinger) {
+  auto ls = make_link(1, 64, false, 3);
+  const auto chips = ls.txs[0].generate(64 * 128)[0];
+  Rng rng(4);
+  phy::MultipathChannel ch(
+      {{2, {0.55, 0.0}, 0.0}, {9, {0.0, 0.5}, 0.0}, {17, {0.35, -0.35}, 0.0}},
+      3.84e6);
+  const auto rx = ch.run(chips, 4.0, rng);  // noisy link
+  RakeReceiver receiver(ls.cfg);
+
+  // Full rake (3 fingers).
+  ls.cfg.paths_per_bs = 3;
+  const auto full = RakeReceiver(ls.cfg).receive(rx);
+  // Single-finger receiver on the same capture.
+  ls.cfg.paths_per_bs = 1;
+  const auto single = RakeReceiver(ls.cfg).receive(rx);
+
+  const int err_full = count_bit_errors(ls.tx_bits[0], full.bits);
+  const int err_single = count_bit_errors(ls.tx_bits[0], single.bits);
+  EXPECT_LE(err_full, err_single)
+      << "collecting multipath energy must not hurt";
+  EXPECT_GE(full.fingers.size(), 2u);
+}
+
+TEST(RakeReceiver, SoftHandoverCombinesBasestations) {
+  // Paper scenario: same data from multiple basestations with distinct
+  // scrambling codes; the rake must lock onto each and combine.
+  auto ls = make_link(3, 64, false, 5);
+  std::vector<std::vector<CplxF>> streams;
+  Rng rng(6);
+  const int n_chips = 64 * 96;
+  phy::MultipathChannel ch0({{3, {0.6, 0.0}, 0.0}}, 3.84e6);
+  phy::MultipathChannel ch1({{11, {0.0, 0.55}, 0.0}}, 3.84e6);
+  phy::MultipathChannel ch2({{27, {-0.4, 0.3}, 0.0}}, 3.84e6);
+  streams.push_back(ch0.run(ls.txs[0].generate(n_chips)[0], 60.0, rng));
+  streams.push_back(ch1.run(ls.txs[1].generate(n_chips)[0], 60.0, rng));
+  streams.push_back(ch2.run(ls.txs[2].generate(n_chips)[0], 60.0, rng));
+  auto rx = phy::combine_basestations(streams);
+  Rng nrng(7);
+  rx = phy::awgn(rx, 8.0, nrng);
+
+  ls.cfg.paths_per_bs = 1;
+  RakeReceiver receiver(ls.cfg);
+  const auto out = receiver.receive(rx);
+  EXPECT_EQ(out.fingers.size(), 3u) << "one finger per basestation";
+  EXPECT_EQ(count_bit_errors(ls.tx_bits[0], out.bits), 0);
+}
+
+TEST(RakeReceiver, SttdDiversityDecodes) {
+  auto ls = make_link(1, 64, true, 8);
+  const auto streams = ls.txs[0].generate(64 * 64);
+  const CplxF h1{0.75, 0.2};
+  const CplxF h2{-0.3, 0.6};
+  std::vector<CplxF> rx(streams[0].size());
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    rx[i] = h1 * streams[0][i] + h2 * streams[1][i];
+  }
+  Rng rng(9);
+  rx = phy::awgn(rx, 18.0, rng);
+  ls.cfg.paths_per_bs = 1;
+  RakeReceiver receiver(ls.cfg);
+  const auto out = receiver.receive(rx);
+  ASSERT_GT(out.bits.size(), 50u);
+  EXPECT_EQ(count_bit_errors(ls.tx_bits[0], out.bits), 0);
+}
+
+TEST(RakeReceiver, ChargesDspTasks) {
+  auto ls = make_link(2, 64, false, 10);
+  const int n_chips = 64 * 64;
+  auto rx = phy::combine_basestations(
+      {ls.txs[0].generate(n_chips)[0], ls.txs[1].generate(n_chips)[0]});
+  Rng rng(11);
+  rx = phy::awgn(rx, 15.0, rng);
+  dsp::DspModel dsp;
+  RakeReceiver receiver(ls.cfg);
+  (void)receiver.receive(rx, &dsp);
+  EXPECT_TRUE(dsp.tasks().count("path_search"));
+  EXPECT_TRUE(dsp.tasks().count("channel_estimation"));
+  EXPECT_TRUE(dsp.tasks().count("control_sync"));
+}
+
+TEST(RakeReceiver, RejectsBadConfig) {
+  RakeConfig cfg;
+  EXPECT_THROW(RakeReceiver{cfg}, std::invalid_argument);
+  cfg.scrambling_codes = {16};
+  cfg.sf = 5;
+  EXPECT_THROW(RakeReceiver{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::rake

@@ -1,0 +1,61 @@
+#include "src/rake/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::rake {
+namespace {
+
+TEST(Scenario, PaperMaximum) {
+  // "18 (6x3) rake fingers ... 18 x 3.84 MHz = 69.12 MHz"
+  const FingerScenario max{6, 1, 3};
+  EXPECT_EQ(max.virtual_fingers(), 18);
+  EXPECT_EQ(kMaxVirtualFingers, 18);
+  EXPECT_NEAR(max.required_clock_hz(), 69.12e6, 1.0);
+  EXPECT_NEAR(kMaxFingerClockHz, 69.12e6, 1.0);
+  EXPECT_TRUE(max.feasible());
+  EXPECT_TRUE(max.needs_full_clock());
+}
+
+TEST(Scenario, TwoChannelScenarios) {
+  // 3 BTS x 2 DCH x 3 paths = 18 fingers, also the shaded maximum.
+  const FingerScenario s{3, 2, 3};
+  EXPECT_EQ(s.virtual_fingers(), 18);
+  EXPECT_TRUE(s.needs_full_clock());
+  // 6 BTS x 2 DCH x 3 paths exceeds the implementation.
+  const FingerScenario over{6, 2, 3};
+  EXPECT_EQ(over.virtual_fingers(), 36);
+  EXPECT_FALSE(over.feasible());
+}
+
+TEST(Scenario, SingleFingerBaseline) {
+  const FingerScenario s{1, 1, 1};
+  EXPECT_EQ(s.virtual_fingers(), 1);
+  EXPECT_NEAR(s.required_clock_hz(), 3.84e6, 1.0);
+  EXPECT_TRUE(s.feasible());
+  EXPECT_FALSE(s.needs_full_clock());
+}
+
+TEST(Scenario, Table1Enumeration) {
+  const auto table = table1_scenarios();
+  EXPECT_EQ(table.size(), 2u * 6u * 3u);
+  int feasible = 0;
+  int at_max = 0;
+  for (const auto& s : table) {
+    EXPECT_GE(s.basestations, 1);
+    EXPECT_LE(s.basestations, 6);
+    EXPECT_GE(s.multipaths, 1);
+    EXPECT_LE(s.multipaths, 3);
+    feasible += s.feasible() ? 1 : 0;
+    at_max += s.needs_full_clock() ? 1 : 0;
+    // Required clock is always fingers x chip rate.
+    EXPECT_NEAR(s.required_clock_hz(),
+                s.virtual_fingers() * 3.84e6, 1.0);
+  }
+  EXPECT_GT(feasible, 0);
+  EXPECT_LT(feasible, static_cast<int>(table.size()))
+      << "some 2-DCH scenarios must exceed the single finger";
+  EXPECT_GE(at_max, 2) << "both 6x1x3 and 3x2x3 hit 69.12 MHz";
+}
+
+}  // namespace
+}  // namespace rsp::rake

@@ -1,0 +1,160 @@
+#include "src/rake/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/umts_tx.hpp"
+
+namespace rsp::rake {
+namespace {
+
+phy::UmtsDownlinkTx make_tx(std::uint32_t code, std::uint64_t seed) {
+  Rng rng(seed);
+  phy::BasestationConfig cfg;
+  cfg.scrambling_code = code;
+  cfg.cpich_gain = 0.5;
+  phy::DpchConfig ch;
+  ch.sf = 64;
+  ch.code_index = 3;
+  ch.gain = 0.8;
+  ch.bits.resize(128);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  cfg.channels.push_back(ch);
+  return phy::UmtsDownlinkTx(std::move(cfg));
+}
+
+TEST(PathSearch, FindsMultipathDelays) {
+  Rng rng(1);
+  auto tx = make_tx(16, 2);
+  const auto clean = tx.generate(8192)[0];
+  phy::MultipathChannel ch(
+      {{3, {0.9, 0.0}, 0.0}, {19, {0.0, 0.55}, 0.0}, {42, {-0.4, 0.2}, 0.0}},
+      3.84e6);
+  const auto rx = ch.run(clean, 18.0, rng);
+
+  PathSearcher searcher(16, SearchParams{});
+  const auto paths = searcher.search(rx, 3);
+  ASSERT_GE(paths.size(), 2u);
+  std::vector<int> delays;
+  for (const auto& p : paths) delays.push_back(p.delay);
+  EXPECT_NE(std::find(delays.begin(), delays.end(), 3), delays.end());
+  EXPECT_NE(std::find(delays.begin(), delays.end(), 19), delays.end());
+  // Strongest path first.
+  EXPECT_EQ(paths[0].delay, 3);
+}
+
+TEST(PathSearch, ChargesDspWork) {
+  Rng rng(3);
+  auto tx = make_tx(16, 4);
+  const auto rx = phy::awgn(tx.generate(4096)[0], 20.0, rng);
+  dsp::DspModel dsp;
+  PathSearcher searcher(16, SearchParams{});
+  (void)searcher.search(rx, 2, &dsp);
+  EXPECT_GT(dsp.total_instructions(), 1000);
+  EXPECT_TRUE(dsp.tasks().count("path_search"));
+}
+
+TEST(PathSearch, ProbeMeasuresEnergyRatio) {
+  Rng rng(5);
+  auto tx = make_tx(32, 6);
+  const auto clean = tx.generate(4096)[0];
+  phy::MultipathChannel ch({{10, {1.0, 0.0}, 0.0}}, 3.84e6);
+  const auto rx = ch.run(clean, 25.0, rng);
+  PathSearcher searcher(32, SearchParams{});
+  const auto on = searcher.probe(rx, 10, 512);
+  const auto off = searcher.probe(rx, 25, 512);
+  EXPECT_GT(on.energy, off.energy * 10.0);
+}
+
+TEST(ChannelEstimate, RecoversComplexGain) {
+  Rng rng(7);
+  auto tx = make_tx(48, 8);
+  const auto clean = tx.generate(4096)[0];
+  const CplxF h{0.6, -0.45};
+  phy::MultipathChannel ch({{7, h, 0.0}}, 3.84e6);
+  const auto rx = ch.run(clean, 24.0, rng);
+  const auto est = estimate_channel(rx, 48, 7, /*pilot_amplitude=*/0.5);
+  EXPECT_NEAR(est.h1.real(), h.real(), 0.08);
+  EXPECT_NEAR(est.h1.imag(), h.imag(), 0.08);
+}
+
+TEST(ChannelEstimate, DiversityPilotSeparatesAntennas) {
+  // Two antennas with different gains; the alternating-sign diversity
+  // pilot lets the estimator separate h1 and h2.
+  Rng rng(9);
+  phy::BasestationConfig cfg;
+  cfg.scrambling_code = 16;
+  cfg.cpich_gain = 0.7;
+  phy::DpchConfig dpch;
+  dpch.sf = 64;
+  dpch.code_index = 2;
+  dpch.sttd = true;
+  dpch.gain = 0.3;
+  dpch.bits.assign(64, 0);
+  Rng brng(10);
+  for (auto& b : dpch.bits) b = brng.bit() ? 1 : 0;
+  cfg.channels.push_back(dpch);
+  phy::UmtsDownlinkTx tx(cfg);
+  const auto streams = tx.generate(4096);
+  const CplxF h1{0.9, 0.1};
+  const CplxF h2{-0.2, 0.7};
+  std::vector<CplxF> rx(streams[0].size());
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    rx[i] = h1 * streams[0][i] + h2 * streams[1][i];
+  }
+  Rng nrng(11);
+  rx = phy::awgn(rx, 26.0, nrng);
+  const auto est =
+      estimate_channel(rx, 16, 0, /*pilot_amplitude=*/0.7, /*diversity=*/true,
+                       /*n_chips=*/2048);
+  EXPECT_NEAR(est.h1.real(), h1.real(), 0.1);
+  EXPECT_NEAR(est.h1.imag(), h1.imag(), 0.1);
+  EXPECT_NEAR(est.h2.real(), h2.real(), 0.1);
+  EXPECT_NEAR(est.h2.imag(), h2.imag(), 0.1);
+}
+
+TEST(PathTracker, FollowsDriftWithHysteresis) {
+  Rng rng(13);
+  auto tx = make_tx(16, 14);
+  const auto clean = tx.generate(8192)[0];
+  phy::MultipathChannel ch({{12, {1.0, 0.0}, 0.0}}, 3.84e6);
+  const auto rx = ch.run(clean, 22.0, rng);
+  PathTracker tracker(16, 512, /*hysteresis=*/2);
+  int delay = 10;  // start 2 chips off
+  for (int iter = 0; iter < 8; ++iter) {
+    delay = tracker.track(rx, delay);
+  }
+  EXPECT_EQ(delay, 12) << "tracker must converge onto the true path";
+  // Once locked it must stay.
+  for (int iter = 0; iter < 4; ++iter) {
+    delay = tracker.track(rx, delay);
+  }
+  EXPECT_EQ(delay, 12);
+}
+
+TEST(PathTracker, FollowsDelayDriftAcrossFrames) {
+  // The path delay drifts by one chip between captures (terminal
+  // motion); the tracker must follow frame by frame.
+  Rng rng(21);
+  auto tx = make_tx(16, 22);
+  PathTracker tracker(16, 512, /*hysteresis=*/2);
+  int delay = 8;
+  for (const int true_delay : {8, 8, 9, 9, 10, 10}) {
+    tx.reset();  // captures are frame-aligned (code phase restarts)
+    phy::MultipathChannel ch({{true_delay, {1.0, 0.0}, 0.0}}, 3.84e6);
+    const auto rx = ch.run(tx.generate(4096)[0], 24.0, rng);
+    for (int iter = 0; iter < 4; ++iter) {
+      delay = tracker.track(rx, delay);
+    }
+    EXPECT_LE(std::abs(delay - true_delay), 1)
+        << "tracker must stay within a chip of the drifting path";
+  }
+  EXPECT_EQ(delay, 10);
+}
+
+}  // namespace
+}  // namespace rsp::rake

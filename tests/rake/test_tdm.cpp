@@ -1,0 +1,110 @@
+#include "src/rake/tdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/receiver.hpp"
+
+namespace rsp::rake {
+namespace {
+
+std::vector<CplxI> synthetic_capture(int n_chips, std::uint64_t seed) {
+  Rng rng(seed);
+  phy::BasestationConfig a;
+  a.scrambling_code = 16;
+  a.cpich_gain = 0.4;
+  phy::DpchConfig ch;
+  ch.sf = 32;
+  ch.code_index = 5;
+  ch.bits.resize(128);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  a.channels.push_back(ch);
+  phy::BasestationConfig b2 = a;
+  b2.scrambling_code = 32;
+  phy::UmtsDownlinkTx tx_a(a);
+  phy::UmtsDownlinkTx tx_b(b2);
+  auto rx = phy::combine_basestations(
+      {tx_a.generate(n_chips)[0], tx_b.generate(n_chips)[0]});
+  rx = phy::awgn(rx, 14.0, rng);
+  return quantize_chips(rx);
+}
+
+TEST(TdmFinger, MatchesDedicatedFingersBitExactly) {
+  // The paper's claim: one physical finger, time-multiplexed over all
+  // contexts, produces the same results as parallel fingers.
+  const auto rx = synthetic_capture(32 * 64, 1);
+
+  std::vector<TdmFinger::Context> contexts = {
+      {16, 0, 32, 5}, {16, 4, 32, 5}, {32, 0, 32, 5},
+      {32, 9, 32, 5}, {16, 17, 32, 5}, {32, 2, 32, 5},
+  };
+  TdmFinger tdm(contexts);
+  const auto tdm_out = tdm.process(rx);
+
+  RakeConfig cfg;
+  cfg.scrambling_codes = {16, 32};
+  cfg.sf = 32;
+  cfg.code_index = 5;
+  RakeReceiver receiver(cfg);
+  for (std::size_t k = 0; k < contexts.size(); ++k) {
+    const auto& ctx = contexts[k];
+    const auto dedicated =
+        receiver.finger_despread(rx, ctx.scrambling_code, ctx.delay);
+    ASSERT_EQ(tdm_out[k].size(), dedicated.size()) << "context " << k;
+    for (std::size_t i = 0; i < dedicated.size(); ++i) {
+      ASSERT_EQ(tdm_out[k][i], dedicated[i])
+          << "context " << k << " symbol " << i;
+    }
+  }
+}
+
+TEST(TdmFinger, RequiredClockScalesWithContexts) {
+  std::vector<TdmFinger::Context> ctx18;
+  for (int i = 0; i < 18; ++i) {
+    ctx18.push_back({16, i, 64, 1});
+  }
+  TdmFinger full(ctx18);
+  EXPECT_NEAR(full.required_clock_hz(), 69.12e6, 1.0)
+      << "18 fingers need 18 x 3.84 MHz";
+  TdmFinger one({{16, 0, 64, 1}});
+  EXPECT_NEAR(one.required_clock_hz(), 3.84e6, 1.0);
+}
+
+TEST(TdmFinger, ChipOpsCountTheMultiplex) {
+  const auto rx = synthetic_capture(64 * 8, 2);
+  std::vector<TdmFinger::Context> contexts = {
+      {16, 0, 64, 1}, {16, 0, 64, 1}, {16, 0, 64, 1}};
+  TdmFinger tdm(contexts);
+  (void)tdm.process(rx);
+  EXPECT_EQ(tdm.chip_ops(), static_cast<long long>(rx.size()) * 3);
+}
+
+TEST(TdmFinger, EighteenContextMaxScenario) {
+  // 6 basestations x 3 paths = the paper's maximum.
+  const auto rx = synthetic_capture(32 * 32, 3);
+  std::vector<TdmFinger::Context> contexts;
+  for (int bs = 0; bs < 6; ++bs) {
+    for (int p = 0; p < 3; ++p) {
+      contexts.push_back(
+          {16u * static_cast<std::uint32_t>(bs % 2 + 1), 3 * p, 32, 5});
+    }
+  }
+  TdmFinger tdm(contexts);
+  EXPECT_EQ(tdm.num_contexts(), 18);
+  const auto out = tdm.process(rx);
+  EXPECT_EQ(out.size(), 18u);
+  for (const auto& stream : out) {
+    EXPECT_GT(stream.size(), 28u);
+  }
+}
+
+TEST(TdmFinger, RejectsTooManyContexts) {
+  std::vector<TdmFinger::Context> contexts(19, {16, 0, 64, 1});
+  EXPECT_THROW(TdmFinger{contexts}, std::invalid_argument);
+  EXPECT_THROW(TdmFinger{{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::rake

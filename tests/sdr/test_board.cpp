@@ -1,0 +1,74 @@
+#include "src/sdr/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+
+namespace rsp::sdr {
+namespace {
+
+TEST(Board, ComponentsPresent) {
+  SdrBoard board;
+  EXPECT_EQ(board.array().resources().geometry().alu_count(), 64);
+  EXPECT_EQ(board.dsp().clock_hz(), dsp::kDspClockHz);
+  EXPECT_EQ(board.microcontroller().clock_hz(), 100.0e6);
+  board.fpga_route(128);
+  EXPECT_EQ(board.fpga_words_routed(), 128);
+}
+
+TEST(TimeSlicerTest, RecordsSliceStats) {
+  SdrBoard board;
+  TimeSlicer slicer(board.array());
+  const auto rec = slicer.slice("umts", [](xpp::ConfigurationManager& mgr) {
+    const auto cfg = rake::maps::despreader_config(16, 1);
+    const auto id = mgr.load(cfg);
+    mgr.sim().run(100);
+    mgr.release(id);
+  });
+  EXPECT_GT(rec.cycles, 100);
+  EXPECT_GT(rec.config_cycles, 0);
+  EXPECT_EQ(rec.peak_alu_cells, 3);
+  EXPECT_EQ(rec.peak_ram_cells, 1);
+  EXPECT_EQ(slicer.history().size(), 1u);
+}
+
+TEST(TimeSlicerTest, SharedArrayNeedsOnlyPeakNotSum) {
+  // The multi-link saving: time-slicing UMTS and WLAN over one array
+  // needs max(peaks), a dedicated design needs the sum.
+  SdrBoard board;
+  TimeSlicer slicer(board.array());
+  for (int round = 0; round < 3; ++round) {
+    slicer.slice("umts", [](xpp::ConfigurationManager& mgr) {
+      const auto id = mgr.load(rake::maps::despreader_config(64, 3));
+      mgr.sim().run(50);
+      mgr.release(id);
+    });
+    slicer.slice("wlan", [](xpp::ConfigurationManager& mgr) {
+      const auto id = mgr.load(ofdm::maps::fft64_stage_config(0));
+      mgr.sim().run(50);
+      mgr.release(id);
+    });
+  }
+  EXPECT_LT(slicer.peak_alu_cells(), slicer.sum_alu_cells())
+      << "time slicing must beat dedicated provisioning";
+  EXPECT_GT(slicer.total_config_cycles(), 0);
+  EXPECT_GT(slicer.config_overhead(), 0.0);
+  EXPECT_LT(slicer.config_overhead(), 1.0);
+}
+
+TEST(TimeSlicerTest, LeakDetection) {
+  SdrBoard board;
+  TimeSlicer slicer(board.array());
+  xpp::ConfigId leaked = -1;
+  EXPECT_THROW(
+      slicer.slice("leaky",
+                   [&](xpp::ConfigurationManager& mgr) {
+                     leaked = mgr.load(rake::maps::despreader_config(8, 1));
+                   }),
+      std::logic_error);
+  board.array().release(leaked);
+}
+
+}  // namespace
+}  // namespace rsp::sdr

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/sdr/area_model.hpp"
+#include "src/sdr/mips_model.hpp"
+#include "src/sdr/partitioning.hpp"
+#include "src/sdr/rate_mobility.hpp"
+
+namespace rsp::sdr {
+namespace {
+
+TEST(MipsModel, Figure1SeriesShape) {
+  const auto series = figure1_series();
+  ASSERT_EQ(series.size(), 5u);
+  // Paper's consensus values.
+  EXPECT_EQ(series[0].paper_mips, 10.0);
+  EXPECT_EQ(series[1].paper_mips, 100.0);
+  EXPECT_EQ(series[2].paper_mips, 1000.0);
+  EXPECT_EQ(series[3].paper_mips, 10000.0);
+  EXPECT_EQ(series[4].paper_mips, 5000.0);
+  // Monotone ordering GSM < GPRS < EDGE < WLAN-class demands.
+  EXPECT_LT(series[0].modeled_mips, series[1].modeled_mips);
+  EXPECT_LT(series[1].modeled_mips, series[2].modeled_mips);
+  EXPECT_LT(series[2].modeled_mips, series[3].modeled_mips);
+  // Bottom-up models land within an order of magnitude of the paper.
+  for (const auto& p : series) {
+    EXPECT_GT(p.modeled_mips, p.paper_mips / 10.0) << p.name;
+    EXPECT_LT(p.modeled_mips, p.paper_mips * 10.0) << p.name;
+  }
+}
+
+TEST(MipsModel, UmtsScalesWithFingers) {
+  EXPECT_GT(umts_rake_mips(18), umts_rake_mips(1));
+  EXPECT_GT(umts_rake_mips(18), 1000.0) << "3G demands thousands of MIPS";
+}
+
+TEST(MipsModel, OfdmScalesWithRate) {
+  EXPECT_GT(ofdm_wlan_mips(54), ofdm_wlan_mips(6));
+  EXPECT_GT(ofdm_wlan_mips(54), 1000.0);
+}
+
+TEST(RateMobility, EnvelopeShape) {
+  const auto env = figure2_envelope();
+  EXPECT_GE(env.size(), 8u);
+  // WLANs: high rate, low mobility only.
+  double wlan_max = 0.0;
+  double cell_vehicle_max = 0.0;
+  for (const auto& e : env) {
+    if (e.protocol == "IEEE 802.11a" || e.protocol == "HIPERLAN/2") {
+      wlan_max = std::max(wlan_max, e.rate_mbps);
+      EXPECT_NE(e.mobility, Mobility::kOutdoorVehicle)
+          << "WLAN does not serve vehicular mobility";
+    }
+    if (e.mobility == Mobility::kOutdoorVehicle) {
+      cell_vehicle_max = std::max(cell_vehicle_max, e.rate_mbps);
+    }
+  }
+  EXPECT_EQ(wlan_max, 54.0);
+  EXPECT_LE(cell_vehicle_max, 0.384) << "cellular caps at 384 kbit/s mobile";
+  EXPECT_GT(mobility_speed(Mobility::kOutdoorVehicle),
+            mobility_speed(Mobility::kIndoorWalking));
+}
+
+TEST(Partitioning, RakeFig4Assignment) {
+  const auto tasks = rake_partitioning(18);
+  // Streaming datapath dominates and sits on the reconfigurable array.
+  const double reconf = total_mops(tasks, Resource::kReconfigurable);
+  const double dsp = total_mops(tasks, Resource::kDsp);
+  const double ded = total_mops(tasks, Resource::kDedicated);
+  EXPECT_GT(reconf, dsp);
+  EXPECT_GT(reconf, ded);
+  // The paper's named tasks all appear.
+  const auto has = [&](const std::string& name, Resource r) {
+    for (const auto& t : tasks) {
+      if (t.task == name) return t.resource == r;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("de-scrambling", Resource::kReconfigurable));
+  EXPECT_TRUE(has("de-spreading", Resource::kReconfigurable));
+  EXPECT_TRUE(has("combining", Resource::kReconfigurable));
+  EXPECT_TRUE(has("scrambling code generation", Resource::kDedicated));
+  EXPECT_TRUE(has("spreading code generation", Resource::kDedicated));
+  EXPECT_TRUE(has("pilot acquisition (path search)", Resource::kDsp));
+  EXPECT_TRUE(has("channel estimation", Resource::kDsp));
+}
+
+TEST(Partitioning, RakeScalesWithFingers) {
+  const auto t18 = rake_partitioning(18);
+  const auto t1 = rake_partitioning(1);
+  EXPECT_GT(total_mops(t18, Resource::kReconfigurable),
+            10.0 * total_mops(t1, Resource::kReconfigurable));
+}
+
+TEST(Partitioning, OfdmFig8Assignment) {
+  const auto tasks = ofdm_partitioning(54);
+  const auto find = [&](const std::string& name) -> const TaskLoad* {
+    for (const auto& t : tasks) {
+      if (t.task == name) return &t;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("FFT64"), nullptr);
+  EXPECT_EQ(find("FFT64")->resource, Resource::kReconfigurable);
+  ASSERT_NE(find("Viterbi decoder"), nullptr);
+  EXPECT_EQ(find("Viterbi decoder")->resource, Resource::kDedicated);
+  ASSERT_NE(find("layer-2 processing"), nullptr);
+  EXPECT_EQ(find("layer-2 processing")->resource, Resource::kDsp);
+  // Higher rates demand more.
+  EXPECT_GT(total_mops(ofdm_partitioning(54), Resource::kReconfigurable),
+            total_mops(ofdm_partitioning(6), Resource::kReconfigurable));
+}
+
+TEST(AreaModel, Xpp64aDieEstimate) {
+  const auto a = AreaModel::area(xpp::ArrayGeometry{});
+  EXPECT_GT(a.total_mm2, 15.0);
+  EXPECT_LT(a.total_mm2, 50.0) << "0.13um XPP64A-class die";
+  EXPECT_GT(a.alu_pae_mm2, a.io_mm2);
+  EXPECT_NEAR(a.total_mm2,
+              a.alu_pae_mm2 + a.ram_pae_mm2 + a.io_mm2 +
+                  a.config_manager_mm2 + a.routing_overhead_mm2,
+              1e-9);
+}
+
+TEST(AreaModel, PowerScalesWithActivity) {
+  const xpp::ArrayGeometry g;
+  const double idle = AreaModel::power_mw(g, 0, 1000000, 50.0e6);
+  const double busy = AreaModel::power_mw(g, 50'000'000, 1000000, 50.0e6);
+  EXPECT_GT(busy, idle);
+  EXPECT_GT(idle, 0.0) << "leakage floor";
+  EXPECT_LT(busy, 2000.0) << "sub-2W mobile budget";
+}
+
+TEST(ResourceNames, Strings) {
+  EXPECT_STREQ(resource_name(Resource::kReconfigurable), "reconfigurable");
+  EXPECT_STREQ(resource_name(Resource::kDedicated), "dedicated");
+  EXPECT_STREQ(resource_name(Resource::kDsp), "DSP");
+  EXPECT_STREQ(mobility_name(Mobility::kIndoorStationary),
+               "indoor/stationary");
+}
+
+}  // namespace
+}  // namespace rsp::sdr

@@ -1,0 +1,58 @@
+// Shared helpers for exercising single objects / small graphs through
+// the ConfigurationManager.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/xpp/builder.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::xpp::testing {
+
+/// Evaluate one ALU op: feeds each provided input stream to port i,
+/// returns @p n_out tokens from output port 0.
+inline std::vector<Word> eval_op(Opcode op, AluParams params,
+                                 const std::vector<std::vector<Word>>& ins,
+                                 std::size_t n_out) {
+  ConfigBuilder b("eval_op");
+  const auto alu = b.alu("dut", op, params);
+  std::map<std::string, std::vector<Word>> feeds;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const std::string name = "in" + std::to_string(i);
+    const auto in = b.input(name);
+    b.connect(in.out(0), alu.in(static_cast<int>(i)));
+    feeds[name] = ins[i];
+  }
+  const auto out = b.output("out");
+  b.connect(alu.out(0), out.in(0));
+  ConfigurationManager mgr;
+  auto r = run_config(mgr, b.build(), feeds, {{"out", n_out}});
+  return r.outputs.at("out");
+}
+
+/// Same but collects both output ports.
+inline std::pair<std::vector<Word>, std::vector<Word>> eval_op2(
+    Opcode op, AluParams params, const std::vector<std::vector<Word>>& ins,
+    std::size_t n_out0, std::size_t n_out1) {
+  ConfigBuilder b("eval_op2");
+  const auto alu = b.alu("dut", op, params);
+  std::map<std::string, std::vector<Word>> feeds;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const std::string name = "in" + std::to_string(i);
+    const auto in = b.input(name);
+    b.connect(in.out(0), alu.in(static_cast<int>(i)));
+    feeds[name] = ins[i];
+  }
+  const auto o0 = b.output("out0");
+  const auto o1 = b.output("out1");
+  b.connect(alu.out(0), o0.in(0));
+  b.connect(alu.out(1), o1.in(0));
+  ConfigurationManager mgr;
+  auto r = run_config(mgr, b.build(), feeds,
+                      {{"out0", n_out0}, {"out1", n_out1}});
+  return {r.outputs.at("out0"), r.outputs.at("out1")};
+}
+
+}  // namespace rsp::xpp::testing

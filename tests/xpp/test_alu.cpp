@@ -1,0 +1,186 @@
+#include "src/xpp/alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/cplx.hpp"
+#include "src/common/word.hpp"
+#include "tests/xpp/harness.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+using testing::eval_op;
+using testing::eval_op2;
+
+TEST(Alu, AddSubSaturating) {
+  EXPECT_EQ(eval_op(Opcode::kAdd, {}, {{1, 0x7FFFFF}, {2, 10}}, 2),
+            (std::vector<Word>{3, 0x7FFFFF}));
+  EXPECT_EQ(eval_op(Opcode::kSub, {}, {{5, -0x800000}, {9, 1}}, 2),
+            (std::vector<Word>{-4, -0x800000}));
+}
+
+TEST(Alu, AddWrapping) {
+  AluParams p;
+  p.saturate = false;
+  EXPECT_EQ(eval_op(Opcode::kAdd, p, {{0x7FFFFF}, {1}}, 1),
+            (std::vector<Word>{-0x800000}));
+}
+
+TEST(Alu, MulAndMulShr) {
+  EXPECT_EQ(eval_op(Opcode::kMul, {}, {{7, -3}, {6, 9}}, 2),
+            (std::vector<Word>{42, -27}));
+  AluParams p;
+  p.shift = 4;
+  EXPECT_EQ(eval_op(Opcode::kMulShr, p, {{100}, {100}}, 1),
+            (std::vector<Word>{625}));
+}
+
+TEST(Alu, UnaryOps) {
+  EXPECT_EQ(eval_op(Opcode::kNeg, {}, {{5, -7}}, 2),
+            (std::vector<Word>{-5, 7}));
+  EXPECT_EQ(eval_op(Opcode::kAbs, {}, {{-9, 4}}, 2),
+            (std::vector<Word>{9, 4}));
+  EXPECT_EQ(eval_op(Opcode::kNot, {}, {{0}}, 1), (std::vector<Word>{-1}));
+}
+
+TEST(Alu, MinMaxLogic) {
+  EXPECT_EQ(eval_op(Opcode::kMin, {}, {{3}, {-5}}, 1), (std::vector<Word>{-5}));
+  EXPECT_EQ(eval_op(Opcode::kMax, {}, {{3}, {-5}}, 1), (std::vector<Word>{3}));
+  EXPECT_EQ(eval_op(Opcode::kAnd, {}, {{0b1100}, {0b1010}}, 1),
+            (std::vector<Word>{0b1000}));
+  EXPECT_EQ(eval_op(Opcode::kOr, {}, {{0b1100}, {0b1010}}, 1),
+            (std::vector<Word>{0b1110}));
+  EXPECT_EQ(eval_op(Opcode::kXor, {}, {{0b1100}, {0b1010}}, 1),
+            (std::vector<Word>{0b0110}));
+}
+
+TEST(Alu, Shifts) {
+  AluParams p;
+  p.shift = 2;
+  EXPECT_EQ(eval_op(Opcode::kShl, p, {{3}}, 1), (std::vector<Word>{12}));
+  EXPECT_EQ(eval_op(Opcode::kShr, p, {{-8}}, 1), (std::vector<Word>{-2}));
+  EXPECT_EQ(eval_op(Opcode::kShrRound, p, {{7}}, 1), (std::vector<Word>{2}));
+}
+
+TEST(Alu, Comparators) {
+  EXPECT_EQ(eval_op(Opcode::kEq, {}, {{3, 4}, {3, 3}}, 2),
+            (std::vector<Word>{1, 0}));
+  EXPECT_EQ(eval_op(Opcode::kLt, {}, {{2, 5}, {3, 3}}, 2),
+            (std::vector<Word>{1, 0}));
+  EXPECT_EQ(eval_op(Opcode::kGe, {}, {{2, 5}, {3, 3}}, 2),
+            (std::vector<Word>{0, 1}));
+}
+
+TEST(Alu, Mux) {
+  // out = sel ? in2 : in1
+  EXPECT_EQ(eval_op(Opcode::kMux, {}, {{0, 1}, {10, 20}, {30, 40}}, 2),
+            (std::vector<Word>{10, 40}));
+}
+
+TEST(Alu, Swap) {
+  const auto [o0, o1] =
+      eval_op2(Opcode::kSwap, {}, {{0, 1}, {10, 20}, {30, 40}}, 2, 2);
+  EXPECT_EQ(o0, (std::vector<Word>{10, 40}));
+  EXPECT_EQ(o1, (std::vector<Word>{30, 20}));
+}
+
+TEST(Alu, DemuxRoutesBySelect) {
+  const auto [o0, o1] =
+      eval_op2(Opcode::kDemux, {}, {{0, 1, 0}, {7, 8, 9}}, 2, 1);
+  EXPECT_EQ(o0, (std::vector<Word>{7, 9}));
+  EXPECT_EQ(o1, (std::vector<Word>{8}));
+}
+
+TEST(Alu, MergeAlternating) {
+  EXPECT_EQ(eval_op(Opcode::kMergeAlt, {}, {{1, 3}, {2, 4}}, 4),
+            (std::vector<Word>{1, 2, 3, 4}));
+}
+
+TEST(Alu, MergeSelected) {
+  // sel=0 takes in1, sel=1 takes in2; unselected stream not consumed.
+  EXPECT_EQ(eval_op(Opcode::kMergeSel, {}, {{0, 0, 1}, {5, 6}, {7}}, 3),
+            (std::vector<Word>{5, 6, 7}));
+}
+
+TEST(Alu, GatePassesOnEvent) {
+  EXPECT_EQ(eval_op(Opcode::kGate, {}, {{10, 20, 30}, {1, 0, 1}}, 2),
+            (std::vector<Word>{10, 30}));
+}
+
+TEST(Alu, Dup) {
+  const auto [o0, o1] = eval_op2(Opcode::kDup, {}, {{5, 6}}, 2, 2);
+  EXPECT_EQ(o0, o1);
+  EXPECT_EQ(o0, (std::vector<Word>{5, 6}));
+}
+
+TEST(Alu, PackUnpack) {
+  EXPECT_EQ(eval_op(Opcode::kPack, {}, {{-3}, {7}}, 1),
+            (std::vector<Word>{pack_iq(-3, 7)}));
+  const auto [i, q] = eval_op2(Opcode::kUnpack, {}, {{pack_iq(-3, 7)}}, 1, 1);
+  EXPECT_EQ(i, (std::vector<Word>{-3}));
+  EXPECT_EQ(q, (std::vector<Word>{7}));
+}
+
+TEST(Alu, Sel4Table) {
+  AluParams p;
+  p.table = {100, 200, 300, 400};
+  EXPECT_EQ(eval_op(Opcode::kSel4, p, {{0, 3, 2, 1, 7}}, 5),
+            (std::vector<Word>{100, 400, 300, 200, 400}));  // index masked &3
+}
+
+TEST(Alu, AccumWithDump) {
+  AluParams p;
+  p.shift = 1;
+  // acc: 1+2+3 = 6, dump >>1 = 3; then 10, dump 5.
+  EXPECT_EQ(eval_op(Opcode::kAccum, p, {{1, 2, 3, 10}, {0, 0, 1, 1}}, 2),
+            (std::vector<Word>{3, 5}));
+}
+
+TEST(Alu, ComplexAddSub) {
+  const Word a = pack_cplx({100, -50});
+  const Word b = pack_cplx({-30, 80});
+  EXPECT_EQ(eval_op(Opcode::kCAdd, {}, {{a}, {b}}, 1),
+            (std::vector<Word>{pack_cplx({70, 30})}));
+  EXPECT_EQ(eval_op(Opcode::kCSub, {}, {{a}, {b}}, 1),
+            (std::vector<Word>{pack_cplx({130, -130})}));
+}
+
+TEST(Alu, ComplexAddSaturates) {
+  const Word a = pack_cplx({2000, -2000});
+  const Word b = pack_cplx({2000, -2000});
+  EXPECT_EQ(eval_op(Opcode::kCAdd, {}, {{a}, {b}}, 1),
+            (std::vector<Word>{pack_cplx({2047, -2048})}));
+}
+
+TEST(Alu, ComplexMulShr) {
+  AluParams p;
+  p.shift = 2;
+  const CplxI x{100, 40};
+  const CplxI w{-8, 12};
+  const CplxI expect = sat_cplx(shr_round(x * w, 2), kHalfBits);
+  EXPECT_EQ(eval_op(Opcode::kCMulShr, p, {{pack_cplx(x)}, {pack_cplx(w)}}, 1),
+            (std::vector<Word>{pack_cplx(expect)}));
+}
+
+TEST(Alu, ComplexConjNegRot) {
+  const CplxI z{123, -456};
+  EXPECT_EQ(eval_op(Opcode::kCConj, {}, {{pack_cplx(z)}}, 1),
+            (std::vector<Word>{pack_cplx({123, 456})}));
+  EXPECT_EQ(eval_op(Opcode::kCNeg, {}, {{pack_cplx(z)}}, 1),
+            (std::vector<Word>{pack_cplx({-123, 456})}));
+  // -j * (123 - 456j) = -456 - 123j
+  EXPECT_EQ(eval_op(Opcode::kCRotMj, {}, {{pack_cplx(z)}}, 1),
+            (std::vector<Word>{pack_cplx({-456, -123})}));
+}
+
+TEST(Alu, ComplexAccum) {
+  AluParams p;
+  p.shift = 0;
+  const Word a = pack_cplx({10, -20});
+  const Word b = pack_cplx({5, 5});
+  EXPECT_EQ(eval_op(Opcode::kCAccum, p, {{a, b}, {0, 1}}, 1),
+            (std::vector<Word>{pack_cplx({15, -15})}));
+}
+
+}  // namespace
+}  // namespace rsp::xpp

@@ -1,0 +1,143 @@
+#include "src/xpp/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/xpp/builder.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+Configuration n_alu_config(const std::string& name, int n) {
+  ConfigBuilder b(name);
+  for (int i = 0; i < n; ++i) {
+    const auto a = b.alu("a" + std::to_string(i), Opcode::kNop);
+    b.tie(a, 0, 0);
+  }
+  return b.build();
+}
+
+TEST(Array, GeometryMatchesXpp64A) {
+  const ArrayGeometry g;
+  EXPECT_EQ(g.alu_count(), 64) << "8x8 ALU-PAEs";
+  EXPECT_EQ(g.ram_count(), 16) << "8 RAM-PAEs on either side";
+  EXPECT_EQ(g.io_channels, 8) << "four dual-channel I/O ports";
+  EXPECT_TRUE(g.is_ram_col(0));
+  EXPECT_TRUE(g.is_ram_col(9));
+  EXPECT_FALSE(g.is_ram_col(1));
+}
+
+TEST(Array, AutoPlacementCounts) {
+  ResourceMap rm{ArrayGeometry{}};
+  (void)rm.place(n_alu_config("a", 10), 0);
+  EXPECT_EQ(rm.used_alu_cells(), 10);
+  EXPECT_EQ(rm.free_alu_cells(), 54);
+}
+
+TEST(Array, ExhaustsAluPool) {
+  ResourceMap rm{ArrayGeometry{}};
+  (void)rm.place(n_alu_config("a", 64), 0);
+  EXPECT_THROW((void)rm.place(n_alu_config("b", 1), 1), ConfigError);
+}
+
+TEST(Array, IllegalOverwriteRejected) {
+  ResourceMap rm{ArrayGeometry{}};
+  ConfigBuilder b1("one");
+  auto a1 = b1.alu("a", Opcode::kNop);
+  b1.tie(a1, 0, 0);
+  b1.place(a1, {2, 3});
+  (void)rm.place(b1.build(), 0);
+
+  ConfigBuilder b2("two");
+  auto a2 = b2.alu("a", Opcode::kNop);
+  b2.tie(a2, 0, 0);
+  b2.place(a2, {2, 3});
+  EXPECT_THROW((void)rm.place(b2.build(), 1), ConfigError)
+      << "configurations cannot be overwritten illegally";
+  EXPECT_EQ(rm.owner({2, 3}), 0);
+}
+
+TEST(Array, RejectedPlacementRollsBack) {
+  ResourceMap rm{ArrayGeometry{}};
+  (void)rm.place(n_alu_config("fill", 60), 0);
+  const int used = rm.used_alu_cells();
+  EXPECT_THROW((void)rm.place(n_alu_config("big", 10), 1), ConfigError);
+  EXPECT_EQ(rm.used_alu_cells(), used) << "failed load must not leak cells";
+}
+
+TEST(Array, WrongPaeTypeRejected) {
+  ResourceMap rm{ArrayGeometry{}};
+  ConfigBuilder b("bad");
+  auto a = b.alu("a", Opcode::kNop);
+  b.tie(a, 0, 0);
+  b.place(a, {0, 0});  // column 0 is a RAM column
+  EXPECT_THROW((void)rm.place(b.build(), 0), ConfigError);
+}
+
+TEST(Array, RamPlacedInRamColumns) {
+  ResourceMap rm{ArrayGeometry{}};
+  ConfigBuilder b("ram");
+  RamParams p;
+  p.mode = RamMode::kFifo;
+  b.ram("f", std::move(p));
+  const Placement pl = rm.place(b.build(), 0);
+  EXPECT_TRUE(ArrayGeometry{}.is_ram_col(pl.object_cell[0].col));
+  EXPECT_EQ(rm.used_ram_cells(), 1);
+}
+
+TEST(Array, IoChannelsExhaust) {
+  ResourceMap rm{ArrayGeometry{}};
+  ConfigBuilder b("io");
+  for (int i = 0; i < 9; ++i) b.input("i" + std::to_string(i));
+  EXPECT_THROW((void)rm.place(b.build(), 0), ConfigError);
+}
+
+TEST(Array, ReleaseFreesEverything) {
+  ResourceMap rm{ArrayGeometry{}};
+  ConfigBuilder b("cfg");
+  const auto in = b.input("in");
+  const auto a = b.alu("a", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), a.in(0));
+  b.connect(a.out(0), out.in(0));
+  (void)rm.place(b.build(), 0);
+  EXPECT_GT(rm.routing_in_use(), 0);
+  rm.release(0);
+  EXPECT_EQ(rm.used_alu_cells(), 0);
+  EXPECT_EQ(rm.routing_in_use(), 0);
+  EXPECT_EQ(rm.free_io_channels(), 8);
+}
+
+TEST(Array, RoutingCongestionDetected) {
+  ArrayGeometry g;
+  g.h_tracks_per_cell = 1;
+  g.v_tracks_per_cell = 1;
+  ResourceMap rm{g};
+  // Many connections along the same row eventually exceed 1 track/cell.
+  ConfigBuilder b("cong");
+  const auto in = b.input("in");
+  PortRef prev = in.out(0);
+  bool threw = false;
+  for (int i = 0; i < 12; ++i) {
+    const auto a = b.alu("a" + std::to_string(i), Opcode::kDup);
+    b.connect(prev, a.in(0));
+    b.connect(prev, a.in(1));  // doubled nets on the same path
+    prev = a.out(0);
+  }
+  try {
+    (void)rm.place(b.build(), 0);
+  } catch (const ConfigError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Array, OccupancyMapShape) {
+  ResourceMap rm{ArrayGeometry{}};
+  (void)rm.place(n_alu_config("a", 3), 0);
+  const std::string map = rm.occupancy_map();
+  EXPECT_EQ(map.size(), 8u * 11u);  // 10 cols + newline per row
+  EXPECT_NE(map.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsp::xpp

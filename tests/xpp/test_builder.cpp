@@ -1,0 +1,89 @@
+#include "src/xpp/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::xpp {
+namespace {
+
+TEST(Builder, BuildsValidConfig) {
+  ConfigBuilder b("ok");
+  const auto in = b.input("in");
+  const auto a = b.alu("add", Opcode::kAdd);
+  b.tie(a, 1, 5);
+  const auto out = b.output("out");
+  b.connect(in.out(0), a.in(0));
+  b.connect(a.out(0), out.in(0));
+  const Configuration cfg = b.build();
+  EXPECT_EQ(cfg.objects.size(), 3u);
+  EXPECT_EQ(cfg.connections.size(), 2u);
+  EXPECT_EQ(cfg.alu_demand(), 1);
+  EXPECT_EQ(cfg.io_demand(), 2);
+  EXPECT_EQ(cfg.ram_demand(), 0);
+}
+
+TEST(Builder, RejectsDuplicateNames) {
+  ConfigBuilder b("dup");
+  b.input("x");
+  const auto a = b.alu("x", Opcode::kNop);
+  b.tie(a, 0, 0);
+  EXPECT_THROW((void)b.build(), ConfigError);
+}
+
+TEST(Builder, RejectsUnboundRequiredInput) {
+  ConfigBuilder b("unbound");
+  const auto a = b.alu("add", Opcode::kAdd);
+  b.tie(a, 0, 1);  // in1 left unbound
+  const auto out = b.output("out");
+  b.connect(a.out(0), out.in(0));
+  EXPECT_THROW((void)b.build(), ConfigError);
+}
+
+TEST(Builder, ConstantsSatisfyRequiredInputs) {
+  ConfigBuilder b("consts");
+  const auto a = b.alu("add", Opcode::kAdd);
+  b.tie(a, 0, 1);
+  b.tie(a, 1, 2);
+  const auto out = b.output("out");
+  b.connect(a.out(0), out.in(0));
+  EXPECT_NO_THROW((void)b.build());
+}
+
+TEST(Builder, RejectsOutputAsSource) {
+  ConfigBuilder b("bad");
+  const auto o = b.output("o");
+  const auto a = b.alu("nop", Opcode::kNop);
+  b.connect(o.out(0), a.in(0));
+  EXPECT_THROW((void)b.build(), ConfigError);
+}
+
+TEST(Builder, RejectsInputAsSink) {
+  ConfigBuilder b("bad");
+  const auto i = b.input("i");
+  const auto a = b.alu("nop", Opcode::kNop);
+  b.connect(i.out(0), a.in(0));
+  b.connect(a.out(0), i.in(0));
+  EXPECT_THROW((void)b.build(), ConfigError);
+}
+
+TEST(Builder, RejectsPortOutOfRange) {
+  ConfigBuilder b("bad");
+  const auto i = b.input("i");
+  const auto a = b.alu("nop", Opcode::kNop);
+  b.connect(i.out(0), a.in(0));
+  b.connect(a.out(0), PortRef{a.index, kMaxIn});
+  EXPECT_THROW((void)b.build(), ConfigError);
+}
+
+TEST(Builder, PlacementRecorded) {
+  ConfigBuilder b("place");
+  const auto a = b.alu("nop", Opcode::kNop);
+  b.tie(a, 0, 0);
+  b.place(a, {3, 4});
+  const auto cfg = b.build();
+  ASSERT_TRUE(cfg.objects[0].placement.has_value());
+  EXPECT_EQ(cfg.objects[0].placement->row, 3);
+  EXPECT_EQ(cfg.objects[0].placement->col, 4);
+}
+
+}  // namespace
+}  // namespace rsp::xpp

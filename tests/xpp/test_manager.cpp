@@ -1,0 +1,124 @@
+#include "src/xpp/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/xpp/builder.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+Configuration passthrough(const std::string& name) {
+  ConfigBuilder b(name);
+  const auto in = b.input("in");
+  const auto a = b.alu("nop", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), a.in(0));
+  b.connect(a.out(0), out.in(0));
+  return b.build();
+}
+
+TEST(Manager, LoadChargesConfigurationTime) {
+  ConfigurationManager mgr;
+  const auto cfg = passthrough("p");
+  const long long before = mgr.sim().cycle();
+  const ConfigId id = mgr.load(cfg);
+  EXPECT_EQ(mgr.sim().cycle() - before, config_load_cycles(cfg));
+  EXPECT_EQ(mgr.info(id).load_cycles, config_load_cycles(cfg));
+  EXPECT_GT(config_load_cycles(cfg), 0);
+}
+
+TEST(Manager, InfoTracksResources) {
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(passthrough("p"));
+  const LoadedConfig& info = mgr.info(id);
+  EXPECT_EQ(info.alu_cells, 1);
+  EXPECT_EQ(info.ram_cells, 0);
+  EXPECT_EQ(info.io_channels, 2);
+  EXPECT_GT(info.routing_segments, 0);
+  EXPECT_EQ(info.name, "p");
+}
+
+TEST(Manager, ReleaseFreesResources) {
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(passthrough("p"));
+  mgr.release(id);
+  EXPECT_FALSE(mgr.loaded(id));
+  EXPECT_EQ(mgr.resources().used_alu_cells(), 0);
+  EXPECT_THROW((void)mgr.info(id), ConfigError);
+  EXPECT_THROW(mgr.release(id), ConfigError);
+}
+
+TEST(Manager, ResidentConfigKeepsRunningDuringLoad) {
+  // Partial runtime reconfiguration: configuration 1 stays live while
+  // configuration 2 is written (the Figure 10 mechanism).
+  ConfigurationManager mgr;
+  const ConfigId a = mgr.load(passthrough("a"));
+  mgr.input(a, "in").feed(std::vector<Word>(200, 7));
+  // Loading b advances the clock by its configuration time; a's
+  // pipeline must process tokens during those cycles.
+  const ConfigId b = mgr.load(passthrough("b"));
+  EXPECT_GT(mgr.output(a, "out").data().size(), 0u)
+      << "resident config must execute during reconfiguration";
+  mgr.release(b);
+  mgr.release(a);
+}
+
+TEST(Manager, IndependentGroupsCoexist) {
+  ConfigurationManager mgr;
+  const ConfigId a = mgr.load(passthrough("a"));
+  const ConfigId b = mgr.load(passthrough("b"));
+  mgr.input(a, "in").feed({1, 2, 3});
+  mgr.input(b, "in").feed({9, 8});
+  mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(a, "out").data(), (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(mgr.output(b, "out").data(), (std::vector<Word>{9, 8}));
+}
+
+TEST(Manager, ReleasedCellsReusableByNextConfig) {
+  ConfigurationManager mgr;
+  ConfigBuilder b1("big");
+  for (int i = 0; i < 60; ++i) {
+    const auto a = b1.alu("a" + std::to_string(i), Opcode::kNop);
+    b1.tie(a, 0, 0);
+  }
+  const ConfigId big = mgr.load(b1.build());
+  // A second large config cannot fit...
+  ConfigBuilder b2("second");
+  for (int i = 0; i < 10; ++i) {
+    const auto a = b2.alu("b" + std::to_string(i), Opcode::kNop);
+    b2.tie(a, 0, 0);
+  }
+  const auto cfg2 = b2.build();
+  EXPECT_THROW((void)mgr.load(cfg2), ConfigError);
+  // ...until the first is released (freed resources are reallocated).
+  mgr.release(big);
+  EXPECT_NO_THROW((void)mgr.load(cfg2));
+}
+
+TEST(Manager, UnknownIoNameThrows) {
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(passthrough("p"));
+  EXPECT_THROW((void)mgr.input(id, "nope"), ConfigError);
+  EXPECT_THROW((void)mgr.output(id, "in"), ConfigError)
+      << "input object is not an output";
+}
+
+TEST(Manager, RunnerCollectsOutputs) {
+  ConfigurationManager mgr;
+  const auto r =
+      run_config(mgr, passthrough("p"), {{"in", {4, 5, 6}}}, {{"out", 3}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{4, 5, 6}));
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_EQ(mgr.resources().used_alu_cells(), 0) << "runner releases";
+}
+
+TEST(Manager, RunnerThrowsOnStarvedGraph) {
+  ConfigurationManager mgr;
+  EXPECT_THROW(
+      (void)run_config(mgr, passthrough("p"), {{"in", {1}}}, {{"out", 2}}),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace rsp::xpp

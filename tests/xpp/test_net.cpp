@@ -1,0 +1,99 @@
+#include "src/xpp/net.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsp::xpp {
+namespace {
+
+TEST(Net, SingleSinkHandshake) {
+  Net n;
+  const int s = n.add_sink();
+  EXPECT_FALSE(n.can_read(s));
+  EXPECT_TRUE(n.can_write());
+
+  n.stage(42);
+  EXPECT_FALSE(n.can_read(s)) << "staged token not visible until commit";
+  EXPECT_FALSE(n.can_write()) << "only one token may be staged per cycle";
+  n.commit();
+  EXPECT_TRUE(n.can_read(s));
+  EXPECT_EQ(n.peek(), 42);
+
+  n.consume(s);
+  EXPECT_FALSE(n.can_read(s)) << "token consumed";
+  EXPECT_TRUE(n.can_write()) << "slot frees combinationally on read";
+}
+
+TEST(Net, RefillSameCycle) {
+  Net n;
+  const int s = n.add_sink();
+  n.stage(1);
+  n.commit();
+  n.consume(s);
+  n.stage(2);  // producer refills in the cycle the consumer drained
+  n.commit();
+  EXPECT_TRUE(n.can_read(s));
+  EXPECT_EQ(n.peek(), 2);
+}
+
+TEST(Net, NoTokenLossOrDuplication) {
+  Net n;
+  const int s = n.add_sink();
+  n.stage(7);
+  n.commit();
+  n.commit();  // idle cycle: token must persist
+  EXPECT_TRUE(n.can_read(s));
+  n.consume(s);
+  n.commit();
+  EXPECT_FALSE(n.can_read(s)) << "token must not reappear";
+}
+
+TEST(Net, FanOutWaitsForAllSinks) {
+  Net n;
+  const int a = n.add_sink();
+  const int b = n.add_sink();
+  n.stage(5);
+  n.commit();
+  EXPECT_TRUE(n.can_read(a));
+  EXPECT_TRUE(n.can_read(b));
+  n.consume(a);
+  EXPECT_FALSE(n.can_read(a));
+  EXPECT_TRUE(n.can_read(b)) << "other sink still owed the token";
+  EXPECT_FALSE(n.can_write()) << "slot busy until every sink consumed";
+  n.consume(b);
+  EXPECT_TRUE(n.can_write());
+  n.commit();
+  EXPECT_FALSE(n.can_read(a));
+}
+
+TEST(Net, PreloadPrimesToken) {
+  Net n;
+  const int s = n.add_sink();
+  n.preload(99);
+  EXPECT_TRUE(n.can_read(s));
+  EXPECT_EQ(n.peek(), 99);
+}
+
+TEST(Net, ZeroSinkNetDiscards) {
+  Net n;
+  EXPECT_TRUE(n.can_write());
+  n.stage(1);
+  n.commit();
+  n.commit();
+  EXPECT_TRUE(n.can_write()) << "dangling output keeps accepting";
+}
+
+TEST(Net, OccupiedReflectsState) {
+  Net n;
+  const int s = n.add_sink();
+  EXPECT_FALSE(n.occupied());
+  n.stage(1);
+  EXPECT_TRUE(n.occupied());
+  n.commit();
+  EXPECT_TRUE(n.occupied());
+  n.consume(s);
+  n.commit();
+  EXPECT_FALSE(n.occupied());
+}
+
+}  // namespace
+}  // namespace rsp::xpp

@@ -1,0 +1,138 @@
+#include "src/xpp/nml.hpp"
+
+#include "src/xpp/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/xpp/runner.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+constexpr const char* kAdderNml = R"(
+# simple add-constant datapath
+config adder
+obj in INPUT
+obj add ALU ADD
+tie add.in1 5
+obj out OUTPUT
+conn in.out0 add.in0
+conn add.out0 out.in0
+)";
+
+TEST(Nml, ParsesAndRuns) {
+  const Configuration cfg = parse_nml(kAdderNml);
+  EXPECT_EQ(cfg.name, "adder");
+  EXPECT_EQ(cfg.objects.size(), 3u);
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, cfg, {{"in", {1, 2, 3}}}, {{"out", 3}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{6, 7, 8}));
+}
+
+TEST(Nml, ParsesCounterRamAndPlacement) {
+  const Configuration cfg = parse_nml(R"(
+config mix
+obj cnt COUNTER start=2 step=3 mod=4
+obj lut RAM CLUT preload=9,8,7
+obj fifo RAM FIFO cap=16 preload=1,2
+obj out OUTPUT
+conn lut.out0 out.in0
+place cnt 1 2
+)");
+  EXPECT_EQ(cfg.objects.size(), 4u);
+  EXPECT_EQ(cfg.objects[0].counter.start, 2);
+  EXPECT_EQ(cfg.objects[0].counter.step, 3);
+  EXPECT_EQ(cfg.objects[0].counter.modulo, 4);
+  EXPECT_EQ(cfg.objects[1].ram.mode, RamMode::kCircularLut);
+  EXPECT_EQ(cfg.objects[1].ram.preload, (std::vector<Word>{9, 8, 7}));
+  EXPECT_EQ(cfg.objects[2].ram.capacity, 16);
+  ASSERT_TRUE(cfg.objects[0].placement.has_value());
+  EXPECT_EQ(cfg.objects[0].placement->col, 2);
+}
+
+TEST(Nml, RoundTrip) {
+  const Configuration cfg = parse_nml(kAdderNml);
+  const std::string text = to_nml(cfg);
+  const Configuration again = parse_nml(text);
+  EXPECT_EQ(again.objects.size(), cfg.objects.size());
+  EXPECT_EQ(again.connections.size(), cfg.connections.size());
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, again, {{"in", {10}}}, {{"out", 1}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{15}));
+}
+
+TEST(Nml, OpcodeNamesRoundTrip) {
+  EXPECT_EQ(opcode_from_name("ADD"), Opcode::kAdd);
+  EXPECT_EQ(opcode_from_name("CMULS"), Opcode::kCMulShr);
+  EXPECT_EQ(opcode_from_name("CACCUM"), Opcode::kCAccum);
+  EXPECT_THROW((void)opcode_from_name("BOGUS"), ConfigError);
+}
+
+TEST(Nml, Errors) {
+  EXPECT_THROW((void)parse_nml(""), ConfigError);
+  EXPECT_THROW((void)parse_nml("obj x INPUT\n"), ConfigError)
+      << "missing config header";
+  EXPECT_THROW((void)parse_nml("config c\nobj x BOGUSKIND\n"), ConfigError);
+  EXPECT_THROW((void)parse_nml("config c\nobj a ALU ADD\nconn a.out0 b.in0\n"),
+               ConfigError)
+      << "unknown object";
+  EXPECT_THROW((void)parse_nml("config c\nobj a ALU\n"), ConfigError)
+      << "ALU needs opcode";
+  EXPECT_THROW((void)parse_nml("config c\nobj r RAM LUT\n"), ConfigError)
+      << "LUT needs preload";
+  EXPECT_THROW(
+      (void)parse_nml("config c\nobj a ALU NOP\ntie a.out0 3\n"),
+      ConfigError)
+      << "tie must target an input";
+}
+
+TEST(Nml, ShiftAndWrapFlags) {
+  const Configuration cfg = parse_nml(R"(
+config f
+obj s ALU SHRR shift=3
+tie s.in0 0
+obj w ALU ADD wrap
+tie w.in0 0
+tie w.in1 0
+)");
+  EXPECT_EQ(cfg.objects[0].alu.shift, 3);
+  EXPECT_TRUE(cfg.objects[0].alu.saturate);
+  EXPECT_FALSE(cfg.objects[1].alu.saturate);
+}
+
+TEST(Dot, RendersConfigurationGraph) {
+  const Configuration cfg = parse_nml(kAdderNml);
+  const std::string dot = to_dot(cfg);
+  EXPECT_NE(dot.find("digraph \"adder\""), std::string::npos);
+  EXPECT_NE(dot.find("\"in\""), std::string::npos);
+  EXPECT_NE(dot.find("\"add\""), std::string::npos);
+  EXPECT_NE(dot.find("ADD"), std::string::npos);
+  EXPECT_NE(dot.find("\"in\" -> \"add\""), std::string::npos);
+  EXPECT_NE(dot.find("\"add\" -> \"out\""), std::string::npos);
+  // Every connection appears as an edge.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, cfg.connections.size());
+}
+
+TEST(Dot, MarksPreloadedAndControlEdges) {
+  ConfigBuilder b("feedback");
+  const auto in = b.control_input("go");
+  const auto add = b.alu("acc", Opcode::kAdd);
+  const auto dup = b.alu("dup", Opcode::kDup);
+  const auto out = b.output("out");
+  b.connect(in.out(0), add.in(0));
+  b.connect(add.out(0), dup.in(0));
+  b.connect_preload(dup.out(1), add.in(1), 0);
+  b.connect(dup.out(0), out.in(0));
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos)
+      << "preloaded feedback edge must be marked";
+  EXPECT_NE(dot.find("(control)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsp::xpp

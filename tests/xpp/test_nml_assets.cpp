@@ -1,0 +1,105 @@
+// Shipped NML asset files: parse from disk, execute, and fuzz the
+// parser with malformed input.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/rake/golden.hpp"
+#include "src/xpp/nml.hpp"
+#include "src/xpp/runner.hpp"
+
+#ifndef RSP_ASSET_DIR
+#define RSP_ASSET_DIR "assets"
+#endif
+
+namespace rsp::xpp {
+namespace {
+
+TEST(NmlAssets, MovingAverageLoadsAndRuns) {
+  const Configuration cfg =
+      parse_nml_file(std::string(RSP_ASSET_DIR) + "/moving_average.nml");
+  EXPECT_EQ(cfg.name, "moving_average");
+  ConfigurationManager mgr;
+  std::vector<Word> feed;
+  for (int i = 0; i < 8; ++i) feed.push_back(pack_cplx({100, -40}));
+  const auto r = run_config(mgr, cfg, {{"in", feed}}, {{"out", 2}});
+  for (const auto w : r.outputs.at("out")) {
+    EXPECT_EQ(unpack_cplx(w), (CplxI{100, -40})) << "average of constants";
+  }
+}
+
+TEST(NmlAssets, DespreaderSf16MatchesGoldenChain) {
+  const Configuration cfg =
+      parse_nml_file(std::string(RSP_ASSET_DIR) + "/despreader_sf16.nml");
+  Rng rng(3);
+  std::vector<CplxI> chips(16 * 8);
+  std::vector<Word> feed;
+  for (auto& c : chips) {
+    c = {static_cast<int>(rng.below(2048)) - 1024,
+         static_cast<int>(rng.below(2048)) - 1024};
+    feed.push_back(pack_cplx(c));
+  }
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, cfg, {{"data", feed}}, {{"out", 8}});
+  const auto golden = rake::despread(chips, 16, 3);
+  ASSERT_EQ(r.outputs.at("out").size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(unpack_cplx(r.outputs.at("out")[i]), golden[i]) << i;
+  }
+}
+
+TEST(NmlAssets, MissingFileThrows) {
+  EXPECT_THROW((void)parse_nml_file("/nonexistent/nope.nml"), ConfigError);
+}
+
+TEST(NmlFuzz, RandomTokenSoupNeverCrashes) {
+  // The parser must either produce a Configuration or throw
+  // ConfigError/stoi errors — never crash or loop.
+  const std::vector<std::string> vocab = {
+      "config", "obj",   "conn",  "tie",   "place", "INPUT", "OUTPUT",
+      "ALU",    "RAM",   "ADD",   "CMULS", "FIFO",  "LUT",   "a",
+      "b.out0", "a.in1", "7",     "-3",    "cap=4", "shift=2",
+      "preload=1,2", "mod=8", "x.inQ", "##", "0x10"};
+  Rng rng(99);
+  int parsed = 0;
+  int threw = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(rng.below(6));
+    for (int l = 0; l < lines; ++l) {
+      const int words = 1 + static_cast<int>(rng.below(5));
+      for (int w = 0; w < words; ++w) {
+        text += vocab[rng.below(static_cast<std::uint32_t>(vocab.size()))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      (void)parse_nml(text);
+      ++parsed;
+    } catch (const ConfigError&) {
+      ++threw;
+    } catch (const std::invalid_argument&) {
+      ++threw;  // stol on garbage numbers
+    } catch (const std::out_of_range&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(parsed + threw, 300);
+  EXPECT_GT(threw, 100) << "most soup must be rejected";
+}
+
+TEST(NmlFuzz, ValidDocumentsSurviveWhitespaceNoise) {
+  const std::string doc = "config c\n\n  obj in INPUT \nobj nop ALU NOP\n"
+                          "# comment line\nobj out OUTPUT\n"
+                          "conn in.out0 nop.in0\nconn nop.out0 out.in0\n\n";
+  const Configuration cfg = parse_nml(doc);
+  EXPECT_EQ(cfg.objects.size(), 3u);
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, cfg, {{"in", {5, 6}}}, {{"out", 2}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{5, 6}));
+}
+
+}  // namespace
+}  // namespace rsp::xpp

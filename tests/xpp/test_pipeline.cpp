@@ -1,0 +1,122 @@
+// Pipeline behaviour of the synchronous token-flow model: the paper's
+// throughput claim is that algorithms execute "in the form of a
+// pipeline" delivering one result per cycle once full.
+#include <gtest/gtest.h>
+
+#include "tests/xpp/harness.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+/// Build a chain of n ADD(+1) stages and measure the cycles to push
+/// k tokens through.
+long long chain_cycles(int n_stages, int k_tokens, std::vector<Word>* out) {
+  ConfigBuilder b("chain");
+  const auto in = b.input("in");
+  PortRef prev = in.out(0);
+  for (int i = 0; i < n_stages; ++i) {
+    const auto a = b.alu("add" + std::to_string(i), Opcode::kAdd);
+    b.tie(a, 1, 1);
+    b.connect(prev, a.in(0));
+    prev = a.out(0);
+  }
+  const auto o = b.output("out");
+  b.connect(prev, o.in(0));
+  std::vector<Word> feed(static_cast<std::size_t>(k_tokens));
+  for (int i = 0; i < k_tokens; ++i) feed[static_cast<std::size_t>(i)] = i;
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, b.build(), {{"in", feed}},
+                            {{"out", static_cast<std::size_t>(k_tokens)}});
+  if (out != nullptr) *out = r.outputs.at("out");
+  return r.cycles;
+}
+
+TEST(Pipeline, OneResultPerCycleOnceFull) {
+  std::vector<Word> out;
+  const long long c = chain_cycles(8, 100, &out);
+  // Latency ~ stages + epsilon, then 1 token/cycle.
+  EXPECT_LE(c, 8 + 100 + 4);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i + 8);
+  }
+}
+
+TEST(Pipeline, LatencyGrowsWithDepth) {
+  const long long c4 = chain_cycles(4, 1, nullptr);
+  const long long c16 = chain_cycles(16, 1, nullptr);
+  EXPECT_GT(c16, c4) << "deeper pipeline, longer fill latency";
+}
+
+TEST(Pipeline, FeedbackAccumulatorWithPreload) {
+  // acc[n] = acc[n-1] + x[n] via an ADD with a preloaded feedback net.
+  ConfigBuilder b("acc");
+  const auto in = b.input("in");
+  const auto add = b.alu("add", Opcode::kAdd);
+  const auto dup = b.alu("dup", Opcode::kDup);
+  const auto out = b.output("out");
+  b.connect(in.out(0), add.in(0));
+  b.connect(add.out(0), dup.in(0));
+  b.connect_preload(dup.out(1), add.in(1), 0);  // feedback primed with 0
+  b.connect(dup.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const auto r =
+      run_config(mgr, b.build(), {{"in", {1, 2, 3, 4, 5}}}, {{"out", 5}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{1, 3, 6, 10, 15}));
+}
+
+TEST(Pipeline, DeterministicReplay) {
+  std::vector<Word> a;
+  std::vector<Word> b;
+  const long long ca = chain_cycles(6, 37, &a);
+  const long long cb = chain_cycles(6, 37, &b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ca, cb) << "identical runs must take identical cycles";
+}
+
+TEST(Pipeline, BackpressureDoesNotLoseTokens) {
+  // A fork where one branch is much deeper: the join must still pair
+  // tokens correctly.
+  ConfigBuilder b("fork");
+  const auto in = b.input("in");
+  const auto dup = b.alu("dup", Opcode::kDup);
+  b.connect(in.out(0), dup.in(0));
+  PortRef deep = dup.out(1);
+  for (int i = 0; i < 12; ++i) {
+    const auto n = b.alu("nop" + std::to_string(i), Opcode::kNop);
+    b.connect(deep, n.in(0));
+    deep = n.out(0);
+  }
+  const auto sub = b.alu("sub", Opcode::kSub);
+  b.connect(dup.out(0), sub.in(0));
+  b.connect(deep, sub.in(1));
+  const auto out = b.output("out");
+  b.connect(sub.out(0), out.in(0));
+  ConfigurationManager mgr;
+  std::vector<Word> feed;
+  for (int i = 0; i < 50; ++i) feed.push_back(i * 3);
+  const auto r = run_config(mgr, b.build(), {{"in", feed}}, {{"out", 50}});
+  for (const auto w : r.outputs.at("out")) {
+    EXPECT_EQ(w, 0) << "x - x through unequal-depth branches must be 0";
+  }
+}
+
+TEST(Pipeline, TotalFiresMatchWork) {
+  ConfigBuilder b("fires");
+  const auto in = b.input("in");
+  const auto a = b.alu("a", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), a.in(0));
+  b.connect(a.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "in").feed({1, 2, 3});
+  mgr.sim().run_until_quiescent(100);
+  const auto stats = mgr.sim().stats(mgr.info(id).group);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.fires, 3) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace rsp::xpp

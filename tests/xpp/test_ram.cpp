@@ -1,0 +1,139 @@
+#include "src/xpp/ram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/xpp/harness.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+TEST(Ram, FifoPreservesOrderAndPreload) {
+  ConfigBuilder b("fifo");
+  RamParams p;
+  p.mode = RamMode::kFifo;
+  p.capacity = 8;
+  p.preload = {100, 200};
+  const auto in = b.input("in");
+  const auto ram = b.ram("fifo", std::move(p));
+  const auto out = b.output("out");
+  b.connect(in.out(0), ram.in(0));
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, b.build(), {{"in", {1, 2, 3}}}, {{"out", 5}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{100, 200, 1, 2, 3}));
+}
+
+TEST(Ram, LutAddressedRead) {
+  ConfigBuilder b("lut");
+  RamParams p;
+  p.mode = RamMode::kLut;
+  p.capacity = 4;
+  p.preload = {10, 20, 30, 40};
+  const auto addr = b.input("addr");
+  const auto ram = b.ram("lut", std::move(p));
+  const auto out = b.output("out");
+  b.connect(addr.out(0), ram.in(0));
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const auto r =
+      run_config(mgr, b.build(), {{"addr", {3, 0, 2, 1}}}, {{"out", 4}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{40, 10, 30, 20}));
+}
+
+TEST(Ram, CircularLutReplays) {
+  ConfigBuilder b("clut");
+  RamParams p;
+  p.mode = RamMode::kCircularLut;
+  p.capacity = 3;
+  p.preload = {7, 8, 9};
+  const auto ram = b.ram("clut", std::move(p));
+  const auto out = b.output("out");
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const auto r = run_config(mgr, b.build(), {}, {{"out", 7}});
+  EXPECT_EQ(r.outputs.at("out"), (std::vector<Word>{7, 8, 9, 7, 8, 9, 7}));
+}
+
+TEST(Ram, GatedCircularLutPacedByTokens) {
+  ConfigBuilder b("gated");
+  RamParams p;
+  p.mode = RamMode::kCircularLut;
+  p.capacity = 2;
+  p.preload = {5, 6};
+  const auto go = b.input("go");
+  const auto ram = b.ram("clut", std::move(p));
+  const auto out = b.output("out");
+  b.connect(go.out(0), ram.in(0));
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "go").feed({1, 1, 1});
+  mgr.sim().run_until_quiescent(1000);
+  EXPECT_EQ(mgr.output(id, "out").data(), (std::vector<Word>{5, 6, 5}))
+      << "exactly one word per gate token";
+}
+
+TEST(Ram, DualPortedWriteThenRead) {
+  ConfigBuilder b("ram");
+  RamParams p;
+  p.mode = RamMode::kRam;
+  p.capacity = 16;
+  const auto waddr = b.input("waddr");
+  const auto wdata = b.input("wdata");
+  const auto raddr = b.input("raddr");
+  const auto ram = b.ram("mem", std::move(p));
+  const auto out = b.output("out");
+  b.connect(raddr.out(0), ram.in(0));
+  b.connect(waddr.out(0), ram.in(1));
+  b.connect(wdata.out(0), ram.in(2));
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "waddr").feed({3, 5});
+  mgr.input(id, "wdata").feed({33, 55});
+  mgr.sim().run_until_quiescent(100);
+  mgr.input(id, "raddr").feed({5, 3});
+  mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(id, "out").data(), (std::vector<Word>{55, 33}));
+}
+
+TEST(Ram, ReadAndWritePortsFireSameCycle) {
+  // Dual-ported: a read and a write in one cycle must both complete.
+  ConfigBuilder b("dual");
+  RamParams p;
+  p.mode = RamMode::kRam;
+  p.capacity = 8;
+  p.preload = {1, 2, 3, 4};
+  const auto waddr = b.input("waddr");
+  const auto wdata = b.input("wdata");
+  const auto raddr = b.input("raddr");
+  const auto ram = b.ram("mem", std::move(p));
+  const auto out = b.output("out");
+  b.connect(raddr.out(0), ram.in(0));
+  b.connect(waddr.out(0), ram.in(1));
+  b.connect(wdata.out(0), ram.in(2));
+  b.connect(ram.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "raddr").feed({0, 1, 2, 3});
+  mgr.input(id, "waddr").feed({4, 5, 6, 7});
+  mgr.input(id, "wdata").feed({40, 50, 60, 70});
+  const long long cycles = mgr.sim().run_until_quiescent(1000);
+  EXPECT_EQ(mgr.output(id, "out").data(), (std::vector<Word>{1, 2, 3, 4}));
+  EXPECT_LT(cycles, 12) << "ports must overlap, not serialize";
+}
+
+TEST(Ram, RejectsBadParams) {
+  EXPECT_THROW(RamObject("x", {RamMode::kRam, 0, {}}), ConfigError);
+  EXPECT_THROW(RamObject("x", {RamMode::kRam, kRamWords + 1, {}}), ConfigError);
+  EXPECT_THROW(RamObject("x", {RamMode::kLut, 8, {}}), ConfigError)
+      << "LUT requires preload";
+  RamParams over;
+  over.mode = RamMode::kFifo;
+  over.capacity = 2;
+  over.preload = {1, 2, 3};
+  EXPECT_THROW(RamObject("x", over), ConfigError);
+}
+
+}  // namespace
+}  // namespace rsp::xpp
