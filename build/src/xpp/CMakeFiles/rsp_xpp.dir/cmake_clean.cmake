@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_xpp.dir/alu.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/alu.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/array.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/array.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/builder.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/builder.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/manager.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/manager.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/nml.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/nml.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/ram.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/ram.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/runner.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/runner.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/sim.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/sim.cpp.o.d"
+  "CMakeFiles/rsp_xpp.dir/types.cpp.o"
+  "CMakeFiles/rsp_xpp.dir/types.cpp.o.d"
+  "librsp_xpp.a"
+  "librsp_xpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_xpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xpp.dir/xpp/test_alu.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_alu.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_alu_boundaries.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_alu_boundaries.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_array.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_array.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_builder.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_builder.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_counter.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_counter.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_macros.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_macros.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_manager.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_manager.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_net.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_net.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml_assets.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml_assets.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml_equiv.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_nml_equiv.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_pipeline.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_ram.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_ram.cpp.o.d"
+  "CMakeFiles/test_xpp.dir/xpp/test_stress.cpp.o"
+  "CMakeFiles/test_xpp.dir/xpp/test_stress.cpp.o.d"
+  "test_xpp"
+  "test_xpp.pdb"
+  "test_xpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
