@@ -1,0 +1,200 @@
+// Scheduler microbenchmark: cycles/sec of the XPP cycle simulator under
+// the legacy scan-to-fixed-point scheduler versus the event-driven
+// worklist scheduler, on
+//  - a sparse-activity configuration: an 8x8 array holding four rake
+//    despreader fingers with a single finger streaming chips (the other
+//    three sit idle, as in a terminal tracking one dominant path), and
+//  - the fully-dense FFT64 pipeline, where nearly every object fires
+//    every cycle (worst case for worklist bookkeeping).
+// Emits a machine-readable BENCH_sched.json so the perf trajectory is
+// tracked across PRs.  Both schedulers' outputs are cross-checked so a
+// perf run cannot silently diverge from the reference behaviour.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  long long cycles = 0;
+  long long fires = 0;
+  double seconds = 0.0;
+  std::vector<xpp::Word> checksum;  ///< output words, for cross-checking
+
+  [[nodiscard]] double cycles_per_sec() const {
+    return seconds > 0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
+};
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+/// Sparse activity: four despreader fingers resident on the 8x8 array,
+/// chips streamed through finger 0 only.  The scan scheduler still
+/// walks every object of every finger each pass; the worklist only ever
+/// touches the live finger.
+Measurement run_sparse(xpp::SchedulerKind kind, std::size_t n_chips) {
+  const int sf = 16;
+  const auto chips = random_chips(n_chips, 42);
+  xpp::ConfigurationManager mgr({}, kind);
+  const auto active = mgr.load(rake::maps::despreader_config(sf, 1));
+  // Idle fingers: loaded, primed, but never fed.
+  for (const int code : {2, 3, 5}) {
+    (void)mgr.load(rake::maps::despreader_config(sf, code));
+  }
+  mgr.input(active, "data").feed(rake::maps::pack_stream(chips));
+
+  Measurement m;
+  const long long c0 = mgr.sim().cycle();
+  const long long f0 = mgr.sim().total_fires();
+  const auto t0 = Clock::now();
+  mgr.sim().run_until_quiescent(static_cast<long long>(n_chips) * 8);
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  m.cycles = mgr.sim().cycle() - c0;
+  m.fires = mgr.sim().total_fires() - f0;
+  m.checksum = mgr.output(active, "out").take();
+  return m;
+}
+
+/// Dense activity: the FFT64 kernel streaming a burst of symbols; every
+/// pipeline stage fires nearly every cycle.
+Measurement run_dense(xpp::SchedulerKind kind, std::size_t n_symbols) {
+  Rng rng(7);
+  std::vector<std::array<CplxI, phy::kFftSize>> in(n_symbols);
+  for (auto& sym : in) {
+    for (auto& c : sym) {
+      c = {static_cast<int>(rng.below(2000)) - 1000,
+           static_cast<int>(rng.below(2000)) - 1000};
+    }
+  }
+  xpp::ConfigurationManager mgr({}, kind);
+  Measurement m;
+  const long long c0 = mgr.sim().cycle();
+  const long long f0 = mgr.sim().total_fires();
+  const auto t0 = Clock::now();
+  const auto out = ofdm::maps::run_fft64_batch(mgr, in);
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  m.cycles = mgr.sim().cycle() - c0;
+  m.fires = mgr.sim().total_fires() - f0;
+  for (const auto& sym : out) {
+    for (const auto& c : sym) m.checksum.push_back(pack_cplx(c));
+  }
+  return m;
+}
+
+template <typename Fn>
+Measurement best_of(Fn&& fn, int reps) {
+  Measurement best = fn();
+  for (int r = 1; r < reps; ++r) {
+    Measurement m = fn();
+    if (m.seconds < best.seconds) best = m;
+  }
+  return best;
+}
+
+struct Scenario {
+  const char* name;
+  Measurement scan;
+  Measurement event;
+
+  [[nodiscard]] double speedup() const {
+    return scan.seconds > 0 && event.seconds > 0
+               ? event.cycles_per_sec() / scan.cycles_per_sec()
+               : 0.0;
+  }
+};
+
+void write_json(const std::vector<Scenario>& scenarios) {
+  std::FILE* f = std::fopen("BENCH_sched.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sched.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_micro_sched\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"cycles\": %lld, \"fires\": %lld, "
+                 "\"scan_cps\": %.0f, \"event_cps\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 s.name, s.scan.cycles, s.scan.fires,
+                 s.scan.cycles_per_sec(), s.event.cycles_per_sec(),
+                 s.speedup(), i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace rsp
+
+int main() {
+  using rsp::xpp::SchedulerKind;
+  rsp::bench::title(
+      "Scheduler microbenchmark: scan fixed-point vs event-driven worklist");
+
+  std::vector<rsp::Scenario> scenarios;
+
+  {
+    rsp::Scenario s{"rake_single_finger_8x8", {}, {}};
+    s.scan = rsp::best_of(
+        [] { return rsp::run_sparse(SchedulerKind::kScan, 20000); }, 3);
+    s.event = rsp::best_of(
+        [] { return rsp::run_sparse(SchedulerKind::kEventDriven, 20000); }, 3);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    rsp::Scenario s{"fft64_dense", {}, {}};
+    s.scan = rsp::best_of(
+        [] { return rsp::run_dense(SchedulerKind::kScan, 24); }, 3);
+    s.event = rsp::best_of(
+        [] { return rsp::run_dense(SchedulerKind::kEventDriven, 24); }, 3);
+    scenarios.push_back(std::move(s));
+  }
+
+  bool identical = true;
+  for (const auto& s : scenarios) {
+    if (s.scan.checksum != s.event.checksum ||
+        s.scan.cycles != s.event.cycles || s.scan.fires != s.event.fires) {
+      identical = false;
+      std::fprintf(stderr, "DIVERGENCE in scenario %s\n", s.name);
+    }
+  }
+
+  rsp::bench::Table t({"scenario", "cycles", "fires", "scan cyc/s",
+                       "event cyc/s", "speedup"});
+  for (const auto& s : scenarios) {
+    t.row({s.name, rsp::bench::fmt_int(s.scan.cycles),
+           rsp::bench::fmt_int(s.scan.fires),
+           rsp::bench::fmt(s.scan.cycles_per_sec(), 0),
+           rsp::bench::fmt(s.event.cycles_per_sec(), 0),
+           rsp::bench::fmt(s.speedup(), 2) + "x"});
+  }
+  t.print();
+  rsp::bench::note(identical
+                       ? "cross-check: schedulers bit-identical (cycles, "
+                         "fires, outputs)"
+                       : "cross-check: FAILED — schedulers diverged");
+  rsp::bench::note("targets: sparse >= 3.0x, dense >= 0.9x");
+  rsp::write_json(scenarios);
+  rsp::bench::note("wrote BENCH_sched.json");
+  return identical ? 0 : 1;
+}

@@ -134,22 +134,29 @@ void ConfigBuilder::validate() const {
                         "': INPUT object used as a sink");
     }
   }
-  // Required-input coverage for ALU objects.
+  // Required-input coverage for ALU objects.  One pass over the
+  // connection/constant lists builds per-object bound-port masks so
+  // validation stays linear in the configuration size.
+  std::vector<unsigned> bound(static_cast<std::size_t>(n), 0u);
+  for (const auto& c : cfg_.connections) {
+    bound[static_cast<std::size_t>(c.dst.object)] |= 1u << c.dst.port;
+  }
+  for (int oi = 0; oi < n; ++oi) {
+    const auto& o = cfg_.objects[static_cast<std::size_t>(oi)];
+    for (const auto& [p, v] : o.consts) {
+      (void)v;
+      if (p >= 0 && p < kMaxIn) bound[static_cast<std::size_t>(oi)] |= 1u << p;
+    }
+  }
   for (int oi = 0; oi < n; ++oi) {
     const auto& o = cfg_.objects[static_cast<std::size_t>(oi)];
     if (o.kind != ObjectKind::kAlu) continue;
     const OpInfo info = op_info(o.alu.op);
+    const unsigned missing =
+        info.in_mask & ~bound[static_cast<std::size_t>(oi)];
+    if (missing == 0) continue;
     for (int port = 0; port < kMaxIn; ++port) {
-      if (((info.in_mask >> port) & 1u) == 0) continue;
-      bool bound = false;
-      for (const auto& c : cfg_.connections) {
-        if (c.dst == PortRef{oi, port}) bound = true;
-      }
-      for (const auto& [p, v] : o.consts) {
-        (void)v;
-        if (p == port) bound = true;
-      }
-      if (!bound) {
+      if ((missing >> port) & 1u) {
         throw ConfigError("config '" + cfg_.name + "': object '" + o.name +
                           "' (" + opcode_name(o.alu.op) + ") input " +
                           std::to_string(port) + " unbound");

@@ -26,8 +26,12 @@ class InputObject final : public Object {
   /// Queue samples for streaming into the array.
   void feed(const std::vector<Word>& samples) {
     queue_.insert(queue_.end(), samples.begin(), samples.end());
+    if (!samples.empty()) wake();
   }
-  void feed(Word v) { queue_.push_back(v); }
+  void feed(Word v) {
+    queue_.push_back(v);
+    wake();
+  }
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 

@@ -4,8 +4,9 @@
 
 namespace rsp::xpp {
 
-ConfigurationManager::ConfigurationManager(ArrayGeometry geom)
-    : resources_(geom) {}
+ConfigurationManager::ConfigurationManager(ArrayGeometry geom,
+                                           SchedulerKind sched)
+    : resources_(geom), sim_(sched) {}
 
 long long config_load_cycles(const Configuration& cfg) {
   // Distinct source ports = nets to route.

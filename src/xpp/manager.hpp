@@ -45,7 +45,8 @@ struct LoadedConfig {
 
 class ConfigurationManager {
  public:
-  explicit ConfigurationManager(ArrayGeometry geom = {});
+  explicit ConfigurationManager(ArrayGeometry geom = {},
+                                SchedulerKind sched = SchedulerKind::kEventDriven);
 
   /// Load @p cfg: claims resources, instantiates objects/nets, charges
   /// the configuration time (other configurations keep running).

@@ -1,0 +1,16 @@
+#include "src/xpp/net.hpp"
+
+#include <string>
+
+namespace rsp::xpp {
+
+int Net::add_sink(Object* waiter) {
+  if (num_sinks_ >= kMaxNetSinks) {
+    throw ConfigError("net: fan-out exceeds " + std::to_string(kMaxNetSinks) +
+                      " sinks");
+  }
+  sink_waiters_.push_back(waiter);
+  return num_sinks_++;
+}
+
+}  // namespace rsp::xpp

@@ -7,23 +7,45 @@
 // (combinational ready path, giving one-value-per-cycle pipelining),
 // and a token fans out to every sink and is only released once all
 // sinks have consumed it — no token is ever lost or duplicated.
+//
+// For the event-driven scheduler each net also carries waiter
+// back-pointers: the producer object (set by Object::bind_out) and one
+// object per sink (set by Object::bind_in).  The Simulator uses them to
+// enqueue exactly the objects whose readiness may have changed when the
+// net's token state changes; standalone Net usage (unit tests) may omit
+// them.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/xpp/types.hpp"
 
 namespace rsp::xpp {
 
+class Object;
+
+/// Hard fan-out limit: the consumed bookkeeping is a 32-bit mask.
+inline constexpr int kMaxNetSinks = 32;
+
 class Net {
  public:
-  /// Register a consumer; returns its sink index.
-  int add_sink() {
-    return num_sinks_++;
-  }
+  /// Register a consumer; returns its sink index.  @p waiter (may be
+  /// null for standalone nets) is the object to notify when a token
+  /// becomes readable.  Throws ConfigError past kMaxNetSinks sinks.
+  int add_sink(Object* waiter = nullptr);
 
   int num_sinks() const { return num_sinks_; }
+
+  /// Producer back-pointer (the object bound to this net's write side).
+  void set_producer(Object* o) { producer_ = o; }
+  [[nodiscard]] Object* producer() const { return producer_; }
+
+  /// Sink waiter back-pointers, indexed by sink (entries may be null).
+  [[nodiscard]] const std::vector<Object*>& sink_waiters() const {
+    return sink_waiters_;
+  }
 
   /// Preload an initial token (register preloading; required to prime
   /// feedback loops such as accumulators).
@@ -67,6 +89,24 @@ class Net {
     }
   }
 
+  /// True if the next commit() would change the net's state.  Lets the
+  /// dirty-net commit loop keep a net listed across cycles even when no
+  /// object touches it again (a zero-sink net drops its token one
+  /// commit after the token lands).
+  [[nodiscard]] bool commit_pending() const {
+    return staged_.has_value() || (has_value_ && all_consumed());
+  }
+
+  /// Dirty-list membership flag (owned by the scheduler).  mark_dirty
+  /// returns true only on the clean→dirty edge so callers can push the
+  /// net onto the commit list exactly once.
+  bool mark_dirty() {
+    if (dirty_) return false;
+    dirty_ = true;
+    return true;
+  }
+  void clear_dirty() { dirty_ = false; }
+
   /// True if a token is resident (for quiescence / drain checks).
   [[nodiscard]] bool occupied() const { return has_value_ || staged_.has_value(); }
 
@@ -83,6 +123,9 @@ class Net {
   std::uint32_t consumed_mask_ = 0;
   std::optional<Word> staged_;
   int num_sinks_ = 0;
+  bool dirty_ = false;
+  Object* producer_ = nullptr;
+  std::vector<Object*> sink_waiters_;
 };
 
 }  // namespace rsp::xpp

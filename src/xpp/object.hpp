@@ -15,6 +15,27 @@ namespace rsp::xpp {
 inline constexpr int kMaxIn = 3;
 inline constexpr int kMaxOut = 2;
 
+class Object;
+
+/// Callback surface the event-driven Simulator hands to its objects.
+/// Objects report the token events the worklist scheduler needs; a null
+/// hook (scan scheduler, standalone objects) disables all reporting.
+class SchedulerHooks {
+ public:
+  virtual ~SchedulerHooks() = default;
+
+  /// @p net was consumed from or staged to this cycle (needs a commit).
+  virtual void net_touched(Net& net) = 0;
+
+  /// @p net's write slot just freed combinationally (every sink has
+  /// consumed): its producer may refill it in the same cycle.
+  virtual void net_freed(Net& net) = 0;
+
+  /// @p obj's readiness changed through a non-net channel (external
+  /// feed, preload); recheck it on the next cycle.
+  virtual void object_woken(Object& obj) = 0;
+};
+
 /// A configurable object instantiated on the array.  Subclasses define
 /// the firing rule; the base class provides port bindings, the
 /// once-per-cycle discipline and fire statistics.
@@ -33,34 +54,47 @@ class Object {
   /// Bind input port @p i to @p net (registers this object as a sink).
   void bind_in(int i, Net& net) {
     in_[i].net = &net;
-    in_[i].sink = net.add_sink();
+    in_[i].sink = net.add_sink(this);
   }
 
   /// Tie input port @p i to a constant (always ready, never consumed).
   void set_const(int i, Word v) { in_[i].cst = v; }
 
-  /// Bind output port @p i to @p net.
-  void bind_out(int i, Net& net) { out_[i] = &net; }
+  /// Bind output port @p i to @p net (registers this object as its
+  /// producer).
+  void bind_out(int i, Net& net) {
+    out_[i] = &net;
+    net.set_producer(this);
+  }
 
   [[nodiscard]] bool in_bound(int i) const {
     return in_[i].net != nullptr || in_[i].cst.has_value();
   }
   [[nodiscard]] bool out_bound(int i) const { return out_[i] != nullptr; }
 
-  /// Reset the fired flag at the start of a cycle.
-  void begin_cycle() { fired_ = false; }
+  /// Attach (or detach, with nullptr) the scheduler callback surface.
+  /// Called by the Simulator when the object joins a group.
+  void attach_scheduler(SchedulerHooks* hooks) { sched_ = hooks; }
 
-  /// Attempt to fire (at most once per cycle).  Returns true on fire.
-  bool clock() {
-    if (fired_) return false;
+  /// Attempt to fire in cycle @p cycle (at most once per cycle).
+  /// Returns true on fire.
+  bool clock(long long cycle) {
+    if (fired_cycle_ == cycle) return false;
     if (!do_fire()) return false;
-    fired_ = true;
+    fired_cycle_ = cycle;
     ++fire_count_;
     return true;
   }
 
-  [[nodiscard]] bool fired_this_cycle() const { return fired_; }
+  [[nodiscard]] bool fired_in(long long cycle) const {
+    return fired_cycle_ == cycle;
+  }
   [[nodiscard]] long long fire_count() const { return fire_count_; }
+
+  /// Worklist-membership flag, owned by the scheduler (guards against
+  /// duplicate enqueues).
+  [[nodiscard]] bool sched_queued() const { return sched_queued_; }
+  void set_sched_queued(bool q) { sched_queued_ = q; }
 
  protected:
   /// Subclass firing rule: check readiness, consume inputs, stage
@@ -83,7 +117,12 @@ class Object {
   /// Consume the token on input @p i (no-op for constants).
   void in_consume(int i) {
     auto& b = in_[i];
-    if (!b.cst && b.net) b.net->consume(b.sink);
+    if (b.cst || b.net == nullptr) return;
+    b.net->consume(b.sink);
+    if (sched_ != nullptr) {
+      sched_->net_touched(*b.net);
+      if (b.net->can_write()) sched_->net_freed(*b.net);
+    }
   }
 
   /// True if output @p i can accept a token.  Unbound outputs accept
@@ -94,7 +133,15 @@ class Object {
 
   /// Stage @p v on output @p i.
   void out_write(int i, Word v) {
-    if (out_[i] != nullptr) out_[i]->stage(v);
+    if (out_[i] == nullptr) return;
+    out_[i]->stage(v);
+    if (sched_ != nullptr) sched_->net_touched(*out_[i]);
+  }
+
+  /// Report an external readiness change (e.g. samples queued on an
+  /// input channel) so the event-driven scheduler rechecks this object.
+  void wake() {
+    if (sched_ != nullptr) sched_->object_woken(*this);
   }
 
  private:
@@ -108,8 +155,10 @@ class Object {
   ObjectKind kind_;
   std::array<InBind, kMaxIn> in_{};
   std::array<Net*, kMaxOut> out_{};
-  bool fired_ = false;
+  long long fired_cycle_ = -1;
   long long fire_count_ = 0;
+  SchedulerHooks* sched_ = nullptr;
+  bool sched_queued_ = false;
 };
 
 }  // namespace rsp::xpp

@@ -16,10 +16,12 @@ RunResult run_config(ConfigurationManager& mgr, const Configuration& cfg,
   }
   std::vector<OutputObject*> outs;
   std::vector<std::size_t> want;
+  std::vector<std::string> names;
   outs.reserve(expected.size());
   for (const auto& [name, count] : expected) {
     outs.push_back(&mgr.output(id, name));
     want.push_back(count);
+    names.push_back(name);
   }
 
   const long long start = mgr.sim().cycle();
@@ -45,9 +47,8 @@ RunResult run_config(ConfigurationManager& mgr, const Configuration& cfg,
       throw ConfigError("run_config('" + cfg.name + "'): timeout");
     }
   }
-  for (const auto& [name, count] : expected) {
-    (void)count;
-    r.outputs[name] = mgr.output(id, name).take();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    r.outputs[names[i]] = outs[i]->take();
   }
   mgr.release(id);
   return r;

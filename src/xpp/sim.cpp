@@ -1,6 +1,7 @@
 #include "src/xpp/sim.hpp"
 
 #include <cstdio>
+#include <unordered_set>
 
 namespace rsp::xpp {
 
@@ -8,39 +9,140 @@ Simulator::GroupId Simulator::add_group(
     std::vector<std::unique_ptr<Object>> objects,
     std::vector<std::unique_ptr<Net>> nets) {
   const GroupId id = next_id_++;
-  groups_.emplace(id, Group{std::move(objects), std::move(nets)});
+  auto [it, inserted] =
+      groups_.emplace(id, Group{std::move(objects), std::move(nets), {}});
+  Group& g = it->second;
+  g.by_name.reserve(g.objects.size());
+  for (auto& o : g.objects) {
+    g.by_name.emplace(o->name(), o.get());
+    if (kind_ == SchedulerKind::kEventDriven) {
+      o->attach_scheduler(this);
+      enqueue_next(o.get());
+    }
+  }
+  group_cache_.clear();
+  for (auto& [gid, grp] : groups_) {
+    (void)gid;
+    group_cache_.push_back(&grp);
+  }
   return id;
 }
 
-void Simulator::remove_group(GroupId id) { groups_.erase(id); }
+void Simulator::remove_group(GroupId id) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) return;
+  if (kind_ == SchedulerKind::kEventDriven) {
+    // Purge stale waiters: pending worklist entries and dirty nets may
+    // point into the group being destroyed.
+    std::unordered_set<const Object*> dead_objs;
+    for (const auto& o : it->second.objects) dead_objs.insert(o.get());
+    std::unordered_set<const Net*> dead_nets;
+    for (const auto& n : it->second.nets) dead_nets.insert(n.get());
+    const auto purge_objs = [&](std::vector<Object*>& v) {
+      std::erase_if(v, [&](Object* o) { return dead_objs.count(o) > 0; });
+    };
+    purge_objs(ready_);
+    purge_objs(next_ready_);
+    std::erase_if(dirty_nets_,
+                  [&](Net* n) { return dead_nets.count(n) > 0; });
+  }
+  groups_.erase(it);
+  group_cache_.clear();
+  for (auto& [gid, grp] : groups_) {
+    (void)gid;
+    group_cache_.push_back(&grp);
+  }
+}
 
 int Simulator::step() {
-  for (auto& [id, g] : groups_) {
-    (void)id;
-    for (auto& o : g.objects) o->begin_cycle();
-  }
+  return kind_ == SchedulerKind::kScan ? step_scan() : step_event();
+}
+
+int Simulator::step_scan() {
+  const long long cyc = cycle_;
   int fires = 0;
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto& [id, g] : groups_) {
-      (void)id;
-      for (auto& o : g.objects) {
-        if (!o->fired_this_cycle() && o->clock()) {
+    for (Group* g : group_cache_) {
+      for (auto& o : g->objects) {
+        if (!o->fired_in(cyc) && o->clock(cyc)) {
           progress = true;
           ++fires;
         }
       }
     }
   }
-  for (auto& [id, g] : groups_) {
-    (void)id;
-    for (auto& n : g.nets) n->commit();
+  for (Group* g : group_cache_) {
+    for (auto& n : g->nets) n->commit();
   }
   ++cycle_;
   total_fires_ += fires;
   return fires;
 }
+
+int Simulator::step_event() {
+  const long long cyc = cycle_;
+  // Seed the worklist with the objects touched by last cycle's token
+  // events (and external wakes).  Draining it reaches the same fixed
+  // point the full rescan does: firing an object can only *enable*
+  // others (consuming frees a producer's slot; staging touches only the
+  // firer's own nets), so any object it enables is enqueued before the
+  // drain ends, and an object never enqueued could not have fired.
+  ready_.swap(next_ready_);
+  int fires = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    Object* o = ready_[i];
+    o->set_sched_queued(false);
+    if (o->fired_in(cyc)) continue;
+    if (o->clock(cyc)) {
+      ++fires;
+      // Firing changed internal state (counter value, FIFO depth, input
+      // queue); the object may be able to fire again next cycle even if
+      // no net event points back at it.
+      enqueue_next(o);
+    }
+  }
+  ready_.clear();
+  // Commit only the nets touched this cycle.  A committed net whose
+  // next commit would still change state (zero-sink nets dropping a
+  // dangling token) stays listed for the next cycle.
+  commit_scratch_.swap(dirty_nets_);
+  for (Net* n : commit_scratch_) {
+    n->clear_dirty();
+    n->commit();
+    if (Object* p = n->producer()) enqueue_next(p);
+    for (Object* w : n->sink_waiters()) {
+      if (w != nullptr) enqueue_next(w);
+    }
+    if (n->commit_pending() && n->mark_dirty()) dirty_nets_.push_back(n);
+  }
+  commit_scratch_.clear();
+  ++cycle_;
+  total_fires_ += fires;
+  return fires;
+}
+
+void Simulator::enqueue_next(Object* o) {
+  if (o->sched_queued()) return;
+  o->set_sched_queued(true);
+  next_ready_.push_back(o);
+}
+
+void Simulator::net_touched(Net& net) {
+  if (net.mark_dirty()) dirty_nets_.push_back(&net);
+}
+
+void Simulator::net_freed(Net& net) {
+  // Same-cycle refill (combinational handshake): the producer may stage
+  // a new token in the very cycle the last sink consumed the old one.
+  Object* p = net.producer();
+  if (p == nullptr || p->fired_in(cycle_) || p->sched_queued()) return;
+  p->set_sched_queued(true);
+  ready_.push_back(p);
+}
+
+void Simulator::object_woken(Object& obj) { enqueue_next(&obj); }
 
 void Simulator::run(long long n) {
   for (long long i = 0; i < n; ++i) step();
@@ -56,10 +158,8 @@ long long Simulator::run_until_quiescent(long long max_cycles) {
 Object* Simulator::find(GroupId id, const std::string& name) {
   const auto it = groups_.find(id);
   if (it == groups_.end()) return nullptr;
-  for (auto& o : it->second.objects) {
-    if (o->name() == name) return o.get();
-  }
-  return nullptr;
+  const auto oit = it->second.by_name.find(name);
+  return oit == it->second.by_name.end() ? nullptr : oit->second;
 }
 
 std::vector<ObjectStats> Simulator::stats(GroupId id) const {

@@ -6,11 +6,23 @@
 // firing set is resolved to a fixed point so a full pipeline sustains
 // one value per cycle per stage, and a freed net can be refilled in the
 // same cycle (combinational handshake path).
+//
+// Two schedulers reach that fixed point (see DESIGN.md, "Simulator
+// scheduling"):
+//  - kScan: the legacy reference — rescan every object of every group
+//    until a full pass makes no progress, then commit every net.
+//  - kEventDriven (default): a worklist seeded with the objects whose
+//    readiness may have changed (net commits, same-cycle slot frees,
+//    external feeds, own firing) is drained to the same fixed point;
+//    commits walk only the nets actually touched this cycle.
+// Both produce bit-identical fire counts, cycle counts and outputs; the
+// scan variant is kept for differential testing.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/xpp/net.hpp"
@@ -24,9 +36,20 @@ struct ObjectStats {
   long long fires = 0;
 };
 
-class Simulator {
+/// Which algorithm resolves the per-cycle firing fixed point.
+enum class SchedulerKind {
+  kScan,         ///< legacy: rescan all objects until no progress
+  kEventDriven,  ///< worklist seeded by token events (default)
+};
+
+class Simulator final : private SchedulerHooks {
  public:
   using GroupId = int;
+
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kEventDriven)
+      : kind_(kind) {}
+
+  [[nodiscard]] SchedulerKind scheduler() const { return kind_; }
 
   /// Install a group of objects and nets (one loaded configuration).
   GroupId add_group(std::vector<std::unique_ptr<Object>> objects,
@@ -67,12 +90,34 @@ class Simulator {
   struct Group {
     std::vector<std::unique_ptr<Object>> objects;
     std::vector<std::unique_ptr<Net>> nets;
+    std::unordered_map<std::string, Object*> by_name;
   };
 
+  int step_scan();
+  int step_event();
+
+  /// Enqueue @p o for a readiness check next cycle (deduplicated).
+  void enqueue_next(Object* o);
+
+  // SchedulerHooks (event-driven mode only).
+  void net_touched(Net& net) override;
+  void net_freed(Net& net) override;
+  void object_woken(Object& obj) override;
+
+  SchedulerKind kind_;
   std::map<GroupId, Group> groups_;
+  /// Flat iteration cache over groups_ (ascending GroupId), rebuilt on
+  /// add_group/remove_group so the scan path avoids per-cycle map walks.
+  std::vector<Group*> group_cache_;
   GroupId next_id_ = 0;
   long long cycle_ = 0;
   long long total_fires_ = 0;
+
+  // Event-driven scheduler state.
+  std::vector<Object*> ready_;       ///< current cycle's worklist
+  std::vector<Object*> next_ready_;  ///< seeds for the next cycle
+  std::vector<Net*> dirty_nets_;     ///< nets needing commit this cycle
+  std::vector<Net*> commit_scratch_;
 };
 
 }  // namespace rsp::xpp

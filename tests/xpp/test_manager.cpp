@@ -96,6 +96,75 @@ TEST(Manager, ReleasedCellsReusableByNextConfig) {
   EXPECT_NO_THROW((void)mgr.load(cfg2));
 }
 
+TEST(Manager, RemoveGroupMidRunLeavesNoStaleWaiters) {
+  // Partial reconfiguration under the event-driven scheduler: releasing
+  // a configuration whose tokens are still in flight must purge its
+  // objects/nets from the worklist and dirty-net list, and the array
+  // must keep running afterwards.
+  ConfigurationManager mgr;
+  const ConfigId a = mgr.load(passthrough("a"));
+  const ConfigId b = mgr.load(passthrough("b"));
+  mgr.input(b, "in").feed(std::vector<Word>(100, 3));
+  mgr.sim().run(3);  // b mid-stream: staged tokens, queued objects
+  mgr.release(b);    // stale waiters would now dangle
+  mgr.sim().run_until_quiescent(50);
+  mgr.input(a, "in").feed({1, 2, 3, 4});
+  mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(a, "out").data(), (std::vector<Word>{1, 2, 3, 4}));
+  // Freed cells are immediately reusable by a new configuration.
+  const ConfigId c = mgr.load(passthrough("c"));
+  mgr.input(c, "in").feed({7});
+  mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(c, "out").data(), (std::vector<Word>{7}));
+}
+
+TEST(Manager, RemoveGroupMidRunKeepsSurvivorStateIntact) {
+  // Reference: configuration a running alone.
+  const std::vector<Word> feed_a{5, 6, 7, 8, 9};
+  std::vector<ObjectStats> solo_stats;
+  std::vector<Word> solo_out;
+  {
+    ConfigurationManager mgr;
+    const ConfigId a = mgr.load(passthrough("a"));
+    mgr.input(a, "in").feed(feed_a);
+    mgr.sim().run_until_quiescent(200);
+    solo_out = mgr.output(a, "out").data();
+    solo_stats = mgr.sim().stats(mgr.info(a).group);
+  }
+  // Same configuration with a sibling released mid-run: a's outputs and
+  // per-object fire counts must be byte-identical to the solo run.
+  ConfigurationManager mgr;
+  const ConfigId a = mgr.load(passthrough("a"));
+  const ConfigId b = mgr.load(passthrough("b"));
+  mgr.input(b, "in").feed(std::vector<Word>(64, 1));
+  mgr.sim().run(5);
+  mgr.release(b);
+  mgr.sim().run_until_quiescent(50);
+  mgr.input(a, "in").feed(feed_a);
+  mgr.sim().run_until_quiescent(200);
+  EXPECT_EQ(mgr.output(a, "out").data(), solo_out);
+  const auto stats = mgr.sim().stats(mgr.info(a).group);
+  ASSERT_EQ(stats.size(), solo_stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].name, solo_stats[i].name);
+    EXPECT_EQ(stats[i].fires, solo_stats[i].fires) << stats[i].name;
+  }
+}
+
+TEST(Manager, FindUsesPerGroupIndex) {
+  ConfigurationManager mgr;
+  const ConfigId a = mgr.load(passthrough("a"));
+  const ConfigId b = mgr.load(passthrough("b"));
+  auto& sim = mgr.sim();
+  EXPECT_NE(sim.find(mgr.info(a).group, "nop"), nullptr);
+  EXPECT_NE(sim.find(mgr.info(b).group, "nop"), nullptr);
+  EXPECT_NE(sim.find(mgr.info(a).group, "nop"),
+            sim.find(mgr.info(b).group, "nop"))
+      << "same name in different groups resolves per group";
+  EXPECT_EQ(sim.find(mgr.info(a).group, "absent"), nullptr);
+  EXPECT_EQ(sim.find(9999, "nop"), nullptr);
+}
+
 TEST(Manager, UnknownIoNameThrows) {
   ConfigurationManager mgr;
   const ConfigId id = mgr.load(passthrough("p"));

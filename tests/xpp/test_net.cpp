@@ -82,6 +82,24 @@ TEST(Net, ZeroSinkNetDiscards) {
   EXPECT_TRUE(n.can_write()) << "dangling output keeps accepting";
 }
 
+TEST(Net, SinkCountCapped) {
+  // consumed_mask_ is a 32-bit mask; sink 32 would shift out of range.
+  Net n;
+  for (int i = 0; i < kMaxNetSinks; ++i) {
+    EXPECT_EQ(n.add_sink(), i);
+  }
+  EXPECT_EQ(n.num_sinks(), kMaxNetSinks);
+  EXPECT_THROW((void)n.add_sink(), ConfigError) << "33rd sink must be refused";
+  // The full-fan-out net still handshakes correctly.
+  n.stage(11);
+  n.commit();
+  for (int i = 0; i < kMaxNetSinks; ++i) {
+    EXPECT_TRUE(n.can_read(i));
+    n.consume(i);
+  }
+  EXPECT_TRUE(n.can_write()) << "slot frees after all 32 sinks consume";
+}
+
 TEST(Net, OccupiedReflectsState) {
   Net n;
   const int s = n.add_sink();
