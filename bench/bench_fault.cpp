@@ -1,0 +1,171 @@
+// Fault-injection overhead benchmark: the injector hook must be free
+// when unused.  Measures cycles/sec of a streaming despreader workload
+// in three modes:
+//  - bare:  no injector installed (the tier-1 fast path),
+//  - hooked: injector installed with an *empty* plan (pointer compare +
+//    one no-op callback per cycle boundary),
+//  - seu:   injector armed with a low-rate random SEU process (the
+//    price of actually injecting).
+// The bare-vs-hooked delta is the overhead claim guarded by ISSUE.md
+// (<= 2%); bare and hooked outputs are cross-checked word-for-word so
+// the claim cannot be met by accidentally changing behaviour.  Emits
+// BENCH_fault.json.
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Mode { kBare, kHooked, kSeu };
+
+struct Measurement {
+  long long cycles = 0;
+  long long fires = 0;
+  double seconds = 0.0;
+  std::size_t injections = 0;
+  std::vector<xpp::Word> checksum;
+
+  [[nodiscard]] double cycles_per_sec() const {
+    return seconds > 0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
+};
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+Measurement run_stream(Mode mode, std::size_t n_chips) {
+  const int sf = 16;
+  const auto chips = random_chips(n_chips, 42);
+  xpp::ConfigurationManager mgr;
+  const auto finger = mgr.load(rake::maps::despreader_config(sf, 1));
+  mgr.input(finger, "data").feed(rake::maps::pack_stream(chips));
+
+  xpp::FaultPlan plan;
+  if (mode == Mode::kSeu) {
+    plan.seu.per_cycle_prob = 0.001;
+    plan.seu.seed = 99;
+    plan.seu.from = mgr.sim().cycle();
+  }
+  xpp::FaultInjector inj(std::move(plan));
+  if (mode != Mode::kBare) mgr.sim().install_faults(&inj);
+
+  Measurement m;
+  const long long c0 = mgr.sim().cycle();
+  const long long f0 = mgr.sim().total_fires();
+  const auto t0 = Clock::now();
+  (void)mgr.sim().run_until_quiescent(static_cast<long long>(n_chips) * 8);
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  m.cycles = mgr.sim().cycle() - c0;
+  m.fires = mgr.sim().total_fires() - f0;
+  m.injections = inj.log().size();
+  m.checksum = mgr.output(finger, "out").take();
+  mgr.sim().install_faults(nullptr);
+  return m;
+}
+
+/// Best-of-@p reps with the three modes interleaved per repetition, so
+/// slow machine drift (frequency scaling, a noisy neighbour) hits all
+/// modes alike instead of biasing whichever ran last.
+void measure_interleaved(std::size_t n_chips, int reps, Measurement& bare,
+                         Measurement& hooked, Measurement& seu) {
+  const auto keep = [](Measurement& best, Measurement m) {
+    if (best.seconds == 0.0 || m.seconds < best.seconds) best = std::move(m);
+  };
+  for (int r = 0; r < reps; ++r) {
+    keep(bare, run_stream(Mode::kBare, n_chips));
+    keep(hooked, run_stream(Mode::kHooked, n_chips));
+    keep(seu, run_stream(Mode::kSeu, n_chips));
+  }
+}
+
+void write_json(const Measurement& bare, const Measurement& hooked,
+                const Measurement& seu, double overhead_pct) {
+  std::FILE* f = std::fopen("BENCH_fault.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fault.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_fault\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
+  std::fprintf(f, "  \"workload\": \"despreader_sf16_stream\",\n");
+  std::fprintf(f, "  \"cycles\": %lld,\n", bare.cycles);
+  std::fprintf(f, "  \"bare_cps\": %.0f,\n", bare.cycles_per_sec());
+  std::fprintf(f, "  \"hooked_empty_plan_cps\": %.0f,\n",
+               hooked.cycles_per_sec());
+  std::fprintf(f, "  \"seu_armed_cps\": %.0f,\n", seu.cycles_per_sec());
+  std::fprintf(f, "  \"hook_overhead_pct\": %.2f,\n", overhead_pct);
+  std::fprintf(f, "  \"hook_overhead_target_pct\": 2.0,\n");
+  std::fprintf(f, "  \"seu_injections\": %zu\n", seu.injections);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace rsp
+
+int main() {
+  rsp::bench::title("Fault-injection overhead: bare vs hooked vs SEU-armed");
+
+  constexpr std::size_t kChips = 200000;
+  rsp::Measurement bare, hooked, seu;
+  rsp::measure_interleaved(kChips, 5, bare, hooked, seu);
+
+  // An installed-but-empty plan must not change behaviour in any way.
+  const bool identical = bare.checksum == hooked.checksum &&
+                         bare.cycles == hooked.cycles &&
+                         bare.fires == hooked.fires;
+  if (!identical) {
+    std::fprintf(stderr, "DIVERGENCE: empty-plan run differs from bare run\n");
+  }
+
+  const double overhead_pct =
+      bare.cycles_per_sec() > 0
+          ? (bare.cycles_per_sec() - hooked.cycles_per_sec()) /
+                bare.cycles_per_sec() * 100.0
+          : 0.0;
+
+  rsp::bench::Table t(
+      {"mode", "cycles", "fires", "cyc/s", "injections", "vs bare"});
+  const auto rel = [&](const rsp::Measurement& m) {
+    return rsp::bench::fmt(
+               bare.cycles_per_sec() > 0
+                   ? m.cycles_per_sec() / bare.cycles_per_sec() * 100.0
+                   : 0.0,
+               1) +
+           "%";
+  };
+  for (const auto& [name, m] :
+       {std::pair<const char*, const rsp::Measurement&>{"bare", bare},
+        {"hooked (empty plan)", hooked},
+        {"seu armed (p=0.001)", seu}}) {
+    t.row({name, rsp::bench::fmt_int(m.cycles), rsp::bench::fmt_int(m.fires),
+           rsp::bench::fmt(m.cycles_per_sec(), 0),
+           rsp::bench::fmt_int(static_cast<long long>(m.injections)),
+           rel(m)});
+  }
+  t.print();
+  rsp::bench::note(identical
+                       ? "cross-check: empty-plan run bit-identical to bare"
+                       : "cross-check: FAILED — empty plan changed behaviour");
+  rsp::bench::note("target: hook overhead <= 2% (bare vs hooked)");
+  rsp::write_json(bare, hooked, seu, overhead_pct);
+  rsp::bench::note("wrote BENCH_fault.json");
+  return identical ? 0 : 1;
+}

@@ -62,7 +62,8 @@ int main() {
   // loaded so the statistics stay accessible).
   const ConfigId id = mgr.load(cfg);
   mgr.input(id, "in").feed(samples);
-  mgr.sim().run_until_quiescent(10000);
+  const StallReport run = mgr.sim().run_until_quiescent(10000);
+  std::printf("\n%s\n", run.to_string().c_str());
   std::printf("\nutilization:\n%s",
               mgr.sim().utilization_report(mgr.info(id).group).c_str());
   mgr.release(id);

@@ -1,6 +1,10 @@
 #include "src/xpp/builder.hpp"
 
+#include <cstdint>
 #include <set>
+#include <vector>
+
+#include "src/dedhw/crc.hpp"
 
 namespace rsp::xpp {
 
@@ -167,7 +171,83 @@ void ConfigBuilder::validate() const {
 
 Configuration ConfigBuilder::build() const {
   validate();
-  return cfg_;
+  Configuration out = cfg_;
+  out.checksum = config_crc32(out);
+  return out;
+}
+
+namespace {
+
+/// Canonical byte serializer feeding the configuration CRC.  Field
+/// order is fixed; every record is tagged so permuted or truncated
+/// configurations cannot collide by concatenation.
+struct CrcSink {
+  std::vector<std::uint8_t> bytes;
+
+  void u8(std::uint8_t v) { bytes.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void word(Word v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint32_t config_crc32(const Configuration& cfg) {
+  CrcSink s;
+  s.str(cfg.name);
+  s.u32(static_cast<std::uint32_t>(cfg.objects.size()));
+  for (const auto& o : cfg.objects) {
+    s.u8(0xA0);
+    s.str(o.name);
+    s.u8(static_cast<std::uint8_t>(o.kind));
+    s.u8(o.control ? 1 : 0);
+    s.u8(static_cast<std::uint8_t>(o.alu.op));
+    s.u32(static_cast<std::uint32_t>(o.alu.shift));
+    s.u8(o.alu.saturate ? 1 : 0);
+    for (const Word w : o.alu.table) s.word(w);
+    s.word(o.counter.start);
+    s.word(o.counter.step);
+    s.word(o.counter.modulo);
+    s.u8(static_cast<std::uint8_t>(o.ram.mode));
+    s.u32(static_cast<std::uint32_t>(o.ram.capacity));
+    s.u32(static_cast<std::uint32_t>(o.ram.preload.size()));
+    for (const Word w : o.ram.preload) s.word(w);
+    s.u8(o.placement.has_value() ? 1 : 0);
+    if (o.placement) {
+      s.u32(static_cast<std::uint32_t>(o.placement->row));
+      s.u32(static_cast<std::uint32_t>(o.placement->col));
+    }
+    s.u32(static_cast<std::uint32_t>(o.consts.size()));
+    for (const auto& [port, value] : o.consts) {
+      s.u32(static_cast<std::uint32_t>(port));
+      s.word(value);
+    }
+  }
+  s.u32(static_cast<std::uint32_t>(cfg.connections.size()));
+  for (const auto& c : cfg.connections) {
+    s.u8(0xB0);
+    s.u32(static_cast<std::uint32_t>(c.src.object));
+    s.u32(static_cast<std::uint32_t>(c.src.port));
+    s.u32(static_cast<std::uint32_t>(c.dst.object));
+    s.u32(static_cast<std::uint32_t>(c.dst.port));
+    s.u8(c.preload.has_value() ? 1 : 0);
+    if (c.preload) s.word(*c.preload);
+  }
+  // CRC-32/IEEE over the byte stream, MSB-first per byte.
+  static constexpr dedhw::Crc kCrc32{32, 0x04C11DB7, 0xFFFFFFFFu, 0xFFFFFFFFu};
+  std::vector<std::uint8_t> bits;
+  bits.reserve(s.bytes.size() * 8);
+  for (const auto b : s.bytes) {
+    for (int i = 7; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1u));
+    }
+  }
+  return kCrc32.compute(bits);
 }
 
 }  // namespace rsp::xpp

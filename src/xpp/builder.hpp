@@ -55,7 +55,9 @@ class ConfigBuilder {
   /// Request explicit placement for @p obj.
   void place(ObjHandle obj, Coord at);
 
-  /// Finish; validates port bounds, duplicate names and required inputs.
+  /// Finish; validates port bounds, duplicate names and required
+  /// inputs, and stamps the CRC-32 configuration checksum verified at
+  /// load time.
   [[nodiscard]] Configuration build() const;
 
   /// Number of objects added so far.
@@ -67,5 +69,12 @@ class ConfigBuilder {
 
   Configuration cfg_;
 };
+
+/// CRC-32 (IEEE 802.3 polynomial) over a canonical serialization of
+/// @p cfg — every object spec, constant tie, connection and preload;
+/// the checksum field itself is excluded.  Configurations describing
+/// the same array behaviour hash equal; any single-bit corruption of a
+/// stored configuration is detected at load.
+[[nodiscard]] std::uint32_t config_crc32(const Configuration& cfg);
 
 }  // namespace rsp::xpp

@@ -55,6 +55,11 @@ struct Configuration {
   std::string name;
   std::vector<ObjectSpec> objects;
   std::vector<ConnSpec> connections;
+  /// CRC-32 over the canonical serialization (config_crc32), stamped by
+  /// ConfigBuilder::build and re-verified by ConfigurationManager::load
+  /// — detects corruption of a stored configuration between build and
+  /// load.  Hand-assembled configurations may leave it empty (no check).
+  std::optional<std::uint32_t> checksum;
 
   /// Count of objects of a given kind (resource estimation).
   [[nodiscard]] int count(ObjectKind k) const {

@@ -1,0 +1,187 @@
+#include "src/xpp/fault.hpp"
+
+#include <algorithm>
+
+#include "src/common/word.hpp"
+#include "src/xpp/io.hpp"
+#include "src/xpp/ram.hpp"
+#include "src/xpp/sim.hpp"
+
+namespace rsp::xpp {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNetBitFlip:  return "net_bit_flip";
+    case FaultKind::kStuckObject: return "stuck_object";
+    case FaultKind::kRamCorrupt:  return "ram_corrupt";
+    case FaultKind::kDropToken:   return "drop_token";
+    case FaultKind::kDupToken:    return "dup_token";
+  }
+  return "?";
+}
+
+void FaultInjector::install(FaultPlan plan) {
+  plan_ = std::move(plan);
+  // Stable sort keeps the authored order for same-cycle faults, so a
+  // plan replays in a well-defined sequence under both schedulers.
+  std::stable_sort(plan_.faults.begin(), plan_.faults.end(),
+                   [](const Fault& a, const Fault& b) {
+                     return a.cycle < b.cycle;
+                   });
+  next_fault_ = 0;
+  stuck_.clear();
+  wake_pending_ = false;
+  armed_ = !plan_.empty();
+  log_.clear();
+  rng_ = Rng(plan_.seu.seed);
+}
+
+bool FaultInjector::events_pending() const {
+  if (next_fault_ < plan_.faults.size()) return true;
+  if (wake_pending_) return true;
+  for (const auto& s : stuck_) {
+    if (s.until != kStuckForever) return true;
+  }
+  return false;
+}
+
+Object* FaultInjector::find_target(Simulator& sim, const std::string& name,
+                                   int group) {
+  for (const auto& [id, g] : sim.groups_) {
+    if (group >= 0 && id != group) continue;
+    const auto it = g.by_name.find(name);
+    if (it != g.by_name.end()) return it->second;
+  }
+  return nullptr;
+}
+
+void FaultInjector::on_cycle(Simulator& sim) {
+  const long long cycle = sim.cycle();  // the cycle about to execute
+
+  // Expire / extend stuck windows.  A stuck PAE is marked as already
+  // fired for the upcoming cycle, which both schedulers honour without
+  // touching the firing hot path; on expiry the object is woken so the
+  // event-driven worklist rechecks it.  The expiry happens at the end
+  // of a step that may have fired nothing, so wake_pending_ keeps
+  // events_pending() true through the woken object's first cycle —
+  // otherwise run_until_quiescent would stop at the expiry boundary.
+  wake_pending_ = false;
+  for (std::size_t i = 0; i < stuck_.size();) {
+    if (cycle >= stuck_[i].until) {
+      if (sim.kind_ == SchedulerKind::kEventDriven) {
+        sim.enqueue_next(stuck_[i].object);
+      }
+      wake_pending_ = true;
+      stuck_[i] = stuck_.back();
+      stuck_.pop_back();
+    } else {
+      stuck_[i].object->force_fired(cycle);
+      ++i;
+    }
+  }
+
+  while (next_fault_ < plan_.faults.size() &&
+         plan_.faults[next_fault_].cycle <= cycle) {
+    strike(sim, plan_.faults[next_fault_]);
+    ++next_fault_;
+  }
+
+  if (plan_.seu.per_cycle_prob > 0.0 && cycle >= plan_.seu.from &&
+      cycle < plan_.seu.to) {
+    random_seu(sim, cycle);
+  }
+
+  // Cache whether any future boundary still needs this callback; once
+  // false, Simulator::step skips the call for the rest of the run.
+  armed_ = next_fault_ < plan_.faults.size() || wake_pending_ ||
+           !stuck_.empty() ||
+           (plan_.seu.per_cycle_prob > 0.0 && cycle + 1 < plan_.seu.to);
+}
+
+void FaultInjector::strike(Simulator& sim, const Fault& f) {
+  FaultEvent ev;
+  ev.cycle = sim.cycle();
+  ev.kind = f.kind;
+  ev.target = f.object;
+  Object* obj = find_target(sim, f.object, f.group);
+  if (obj == nullptr) {
+    log_.push_back(std::move(ev));  // target not resident: miss
+    return;
+  }
+  switch (f.kind) {
+    case FaultKind::kNetBitFlip: {
+      ev.target = f.object + ".out" + std::to_string(f.port);
+      ev.detail = f.bit;
+      Net* net = f.port >= 0 && f.port < kMaxOut ? obj->out_net(f.port)
+                                                 : nullptr;
+      ev.hit = net != nullptr && net->corrupt_bit(f.bit);
+      break;
+    }
+    case FaultKind::kStuckObject: {
+      const long long until =
+          f.duration == kStuckForever ? kStuckForever : ev.cycle + f.duration;
+      stuck_.push_back({obj, until});
+      obj->force_fired(ev.cycle);
+      ev.detail = f.duration == kStuckForever
+                      ? -1
+                      : static_cast<int>(f.duration);
+      ev.hit = true;
+      break;
+    }
+    case FaultKind::kRamCorrupt: {
+      auto* ram = dynamic_cast<RamObject*>(obj);
+      ev.detail = f.addr;
+      ev.hit = ram != nullptr && ram->corrupt_word(f.addr, f.mask);
+      break;
+    }
+    case FaultKind::kDropToken:
+    case FaultKind::kDupToken: {
+      auto* in = dynamic_cast<InputObject*>(obj);
+      if (in != nullptr) {
+        ev.detail = static_cast<int>(in->pending());
+        ev.hit = f.kind == FaultKind::kDropToken ? in->drop_front()
+                                                 : in->dup_front();
+        // Queue-length changes never flip empty->nonempty, so no wake
+        // is needed for scheduler equivalence.
+      }
+      break;
+    }
+  }
+  log_.push_back(std::move(ev));
+}
+
+void FaultInjector::random_seu(Simulator& sim, long long cycle) {
+  // Exactly one uniform draw per armed cycle, so the stream replays
+  // bit-identically for a given seed regardless of what it hits.
+  if (rng_.uniform() >= plan_.seu.per_cycle_prob) return;
+  std::size_t total = 0;
+  for (const auto& [id, g] : sim.groups_) {
+    (void)id;
+    total += g.nets.size();
+  }
+  FaultEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FaultKind::kNetBitFlip;
+  if (total == 0) {
+    ev.target = "<no nets>";
+    log_.push_back(std::move(ev));
+    return;
+  }
+  std::size_t pick = rng_.below(static_cast<std::uint32_t>(total));
+  const int bit = static_cast<int>(rng_.below(kWordBits));
+  for (const auto& [id, g] : sim.groups_) {
+    (void)id;
+    if (pick >= g.nets.size()) {
+      pick -= g.nets.size();
+      continue;
+    }
+    Net* net = g.nets[pick].get();
+    ev.target = "seu:" + net_label(net);
+    ev.detail = bit;
+    ev.hit = net->corrupt_bit(bit);
+    break;
+  }
+  log_.push_back(std::move(ev));
+}
+
+}  // namespace rsp::xpp

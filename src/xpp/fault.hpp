@@ -1,0 +1,160 @@
+// Deterministic fault injection for the XPP runtime.
+//
+// The paper's always-on-terminal claim (Fig. 10: a resident
+// configuration keeps running while others load and swap) is only worth
+// anything if the runtime survives things going wrong.  This layer
+// injects the physical failure modes a fielded terminal sees —
+// single-event upsets on the 24-bit datapath, PAEs that stop firing,
+// RAM-PAE word corruption, dropped/duplicated tokens at the I/O
+// channels — as *deterministic, replayable* events:
+//
+//  - Faults strike at cycle boundaries (after the commit phase of cycle
+//    c-1, before any object of cycle c fires).  Both schedulers reach
+//    the identical net/object state at every boundary, so kScan and
+//    kEventDriven observe bit-identical fault streams under the same
+//    FaultPlan (differentially tested in tests/xpp/test_fault.cpp).
+//  - Random SEU processes draw from a seeded Rng exactly once per cycle
+//    while armed, so a run replays bit-identically for a given seed.
+//  - With no injector installed the Simulator pays one pointer compare
+//    per cycle — nothing per object, nothing per net (bench_fault
+//    guards the <= 2% envelope).
+//
+// The injector reports every mutation through the Simulator's
+// SchedulerHooks surface so the event-driven worklist re-examines
+// exactly the objects whose readiness a fault may have changed; the
+// scan scheduler needs no notification (it rescans everything).
+#pragma once
+
+#include <climits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+class Simulator;
+class Object;
+class Net;
+
+/// Physical failure modes modelled on the array.
+enum class FaultKind : std::uint8_t {
+  kNetBitFlip,   ///< SEU: flip one bit of the token resident on a net
+  kStuckObject,  ///< PAE stops firing for a window (or permanently)
+  kRamCorrupt,   ///< XOR a word of a RAM-PAE's backing store
+  kDropToken,    ///< input channel loses the front queued word
+  kDupToken,     ///< input channel duplicates the front queued word
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// Marks a stuck-at fault as permanent.
+inline constexpr long long kStuckForever = LLONG_MAX;
+
+/// One scheduled fault.  Targets are named: @p object is the object's
+/// name; net faults address the net driven by its output @p port.
+/// @p group restricts the lookup to one simulator group (-1: first
+/// match across groups in load order).
+struct Fault {
+  FaultKind kind = FaultKind::kNetBitFlip;
+  long long cycle = 0;      ///< strikes at the start of this cycle
+  std::string object;       ///< target object name
+  int group = -1;           ///< Simulator group id (-1: any)
+  int port = 0;             ///< output port selecting the net (kNetBitFlip)
+  int bit = 0;              ///< bit to flip, 0..23 (kNetBitFlip)
+  long long duration = kStuckForever;  ///< stuck window length in cycles
+  int addr = 0;             ///< word address (kRamCorrupt)
+  Word mask = 1;            ///< XOR mask (kRamCorrupt)
+};
+
+/// Poisson-like random SEU process: while cycle is in [from, to), each
+/// cycle flips one random bit of one random net with probability
+/// @p per_cycle_prob.  Nets are enumerated in load order, so two runs
+/// with the same seed and load sequence replay identically.
+struct SeuProcess {
+  double per_cycle_prob = 0.0;  ///< 0 disables the process
+  std::uint64_t seed = 1;
+  long long from = 0;
+  long long to = kStuckForever;
+};
+
+/// Everything the injector will do to one run.
+struct FaultPlan {
+  std::vector<Fault> faults;
+  SeuProcess seu;
+
+  [[nodiscard]] bool empty() const {
+    return faults.empty() && seu.per_cycle_prob <= 0.0;
+  }
+};
+
+/// Record of one injection attempt.  @p hit is false when the fault
+/// found no target (unknown object name, empty net, empty queue) — an
+/// SEU striking unoccupied routing is harmless and logged as a miss.
+struct FaultEvent {
+  long long cycle = 0;
+  FaultKind kind = FaultKind::kNetBitFlip;
+  std::string target;  ///< resolved "object" or "object.out<port>" name
+  int detail = 0;      ///< bit index / address / queue length context
+  bool hit = false;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Executes a FaultPlan against a Simulator.  Install with
+/// Simulator::install_faults(&injector); the simulator calls back once
+/// per cycle boundary.  One injector drives one simulator at a time.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) { install(std::move(plan)); }
+
+  /// Replace the plan (faults are sorted by strike cycle; the log and
+  /// all in-flight stuck windows are cleared).
+  void install(FaultPlan plan);
+
+  /// Injection history, in strike order.
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+
+  /// True while scheduled faults (strikes or stuck-window expiries) are
+  /// still outstanding.  run_until_quiescent keeps stepping through
+  /// zero-fire cycles while this holds, so a pipeline stalled behind a
+  /// finite stuck-at window resumes instead of reporting a deadlock.
+  [[nodiscard]] bool events_pending() const;
+
+  /// True while the injector can still act on some future boundary:
+  /// unapplied faults, an armed SEU process, live stuck windows, or a
+  /// just-expired window's wake.  Inline so Simulator::step can skip
+  /// the out-of-line on_cycle call — an installed injector whose plan
+  /// is empty (or exhausted) costs one predictable branch per cycle.
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Cycle-boundary callback (invoked by Simulator::step; sim.cycle()
+  /// is the cycle about to execute).
+  void on_cycle(Simulator& sim);
+
+ private:
+  struct StuckWindow {
+    Object* object = nullptr;
+    long long until = kStuckForever;  ///< first cycle firing resumes
+  };
+
+  void strike(Simulator& sim, const Fault& f);
+  void random_seu(Simulator& sim, long long cycle);
+
+  /// Resolve @p name within @p group (-1: all groups, ascending id —
+  /// the load order, which both schedulers share).
+  static Object* find_target(Simulator& sim, const std::string& name,
+                             int group);
+
+  FaultPlan plan_;
+  std::size_t next_fault_ = 0;  ///< first unapplied entry of plan_.faults
+  std::vector<StuckWindow> stuck_;
+  bool wake_pending_ = false;  ///< a window expired at the last boundary
+  bool armed_ = false;         ///< cached: any future boundary needs us
+  Rng rng_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace rsp::xpp

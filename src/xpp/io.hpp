@@ -34,6 +34,24 @@ class InputObject final : public Object {
   }
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t external_pending() const override {
+    return queue_.size();
+  }
+
+  /// Fault hooks: lose / duplicate the word at the head of the queue
+  /// (a corrupted channel handshake).  Return false when empty.  Queue
+  /// state at a cycle boundary is scheduler-independent, so injected
+  /// drops/dups replay bit-identically under kScan and kEventDriven.
+  bool drop_front() {
+    if (queue_.empty()) return false;
+    queue_.pop_front();
+    return true;
+  }
+  bool dup_front() {
+    if (queue_.empty()) return false;
+    queue_.push_front(queue_.front());
+    return true;
+  }
 
  protected:
   bool do_fire() override {

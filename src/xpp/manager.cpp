@@ -1,8 +1,34 @@
 #include "src/xpp/manager.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
 
+#include "src/xpp/builder.hpp"
+
 namespace rsp::xpp {
+
+namespace {
+
+/// Levenshtein edit distance — powers the "did you mean" suggestions in
+/// the I/O lookup errors.  Names are short, so O(n*m) is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({up + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 ConfigurationManager::ConfigurationManager(ArrayGeometry geom,
                                            SchedulerKind sched)
@@ -18,59 +44,99 @@ long long config_load_cycles(const Configuration& cfg) {
 }
 
 ConfigId ConfigurationManager::load(const Configuration& cfg) {
-  const ConfigId id = next_id_++;
-  const Placement placement = resources_.place(cfg, id);
-
-  // Instantiate runtime objects.
-  std::vector<std::unique_ptr<Object>> objects;
-  objects.reserve(cfg.objects.size());
-  for (const auto& spec : cfg.objects) {
-    switch (spec.kind) {
-      case ObjectKind::kAlu:
-        objects.push_back(std::make_unique<AluObject>(spec.name, spec.alu));
-        break;
-      case ObjectKind::kCounter:
-        objects.push_back(
-            std::make_unique<CounterObject>(spec.name, spec.counter));
-        break;
-      case ObjectKind::kRam:
-        objects.push_back(std::make_unique<RamObject>(spec.name, spec.ram));
-        break;
-      case ObjectKind::kInput:
-        objects.push_back(std::make_unique<InputObject>(spec.name));
-        break;
-      case ObjectKind::kOutput:
-        objects.push_back(std::make_unique<OutputObject>(spec.name));
-        break;
+  // Integrity first: a configuration stamped by ConfigBuilder::build
+  // must hash to its recorded checksum, or it was corrupted between
+  // build and load ("configurations cannot be overwritten illegally"
+  // extends to: corrupted configurations cannot be written at all).
+  if (cfg.checksum) {
+    const std::uint32_t got = config_crc32(cfg);
+    if (got != *cfg.checksum) {
+      throw ConfigError("config '" + cfg.name +
+                        "': checksum mismatch (stored " +
+                        std::to_string(*cfg.checksum) + ", computed " +
+                        std::to_string(got) + ") — rejected before load");
     }
-    for (const auto& [port, value] : spec.consts) {
-      objects.back()->set_const(port, value);
+  }
+  // Bounds checks for hand-assembled configurations that bypassed
+  // ConfigBuilder::validate; out-of-range references must surface as
+  // ConfigError before any resource is claimed.
+  const int n_obj = static_cast<int>(cfg.objects.size());
+  for (const auto& c : cfg.connections) {
+    if (c.src.object < 0 || c.src.object >= n_obj || c.dst.object < 0 ||
+        c.dst.object >= n_obj || c.src.port < 0 || c.src.port >= kMaxOut ||
+        c.dst.port < 0 || c.dst.port >= kMaxIn) {
+      throw ConfigError("config '" + cfg.name +
+                        "': connection references an out-of-range object or "
+                        "port");
     }
   }
 
-  // Build nets: one per distinct source port, fanned out to all sinks.
+  const ConfigId id = next_id_;
+  const Placement placement = resources_.place(cfg, id);
+  ++next_id_;
+
+  // Everything below may throw (net fan-out past kMaxNetSinks, bad
+  // object parameters); the resources claimed by place() must be
+  // returned so a failed load leaves the array exactly as it was.
+  std::vector<std::unique_ptr<Object>> objects;
   std::vector<std::unique_ptr<Net>> nets;
-  std::map<std::pair<int, int>, Net*> by_src;
-  for (const auto& conn : cfg.connections) {
-    const auto key = std::make_pair(conn.src.object, conn.src.port);
-    Net* net = nullptr;
-    const auto it = by_src.find(key);
-    if (it == by_src.end()) {
-      nets.push_back(std::make_unique<Net>());
-      net = nets.back().get();
-      by_src.emplace(key, net);
-      objects[static_cast<std::size_t>(conn.src.object)]->bind_out(
-          conn.src.port, *net);
-    } else {
-      net = it->second;
+  try {
+    // Instantiate runtime objects.
+    objects.reserve(cfg.objects.size());
+    for (const auto& spec : cfg.objects) {
+      switch (spec.kind) {
+        case ObjectKind::kAlu:
+          objects.push_back(std::make_unique<AluObject>(spec.name, spec.alu));
+          break;
+        case ObjectKind::kCounter:
+          objects.push_back(
+              std::make_unique<CounterObject>(spec.name, spec.counter));
+          break;
+        case ObjectKind::kRam:
+          objects.push_back(std::make_unique<RamObject>(spec.name, spec.ram));
+          break;
+        case ObjectKind::kInput:
+          objects.push_back(std::make_unique<InputObject>(spec.name));
+          break;
+        case ObjectKind::kOutput:
+          objects.push_back(std::make_unique<OutputObject>(spec.name));
+          break;
+      }
+      for (const auto& [port, value] : spec.consts) {
+        objects.back()->set_const(port, value);
+      }
     }
-    objects[static_cast<std::size_t>(conn.dst.object)]->bind_in(conn.dst.port,
-                                                                *net);
-    if (conn.preload) net->preload(*conn.preload);
+
+    // Build nets: one per distinct source port, fanned out to all sinks.
+    std::map<std::pair<int, int>, Net*> by_src;
+    for (const auto& conn : cfg.connections) {
+      const auto key = std::make_pair(conn.src.object, conn.src.port);
+      Net* net = nullptr;
+      const auto it = by_src.find(key);
+      if (it == by_src.end()) {
+        nets.push_back(std::make_unique<Net>());
+        net = nets.back().get();
+        by_src.emplace(key, net);
+        objects[static_cast<std::size_t>(conn.src.object)]->bind_out(
+            conn.src.port, *net);
+      } else {
+        net = it->second;
+      }
+      objects[static_cast<std::size_t>(conn.dst.object)]->bind_in(conn.dst.port,
+                                                                  *net);
+      if (conn.preload) net->preload(*conn.preload);
+    }
+  } catch (...) {
+    // Objects and nets were never handed to the simulator; dropping
+    // them here plus releasing the placement restores every invariant
+    // (id stays consumed — ids are monotonic, not a resource).
+    resources_.release(id);
+    throw;
   }
 
   // Charge configuration-write time; everything already on the array
-  // keeps executing during the load.
+  // keeps executing during the load.  Past this point nothing throws,
+  // so the cycle accounting only ever covers successful loads.
   const long long cost = config_load_cycles(cfg);
   sim_.run(cost);
   total_config_cycles_ += cost;
@@ -94,6 +160,16 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
   return id;
 }
 
+LoadReport ConfigurationManager::try_load(const Configuration& cfg) {
+  LoadReport r;
+  try {
+    r.id = load(cfg);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
 void ConfigurationManager::release(ConfigId id) {
   const auto it = loaded_.find(id);
   if (it == loaded_.end()) {
@@ -112,28 +188,70 @@ void ConfigurationManager::release(ConfigId id) {
 const LoadedConfig& ConfigurationManager::info(ConfigId id) const {
   const auto it = loaded_.find(id);
   if (it == loaded_.end()) {
-    throw ConfigError("manager: info for unknown configuration");
+    std::string msg =
+        "manager: unknown ConfigId " + std::to_string(id);
+    if (loaded_.empty()) {
+      msg += " (no configurations loaded)";
+    } else {
+      // Point at the numerically nearest live id — the common mistakes
+      // are an already-released id or an off-by-one.
+      const LoadedConfig* nearest = nullptr;
+      ConfigId nearest_id = kNoConfig;
+      long long best = -1;
+      for (const auto& [lid, lc] : loaded_) {
+        const long long d = std::abs(static_cast<long long>(lid) - id);
+        if (best < 0 || d < best) {
+          best = d;
+          nearest = &lc;
+          nearest_id = lid;
+        }
+      }
+      msg += " (nearest loaded: " + std::to_string(nearest_id) + " '" +
+             nearest->name + "')";
+    }
+    throw ConfigError(msg);
   }
   return it->second;
 }
 
-InputObject& ConfigurationManager::input(ConfigId id, const std::string& name) {
-  auto* obj = sim_.find(info(id).group, name);
-  auto* in = dynamic_cast<InputObject*>(obj);
-  if (in == nullptr) {
-    throw ConfigError("manager: no input object '" + name + "'");
+Object& ConfigurationManager::find_io(ConfigId id, const std::string& name,
+                                      ObjectKind want) {
+  const LoadedConfig& lc = info(id);
+  Object* obj = sim_.find(lc.group, name);
+  if (obj == nullptr) {
+    std::string msg = "config " + std::to_string(id) + " '" + lc.name +
+                      "': no object named '" + name + "'";
+    // Suggest the closest-named object in the group.
+    std::string best_name;
+    std::size_t best = std::string::npos;
+    for (const auto& st : sim_.stats(lc.group)) {
+      const std::size_t d = edit_distance(name, st.name);
+      if (d < best) {
+        best = d;
+        best_name = st.name;
+      }
+    }
+    if (!best_name.empty()) msg += " (did you mean '" + best_name + "'?)";
+    throw ConfigError(msg);
   }
-  return *in;
+  if (obj->kind() != want) {
+    throw ConfigError("config " + std::to_string(id) + " '" + lc.name +
+                      "': object '" + name + "' is " +
+                      (want == ObjectKind::kInput ? "not an input channel"
+                                                  : "not an output channel") +
+                      " (it is " + object_kind_name(obj->kind()) + " '" + name +
+                      "')");
+  }
+  return *obj;
+}
+
+InputObject& ConfigurationManager::input(ConfigId id, const std::string& name) {
+  return static_cast<InputObject&>(find_io(id, name, ObjectKind::kInput));
 }
 
 OutputObject& ConfigurationManager::output(ConfigId id,
                                            const std::string& name) {
-  auto* obj = sim_.find(info(id).group, name);
-  auto* out = dynamic_cast<OutputObject*>(obj);
-  if (out == nullptr) {
-    throw ConfigError("manager: no output object '" + name + "'");
-  }
-  return *out;
+  return static_cast<OutputObject&>(find_io(id, name, ObjectKind::kOutput));
 }
 
 }  // namespace rsp::xpp

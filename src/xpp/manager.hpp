@@ -31,6 +31,13 @@ inline constexpr long long kLoadCyclesPerObject = 4;
 inline constexpr long long kLoadCyclesPerNet = 2;
 inline constexpr long long kReleaseCyclesPerObject = 1;
 
+/// Outcome of a non-throwing load attempt (try_load).
+struct LoadReport {
+  ConfigId id = kNoConfig;  ///< valid only when ok()
+  std::string error;        ///< diagnostic when the load was rejected
+  [[nodiscard]] bool ok() const { return id != kNoConfig; }
+};
+
 /// Book-keeping for a loaded configuration.
 struct LoadedConfig {
   std::string name;
@@ -50,9 +57,19 @@ class ConfigurationManager {
 
   /// Load @p cfg: claims resources, instantiates objects/nets, charges
   /// the configuration time (other configurations keep running).
-  /// Throws ConfigError if resources are unavailable or the
-  /// configuration is malformed.
+  /// If @p cfg carries a checksum (ConfigBuilder stamps one) it is
+  /// re-verified against config_crc32 before anything is touched.
+  /// Throws ConfigError if the checksum mismatches, resources are
+  /// unavailable or the configuration is malformed — with the strong
+  /// exception guarantee: a failed load leaves the resource map, the
+  /// simulator's object/group population and the configuration-cycle
+  /// accounting exactly as they were before the call.
   ConfigId load(const Configuration& cfg);
+
+  /// Non-throwing variant of load: returns the new id on success, or a
+  /// report whose error string explains the rejection.  Same strong
+  /// guarantee as load.
+  LoadReport try_load(const Configuration& cfg);
 
   /// Release a configuration and free all its resources.
   void release(ConfigId id);
@@ -75,6 +92,11 @@ class ConfigurationManager {
   }
 
  private:
+  /// Shared lookup for input()/output(): resolves @p name in the group
+  /// of @p id, throwing a ConfigError with a nearest-name suggestion or
+  /// a kind mismatch diagnostic.
+  Object& find_io(ConfigId id, const std::string& name, ObjectKind want);
+
   ResourceMap resources_;
   Simulator sim_;
   std::map<ConfigId, LoadedConfig> loaded_;

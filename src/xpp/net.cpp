@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "src/common/word.hpp"
+
 namespace rsp::xpp {
 
 int Net::add_sink(Object* waiter) {
@@ -11,6 +13,12 @@ int Net::add_sink(Object* waiter) {
   }
   sink_waiters_.push_back(waiter);
   return num_sinks_++;
+}
+
+bool Net::corrupt_bit(int bit) {
+  if (!has_value_ || bit < 0 || bit >= kWordBits) return false;
+  value_ = wrap24(value_ ^ (Word{1} << bit));
+  return true;
 }
 
 }  // namespace rsp::xpp

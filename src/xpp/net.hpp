@@ -110,6 +110,12 @@ class Net {
   /// True if a token is resident (for quiescence / drain checks).
   [[nodiscard]] bool occupied() const { return has_value_ || staged_.has_value(); }
 
+  /// SEU hook: flip bit @p bit (0..23) of the resident token, keeping
+  /// the 24-bit sign-extension invariant.  Returns false (no-op) when
+  /// no token is resident — an upset on empty routing is harmless.
+  /// Token *presence* is untouched, so sink readiness never changes.
+  bool corrupt_bit(int bit);
+
  private:
   [[nodiscard]] bool all_consumed() const {
     const std::uint32_t full = (num_sinks_ >= 32)

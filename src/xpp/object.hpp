@@ -91,6 +91,37 @@ class Object {
   }
   [[nodiscard]] long long fire_count() const { return fire_count_; }
 
+  /// Cycle of the most recent fire (-1 if the object never fired).
+  [[nodiscard]] long long last_fire_cycle() const { return fired_cycle_; }
+
+  /// Fault-injection hook: mark the object as having fired in @p cycle
+  /// without running its firing rule or counting a fire — a stuck-at
+  /// PAE holds its ports and simply does not fire.
+  void force_fired(long long cycle) { fired_cycle_ = cycle; }
+
+  /// Externally queued work not yet visible on any net (an input
+  /// channel's pending samples).  Counts as tokens in flight for
+  /// quiescence classification.
+  [[nodiscard]] virtual std::size_t external_pending() const { return 0; }
+
+  // -- read-only port introspection (stall reports, fault targeting) ------
+  [[nodiscard]] const Net* in_net(int i) const { return in_[i].net; }
+  [[nodiscard]] int in_sink(int i) const { return in_[i].sink; }
+  [[nodiscard]] Net* out_net(int i) const { return out_[i]; }
+
+  /// True if input @p i has a token (constants are always ready).
+  [[nodiscard]] bool in_ready(int i) const {
+    const auto& b = in_[i];
+    if (b.cst) return true;
+    return b.net != nullptr && b.net->can_read(b.sink);
+  }
+
+  /// True if output @p i can accept a token.  Unbound outputs accept
+  /// and discard (dangling results are legal).
+  [[nodiscard]] bool out_ready(int i) const {
+    return out_[i] == nullptr || out_[i]->can_write();
+  }
+
   /// Worklist-membership flag, owned by the scheduler (guards against
   /// duplicate enqueues).
   [[nodiscard]] bool sched_queued() const { return sched_queued_; }
@@ -100,13 +131,6 @@ class Object {
   /// Subclass firing rule: check readiness, consume inputs, stage
   /// outputs.  Must be all-or-nothing.
   virtual bool do_fire() = 0;
-
-  /// True if input @p i has a token (constants are always ready).
-  [[nodiscard]] bool in_ready(int i) const {
-    const auto& b = in_[i];
-    if (b.cst) return true;
-    return b.net != nullptr && b.net->can_read(b.sink);
-  }
 
   /// Peek input @p i without consuming.
   [[nodiscard]] Word in_peek(int i) const {
@@ -123,12 +147,6 @@ class Object {
       sched_->net_touched(*b.net);
       if (b.net->can_write()) sched_->net_freed(*b.net);
     }
-  }
-
-  /// True if output @p i can accept a token.  Unbound outputs accept
-  /// and discard (dangling results are legal).
-  [[nodiscard]] bool out_ready(int i) const {
-    return out_[i] == nullptr || out_[i]->can_write();
   }
 
   /// Stage @p v on output @p i.

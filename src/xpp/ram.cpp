@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/word.hpp"
+
 namespace rsp::xpp {
 
 RamObject::RamObject(std::string name, RamParams p)
@@ -27,6 +29,41 @@ RamObject::RamObject(std::string name, RamParams p)
       p_.preload.empty()) {
     throw ConfigError("RAM '" + this->name() + "': LUT mode requires preload");
   }
+}
+
+bool RamObject::corrupt_word(int addr, Word mask) {
+  if (addr < 0) return false;
+  const auto i = static_cast<std::size_t>(addr);
+  switch (p_.mode) {
+    case RamMode::kRam:
+      if (i >= mem_.size()) return false;
+      mem_[i] = wrap24(mem_[i] ^ mask);
+      return true;
+    case RamMode::kLut:
+    case RamMode::kCircularLut:
+      if (i >= p_.preload.size()) return false;
+      p_.preload[i] = wrap24(p_.preload[i] ^ mask);
+      return true;
+    case RamMode::kFifo:
+      if (i >= fifo_.size()) return false;
+      fifo_[i] = wrap24(fifo_[i] ^ mask);
+      return true;
+  }
+  return false;
+}
+
+Word RamObject::peek_word(int addr) const {
+  const auto i = static_cast<std::size_t>(addr);
+  switch (p_.mode) {
+    case RamMode::kRam:
+      return i < mem_.size() ? mem_[i] : 0;
+    case RamMode::kLut:
+    case RamMode::kCircularLut:
+      return i < p_.preload.size() ? p_.preload[i] : 0;
+    case RamMode::kFifo:
+      return i < fifo_.size() ? fifo_[i] : 0;
+  }
+  return 0;
 }
 
 bool RamObject::do_fire() {

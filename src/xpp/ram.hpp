@@ -38,6 +38,15 @@ class RamObject final : public Object {
   /// FIFO occupancy (kFifo only).
   [[nodiscard]] int fifo_size() const { return static_cast<int>(fifo_.size()); }
 
+  /// Fault hook: XOR @p mask into the stored word at @p addr of
+  /// whichever backing store the mode uses (kRam: memory; kLut /
+  /// kCircularLut: the preloaded SRAM contents; kFifo: the addr-th
+  /// queued word).  Returns false when @p addr is out of range.
+  bool corrupt_word(int addr, Word mask);
+
+  /// Read one stored word without firing (diagnostics / tests).
+  [[nodiscard]] Word peek_word(int addr) const;
+
  protected:
   bool do_fire() override;
 

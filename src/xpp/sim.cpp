@@ -3,7 +3,32 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "src/xpp/fault.hpp"
+
 namespace rsp::xpp {
+
+const char* run_termination_name(RunTermination t) {
+  switch (t) {
+    case RunTermination::kCompleted:  return "completed";
+    case RunTermination::kDeadlocked: return "deadlocked";
+    case RunTermination::kMaxCycles:  return "max_cycles";
+  }
+  return "?";
+}
+
+std::string StallReport::to_string() const {
+  std::string out = "run ";
+  out += run_termination_name(termination);
+  out += " after " + std::to_string(cycles) + " cycles, " +
+         std::to_string(tokens_in_flight) + " token(s) in flight\n";
+  for (const auto& b : blocked) {
+    out += "  blocked: '" + b.name + "' (last fired cycle " +
+           std::to_string(b.last_fire_cycle) + ")";
+    for (const auto& w : b.waiting_on) out += "\n    " + w;
+    out += '\n';
+  }
+  return out;
+}
 
 Simulator::GroupId Simulator::add_group(
     std::vector<std::unique_ptr<Object>> objects,
@@ -55,7 +80,12 @@ void Simulator::remove_group(GroupId id) {
 }
 
 int Simulator::step() {
-  return kind_ == SchedulerKind::kScan ? step_scan() : step_event();
+  const int fires = kind_ == SchedulerKind::kScan ? step_scan() : step_event();
+  // Fault strikes land at the cycle boundary (post-commit), where both
+  // schedulers hold bit-identical net/object state — so kScan and
+  // kEventDriven observe the same fault stream from the same plan.
+  if (injector_ != nullptr && injector_->armed()) injector_->on_cycle(*this);
+  return fires;
 }
 
 int Simulator::step_scan() {
@@ -148,11 +178,75 @@ void Simulator::run(long long n) {
   for (long long i = 0; i < n; ++i) step();
 }
 
-long long Simulator::run_until_quiescent(long long max_cycles) {
+StallReport Simulator::run_until_quiescent(long long max_cycles) {
   for (long long i = 0; i < max_cycles; ++i) {
-    if (step() == 0) return i + 1;
+    if (step() == 0 &&
+        (injector_ == nullptr || !injector_->events_pending())) {
+      StallReport r = diagnose();
+      r.cycles = i + 1;
+      r.termination = r.tokens_in_flight == 0 ? RunTermination::kCompleted
+                                              : RunTermination::kDeadlocked;
+      return r;
+    }
   }
-  return max_cycles;
+  StallReport r = diagnose();
+  r.cycles = max_cycles;
+  r.termination = RunTermination::kMaxCycles;
+  return r;
+}
+
+std::string net_label(const Net* net) {
+  const Object* p = net == nullptr ? nullptr : net->producer();
+  if (p == nullptr) return "<undriven net>";
+  for (int j = 0; j < kMaxOut; ++j) {
+    if (p->out_net(j) == net) {
+      return "'" + p->name() + ".out" + std::to_string(j) + "'";
+    }
+  }
+  return "'" + p->name() + ".out?'";
+}
+
+StallReport Simulator::diagnose() const {
+  StallReport r;
+  for (const auto& [id, g] : groups_) {
+    (void)id;
+    for (const auto& n : g.nets) {
+      r.tokens_in_flight += n->occupied() ? 1 : 0;
+    }
+    for (const auto& o : g.objects) {
+      r.tokens_in_flight += static_cast<long long>(o->external_pending());
+      // An object is reported as blocked when work waits at its door —
+      // a consumable token on some bound input, or externally queued
+      // samples — while some other port prevents the fire.
+      bool has_work = o->external_pending() > 0;
+      for (int i = 0; i < kMaxIn && !has_work; ++i) {
+        const Net* net = o->in_net(i);
+        has_work = net != nullptr && net->can_read(o->in_sink(i));
+      }
+      if (!has_work) continue;
+      BlockedObject b;
+      b.name = o->name();
+      b.last_fire_cycle = o->last_fire_cycle();
+      for (int i = 0; i < kMaxIn; ++i) {
+        if (o->in_bound(i) && !o->in_ready(i)) {
+          b.waiting_on.push_back("in" + std::to_string(i) + " empty (net " +
+                                 net_label(o->in_net(i)) + ")");
+        }
+      }
+      for (int j = 0; j < kMaxOut; ++j) {
+        if (o->out_bound(j) && !o->out_ready(j)) {
+          b.waiting_on.push_back("out" + std::to_string(j) + " full (net " +
+                                 net_label(o->out_net(j)) +
+                                 ", sink not consuming)");
+        }
+      }
+      if (b.waiting_on.empty()) {
+        b.waiting_on.push_back("firing rule not satisfied (internal state)");
+      }
+      r.blocked.push_back(std::move(b));
+    }
+  }
+  return r;
 }
 
 Object* Simulator::find(GroupId id, const std::string& name) {

@@ -30,10 +30,54 @@
 
 namespace rsp::xpp {
 
+class FaultInjector;
+
 /// Fire statistics for one object.
 struct ObjectStats {
   std::string name;
   long long fires = 0;
+};
+
+/// Why run_until_quiescent stopped.
+enum class RunTermination {
+  kCompleted,   ///< zero fires and no tokens in flight anywhere
+  kDeadlocked,  ///< zero fires but tokens pending on full/empty nets
+  kMaxCycles,   ///< budget exhausted while objects were still firing
+};
+
+[[nodiscard]] const char* run_termination_name(RunTermination t);
+
+/// Name a net by its producer port ("'cmul.out0'"); nets with no
+/// producer back-pointer get a placeholder.  Shared by stall reports
+/// and the fault-injection log.
+[[nodiscard]] std::string net_label(const Net* net);
+
+/// One object that holds or awaits tokens but cannot fire.
+struct BlockedObject {
+  std::string name;
+  long long last_fire_cycle = -1;  ///< -1: never fired
+  /// Human-readable port blockers, e.g. "in1 empty (net 'b.out0')" or
+  /// "out0 full (sink not consuming)".
+  std::vector<std::string> waiting_on;
+};
+
+/// Result of run_until_quiescent plus the failure diagnosis that turns
+/// a silent hang into an actionable report: which objects are blocked,
+/// which nets they wait on, and when each last fired.
+struct StallReport {
+  RunTermination termination = RunTermination::kCompleted;
+  long long cycles = 0;            ///< cycles advanced by the call
+  long long tokens_in_flight = 0;  ///< occupied nets + queued input words
+  std::vector<BlockedObject> blocked;
+
+  [[nodiscard]] bool completed() const {
+    return termination == RunTermination::kCompleted;
+  }
+  [[nodiscard]] bool deadlocked() const {
+    return termination == RunTermination::kDeadlocked;
+  }
+  /// Multi-line report for logs / assertion messages.
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// Which algorithm resolves the per-cycle firing fixed point.
@@ -65,8 +109,24 @@ class Simulator final : private SchedulerHooks {
   void run(long long n);
 
   /// Run until a cycle with zero fires or until @p max_cycles elapse.
-  /// Returns the number of cycles advanced.
-  long long run_until_quiescent(long long max_cycles);
+  /// The report distinguishes true completion (no tokens in flight)
+  /// from a deadlock (tokens pending on full/empty nets, blocked
+  /// objects named) from a budget timeout.  While a FaultInjector has
+  /// scheduled events outstanding, zero-fire cycles do not end the run
+  /// (a pipeline stalled behind a finite stuck-at window resumes).
+  StallReport run_until_quiescent(long long max_cycles);
+
+  /// Diagnose the current token state without advancing the clock:
+  /// counts tokens in flight and names every object that holds or
+  /// awaits tokens but cannot fire.  termination/cycles are left at
+  /// their defaults for the caller to fill.
+  [[nodiscard]] StallReport diagnose() const;
+
+  /// Attach a fault injector (nullptr to detach).  The injector is
+  /// invoked after every cycle's commit phase; with none installed the
+  /// per-cycle cost is a single pointer compare.
+  void install_faults(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   [[nodiscard]] long long cycle() const { return cycle_; }
   [[nodiscard]] long long total_fires() const { return total_fires_; }
@@ -87,6 +147,8 @@ class Simulator final : private SchedulerHooks {
   [[nodiscard]] int object_count() const;
 
  private:
+  friend class FaultInjector;  ///< walks groups to resolve fault targets
+
   struct Group {
     std::vector<std::unique_ptr<Object>> objects;
     std::vector<std::unique_ptr<Net>> nets;
@@ -105,6 +167,7 @@ class Simulator final : private SchedulerHooks {
   void object_woken(Object& obj) override;
 
   SchedulerKind kind_;
+  FaultInjector* injector_ = nullptr;
   std::map<GroupId, Group> groups_;
   /// Flat iteration cache over groups_ (ascending GroupId), rebuilt on
   /// add_group/remove_group so the scan path avoids per-cycle map walks.

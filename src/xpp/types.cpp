@@ -104,4 +104,15 @@ OpInfo op_info(Opcode op) {
   return {};
 }
 
+const char* object_kind_name(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kAlu:     return "ALU-PAE";
+    case ObjectKind::kCounter: return "counter";
+    case ObjectKind::kRam:     return "RAM-PAE";
+    case ObjectKind::kInput:   return "input channel";
+    case ObjectKind::kOutput:  return "output channel";
+  }
+  return "?";
+}
+
 }  // namespace rsp::xpp

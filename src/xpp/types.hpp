@@ -75,6 +75,9 @@ enum class Opcode : std::uint8_t {
 /// Human-readable opcode name.
 [[nodiscard]] const char* opcode_name(Opcode op);
 
+/// Human-readable object-kind name (diagnostics).
+[[nodiscard]] const char* object_kind_name(ObjectKind k);
+
 /// Static description of an opcode used for configuration validation.
 struct OpInfo {
   unsigned in_mask = 0;   ///< bit i set => input i must be bound (wire or const)

@@ -1,0 +1,354 @@
+// Fault-injection tests.
+//
+// The load-bearing property is determinism: a FaultPlan must produce a
+// bit-identical fault stream, fire trace and output under both
+// schedulers (faults strike at cycle boundaries, where kScan and
+// kEventDriven hold identical state), and a seeded SEU process must
+// replay exactly.  Each fault kind also gets a semantic check against a
+// clean run of the same pipeline.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/xpp/builder.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/ram.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+/// in -> NOP -> out passthrough used by most fault tests.
+Configuration passthrough_config() {
+  ConfigBuilder b("passthrough");
+  const auto in = b.input("in");
+  const auto mid = b.alu("mid", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), mid.in(0));
+  b.connect(mid.out(0), out.in(0));
+  return b.build();
+}
+
+struct FaultTrace {
+  std::vector<int> fires_per_cycle;
+  long long final_cycle = 0;
+  long long total_fires = 0;
+  std::vector<Word> out;
+  std::vector<FaultEvent> events;
+  StallReport report;
+
+  friend bool operator==(const FaultTrace&, const FaultTrace&) = default;
+};
+
+/// Load @p cfg, install the plan produced by @p plan_at (called with
+/// the absolute cycle right after the load, so plans can be written in
+/// post-load-relative cycles), feed, and step to quiescence recording
+/// the per-cycle fire counts.
+FaultTrace run_faulted(SchedulerKind kind, const Configuration& cfg,
+                       const std::map<std::string, std::vector<Word>>& feeds,
+                       const std::function<FaultPlan(long long)>& plan_at,
+                       long long max_cycles = 5000) {
+  ConfigurationManager mgr({}, kind);
+  const ConfigId id = mgr.load(cfg);
+  FaultInjector inj(plan_at(mgr.sim().cycle()));
+  mgr.sim().install_faults(&inj);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+
+  FaultTrace t;
+  for (long long i = 0; i < max_cycles; ++i) {
+    const int fires = mgr.sim().step();
+    t.fires_per_cycle.push_back(fires);
+    if (fires == 0 && !inj.events_pending()) break;
+  }
+  t.final_cycle = mgr.sim().cycle();
+  t.total_fires = mgr.sim().total_fires();
+  t.out = mgr.output(id, "out").take();
+  t.events = inj.log();
+  t.report = mgr.sim().diagnose();
+  mgr.sim().install_faults(nullptr);
+  return t;
+}
+
+FaultTrace run_clean(SchedulerKind kind, const Configuration& cfg,
+                     const std::map<std::string, std::vector<Word>>& feeds) {
+  return run_faulted(kind, cfg, feeds, [](long long) { return FaultPlan{}; });
+}
+
+const std::vector<Word> kWords{10, 20, 30, 40, 50, 60, 70, 80};
+
+TEST(Fault, EmptyPlanIsInert) {
+  const auto cfg = passthrough_config();
+  const auto clean = run_clean(SchedulerKind::kEventDriven, cfg,
+                               {{"in", kWords}});
+  EXPECT_EQ(clean.out, kWords);
+  EXPECT_TRUE(clean.events.empty());
+  EXPECT_EQ(clean.report.tokens_in_flight, 0);
+}
+
+TEST(Fault, BitFlipXorsExactlyOneWord) {
+  const auto cfg = passthrough_config();
+  const auto clean = run_clean(SchedulerKind::kEventDriven, cfg,
+                               {{"in", kWords}});
+  // At the boundary after the first post-load cycle, 'in.out0' holds
+  // the first word; flip its bit 3 before 'mid' consumes it.
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    p.faults.push_back(
+        {FaultKind::kNetBitFlip, c0 + 1, "in", -1, 0, 3, kStuckForever, 0, 1});
+    return p;
+  };
+  const auto hit = run_faulted(SchedulerKind::kEventDriven, cfg,
+                               {{"in", kWords}}, plan_at);
+  ASSERT_EQ(hit.out.size(), clean.out.size());
+  EXPECT_EQ(hit.out[0], clean.out[0] ^ 8) << "bit 3 of word 0 must flip";
+  for (std::size_t i = 1; i < clean.out.size(); ++i) {
+    EXPECT_EQ(hit.out[i], clean.out[i]) << "word " << i << " must be intact";
+  }
+  ASSERT_EQ(hit.events.size(), 1u);
+  EXPECT_TRUE(hit.events[0].hit);
+  EXPECT_EQ(hit.events[0].target, "in.out0");
+  EXPECT_EQ(hit.events[0].detail, 3);
+}
+
+TEST(Fault, BitFlipOnEmptyNetIsLoggedAsMiss) {
+  const auto cfg = passthrough_config();
+  // Strike before any token reaches 'mid.out0' (cycle c0 executes the
+  // input's first fire; 'mid' has staged nothing at that boundary...
+  // strike at c0 itself, before the first step's commit has even run).
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    p.faults.push_back(
+        {FaultKind::kNetBitFlip, c0, "mid", -1, 0, 5, kStuckForever, 0, 1});
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  EXPECT_EQ(t.out, kWords) << "a miss must not disturb the stream";
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_FALSE(t.events[0].hit);
+}
+
+TEST(Fault, StuckWindowDelaysButCompletes) {
+  const auto cfg = passthrough_config();
+  const auto clean = run_clean(SchedulerKind::kEventDriven, cfg,
+                               {{"in", kWords}});
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    Fault f;
+    f.kind = FaultKind::kStuckObject;
+    f.cycle = c0 + 2;
+    f.object = "mid";
+    f.duration = 5;
+    p.faults.push_back(f);
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  EXPECT_EQ(t.out, clean.out)
+      << "a transient stall reorders nothing and loses nothing";
+  EXPECT_GT(t.final_cycle, clean.final_cycle) << "the stall must cost cycles";
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_TRUE(t.events[0].hit);
+  EXPECT_EQ(t.events[0].detail, 5);
+}
+
+TEST(Fault, PermanentStuckBackpressuresWithoutCrash) {
+  const auto cfg = passthrough_config();
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    Fault f;
+    f.kind = FaultKind::kStuckObject;
+    f.cycle = c0;
+    f.object = "mid";
+    p.faults.push_back(f);
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  EXPECT_TRUE(t.out.empty()) << "nothing may pass a permanently stuck PAE";
+  EXPECT_GT(t.report.tokens_in_flight, 0)
+      << "the stream must pile up behind the fault";
+}
+
+TEST(Fault, DropTokenLosesExactlyOneWord) {
+  const auto cfg = passthrough_config();
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    Fault f;
+    f.kind = FaultKind::kDropToken;
+    f.cycle = c0 + 1;  // first word already streamed; drops the second
+    f.object = "in";
+    p.faults.push_back(f);
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  std::vector<Word> expect = kWords;
+  expect.erase(expect.begin() + 1);
+  EXPECT_EQ(t.out, expect);
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_TRUE(t.events[0].hit);
+}
+
+TEST(Fault, DupTokenRepeatsExactlyOneWord) {
+  const auto cfg = passthrough_config();
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    Fault f;
+    f.kind = FaultKind::kDupToken;
+    f.cycle = c0 + 1;
+    f.object = "in";
+    p.faults.push_back(f);
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  std::vector<Word> expect = kWords;
+  expect.insert(expect.begin() + 1, kWords[1]);
+  EXPECT_EQ(t.out, expect);
+}
+
+TEST(Fault, RamCorruptFlipsStoredWord) {
+  ConfigBuilder b("ramfault");
+  RamParams p;
+  p.mode = RamMode::kRam;
+  p.capacity = 8;
+  p.preload = {1, 2, 3, 4};
+  const auto raddr = b.input("in");
+  const auto ram = b.ram("mem", std::move(p));
+  const auto out = b.output("out");
+  b.connect(raddr.out(0), ram.in(0));
+  b.connect(ram.out(0), out.in(0));
+  const auto cfg = b.build();
+
+  const auto plan_at = [](long long c0) {
+    FaultPlan plan;
+    Fault f;
+    f.kind = FaultKind::kRamCorrupt;
+    f.cycle = c0 + 1;  // before address 2 is read
+    f.object = "mem";
+    f.addr = 2;
+    f.mask = 0xF;
+    plan.faults.push_back(f);
+    return plan;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", {0, 1, 2, 3}}}, plan_at);
+  EXPECT_EQ(t.out, (std::vector<Word>{1, 2, 3 ^ 0xF, 4}));
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_TRUE(t.events[0].hit);
+  EXPECT_EQ(t.events[0].detail, 2);
+}
+
+TEST(Fault, UnknownTargetIsLoggedMissAndHarmless) {
+  const auto cfg = passthrough_config();
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    p.faults.push_back({FaultKind::kStuckObject, c0 + 1, "nonexistent", -1, 0,
+                        0, kStuckForever, 0, 1});
+    return p;
+  };
+  const auto t = run_faulted(SchedulerKind::kEventDriven, cfg,
+                             {{"in", kWords}}, plan_at);
+  EXPECT_EQ(t.out, kWords);
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_FALSE(t.events[0].hit);
+}
+
+// ---- differential: both schedulers observe identical fault streams ----
+
+void expect_schedulers_identical(
+    const Configuration& cfg,
+    const std::map<std::string, std::vector<Word>>& feeds,
+    const std::function<FaultPlan(long long)>& plan_at,
+    const std::string& what) {
+  const auto scan = run_faulted(SchedulerKind::kScan, cfg, feeds, plan_at);
+  const auto event =
+      run_faulted(SchedulerKind::kEventDriven, cfg, feeds, plan_at);
+  EXPECT_EQ(scan.fires_per_cycle, event.fires_per_cycle)
+      << what << ": fire trace diverged";
+  EXPECT_EQ(scan.final_cycle, event.final_cycle) << what;
+  EXPECT_EQ(scan.total_fires, event.total_fires) << what;
+  EXPECT_EQ(scan.out, event.out) << what << ": output words diverged";
+  EXPECT_EQ(scan.events, event.events) << what << ": fault logs diverged";
+}
+
+TEST(FaultDifferential, BitFlip) {
+  expect_schedulers_identical(
+      passthrough_config(), {{"in", kWords}},
+      [](long long c0) {
+        FaultPlan p;
+        p.faults.push_back({FaultKind::kNetBitFlip, c0 + 2, "mid", -1, 0, 11,
+                            kStuckForever, 0, 1});
+        return p;
+      },
+      "bit flip");
+}
+
+TEST(FaultDifferential, StuckWindow) {
+  expect_schedulers_identical(
+      passthrough_config(), {{"in", kWords}},
+      [](long long c0) {
+        FaultPlan p;
+        Fault f;
+        f.kind = FaultKind::kStuckObject;
+        f.cycle = c0 + 3;
+        f.object = "mid";
+        f.duration = 4;
+        p.faults.push_back(f);
+        return p;
+      },
+      "stuck window");
+}
+
+TEST(FaultDifferential, DropAndDup) {
+  expect_schedulers_identical(
+      passthrough_config(), {{"in", kWords}},
+      [](long long c0) {
+        FaultPlan p;
+        Fault d;
+        d.kind = FaultKind::kDropToken;
+        d.cycle = c0 + 2;
+        d.object = "in";
+        p.faults.push_back(d);
+        Fault u;
+        u.kind = FaultKind::kDupToken;
+        u.cycle = c0 + 4;
+        u.object = "in";
+        p.faults.push_back(u);
+        return p;
+      },
+      "drop+dup");
+}
+
+TEST(FaultDifferential, SeededSeuProcess) {
+  const auto plan_at = [](long long c0) {
+    FaultPlan p;
+    p.seu.per_cycle_prob = 0.35;
+    p.seu.seed = 99;
+    p.seu.from = c0;
+    p.seu.to = c0 + 40;
+    return p;
+  };
+  const auto cfg = passthrough_config();
+  const auto scan =
+      run_faulted(SchedulerKind::kScan, cfg, {{"in", kWords}}, plan_at);
+  const auto event =
+      run_faulted(SchedulerKind::kEventDriven, cfg, {{"in", kWords}}, plan_at);
+  EXPECT_EQ(scan.events, event.events) << "SEU streams diverged";
+  EXPECT_EQ(scan.out, event.out);
+  EXPECT_EQ(scan.fires_per_cycle, event.fires_per_cycle);
+  EXPECT_FALSE(scan.events.empty()) << "p=0.35 over 40 cycles must strike";
+
+  // Replay: the identical plan yields the identical log.
+  const auto replay =
+      run_faulted(SchedulerKind::kEventDriven, cfg, {{"in", kWords}}, plan_at);
+  EXPECT_EQ(replay.events, event.events);
+  EXPECT_EQ(replay.out, event.out);
+}
+
+}  // namespace
+}  // namespace rsp::xpp

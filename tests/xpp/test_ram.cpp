@@ -118,9 +118,10 @@ TEST(Ram, ReadAndWritePortsFireSameCycle) {
   mgr.input(id, "raddr").feed({0, 1, 2, 3});
   mgr.input(id, "waddr").feed({4, 5, 6, 7});
   mgr.input(id, "wdata").feed({40, 50, 60, 70});
-  const long long cycles = mgr.sim().run_until_quiescent(1000);
+  const StallReport run = mgr.sim().run_until_quiescent(1000);
+  EXPECT_TRUE(run.completed()) << run.to_string();
   EXPECT_EQ(mgr.output(id, "out").data(), (std::vector<Word>{1, 2, 3, 4}));
-  EXPECT_LT(cycles, 12) << "ports must overlap, not serialize";
+  EXPECT_LT(run.cycles, 12) << "ports must overlap, not serialize";
 }
 
 TEST(Ram, RejectsBadParams) {

@@ -1,0 +1,121 @@
+// Stall diagnosis: run_until_quiescent must distinguish a drained
+// pipeline (kCompleted) from a deadlock (kDeadlocked, with the blocked
+// objects and the nets they wait on named) from an exhausted cycle
+// budget (kMaxCycles).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+TEST(Stall, DrainedPipelineReportsCompleted) {
+  ConfigBuilder b("drain");
+  const auto in = b.input("in");
+  const auto mid = b.alu("mid", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), mid.in(0));
+  b.connect(mid.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "in").feed({1, 2, 3, 4});
+
+  const StallReport r = mgr.sim().run_until_quiescent(1000);
+  EXPECT_TRUE(r.completed()) << r.to_string();
+  EXPECT_EQ(r.tokens_in_flight, 0);
+  EXPECT_TRUE(r.blocked.empty());
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_NE(r.to_string().find("completed"), std::string::npos);
+  EXPECT_EQ(mgr.output(id, "out").data(), (std::vector<Word>{1, 2, 3, 4}));
+}
+
+TEST(Stall, FeedbackDeadlockNamesBlockedObjectAndNet) {
+  // a = in + b; b = NOP(a).  The a<->b loop carries no preloaded token,
+  // so the first external word arrives at 'a' and stops dead: a's in1
+  // waits on 'b.out0', which can never produce.
+  ConfigBuilder b("deadlock");
+  const auto in = b.input("in");
+  const auto a = b.alu("a", Opcode::kAdd);
+  const auto nb = b.alu("b", Opcode::kNop);
+  b.connect(in.out(0), a.in(0));
+  b.connect(nb.out(0), a.in(1));
+  b.connect(a.out(0), nb.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "in").feed({5});
+
+  const StallReport r = mgr.sim().run_until_quiescent(1000);
+  EXPECT_TRUE(r.deadlocked()) << r.to_string();
+  EXPECT_GT(r.tokens_in_flight, 0);
+  ASSERT_EQ(r.blocked.size(), 1u) << r.to_string();
+  EXPECT_EQ(r.blocked[0].name, "a");
+  ASSERT_EQ(r.blocked[0].waiting_on.size(), 1u);
+  EXPECT_EQ(r.blocked[0].waiting_on[0], "in1 empty (net 'b.out0')");
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("deadlocked"), std::string::npos) << s;
+  EXPECT_NE(s.find("'b.out0'"), std::string::npos) << s;
+  (void)id;
+}
+
+TEST(Stall, InputStarvedPrimedLoopReportsDeadlock) {
+  // A preloaded token sits on a's in1 while in0 never receives data:
+  // tokens are in flight, so this is kDeadlocked (not kCompleted), and
+  // the report points at the starved input channel's net.
+  ConfigBuilder b("starved");
+  const auto in = b.input("in");
+  const auto a = b.alu("a", Opcode::kAdd);
+  const auto nb = b.alu("b", Opcode::kNop);
+  b.connect(in.out(0), a.in(0));
+  b.connect_preload(nb.out(0), a.in(1), 7);
+  b.connect(a.out(0), nb.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  (void)id;  // nothing fed
+
+  const StallReport r = mgr.sim().run_until_quiescent(100);
+  EXPECT_TRUE(r.deadlocked()) << r.to_string();
+  EXPECT_EQ(r.tokens_in_flight, 1);
+  ASSERT_EQ(r.blocked.size(), 1u) << r.to_string();
+  EXPECT_EQ(r.blocked[0].name, "a");
+  EXPECT_EQ(r.blocked[0].last_fire_cycle, -1);
+  ASSERT_EQ(r.blocked[0].waiting_on.size(), 1u);
+  EXPECT_EQ(r.blocked[0].waiting_on[0], "in0 empty (net 'in.out0')");
+}
+
+TEST(Stall, BusyArrayReportsMaxCycles) {
+  // An ungated circular LUT free-runs into an always-consuming output:
+  // the array never goes idle, so the budget is the only stop.
+  ConfigBuilder b("freerun");
+  RamParams p;
+  p.mode = RamMode::kCircularLut;
+  p.capacity = 4;
+  p.preload = {1, 2, 3, 4};
+  const auto lut = b.ram("lut", std::move(p));
+  const auto out = b.output("out");
+  b.connect(lut.out(0), out.in(0));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(b.build());
+  (void)id;
+
+  const StallReport r = mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(r.termination, RunTermination::kMaxCycles) << r.to_string();
+  EXPECT_EQ(r.cycles, 100);
+  EXPECT_FALSE(r.completed());
+  EXPECT_NE(r.to_string().find("max_cycles"), std::string::npos);
+}
+
+TEST(Stall, DiagnoseDoesNotAdvanceClock) {
+  ConfigurationManager mgr;
+  const long long before = mgr.sim().cycle();
+  const StallReport r = mgr.sim().diagnose();
+  EXPECT_EQ(mgr.sim().cycle(), before);
+  EXPECT_EQ(r.tokens_in_flight, 0);
+  EXPECT_TRUE(r.blocked.empty());
+}
+
+}  // namespace
+}  // namespace rsp::xpp

@@ -1,0 +1,216 @@
+// Transactional configuration loading.
+//
+// A failed ConfigurationManager::load must be invisible: every claimed
+// cell, I/O channel and routing segment returned, no half-built object
+// group left in the simulator, no configuration cycles charged.  The
+// checksum stamped by ConfigBuilder::build must be re-verified at load.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+/// Snapshot of everything a failed load could leak.
+struct ResourceSnapshot {
+  int free_alu = 0;
+  int free_ram = 0;
+  int free_io = 0;
+  int routing = 0;
+  int objects = 0;
+  long long config_cycles = 0;
+
+  friend bool operator==(const ResourceSnapshot&,
+                         const ResourceSnapshot&) = default;
+};
+
+ResourceSnapshot snapshot(const ConfigurationManager& mgr) {
+  return {mgr.resources().free_alu_cells(), mgr.resources().free_ram_cells(),
+          mgr.resources().free_io_channels(), mgr.resources().routing_in_use(),
+          mgr.sim().object_count(), mgr.total_config_cycles()};
+}
+
+/// One source fanned out to @p sinks NOP consumers.  Past kMaxNetSinks
+/// (32) the net build throws — *after* placement has claimed cells, so
+/// this exercises the rollback path.
+Configuration fanout_config(int sinks) {
+  ConfigBuilder b("fanout" + std::to_string(sinks));
+  const auto src = b.input("src");
+  for (int i = 0; i < sinks; ++i) {
+    const auto a = b.alu("sink" + std::to_string(i), Opcode::kNop);
+    b.connect(src.out(0), a.in(0));
+  }
+  return b.build();
+}
+
+Configuration small_config() {
+  ConfigBuilder b("small");
+  const auto in = b.input("data");
+  const auto mid = b.alu("mid", Opcode::kNop);
+  const auto out = b.output("out");
+  b.connect(in.out(0), mid.in(0));
+  b.connect(mid.out(0), out.in(0));
+  return b.build();
+}
+
+/// Geometry with enough routing tracks that a 33-way fan-out passes
+/// placement and fails only at the net-building stage.
+ArrayGeometry wide_geometry() {
+  ArrayGeometry g;
+  g.h_tracks_per_cell = 64;
+  g.v_tracks_per_cell = 64;
+  return g;
+}
+
+TEST(TxnLoad, FanoutPastNetLimitRollsBackEverything) {
+  ConfigurationManager mgr(wide_geometry());
+  // A resident configuration must survive its neighbour's failed load,
+  // and a 32-sink fan-out (exactly at the net limit) must still load.
+  const ConfigId resident = mgr.load(small_config());
+  const ConfigId at_limit = mgr.load(fanout_config(32));
+  mgr.release(at_limit);
+  const ResourceSnapshot before = snapshot(mgr);
+
+  EXPECT_THROW((void)mgr.load(fanout_config(33)), ConfigError);
+  EXPECT_EQ(snapshot(mgr), before)
+      << "failed load leaked resources or objects";
+
+  // The array must still be fully usable afterwards.
+  const ConfigId next = mgr.load(small_config());
+  EXPECT_TRUE(mgr.loaded(next));
+  mgr.input(next, "data").feed({1, 2, 3});
+  const StallReport r = mgr.sim().run_until_quiescent(100);
+  EXPECT_TRUE(r.completed()) << r.to_string();
+  EXPECT_EQ(mgr.output(next, "out").data(), (std::vector<Word>{1, 2, 3}));
+  EXPECT_TRUE(mgr.loaded(resident));
+}
+
+TEST(TxnLoad, TryLoadReportsInsteadOfThrowing) {
+  ConfigurationManager mgr(wide_geometry());
+  const ResourceSnapshot before = snapshot(mgr);
+
+  const LoadReport bad = mgr.try_load(fanout_config(33));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("fan-out"), std::string::npos) << bad.error;
+  EXPECT_EQ(snapshot(mgr), before);
+
+  const LoadReport good = mgr.try_load(small_config());
+  EXPECT_TRUE(good.ok());
+  EXPECT_TRUE(good.error.empty());
+  EXPECT_TRUE(mgr.loaded(good.id));
+}
+
+TEST(TxnLoad, BuilderStampsVerifiableChecksum) {
+  const Configuration cfg = small_config();
+  ASSERT_TRUE(cfg.checksum.has_value());
+  EXPECT_EQ(*cfg.checksum, config_crc32(cfg));
+
+  // The serialization must see every field: any visible difference in
+  // behaviour must change the hash.
+  ConfigBuilder b("small");
+  const auto in = b.input("data");
+  const auto mid = b.alu("mid", Opcode::kNeg);  // different opcode
+  const auto out = b.output("out");
+  b.connect(in.out(0), mid.in(0));
+  b.connect(mid.out(0), out.in(0));
+  EXPECT_NE(*cfg.checksum, *b.build().checksum);
+}
+
+TEST(TxnLoad, ChecksumTamperRejectedBeforeAnyClaim) {
+  Configuration cfg = small_config();
+  cfg.checksum = *cfg.checksum ^ 1u;  // single-bit storage corruption
+
+  ConfigurationManager mgr;
+  const ResourceSnapshot before = snapshot(mgr);
+  EXPECT_THROW((void)mgr.load(cfg), ConfigError);
+  EXPECT_EQ(snapshot(mgr), before);
+
+  const LoadReport r = mgr.try_load(cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("checksum mismatch"), std::string::npos) << r.error;
+
+  // Recomputing the checksum (a deliberate re-stamp) makes it loadable.
+  cfg.checksum = config_crc32(cfg);
+  EXPECT_NO_THROW((void)mgr.load(cfg));
+}
+
+TEST(TxnLoad, ContentTamperAfterBuildRejected) {
+  Configuration cfg = small_config();
+  cfg.objects[1].alu.shift = 3;  // silent post-build mutation
+  ConfigurationManager mgr;
+  EXPECT_THROW((void)mgr.load(cfg), ConfigError);
+
+  // Hand-assembled configurations without a checksum skip the check.
+  cfg.checksum.reset();
+  EXPECT_NO_THROW((void)mgr.load(cfg));
+}
+
+TEST(TxnLoad, HandBuiltOutOfRangeConnectionRejectedCleanly) {
+  Configuration cfg = small_config();
+  cfg.checksum.reset();
+  cfg.connections[0].dst.object = 99;
+  ConfigurationManager mgr;
+  const ResourceSnapshot before = snapshot(mgr);
+  EXPECT_THROW((void)mgr.load(cfg), ConfigError);
+  EXPECT_EQ(snapshot(mgr), before);
+}
+
+TEST(TxnLoad, InfoNamesNearestLoadedConfig) {
+  ConfigurationManager mgr;
+  EXPECT_THROW((void)mgr.info(0), ConfigError);
+
+  const ConfigId id = mgr.load(small_config());
+  try {
+    (void)mgr.info(id + 7);
+    FAIL() << "info must throw for an unknown id";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown ConfigId " + std::to_string(id + 7)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("nearest loaded: " + std::to_string(id) + " 'small'"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(TxnLoad, IoLookupSuggestsNearestName) {
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(small_config());
+  try {
+    (void)mgr.input(id, "dta");
+    FAIL() << "input must throw for an unknown name";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no object named 'dta'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'data'?"), std::string::npos) << msg;
+  }
+}
+
+TEST(TxnLoad, IoLookupExplainsKindMismatch) {
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(small_config());
+  try {
+    (void)mgr.input(id, "out");
+    FAIL() << "input must reject an output object";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not an input channel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("output channel"), std::string::npos) << msg;
+  }
+  try {
+    (void)mgr.output(id, "mid");
+    FAIL() << "output must reject an ALU object";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not an output channel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ALU-PAE"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace rsp::xpp
