@@ -105,12 +105,17 @@ void write_json(const Measurement& bare, const Measurement& hooked,
   std::fprintf(f, "{\n  \"bench\": \"bench_fault\",\n");
   std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
   std::fprintf(f, "  \"workload\": \"despreader_sf16_stream\",\n");
+  // Doubles go through bench::json_num so a comma-decimal LC_NUMERIC
+  // locale cannot produce invalid JSON.
   std::fprintf(f, "  \"cycles\": %lld,\n", bare.cycles);
-  std::fprintf(f, "  \"bare_cps\": %.0f,\n", bare.cycles_per_sec());
-  std::fprintf(f, "  \"hooked_empty_plan_cps\": %.0f,\n",
-               hooked.cycles_per_sec());
-  std::fprintf(f, "  \"seu_armed_cps\": %.0f,\n", seu.cycles_per_sec());
-  std::fprintf(f, "  \"hook_overhead_pct\": %.2f,\n", overhead_pct);
+  std::fprintf(f, "  \"bare_cps\": %s,\n",
+               bench::json_num(bare.cycles_per_sec(), 0).c_str());
+  std::fprintf(f, "  \"hooked_empty_plan_cps\": %s,\n",
+               bench::json_num(hooked.cycles_per_sec(), 0).c_str());
+  std::fprintf(f, "  \"seu_armed_cps\": %s,\n",
+               bench::json_num(seu.cycles_per_sec(), 0).c_str());
+  std::fprintf(f, "  \"hook_overhead_pct\": %s,\n",
+               bench::json_num(overhead_pct, 2).c_str());
   std::fprintf(f, "  \"hook_overhead_target_pct\": 2.0,\n");
   std::fprintf(f, "  \"seu_injections\": %zu\n", seu.injections);
   std::fprintf(f, "}\n");

@@ -11,6 +11,31 @@
 #include "src/ofdm/maps.hpp"
 #include "src/rake/maps.hpp"
 #include "src/sdr/area_model.hpp"
+#include "src/xpp/trace.hpp"
+
+namespace {
+
+/// Per-ObjectKind rollup of a traced run: cells occupied, total fires
+/// and mean duty — the utilization column of the area table, measured
+/// instead of inferred from static placement.
+struct KindUsage {
+  int cells = 0;
+  long long fires = 0;
+  long long traced = 0;
+};
+
+std::array<KindUsage, 5> summarize(const rsp::xpp::PerfCounters& pc) {
+  std::array<KindUsage, 5> out{};
+  for (const auto& obj : pc.paes) {
+    auto& k = out[static_cast<std::size_t>(obj.kind)];
+    ++k.cells;
+    k.fires += obj.fires;
+    k.traced += obj.traced_cycles;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main() {
   using namespace rsp;
@@ -32,8 +57,11 @@ int main() {
   t.row({"TOTAL die (core)", bench::fmt(a.total_mm2, 2), "1.00"});
   t.print();
 
-  // Activity-based power for the two application kernels.
+  // Activity-based power for the two application kernels, each run with
+  // a tracer attached so the utilization table below is regenerated
+  // from measured per-PAE counters rather than static placement.
   bench::Table p({"workload", "object fires", "cycles", "power @50 MHz (mW)"});
+  xpp::PerfCounters rake_pc, fft_pc;
   {
     Rng rng(1);
     std::vector<CplxI> chips(2048);
@@ -45,8 +73,11 @@ int main() {
     std::vector<std::uint8_t> code2(chips.size());
     for (auto& c : code2) c = scr.next2();
     xpp::ConfigurationManager mgr;
+    xpp::Tracer tracer;
+    mgr.sim().attach_trace(&tracer);
     (void)rake::maps::run_descrambler(mgr, chips, code2);
     (void)rake::maps::run_despreader(mgr, chips, 64, 3);
+    rake_pc = tracer.snapshot();
     const long long fires = mgr.sim().total_fires();
     const long long cycles = mgr.sim().cycle();
     p.row({"rake finger (descramble+despread)", bench::fmt_int(fires),
@@ -61,7 +92,10 @@ int main() {
            static_cast<int>(rng.below(1000)) - 500};
     }
     xpp::ConfigurationManager mgr;
+    xpp::Tracer tracer;
+    mgr.sim().attach_trace(&tracer);
     for (int i = 0; i < 8; ++i) (void)ofdm::maps::run_fft64(mgr, sym);
+    fft_pc = tracer.snapshot();
     const long long fires = mgr.sim().total_fires();
     const long long cycles = mgr.sim().cycle();
     p.row({"OFDM FFT64 (8 transforms)", bench::fmt_int(fires),
@@ -69,6 +103,27 @@ int main() {
            bench::fmt(sdr::AreaModel::power_mw(g, fires, cycles, 50.0e6), 1)});
   }
   p.print();
+
+  // Measured per-kind utilization (traced counters): which slice of the
+  // die each kernel actually exercises, and how hard.  "mean duty" is
+  // fires / traced object-cycles across all cells of the kind.
+  bench::Table u({"workload", "resource", "cells", "fires", "mean duty %"});
+  const auto kind_rows = [&](const char* wl, const xpp::PerfCounters& pc) {
+    const auto usage = summarize(pc);
+    for (std::size_t k = 0; k < usage.size(); ++k) {
+      const auto& ku = usage[k];
+      if (ku.cells == 0) continue;
+      u.row({wl, xpp::object_kind_name(static_cast<xpp::ObjectKind>(k)),
+             bench::fmt_int(ku.cells), bench::fmt_int(ku.fires),
+             bench::fmt(ku.traced > 0 ? 100.0 * static_cast<double>(ku.fires) /
+                                            static_cast<double>(ku.traced)
+                                      : 0.0,
+                        1)});
+    }
+  };
+  kind_rows("rake finger", rake_pc);
+  kind_rows("OFDM FFT64", fft_pc);
+  u.print();
 
   bench::note(
       "\nShape check: a ~30 mm^2-class 130 nm die with datapath area\n"

@@ -131,13 +131,17 @@ void write_json(const std::vector<Scenario>& scenarios) {
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const auto& s = scenarios[i];
+    // Doubles go through bench::json_num so a comma-decimal LC_NUMERIC
+    // locale cannot produce invalid JSON.
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"cycles\": %lld, \"fires\": %lld, "
-                 "\"scan_cps\": %.0f, \"event_cps\": %.0f, "
-                 "\"speedup\": %.3f}%s\n",
+                 "\"scan_cps\": %s, \"event_cps\": %s, "
+                 "\"speedup\": %s}%s\n",
                  s.name, s.scan.cycles, s.scan.fires,
-                 s.scan.cycles_per_sec(), s.event.cycles_per_sec(),
-                 s.speedup(), i + 1 < scenarios.size() ? "," : "");
+                 bench::json_num(s.scan.cycles_per_sec(), 0).c_str(),
+                 bench::json_num(s.event.cycles_per_sec(), 0).c_str(),
+                 bench::json_num(s.speedup(), 3).c_str(),
+                 i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

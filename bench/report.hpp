@@ -5,6 +5,8 @@
 #pragma once
 
 #include <algorithm>
+#include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -54,8 +56,16 @@ class Table {
     line();
     for (const auto& r : rows_) {
       std::printf("|");
-      for (std::size_t c = 0; c < r.size(); ++c) {
+      // Cells beyond the header count have no measured column width
+      // (the measuring loop above clamps to width.size()); indexing
+      // width[c] for them would read out of bounds.  Print them flagged
+      // with a '!' so a malformed row is visible instead of UB.
+      const std::size_t n = std::min(r.size(), width.size());
+      for (std::size_t c = 0; c < n; ++c) {
         std::printf(" %-*s |", static_cast<int>(width[c]), r[c].c_str());
+      }
+      for (std::size_t c = n; c < r.size(); ++c) {
+        std::printf(" !%s |", r[c].c_str());
       }
       std::printf("\n");
     }
@@ -78,5 +88,33 @@ inline std::string fmt_int(long long v) {
   std::snprintf(buf, sizeof(buf), "%lld", v);
   return buf;
 }
+
+/// Locale-independent JSON number formatting.  printf's "%f" honours
+/// LC_NUMERIC and emits "," decimal separators under e.g. de_DE — which
+/// is invalid JSON — so every BENCH_*.json writer routes its doubles
+/// through this helper: format, then rewrite the active locale's
+/// decimal point back to ".".  Non-finite values (JSON has no
+/// representation for them) become "0".
+inline std::string json_num(double v, int prec = 2) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  std::string out = buf;
+  const lconv* lc = std::localeconv();
+  if (lc != nullptr && lc->decimal_point != nullptr) {
+    const std::string dp = lc->decimal_point;
+    if (!dp.empty() && dp != ".") {
+      const std::size_t pos = out.find(dp);
+      if (pos != std::string::npos) {
+        out = out.substr(0, pos) + "." + out.substr(pos + dp.size());
+      }
+    }
+  }
+  return out;
+}
+
+/// Locale-independent integer (grouping flags are never used, but keep
+/// all JSON numerals behind one choke point).
+inline std::string json_num(long long v) { return fmt_int(v); }
 
 }  // namespace rsp::bench

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/xpp/builder.hpp"
+#include "src/xpp/trace.hpp"
 
 namespace rsp::xpp {
 
@@ -138,12 +139,27 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
   // keeps executing during the load.  Past this point nothing throws,
   // so the cycle accounting only ever covers successful loads.
   const long long cost = config_load_cycles(cfg);
+  const long long load_begin = sim_.cycle();
   sim_.run(cost);
   total_config_cycles_ += cost;
 
   LoadedConfig lc;
   lc.name = cfg.name;
   lc.group = sim_.add_group(std::move(objects), std::move(nets));
+  if (Tracer* t = sim_.tracer()) {
+    // Timeline span for the configuration-bus write, then annotate the
+    // freshly registered counter entries with their owning ConfigId and
+    // the placement's array coordinates (one Chrome track per PAE row).
+    t->on_config_load(id, cfg.name, load_begin, sim_.cycle());
+    t->annotate_group(lc.group, id);
+    for (std::size_t i = 0; i < cfg.objects.size(); ++i) {
+      const Coord cell = placement.object_cell[i];
+      if (const Object* o = sim_.find(lc.group, cfg.objects[i].name)) {
+        t->annotate_object(o, id, cell.col < 0 ? -1 : cell.row,
+                           cell.col < 0 ? -1 : cell.col);
+      }
+    }
+  }
   for (const auto cell : placement.object_cell) {
     if (cell.col < 0) continue;
     if (resources_.geometry().is_ram_col(cell.col)) {
@@ -178,9 +194,14 @@ void ConfigurationManager::release(ConfigId id) {
   const long long cost =
       kReleaseCyclesPerObject *
       (it->second.alu_cells + it->second.ram_cells + it->second.io_channels);
+  const long long release_begin = sim_.cycle();
+  const std::string name = it->second.name;
   sim_.run(cost);
   total_config_cycles_ += cost;
   sim_.remove_group(it->second.group);
+  if (Tracer* t = sim_.tracer()) {
+    t->on_config_release(id, name, release_begin, sim_.cycle());
+  }
   resources_.release(id);
   loaded_.erase(it);
 }

@@ -17,6 +17,11 @@ int Net::add_sink(Object* waiter) {
 
 bool Net::corrupt_bit(int bit) {
   if (!has_value_ || bit < 0 || bit >= kWordBits) return false;
+  // Deliberately no ++generation_: an upset rewrites the resident token
+  // in place, it is not a token arrival.  The observability layer's
+  // occupancy/backpressure/throughput counters therefore see a
+  // corrupted token exactly like the original — fault injection never
+  // perturbs the trace counters' flow statistics.
   value_ = wrap24(value_ ^ (Word{1} << bit));
   return true;
 }

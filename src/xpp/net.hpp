@@ -53,6 +53,7 @@ class Net {
     value_ = v;
     has_value_ = true;
     consumed_mask_ = 0;
+    ++generation_;
   }
 
   /// True if sink @p sink can consume a token this cycle.
@@ -86,8 +87,20 @@ class Net {
       has_value_ = true;
       consumed_mask_ = 0;
       staged_.reset();
+      ++generation_;
     }
   }
+
+  /// Token-arrival counter: bumped each time a token is latched (commit
+  /// of a staged value, or a preload).  Scheduler-independent: under
+  /// kScan every net is committed every cycle but a latch only happens
+  /// when a value was staged, and under kEventDriven a staged net is
+  /// always on the dirty list — so both schedulers observe identical
+  /// generations at every cycle boundary.  The observability layer uses
+  /// the per-boundary delta for token throughput, and "occupied with an
+  /// unchanged generation" as the backpressure signal (the resident
+  /// token survived a full cycle).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   /// True if the next commit() would change the net's state.  Lets the
   /// dirty-net commit loop keep a net listed across cycles even when no
@@ -128,6 +141,7 @@ class Net {
   bool has_value_ = false;
   std::uint32_t consumed_mask_ = 0;
   std::optional<Word> staged_;
+  std::uint64_t generation_ = 0;
   int num_sinks_ = 0;
   bool dirty_ = false;
   Object* producer_ = nullptr;

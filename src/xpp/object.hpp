@@ -36,6 +36,24 @@ class SchedulerHooks {
   virtual void object_woken(Object& obj) = 0;
 };
 
+/// Callback surface for the observability layer (src/xpp/trace.hpp).
+/// Mirrors the FaultInjector::armed() pattern: objects pay one pointer
+/// compare plus one flag load per fire when a tracer is attached but
+/// paused, and a single pointer compare when none is attached.
+class TraceHooks {
+ public:
+  virtual ~TraceHooks() = default;
+
+  /// Inline collection gate — checked before every callback.
+  [[nodiscard]] bool tracing() const { return tracing_; }
+
+  /// @p obj fired in @p cycle (called once per successful fire).
+  virtual void object_fired(Object& obj, long long cycle) = 0;
+
+ protected:
+  bool tracing_ = true;
+};
+
 /// A configurable object instantiated on the array.  Subclasses define
 /// the firing rule; the base class provides port bindings, the
 /// once-per-cycle discipline and fire statistics.
@@ -76,6 +94,10 @@ class Object {
   /// Called by the Simulator when the object joins a group.
   void attach_scheduler(SchedulerHooks* hooks) { sched_ = hooks; }
 
+  /// Attach (or detach, with nullptr) the observability callback
+  /// surface.  Called by Simulator::attach_trace / add_group.
+  void attach_trace(TraceHooks* hooks) { trace_ = hooks; }
+
   /// Attempt to fire in cycle @p cycle (at most once per cycle).
   /// Returns true on fire.
   bool clock(long long cycle) {
@@ -83,6 +105,9 @@ class Object {
     if (!do_fire()) return false;
     fired_cycle_ = cycle;
     ++fire_count_;
+    if (trace_ != nullptr && trace_->tracing()) {
+      trace_->object_fired(*this, cycle);
+    }
     return true;
   }
 
@@ -176,6 +201,7 @@ class Object {
   long long fired_cycle_ = -1;
   long long fire_count_ = 0;
   SchedulerHooks* sched_ = nullptr;
+  TraceHooks* trace_ = nullptr;
   bool sched_queued_ = false;
 };
 

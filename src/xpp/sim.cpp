@@ -1,9 +1,11 @@
 #include "src/xpp/sim.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_set>
 
 #include "src/xpp/fault.hpp"
+#include "src/xpp/trace.hpp"
 
 namespace rsp::xpp {
 
@@ -27,6 +29,15 @@ std::string StallReport::to_string() const {
     for (const auto& w : b.waiting_on) out += "\n    " + w;
     out += '\n';
   }
+  if (!hot_nets.empty()) {
+    out += "  hottest blocked nets:\n";
+    for (const auto& h : hot_nets) {
+      out += "    " + h.label + ": occupied " +
+             std::to_string(h.occupied_cycles) + " cyc, backpressure " +
+             std::to_string(h.backpressure_cycles) + " cyc, tokens " +
+             std::to_string(h.tokens) + '\n';
+    }
+  }
   return out;
 }
 
@@ -45,12 +56,34 @@ Simulator::GroupId Simulator::add_group(
       enqueue_next(o.get());
     }
   }
+  if (tracer_ != nullptr) {
+    tracer_->on_group_added(id, g.objects, g.nets);
+    for (auto& o : g.objects) o->attach_trace(tracer_);
+  }
   group_cache_.clear();
   for (auto& [gid, grp] : groups_) {
     (void)gid;
     group_cache_.push_back(&grp);
   }
   return id;
+}
+
+void Simulator::attach_trace(Tracer* tracer) {
+  if (tracer_ == tracer) return;
+  if (tracer_ != nullptr) {
+    // Detach the previous tracer's per-object fire hooks; it keeps the
+    // counters it has collected so far.
+    for (Group* g : group_cache_) {
+      for (auto& o : g->objects) o->attach_trace(nullptr);
+    }
+  }
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  tracer_->on_attach(cycle_);
+  for (auto& [gid, g] : groups_) {
+    tracer_->on_group_added(gid, g.objects, g.nets);
+    for (auto& o : g.objects) o->attach_trace(tracer_);
+  }
 }
 
 void Simulator::remove_group(GroupId id) {
@@ -71,6 +104,12 @@ void Simulator::remove_group(GroupId id) {
     std::erase_if(dirty_nets_,
                   [&](Net* n) { return dead_nets.count(n) > 0; });
   }
+  if (tracer_ != nullptr) {
+    // Retire the group's counter entries before the pointers they are
+    // keyed on die — partial reconfiguration must not leave the tracer
+    // holding dangling per-PAE/per-net entries.
+    tracer_->on_group_removed(it->second.objects, it->second.nets);
+  }
   groups_.erase(it);
   group_cache_.clear();
   for (auto& [gid, grp] : groups_) {
@@ -81,6 +120,12 @@ void Simulator::remove_group(GroupId id) {
 
 int Simulator::step() {
   const int fires = kind_ == SchedulerKind::kScan ? step_scan() : step_event();
+  // The trace sampler runs at the cycle boundary (post-commit), where
+  // both schedulers hold bit-identical net/object state — so kScan and
+  // kEventDriven produce identical counters.  It runs *before* fault
+  // injection so the counters describe the machine state the cycle
+  // actually computed, not the post-strike mutation.
+  if (tracer_ != nullptr && tracer_->tracing()) tracer_->on_cycle(*this);
   // Fault strikes land at the cycle boundary (post-commit), where both
   // schedulers hold bit-identical net/object state — so kScan and
   // kEventDriven observe the same fault stream from the same plan.
@@ -132,6 +177,11 @@ int Simulator::step_event() {
       // no net event points back at it.
       enqueue_next(o);
     }
+  }
+  // Worklist depth = entries drained this cycle (seeds plus same-cycle
+  // refill wakes) — the event scheduler's own work metric.
+  if (tracer_ != nullptr && tracer_->tracing()) {
+    tracer_->on_worklist(ready_.size());
   }
   ready_.clear();
   // Commit only the nets touched this cycle.  A committed net whose
@@ -208,6 +258,13 @@ std::string net_label(const Net* net) {
 
 StallReport Simulator::diagnose() const {
   StallReport r;
+  // Nets bound to blocked objects, in first-seen order (deduplicated);
+  // ranked into r.hot_nets below when a tracer can supply counters.
+  std::vector<const Net*> stall_nets;
+  std::unordered_set<const Net*> stall_seen;
+  const auto note_net = [&](const Net* n) {
+    if (n != nullptr && stall_seen.insert(n).second) stall_nets.push_back(n);
+  };
   for (const auto& [id, g] : groups_) {
     (void)id;
     for (const auto& n : g.nets) {
@@ -243,7 +300,30 @@ StallReport Simulator::diagnose() const {
       if (b.waiting_on.empty()) {
         b.waiting_on.push_back("firing rule not satisfied (internal state)");
       }
+      // Every net touching a blocked object is stall-involved: the
+      // empty ones it waits on, the full ones it cannot write, and the
+      // occupied ones feeding it (where the stranded tokens sit).
+      for (int i = 0; i < kMaxIn; ++i) note_net(o->in_net(i));
+      for (int j = 0; j < kMaxOut; ++j) note_net(o->out_net(j));
       r.blocked.push_back(std::move(b));
+    }
+  }
+  if (tracer_ != nullptr) {
+    for (const Net* n : stall_nets) {
+      const NetCounters* c = tracer_->net_counters(n);
+      if (c == nullptr) continue;
+      r.hot_nets.push_back({net_label(n), c->occupied_cycles,
+                            c->backpressure_cycles, c->tokens});
+    }
+    std::stable_sort(r.hot_nets.begin(), r.hot_nets.end(),
+                     [](const NetHotspot& a, const NetHotspot& b) {
+                       if (a.backpressure_cycles != b.backpressure_cycles) {
+                         return a.backpressure_cycles > b.backpressure_cycles;
+                       }
+                       return a.occupied_cycles > b.occupied_cycles;
+                     });
+    if (r.hot_nets.size() > static_cast<std::size_t>(kMaxHotNets)) {
+      r.hot_nets.resize(static_cast<std::size_t>(kMaxHotNets));
     }
   }
   return r;

@@ -31,6 +31,7 @@
 namespace rsp::xpp {
 
 class FaultInjector;
+class Tracer;
 
 /// Fire statistics for one object.
 struct ObjectStats {
@@ -52,6 +53,23 @@ enum class RunTermination {
 /// and the fault-injection log.
 [[nodiscard]] std::string net_label(const Net* net);
 
+/// Cap on StallReport::hot_nets entries (a deadlock report is for
+/// humans; past the first few hotspots the tail is noise).
+inline constexpr int kMaxHotNets = 8;
+
+/// Counter snapshot of one net involved in a stall, taken from an
+/// attached Tracer (see src/xpp/trace.hpp).  Lets a deadlock report
+/// name the *hottest* blocked nets — the ones whose tokens sat longest
+/// — instead of just listing ports.
+struct NetHotspot {
+  std::string label;                 ///< producer-port label (net_label)
+  long long occupied_cycles = 0;     ///< boundaries with a resident token
+  long long backpressure_cycles = 0; ///< boundaries the token had aged >= 1 cycle
+  long long tokens = 0;              ///< tokens latched over the traced window
+
+  friend bool operator==(const NetHotspot&, const NetHotspot&) = default;
+};
+
 /// One object that holds or awaits tokens but cannot fire.
 struct BlockedObject {
   std::string name;
@@ -69,6 +87,10 @@ struct StallReport {
   long long cycles = 0;            ///< cycles advanced by the call
   long long tokens_in_flight = 0;  ///< occupied nets + queued input words
   std::vector<BlockedObject> blocked;
+  /// Nets of blocked objects ranked by backpressure (then occupancy),
+  /// with their traced counters.  Filled only while a Tracer is
+  /// attached (empty otherwise); capped at kMaxHotNets entries.
+  std::vector<NetHotspot> hot_nets;
 
   [[nodiscard]] bool completed() const {
     return termination == RunTermination::kCompleted;
@@ -128,6 +150,14 @@ class Simulator final : private SchedulerHooks {
   void install_faults(FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attach a tracer (nullptr to detach).  The tracer registers every
+  /// group currently on the array and is notified of later add/remove;
+  /// its boundary sampler runs after every cycle's commit phase, before
+  /// fault injection.  With none attached the per-cycle cost is a
+  /// single pointer compare (same pattern as install_faults).
+  void attach_trace(Tracer* tracer);
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
   [[nodiscard]] long long cycle() const { return cycle_; }
   [[nodiscard]] long long total_fires() const { return total_fires_; }
 
@@ -168,6 +198,7 @@ class Simulator final : private SchedulerHooks {
 
   SchedulerKind kind_;
   FaultInjector* injector_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::map<GroupId, Group> groups_;
   /// Flat iteration cache over groups_ (ascending GroupId), rebuilt on
   /// add_group/remove_group so the scan path avoids per-cycle map walks.

@@ -1,0 +1,386 @@
+#include "src/xpp/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "src/xpp/sim.hpp"
+
+namespace rsp::xpp {
+
+const char* config_span_kind_name(ConfigSpan::Kind k) {
+  switch (k) {
+    case ConfigSpan::Kind::kLoad:     return "load";
+    case ConfigSpan::Kind::kResident: return "resident";
+    case ConfigSpan::Kind::kRelease:  return "release";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: collection
+// ---------------------------------------------------------------------------
+
+void Tracer::on_attach(long long cycle) {
+  begin_cycle_ = cycle;
+  last_cycle_ = cycle;
+  interval_cycles_ = 0;
+  interval_row_fires_.clear();
+  wl_interval_peak_ = 0;
+  wl_interval_total_ = 0;
+}
+
+void Tracer::on_group_added(int group,
+                            const std::vector<std::unique_ptr<Object>>& objects,
+                            const std::vector<std::unique_ptr<Net>>& nets) {
+  for (const auto& o : objects) {
+    PaeCounters c;
+    c.seq = seq_++;
+    c.group = group;
+    c.name = o->name();
+    c.kind = o->kind();
+    objs_.emplace(o.get(), std::move(c));
+  }
+  for (const auto& n : nets) {
+    NetEntry e;
+    e.c.seq = seq_++;
+    e.c.group = group;
+    e.c.label = net_label(n.get());
+    e.last_generation = n->generation();
+    nets_.emplace(n.get(), std::move(e));
+  }
+}
+
+void Tracer::on_group_removed(
+    const std::vector<std::unique_ptr<Object>>& objects,
+    const std::vector<std::unique_ptr<Net>>& nets) {
+  for (const auto& o : objects) {
+    const auto it = objs_.find(o.get());
+    if (it == objs_.end()) continue;
+    retired_objs_.push_back(std::move(it->second));
+    objs_.erase(it);
+  }
+  for (const auto& n : nets) {
+    const auto it = nets_.find(n.get());
+    if (it == nets_.end()) continue;
+    retired_nets_.push_back(std::move(it->second.c));
+    nets_.erase(it);
+  }
+}
+
+void Tracer::object_fired(Object& obj, long long cycle) {
+  (void)cycle;
+  const auto it = objs_.find(&obj);
+  if (it == objs_.end()) return;
+  ++it->second.fires;
+  ++interval_row_fires_[it->second.row];
+}
+
+void Tracer::on_worklist(std::size_t drained) {
+  const auto d = static_cast<long long>(drained);
+  saw_worklist_ = true;
+  wl_interval_peak_ = std::max(wl_interval_peak_, d);
+  wl_interval_total_ += d;
+  wl_peak_ = std::max(wl_peak_, d);
+}
+
+void Tracer::on_cycle(const Simulator& sim) {
+  // Just-executed cycle: step() advances the clock before sampling.
+  const long long cyc = sim.cycle() - 1;
+  last_cycle_ = sim.cycle();
+  for (auto& [o, c] : objs_) {
+    ++c.traced_cycles;
+    if (o->fired_in(cyc)) continue;  // fire counted by object_fired()
+    // Mirror diagnose()'s classification so per-cycle stall charging
+    // and the end-of-run deadlock report tell the same story.
+    bool has_work = o->external_pending() > 0;
+    for (int i = 0; i < kMaxIn && !has_work; ++i) {
+      const Net* net = o->in_net(i);
+      has_work = net != nullptr && net->can_read(o->in_sink(i));
+    }
+    if (!has_work) {
+      ++c.idle_cycles;
+      continue;
+    }
+    bool in_stall = false;
+    for (int i = 0; i < kMaxIn; ++i) {
+      if (o->in_bound(i) && !o->in_ready(i)) {
+        in_stall = true;
+        break;
+      }
+    }
+    if (in_stall) {
+      ++c.stall_in_cycles;
+      continue;
+    }
+    bool out_stall = false;
+    for (int j = 0; j < kMaxOut; ++j) {
+      if (o->out_bound(j) && !o->out_ready(j)) {
+        out_stall = true;
+        break;
+      }
+    }
+    if (out_stall) {
+      ++c.stall_out_cycles;
+    } else {
+      ++c.idle_cycles;  // firing rule unsatisfied for internal reasons
+    }
+  }
+  for (auto& [n, e] : nets_) {
+    ++e.c.traced_cycles;
+    const std::uint64_t gen = n->generation();
+    e.c.tokens += static_cast<long long>(gen - e.last_generation);
+    if (n->occupied()) {
+      ++e.c.occupied_cycles;
+      // Same token as the previous boundary: it has now survived a full
+      // cycle without being drained — the net refused its producer a
+      // write slot for that whole cycle.
+      if (gen == e.last_generation) ++e.c.backpressure_cycles;
+    }
+    e.last_generation = gen;
+  }
+  if (++interval_cycles_ >= opts_.sample_interval) {
+    flush_interval(sim.cycle());
+  }
+}
+
+void Tracer::flush_interval(long long cycle) {
+  // unordered_map iteration order is not deterministic; emit rows
+  // sorted so snapshots compare equal across schedulers and platforms.
+  std::vector<std::pair<int, long long>> rows(interval_row_fires_.begin(),
+                                              interval_row_fires_.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [row, fires] : rows) {
+    row_samples_.push_back({cycle, row, fires});
+  }
+  interval_row_fires_.clear();
+  if (saw_worklist_) {
+    worklist_samples_.push_back({cycle, wl_interval_peak_, wl_interval_total_});
+    wl_interval_peak_ = 0;
+    wl_interval_total_ = 0;
+  }
+  interval_cycles_ = 0;
+}
+
+void Tracer::annotate_object(const Object* obj, int config, int row, int col) {
+  const auto it = objs_.find(obj);
+  if (it == objs_.end()) return;
+  it->second.config = config;
+  it->second.row = row;
+  it->second.col = col;
+}
+
+void Tracer::annotate_group(int group, int config) {
+  for (auto& [o, c] : objs_) {
+    (void)o;
+    if (c.group == group) c.config = config;
+  }
+  for (auto& [n, e] : nets_) {
+    (void)n;
+    if (e.c.group == group) e.c.config = config;
+  }
+}
+
+void Tracer::on_config_load(int config, const std::string& name,
+                            long long begin, long long end) {
+  timeline_.push_back({ConfigSpan::Kind::kLoad, config, name, begin, end});
+  timeline_.push_back({ConfigSpan::Kind::kResident, config, name, end, -1});
+}
+
+void Tracer::on_config_release(int config, const std::string& name,
+                               long long begin, long long end) {
+  // Close the matching open residency span.
+  for (auto it = timeline_.rbegin(); it != timeline_.rend(); ++it) {
+    if (it->kind == ConfigSpan::Kind::kResident && it->config == config &&
+        it->end_cycle < 0) {
+      it->end_cycle = begin;
+      break;
+    }
+  }
+  timeline_.push_back({ConfigSpan::Kind::kRelease, config, name, begin, end});
+}
+
+const NetCounters* Tracer::net_counters(const Net* net) const {
+  const auto it = nets_.find(net);
+  return it == nets_.end() ? nullptr : &it->second.c;
+}
+
+const PaeCounters* Tracer::object_counters(const Object* obj) const {
+  const auto it = objs_.find(obj);
+  return it == objs_.end() ? nullptr : &it->second;
+}
+
+PerfCounters Tracer::snapshot() const {
+  PerfCounters pc;
+  pc.begin_cycle = begin_cycle_;
+  pc.end_cycle = last_cycle_;
+  pc.paes = retired_objs_;
+  for (const auto& [o, c] : objs_) {
+    (void)o;
+    pc.paes.push_back(c);
+  }
+  pc.nets = retired_nets_;
+  for (const auto& [n, e] : nets_) {
+    (void)n;
+    pc.nets.push_back(e.c);
+  }
+  const auto by_seq = [](const auto& a, const auto& b) { return a.seq < b.seq; };
+  std::sort(pc.paes.begin(), pc.paes.end(), by_seq);
+  std::sort(pc.nets.begin(), pc.nets.end(), by_seq);
+  pc.config_timeline = timeline_;
+  pc.row_samples = row_samples_;
+  pc.worklist_samples = worklist_samples_;
+  pc.worklist_peak = wl_peak_;
+  // Flush the residual partial interval without mutating the tracer.
+  if (!interval_row_fires_.empty()) {
+    std::vector<std::pair<int, long long>> rows(interval_row_fires_.begin(),
+                                                interval_row_fires_.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [row, fires] : rows) {
+      pc.row_samples.push_back({last_cycle_, row, fires});
+    }
+  }
+  if (saw_worklist_ && (wl_interval_peak_ > 0 || wl_interval_total_ > 0)) {
+    pc.worklist_samples.push_back(
+        {last_cycle_, wl_interval_peak_, wl_interval_total_});
+  }
+  return pc;
+}
+
+void Tracer::export_to(const TraceSink& sink, std::ostream& os) const {
+  sink.write(snapshot(), os);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// object names are identifiers, but the format must stay valid for
+/// any input.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// One Chrome trace event.  All values are integers (cycle numbers and
+/// counts), so the output is locale-independent by construction.
+void emit_event(std::ostream& os, bool& first, const std::string& body) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {" << body << "}";
+}
+
+std::string kv(const char* key, long long v) {
+  return std::string("\"") + key + "\":" + std::to_string(v);
+}
+
+std::string kv(const char* key, const std::string& v) {
+  return std::string("\"") + key + "\":\"" + json_escape(v) + "\"";
+}
+
+}  // namespace
+
+void ChromeTraceSink::write(const PerfCounters& pc, std::ostream& os) const {
+  // pid 1: the array (one counter track per PAE row + worklist depth).
+  // pid 2: configurations (one thread per ConfigId; X spans for
+  // load / resident / release).  ts is the simulated cycle, rendered by
+  // the viewer as microseconds.
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  emit_event(os, first,
+             kv("ph", std::string("M")) + "," + kv("pid", 1) + "," +
+                 kv("name", std::string("process_name")) +
+                 ",\"args\":{\"name\":\"XPP array\"}");
+  emit_event(os, first,
+             kv("ph", std::string("M")) + "," + kv("pid", 2) + "," +
+                 kv("name", std::string("process_name")) +
+                 ",\"args\":{\"name\":\"configurations\"}");
+  // Row counter tracks.  Distinct counter *names* become distinct
+  // tracks in Perfetto; row -1 collects unplaced (I/O) objects.
+  for (const auto& s : pc.row_samples) {
+    const std::string name =
+        s.row < 0 ? "I/O fires" : "PAE row " + std::to_string(s.row) + " fires";
+    emit_event(os, first,
+               kv("ph", std::string("C")) + "," + kv("pid", 1) + "," +
+                   kv("tid", static_cast<long long>(s.row + 2)) + "," +
+                   kv("ts", s.cycle) + "," + kv("name", name) +
+                   ",\"args\":{" + kv("fires", s.fires) + "}");
+  }
+  for (const auto& s : pc.worklist_samples) {
+    emit_event(os, first,
+               kv("ph", std::string("C")) + "," + kv("pid", 1) + "," +
+                   kv("tid", 1) + "," + kv("ts", s.cycle) + "," +
+                   kv("name", std::string("worklist drained")) +
+                   ",\"args\":{" + kv("peak", s.peak) + "," +
+                   kv("total", s.total) + "}");
+  }
+  // Configuration timeline.
+  std::map<int, std::string> cfg_names;
+  for (const auto& span : pc.config_timeline) {
+    cfg_names.emplace(span.config, span.name);
+  }
+  for (const auto& [cfg, name] : cfg_names) {
+    emit_event(os, first,
+               kv("ph", std::string("M")) + "," + kv("pid", 2) + "," +
+                   kv("tid", static_cast<long long>(cfg)) + "," +
+                   kv("name", std::string("thread_name")) +
+                   ",\"args\":{\"name\":\"cfg " + std::to_string(cfg) + " '" +
+                   json_escape(name) + "'\"}");
+  }
+  for (const auto& span : pc.config_timeline) {
+    const long long end =
+        span.end_cycle < 0 ? std::max(pc.end_cycle, span.begin_cycle)
+                           : span.end_cycle;
+    emit_event(os, first,
+               kv("ph", std::string("X")) + "," + kv("pid", 2) + "," +
+                   kv("tid", static_cast<long long>(span.config)) + "," +
+                   kv("ts", span.begin_cycle) + "," +
+                   kv("dur", end - span.begin_cycle) + "," +
+                   kv("name", std::string(config_span_kind_name(span.kind))) +
+                   ",\"args\":{" + kv("config", span.name) + "}");
+  }
+  os << "\n  ]\n}\n";
+}
+
+void CsvTraceSink::write(const PerfCounters& pc, std::ostream& os) const {
+  os << "type,seq,group,config,name,kind,row,col,traced_cycles,fires,"
+        "stall_in_cycles,stall_out_cycles,idle_cycles,occupied_cycles,"
+        "backpressure_cycles,tokens\n";
+  for (const auto& p : pc.paes) {
+    os << "object," << p.seq << ',' << p.group << ',' << p.config << ",\""
+       << p.name << "\"," << object_kind_name(p.kind) << ',' << p.row << ','
+       << p.col << ',' << p.traced_cycles << ',' << p.fires << ','
+       << p.stall_in_cycles << ',' << p.stall_out_cycles << ','
+       << p.idle_cycles << ",,,\n";
+  }
+  for (const auto& n : pc.nets) {
+    os << "net," << n.seq << ',' << n.group << ',' << n.config << ",\""
+       << n.label << "\",net,,," << n.traced_cycles << ",,,,,"
+       << n.occupied_cycles << ',' << n.backpressure_cycles << ','
+       << n.tokens << '\n';
+  }
+}
+
+}  // namespace rsp::xpp

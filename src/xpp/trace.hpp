@@ -1,0 +1,270 @@
+// Cycle-accurate observability for the XPP runtime.
+//
+// The paper's claims are about *runtime behaviour* — pipelined token
+// flow, PAE utilization, partial-reconfiguration timelines (Figs. 9-12,
+// Table 1) — so the simulator must be able to show where cycles go, not
+// just end-of-run totals.  This layer adds:
+//
+//  - a PerfCounters store: per-PAE fire / stall-on-input /
+//    stall-on-output / idle cycles, per-net token occupancy and
+//    backpressure, the per-configuration load/resident/release
+//    timeline, and event-scheduler worklist depth;
+//  - a Tracer that collects those counters from a Simulator, attached
+//    via Simulator::attach_trace (nullptr detaches);
+//  - a TraceSink interface with two exporters: ChromeTraceSink emits
+//    trace-event JSON loadable in chrome://tracing / Perfetto (one
+//    counter track per PAE row, one timeline track per configuration)
+//    and CsvTraceSink dumps every counter as CSV.
+//
+// Determinism and cost are the load-bearing properties (mirroring the
+// fault layer):
+//
+//  - All counters are sampled at cycle boundaries (post-commit), where
+//    both schedulers hold bit-identical net/object state, so kScan and
+//    kEventDriven produce *identical* counters for the same workload
+//    (differentially tested in tests/xpp/test_trace.cpp).  The only
+//    exception is worklist depth, which measures the event scheduler
+//    itself and is empty under kScan.
+//  - The tracer only ever reads simulator state; attaching one cannot
+//    change behaviour (tracing on/off is bit-identical).
+//  - Detached, the simulator pays one pointer compare per cycle and one
+//    per object fire — the same inline null-check pattern as
+//    FaultInjector::armed() (bench_trace guards the < 1% envelope).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xpp/net.hpp"
+#include "src/xpp/object.hpp"
+#include "src/xpp/types.hpp"
+
+namespace rsp::xpp {
+
+class Simulator;
+
+/// Per-PAE (per-object) counters over the traced window.  Every traced
+/// cycle is classified into exactly one of fire / stall-in / stall-out
+/// / idle, so fires + stalls + idle == traced_cycles:
+///  - fires: the object fired;
+///  - stall_in_cycles: work was waiting (a readable token on some bound
+///    input, or externally queued samples) but a bound input was empty;
+///  - stall_out_cycles: work was waiting, inputs were ready, but a
+///    bound output net was still full (sink not consuming);
+///  - idle_cycles: nothing to do (no consumable input anywhere), or the
+///    firing rule was unsatisfied for internal reasons.
+struct PaeCounters {
+  long long seq = 0;    ///< registration order (stable sort key)
+  int group = -1;       ///< Simulator group id
+  int config = -1;      ///< owning ConfigId (-1 if not manager-loaded)
+  std::string name;
+  ObjectKind kind = ObjectKind::kAlu;
+  int row = -1;         ///< placement (annotated by the manager; -1 I/O)
+  int col = -1;
+  long long fires = 0;
+  long long stall_in_cycles = 0;
+  long long stall_out_cycles = 0;
+  long long idle_cycles = 0;
+  long long traced_cycles = 0;
+
+  friend bool operator==(const PaeCounters&, const PaeCounters&) = default;
+};
+
+/// Per-net counters over the traced window.
+///  - occupied_cycles: boundaries at which a token was resident;
+///  - backpressure_cycles: boundaries at which the resident token had
+///    already survived a full cycle (its sinks did not drain it), i.e.
+///    cycles the net refused its producer a write slot;
+///  - tokens: tokens latched (committed staged values + preloads).
+struct NetCounters {
+  long long seq = 0;
+  int group = -1;
+  int config = -1;
+  std::string label;    ///< producer-port label, see net_label()
+  long long occupied_cycles = 0;
+  long long backpressure_cycles = 0;
+  long long tokens = 0;
+  long long traced_cycles = 0;
+
+  friend bool operator==(const NetCounters&, const NetCounters&) = default;
+};
+
+/// One span of the per-configuration reconfiguration timeline.
+struct ConfigSpan {
+  enum class Kind : std::uint8_t {
+    kLoad,      ///< configuration bus busy writing the configuration
+    kResident,  ///< configuration live on the array
+    kRelease,   ///< resources being returned
+  };
+  Kind kind = Kind::kLoad;
+  int config = -1;
+  std::string name;
+  long long begin_cycle = 0;
+  long long end_cycle = -1;  ///< -1: still open at end of trace
+
+  friend bool operator==(const ConfigSpan&, const ConfigSpan&) = default;
+};
+
+[[nodiscard]] const char* config_span_kind_name(ConfigSpan::Kind k);
+
+/// Fires per PAE row within one sample interval (Chrome counter track).
+struct RowSample {
+  long long cycle = 0;  ///< interval end cycle
+  int row = -1;         ///< -1: objects without a placement (I/O)
+  long long fires = 0;
+
+  friend bool operator==(const RowSample&, const RowSample&) = default;
+};
+
+/// Event-scheduler worklist depth within one sample interval.  Only
+/// produced under SchedulerKind::kEventDriven — this measures the
+/// scheduler, not the machine, so it is excluded from scan/event
+/// counter-equality comparisons.
+struct WorklistSample {
+  long long cycle = 0;
+  long long peak = 0;   ///< largest per-cycle drained worklist
+  long long total = 0;  ///< sum of drained entries over the interval
+};
+
+/// Everything the tracer knows, in deterministic order (registration
+/// sequence).  Objects and nets of released configurations are retained
+/// ("retired"), so a partial-reconfiguration run keeps its full
+/// history.
+struct PerfCounters {
+  long long begin_cycle = 0;
+  long long end_cycle = 0;
+  std::vector<PaeCounters> paes;
+  std::vector<NetCounters> nets;
+  std::vector<ConfigSpan> config_timeline;
+  std::vector<RowSample> row_samples;
+  std::vector<WorklistSample> worklist_samples;
+  long long worklist_peak = 0;
+
+  [[nodiscard]] long long traced_cycles() const {
+    return end_cycle - begin_cycle;
+  }
+};
+
+/// Exporter interface over a finished (or in-flight) counter snapshot.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const PerfCounters& counters, std::ostream& os) const = 0;
+};
+
+/// Chrome trace-event JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev): pid 1 carries one counter track per PAE
+/// row plus the worklist-depth track, pid 2 one timeline track per
+/// configuration (load / resident / release spans).  Timestamps are
+/// simulated cycles (rendered as microseconds).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  void write(const PerfCounters& counters, std::ostream& os) const override;
+};
+
+/// Flat CSV dump of every per-object and per-net counter.
+class CsvTraceSink final : public TraceSink {
+ public:
+  void write(const PerfCounters& counters, std::ostream& os) const override;
+};
+
+struct TraceOptions {
+  /// Cycles per Chrome counter sample (row activity, worklist depth).
+  long long sample_interval = 64;
+};
+
+/// Collects PerfCounters from one Simulator.  Attach with
+/// Simulator::attach_trace(&tracer) *before* loading configurations so
+/// the manager can annotate objects with their placement and owning
+/// ConfigId; counters cover the window from attach onward.  One tracer
+/// observes one simulator at a time.
+///
+/// pause()/resume() gate every collection callback behind the inline
+/// tracing() flag — a paused tracer costs the simulator exactly the
+/// detached-tracer null-check path (measured by bench_trace).
+class Tracer final : public TraceHooks {
+ public:
+  explicit Tracer(TraceOptions opts = {}) : opts_(opts) {}
+
+  /// Deterministic snapshot: retired + live entries in registration
+  /// order, timeline spans, and sampled series (including the residual
+  /// partial interval).
+  [[nodiscard]] PerfCounters snapshot() const;
+
+  /// Convenience: sink.write(snapshot(), os).
+  void export_to(const TraceSink& sink, std::ostream& os) const;
+
+  void pause() { tracing_ = false; }
+  void resume() { tracing_ = true; }
+
+  /// Live counters of @p net (nullptr if untracked) — used by
+  /// Simulator::diagnose to rank a deadlock's hottest blocked nets.
+  [[nodiscard]] const NetCounters* net_counters(const Net* net) const;
+  /// Live counters of @p obj (nullptr if untracked).
+  [[nodiscard]] const PaeCounters* object_counters(const Object* obj) const;
+
+  /// Live (non-retired) entry counts — remove_group must shrink these.
+  [[nodiscard]] std::size_t live_objects() const { return objs_.size(); }
+  [[nodiscard]] std::size_t live_nets() const { return nets_.size(); }
+
+  // -- collection callbacks (Simulator / ConfigurationManager) ----------
+  /// Simulator::attach_trace: the traced window starts at @p cycle.
+  void on_attach(long long cycle);
+  /// A group joined the simulator: register its objects and nets.
+  void on_group_added(int group,
+                      const std::vector<std::unique_ptr<Object>>& objects,
+                      const std::vector<std::unique_ptr<Net>>& nets);
+  /// A group is being removed: retire its entries (counters survive in
+  /// the snapshot; the live pointer keys are purged — no dangling
+  /// entries after partial reconfiguration).
+  void on_group_removed(const std::vector<std::unique_ptr<Object>>& objects,
+                        const std::vector<std::unique_ptr<Net>>& nets);
+  /// Cycle-boundary sampling walk (invoked by Simulator::step after the
+  /// commit phase, before fault injection).
+  void on_cycle(const Simulator& sim);
+  /// Per-cycle worklist drain size (event-driven scheduler only).
+  void on_worklist(std::size_t drained);
+  /// ConfigurationManager annotations.
+  void annotate_object(const Object* obj, int config, int row, int col);
+  void annotate_group(int group, int config);
+  void on_config_load(int config, const std::string& name, long long begin,
+                      long long end);
+  void on_config_release(int config, const std::string& name, long long begin,
+                         long long end);
+
+  // TraceHooks (called from Object::clock on every successful fire).
+  void object_fired(Object& obj, long long cycle) override;
+
+ private:
+  struct NetEntry {
+    NetCounters c;
+    std::uint64_t last_generation = 0;
+  };
+
+  void flush_interval(long long cycle);
+
+  TraceOptions opts_;
+  std::unordered_map<const Object*, PaeCounters> objs_;
+  std::unordered_map<const Net*, NetEntry> nets_;
+  std::vector<PaeCounters> retired_objs_;
+  std::vector<NetCounters> retired_nets_;
+  std::vector<ConfigSpan> timeline_;
+  std::vector<RowSample> row_samples_;
+  std::vector<WorklistSample> worklist_samples_;
+  long long seq_ = 0;
+  long long begin_cycle_ = 0;
+  long long last_cycle_ = 0;
+  // Current sample-interval accumulators.
+  long long interval_cycles_ = 0;
+  std::unordered_map<int, long long> interval_row_fires_;
+  bool saw_worklist_ = false;
+  long long wl_interval_peak_ = 0;
+  long long wl_interval_total_ = 0;
+  long long wl_peak_ = 0;
+};
+
+}  // namespace rsp::xpp

@@ -1,0 +1,129 @@
+// Regression tests for the bench report helpers (bench/report.hpp).
+//
+// Two real bugs are pinned here:
+//  1. Table::print() indexed width[c] for cells beyond the header count
+//     — an out-of-bounds read (the column-measuring loop clamps to
+//     width.size() but the printing loop did not).  Now the overflow
+//     cells are printed with a visible '!' marker instead.
+//  2. BENCH_*.json writers formatted doubles with printf "%f", which
+//     honours LC_NUMERIC: under a comma-decimal locale (de_DE, fr_FR)
+//     "12.5" becomes "12,5" — invalid JSON.  json_num() rewrites the
+//     active locale's decimal point back to ".".
+#include "bench/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tests/support/json_lite.hpp"
+
+namespace rsp::bench {
+namespace {
+
+TEST(Report, TableRowWiderThanHeadersIsClampedAndFlagged) {
+  // Pre-fix this was an out-of-bounds read of width[2] (UB; with a
+  // 2-header table the row's third cell indexed past the width vector).
+  Table t({"a", "b"});
+  t.row({"1", "2", "SURPLUS", "MORE"});
+  t.row({"3", "4"});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // The in-range cells print normally...
+  EXPECT_NE(out.find("| 1 | 2 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 3 | 4 |"), std::string::npos) << out;
+  // ...and the surplus cells are visibly flagged, not dropped.
+  EXPECT_NE(out.find("!SURPLUS"), std::string::npos) << out;
+  EXPECT_NE(out.find("!MORE"), std::string::npos) << out;
+}
+
+TEST(Report, TableRowNarrowerThanHeadersStillPrints) {
+  Table t({"a", "b", "c"});
+  t.row({"only"});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| only"), std::string::npos) << out;
+  EXPECT_EQ(out.find('!'), std::string::npos) << out;
+}
+
+TEST(Report, JsonNumBasics) {
+  EXPECT_EQ(json_num(12.5, 2), "12.50");
+  EXPECT_EQ(json_num(-0.125, 3), "-0.125");
+  EXPECT_EQ(json_num(3.0, 0), "3");
+  EXPECT_EQ(json_num(static_cast<long long>(-42)), "-42");
+  // JSON has no NaN/Inf literal.
+  EXPECT_EQ(json_num(std::nan(""), 2), "0");
+  EXPECT_EQ(json_num(std::numeric_limits<double>::infinity(), 2), "0");
+}
+
+/// RAII save/restore of LC_NUMERIC so a failing assertion can't leak a
+/// comma locale into later tests.
+class ScopedNumericLocale {
+ public:
+  ScopedNumericLocale() {
+    const char* cur = std::setlocale(LC_NUMERIC, nullptr);
+    saved_ = (cur != nullptr) ? cur : "C";
+  }
+  ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+  ScopedNumericLocale(const ScopedNumericLocale&) = delete;
+  ScopedNumericLocale& operator=(const ScopedNumericLocale&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+/// Try to activate any locale whose decimal separator is ','.  Returns
+/// the locale name, or "" if the container has none installed.
+std::string set_comma_locale() {
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+        "fr_FR", "es_ES.UTF-8", "it_IT.UTF-8", "pt_BR.UTF-8", "ru_RU.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      const lconv* lc = std::localeconv();
+      if (lc != nullptr && lc->decimal_point != nullptr &&
+          std::string(lc->decimal_point) == ",") {
+        return name;
+      }
+    }
+  }
+  std::setlocale(LC_NUMERIC, "C");
+  return "";
+}
+
+TEST(Report, JsonNumIsLocaleIndependent) {
+  ScopedNumericLocale restore;
+  const std::string name = set_comma_locale();
+  if (name.empty()) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this environment";
+  }
+  // Demonstrate the underlying hazard is real under this locale...
+  char raw[64];
+  std::snprintf(raw, sizeof(raw), "%.2f", 12.5);
+  ASSERT_NE(std::string(raw).find(','), std::string::npos)
+      << "locale " << name << " did not produce a comma decimal";
+  // ...and that json_num neutralizes it (pre-fix: "12,50").
+  EXPECT_EQ(json_num(12.5, 2), "12.50");
+  EXPECT_EQ(json_num(-7.25, 2), "-7.25");
+  // A composed JSON document stays valid under the comma locale.
+  const std::string doc = "{\"speedup\": " + json_num(1.75, 3) +
+                          ", \"cps\": " + json_num(1234567.0, 0) + "}";
+  EXPECT_TRUE(rsp::testing::json_valid(doc)) << doc;
+}
+
+TEST(Report, JsonLiteRejectsCommaDecimals) {
+  // The validator the trace/bench tests rely on must actually catch the
+  // bug class these tests guard: "1,5" inside a value position.
+  EXPECT_TRUE(rsp::testing::json_valid("{\"x\": 1.5}"));
+  EXPECT_FALSE(rsp::testing::json_valid("{\"x\": 1,5}"));
+  EXPECT_FALSE(rsp::testing::json_valid("[1,5,]"));
+  EXPECT_TRUE(rsp::testing::json_valid("[1,5]"));
+  EXPECT_FALSE(rsp::testing::json_valid("{\"x\": 01}"));
+}
+
+}  // namespace
+}  // namespace rsp::bench

@@ -1,0 +1,161 @@
+// Minimal recursive-descent JSON validator for tests.
+//
+// The locale and trace tests need to assert "this emitted text is valid
+// JSON" without adding a parser dependency.  This checks RFC 8259
+// grammar (objects, arrays, strings with escapes, strict number
+// grammar, true/false/null).  The strict number grammar is the point:
+// a "1,5" produced by a comma-decimal locale is rejected (the ","
+// terminates the number and the follow-up "5" breaks the enclosing
+// object/array grammar).  Not validated: \u surrogate pairing, UTF-8
+// well-formedness — irrelevant for the ASCII output under test.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace rsp::testing {
+
+class JsonLite {
+ public:
+  explicit JsonLite(const std::string& text) : s_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value
+  /// (surrounding whitespace allowed).
+  [[nodiscard]] bool valid() {
+    i_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return i_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[i_]; }
+  bool consume(char c) {
+    if (eof() || s_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+                      s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t start = i_;
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (!consume(*p)) {
+        i_ = start;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = s_[i_++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(s_[i_])) == 0)
+              return false;
+            ++i_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool digits() {
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++i_;
+    return true;
+  }
+
+  bool number() {
+    (void)consume('-');
+    // int part: 0, or [1-9][0-9]*
+    if (consume('0')) {
+      // leading zero must not be followed by more digits
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        return false;
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.')) {
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++i_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++i_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+[[nodiscard]] inline bool json_valid(const std::string& text) {
+  return JsonLite(text).valid();
+}
+
+}  // namespace rsp::testing

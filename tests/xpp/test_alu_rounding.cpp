@@ -1,0 +1,145 @@
+// Pins the datapath rounding convention: shr_round is round-to-nearest
+// with ties AWAY from zero, symmetrically for negative inputs.
+//
+// Both the ALU (kShrRound/kMulShr/kCMulShr/kAccum post-shifts) and every
+// golden reference chain (rake/golden.cpp, phy/fft.cpp, rake/tdm.cpp)
+// call the one constexpr in src/common/word.hpp, so they agree by
+// construction — but nothing previously pinned WHICH convention that
+// definition implements.  The common DSP shortcut `(v + bias) >> shift`
+// is half-up (ties toward +inf): it agrees for positive v and differs by
+// one LSB on negative ties (e.g. -5>>1: away-from-zero gives -3,
+// half-up gives -2).  A well-meaning "simplification" to the biased
+// shift would silently shift every golden chain; these tests fail on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/common/word.hpp"
+#include "tests/xpp/harness.hpp"
+
+namespace rsp {
+namespace {
+
+/// Reference: round-to-nearest, ties away from zero — exactly what
+/// std::llround does for exact binary fractions (v / 2^s is exact in
+/// double for |v| < 2^24).
+long long ref_round(std::int32_t v, int s) {
+  return std::llround(static_cast<double>(v) /
+                      static_cast<double>(std::int64_t{1} << s));
+}
+
+/// The half-up alternative (ties toward +inf) that shr_round must NOT be.
+std::int32_t half_up(std::int32_t v, int s) {
+  return (v + (1 << (s - 1))) >> s;
+}
+
+TEST(AluRounding, TiesRoundAwayFromZero) {
+  // The canonical corner: half of an odd value.
+  EXPECT_EQ(shr_round(5, 1), 3);
+  EXPECT_EQ(shr_round(-5, 1), -3);
+  EXPECT_EQ(shr_round(3, 1), 2);
+  EXPECT_EQ(shr_round(-3, 1), -2);
+  // Non-ties round to nearest in both directions.
+  EXPECT_EQ(shr_round(-6, 2), -2);  // -1.5 -> -2 (tie, away)
+  EXPECT_EQ(shr_round(-5, 2), -1);  // -1.25 -> -1
+  EXPECT_EQ(shr_round(-7, 2), -2);  // -1.75 -> -2
+  // Symmetry: shr_round(-v) == -shr_round(v) — half-up breaks this.
+  EXPECT_EQ(half_up(-5, 1), -2);  // the convention we are NOT using
+  EXPECT_EQ(shr_round(-5, 1), -shr_round(5, 1));
+  // shift <= 0 is a passthrough.
+  EXPECT_EQ(shr_round(-5, 0), -5);
+}
+
+TEST(AluRounding, ExhaustiveSmallRangeVsGoldenReference) {
+  for (int s = 1; s <= 12; ++s) {
+    for (std::int32_t v = -4500; v <= 4500; ++v) {
+      ASSERT_EQ(shr_round(v, s), ref_round(v, s)) << "v=" << v << " s=" << s;
+    }
+  }
+}
+
+TEST(AluRounding, DatapathExtremesVsGoldenReference) {
+  // Words near the 24-bit rails, and every value adjacent to a tie for
+  // large shifts (where one-LSB convention errors are most visible).
+  const std::int32_t rail = (1 << (kWordBits - 1)) - 1;  // 8388607
+  std::vector<std::int32_t> corners = {rail, -rail, rail - 1, 1 - rail,
+                                       -rail - 1 /* -2^23 */};
+  for (int s = 1; s <= 16; ++s) {
+    const std::int32_t tie = 1 << (s - 1);
+    for (const std::int32_t base : {tie, 3 * tie, 5 * tie, 101 * tie}) {
+      for (int d = -2; d <= 2; ++d) {
+        corners.push_back(base + d);
+        corners.push_back(-(base + d));
+      }
+    }
+  }
+  for (int s = 1; s <= 16; ++s) {
+    for (const std::int32_t v : corners) {
+      ASSERT_EQ(shr_round(v, s), ref_round(v, s)) << "v=" << v << " s=" << s;
+    }
+  }
+}
+
+TEST(AluRounding, ShrRoundOpcodeMatchesConvention) {
+  // The same corners streamed through a real kShrRound ALU-PAE.
+  xpp::AluParams p;
+  p.shift = 3;
+  const std::vector<xpp::Word> in = {20, -20, 12, -12, 11, -11, 4,
+                                     -4, 100, -100, 0, 8388607, -8388608};
+  std::vector<xpp::Word> want(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    want[i] = static_cast<xpp::Word>(ref_round(in[i], p.shift));
+  }
+  EXPECT_EQ(xpp::testing::eval_op(xpp::Opcode::kShrRound, p, {in}, in.size()),
+            want);
+  // Spot-check the documented tie: 20/8 = 2.5 -> 3, -20/8 -> -3.
+  EXPECT_EQ(want[0], 3);
+  EXPECT_EQ(want[1], -3);
+}
+
+TEST(AluRounding, MulShrOpcodeMatchesConvention) {
+  // kMulShr = saturate(a*b, 31 bits) then shr_round then 24-bit clamp.
+  xpp::AluParams p;
+  p.shift = 4;
+  const std::vector<xpp::Word> a = {3, -3, 1000, -1000, 7, -7};
+  const std::vector<xpp::Word> b = {8, 8, -333, -333, 2000, 2000};
+  std::vector<xpp::Word> want(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto prod = static_cast<std::int32_t>(
+        saturate(static_cast<long long>(a[i]) * b[i], 31));
+    want[i] =
+        static_cast<xpp::Word>(saturate(ref_round(prod, p.shift), kWordBits));
+  }
+  EXPECT_EQ(xpp::testing::eval_op(xpp::Opcode::kMulShr, p, {a, b}, a.size()),
+            want);
+  // 3*8 = 24, /16 = 1.5: the tie rounds away — +2 and -2, not +2 and -1.
+  EXPECT_EQ(want[0], 2);
+  EXPECT_EQ(want[1], -2);
+}
+
+TEST(AluRounding, CMulShrOpcodeMatchesConvention) {
+  // Packed complex multiply: per-component shr_round then 12-bit
+  // saturation, matching rake::golden's descramble step bit-for-bit.
+  xpp::AluParams p;
+  p.shift = 2;
+  const std::vector<CplxI> za = {{3, -3}, {-1, 5}, {2047, -2048}};
+  const std::vector<CplxI> zb = {{2, 2}, {-3, -1}, {3, 3}};
+  std::vector<xpp::Word> a(za.size()), b(zb.size()), want(za.size());
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    a[i] = pack_cplx(za[i]);
+    b[i] = pack_cplx(zb[i]);
+    const CplxI prod = za[i] * zb[i];
+    const CplxI r = {
+        static_cast<std::int32_t>(ref_round(prod.re, p.shift)),
+        static_cast<std::int32_t>(ref_round(prod.im, p.shift))};
+    want[i] = pack_cplx(sat_cplx(r, kHalfBits));
+  }
+  EXPECT_EQ(xpp::testing::eval_op(xpp::Opcode::kCMulShr, p, {a, b}, a.size()),
+            want);
+}
+
+}  // namespace
+}  // namespace rsp

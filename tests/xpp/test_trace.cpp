@@ -1,0 +1,425 @@
+// Observability layer (src/xpp/trace.hpp) tests.
+//
+// The two load-bearing claims, differentially tested here:
+//  1. attaching a tracer never changes behaviour (bit-identical runs);
+//  2. the counters themselves are scheduler-independent — kScan and
+//     kEventDriven produce *identical* PerfCounters on every workload
+//     (worklist-depth samples excepted: they measure the event
+//     scheduler itself and are empty under kScan).
+// Plus: exporter validity (Chrome trace JSON, CSV), the enriched
+// StallReport hot-net ranking, and retirement of counter entries on
+// remove_group (mirroring Manager.RemoveGroupMidRunLeavesNoStaleWaiters).
+#include "src/xpp/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+#include "tests/support/json_lite.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed,
+                                int amp = 1000) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp};
+  }
+  return out;
+}
+
+/// Observable behaviour + counter snapshot of one traced streaming run.
+struct TracedRun {
+  std::vector<int> fires_per_cycle;
+  long long final_cycle = 0;
+  long long total_fires = 0;
+  std::vector<Word> out;
+  PerfCounters pc;
+};
+
+/// Load @p cfg under @p kind with a tracer attached, feed the named
+/// input streams, step until "out" holds @p n_out words, release, and
+/// snapshot the counters (so the snapshot includes retirement and the
+/// full load/resident/release timeline).
+TracedRun traced_run(SchedulerKind kind, const Configuration& cfg,
+                     const std::map<std::string, std::vector<Word>>& feeds,
+                     std::size_t n_out, bool with_tracer = true) {
+  ConfigurationManager mgr({}, kind);
+  Tracer tracer;
+  if (with_tracer) mgr.sim().attach_trace(&tracer);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  TracedRun t;
+  auto& out = mgr.output(id, "out");
+  for (int guard = 0; guard < 200000 && out.data().size() < n_out; ++guard) {
+    t.fires_per_cycle.push_back(mgr.sim().step());
+  }
+  EXPECT_GE(out.data().size(), n_out) << cfg.name << ": timed out";
+  t.final_cycle = mgr.sim().cycle();
+  t.total_fires = mgr.sim().total_fires();
+  t.out = out.take();
+  mgr.release(id);
+  t.pc = tracer.snapshot();
+  return t;
+}
+
+/// Full PerfCounters equality, minus worklist-depth samples (the only
+/// deliberately scheduler-dependent series).
+void expect_counters_identical(const PerfCounters& a, const PerfCounters& b,
+                               const std::string& what) {
+  EXPECT_EQ(a.begin_cycle, b.begin_cycle) << what;
+  EXPECT_EQ(a.end_cycle, b.end_cycle) << what;
+  ASSERT_EQ(a.paes.size(), b.paes.size()) << what;
+  for (std::size_t i = 0; i < a.paes.size(); ++i) {
+    EXPECT_TRUE(a.paes[i] == b.paes[i])
+        << what << ": PAE counters diverged for '" << a.paes[i].name << "' vs '"
+        << b.paes[i].name << "' (fires " << a.paes[i].fires << " vs "
+        << b.paes[i].fires << ", stall_in " << a.paes[i].stall_in_cycles
+        << " vs " << b.paes[i].stall_in_cycles << ", stall_out "
+        << a.paes[i].stall_out_cycles << " vs " << b.paes[i].stall_out_cycles
+        << ", idle " << a.paes[i].idle_cycles << " vs "
+        << b.paes[i].idle_cycles << ")";
+  }
+  ASSERT_EQ(a.nets.size(), b.nets.size()) << what;
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_TRUE(a.nets[i] == b.nets[i])
+        << what << ": net counters diverged for " << a.nets[i].label
+        << " (occupied " << a.nets[i].occupied_cycles << " vs "
+        << b.nets[i].occupied_cycles << ", backpressure "
+        << a.nets[i].backpressure_cycles << " vs "
+        << b.nets[i].backpressure_cycles << ", tokens " << a.nets[i].tokens
+        << " vs " << b.nets[i].tokens << ")";
+  }
+  ASSERT_EQ(a.config_timeline.size(), b.config_timeline.size()) << what;
+  for (std::size_t i = 0; i < a.config_timeline.size(); ++i) {
+    EXPECT_TRUE(a.config_timeline[i] == b.config_timeline[i])
+        << what << ": timeline span " << i << " diverged";
+  }
+  EXPECT_EQ(a.row_samples, b.row_samples) << what;
+}
+
+/// Every traced cycle of every PAE is classified exactly once.
+void expect_classification_complete(const PerfCounters& pc,
+                                    const std::string& what) {
+  for (const auto& p : pc.paes) {
+    EXPECT_EQ(p.fires + p.stall_in_cycles + p.stall_out_cycles + p.idle_cycles,
+              p.traced_cycles)
+        << what << ": '" << p.name << "' classification does not partition";
+  }
+}
+
+std::map<std::string, std::vector<Word>> descrambler_feeds(std::size_t n,
+                                                           std::uint64_t seed) {
+  const auto chips = random_chips(n, seed);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<Word> code_words(chips.size());
+  for (auto& c : code_words) c = scr.next2() & 3;
+  return {{"data", rake::maps::pack_stream(chips)}, {"code", code_words}};
+}
+
+TEST(Trace, TracingOnIsBitIdentical) {
+  // The tracer only reads: a traced run's observable behaviour must be
+  // word-for-word identical to an untraced one.
+  const auto feeds = descrambler_feeds(256, 11);
+  const auto cfg = rake::maps::descrambler_config();
+  for (const auto kind : {SchedulerKind::kScan, SchedulerKind::kEventDriven}) {
+    const auto bare = traced_run(kind, cfg, feeds, 256, /*with_tracer=*/false);
+    const auto traced = traced_run(kind, cfg, feeds, 256, /*with_tracer=*/true);
+    EXPECT_EQ(bare.fires_per_cycle, traced.fires_per_cycle);
+    EXPECT_EQ(bare.final_cycle, traced.final_cycle);
+    EXPECT_EQ(bare.total_fires, traced.total_fires);
+    EXPECT_EQ(bare.out, traced.out);
+  }
+}
+
+TEST(Trace, DescramblerCountersSchedulerIdentical) {
+  const auto feeds = descrambler_feeds(384, 11);
+  const auto cfg = rake::maps::descrambler_config();
+  const auto scan = traced_run(SchedulerKind::kScan, cfg, feeds, 384);
+  const auto event = traced_run(SchedulerKind::kEventDriven, cfg, feeds, 384);
+  EXPECT_EQ(scan.out, event.out);
+  expect_counters_identical(scan.pc, event.pc, "descrambler");
+  expect_classification_complete(event.pc, "descrambler");
+  // The event scheduler must actually have produced worklist samples
+  // (and the scan one none) — the one intentional asymmetry.
+  EXPECT_GT(event.pc.worklist_peak, 0);
+  EXPECT_EQ(scan.pc.worklist_peak, 0);
+  EXPECT_TRUE(scan.pc.worklist_samples.empty());
+}
+
+TEST(Trace, DespreaderCountersSchedulerIdentical) {
+  for (const int sf : {4, 16, 64}) {
+    const auto chips = random_chips(static_cast<std::size_t>(sf) * 8, 23);
+    const std::map<std::string, std::vector<Word>> feeds{
+        {"data", rake::maps::pack_stream(chips)}};
+    const auto cfg = rake::maps::despreader_config(sf, 1);
+    const auto n_out = chips.size() / static_cast<std::size_t>(sf);
+    const auto scan = traced_run(SchedulerKind::kScan, cfg, feeds, n_out);
+    const auto event = traced_run(SchedulerKind::kEventDriven, cfg, feeds,
+                                  n_out);
+    expect_counters_identical(scan.pc, event.pc,
+                              "despreader sf=" + std::to_string(sf));
+  }
+}
+
+TEST(Trace, Fft64CountersSchedulerIdentical) {
+  std::array<CplxI, phy::kFftSize> in;
+  Rng rng(7);
+  for (auto& c : in) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  const auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    Tracer tracer;
+    mgr.sim().attach_trace(&tracer);
+    const auto out = ofdm::maps::run_fft64(mgr, in);
+    return std::make_pair(out, tracer.snapshot());
+  };
+  const auto [scan_out, scan_pc] = run(SchedulerKind::kScan);
+  const auto [event_out, event_pc] = run(SchedulerKind::kEventDriven);
+  EXPECT_EQ(scan_out, event_out);
+  expect_counters_identical(scan_pc, event_pc, "fft64");
+  expect_classification_complete(event_pc, "fft64");
+}
+
+TEST(Trace, PartialReconfigCountersSchedulerIdentical) {
+  // The Figure 10 mechanism: a sibling released mid-stream.  Retired
+  // entries (despreader) and live entries (descrambler) must both agree
+  // across schedulers, as must the three-span timeline.
+  const auto chips = random_chips(128, 31);
+  const auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    Tracer tracer;
+    mgr.sim().attach_trace(&tracer);
+    const ConfigId d = mgr.load(rake::maps::descrambler_config());
+    const ConfigId p = mgr.load(rake::maps::despreader_config(16, 2));
+    dedhw::UmtsScrambler scr(9);
+    std::vector<Word> code_words(chips.size());
+    for (auto& c : code_words) c = scr.next2() & 3;
+    mgr.input(d, "data").feed(rake::maps::pack_stream(chips));
+    mgr.input(d, "code").feed(code_words);
+    mgr.input(p, "data").feed(rake::maps::pack_stream(chips));
+    for (int i = 0; i < 40; ++i) (void)mgr.sim().step();
+    mgr.release(p);  // despreader dropped mid-stream
+    for (int i = 0; i < 400; ++i) (void)mgr.sim().step();
+    auto out = mgr.output(d, "out").take();
+    mgr.release(d);
+    return std::make_pair(out, tracer.snapshot());
+  };
+  const auto [scan_out, scan_pc] = run(SchedulerKind::kScan);
+  const auto [event_out, event_pc] = run(SchedulerKind::kEventDriven);
+  EXPECT_EQ(scan_out, event_out);
+  expect_counters_identical(scan_pc, event_pc, "partial-reconfig");
+}
+
+TEST(Trace, FiresMatchSimulatorStats) {
+  // The per-fire hook and the simulator's own fire accounting must
+  // agree object-for-object while the group is live.
+  ConfigurationManager mgr;
+  Tracer tracer;
+  mgr.sim().attach_trace(&tracer);
+  const auto chips = random_chips(64, 5);
+  const ConfigId id = mgr.load(rake::maps::despreader_config(16, 1));
+  mgr.input(id, "data").feed(rake::maps::pack_stream(chips));
+  (void)mgr.sim().run_until_quiescent(4000);
+  for (const auto& st : mgr.sim().stats(mgr.info(id).group)) {
+    const Object* obj = mgr.sim().find(mgr.info(id).group, st.name);
+    ASSERT_NE(obj, nullptr) << st.name;
+    const PaeCounters* c = tracer.object_counters(obj);
+    ASSERT_NE(c, nullptr) << st.name;
+    EXPECT_EQ(c->fires, st.fires) << st.name;
+    EXPECT_EQ(c->config, id) << st.name;
+  }
+}
+
+TEST(Trace, RemoveGroupRetiresCounterEntries) {
+  // Mirror of Manager.RemoveGroupMidRunLeavesNoStaleWaiters with a
+  // tracer attached: releasing a configuration mid-stream must retire
+  // its per-PAE/per-net entries (no dangling pointer keys — this test
+  // runs under ASan in the sanitizer job), keep their counters in the
+  // snapshot, and leave the survivor's counters still live and growing.
+  const auto passthrough = [](const std::string& name) {
+    ConfigBuilder b(name);
+    const auto in = b.input("in");
+    const auto a = b.alu("nop", Opcode::kNop);
+    const auto out = b.output("out");
+    b.connect(in.out(0), a.in(0));
+    b.connect(a.out(0), out.in(0));
+    return b.build();
+  };
+  ConfigurationManager mgr;
+  Tracer tracer;
+  mgr.sim().attach_trace(&tracer);
+  const ConfigId a = mgr.load(passthrough("a"));
+  const ConfigId b = mgr.load(passthrough("b"));
+  const std::size_t live_before = tracer.live_objects();
+  EXPECT_EQ(live_before, 6u);  // 2 configs x (input, alu, output)
+  mgr.input(b, "in").feed(std::vector<Word>(100, 3));
+  mgr.sim().run(3);  // b mid-stream: staged tokens, queued objects
+  mgr.release(b);    // dangling counter entries would now be live
+  EXPECT_EQ(tracer.live_objects(), 3u);
+  EXPECT_EQ(tracer.live_nets(), 2u);
+  (void)mgr.sim().run_until_quiescent(50);
+  mgr.input(a, "in").feed({1, 2, 3, 4});
+  (void)mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(a, "out").data(), (std::vector<Word>{1, 2, 3, 4}));
+  // b's history survives retirement with its fires intact.
+  const auto pc = tracer.snapshot();
+  EXPECT_EQ(pc.paes.size(), 6u);
+  long long b_fires = 0;
+  for (const auto& p : pc.paes) {
+    if (p.config == b && p.kind == ObjectKind::kAlu) b_fires = p.fires;
+  }
+  EXPECT_GT(b_fires, 0);
+  // Freed cells stay reusable; the new group registers fresh entries.
+  const ConfigId c = mgr.load(passthrough("c"));
+  mgr.input(c, "in").feed({7});
+  (void)mgr.sim().run_until_quiescent(100);
+  EXPECT_EQ(mgr.output(c, "out").data(), (std::vector<Word>{7}));
+  EXPECT_EQ(tracer.live_objects(), 6u);
+}
+
+TEST(Trace, StallReportNamesHottestBlockedNets) {
+  // Same feedback deadlock as Stall.FeedbackDeadlockNamesBlockedObject-
+  // AndNet, with a tracer attached: the report must now rank the nets
+  // involved in the stall by how long their tokens sat.  The stranded
+  // external word on 'in.out0' is the hottest — it aged for the whole
+  // run — while 'b.out0' (the empty wait) shows zero occupancy.
+  ConfigBuilder b("deadlock");
+  const auto in = b.input("in");
+  const auto a = b.alu("a", Opcode::kAdd);
+  const auto nb = b.alu("b", Opcode::kNop);
+  b.connect(in.out(0), a.in(0));
+  b.connect(nb.out(0), a.in(1));
+  b.connect(a.out(0), nb.in(0));
+  ConfigurationManager mgr;
+  Tracer tracer;
+  mgr.sim().attach_trace(&tracer);
+  const ConfigId id = mgr.load(b.build());
+  mgr.input(id, "in").feed({5});
+
+  const StallReport r = mgr.sim().run_until_quiescent(1000);
+  EXPECT_TRUE(r.deadlocked()) << r.to_string();
+  ASSERT_FALSE(r.hot_nets.empty()) << r.to_string();
+  EXPECT_EQ(r.hot_nets[0].label, "'in.out0'") << r.to_string();
+  EXPECT_GT(r.hot_nets[0].backpressure_cycles, 0);
+  EXPECT_GT(r.hot_nets[0].occupied_cycles, 0);
+  EXPECT_EQ(r.hot_nets[0].tokens, 1);
+  bool saw_empty_wait = false;
+  for (const auto& h : r.hot_nets) {
+    if (h.label == "'b.out0'") {
+      saw_empty_wait = true;
+      EXPECT_EQ(h.occupied_cycles, 0);
+      EXPECT_EQ(h.tokens, 0);
+    }
+  }
+  EXPECT_TRUE(saw_empty_wait) << r.to_string();
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("hottest blocked nets"), std::string::npos) << s;
+  EXPECT_NE(s.find("'in.out0'"), std::string::npos) << s;
+  // Without a tracer the report carries no hot-net section (and says so
+  // only by its absence — behaviour matches pre-trace output).
+  ConfigurationManager bare({}, SchedulerKind::kEventDriven);
+  const ConfigId id2 = bare.load(b.build());
+  bare.input(id2, "in").feed({5});
+  const StallReport r2 = bare.sim().run_until_quiescent(1000);
+  EXPECT_TRUE(r2.deadlocked());
+  EXPECT_TRUE(r2.hot_nets.empty());
+  EXPECT_EQ(r2.to_string().find("hottest"), std::string::npos);
+}
+
+TEST(Trace, ConfigTimelineSpansAreContiguous) {
+  const auto feeds = descrambler_feeds(64, 3);
+  const auto run =
+      traced_run(SchedulerKind::kEventDriven, rake::maps::descrambler_config(),
+                 feeds, 64);
+  ASSERT_EQ(run.pc.config_timeline.size(), 3u);
+  const auto& load = run.pc.config_timeline[0];
+  const auto& resident = run.pc.config_timeline[1];
+  const auto& release = run.pc.config_timeline[2];
+  EXPECT_EQ(load.kind, ConfigSpan::Kind::kLoad);
+  EXPECT_EQ(resident.kind, ConfigSpan::Kind::kResident);
+  EXPECT_EQ(release.kind, ConfigSpan::Kind::kRelease);
+  EXPECT_EQ(load.name, "fig5_descrambler");
+  EXPECT_LT(load.begin_cycle, load.end_cycle);        // load costs cycles
+  EXPECT_EQ(load.end_cycle, resident.begin_cycle);    // contiguous
+  EXPECT_EQ(resident.end_cycle, release.begin_cycle); // closed by release
+  EXPECT_LT(release.begin_cycle, release.end_cycle);  // release costs cycles
+}
+
+TEST(Trace, ChromeTraceIsValidJson) {
+  const auto feeds = descrambler_feeds(96, 17);
+  const auto run =
+      traced_run(SchedulerKind::kEventDriven, rake::maps::descrambler_config(),
+                 feeds, 96);
+  std::ostringstream os;
+  ChromeTraceSink().write(run.pc, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(rsp::testing::json_valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("XPP array"), std::string::npos);
+  EXPECT_NE(json.find("PAE row"), std::string::npos);
+  EXPECT_NE(json.find("worklist drained"), std::string::npos);
+  EXPECT_NE(json.find("resident"), std::string::npos);
+}
+
+TEST(Trace, CsvDumpListsEveryEntry) {
+  const auto feeds = descrambler_feeds(64, 29);
+  const auto run =
+      traced_run(SchedulerKind::kEventDriven, rake::maps::descrambler_config(),
+                 feeds, 64);
+  std::ostringstream os;
+  CsvTraceSink().write(run.pc, os);
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += (ch == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 1 + run.pc.paes.size() + run.pc.nets.size());
+  EXPECT_EQ(csv.find("type,seq,group,config,name,kind,row,col"), 0u);
+}
+
+TEST(Trace, PausedTracerCollectsNothingButKeepsStructure) {
+  ConfigurationManager mgr;
+  Tracer tracer;
+  mgr.sim().attach_trace(&tracer);
+  tracer.pause();
+  const auto chips = random_chips(32, 13);
+  const ConfigId id = mgr.load(rake::maps::despreader_config(4, 1));
+  mgr.input(id, "data").feed(rake::maps::pack_stream(chips));
+  (void)mgr.sim().run_until_quiescent(2000);
+  const auto pc = tracer.snapshot();
+  EXPECT_FALSE(pc.paes.empty());  // registration is structural
+  for (const auto& p : pc.paes) {
+    EXPECT_EQ(p.fires, 0) << p.name;
+    EXPECT_EQ(p.traced_cycles, 0) << p.name;
+  }
+  for (const auto& n : pc.nets) {
+    EXPECT_EQ(n.occupied_cycles, 0) << n.label;
+    EXPECT_EQ(n.tokens, 0) << n.label;
+  }
+  // Resuming picks collection back up.
+  tracer.resume();
+  mgr.input(id, "data").feed(rake::maps::pack_stream(chips));
+  (void)mgr.sim().run_until_quiescent(2000);
+  const auto pc2 = tracer.snapshot();
+  long long fires = 0;
+  for (const auto& p : pc2.paes) fires += p.fires;
+  EXPECT_GT(fires, 0);
+}
+
+}  // namespace
+}  // namespace rsp::xpp
