@@ -3,115 +3,94 @@
 // 802.11a packet success vs Es/N0 per rate mode.  These quantify the
 // combining / diversity / coding gains the architecture exists to
 // deliver.
-#include <cmath>
+//
+// Both sweeps run through the scenario farm (src/farm): 200 independent
+// trials per point, seeded with Rng::split so the curves are
+// bit-identical at any thread count, with Wilson 95% intervals printed
+// next to every estimate.
+#include <functional>
 
 #include "bench/report.hpp"
-#include "src/common/rng.hpp"
-#include "src/ofdm/golden.hpp"
-#include "src/phy/channel.hpp"
-#include "src/phy/ofdm_tx.hpp"
-#include "src/phy/umts_tx.hpp"
-#include "src/rake/receiver.hpp"
+#include "src/farm/farm.hpp"
+#include "src/farm/kernels.hpp"
 
 namespace {
 
 using namespace rsp;
 
-double rake_ber(int paths_combined, double esn0_db, std::uint64_t seed) {
-  Rng rng(seed);
-  phy::BasestationConfig bs;
-  bs.scrambling_code = 16;
-  bs.cpich_gain = 0.5;
-  phy::DpchConfig ch;
-  ch.sf = 64;
-  ch.code_index = 3;
-  ch.gain = 0.7;
-  ch.bits.resize(256);
-  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
-  bs.channels.push_back(ch);
-  phy::UmtsDownlinkTx tx(bs);
-  const auto chips = tx.generate(64 * 192)[0];
-  phy::MultipathChannel mp(
-      {{2, {0.62, 0.0}, 0.0}, {9, {0.0, 0.55}, 0.0}, {17, {0.39, -0.3}, 0.0}},
-      3.84e6);
-  const auto rx = mp.run(chips, esn0_db, rng);
-  rake::RakeConfig cfg;
-  cfg.scrambling_codes = {16};
-  cfg.sf = 64;
-  cfg.code_index = 3;
-  cfg.paths_per_bs = paths_combined;
-  cfg.pilot_amplitude = 0.5;
-  rake::RakeReceiver receiver(cfg);
-  const auto out = receiver.receive(rx);
-  if (out.bits.empty()) return 0.5;
-  int errors = 0;
-  for (std::size_t i = 0; i < out.bits.size(); ++i) {
-    errors += (out.bits[i] != ch.bits[i % ch.bits.size()]) ? 1 : 0;
-  }
-  return static_cast<double>(errors) / static_cast<double>(out.bits.size());
+constexpr int kTrialsPerPoint = 200;
+
+/// The single sweep-point helper both tables use (the old bench had two
+/// hand-rolled serial copies of this loop, which had already drifted).
+farm::FarmResult run_point(const farm::ScenarioFarm& f,
+                           const std::function<farm::TrialResult(
+                               std::uint64_t)>& kernel,
+                           std::uint64_t base_seed) {
+  return f.run(kTrialsPerPoint, base_seed,
+               [&](std::uint64_t seed, std::size_t) { return kernel(seed); });
 }
 
-bool wlan_frame_ok(int mbps, double esn0_db, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::uint8_t> psdu(800);
-  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
-  phy::OfdmTransmitter tx;
-  auto capture = tx.build_ppdu(psdu, mbps);
-  std::vector<CplxF> lead(150, CplxF{0, 0});
-  capture.insert(capture.begin(), lead.begin(), lead.end());
-  capture = phy::awgn(capture, esn0_db, rng);
-  ofdm::OfdmRxConfig cfg;
-  cfg.mbps = mbps;
-  ofdm::OfdmReceiver receiver(cfg);
-  const auto res = receiver.receive(capture, psdu.size());
-  if (!res.preamble_found || res.psdu.size() != psdu.size()) return false;
-  for (std::size_t i = 0; i < psdu.size(); ++i) {
-    if (res.psdu[i] != psdu[i]) return false;
-  }
-  return true;
+std::string with_ci(double value, farm::Interval ci, int prec) {
+  return bench::fmt(value, prec) + " [" + bench::fmt(ci.lo, prec) + ", " +
+         bench::fmt(ci.hi, prec) + "]";
 }
 
 }  // namespace
 
 int main() {
   bench::title("Link-level curves — rake combining & OFDM rate modes");
+  farm::ScenarioFarm f;
 
-  bench::note("W-CDMA rake raw BER vs Es/N0 (3-path static channel, SF 64):");
+  bench::note("W-CDMA rake raw BER vs Es/N0 (3-path static channel, SF 64,");
+  bench::note(std::to_string(kTrialsPerPoint) +
+              " trials/point, Wilson 95% CI):");
   bench::Table r({"Es/N0 (dB)", "1 finger", "3 fingers (MRC)"});
+  double total_frames = 0.0;
+  double total_seconds = 0.0;
   for (const double esn0 : {-8.0, -6.0, -4.0, -2.0, 0.0}) {
-    double b1 = 0.0;
-    double b3 = 0.0;
-    const int trials = 4;
-    for (int t = 0; t < trials; ++t) {
-      b1 += rake_ber(1, esn0, 100 + static_cast<std::uint64_t>(t));
-      b3 += rake_ber(3, esn0, 100 + static_cast<std::uint64_t>(t));
-    }
-    r.row({bench::fmt(esn0, 1), bench::fmt(b1 / trials, 4),
-           bench::fmt(b3 / trials, 4)});
+    farm::kernels::RakeTrial one;
+    one.fingers = 1;
+    one.esn0_db = esn0;
+    farm::kernels::RakeTrial three;
+    three.fingers = 3;
+    three.esn0_db = esn0;
+    const auto r1 = run_point(f, one, 100);
+    const auto r3 = run_point(f, three, 100);
+    total_frames += static_cast<double>(r1.agg.total().frames +
+                                        r3.agg.total().frames);
+    total_seconds += r1.wall_seconds + r3.wall_seconds;
+    r.row({bench::fmt(esn0, 1), with_ci(r1.agg.ber(), r1.agg.ber_ci(), 4),
+           with_ci(r3.agg.ber(), r3.agg.ber_ci(), 4)});
   }
   r.print();
 
-  bench::note("\n802.11a frame success rate vs Es/N0 (AWGN, 800-bit PSDU, "
-              "4 frames/point):");
+  bench::note("\n802.11a frame success rate vs Es/N0 (AWGN, 800-bit PSDU, " +
+              std::to_string(kTrialsPerPoint) +
+              " frames/point, Wilson 95% CI):");
   bench::Table w({"Es/N0 (dB)", "6 Mb/s", "12 Mb/s", "24 Mb/s", "54 Mb/s"});
   for (const double esn0 : {4.0, 8.0, 12.0, 16.0, 20.0, 24.0}) {
     std::vector<std::string> row = {bench::fmt(esn0, 1)};
     for (const int mbps : {6, 12, 24, 54}) {
-      int ok = 0;
-      const int trials = 4;
-      for (int t = 0; t < trials; ++t) {
-        ok += wlan_frame_ok(mbps, esn0,
-                            200 + static_cast<std::uint64_t>(t) * 17 +
-                                static_cast<std::uint64_t>(mbps))
-                  ? 1
-                  : 0;
-      }
-      row.push_back(bench::fmt(static_cast<double>(ok) / trials, 2));
+      farm::kernels::WlanTrial trial;
+      trial.mbps = mbps;
+      trial.esn0_db = esn0;
+      const auto res =
+          run_point(f, trial, 200 + static_cast<std::uint64_t>(mbps));
+      total_frames += static_cast<double>(res.agg.total().frames);
+      total_seconds += res.wall_seconds;
+      const double success = 1.0 - res.agg.fer();
+      const auto ci = res.agg.fer_ci();
+      // Success-rate interval is the FER interval mirrored.
+      row.push_back(with_ci(success, {1.0 - ci.hi, 1.0 - ci.lo}, 2));
     }
     w.row(row);
   }
   w.print();
 
+  bench::note("\nFarm: " + std::to_string(f.threads()) + " threads, " +
+              bench::fmt(total_seconds > 0 ? total_frames / total_seconds : 0,
+                         1) +
+              " frames/s overall");
   bench::note(
       "\nShape check: MRC over three fingers buys several dB over a\n"
       "single finger in frequency-selective fading, and the 802.11a\n"

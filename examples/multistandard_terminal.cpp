@@ -1,10 +1,18 @@
 // Example: the multi-standard, multi-link terminal of the paper's
 // thesis — UMTS rake reception and 802.11a OFDM decoding time-sliced
 // over ONE reconfigurable array on the evaluation board (Figure 11).
+//
+// A population of terminals runs through the scenario farm: each user
+// is one share-nothing task owning its own board, array and captures,
+// seeded from Rng::split(kBaseSeed, user) so the whole fleet replays
+// bit-identically at any thread count.
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/dedhw/umts_scrambler.hpp"
+#include "src/farm/farm.hpp"
 #include "src/ofdm/golden.hpp"
 #include "src/ofdm/maps.hpp"
 #include "src/phy/channel.hpp"
@@ -14,9 +22,30 @@
 #include "src/rake/receiver.hpp"
 #include "src/sdr/board.hpp"
 
-int main() {
-  using namespace rsp;
-  Rng rng(99);
+namespace {
+
+using namespace rsp;
+
+constexpr std::uint64_t kBaseSeed = 99;
+constexpr std::size_t kUsers = 8;
+constexpr int kRounds = 3;
+
+/// Everything one simulated terminal produced (per-task result slot).
+struct UserReport {
+  int umts_errors = -1;
+  int wlan_errors = -1;
+  long long array_cycles = 0;
+  double config_overhead = 0.0;
+  int peak_alu_cells = 0;
+  int sum_alu_cells = 0;
+  long long dsp_instructions = 0;
+};
+
+/// One user's complete workload: build private captures, then run
+/// UMTS + WLAN time-sliced over a private board for kRounds frames.
+UserReport run_user(std::uint64_t seed) {
+  Rng rng(seed);
+  UserReport rep;
 
   // --- prepare one UMTS capture and one WLAN capture ---
   std::vector<std::uint8_t> umts_data(128);
@@ -41,14 +70,12 @@ int main() {
   wlan_rx.insert(wlan_rx.begin(), lead.begin(), lead.end());
   wlan_rx = phy::awgn(wlan_rx, 26.0, rng);
 
-  // --- the board: uC + DSP + FPGA + one XPP array ---
+  // --- the board: uC + DSP + FPGA + one XPP array (private to the
+  // task; the cycle simulator is single-threaded per instance) ---
   sdr::SdrBoard board;
   sdr::TimeSlicer slicer(board.array());
 
-  int umts_errors = -1;
-  int wlan_errors = -1;
-
-  for (int frame = 0; frame < 3; ++frame) {
+  for (int frame = 0; frame < kRounds; ++frame) {
     // UMTS slice: acquisition on the DSP, finger datapath on the array.
     slicer.slice("UMTS", [&](xpp::ConfigurationManager& mgr) {
       rake::RakeConfig cfg;
@@ -77,9 +104,9 @@ int main() {
       w.conj_h1 = rake::quantize_weight(std::conj(fingers[0].channel.h1));
       const auto corrected = rake::maps::run_chancorr(mgr, symbols, w);
       const auto bits = rake::qpsk_slice(corrected);
-      umts_errors = 0;
+      rep.umts_errors = 0;
       for (std::size_t i = 0; i < bits.size(); ++i) {
-        umts_errors += (bits[i] != umts_data[i % umts_data.size()]) ? 1 : 0;
+        rep.umts_errors += (bits[i] != umts_data[i % umts_data.size()]) ? 1 : 0;
       }
     });
 
@@ -92,9 +119,9 @@ int main() {
       const auto res = receiver.receive(wlan_rx, wlan_psdu.size(),
                                         &board.dsp());
       if (res.preamble_found && res.psdu.size() == wlan_psdu.size()) {
-        wlan_errors = 0;
+        rep.wlan_errors = 0;
         for (std::size_t i = 0; i < wlan_psdu.size(); ++i) {
-          wlan_errors += (res.psdu[i] != wlan_psdu[i]) ? 1 : 0;
+          rep.wlan_errors += (res.psdu[i] != wlan_psdu[i]) ? 1 : 0;
         }
       }
       // One symbol's FFT on the actual array fabric.
@@ -114,20 +141,60 @@ int main() {
     board.microcontroller().charge("scheduler", dsp::DspOp::kBranch, 40);
   }
 
-  std::printf("multi-standard terminal, 3 rounds of time slicing:\n");
-  std::printf("  UMTS DCH bit errors:   %d\n", umts_errors);
-  std::printf("  WLAN PSDU bit errors:  %d\n", wlan_errors);
-  std::printf("  array cycles total:    %lld\n", slicer.total_cycles());
-  std::printf("  reconfiguration share: %.1f %%\n",
-              100.0 * slicer.config_overhead());
-  std::printf("  peak ALU cells (shared array):   %d\n",
-              slicer.peak_alu_cells());
-  std::printf("  sum of protocol peaks (dedicated): %d\n",
-              slicer.sum_alu_cells());
-  std::printf("  DSP instructions:      %lld\n",
-              board.dsp().total_instructions());
-  std::printf("  uC instructions:       %lld\n",
-              board.microcontroller().total_instructions());
-  std::printf("  FPGA words routed:     %lld\n", board.fpga_words_routed());
+  rep.array_cycles = slicer.total_cycles();
+  rep.config_overhead = slicer.config_overhead();
+  rep.peak_alu_cells = slicer.peak_alu_cells();
+  rep.sum_alu_cells = slicer.sum_alu_cells();
+  rep.dsp_instructions = board.dsp().total_instructions();
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  // Per-user detail lands in a distinct slot per task (share-nothing);
+  // the farm aggregates the link-level counts.
+  std::vector<UserReport> users(kUsers);
+  farm::ScenarioFarm f;
+  const auto res =
+      f.run(kUsers, kBaseSeed, [&](std::uint64_t seed, std::size_t index) {
+        users[index] = run_user(seed);
+        const UserReport& u = users[index];
+        farm::TrialResult r;
+        r.frames = 2 * kRounds;  // one UMTS + one WLAN link per round
+        r.bits = 128 + 400;
+        r.bit_errors = static_cast<std::uint64_t>(
+            (u.umts_errors > 0 ? u.umts_errors : 0) +
+            (u.wlan_errors > 0 ? u.wlan_errors : 0));
+        r.frame_errors = (u.umts_errors != 0 ? 1u : 0u) +
+                         (u.wlan_errors != 0 ? 1u : 0u);
+        return r;
+      });
+
+  std::printf("multi-standard terminal farm: %zu users x %d rounds of time "
+              "slicing (%d threads)\n",
+              kUsers, kRounds, f.threads());
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    std::printf(
+        "  user %zu: UMTS err %d, WLAN err %d, array cycles %lld, "
+        "reconfig %.1f %%\n",
+        u, users[u].umts_errors, users[u].wlan_errors, users[u].array_cycles,
+        100.0 * users[u].config_overhead);
+  }
+  const UserReport& u0 = users[0];
+  std::printf("per-terminal array sharing (user 0):\n");
+  std::printf("  peak ALU cells (shared array):     %d\n", u0.peak_alu_cells);
+  std::printf("  sum of protocol peaks (dedicated): %d\n", u0.sum_alu_cells);
+  std::printf("  DSP instructions:                  %lld\n",
+              u0.dsp_instructions);
+  std::printf("fleet aggregate:\n");
+  std::printf("  links attempted:   %llu\n",
+              static_cast<unsigned long long>(res.agg.total().frames));
+  std::printf("  links in error:    %llu\n",
+              static_cast<unsigned long long>(res.agg.total().frame_errors));
+  std::printf("  payload bit errors: %llu of %llu bits\n",
+              static_cast<unsigned long long>(res.agg.total().bit_errors),
+              static_cast<unsigned long long>(res.agg.total().bits));
+  std::printf("  throughput:        %.1f links/s\n", res.frames_per_second());
   return 0;
 }

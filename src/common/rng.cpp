@@ -70,4 +70,26 @@ CplxF Rng::cgaussian(double power) {
   return {s * gaussian(), s * gaussian()};
 }
 
+std::uint64_t Rng::split(std::uint64_t base_seed, std::uint64_t index) {
+  // The base is avalanched BEFORE the index is folded in: naive
+  // additive schemes (base + index*C) alias across related bases —
+  // split(base, i) == split(base + C, i - 1) — which the statistical
+  // battery in tests/common/test_rng_split.cpp checks for.  For a fixed
+  // base, index+1 times an odd constant is a bijection mod 2^64, so
+  // every index maps to a distinct pre-image; two more avalanche rounds
+  // (bijections, preserving distinctness) decorrelate siblings.
+  std::uint64_t z = base_seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  z += (index + 1) * 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z = z ^ (z >> 31);
+    z += 0xD1B54A32D192ED03ull;
+  }
+  return z;
+}
+
 }  // namespace rsp

@@ -33,6 +33,16 @@ class Rng {
   /// Circularly-symmetric complex Gaussian with E|z|^2 = @p power.
   CplxF cgaussian(double power = 1.0);
 
+  /// Derive the seed of independent sub-stream @p index from
+  /// @p base_seed.  Pure function of (base_seed, index): parallel
+  /// Monte-Carlo tasks seeded with split(base, task_index) replay
+  /// bit-identically no matter how tasks are distributed over threads.
+  /// Distinct indices are guaranteed distinct seeds (the index is
+  /// folded in through an odd-multiplier bijection before the
+  /// avalanche rounds).
+  [[nodiscard]] static std::uint64_t split(std::uint64_t base_seed,
+                                           std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
   bool have_spare_ = false;

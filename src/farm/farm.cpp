@@ -1,0 +1,133 @@
+#include "src/farm/farm.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/common/rng.hpp"
+
+namespace rsp::farm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bounded multi-producer/multi-consumer queue of task indices.  The
+/// submitter blocks in push() while the queue is full; workers block in
+/// pop() while it is empty; close() wakes everyone for shutdown.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(std::size_t index) {
+    std::unique_lock<std::mutex> lock(m_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    q_.push_back(index);
+    not_empty_.notify_one();
+  }
+
+  /// False once the queue is closed and drained.
+  bool pop(std::size_t& index) {
+    std::unique_lock<std::mutex> lock(m_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    index = q_.front();
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::size_t> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+ScenarioFarm::ScenarioFarm(FarmOptions opts)
+    : threads_(opts.threads), queue_capacity_(opts.queue_capacity) {
+  if (threads_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
+                             const TrialKernel& kernel) const {
+  FarmResult result;
+  result.per_task.resize(n_tasks);
+  const auto t0 = Clock::now();
+
+  BoundedQueue queue(queue_capacity_);
+  std::mutex agg_mutex;           // guards result.agg (streaming sums)
+  std::mutex error_mutex;         // guards first_error
+  std::exception_ptr first_error; // first kernel failure, rethrown below
+
+  const int workers =
+      n_tasks < static_cast<std::size_t>(threads_)
+          ? static_cast<int>(n_tasks == 0 ? 1 : n_tasks)
+          : threads_;
+
+  auto worker = [&] {
+    std::size_t index = 0;
+    while (queue.pop(index)) {
+      try {
+        // Each slot of per_task is written by exactly one task, and the
+        // join below publishes the writes — share-nothing by indexing.
+        TrialResult r = kernel(Rng::split(base_seed, index), index);
+        result.per_task[index] = r;
+        std::lock_guard<std::mutex> lock(agg_mutex);
+        result.agg.add(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        queue.close();  // stop handing out further work
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+
+  for (std::size_t i = 0; i < n_tasks; ++i) queue.push(i);
+  queue.close();
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+FarmResult run_serial(std::size_t n_tasks, std::uint64_t base_seed,
+                      const TrialKernel& kernel) {
+  FarmResult result;
+  result.per_task.resize(n_tasks);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    result.per_task[i] = kernel(Rng::split(base_seed, i), i);
+    result.agg.add(result.per_task[i]);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace rsp::farm

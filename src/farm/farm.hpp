@@ -1,0 +1,83 @@
+// ScenarioFarm: a thread-pool Monte-Carlo execution engine for
+// independent link-level trials.
+//
+// The cycle simulator, the channel models and the golden receiver
+// chains are all single-threaded per instance — parallelism comes from
+// running many *independent* trials at once, one complete simulator /
+// channel / receiver stack per task (share-nothing; see DESIGN.md
+// "Scenario farm").  Determinism is preserved under any thread count
+// and any scheduling order by construction:
+//
+//   * task i draws all of its randomness from Rng(Rng::split(base, i)),
+//     a pure function of the base seed and the task index;
+//   * per-task results land in slot i of a pre-sized vector, so the
+//     recorded outcome of task i never depends on who ran it;
+//   * the streaming aggregate sums integer counts, which commute.
+//
+// The differential battery in tests/farm enforces all three.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/farm/stats.hpp"
+
+namespace rsp::farm {
+
+/// One Monte-Carlo trial.  @p task_seed is Rng::split(base, task_index)
+/// — the kernel must take ALL randomness from it and touch no shared
+/// mutable state (each invocation builds its own simulator/channel).
+using TrialKernel =
+    std::function<TrialResult(std::uint64_t task_seed, std::size_t task_index)>;
+
+struct FarmOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Bound on the task queue: the submitting thread blocks once this
+  /// many task indices are in flight, so a million-trial campaign never
+  /// materialises a million queue nodes.
+  std::size_t queue_capacity = 256;
+};
+
+/// Outcome of one farm run.
+struct FarmResult {
+  /// Result of task i at index i — identical for every thread count.
+  std::vector<TrialResult> per_task;
+  /// Streaming integer aggregate of per_task (also order-independent).
+  StreamingAggregate agg;
+  double wall_seconds = 0.0;
+  /// Aggregate frames over wall-clock — the scaling metric BENCH_farm
+  /// tracks.
+  [[nodiscard]] double frames_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(agg.total().frames) / wall_seconds
+               : 0.0;
+  }
+};
+
+class ScenarioFarm {
+ public:
+  explicit ScenarioFarm(FarmOptions opts = {});
+
+  /// Run @p n_tasks trials of @p kernel, task i seeded with
+  /// Rng::split(base_seed, i).  Blocks until all tasks finish.
+  /// A kernel exception propagates to the caller (remaining tasks are
+  /// drained without being run).
+  [[nodiscard]] FarmResult run(std::size_t n_tasks, std::uint64_t base_seed,
+                               const TrialKernel& kernel) const;
+
+  /// Resolved worker count (>= 1).
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  int threads_ = 1;
+  std::size_t queue_capacity_ = 256;
+};
+
+/// Serial reference: the loop the farm must be bit-identical to.
+[[nodiscard]] FarmResult run_serial(std::size_t n_tasks,
+                                    std::uint64_t base_seed,
+                                    const TrialKernel& kernel);
+
+}  // namespace rsp::farm

@@ -1,0 +1,86 @@
+#include "src/farm/kernels.hpp"
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ofdm/golden.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/phy/umts_tx.hpp"
+#include "src/rake/receiver.hpp"
+
+namespace rsp::farm::kernels {
+
+TrialResult RakeTrial::operator()(std::uint64_t seed) const {
+  Rng rng(seed);
+  phy::BasestationConfig bs;
+  bs.scrambling_code = 16;
+  bs.cpich_gain = 0.5;
+  phy::DpchConfig ch;
+  ch.sf = 64;
+  ch.code_index = 3;
+  ch.gain = 0.7;
+  ch.bits.resize(256);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  bs.channels.push_back(ch);
+  phy::UmtsDownlinkTx tx(bs);
+  const auto chips = tx.generate(64 * symbols)[0];
+  phy::MultipathChannel mp(
+      {{2, {0.62, 0.0}, 0.0}, {9, {0.0, 0.55}, 0.0}, {17, {0.39, -0.3}, 0.0}},
+      3.84e6);
+  const auto rx = mp.run(chips, esn0_db, rng);
+  rake::RakeConfig cfg;
+  cfg.scrambling_codes = {16};
+  cfg.sf = 64;
+  cfg.code_index = 3;
+  cfg.paths_per_bs = fingers;
+  cfg.pilot_amplitude = 0.5;
+  rake::RakeReceiver receiver(cfg);
+  const auto out = receiver.receive(rx);
+
+  TrialResult r;
+  r.frames = 1;
+  if (out.bits.empty()) {
+    // Acquisition failure: no payload recovered, the frame is lost.
+    r.frame_errors = 1;
+    return r;
+  }
+  r.bits = out.bits.size();
+  for (std::size_t i = 0; i < out.bits.size(); ++i) {
+    r.bit_errors += (out.bits[i] != ch.bits[i % ch.bits.size()]) ? 1 : 0;
+  }
+  r.frame_errors = r.bit_errors > 0 ? 1 : 0;
+  return r;
+}
+
+TrialResult WlanTrial::operator()(std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<std::uint8_t> psdu(psdu_bits);
+  for (auto& b : psdu) b = rng.bit() ? 1 : 0;
+  phy::OfdmTransmitter tx;
+  auto capture = tx.build_ppdu(psdu, mbps);
+  std::vector<CplxF> lead(150, CplxF{0, 0});
+  capture.insert(capture.begin(), lead.begin(), lead.end());
+  capture = phy::awgn(capture, esn0_db, rng);
+  ofdm::OfdmRxConfig cfg;
+  cfg.mbps = mbps;
+  ofdm::OfdmReceiver receiver(cfg);
+  const auto res = receiver.receive(capture, psdu.size());
+
+  TrialResult r;
+  r.frames = 1;
+  r.bits = psdu.size();
+  if (!res.preamble_found || res.psdu.size() != psdu.size()) {
+    // Sync or SIGNAL failure: every payload bit of the frame is lost.
+    r.bit_errors = r.bits;
+    r.frame_errors = 1;
+    return r;
+  }
+  for (std::size_t i = 0; i < psdu.size(); ++i) {
+    r.bit_errors += (res.psdu[i] != psdu[i]) ? 1 : 0;
+  }
+  r.frame_errors = r.bit_errors > 0 ? 1 : 0;
+  return r;
+}
+
+}  // namespace rsp::farm::kernels

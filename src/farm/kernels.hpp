@@ -1,0 +1,35 @@
+// Link-level Monte-Carlo trial kernels shared by the BER/FER benches,
+// the scaling bench and the determinism battery.
+//
+// Each call builds a complete, private transmit/channel/receive stack
+// and takes all randomness from the given task seed — the share-nothing
+// contract ScenarioFarm relies on.  Formerly these lived (twice,
+// drifting apart) inside bench_ber_curves.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "src/farm/stats.hpp"
+
+namespace rsp::farm::kernels {
+
+/// W-CDMA rake link trial: one DPCH frame through a 3-path static
+/// multipath channel, raw BER after despreading/combining.
+struct RakeTrial {
+  int fingers = 3;         ///< paths combined (1 = no diversity)
+  double esn0_db = 0.0;    ///< chip-level Es/N0
+  int symbols = 192;       ///< DPCH symbols per trial (SF 64 chips each)
+  /// Frame counts as errored when any payload bit is wrong.
+  [[nodiscard]] TrialResult operator()(std::uint64_t seed) const;
+};
+
+/// 802.11a OFDM link trial: one PPDU through AWGN, decoded end-to-end
+/// (sync, SIGNAL, FFT, equalise, Viterbi, descramble).
+struct WlanTrial {
+  int mbps = 6;              ///< rate mode (6..54)
+  double esn0_db = 10.0;     ///< sample-level Es/N0
+  std::size_t psdu_bits = 800;
+  [[nodiscard]] TrialResult operator()(std::uint64_t seed) const;
+};
+
+}  // namespace rsp::farm::kernels

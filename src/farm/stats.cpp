@@ -1,0 +1,24 @@
+#include "src/farm/stats.hpp"
+
+#include <cmath>
+
+namespace rsp::farm {
+
+Interval wilson_interval(std::uint64_t errors, std::uint64_t n, double z) {
+  if (n == 0) return {};
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(errors) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double centre = p + z2 / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  Interval ci;
+  ci.lo = (centre - margin) / denom;
+  ci.hi = (centre + margin) / denom;
+  if (ci.lo < 0.0) ci.lo = 0.0;
+  if (ci.hi > 1.0) ci.hi = 1.0;
+  return ci;
+}
+
+}  // namespace rsp::farm

@@ -1,0 +1,72 @@
+// Streaming result aggregation for Monte-Carlo link trials.
+//
+// Every trial reports integer event counts (bits simulated / in error,
+// frames simulated / in error).  Integer sums are associative and
+// commutative, so the aggregate is bit-identical no matter which thread
+// finished which task first — the property the determinism battery
+// (tests/farm) pins down.  Confidence intervals use the Wilson score,
+// which stays sane at the BER extremes (0 observed errors) where the
+// normal approximation collapses.
+#pragma once
+
+#include <cstdint>
+
+namespace rsp::farm {
+
+/// Per-task result of one Monte-Carlo trial.  A trial may simulate one
+/// frame (link benches) or several (terminal workloads); counts add.
+struct TrialResult {
+  std::uint64_t bits = 0;          ///< payload bits compared
+  std::uint64_t bit_errors = 0;    ///< of which wrong
+  std::uint64_t frames = 0;        ///< frames (or packets) attempted
+  std::uint64_t frame_errors = 0;  ///< of which not error-free
+
+  TrialResult& operator+=(const TrialResult& o) {
+    bits += o.bits;
+    bit_errors += o.bit_errors;
+    frames += o.frames;
+    frame_errors += o.frame_errors;
+    return *this;
+  }
+  friend bool operator==(const TrialResult&, const TrialResult&) = default;
+};
+
+/// Two-sided binomial confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for @p errors successes in @p n Bernoulli
+/// trials at critical value @p z (1.96 = 95%).  Returns {0,0} for n=0.
+[[nodiscard]] Interval wilson_interval(std::uint64_t errors, std::uint64_t n,
+                                       double z = 1.96);
+
+/// Order-independent accumulator over TrialResults with derived rates.
+class StreamingAggregate {
+ public:
+  void add(const TrialResult& r) { total_ += r; }
+
+  [[nodiscard]] const TrialResult& total() const { return total_; }
+  [[nodiscard]] double ber() const {
+    return total_.bits ? static_cast<double>(total_.bit_errors) /
+                             static_cast<double>(total_.bits)
+                       : 0.0;
+  }
+  [[nodiscard]] double fer() const {
+    return total_.frames ? static_cast<double>(total_.frame_errors) /
+                               static_cast<double>(total_.frames)
+                         : 0.0;
+  }
+  [[nodiscard]] Interval ber_ci(double z = 1.96) const {
+    return wilson_interval(total_.bit_errors, total_.bits, z);
+  }
+  [[nodiscard]] Interval fer_ci(double z = 1.96) const {
+    return wilson_interval(total_.frame_errors, total_.frames, z);
+  }
+
+ private:
+  TrialResult total_;
+};
+
+}  // namespace rsp::farm

@@ -1,0 +1,161 @@
+// Differential determinism: the scenario farm at ANY thread count must
+// be bit-identical to a plain serial loop over the same task seeds.
+//
+// This is the contract that lets Monte-Carlo campaigns quote
+// reproducible numbers while scaling across cores: task i's result is a
+// pure function of Rng::split(base_seed, i), never of which worker ran
+// it, in what order, or how the queue was bounded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/farm/farm.hpp"
+#include "src/farm/kernels.hpp"
+
+namespace rsp::farm {
+namespace {
+
+/// Reference loop written out longhand (not run_serial) so the test
+/// would still catch a bug in run_serial itself.
+std::vector<TrialResult> longhand(std::size_t n, std::uint64_t base,
+                                  const TrialKernel& k) {
+  std::vector<TrialResult> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = k(Rng::split(base, i), i);
+  return out;
+}
+
+void expect_matches_serial(const TrialKernel& kernel, std::size_t n_tasks,
+                           std::uint64_t base_seed) {
+  const auto reference = longhand(n_tasks, base_seed, kernel);
+  StreamingAggregate ref_agg;
+  for (const auto& r : reference) ref_agg.add(r);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<int> thread_counts = {1, 2, static_cast<int>(hw) + 3};
+  for (const int threads : thread_counts) {
+    FarmOptions opts;
+    opts.threads = threads;
+    opts.queue_capacity = 3;  // force producer/consumer interleaving
+    ScenarioFarm farm(opts);
+    const FarmResult res = farm.run(n_tasks, base_seed, kernel);
+    EXPECT_EQ(res.per_task, reference)
+        << "per-task results diverged at " << threads << " threads";
+    EXPECT_EQ(res.agg.total(), ref_agg.total())
+        << "aggregate diverged at " << threads << " threads";
+  }
+}
+
+TEST(FarmDeterminism, RakeKernelBitIdenticalAcrossThreadCounts) {
+  kernels::RakeTrial kernel;
+  kernel.fingers = 3;
+  kernel.esn0_db = -2.0;
+  kernel.symbols = 48;  // short frames keep the battery fast
+  expect_matches_serial(
+      [&](std::uint64_t seed, std::size_t) { return kernel(seed); }, 12, 100);
+}
+
+TEST(FarmDeterminism, RakeSingleFingerKernelMatches) {
+  kernels::RakeTrial kernel;
+  kernel.fingers = 1;
+  kernel.esn0_db = -6.0;
+  kernel.symbols = 48;
+  expect_matches_serial(
+      [&](std::uint64_t seed, std::size_t) { return kernel(seed); }, 12, 7);
+}
+
+TEST(FarmDeterminism, OfdmKernelBitIdenticalAcrossThreadCounts) {
+  kernels::WlanTrial kernel;
+  kernel.mbps = 12;
+  kernel.esn0_db = 12.0;
+  kernel.psdu_bits = 200;
+  expect_matches_serial(
+      [&](std::uint64_t seed, std::size_t) { return kernel(seed); }, 10, 42);
+}
+
+TEST(FarmDeterminism, RunSerialMatchesLonghandReference) {
+  kernels::WlanTrial kernel;
+  kernel.psdu_bits = 120;
+  kernel.esn0_db = 8.0;
+  const TrialKernel k = [&](std::uint64_t seed, std::size_t) {
+    return kernel(seed);
+  };
+  const auto res = run_serial(8, 3, k);
+  EXPECT_EQ(res.per_task, longhand(8, 3, k));
+}
+
+TEST(FarmDeterminism, TaskSeedsDependOnlyOnBaseAndIndex) {
+  // The farm must pass Rng::split(base, i) to task i — record the seeds
+  // each task saw and compare against the defining formula.
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> seen(n, 0);
+  FarmOptions opts;
+  opts.threads = 4;
+  ScenarioFarm farm(opts);
+  (void)farm.run(n, 555, [&](std::uint64_t seed, std::size_t index) {
+    seen[index] = seed;  // distinct slot per task
+    return TrialResult{};
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], Rng::split(555, i)) << "task " << i;
+  }
+}
+
+TEST(FarmDeterminism, ShareNothingKernelsNeverOverlapPerTaskSlots) {
+  // Each task index must be dispatched exactly once, even with a tiny
+  // bounded queue and more workers than queue slots.
+  const std::size_t n = 200;
+  std::vector<std::atomic<int>> runs(n);
+  FarmOptions opts;
+  opts.threads = 8;
+  opts.queue_capacity = 2;
+  ScenarioFarm farm(opts);
+  const auto res = farm.run(n, 9, [&](std::uint64_t, std::size_t index) {
+    runs[index].fetch_add(1, std::memory_order_relaxed);
+    TrialResult r;
+    r.frames = 1;
+    return r;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(res.agg.total().frames, n);
+}
+
+TEST(FarmDeterminism, KernelExceptionPropagates) {
+  FarmOptions opts;
+  opts.threads = 4;
+  ScenarioFarm farm(opts);
+  EXPECT_THROW(
+      (void)farm.run(32, 1,
+                     [&](std::uint64_t, std::size_t index) -> TrialResult {
+                       if (index == 5) throw std::runtime_error("boom");
+                       return {};
+                     }),
+      std::runtime_error);
+}
+
+TEST(FarmDeterminism, MoreThreadsThanTasksAndZeroTasks) {
+  FarmOptions opts;
+  opts.threads = 16;
+  ScenarioFarm farm(opts);
+  const auto res = farm.run(3, 11, [&](std::uint64_t, std::size_t) {
+    TrialResult r;
+    r.frames = 1;
+    return r;
+  });
+  EXPECT_EQ(res.agg.total().frames, 3u);
+  const auto empty = farm.run(0, 11, [&](std::uint64_t, std::size_t) {
+    return TrialResult{};
+  });
+  EXPECT_TRUE(empty.per_task.empty());
+  EXPECT_EQ(empty.agg.total().frames, 0u);
+}
+
+}  // namespace
+}  // namespace rsp::farm
