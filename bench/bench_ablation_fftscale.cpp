@@ -86,7 +86,10 @@ double sqnr_vs_float(const std::array<CplxI, kFftSize>& in,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   bench::title("Ablation — FFT64 per-stage 2-bit scaling on/off");
 
   bench::Table t({"input drive (bits)", "variant", "saturations/transform",

@@ -12,7 +12,10 @@
 #include "src/xpp/macros.hpp"
 #include "src/xpp/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   using namespace rsp::xpp;
   bench::title("Ablation — coarse-grained vs word-granular complex multiply");

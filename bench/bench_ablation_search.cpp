@@ -59,7 +59,10 @@ int hits(const std::vector<rake::PathCandidate>& found,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   bench::title("Ablation — path searcher coarse/fine integration lengths");
 
   const int trials = 8;

@@ -47,7 +47,10 @@ BurstStats run_gsm(int taps, double esn0_db, int bursts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("2G baseline — executable GSM/EDGE burst equalizer");
 

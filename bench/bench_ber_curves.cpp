@@ -18,7 +18,10 @@ namespace {
 
 using namespace rsp;
 
-constexpr int kTrialsPerPoint = 200;
+/// 200 trials/point for perf-grade curves; --smoke (ctest -L perf)
+/// shrinks to 8 so the harness stays exercised without BER-grade
+/// runtimes.
+int g_trials_per_point = 200;
 
 /// The single sweep-point helper both tables use (the old bench had two
 /// hand-rolled serial copies of this loop, which had already drifted).
@@ -26,7 +29,7 @@ farm::FarmResult run_point(const farm::ScenarioFarm& f,
                            const std::function<farm::TrialResult(
                                std::uint64_t)>& kernel,
                            std::uint64_t base_seed) {
-  return f.run(kTrialsPerPoint, base_seed,
+  return f.run(static_cast<std::size_t>(g_trials_per_point), base_seed,
                [&](std::uint64_t seed, std::size_t) { return kernel(seed); });
 }
 
@@ -37,12 +40,14 @@ std::string with_ci(double value, farm::Interval ci, int prec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = rsp::bench::parse_args(argc, argv);
+  if (args.smoke) g_trials_per_point = 8;
   bench::title("Link-level curves — rake combining & OFDM rate modes");
   farm::ScenarioFarm f;
 
   bench::note("W-CDMA rake raw BER vs Es/N0 (3-path static channel, SF 64,");
-  bench::note(std::to_string(kTrialsPerPoint) +
+  bench::note(std::to_string(g_trials_per_point) +
               " trials/point, Wilson 95% CI):");
   bench::Table r({"Es/N0 (dB)", "1 finger", "3 fingers (MRC)"});
   double total_frames = 0.0;
@@ -65,7 +70,7 @@ int main() {
   r.print();
 
   bench::note("\n802.11a frame success rate vs Es/N0 (AWGN, 800-bit PSDU, " +
-              std::to_string(kTrialsPerPoint) +
+              std::to_string(g_trials_per_point) +
               " frames/point, Wilson 95% CI):");
   bench::Table w({"Es/N0 (dB)", "6 Mb/s", "12 Mb/s", "24 Mb/s", "54 Mb/s"});
   for (const double esn0 : {4.0, 8.0, 12.0, 16.0, 20.0, 24.0}) {

@@ -27,7 +27,8 @@ struct Point {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::title("Scenario farm scaling — rake BER kernel, frames/s vs threads");
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -37,11 +38,19 @@ int main() {
                           static_cast<int>(hw)) == counts.end()) {
     counts.push_back(static_cast<int>(hw));
   }
+  if (args.threads > 0) {
+    // Operator override: sweep only the requested worker count (plus
+    // the 1-thread baseline so the speedup column stays meaningful).
+    counts = {1};
+    if (args.threads != 1) counts.push_back(args.threads);
+    bench::note("thread override: measuring " + std::to_string(args.threads) +
+                " worker thread(s)");
+  }
 
   farm::kernels::RakeTrial kernel;
   kernel.fingers = 3;
   kernel.esn0_db = 0.0;
-  const std::size_t trials = 200;
+  const std::size_t trials = args.smoke ? 24 : 200;
   constexpr std::uint64_t kBaseSeed = 100;
 
   const auto reference = farm::run_serial(
@@ -86,32 +95,30 @@ int main() {
                 "cannot exceed ~1x on this host");
   }
 
-  std::FILE* f = std::fopen("BENCH_farm.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_farm.json\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_farm\",\n");
-  std::fprintf(f, "  \"kernel\": \"rake_ber_3finger_0dB\",\n");
-  std::fprintf(f, "  \"unit\": \"frames_per_second\",\n");
-  std::fprintf(f, "  \"trials\": %zu,\n", trials);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(f, "  \"deterministic_across_threads\": true,\n");
-  std::fprintf(f, "  \"scaling\": [\n");
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_farm\",\n");
+  bench::appendf(j, "  \"kernel\": \"rake_ber_3finger_0dB\",\n");
+  bench::appendf(j, "  \"unit\": \"frames_per_second\",\n");
+  bench::appendf(j, "  \"trials\": %zu,\n", trials);
+  bench::appendf(j, "  \"hardware_concurrency\": %u,\n", hw);
+  bench::appendf(j, "  \"threads_override\": %d,\n", args.threads);
+  bench::appendf(j, "  \"smoke\": %s,\n", args.smoke ? "true" : "false");
+  bench::appendf(j, "  \"deterministic_across_threads\": true,\n");
+  bench::appendf(j, "  \"scaling\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"frames_per_s\": %s, "
-                 "\"speedup_vs_1\": %s, \"wall_s\": %s}%s\n",
-                 p.threads, bench::json_num(p.frames_per_s, 1).c_str(),
-                 bench::json_num(
-                     base_fps > 0 ? p.frames_per_s / base_fps : 0.0, 2)
-                     .c_str(),
-                 bench::json_num(p.wall_s, 4).c_str(),
-                 i + 1 < points.size() ? "," : "");
+    bench::appendf(j,
+                   "    {\"threads\": %d, \"frames_per_s\": %s, "
+                   "\"speedup_vs_1\": %s, \"wall_s\": %s}%s\n",
+                   p.threads, bench::json_num(p.frames_per_s, 1).c_str(),
+                   bench::json_num(
+                       base_fps > 0 ? p.frames_per_s / base_fps : 0.0, 2)
+                       .c_str(),
+                   bench::json_num(p.wall_s, 4).c_str(),
+                   i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  bench::appendf(j, "  ]\n}\n");
+  if (!bench::write_json_checked("BENCH_farm.json", j)) return 1;
   bench::note("wrote BENCH_farm.json");
   return 0;
 }

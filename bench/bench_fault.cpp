@@ -95,42 +95,40 @@ void measure_interleaved(std::size_t n_chips, int reps, Measurement& bare,
   }
 }
 
-void write_json(const Measurement& bare, const Measurement& hooked,
+bool write_json(const Measurement& bare, const Measurement& hooked,
                 const Measurement& seu, double overhead_pct) {
-  std::FILE* f = std::fopen("BENCH_fault.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_fault.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_fault\",\n");
-  std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
-  std::fprintf(f, "  \"workload\": \"despreader_sf16_stream\",\n");
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_fault\",\n");
+  bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
+  bench::appendf(j, "  \"workload\": \"despreader_sf16_stream\",\n");
   // Doubles go through bench::json_num so a comma-decimal LC_NUMERIC
-  // locale cannot produce invalid JSON.
-  std::fprintf(f, "  \"cycles\": %lld,\n", bare.cycles);
-  std::fprintf(f, "  \"bare_cps\": %s,\n",
-               bench::json_num(bare.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"hooked_empty_plan_cps\": %s,\n",
-               bench::json_num(hooked.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"seu_armed_cps\": %s,\n",
-               bench::json_num(seu.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"hook_overhead_pct\": %s,\n",
-               bench::json_num(overhead_pct, 2).c_str());
-  std::fprintf(f, "  \"hook_overhead_target_pct\": 2.0,\n");
-  std::fprintf(f, "  \"seu_injections\": %zu\n", seu.injections);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  // locale cannot produce invalid JSON (and write_json_checked re-runs
+  // the validator over the whole payload before it reaches disk).
+  bench::appendf(j, "  \"cycles\": %lld,\n", bare.cycles);
+  bench::appendf(j, "  \"bare_cps\": %s,\n",
+                 bench::json_num(bare.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"hooked_empty_plan_cps\": %s,\n",
+                 bench::json_num(hooked.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"seu_armed_cps\": %s,\n",
+                 bench::json_num(seu.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"hook_overhead_pct\": %s,\n",
+                 bench::json_num(overhead_pct, 2).c_str());
+  bench::appendf(j, "  \"hook_overhead_target_pct\": 2.0,\n");
+  bench::appendf(j, "  \"seu_injections\": %zu\n", seu.injections);
+  bench::appendf(j, "}\n");
+  return bench::write_json_checked("BENCH_fault.json", j);
 }
 
 }  // namespace
 }  // namespace rsp
 
-int main() {
+int main(int argc, char** argv) {
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
   rsp::bench::title("Fault-injection overhead: bare vs hooked vs SEU-armed");
 
-  constexpr std::size_t kChips = 200000;
+  const std::size_t kChips = args.smoke ? 4096 : 200000;
   rsp::Measurement bare, hooked, seu;
-  rsp::measure_interleaved(kChips, 5, bare, hooked, seu);
+  rsp::measure_interleaved(kChips, args.smoke ? 1 : 5, bare, hooked, seu);
 
   // An installed-but-empty plan must not change behaviour in any way.
   const bool identical = bare.checksum == hooked.checksum &&
@@ -170,7 +168,7 @@ int main() {
                        ? "cross-check: empty-plan run bit-identical to bare"
                        : "cross-check: FAILED — empty plan changed behaviour");
   rsp::bench::note("target: hook overhead <= 2% (bare vs hooked)");
-  rsp::write_json(bare, hooked, seu, overhead_pct);
-  rsp::bench::note("wrote BENCH_fault.json");
-  return identical ? 0 : 1;
+  const bool wrote = rsp::write_json(bare, hooked, seu, overhead_pct);
+  if (wrote) rsp::bench::note("wrote BENCH_fault.json");
+  return identical && wrote ? 0 : 1;
 }

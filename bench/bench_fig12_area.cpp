@@ -37,7 +37,10 @@ std::array<KindUsage, 5> summarize(const rsp::xpp::PerfCounters& pc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 12 — XPP64A area/power model (0.13 um HCMOS9)");
 

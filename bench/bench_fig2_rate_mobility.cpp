@@ -97,7 +97,10 @@ double umts_ber(double speed_m_s, double esn0_db, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 2 — data rate vs. mobility for wireless access");
 

@@ -13,7 +13,10 @@
 #include "src/xpp/manager.hpp"
 #include "src/xpp/nml.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   using xpp::Configuration;
   bench::title("Figure 3 — integrated design flow (builder -> NML -> array)");

@@ -13,7 +13,10 @@
 #include "src/rake/scenario.hpp"
 #include "src/sdr/partitioning.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 4 — partitioning of the rake receiver");
 

@@ -11,7 +11,10 @@
 #include "src/rake/maps.hpp"
 #include "src/rake/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 5 — rake descrambler on the reconfigurable array");
 

@@ -8,7 +8,10 @@
 #include "src/common/rng.hpp"
 #include "src/rake/maps.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 6 — rake despreader on the reconfigurable array");
 

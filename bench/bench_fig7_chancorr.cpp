@@ -24,7 +24,10 @@ std::vector<CplxI> random_symbols(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   bench::title("Figure 7 — channel correction unit (incl. STTD decoding)");
 
   const auto symbols = random_symbols(2048, 5);

@@ -6,7 +6,10 @@
 #include "src/phy/channel.hpp"
 #include "src/sdr/partitioning.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 8 — partitioning of the OFDM decoder tasks");
 

@@ -14,7 +14,10 @@
 #include "src/ofdm/maps.hpp"
 #include "src/phy/fft.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Figure 9 — FFT64 radix-4 kernel on the array");
 

@@ -1,20 +1,26 @@
 // Scheduler microbenchmark: cycles/sec of the XPP cycle simulator under
-// the legacy scan-to-fixed-point scheduler versus the event-driven
-// worklist scheduler, on
+// the legacy scan-to-fixed-point scheduler, the event-driven worklist
+// scheduler, and the compiled epoch-replay scheduler, on
 //  - a sparse-activity configuration: an 8x8 array holding four rake
 //    despreader fingers with a single finger streaming chips (the other
-//    three sit idle, as in a terminal tracking one dominant path), and
+//    three sit idle, as in a terminal tracking one dominant path),
 //  - the fully-dense FFT64 pipeline, where nearly every object fires
-//    every cycle (worst case for worklist bookkeeping).
+//    every cycle (worst case for worklist bookkeeping),
+//  - the UMTS descrambler streaming a chip burst (period-1 steady
+//    state, best case for epoch replay), and
+//  - a lone despreader finger at SF=16 (epoch replay between
+//    accumulator dumps, guard deopt across them).
 // Emits a machine-readable BENCH_sched.json so the perf trajectory is
-// tracked across PRs.  Both schedulers' outputs are cross-checked so a
+// tracked across PRs.  All schedulers' outputs are cross-checked so a
 // perf run cannot silently diverge from the reference behaviour.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/report.hpp"
 #include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
 #include "src/ofdm/maps.hpp"
 #include "src/rake/maps.hpp"
 #include "src/xpp/manager.hpp"
@@ -98,6 +104,50 @@ Measurement run_dense(xpp::SchedulerKind kind, std::size_t n_symbols) {
   return m;
 }
 
+/// Descrambler streaming a chip burst against its scrambling code — the
+/// canonical period-1 steady state for epoch replay.
+Measurement run_descrambler(xpp::SchedulerKind kind, std::size_t n_chips) {
+  const auto chips = random_chips(n_chips, 13);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<xpp::Word> code(n_chips);
+  for (auto& c : code) c = scr.next2() & 3;
+  xpp::ConfigurationManager mgr({}, kind);
+  const auto id = mgr.load(rake::maps::descrambler_config());
+  mgr.input(id, "data").feed(rake::maps::pack_stream(chips));
+  mgr.input(id, "code").feed(code);
+
+  Measurement m;
+  const long long c0 = mgr.sim().cycle();
+  const long long f0 = mgr.sim().total_fires();
+  const auto t0 = Clock::now();
+  mgr.sim().run_until_quiescent(static_cast<long long>(n_chips) * 8);
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  m.cycles = mgr.sim().cycle() - c0;
+  m.fires = mgr.sim().total_fires() - f0;
+  m.checksum = mgr.output(id, "out").take();
+  return m;
+}
+
+/// A lone despreader finger at SF=16: epoch replay between accumulator
+/// dumps, guard deopt at each dump.
+Measurement run_despreader(xpp::SchedulerKind kind, std::size_t n_chips) {
+  const auto chips = random_chips(n_chips, 29);
+  xpp::ConfigurationManager mgr({}, kind);
+  const auto id = mgr.load(rake::maps::despreader_config(16, 1));
+  mgr.input(id, "data").feed(rake::maps::pack_stream(chips));
+
+  Measurement m;
+  const long long c0 = mgr.sim().cycle();
+  const long long f0 = mgr.sim().total_fires();
+  const auto t0 = Clock::now();
+  mgr.sim().run_until_quiescent(static_cast<long long>(n_chips) * 8);
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  m.cycles = mgr.sim().cycle() - c0;
+  m.fires = mgr.sim().total_fires() - f0;
+  m.checksum = mgr.output(id, "out").take();
+  return m;
+}
+
 template <typename Fn>
 Measurement best_of(Fn&& fn, int reps) {
   Measurement best = fn();
@@ -112,93 +162,114 @@ struct Scenario {
   const char* name;
   Measurement scan;
   Measurement event;
+  Measurement comp;
 
   [[nodiscard]] double speedup() const {
     return scan.seconds > 0 && event.seconds > 0
                ? event.cycles_per_sec() / scan.cycles_per_sec()
                : 0.0;
   }
+  [[nodiscard]] double compiled_speedup() const {
+    return event.seconds > 0 && comp.seconds > 0
+               ? comp.cycles_per_sec() / event.cycles_per_sec()
+               : 0.0;
+  }
 };
 
-void write_json(const std::vector<Scenario>& scenarios) {
-  std::FILE* f = std::fopen("BENCH_sched.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_sched.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_micro_sched\",\n");
-  std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
-  std::fprintf(f, "  \"scenarios\": [\n");
+std::string render_json(const std::vector<Scenario>& scenarios, bool smoke) {
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_micro_sched\",\n");
+  bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
+  bench::appendf(j, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  bench::appendf(j, "  \"scenarios\": [\n");
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const auto& s = scenarios[i];
     // Doubles go through bench::json_num so a comma-decimal LC_NUMERIC
     // locale cannot produce invalid JSON.
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"cycles\": %lld, \"fires\": %lld, "
-                 "\"scan_cps\": %s, \"event_cps\": %s, "
-                 "\"speedup\": %s}%s\n",
-                 s.name, s.scan.cycles, s.scan.fires,
-                 bench::json_num(s.scan.cycles_per_sec(), 0).c_str(),
-                 bench::json_num(s.event.cycles_per_sec(), 0).c_str(),
-                 bench::json_num(s.speedup(), 3).c_str(),
-                 i + 1 < scenarios.size() ? "," : "");
+    bench::appendf(j,
+                   "    {\"name\": \"%s\", \"cycles\": %lld, \"fires\": %lld, "
+                   "\"scan_cps\": %s, \"event_cps\": %s, \"compiled_cps\": %s, "
+                   "\"speedup\": %s, \"compiled_speedup\": %s}%s\n",
+                   s.name, s.scan.cycles, s.scan.fires,
+                   bench::json_num(s.scan.cycles_per_sec(), 0).c_str(),
+                   bench::json_num(s.event.cycles_per_sec(), 0).c_str(),
+                   bench::json_num(s.comp.cycles_per_sec(), 0).c_str(),
+                   bench::json_num(s.speedup(), 3).c_str(),
+                   bench::json_num(s.compiled_speedup(), 3).c_str(),
+                   i + 1 < scenarios.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  bench::appendf(j, "  ]\n}\n");
+  return j;
 }
 
 }  // namespace
 }  // namespace rsp
 
-int main() {
+int main(int argc, char** argv) {
   using rsp::xpp::SchedulerKind;
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
   rsp::bench::title(
-      "Scheduler microbenchmark: scan fixed-point vs event-driven worklist");
+      "Scheduler microbenchmark: scan fixed-point vs event-driven worklist "
+      "vs compiled epochs");
+
+  const int reps = args.smoke ? 1 : 3;
+  const std::size_t chips = args.smoke ? 1024 : 20000;
+  const std::size_t symbols = args.smoke ? 2 : 24;
 
   std::vector<rsp::Scenario> scenarios;
-
-  {
-    rsp::Scenario s{"rake_single_finger_8x8", {}, {}};
-    s.scan = rsp::best_of(
-        [] { return rsp::run_sparse(SchedulerKind::kScan, 20000); }, 3);
+  struct Gen {
+    const char* name;
+    rsp::Measurement (*fn)(rsp::xpp::SchedulerKind, std::size_t);
+    std::size_t n;
+  };
+  const Gen gens[] = {
+      {"rake_single_finger_8x8", rsp::run_sparse, chips},
+      {"fft64_dense", rsp::run_dense, symbols},
+      {"descrambler_stream", rsp::run_descrambler, chips},
+      {"despreader_sf16", rsp::run_despreader, chips},
+  };
+  for (const Gen& g : gens) {
+    rsp::Scenario s{g.name, {}, {}, {}};
+    s.scan =
+        rsp::best_of([&] { return g.fn(SchedulerKind::kScan, g.n); }, reps);
     s.event = rsp::best_of(
-        [] { return rsp::run_sparse(SchedulerKind::kEventDriven, 20000); }, 3);
-    scenarios.push_back(std::move(s));
-  }
-  {
-    rsp::Scenario s{"fft64_dense", {}, {}};
-    s.scan = rsp::best_of(
-        [] { return rsp::run_dense(SchedulerKind::kScan, 24); }, 3);
-    s.event = rsp::best_of(
-        [] { return rsp::run_dense(SchedulerKind::kEventDriven, 24); }, 3);
+        [&] { return g.fn(SchedulerKind::kEventDriven, g.n); }, reps);
+    s.comp =
+        rsp::best_of([&] { return g.fn(SchedulerKind::kCompiled, g.n); }, reps);
     scenarios.push_back(std::move(s));
   }
 
   bool identical = true;
   for (const auto& s : scenarios) {
     if (s.scan.checksum != s.event.checksum ||
-        s.scan.cycles != s.event.cycles || s.scan.fires != s.event.fires) {
+        s.scan.checksum != s.comp.checksum || s.scan.cycles != s.event.cycles ||
+        s.scan.cycles != s.comp.cycles || s.scan.fires != s.event.fires ||
+        s.scan.fires != s.comp.fires) {
       identical = false;
       std::fprintf(stderr, "DIVERGENCE in scenario %s\n", s.name);
     }
   }
 
   rsp::bench::Table t({"scenario", "cycles", "fires", "scan cyc/s",
-                       "event cyc/s", "speedup"});
+                       "event cyc/s", "compiled cyc/s", "event/scan",
+                       "compiled/event"});
   for (const auto& s : scenarios) {
     t.row({s.name, rsp::bench::fmt_int(s.scan.cycles),
            rsp::bench::fmt_int(s.scan.fires),
            rsp::bench::fmt(s.scan.cycles_per_sec(), 0),
            rsp::bench::fmt(s.event.cycles_per_sec(), 0),
-           rsp::bench::fmt(s.speedup(), 2) + "x"});
+           rsp::bench::fmt(s.comp.cycles_per_sec(), 0),
+           rsp::bench::fmt(s.speedup(), 2) + "x",
+           rsp::bench::fmt(s.compiled_speedup(), 2) + "x"});
   }
   t.print();
   rsp::bench::note(identical
                        ? "cross-check: schedulers bit-identical (cycles, "
                          "fires, outputs)"
                        : "cross-check: FAILED — schedulers diverged");
-  rsp::bench::note("targets: sparse >= 3.0x, dense >= 0.9x");
-  rsp::write_json(scenarios);
-  rsp::bench::note("wrote BENCH_sched.json");
-  return identical ? 0 : 1;
+  rsp::bench::note("targets: sparse event/scan >= 3.0x, dense >= 0.9x");
+  const bool wrote = rsp::bench::write_json_checked(
+      "BENCH_sched.json", rsp::render_json(scenarios, args.smoke));
+  if (wrote) rsp::bench::note("wrote BENCH_sched.json");
+  return identical && wrote ? 0 : 1;
 }

@@ -3,6 +3,9 @@
 // loads/releases configurations and streams the Figure 5/6 datapaths.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "src/common/rng.hpp"
 #include "src/dedhw/umts_scrambler.hpp"
 #include "src/rake/maps.hpp"
@@ -89,4 +92,23 @@ BENCHMARK(BM_NmlRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the whole bench/ directory
+// shares one flag vocabulary, so this binary also accepts --smoke
+// (used by `ctest -L perf`) and translates it into a minimal
+// google-benchmark run before handing the remaining flags through.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::string_view(*it) == "--smoke") {
+      *it = min_time;
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,7 +46,10 @@ std::vector<CplxI> capture(int n_chips) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-evaluation harness: already smoke-sized, so --smoke is
+  // accepted (ctest -L perf) without changing the workload.
+  (void)rsp::bench::parse_args(argc, argv);
   using namespace rsp;
   bench::title("Table 1 — rake receiver finger scenarios");
 

@@ -91,42 +91,39 @@ void measure_interleaved(std::size_t n_chips, int reps, Measurement& bare,
   }
 }
 
-void write_json(const Measurement& bare, const Measurement& paused,
+bool write_json(const Measurement& bare, const Measurement& paused,
                 const Measurement& on, double off_overhead_pct,
                 double on_overhead_pct) {
-  std::FILE* f = std::fopen("BENCH_trace.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_trace.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_trace\",\n");
-  std::fprintf(f, "  \"unit\": \"simulated_cycles_per_second\",\n");
-  std::fprintf(f, "  \"workload\": \"despreader_sf16_stream\",\n");
-  std::fprintf(f, "  \"cycles\": %lld,\n", bare.cycles);
-  std::fprintf(f, "  \"bare_cps\": %s,\n",
-               bench::json_num(bare.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"attached_paused_cps\": %s,\n",
-               bench::json_num(paused.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"tracing_on_cps\": %s,\n",
-               bench::json_num(on.cycles_per_sec(), 0).c_str());
-  std::fprintf(f, "  \"off_overhead_pct\": %s,\n",
-               bench::json_num(off_overhead_pct, 2).c_str());
-  std::fprintf(f, "  \"off_overhead_target_pct\": 1.0,\n");
-  std::fprintf(f, "  \"on_overhead_pct\": %s\n",
-               bench::json_num(on_overhead_pct, 2).c_str());
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_trace\",\n");
+  bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
+  bench::appendf(j, "  \"workload\": \"despreader_sf16_stream\",\n");
+  bench::appendf(j, "  \"cycles\": %lld,\n", bare.cycles);
+  bench::appendf(j, "  \"bare_cps\": %s,\n",
+                 bench::json_num(bare.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"attached_paused_cps\": %s,\n",
+                 bench::json_num(paused.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"tracing_on_cps\": %s,\n",
+                 bench::json_num(on.cycles_per_sec(), 0).c_str());
+  bench::appendf(j, "  \"off_overhead_pct\": %s,\n",
+                 bench::json_num(off_overhead_pct, 2).c_str());
+  bench::appendf(j, "  \"off_overhead_target_pct\": 1.0,\n");
+  bench::appendf(j, "  \"on_overhead_pct\": %s\n",
+                 bench::json_num(on_overhead_pct, 2).c_str());
+  bench::appendf(j, "}\n");
+  return bench::write_json_checked("BENCH_trace.json", j);
 }
 
 }  // namespace
 }  // namespace rsp
 
-int main() {
+int main(int argc, char** argv) {
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
   rsp::bench::title("Tracing overhead: bare vs attached-paused vs tracing-on");
 
-  constexpr std::size_t kChips = 150000;
+  const std::size_t kChips = args.smoke ? 4096 : 150000;
   rsp::Measurement bare, paused, on;
-  rsp::measure_interleaved(kChips, 5, bare, paused, on);
+  rsp::measure_interleaved(kChips, args.smoke ? 1 : 5, bare, paused, on);
 
   // A paused (and even an active) tracer must not change behaviour.
   const bool identical =
@@ -168,8 +165,9 @@ int main() {
                          " to bare"
                        : "cross-check: FAILED — tracing changed behaviour");
   rsp::bench::note("target: tracing-off overhead < 1% (bare vs paused)");
-  rsp::write_json(bare, paused, on, off_overhead_pct, on_overhead_pct);
-  rsp::bench::note("wrote BENCH_trace.json");
+  const bool wrote =
+      rsp::write_json(bare, paused, on, off_overhead_pct, on_overhead_pct);
+  if (wrote) rsp::bench::note("wrote BENCH_trace.json");
 
   {
     std::ofstream tl("BENCH_trace_timeline.json");
@@ -178,5 +176,5 @@ int main() {
   rsp::bench::note(
       "wrote BENCH_trace_timeline.json (open in chrome://tracing or "
       "https://ui.perfetto.dev)");
-  return identical ? 0 : 1;
+  return identical && wrote ? 0 : 1;
 }

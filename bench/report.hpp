@@ -7,9 +7,14 @@
 #include <algorithm>
 #include <clocale>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "tests/support/json_lite.hpp"
 
 namespace rsp::bench {
 
@@ -116,5 +121,78 @@ inline std::string json_num(double v, int prec = 2) {
 /// Locale-independent integer (grouping flags are never used, but keep
 /// all JSON numerals behind one choke point).
 inline std::string json_num(long long v) { return fmt_int(v); }
+
+/// Command-line surface shared by every bench binary.
+///
+/// `--smoke` asks for a minimal-size run: same code paths, same
+/// cross-checks, tiny workloads — this is what `ctest -L perf` invokes
+/// so the harnesses stay exercised (and their BENCH_*.json stays valid)
+/// on every test run without perf-grade runtimes.  `--threads N`
+/// overrides the worker sweep in bench_farm; other binaries accept and
+/// ignore it so one flag vocabulary covers the whole bench/ directory.
+struct Args {
+  bool smoke = false;
+  int threads = 0;  ///< 0 = no override
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--smoke") {
+      a.smoke = true;
+    } else if (s == "--threads" && i + 1 < argc) {
+      a.threads = std::atoi(argv[++i]);
+    } else if (s.rfind("--threads=", 0) == 0) {
+      a.threads = std::atoi(s.c_str() + std::strlen("--threads="));
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s' (known: --smoke, --threads N)\n",
+                   argv[0], s.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// printf-append into a string accumulator, so JSON payloads can be
+/// built in memory and validated before they ever reach disk.
+inline void appendf(std::string& out, const char* f, ...) {
+  va_list ap;
+  va_start(ap, f);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, f, ap);
+  va_end(ap);
+  if (n > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), f, ap2);
+    out.append(buf.data(), static_cast<std::size_t>(n));
+  }
+  va_end(ap2);
+}
+
+/// Validate `payload` with the same RFC 8259 checker the test suite
+/// uses, then write it.  A malformed payload (e.g. a locale that
+/// sneaks a "," decimal past json_num) is refused with a nonzero
+/// outcome so the perf smoke test fails loudly instead of shipping a
+/// broken BENCH_*.json.
+inline bool write_json_checked(const std::string& path,
+                               const std::string& payload) {
+  if (!rsp::testing::json_valid(payload)) {
+    std::fprintf(stderr, "%s: payload is not valid JSON, refusing to write\n",
+                 path.c_str());
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const bool ok = written == payload.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
 
 }  // namespace rsp::bench

@@ -32,6 +32,11 @@ class AluObject final : public Object {
   bool do_fire() override;
 
  private:
+  /// The compiled replayer mirrors the stateful opcodes (kAccum,
+  /// kCAccum, kMergeAlt) against these registers directly, with the
+  /// identical arithmetic, so armed epochs stay bit-exact.
+  friend class CompiledProgram;
+
   // Stateful-opcode registers.
   Word acc_ = 0;                // kAccum
   long long cacc_re_ = 0;       // kCAccum

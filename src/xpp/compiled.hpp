@@ -1,0 +1,329 @@
+// Compiled steady-state epoch replay for the XPP cycle simulator.
+//
+// The paper's workloads (descrambler, despreader, FFT64 — Sections 3.1
+// and 3.2) spend almost all of their cycles in a *periodic steady
+// state*: once the pipeline fills, the same firing pattern repeats
+// every P cycles until the input stream runs dry or the array is
+// reconfigured.  The interpreting schedulers re-derive that pattern
+// every cycle — worklist maintenance, virtual do_fire dispatch,
+// per-port readiness checks.  SchedulerKind::kCompiled removes that
+// overhead:
+//
+//  1. RECORD.  While interpreting (via the event-driven scheduler), a
+//     CompiledEngine records each cycle's exact token traffic — the
+//     (consume, stage, fire) event stream — and hashes it.  A hash
+//     ring plus a last-seen map detect a candidate period P; K
+//     hash-identical repeats followed by an exact structural compare
+//     promote it to a compile candidate.
+//  2. COMPILE.  The period is replayed *symbolically* over the live
+//     token state (net has/consumed masks, FIFO depths, merge
+//     toggles).  Every recorded fire is checked against the exact
+//     interpreter readiness rules, every non-fired object is checked
+//     to be unable to fire (maximality, conservatively: unknown data
+//     decisions count as "could fire" and refuse the compile), and the
+//     end state must equal the entry state (closure).  The verified
+//     period is lowered into a flat epoch program: a contiguous SoA
+//     block of net value slots plus a branch-free op list with
+//     pre-resolved slot offsets, per-phase commit (latch) lists,
+//     per-phase guards, and per-phase trace deltas.
+//  3. REPLAY.  While armed, net state lives packed in the SoA arrays
+//     and each step() executes one phase: check guards, run the op
+//     list, latch the commit list.  No worklist, no virtual calls, no
+//     readiness checks.  Data-dependent decisions (demux routes, gate
+//     passes, accumulator dumps, input-queue depth) were pinned by the
+//     recorder; the guards re-check each pinned truth at every phase
+//     boundary and deoptimize — restore exact Net state, reseed the
+//     event scheduler — the moment one fails.  Guards are evaluated
+//     before any mutation, so a deopt lands precisely on a cycle
+//     boundary with bit-identical state.
+//
+// Boundary events always fall back to the interpreter:
+//  - InputObject::feed  -> Simulator::object_woken -> deoptimize;
+//  - add_group / remove_group -> invalidate (programs hold raw
+//    pointers into the old groups);
+//  - Simulator::install_faults / attach_trace -> deoptimize; the
+//    engine also refuses to arm (and deoptimizes) while an installed
+//    FaultInjector has events pending — injected mutations violate
+//    the compiled program's invariants;
+//  - guard failure (stream exhausted, a steering decision flipped).
+//
+// Tracing stays exact while armed: each phase carries precomputed
+// classification deltas (fired / stall-in / stall-out / idle per
+// object, occupied / latched per net) derived from the same symbolic
+// boundary states, applied straight into the Tracer's counter stores —
+// counters, interval row samples and flush timing are bit-identical to
+// the interpreting schedulers.  Worklist-depth samples are absent for
+// replayed cycles (they measure the event scheduler itself, as under
+// kScan).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xpp/net.hpp"
+#include "src/xpp/object.hpp"
+#include "src/xpp/trace.hpp"
+
+namespace rsp::xpp {
+
+class AluObject;
+class CounterObject;
+class InputObject;
+class RamObject;
+class Simulator;
+
+/// Longest period the detector will consider (cycles).
+inline constexpr int kMaxCompiledPeriod = 128;
+
+/// Hash-identical repeats required before a compile is attempted.
+inline constexpr int kCompiledRepeats = 3;
+
+/// Max compiled programs kept for cheap re-arming (MRU order).
+inline constexpr int kCompiledCacheSize = 4;
+
+/// One token event observed while interpreting a cycle.  Pointers are
+/// only compared/hashed, never dereferenced, so records of removed
+/// groups are safe (invalidate() clears them anyway).
+struct CycleEvent {
+  enum class Kind : std::uint8_t { kConsume, kStage, kFire };
+  Kind kind = Kind::kFire;
+  const void* ptr = nullptr;  ///< Net (consume/stage) or Object (fire)
+  std::int32_t sink = -1;     ///< consuming sink index (kConsume only)
+
+  friend bool operator==(const CycleEvent&, const CycleEvent&) = default;
+};
+
+/// One recorded cycle: the event stream in occurrence order.  A fire
+/// event closes the segment of consumes/stages its do_fire produced.
+struct CycleRecord {
+  std::vector<CycleEvent> evs;
+  std::uint64_t hash = 0;
+};
+
+/// Engine counters (exposed through Simulator::compiled_engine for
+/// tests and benchmarks — non-vacuousness checks and reports).
+struct CompiledStats {
+  long long recorded_cycles = 0;   ///< interpreted cycles fed to the detector
+  long long compiles = 0;          ///< successful program builds
+  long long compile_refusals = 0;  ///< candidates rejected by verification
+  long long arms = 0;              ///< times a program went live
+  long long rearms = 0;            ///< arms served from the program cache
+  long long deopts = 0;            ///< epoch exits back to the interpreter
+  long long replayed_cycles = 0;   ///< cycles executed by epoch replay
+};
+
+/// A verified, lowered steady-state period.  Built once, then armed
+/// (net state packed into the SoA arrays) and replayed phase by phase;
+/// unpack() restores bit-identical Net state at any phase boundary.
+class CompiledProgram {
+ public:
+  /// Symbolically verify and lower @p period (oldest cycle first)
+  /// against the simulator's *current* state.  Returns nullptr if any
+  /// readiness, maximality or closure check refuses the candidate.
+  static std::unique_ptr<CompiledProgram> build(
+      Simulator& sim, const std::vector<const CycleRecord*>& period);
+
+  ~CompiledProgram();
+
+  [[nodiscard]] int period() const { return period_; }
+  [[nodiscard]] const std::vector<CycleRecord>& records() const {
+    return records_;
+  }
+
+  /// True if the live net/FIFO/toggle/input-queue structural state
+  /// equals this program's entry state (phase 0 boundary) — the cheap
+  /// re-arm test used by the engine's program cache.
+  [[nodiscard]] bool entry_matches(const Simulator& sim) const;
+
+  /// Pack net state into the SoA block, clear the event scheduler's
+  /// worklists, resolve Tracer counter pointers.  Returns false (and
+  /// leaves the simulator untouched) if the tracer is missing entries.
+  [[nodiscard]] bool arm(Simulator& sim);
+
+  /// Execute one phase: guards, op list, commit list, trace deltas,
+  /// clock/fire accounting.  Returns the phase's fire count, or -1
+  /// after a failed guard deoptimized (state already restored).
+  int exec_phase(Simulator& sim);
+
+  /// Restore exact interpreter state at the current phase boundary and
+  /// reseed the event scheduler.
+  void unpack(Simulator& sim);
+
+ private:
+  CompiledProgram() = default;
+
+  struct Builder;  ///< symbolic verification + lowering (compiled.cpp)
+
+  /// Lowered per-fire operation kinds.
+  enum class CKind : std::uint8_t {
+    kAlu,           ///< generic ALU opcode (op field; kMux/kSwap run live)
+    kCopy,          ///< pre-resolved route: staged[o0] = value[a]
+    kDrop,          ///< fire with no token effect (gate drop, blind demux)
+    kMergeAltCopy,  ///< kCopy + merge toggle flip
+    kAccum,         ///< kAccum with compile-pinned dump flag
+    kCAccum,        ///< kCAccum with compile-pinned dump flag
+    kCounter,       ///< count/wrap replay (runtime registers)
+    kRam,           ///< dual-port RAM (flags: read / write)
+    kFifo,          ///< FIFO (flags: push / pop; push before pop)
+    kLut, kCircLut,
+    kInput,         ///< pop queue front -> staged[o0]
+    kOutput,        ///< data_.push_back(value[a])
+  };
+
+  /// Op flag bits.
+  static constexpr std::uint8_t kFlagSaturate = 1u << 0;
+  static constexpr std::uint8_t kFlagDump = 1u << 1;  ///< accum dump
+  static constexpr std::uint8_t kFlagRead = 1u << 1;  ///< RAM read / FIFO push
+  static constexpr std::uint8_t kFlagWrite = 1u << 2; ///< RAM write / FIFO pop
+
+  struct Op {
+    CKind kind = CKind::kDrop;
+    Opcode op = Opcode::kNop;   ///< kAlu only
+    std::uint8_t flags = 0;
+    std::int16_t shift = 0;
+    std::int32_t a = -1, b = -1, c = -1;  ///< input value slots
+    std::int32_t o0 = -1, o1 = -1;        ///< output staged slots
+    Object* obj = nullptr;                ///< fire accounting / runtime state
+  };
+
+  struct Guard {
+    enum class Kind : std::uint8_t { kValueTruth, kInputNonEmpty };
+    Kind kind = Kind::kValueTruth;
+    bool expect = false;        ///< required truth of value[slot] != 0
+    std::int32_t slot = -1;
+    InputObject* input = nullptr;
+  };
+
+  /// Trace classification codes (mirror Tracer::on_cycle).
+  static constexpr std::uint8_t kClsFired = 0;
+  static constexpr std::uint8_t kClsStallIn = 1;
+  static constexpr std::uint8_t kClsStallOut = 2;
+  static constexpr std::uint8_t kClsIdle = 3;
+  /// Trace net bits.
+  static constexpr std::uint8_t kNetOccupied = 1u << 0;
+  static constexpr std::uint8_t kNetLatched = 1u << 1;
+
+  void apply_trace_phase(Simulator& sim, int phase, long long cycle_after);
+
+  // -- static program ------------------------------------------------------
+  int period_ = 0;
+  int n_nets_ = 0;    ///< net slots (slot i == nets_[i]); consts/dummy follow
+  int n_objs_ = 0;
+  std::vector<Net*> nets_;       ///< flat net list, slot order
+  std::vector<Object*> objs_;    ///< flat object list
+  std::vector<CycleRecord> records_;  ///< stored period (cache re-arm compare)
+
+  std::vector<Op> ops_;               ///< all phases, concatenated
+  std::vector<std::int32_t> op_end_;  ///< per-phase exclusive end into ops_
+  std::vector<Guard> guards_;
+  std::vector<std::int32_t> guard_end_;
+  std::vector<std::int32_t> latch_slots_;  ///< commit lists, concatenated
+  std::vector<std::int32_t> latch_end_;
+  std::vector<std::uint8_t> phase_has_;    ///< [phase*n_nets_+i] start state
+  std::vector<std::uint32_t> phase_mask_;
+  std::vector<std::uint8_t> tobj_cls_;     ///< [phase*n_objs_+m]
+  std::vector<std::uint8_t> tnet_bits_;    ///< [phase*n_nets_+i] post-commit
+
+  std::vector<Word> const_values_;    ///< SoA preset for slots >= n_nets_
+  std::vector<RamObject*> fifos_;     ///< FIFO-mode RAMs + entry depths
+  std::vector<int> fifo_entry_;
+  std::vector<AluObject*> merges_;    ///< kMergeAlt ALUs + entry toggles
+  std::vector<std::uint8_t> merge_entry_;
+  std::vector<InputObject*> nonfiring_inputs_;     ///< never fire in period
+  std::vector<std::uint8_t> nonfiring_empty_;      ///< their entry emptiness
+  std::vector<InputObject*> req_nonempty_inputs_;  ///< fire somewhere
+
+  // -- armed state ---------------------------------------------------------
+  std::vector<Word> value_;        ///< SoA committed values (+const+dummy)
+  std::vector<Word> staged_;       ///< SoA staged values
+  std::vector<long long> latch_accum_;  ///< per-slot latches while armed
+  int pos_ = 0;                    ///< current phase
+  std::vector<PaeCounters*> tpae_;        ///< tracer rows, resolved at arm
+  std::vector<Tracer::NetEntry*> tnete_;
+  std::vector<std::int16_t> trow_;        ///< per-object tracer row
+};
+
+/// Per-simulator recording/detection/replay driver, owned by the
+/// Simulator when constructed with SchedulerKind::kCompiled.
+class CompiledEngine {
+ public:
+  explicit CompiledEngine(Simulator& sim);
+
+  // -- recording hooks (interpreted cycles only) ---------------------------
+  void record_consume(const Net& net, int sink) {
+    cur_->evs.push_back({CycleEvent::Kind::kConsume, &net, sink});
+  }
+  void record_stage(const Net& net) {
+    cur_->evs.push_back({CycleEvent::Kind::kStage, &net, -1});
+  }
+  void record_fire(const Object& obj) {
+    cur_->evs.push_back({CycleEvent::Kind::kFire, &obj, -1});
+  }
+
+  /// Close the just-interpreted cycle's record, run period detection,
+  /// and possibly compile + arm.  Called from Simulator::step_compiled
+  /// after the commit/trace/fault hooks.
+  void end_cycle();
+
+  [[nodiscard]] bool armed() const { return armed_ != nullptr; }
+
+  /// Replay exactly one phase of the armed program.  Returns the fire
+  /// count, or -1 if a guard failed and the engine deoptimized (the
+  /// caller should interpret that cycle instead).
+  int exec_one();
+
+  /// Replay up to @p max_cycles phases of the armed program.  Stops
+  /// early on guard deopt or when the fault injector arms.  Returns
+  /// the number of cycles actually replayed.
+  long long replay(long long max_cycles);
+
+  /// Restore interpreter state if armed (feed, attach_trace,
+  /// install_faults, diagnose).
+  void deoptimize();
+
+  /// Deoptimize, drop all cached programs and reset detection (group
+  /// add/remove: programs hold raw object/net pointers).
+  void invalidate();
+
+  /// External readiness change (InputObject::feed): a live epoch's
+  /// input-emptiness assumptions may now be wrong.
+  void on_external_wake() {
+    if (armed_ != nullptr) deoptimize();
+  }
+
+  [[nodiscard]] const CompiledStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] CycleRecord& rec(long long t) {
+    return ring_[static_cast<std::size_t>(t) % ring_.size()];
+  }
+  void reset_detector();
+  void try_arm(int p);
+
+  Simulator& sim_;
+  std::vector<CycleRecord> ring_;  ///< last 2*kMaxCompiledPeriod records
+  CycleRecord* cur_ = nullptr;     ///< record being filled (== rec(t_))
+  long long t_ = 0;                ///< cycles recorded since last reset
+  std::unordered_map<std::uint64_t, long long> last_seen_;
+  int cand_p_ = 0;
+  long long match_run_ = 0;
+  long long cooldown_ = 0;         ///< cycles to skip compiles after refusal
+  std::vector<std::unique_ptr<CompiledProgram>> cache_;  ///< MRU front
+  CompiledProgram* armed_ = nullptr;
+  CompiledStats stats_;
+  // Guard-deopt periodicity: when the same program guard-deopts at a
+  // regular cycle distance D that is a multiple of its period, the
+  // compiled period was a structural sub-period of the true value
+  // period (e.g. a despreader's inter-dump steady state).  Recompiling
+  // with period D pins the flipping control value per phase, so replay
+  // runs through the dump instead of deoptimizing across it.
+  // last_guard_deopt_prog_ is compared by identity only, never
+  // dereferenced (the cache may have dropped it).
+  const CompiledProgram* last_guard_deopt_prog_ = nullptr;
+  long long last_guard_deopt_cycle_ = -1;
+  int preferred_period_ = 0;  ///< 0 = no pending period upgrade
+};
+
+}  // namespace rsp::xpp

@@ -49,6 +49,8 @@ class CounterObject final : public Object {
   }
 
  private:
+  friend class CompiledProgram;  ///< replays the count/wrap sequence
+
   CounterParams p_;
   Word value_;
   Word remaining_;

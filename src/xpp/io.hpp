@@ -62,6 +62,8 @@ class InputObject final : public Object {
   }
 
  private:
+  friend class CompiledProgram;  ///< pops the queue during armed epochs
+
   std::deque<Word> queue_;
 };
 
@@ -85,6 +87,8 @@ class OutputObject final : public Object {
   }
 
  private:
+  friend class CompiledProgram;  ///< appends drained words directly
+
   std::vector<Word> data_;
 };
 

@@ -130,6 +130,12 @@ class Net {
   bool corrupt_bit(int bit);
 
  private:
+  /// The compiled scheduler (src/xpp/compiled.hpp) packs net state into
+  /// SoA arrays while an epoch program is armed and restores it —
+  /// including the generation counter, advanced by the latches the
+  /// replay performed — bit-identically on deoptimization.
+  friend class CompiledProgram;
+
   [[nodiscard]] bool all_consumed() const {
     const std::uint32_t full = (num_sinks_ >= 32)
                                    ? ~0u

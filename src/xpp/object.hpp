@@ -20,12 +20,18 @@ class Object;
 /// Callback surface the event-driven Simulator hands to its objects.
 /// Objects report the token events the worklist scheduler needs; a null
 /// hook (scan scheduler, standalone objects) disables all reporting.
+/// Consume and stage events are reported separately so the compiled
+/// scheduler's period recorder can reconstruct each fire's exact token
+/// traffic (see src/xpp/compiled.hpp); both mean "needs a commit".
 class SchedulerHooks {
  public:
   virtual ~SchedulerHooks() = default;
 
-  /// @p net was consumed from or staged to this cycle (needs a commit).
-  virtual void net_touched(Net& net) = 0;
+  /// Sink @p sink consumed @p net's token this cycle (needs a commit).
+  virtual void net_consumed(Net& net, int sink) = 0;
+
+  /// A value was staged on @p net this cycle (needs a commit).
+  virtual void net_staged(Net& net) = 0;
 
   /// @p net's write slot just freed combinationally (every sink has
   /// consumed): its producer may refill it in the same cycle.
@@ -133,6 +139,10 @@ class Object {
   [[nodiscard]] const Net* in_net(int i) const { return in_[i].net; }
   [[nodiscard]] int in_sink(int i) const { return in_[i].sink; }
   [[nodiscard]] Net* out_net(int i) const { return out_[i]; }
+  /// Constant tied to input @p i (empty when the port is a net or open).
+  [[nodiscard]] std::optional<Word> in_const(int i) const {
+    return in_[i].cst;
+  }
 
   /// True if input @p i has a token (constants are always ready).
   [[nodiscard]] bool in_ready(int i) const {
@@ -169,7 +179,7 @@ class Object {
     if (b.cst || b.net == nullptr) return;
     b.net->consume(b.sink);
     if (sched_ != nullptr) {
-      sched_->net_touched(*b.net);
+      sched_->net_consumed(*b.net, b.sink);
       if (b.net->can_write()) sched_->net_freed(*b.net);
     }
   }
@@ -178,7 +188,7 @@ class Object {
   void out_write(int i, Word v) {
     if (out_[i] == nullptr) return;
     out_[i]->stage(v);
-    if (sched_ != nullptr) sched_->net_touched(*out_[i]);
+    if (sched_ != nullptr) sched_->net_staged(*out_[i]);
   }
 
   /// Report an external readiness change (e.g. samples queued on an
@@ -188,6 +198,11 @@ class Object {
   }
 
  private:
+  /// The compiled epoch replayer (src/xpp/compiled.hpp) fires objects
+  /// without going through clock()/do_fire(); it maintains fired_cycle_
+  /// and fire_count_ directly so stats stay exact at every boundary.
+  friend class CompiledProgram;
+
   struct InBind {
     Net* net = nullptr;
     int sink = -1;

@@ -51,6 +51,8 @@ class RamObject final : public Object {
   bool do_fire() override;
 
  private:
+  friend class CompiledProgram;  ///< direct mem/FIFO/replay-pos access
+
   bool fire_ram();
   bool fire_fifo();
   bool fire_lut();

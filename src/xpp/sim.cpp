@@ -4,10 +4,19 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "src/xpp/compiled.hpp"
 #include "src/xpp/fault.hpp"
 #include "src/xpp/trace.hpp"
 
 namespace rsp::xpp {
+
+Simulator::Simulator(SchedulerKind kind) : kind_(kind) {
+  if (kind_ == SchedulerKind::kCompiled) {
+    compiled_ = std::make_unique<CompiledEngine>(*this);
+  }
+}
+
+Simulator::~Simulator() = default;
 
 const char* run_termination_name(RunTermination t) {
   switch (t) {
@@ -44,6 +53,9 @@ std::string StallReport::to_string() const {
 Simulator::GroupId Simulator::add_group(
     std::vector<std::unique_ptr<Object>> objects,
     std::vector<std::unique_ptr<Net>> nets) {
+  // Compiled programs hold raw pointers into the group set; any array
+  // change drops them (and deoptimizes first, restoring exact state).
+  if (compiled_ != nullptr) compiled_->invalidate();
   const GroupId id = next_id_++;
   auto [it, inserted] =
       groups_.emplace(id, Group{std::move(objects), std::move(nets), {}});
@@ -51,7 +63,7 @@ Simulator::GroupId Simulator::add_group(
   g.by_name.reserve(g.objects.size());
   for (auto& o : g.objects) {
     g.by_name.emplace(o->name(), o.get());
-    if (kind_ == SchedulerKind::kEventDriven) {
+    if (kind_ != SchedulerKind::kScan) {
       o->attach_scheduler(this);
       enqueue_next(o.get());
     }
@@ -70,6 +82,9 @@ Simulator::GroupId Simulator::add_group(
 
 void Simulator::attach_trace(Tracer* tracer) {
   if (tracer_ == tracer) return;
+  // A live epoch resolved (or skipped) tracer counter pointers at arm
+  // time; swapping tracers invalidates them.
+  if (compiled_ != nullptr) compiled_->deoptimize();
   if (tracer_ != nullptr) {
     // Detach the previous tracer's per-object fire hooks; it keeps the
     // counters it has collected so far.
@@ -89,7 +104,8 @@ void Simulator::attach_trace(Tracer* tracer) {
 void Simulator::remove_group(GroupId id) {
   const auto it = groups_.find(id);
   if (it == groups_.end()) return;
-  if (kind_ == SchedulerKind::kEventDriven) {
+  if (compiled_ != nullptr) compiled_->invalidate();
+  if (kind_ != SchedulerKind::kScan) {
     // Purge stale waiters: pending worklist entries and dirty nets may
     // point into the group being destroyed.
     std::unordered_set<const Object*> dead_objs;
@@ -119,6 +135,7 @@ void Simulator::remove_group(GroupId id) {
 }
 
 int Simulator::step() {
+  if (kind_ == SchedulerKind::kCompiled) return step_compiled();
   const int fires = kind_ == SchedulerKind::kScan ? step_scan() : step_event();
   // The trace sampler runs at the cycle boundary (post-commit), where
   // both schedulers hold bit-identical net/object state — so kScan and
@@ -130,6 +147,27 @@ int Simulator::step() {
   // schedulers hold bit-identical net/object state — so kScan and
   // kEventDriven observe the same fault stream from the same plan.
   if (injector_ != nullptr && injector_->armed()) injector_->on_cycle(*this);
+  return fires;
+}
+
+int Simulator::step_compiled() {
+  CompiledEngine& eng = *compiled_;
+  if (eng.armed()) {
+    // Fault plans mutate state the epoch assumes invariant: fall back
+    // to the interpreter for as long as one is armed.
+    if (injector_ != nullptr && injector_->armed()) {
+      eng.deoptimize();
+    } else {
+      const int fires = eng.exec_one();
+      if (fires >= 0) return fires;
+      // Guard deopt restored interpreter state at this boundary; the
+      // cycle is interpreted below instead.
+    }
+  }
+  const int fires = step_event();
+  if (tracer_ != nullptr && tracer_->tracing()) tracer_->on_cycle(*this);
+  if (injector_ != nullptr && injector_->armed()) injector_->on_cycle(*this);
+  eng.end_cycle();
   return fires;
 }
 
@@ -172,6 +210,7 @@ int Simulator::step_event() {
     if (o->fired_in(cyc)) continue;
     if (o->clock(cyc)) {
       ++fires;
+      if (compiled_ != nullptr) compiled_->record_fire(*o);
       // Firing changed internal state (counter value, FIFO depth, input
       // queue); the object may be able to fire again next cycle even if
       // no net event points back at it.
@@ -209,8 +248,14 @@ void Simulator::enqueue_next(Object* o) {
   next_ready_.push_back(o);
 }
 
-void Simulator::net_touched(Net& net) {
+void Simulator::net_consumed(Net& net, int sink) {
   if (net.mark_dirty()) dirty_nets_.push_back(&net);
+  if (compiled_ != nullptr) compiled_->record_consume(net, sink);
+}
+
+void Simulator::net_staged(Net& net) {
+  if (net.mark_dirty()) dirty_nets_.push_back(&net);
+  if (compiled_ != nullptr) compiled_->record_stage(net);
 }
 
 void Simulator::net_freed(Net& net) {
@@ -222,7 +267,17 @@ void Simulator::net_freed(Net& net) {
   ready_.push_back(p);
 }
 
-void Simulator::object_woken(Object& obj) { enqueue_next(&obj); }
+void Simulator::object_woken(Object& obj) {
+  // External feed: a live epoch's input-queue assumptions may be stale.
+  if (compiled_ != nullptr) compiled_->on_external_wake();
+  enqueue_next(&obj);
+}
+
+void Simulator::install_faults(FaultInjector* injector) {
+  // Injected events mutate state a compiled epoch assumes invariant.
+  if (compiled_ != nullptr) compiled_->deoptimize();
+  injector_ = injector;
+}
 
 void Simulator::run(long long n) {
   for (long long i = 0; i < n; ++i) step();
@@ -257,6 +312,9 @@ std::string net_label(const Net* net) {
 }
 
 StallReport Simulator::diagnose() const {
+  // Diagnosis reads raw Net state; materialize it from any live epoch
+  // first (logical const: observable simulation state is unchanged).
+  if (compiled_ != nullptr) compiled_->deoptimize();
   StallReport r;
   // Nets bound to blocked objects, in first-seen order (deduplicated);
   // ranked into r.hot_nets below when a tracer can supply counters.

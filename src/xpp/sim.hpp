@@ -7,16 +7,22 @@
 // one value per cycle per stage, and a freed net can be refilled in the
 // same cycle (combinational handshake path).
 //
-// Two schedulers reach that fixed point (see DESIGN.md, "Simulator
-// scheduling"):
+// Three schedulers reach that fixed point (see DESIGN.md, "Simulator
+// scheduling" and "Compiled epochs"):
 //  - kScan: the legacy reference — rescan every object of every group
 //    until a full pass makes no progress, then commit every net.
 //  - kEventDriven (default): a worklist seeded with the objects whose
 //    readiness may have changed (net commits, same-cycle slot frees,
 //    external feeds, own firing) is drained to the same fixed point;
 //    commits walk only the nets actually touched this cycle.
-// Both produce bit-identical fire counts, cycle counts and outputs; the
-// scan variant is kept for differential testing.
+//  - kCompiled: runs event-driven while recording per-cycle fire/token
+//    signatures; once the sequence proves periodic it compiles the
+//    period into a flat epoch program (SoA net slots + branch-free op
+//    list, src/xpp/compiled.hpp) and replays it until a boundary event
+//    (external feed, reconfiguration, armed fault plan, guard mismatch)
+//    deoptimizes back to the interpreter with bit-identical state.
+// All three produce bit-identical fire counts, cycle counts and
+// outputs; the scan variant is kept for differential testing.
 #pragma once
 
 #include <map>
@@ -30,6 +36,8 @@
 
 namespace rsp::xpp {
 
+class CompiledEngine;
+class CompiledProgram;
 class FaultInjector;
 class Tracer;
 
@@ -106,14 +114,15 @@ struct StallReport {
 enum class SchedulerKind {
   kScan,         ///< legacy: rescan all objects until no progress
   kEventDriven,  ///< worklist seeded by token events (default)
+  kCompiled,     ///< event-driven + periodic-steady-state epoch replay
 };
 
 class Simulator final : private SchedulerHooks {
  public:
   using GroupId = int;
 
-  explicit Simulator(SchedulerKind kind = SchedulerKind::kEventDriven)
-      : kind_(kind) {}
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kEventDriven);
+  ~Simulator();
 
   [[nodiscard]] SchedulerKind scheduler() const { return kind_; }
 
@@ -146,8 +155,11 @@ class Simulator final : private SchedulerHooks {
 
   /// Attach a fault injector (nullptr to detach).  The injector is
   /// invoked after every cycle's commit phase; with none installed the
-  /// per-cycle cost is a single pointer compare.
-  void install_faults(FaultInjector* injector) { injector_ = injector; }
+  /// per-cycle cost is a single pointer compare.  Under kCompiled this
+  /// deoptimizes any live epoch first: injected events mutate state the
+  /// compiled program assumes invariant, so the engine refuses to arm
+  /// while a plan has events pending (see src/xpp/compiled.hpp).
+  void install_faults(FaultInjector* injector);
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   /// Attach a tracer (nullptr to detach).  The tracer registers every
@@ -176,8 +188,17 @@ class Simulator final : private SchedulerHooks {
   /// Live object count across all groups.
   [[nodiscard]] int object_count() const;
 
+  /// The epoch-replay engine (nullptr unless kCompiled).  Exposed so
+  /// tests and benchmarks can assert arming/replay actually happened
+  /// (CompiledEngine::stats) — callers include src/xpp/compiled.hpp.
+  [[nodiscard]] CompiledEngine* compiled_engine() const {
+    return compiled_.get();
+  }
+
  private:
-  friend class FaultInjector;  ///< walks groups to resolve fault targets
+  friend class FaultInjector;   ///< walks groups to resolve fault targets
+  friend class CompiledEngine;  ///< drives step_event during recording
+  friend class CompiledProgram; ///< packs/unpacks scheduler state
 
   struct Group {
     std::vector<std::unique_ptr<Object>> objects;
@@ -187,16 +208,21 @@ class Simulator final : private SchedulerHooks {
 
   int step_scan();
   int step_event();
+  /// kCompiled: replay one phase of an armed epoch, or interpret one
+  /// cycle via step_event while feeding the periodicity detector.
+  int step_compiled();
 
   /// Enqueue @p o for a readiness check next cycle (deduplicated).
   void enqueue_next(Object* o);
 
-  // SchedulerHooks (event-driven mode only).
-  void net_touched(Net& net) override;
+  // SchedulerHooks (event-driven and compiled modes).
+  void net_consumed(Net& net, int sink) override;
+  void net_staged(Net& net) override;
   void net_freed(Net& net) override;
   void object_woken(Object& obj) override;
 
   SchedulerKind kind_;
+  std::unique_ptr<CompiledEngine> compiled_;  ///< kCompiled only
   FaultInjector* injector_ = nullptr;
   Tracer* tracer_ = nullptr;
   std::map<GroupId, Group> groups_;

@@ -240,6 +240,14 @@ class Tracer final : public TraceHooks {
   void object_fired(Object& obj, long long cycle) override;
 
  private:
+  /// The compiled scheduler applies each replayed cycle's classification
+  /// deltas (precomputed at compile time from the period's symbolic
+  /// boundary states) straight into these stores, using the same
+  /// per-cycle granularity as on_cycle — so counters AND interval row
+  /// samples stay bit-identical to the interpreting schedulers while
+  /// epochs replay (see src/xpp/compiled.cpp, apply_trace_phase).
+  friend class CompiledProgram;
+
   struct NetEntry {
     NetCounters c;
     std::uint64_t last_generation = 0;

@@ -1,0 +1,301 @@
+// Differential test of the compiled epoch-replay scheduler
+// (SchedulerKind::kCompiled): cycle-for-cycle bit-identical to kScan
+// and kEventDriven on the paper's macro pipelines, including mid-epoch
+// deoptimization (external feed, partial reconfiguration), fault-plan
+// interplay, and exact tracer counters while epochs replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/compiled.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/trace.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed,
+                                int amp = 1000) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp};
+  }
+  return out;
+}
+
+/// Full observable trace of one streaming run (same shape as the
+/// scan/event differential in test_sched_equiv.cpp).
+struct Trace {
+  std::vector<int> fires_per_cycle;
+  long long final_cycle = 0;
+  long long total_fires = 0;
+  std::vector<ObjectStats> stats;
+  std::vector<Word> out;
+  CompiledStats compiled;  ///< zeros unless the run used kCompiled
+};
+
+Trace trace_run(SchedulerKind kind, const Configuration& cfg,
+                const std::map<std::string, std::vector<Word>>& feeds,
+                std::size_t n_out) {
+  ConfigurationManager mgr({}, kind);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  Trace t;
+  auto& out = mgr.output(id, "out");
+  for (int guard = 0; guard < 200000 && out.data().size() < n_out; ++guard) {
+    t.fires_per_cycle.push_back(mgr.sim().step());
+  }
+  EXPECT_GE(out.data().size(), n_out) << cfg.name << ": timed out";
+  t.final_cycle = mgr.sim().cycle();
+  t.total_fires = mgr.sim().total_fires();
+  t.stats = mgr.sim().stats(mgr.info(id).group);
+  t.out = out.take();
+  if (const CompiledEngine* eng = mgr.sim().compiled_engine()) {
+    t.compiled = eng->stats();
+  }
+  mgr.release(id);
+  return t;
+}
+
+void expect_identical(const Trace& ref, const Trace& got,
+                      const std::string& what) {
+  EXPECT_EQ(ref.fires_per_cycle, got.fires_per_cycle)
+      << what << ": per-cycle fire trace diverged";
+  EXPECT_EQ(ref.final_cycle, got.final_cycle) << what;
+  EXPECT_EQ(ref.total_fires, got.total_fires) << what;
+  EXPECT_EQ(ref.out, got.out) << what << ": output words diverged";
+  ASSERT_EQ(ref.stats.size(), got.stats.size()) << what;
+  for (std::size_t i = 0; i < ref.stats.size(); ++i) {
+    EXPECT_EQ(ref.stats[i].name, got.stats[i].name) << what;
+    EXPECT_EQ(ref.stats[i].fires, got.stats[i].fires)
+        << what << ": object '" << ref.stats[i].name << "'";
+  }
+}
+
+std::map<std::string, std::vector<Word>> descrambler_feeds(
+    const std::vector<CplxI>& chips, std::uint64_t scr_seed = 16) {
+  dedhw::UmtsScrambler scr(static_cast<std::uint32_t>(scr_seed));
+  std::vector<Word> code_words(chips.size());
+  for (auto& c : code_words) c = scr.next2() & 3;
+  return {{"data", rake::maps::pack_stream(chips)}, {"code", code_words}};
+}
+
+TEST(CompiledEquiv, DescramblerThreeWayIdentical) {
+  const auto chips = random_chips(2048, 11);
+  const auto feeds = descrambler_feeds(chips);
+  const auto cfg = rake::maps::descrambler_config();
+  const auto scan = trace_run(SchedulerKind::kScan, cfg, feeds, chips.size());
+  const auto event =
+      trace_run(SchedulerKind::kEventDriven, cfg, feeds, chips.size());
+  const auto comp =
+      trace_run(SchedulerKind::kCompiled, cfg, feeds, chips.size());
+  expect_identical(scan, event, "descrambler scan/event");
+  expect_identical(scan, comp, "descrambler scan/compiled");
+  // Non-vacuousness: the steady state must actually have compiled and
+  // replayed most of the run.
+  EXPECT_GE(comp.compiled.arms, 1) << "epoch never armed";
+  EXPECT_GT(comp.compiled.replayed_cycles, comp.final_cycle / 2)
+      << "replay did not dominate the run";
+}
+
+TEST(CompiledEquiv, DespreaderThreeWayIdentical) {
+  for (const int sf : {4, 16, 64}) {
+    const auto chips = random_chips(static_cast<std::size_t>(sf) * 64, 23);
+    const std::map<std::string, std::vector<Word>> feeds{
+        {"data", rake::maps::pack_stream(chips)}};
+    const auto cfg = rake::maps::despreader_config(sf, 1);
+    const std::size_t n_out = chips.size() / static_cast<std::size_t>(sf);
+    const auto scan = trace_run(SchedulerKind::kScan, cfg, feeds, n_out);
+    const auto event = trace_run(SchedulerKind::kEventDriven, cfg, feeds, n_out);
+    const auto comp = trace_run(SchedulerKind::kCompiled, cfg, feeds, n_out);
+    const std::string what = "despreader sf=" + std::to_string(sf);
+    expect_identical(scan, event, what + " scan/event");
+    expect_identical(scan, comp, what + " scan/compiled");
+    EXPECT_GE(comp.compiled.arms, 1) << what;
+    EXPECT_GT(comp.compiled.replayed_cycles, 0) << what;
+  }
+}
+
+TEST(CompiledEquiv, Fft64Identical) {
+  std::array<CplxI, phy::kFftSize> in;
+  Rng rng(7);
+  for (auto& c : in) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  ConfigurationManager event_mgr({}, SchedulerKind::kEventDriven);
+  std::vector<RunResult> event_stats;
+  const auto event_out = ofdm::maps::run_fft64(event_mgr, in, &event_stats);
+
+  ConfigurationManager comp_mgr({}, SchedulerKind::kCompiled);
+  std::vector<RunResult> comp_stats;
+  const auto comp_out = ofdm::maps::run_fft64(comp_mgr, in, &comp_stats);
+
+  for (std::size_t i = 0; i < phy::kFftSize; ++i) {
+    EXPECT_EQ(event_out[i], comp_out[i]) << "bin " << i;
+  }
+  EXPECT_EQ(event_mgr.sim().cycle(), comp_mgr.sim().cycle());
+  EXPECT_EQ(event_mgr.sim().total_fires(), comp_mgr.sim().total_fires());
+  ASSERT_EQ(event_stats.size(), comp_stats.size());
+  for (std::size_t s = 0; s < event_stats.size(); ++s) {
+    EXPECT_EQ(event_stats[s].cycles, comp_stats[s].cycles) << "stage " << s;
+  }
+}
+
+TEST(CompiledEquiv, PartialReconfigurationIdentical) {
+  // Configuration load/release must invalidate live epochs and stay
+  // bit-identical to the interpreters across the boundary.
+  const auto chips = random_chips(512, 31);
+  auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    const ConfigId d = mgr.load(rake::maps::descrambler_config());
+    const ConfigId p = mgr.load(rake::maps::despreader_config(16, 2));
+    const auto feeds = descrambler_feeds(chips, 9);
+    mgr.input(d, "data").feed(feeds.at("data"));
+    mgr.input(d, "code").feed(feeds.at("code"));
+    mgr.input(p, "data").feed(rake::maps::pack_stream(chips));
+    std::vector<int> fires;
+    for (int i = 0; i < 300; ++i) fires.push_back(mgr.sim().step());
+    mgr.release(p);  // despreader dropped mid-stream, mid-epoch
+    for (int i = 0; i < 1200; ++i) fires.push_back(mgr.sim().step());
+    auto out = mgr.output(d, "out").take();
+    mgr.release(d);
+    return std::make_tuple(fires, out, mgr.sim().cycle(),
+                           mgr.sim().total_fires());
+  };
+  const auto event = run(SchedulerKind::kEventDriven);
+  const auto comp = run(SchedulerKind::kCompiled);
+  EXPECT_EQ(event, comp);
+  EXPECT_EQ(run(SchedulerKind::kScan), comp);
+}
+
+TEST(CompiledEquiv, MidEpochFeedDeoptimizesBitIdentically) {
+  // Feed in two batches with a dry gap: the epoch armed on batch one
+  // must deoptimize on the mid-run feed() and re-settle, with the full
+  // observable trace identical to the event-driven run.
+  const auto chips = random_chips(1024, 43);
+  const auto feeds = descrambler_feeds(chips, 21);
+  const auto half = chips.size() / 2;
+  auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    const ConfigId id = mgr.load(rake::maps::descrambler_config());
+    const auto& data = feeds.at("data");
+    const auto& code = feeds.at("code");
+    mgr.input(id, "data").feed({data.begin(), data.begin() + half});
+    mgr.input(id, "code").feed({code.begin(), code.begin() + half});
+    std::vector<int> fires;
+    // Run past exhaustion of batch one (stream runs dry -> guard deopt).
+    for (int i = 0; i < 3000; ++i) fires.push_back(mgr.sim().step());
+    mgr.input(id, "data").feed({data.begin() + half, data.end()});
+    mgr.input(id, "code").feed({code.begin() + half, code.end()});
+    for (int i = 0; i < 3000; ++i) fires.push_back(mgr.sim().step());
+    auto out = mgr.output(id, "out").take();
+    long long deopts = -1;
+    if (const CompiledEngine* eng = mgr.sim().compiled_engine()) {
+      deopts = eng->stats().deopts;
+      EXPECT_GE(eng->stats().arms, 2) << "no re-arm after the second batch";
+    }
+    mgr.release(id);
+    return std::make_tuple(fires, out, mgr.sim().cycle(),
+                           mgr.sim().total_fires(), deopts);
+  };
+  auto event = run(SchedulerKind::kEventDriven);
+  auto comp = run(SchedulerKind::kCompiled);
+  EXPECT_GE(std::get<4>(comp), 1) << "feed/exhaustion never deoptimized";
+  EXPECT_EQ(std::get<1>(event), std::get<1>(comp)) << "outputs diverged";
+  EXPECT_EQ(std::get<0>(event), std::get<0>(comp)) << "fire trace diverged";
+  EXPECT_EQ(std::get<2>(event), std::get<2>(comp));
+  EXPECT_EQ(std::get<3>(event), std::get<3>(comp));
+}
+
+TEST(CompiledEquiv, FaultPlanNeverReplaysStrikes) {
+  // With a fault plan armed the engine must stay in the interpreter
+  // (strikes mutate state epochs assume invariant) and the whole run —
+  // including the injection log — must match the event-driven run.
+  const auto chips = random_chips(1024, 57);
+  const auto feeds = descrambler_feeds(chips, 5);
+  auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    const ConfigId id = mgr.load(rake::maps::descrambler_config());
+    mgr.input(id, "data").feed(feeds.at("data"));
+    mgr.input(id, "code").feed(feeds.at("code"));
+    FaultPlan plan;
+    plan.faults.push_back({FaultKind::kNetBitFlip,
+                           mgr.sim().cycle() + 700,
+                           "cmul", mgr.info(id).group, 0, 3, 1, 0, 1});
+    FaultInjector inj(plan);
+    mgr.sim().install_faults(&inj);
+    std::vector<int> fires;
+    for (int i = 0; i < 2500; ++i) fires.push_back(mgr.sim().step());
+    mgr.sim().install_faults(nullptr);
+    auto out = mgr.output(id, "out").take();
+    long long replayed_while_pending = 0;
+    if (const CompiledEngine* eng = mgr.sim().compiled_engine()) {
+      // The plan stayed armed for the first 700 cycles; the engine may
+      // only have replayed after it exhausted.
+      replayed_while_pending = eng->stats().replayed_cycles;
+    }
+    mgr.release(id);
+    return std::make_tuple(fires, out, inj.log(), mgr.sim().cycle(),
+                           mgr.sim().total_fires(), replayed_while_pending);
+  };
+  const auto event = run(SchedulerKind::kEventDriven);
+  const auto comp = run(SchedulerKind::kCompiled);
+  EXPECT_EQ(std::get<0>(event), std::get<0>(comp));
+  EXPECT_EQ(std::get<1>(event), std::get<1>(comp));
+  EXPECT_EQ(std::get<2>(event), std::get<2>(comp)) << "fault logs diverged";
+  EXPECT_EQ(std::get<3>(event), std::get<3>(comp));
+  EXPECT_EQ(std::get<4>(event), std::get<4>(comp));
+}
+
+TEST(CompiledEquiv, TracerCountersIdenticalWhileReplaying) {
+  // Tracing on: every per-PAE and per-net counter, the interval row
+  // samples and the timeline must be bit-identical between kEventDriven
+  // and kCompiled.  Worklist samples are excluded by design — they
+  // measure the event scheduler itself and are absent while replaying.
+  const auto chips = random_chips(2048, 71);
+  const auto feeds = descrambler_feeds(chips, 33);
+  auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    Tracer tracer;
+    mgr.sim().attach_trace(&tracer);
+    const ConfigId id = mgr.load(rake::maps::descrambler_config());
+    mgr.input(id, "data").feed(feeds.at("data"));
+    mgr.input(id, "code").feed(feeds.at("code"));
+    auto& out = mgr.output(id, "out");
+    for (int guard = 0; guard < 200000 && out.data().size() < chips.size();
+         ++guard) {
+      mgr.sim().step();
+    }
+    EXPECT_EQ(out.data().size(), chips.size());
+    if (kind == SchedulerKind::kCompiled) {
+      EXPECT_GT(mgr.sim().compiled_engine()->stats().replayed_cycles, 0);
+    }
+    auto pc = tracer.snapshot();
+    mgr.sim().attach_trace(nullptr);
+    mgr.release(id);
+    return pc;
+  };
+  const auto event = run(SchedulerKind::kEventDriven);
+  const auto comp = run(SchedulerKind::kCompiled);
+  EXPECT_EQ(event.begin_cycle, comp.begin_cycle);
+  EXPECT_EQ(event.end_cycle, comp.end_cycle);
+  EXPECT_EQ(event.paes, comp.paes);
+  EXPECT_EQ(event.nets, comp.nets);
+  EXPECT_EQ(event.row_samples, comp.row_samples);
+  EXPECT_EQ(event.config_timeline, comp.config_timeline);
+}
+
+}  // namespace
+}  // namespace rsp::xpp
