@@ -1,0 +1,379 @@
+// Batched cross-instance SIMD replay benchmark: instances/second of a
+// fleet of identical terminals under
+//  - per-instance scalar kCompiled replay (the PR-5 baseline), and
+//  - lockstep SoA batched replay (src/xpp/batch.hpp) at several lane
+//    widths,
+// on three fleet workloads: the UMTS descrambler chip stream (period-1
+// steady state, best case), the SF=16 despreader (guard deopt at every
+// accumulator dump), and the FFT64 stage-0 pipeline (dense firing,
+// feed boundaries between symbols).
+//
+// Every fleet is driven by the *same* boundary script in all modes —
+// the feeds and the cycle quanta between them are identical, only who
+// executes the cycles differs — so each lane's trajectory must be
+// bit-identical.  The harness enforces this three ways per lane:
+// batched kCompiled vs scalar kCompiled vs scalar kEventDriven, exact
+// word-for-word output compare.  A perf number is only reported if the
+// cross-check passed.  Emits BENCH_batch.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/batch.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One terminal of a fleet: its own manager/simulator plus the
+/// boundary script that drives it (feed, then run a fixed quantum).
+struct Instance {
+  std::unique_ptr<xpp::ConfigurationManager> mgr;
+  xpp::ConfigId id = xpp::kNoConfig;
+  std::uint32_t crc = 0;
+
+  struct Step {
+    std::function<void(Instance&)> feed;  ///< boundary work (may be empty)
+    long long cycles = 0;                 ///< quantum to run afterwards
+  };
+  std::vector<Step> steps;
+};
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+/// Descrambler fleet member: all chips fed up front, one quantum.
+Instance make_descrambler(xpp::SchedulerKind kind, std::size_t lane,
+                          std::size_t n_chips) {
+  Instance inst;
+  inst.mgr = std::make_unique<xpp::ConfigurationManager>(xpp::ArrayGeometry{},
+                                                         kind);
+  const auto cfg = rake::maps::descrambler_config();
+  inst.crc = cfg.checksum ? *cfg.checksum : xpp::config_crc32(cfg);
+  inst.id = inst.mgr->load(cfg);
+  // Pre-generate the streams so the timed drive measures simulation,
+  // not random-number generation (identical in every mode regardless).
+  auto data = rake::maps::pack_stream(random_chips(n_chips, 13 + lane));
+  dedhw::UmtsScrambler scr(16);
+  std::vector<xpp::Word> code(n_chips);
+  for (auto& c : code) c = scr.next2() & 3;
+  inst.steps.push_back(
+      {[data = std::move(data), code = std::move(code)](Instance& it) {
+         it.mgr->input(it.id, "data").feed(data);
+         it.mgr->input(it.id, "code").feed(code);
+       },
+       static_cast<long long>(n_chips) + 256});
+  return inst;
+}
+
+/// Despreader fleet member (SF=16): guard deopt at each symbol dump.
+Instance make_despreader(xpp::SchedulerKind kind, std::size_t lane,
+                         std::size_t n_chips) {
+  Instance inst;
+  inst.mgr = std::make_unique<xpp::ConfigurationManager>(xpp::ArrayGeometry{},
+                                                         kind);
+  const auto cfg = rake::maps::despreader_config(16, 1);
+  inst.crc = cfg.checksum ? *cfg.checksum : xpp::config_crc32(cfg);
+  inst.id = inst.mgr->load(cfg);
+  auto data = rake::maps::pack_stream(random_chips(n_chips, 29 + lane));
+  inst.steps.push_back(
+      {[data = std::move(data)](Instance& it) {
+         it.mgr->input(it.id, "data").feed(data);
+       },
+       static_cast<long long>(n_chips) + 256});
+  return inst;
+}
+
+/// FFT64 stage-0 fleet member: per symbol, the same feed/go/go2 script
+/// run_fft64_batch uses, but with fixed quanta (identical in every
+/// mode) instead of run_until_quiescent.
+Instance make_fft64(xpp::SchedulerKind kind, std::size_t lane,
+                    std::size_t n_symbols) {
+  constexpr long long kQuantum = 600;  // covers 64 feeds + pipeline depth
+  Instance inst;
+  inst.mgr = std::make_unique<xpp::ConfigurationManager>(xpp::ArrayGeometry{},
+                                                         kind);
+  const auto cfg = ofdm::maps::fft64_stage_config(0);
+  inst.crc = cfg.checksum ? *cfg.checksum : xpp::config_crc32(cfg);
+  inst.id = inst.mgr->load(cfg);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    Rng rng(77 + lane * 1000 + s);
+    std::vector<xpp::Word> sym(phy::kFftSize);
+    for (auto& w : sym) {
+      w = pack_cplx({static_cast<int>(rng.below(2000)) - 1000,
+                     static_cast<int>(rng.below(2000)) - 1000});
+    }
+    const std::vector<xpp::Word> ones(phy::kFftSize, 1);
+    inst.steps.push_back({[sym = std::move(sym)](Instance& it) {
+                            it.mgr->input(it.id, "data").feed(sym);
+                          },
+                          kQuantum});
+    inst.steps.push_back(
+        {[ones](Instance& it) { it.mgr->input(it.id, "go").feed(ones); },
+         kQuantum});
+    inst.steps.push_back(
+        {[ones](Instance& it) { it.mgr->input(it.id, "go2").feed(ones); },
+         kQuantum});
+  }
+  return inst;
+}
+
+using Maker = Instance (*)(xpp::SchedulerKind, std::size_t, std::size_t);
+
+/// Scalar drive: each instance runs its whole script alone.
+double drive_scalar(std::vector<Instance>& fleet) {
+  const auto t0 = Clock::now();
+  for (auto& inst : fleet) {
+    for (auto& step : inst.steps) {
+      if (step.feed) step.feed(inst);
+      inst.mgr->sim().run(step.cycles);
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Batched drive: the same script, but each quantum advances the whole
+/// fleet through the lockstep engine.  Every instance has the same
+/// step list by construction.
+double drive_batched(std::vector<Instance>& fleet, xpp::BatchProgramCache* cache,
+                     int width, xpp::BatchedReplayEngine::Stats* stats_out) {
+  const auto t0 = Clock::now();
+  xpp::BatchedReplayEngine eng(cache, width);
+  for (auto& inst : fleet) eng.add(inst.mgr->sim(), inst.crc);
+  const std::size_t n_steps = fleet[0].steps.size();
+  for (std::size_t s = 0; s < n_steps; ++s) {
+    for (auto& inst : fleet) {
+      if (inst.steps[s].feed) inst.steps[s].feed(inst);
+    }
+    eng.run_cycles(fleet[0].steps[s].cycles);
+  }
+  if (stats_out != nullptr) *stats_out = eng.stats();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<std::vector<xpp::Word>> take_outputs(std::vector<Instance>& fleet) {
+  std::vector<std::vector<xpp::Word>> out;
+  out.reserve(fleet.size());
+  for (auto& inst : fleet) {
+    out.push_back(inst.mgr->output(inst.id, "out").take());
+  }
+  return out;
+}
+
+std::vector<Instance> build_fleet(Maker make, xpp::SchedulerKind kind,
+                                  std::size_t n, std::size_t work) {
+  std::vector<Instance> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fleet.push_back(make(kind, i, work));
+  return fleet;
+}
+
+struct Row {
+  const char* scenario;
+  std::size_t instances = 0;
+  int width = 0;
+  long long cycles_per_instance = 0;
+  double scalar_compiled_ips = 0.0;  ///< instances per second
+  double batched_ips = 0.0;
+  xpp::BatchedReplayEngine::Stats batch;
+
+  [[nodiscard]] double speedup() const {
+    return scalar_compiled_ips > 0 ? batched_ips / scalar_compiled_ips : 0.0;
+  }
+};
+
+/// Lane-by-lane three-way identity: every mode produced the same words.
+bool identical(const char* scenario,
+               const std::vector<std::vector<xpp::Word>>& batched,
+               const std::vector<std::vector<xpp::Word>>& scalar_comp,
+               const std::vector<std::vector<xpp::Word>>& event_driven) {
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    if (batched[i].empty() || batched[i] != scalar_comp[i] ||
+        batched[i] != event_driven[i]) {
+      std::fprintf(stderr,
+                   "FAIL %s lane %zu: batched %zu words, scalar-compiled %zu, "
+                   "event-driven %zu (or content mismatch)\n",
+                   scenario, i, batched[i].size(), scalar_comp[i].size(),
+                   event_driven[i].size());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-fleet scalar reference, measured ONCE and reused by every width
+/// row: the per-instance scalar drive is width-independent, and a
+/// shared baseline keeps the speedup column's denominator from jitter
+/// on a loaded host.
+struct ScalarBaseline {
+  double best_seconds = 0.0;
+  long long cycles_per_instance = 0;
+  std::vector<std::vector<xpp::Word>> sc_out;  ///< scalar kCompiled words
+  std::vector<std::vector<xpp::Word>> ev_out;  ///< kEventDriven words
+};
+
+ScalarBaseline measure_scalar(Maker make, std::size_t instances,
+                              std::size_t work, int reps) {
+  ScalarBaseline base;
+  auto ev = build_fleet(make, xpp::SchedulerKind::kEventDriven, instances, work);
+  (void)drive_scalar(ev);
+  base.ev_out = take_outputs(ev);
+  for (int r = 0; r < reps; ++r) {
+    auto sc = build_fleet(make, xpp::SchedulerKind::kCompiled, instances, work);
+    const double ts = drive_scalar(sc);
+    if (r == 0) {
+      base.sc_out = take_outputs(sc);
+      base.cycles_per_instance = sc[0].mgr->sim().cycle();
+    }
+    if (r == 0 || ts < base.best_seconds) base.best_seconds = ts;
+  }
+  return base;
+}
+
+Row run_fleet(const char* name, Maker make, const ScalarBaseline& base,
+              std::size_t instances, int width, std::size_t work, int reps) {
+  Row row;
+  row.scenario = name;
+  row.instances = instances;
+  row.width = width;
+  row.cycles_per_instance = base.cycles_per_instance;
+
+  double best_batched = 0.0;
+  std::vector<std::vector<xpp::Word>> bt_out;
+  for (int r = 0; r < reps; ++r) {
+    xpp::BatchProgramCache cache;
+    auto bt = build_fleet(make, xpp::SchedulerKind::kCompiled, instances, work);
+    xpp::BatchedReplayEngine::Stats stats;
+    const double tb = drive_batched(bt, &cache, width, &stats);
+    if (r == 0) {
+      bt_out = take_outputs(bt);
+      row.batch = stats;
+    }
+    if (r == 0 || tb < best_batched) best_batched = tb;
+  }
+
+  if (!identical(name, bt_out, base.sc_out, base.ev_out)) std::exit(1);
+
+  row.scalar_compiled_ips =
+      base.best_seconds > 0
+          ? static_cast<double>(instances) / base.best_seconds
+          : 0.0;
+  row.batched_ips =
+      best_batched > 0 ? static_cast<double>(instances) / best_batched : 0.0;
+  return row;
+}
+
+std::string render_json(const std::vector<Row>& rows, bool smoke) {
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_batch\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
+  bench::appendf(j, "  \"unit\": \"instances_per_second\",\n");
+  bench::appendf(j, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  bench::appendf(j, "  \"bit_identical_lanes\": true,\n");
+  bench::appendf(j, "  \"fleets\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    bench::appendf(
+        j,
+        "    {\"scenario\": \"%s\", \"instances\": %zu, \"width\": %d,\n"
+        "     \"cycles_per_instance\": %lld,\n"
+        "     \"scalar_compiled_ips\": %s, \"batched_ips\": %s, "
+        "\"speedup\": %s,\n"
+        "     \"batched_cycles\": %lld, \"scalar_cycles\": %lld, "
+        "\"gathers\": %lld, \"guard_exits\": %lld, \"join_rejects\": %lld}%s\n",
+        r.scenario, r.instances, r.width, r.cycles_per_instance,
+        bench::json_num(r.scalar_compiled_ips, 2).c_str(),
+        bench::json_num(r.batched_ips, 2).c_str(),
+        bench::json_num(r.speedup(), 3).c_str(), r.batch.batched_cycles,
+        r.batch.scalar_cycles, r.batch.gathers, r.batch.guard_exits,
+        r.batch.join_rejects, i + 1 < rows.size() ? "," : "");
+  }
+  bench::appendf(j, "  ]\n}\n");
+  return j;
+}
+
+}  // namespace
+}  // namespace rsp
+
+int main(int argc, char** argv) {
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
+  rsp::bench::title(
+      "Batched cross-instance SIMD replay: fleet throughput vs per-instance "
+      "scalar compiled replay");
+  rsp::bench::note(std::string("SIMD ISA: ") + rsp::xpp::simd::isa_name() +
+                   ", native lane width " +
+                   std::to_string(rsp::xpp::simd::native_lane_width()));
+
+  const int reps = args.smoke ? 1 : 3;
+  const std::size_t chips = args.smoke ? 2048 : 20000;
+  const std::size_t symbols = args.smoke ? 2 : 6;
+  const std::size_t instances = args.smoke ? 4 : 16;
+  std::vector<int> widths;
+  if (args.smoke) {
+    widths = {1, 4};
+  } else {
+    widths = {1, 8, 16};
+  }
+
+  struct Gen {
+    const char* name;
+    rsp::Maker make;
+    std::size_t work;
+  };
+  const Gen gens[] = {
+      {"descrambler_stream", rsp::make_descrambler, chips},
+      {"despreader_sf16", rsp::make_despreader, chips},
+      {"fft64_stage0", rsp::make_fft64, symbols},
+  };
+
+  std::vector<rsp::Row> rows;
+  for (const Gen& g : gens) {
+    const rsp::ScalarBaseline base =
+        rsp::measure_scalar(g.make, instances, g.work, reps);
+    for (const int w : widths) {
+      rows.push_back(
+          rsp::run_fleet(g.name, g.make, base, instances, w, g.work, reps));
+    }
+  }
+
+  rsp::bench::Table t({"fleet", "inst", "width", "cycles/inst", "scalar i/s",
+                       "batched i/s", "speedup", "batched cyc", "scalar cyc",
+                       "ejects"});
+  for (const rsp::Row& r : rows) {
+    t.row({r.scenario, rsp::bench::fmt_int(static_cast<long long>(r.instances)),
+           rsp::bench::fmt_int(r.width), rsp::bench::fmt_int(r.cycles_per_instance),
+           rsp::bench::fmt(r.scalar_compiled_ips, 1),
+           rsp::bench::fmt(r.batched_ips, 1), rsp::bench::fmt(r.speedup(), 2),
+           rsp::bench::fmt_int(r.batch.batched_cycles),
+           rsp::bench::fmt_int(r.batch.scalar_cycles),
+           rsp::bench::fmt_int(r.batch.guard_exits)});
+  }
+  t.print();
+  rsp::bench::note(
+      "all lanes bit-identical across batched kCompiled / scalar kCompiled / "
+      "kEventDriven");
+
+  const bool wrote = rsp::bench::write_json_checked(
+      "BENCH_batch.json", rsp::render_json(rows, args.smoke));
+  if (wrote) rsp::bench::note("wrote BENCH_batch.json");
+  return wrote ? 0 : 1;
+}

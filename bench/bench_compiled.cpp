@@ -162,6 +162,7 @@ struct Scenario {
 std::string render_json(const std::vector<Scenario>& scenarios, bool smoke) {
   std::string j;
   bench::appendf(j, "{\n  \"bench\": \"bench_compiled\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
   bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
   bench::appendf(j, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   bench::appendf(j, "  \"scenarios\": [\n");

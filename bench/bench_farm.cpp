@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
 
   std::string j;
   bench::appendf(j, "{\n  \"bench\": \"bench_farm\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
   bench::appendf(j, "  \"kernel\": \"rake_ber_3finger_0dB\",\n");
   bench::appendf(j, "  \"unit\": \"frames_per_second\",\n");
   bench::appendf(j, "  \"trials\": %zu,\n", trials);

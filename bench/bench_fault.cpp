@@ -99,6 +99,7 @@ bool write_json(const Measurement& bare, const Measurement& hooked,
                 const Measurement& seu, double overhead_pct) {
   std::string j;
   bench::appendf(j, "{\n  \"bench\": \"bench_fault\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
   bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
   bench::appendf(j, "  \"workload\": \"despreader_sf16_stream\",\n");
   // Doubles go through bench::json_num so a comma-decimal LC_NUMERIC

@@ -96,6 +96,7 @@ bool write_json(const Measurement& bare, const Measurement& paused,
                 double on_overhead_pct) {
   std::string j;
   bench::appendf(j, "{\n  \"bench\": \"bench_trace\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
   bench::appendf(j, "  \"unit\": \"simulated_cycles_per_second\",\n");
   bench::appendf(j, "  \"workload\": \"despreader_sf16_stream\",\n");
   bench::appendf(j, "  \"cycles\": %lld,\n", bare.cycles);

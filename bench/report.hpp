@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/xpp/simd.hpp"
 #include "tests/support/json_lite.hpp"
 
 namespace rsp::bench {
@@ -153,6 +155,39 @@ inline Args parse_args(int argc, char** argv) {
     }
   }
   return a;
+}
+
+/// Host capability context embedded in every BENCH_*.json: perf
+/// numbers are not comparable across machines or toolchains without
+/// the environment they were measured in.  Returns one JSON member
+/// (no trailing comma); splice it into the top-level object, e.g.
+/// `appendf(j, "  %s,\n", host_context_json().c_str())`.
+inline std::string host_context_json() {
+#if defined(__clang__)
+  const char* compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+  const char* compiler = "gcc " __VERSION__;
+#else
+  const char* compiler = "unknown";
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  const char* arch = "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  const char* arch = "aarch64";
+#elif defined(__i386__)
+  const char* arch = "x86";
+#else
+  const char* arch = "unknown";
+#endif
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"host\": {\"compiler\": \"%s\", \"arch\": \"%s\", "
+                "\"simd_isa\": \"%s\", \"simd_lane_width\": %d, "
+                "\"hardware_concurrency\": %u}",
+                compiler, arch, rsp::xpp::simd::isa_name(),
+                rsp::xpp::simd::native_lane_width(),
+                std::thread::hardware_concurrency());
+  return buf;
 }
 
 /// printf-append into a string accumulator, so JSON payloads can be

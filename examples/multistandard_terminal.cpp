@@ -21,6 +21,9 @@
 #include "src/rake/maps.hpp"
 #include "src/rake/receiver.hpp"
 #include "src/sdr/board.hpp"
+#include "src/xpp/batch.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/simd.hpp"
 
 namespace {
 
@@ -149,6 +152,90 @@ UserReport run_user(std::uint64_t seed) {
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// Act two: a cell of IDENTICAL terminals.  When every user runs the
+// same configuration (here: the UMTS descrambler stream), the farm's
+// batched task kind groups them into lane sets that replay ONE
+// compiled epoch program in lockstep SoA form — the software analogue
+// of the paper's "one fabric amortized across many users".
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kFleet = 16;
+constexpr std::size_t kFleetChips = 4096;
+
+class DescramblerTerminal final : public farm::BatchedTrial {
+ public:
+  explicit DescramblerTerminal(std::uint64_t seed)
+      : mgr_({}, xpp::SchedulerKind::kCompiled) {
+    id_ = mgr_.load(rake::maps::descrambler_config());
+    Rng rng(seed);
+    std::vector<CplxI> chips(kFleetChips);
+    for (auto& c : chips) {
+      c = {static_cast<int>(rng.below(2000)) - 1000,
+           static_cast<int>(rng.below(2000)) - 1000};
+    }
+    data_ = rake::maps::pack_stream(chips);
+    dedhw::UmtsScrambler scr(16);
+    code_.resize(kFleetChips);
+    for (auto& c : code_) c = scr.next2() & 3;
+  }
+
+  xpp::Simulator& sim() override { return mgr_.sim(); }
+
+  long long next_cycles() override {
+    if (fed_) return 0;
+    fed_ = true;
+    mgr_.input(id_, "data").feed(data_);
+    mgr_.input(id_, "code").feed(code_);
+    return static_cast<long long>(kFleetChips) + 256;
+  }
+
+  farm::TrialResult finish() override {
+    farm::TrialResult r;
+    const auto out = mgr_.output(id_, "out").take();
+    r.bits = 2 * out.size();
+    r.frames = 1;
+    r.frame_errors = out.size() == kFleetChips ? 0 : 1;
+    return r;
+  }
+
+ private:
+  xpp::ConfigurationManager mgr_;
+  xpp::ConfigId id_ = xpp::kNoConfig;
+  std::vector<xpp::Word> data_, code_;
+  bool fed_ = false;
+};
+
+void run_fleet_lockstep() {
+  farm::BatchedTaskSpec spec;
+  spec.width = xpp::simd::native_lane_width();
+  spec.config_crc = xpp::config_crc32(rake::maps::descrambler_config());
+  xpp::BatchProgramCache cache;
+  spec.cache = &cache;
+  farm::ScenarioFarm f;
+  const auto res = f.run_batched(
+      kFleet, kBaseSeed,
+      [](std::uint64_t seed, std::size_t) {
+        return std::make_unique<DescramblerTerminal>(seed);
+      },
+      spec);
+  const long long total =
+      res.batch.batched_cycles + res.batch.scalar_cycles;
+  std::printf("lockstep fleet (%zu identical terminals, %s lanes x%d):\n",
+              kFleet, xpp::simd::isa_name(), spec.width);
+  std::printf("  chips descrambled:  %llu (all frames %s)\n",
+              static_cast<unsigned long long>(res.result.agg.total().bits / 2),
+              res.result.agg.total().frame_errors == 0 ? "complete"
+                                                       : "INCOMPLETE");
+  std::printf("  lane-cycles in lockstep: %lld of %lld (%.0f %%)\n",
+              res.batch.batched_cycles, total,
+              total > 0 ? 100.0 * static_cast<double>(res.batch.batched_cycles)
+                              / static_cast<double>(total)
+                        : 0.0);
+  std::printf("  programs compiled:  %lld insert(s) for the whole fleet\n",
+              static_cast<long long>(cache.stats().inserts));
+}
+
 }  // namespace
 
 int main() {
@@ -196,5 +283,7 @@ int main() {
               static_cast<unsigned long long>(res.agg.total().bit_errors),
               static_cast<unsigned long long>(res.agg.total().bits));
   std::printf("  throughput:        %.1f links/s\n", res.frames_per_second());
+
+  run_fleet_lockstep();
   return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-command verification sweep: tier-1 build + tests across the
+# sanitizer configs, the scalar-fallback SIMD configuration, and the
+# perf smoke benches.
+#
+#   scripts/check.sh          # everything below
+#   scripts/check.sh quick    # tier-1 build + tests only
+#
+# Build trees land in build-check-<name>/ next to the source tree so
+# the developer's own build/ is never touched.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-full}"
+
+configure_build_test() {
+  local name="$1" ctest_args="$2"
+  shift 2
+  local dir="$ROOT/build-check-$name"
+  echo "==== [$name] configure + build ===="
+  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest $ctest_args ===="
+  # shellcheck disable=SC2086
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+}
+
+# Tier-1: the contract every PR must keep (ROADMAP.md).
+configure_build_test tier1 ""
+
+if [ "$MODE" = "quick" ]; then
+  echo "check.sh: quick mode done (tier-1 green)"
+  exit 0
+fi
+
+# Memory-safety sweep: the full suite under ASan+UBSan.
+configure_build_test asan "" -DRSP_SANITIZE=address,undefined
+
+# Thread-safety sweep: the farm battery (the only multi-threaded
+# subsystem) must be TSan-clean.
+configure_build_test tsan "-L farm" -DRSP_SANITIZE=tsan
+
+# Scalar-fallback SIMD: non-x86 builds must never break silently, and
+# the batched-replay battery must stay bit-identical without lanes.
+configure_build_test simd-off "-L simd" -DRSP_SIMD=off
+
+# Perf smoke: every bench binary runs its smoke preset and emits its
+# BENCH_*.json (numbers are advisory; failures are regressions in the
+# harnesses themselves, e.g. a bit-identity cross-check tripping).
+echo "==== [perf] ctest -L perf (smoke) ===="
+(cd "$ROOT/build-check-tier1" && ctest --output-on-failure -L perf)
+
+echo "check.sh: all configurations green"

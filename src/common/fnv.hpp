@@ -1,0 +1,55 @@
+// FNV-1a (64-bit): the one hash implementation shared by the compiled
+// engine's steady-state detector (src/xpp/compiled.cpp) and the batched
+// replay program cache (src/xpp/batch.cpp).  Both derive cache keys
+// from the same event streams, so a divergent copy of the constants or
+// the mixing order would silently split the shared program cache — the
+// exhaustive pinned-value test in tests/common/test_fnv.cpp exists to
+// make any tweak here a loud, deliberate decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsp {
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// One FNV-1a step: fold a full 64-bit value into the state.  The
+/// compiled-engine event hashes fold whole words (kind / pointer /
+/// sink), not bytes; every caller must mix with this exact granularity
+/// to stay key-compatible.
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix(std::uint64_t h,
+                                                std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Running accumulator form, for call sites that fold many fields.
+class Fnv1a {
+ public:
+  constexpr Fnv1a() = default;
+  constexpr explicit Fnv1a(std::uint64_t seed) : h_(seed) {}
+
+  constexpr Fnv1a& mix(std::uint64_t v) {
+    h_ = fnv1a_mix(h_, v);
+    return *this;
+  }
+
+  /// Fold a buffer word-wise is the caller's job; this folds raw bytes
+  /// (one mix per byte) for variable-length payloads like strings.
+  constexpr Fnv1a& mix_bytes(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ = fnv1a_mix(h_, static_cast<unsigned char>(data[i]));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvBasis;
+};
+
+}  // namespace rsp

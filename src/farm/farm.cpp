@@ -1,5 +1,6 @@
 #include "src/farm/farm.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -8,6 +9,8 @@
 #include <thread>
 
 #include "src/common/rng.hpp"
+#include "src/xpp/batch.hpp"
+#include "src/xpp/sim.hpp"
 
 namespace rsp::farm {
 namespace {
@@ -114,6 +117,115 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   return result;
+}
+
+BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
+                                            std::uint64_t base_seed,
+                                            const BatchedTrialFactory& factory,
+                                            const BatchedTaskSpec& spec) const {
+  BatchedFarmResult out;
+  out.result.per_task.resize(n_tasks);
+  const auto t0 = Clock::now();
+
+  const std::size_t width =
+      spec.width < 1 ? 1 : static_cast<std::size_t>(spec.width);
+  const std::size_t n_groups = (n_tasks + width - 1) / width;
+
+  xpp::BatchProgramCache local_cache;
+  xpp::BatchProgramCache* cache =
+      spec.cache != nullptr ? spec.cache : &local_cache;
+
+  BoundedQueue queue(queue_capacity_);
+  std::mutex agg_mutex;            // guards result.agg and out.batch
+  std::mutex error_mutex;          // guards first_error
+  std::exception_ptr first_error;  // first trial failure, rethrown below
+
+  // One group == one lockstep engine on one worker: lane membership is
+  // a pure function of the task index, so results are identical at any
+  // thread count (the determinism battery in tests/farm pins this).
+  auto run_group = [&](std::size_t g) {
+    const std::size_t begin = g * width;
+    const std::size_t end = std::min(n_tasks, begin + width);
+    const std::size_t n = end - begin;
+
+    std::vector<std::unique_ptr<BatchedTrial>> trials(n);
+    std::vector<long long> pending(n, 0);
+    std::vector<bool> done(n, false);
+    xpp::BatchedReplayEngine eng(cache, static_cast<int>(width));
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t index = begin + j;
+      trials[j] = factory(Rng::split(base_seed, index), index);
+      eng.add(trials[j]->sim(), spec.config_crc);
+    }
+
+    std::size_t live = n;
+    while (live > 0) {
+      long long chunk = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (done[j]) continue;
+        if (pending[j] == 0) {
+          pending[j] = trials[j]->next_cycles();
+          if (pending[j] <= 0) {
+            const TrialResult r = trials[j]->finish();
+            out.result.per_task[begin + j] = r;
+            {
+              const std::lock_guard<std::mutex> lock(agg_mutex);
+              out.result.agg.add(r);
+            }
+            eng.set_active(static_cast<int>(j), false);
+            done[j] = true;
+            --live;
+            continue;
+          }
+        }
+        chunk = chunk == 0 ? pending[j] : std::min(chunk, pending[j]);
+      }
+      if (live == 0 || chunk == 0) break;
+      // Advance every live lane by the smallest outstanding quantum:
+      // slicing a quantum is invisible to the trial (step composes).
+      eng.run_cycles(chunk);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!done[j]) pending[j] -= chunk;
+      }
+    }
+
+    const xpp::BatchedReplayEngine::Stats& s = eng.stats();
+    const std::lock_guard<std::mutex> lock(agg_mutex);
+    out.batch.batch_ticks += s.batch_ticks;
+    out.batch.batched_cycles += s.batched_cycles;
+    out.batch.scalar_cycles += s.scalar_cycles;
+    out.batch.guard_exits += s.guard_exits;
+    out.batch.join_rejects += s.join_rejects;
+    out.batch.gathers += s.gathers;
+  };
+
+  const std::size_t pool_size = std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), n_groups == 0 ? 1 : n_groups);
+  auto worker = [&] {
+    std::size_t g = 0;
+    while (queue.pop(g)) {
+      try {
+        run_group(g);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        queue.close();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (std::size_t g = 0; g < n_groups; ++g) queue.push(g);
+  queue.close();
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  out.result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
 }
 
 FarmResult run_serial(std::size_t n_tasks, std::uint64_t base_seed,

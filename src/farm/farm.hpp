@@ -19,9 +19,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/farm/stats.hpp"
+
+namespace rsp::xpp {
+class BatchProgramCache;
+class Simulator;
+}  // namespace rsp::xpp
 
 namespace rsp::farm {
 
@@ -56,6 +62,68 @@ struct FarmResult {
   }
 };
 
+/// One Monte-Carlo trial driven at cycle granularity so several
+/// identical trials can replay in lockstep (src/xpp/batch.hpp).  The
+/// farm owns the cycle loop; the trial only exposes its simulator and
+/// its boundary work:
+///
+///   loop: c = next_cycles()   // feed inputs / drain outputs, then
+///         run c cycles        //   ask for the next quantum
+///   until next_cycles() == 0, then finish().
+///
+/// Running a quantum in slices composes (step() is associative), so a
+/// batched trial's trajectory is bit-identical to running it alone —
+/// the property tests/farm/test_farm_batch.cpp pins down.
+class BatchedTrial {
+ public:
+  virtual ~BatchedTrial() = default;
+
+  /// The trial's simulator (kCompiled scheduler for batching to pay
+  /// off; any scheduler is correct).  Must stay valid until finish().
+  virtual xpp::Simulator& sim() = 0;
+
+  /// Boundary hook: perform feeds/drains against sim(), then return
+  /// how many cycles to advance before the next boundary (> 0), or 0
+  /// when the trial is complete.
+  virtual long long next_cycles() = 0;
+
+  /// Final result; called exactly once, after next_cycles() returned 0.
+  virtual TrialResult finish() = 0;
+};
+
+/// Builds the trial for one task index (seeded like a TrialKernel).
+using BatchedTrialFactory = std::function<std::unique_ptr<BatchedTrial>(
+    std::uint64_t task_seed, std::size_t task_index)>;
+
+struct BatchedTaskSpec {
+  /// Lanes per farm task: consecutive task indices [g*width,(g+1)*width)
+  /// form one lockstep group on one worker thread.
+  int width = 8;
+  /// CRC-32 of the loaded configuration — the cache key half that
+  /// pre-partitions lanes before any structural compare.  All trials
+  /// built from the same config should pass the same value.
+  std::uint32_t config_crc = 0;
+  /// Optional shared program cache so identical terminals compile once
+  /// across the whole run; nullptr = the run creates its own.
+  xpp::BatchProgramCache* cache = nullptr;
+};
+
+/// Batch-engine counters summed over every group (cross-checks that
+/// lockstep replay actually happened; see xpp::BatchedReplayEngine).
+struct BatchedFarmStats {
+  long long batch_ticks = 0;
+  long long batched_cycles = 0;
+  long long scalar_cycles = 0;
+  long long guard_exits = 0;
+  long long join_rejects = 0;
+  long long gathers = 0;
+};
+
+struct BatchedFarmResult {
+  FarmResult result;
+  BatchedFarmStats batch;
+};
+
 class ScenarioFarm {
  public:
   explicit ScenarioFarm(FarmOptions opts = {});
@@ -66,6 +134,16 @@ class ScenarioFarm {
   /// drained without being run).
   [[nodiscard]] FarmResult run(std::size_t n_tasks, std::uint64_t base_seed,
                                const TrialKernel& kernel) const;
+
+  /// Batched task kind: trials are built per task index exactly as in
+  /// run() (same Rng::split seeding, same per-slot result writes) but
+  /// grouped spec.width at a time into a lockstep SoA replay engine.
+  /// Deterministic at any thread count: group membership is a pure
+  /// function of the task index, and lanes share no data.
+  [[nodiscard]] BatchedFarmResult run_batched(
+      std::size_t n_tasks, std::uint64_t base_seed,
+      const BatchedTrialFactory& factory,
+      const BatchedTaskSpec& spec = {}) const;
 
   /// Resolved worker count (>= 1).
   [[nodiscard]] int threads() const { return threads_; }

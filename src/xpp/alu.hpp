@@ -36,6 +36,8 @@ class AluObject final : public Object {
   /// kCAccum, kMergeAlt) against these registers directly, with the
   /// identical arithmetic, so armed epochs stay bit-exact.
   friend class CompiledProgram;
+  friend class BatchedReplayEngine;
+  friend class CanonicalProgram;
 
   // Stateful-opcode registers.
   Word acc_ = 0;                // kAccum

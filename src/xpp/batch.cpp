@@ -1,0 +1,1247 @@
+// Batched cross-instance SIMD replay: canonical program images, the
+// shared program cache, and the lockstep lane engine.
+//
+// Execution-order transform only: a batch tick performs exactly the
+// mutations of CompiledProgram::exec_phase for each lane — guards
+// first (no mutation before a deopt), then the op list (SIMD kernels
+// for the vector-friendly kinds, per-lane loops for the stateful
+// RAM / FIFO / LUT / IO kinds, which touch each lane's own objects),
+// then the latch list.  Merge toggles and fire/latch accounting are
+// deferred to scatter time, where closed-form per-phase counts
+// reproduce the scalar bookkeeping exactly.
+#include "src/xpp/batch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/fnv.hpp"
+#include "src/xpp/alu.hpp"
+#include "src/xpp/counter.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/io.hpp"
+#include "src/xpp/ram.hpp"
+#include "src/xpp/sim.hpp"
+
+namespace rsp::xpp {
+
+// ---------------------------------------------------------------------------
+// CanonicalProgram
+// ---------------------------------------------------------------------------
+
+struct CanonicalProgram::Enumeration {
+  std::vector<Object*> objs;
+  std::vector<Net*> nets;
+  std::unordered_map<const void*, std::int32_t> obj_idx;
+  std::unordered_map<const void*, std::int32_t> net_idx;
+
+  void index() {
+    obj_idx.reserve(objs.size());
+    net_idx.reserve(nets.size());
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      obj_idx.emplace(objs[i], static_cast<std::int32_t>(i));
+    }
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      net_idx.emplace(nets[i], static_cast<std::int32_t>(i));
+    }
+  }
+
+  /// The same group-ascending traversal as CompiledProgram::Builder::
+  /// enumerate, so indices line up with a program built on @p sim.
+  static Enumeration of(const Simulator& sim) {
+    Enumeration e;
+    for (const auto& [gid, g] : sim.groups_) {
+      (void)gid;
+      for (const auto& o : g.objects) e.objs.push_back(o.get());
+      for (const auto& n : g.nets) e.nets.push_back(n.get());
+    }
+    e.index();
+    return e;
+  }
+};
+
+namespace {
+
+/// Serialize everything execution depends on — object kinds and
+/// parameters, port wiring (with sink indices and shadowing
+/// constants), net fan-out — by enumeration index.  Names and
+/// addresses are deliberately absent: two terminals built from the
+/// same configuration serialize identically.
+std::vector<std::int64_t> serialize_shape(
+    const CanonicalProgram::Enumeration& en) {
+  std::vector<std::int64_t> s;
+  s.reserve(en.objs.size() * 16 + en.nets.size() + 2);
+  s.push_back(static_cast<std::int64_t>(en.objs.size()));
+  s.push_back(static_cast<std::int64_t>(en.nets.size()));
+  for (Object* o : en.objs) {
+    s.push_back(static_cast<std::int64_t>(o->kind()));
+    switch (o->kind()) {
+      case ObjectKind::kAlu: {
+        const AluParams& p = static_cast<AluObject*>(o)->params();
+        s.push_back(static_cast<std::int64_t>(p.op));
+        s.push_back(p.shift);
+        s.push_back(p.saturate ? 1 : 0);
+        for (Word w : p.table) s.push_back(w);
+        break;
+      }
+      case ObjectKind::kCounter: {
+        const CounterParams& p = static_cast<CounterObject*>(o)->params();
+        s.push_back(p.start);
+        s.push_back(p.step);
+        s.push_back(p.modulo);
+        break;
+      }
+      case ObjectKind::kRam: {
+        const RamParams& p = static_cast<RamObject*>(o)->params();
+        s.push_back(static_cast<std::int64_t>(p.mode));
+        s.push_back(p.capacity);
+        s.push_back(static_cast<std::int64_t>(p.preload.size()));
+        for (Word w : p.preload) s.push_back(w);
+        break;
+      }
+      case ObjectKind::kInput:
+      case ObjectKind::kOutput:
+        break;
+    }
+    for (int i = 0; i < kMaxIn; ++i) {
+      const auto c = o->in_const(i);
+      s.push_back(c.has_value() ? 1 : 0);
+      s.push_back(c.value_or(0));
+      const Net* n = o->in_net(i);
+      const auto it = n != nullptr ? en.net_idx.find(n) : en.net_idx.end();
+      s.push_back(it != en.net_idx.end() ? it->second : -1);
+      s.push_back(n != nullptr ? o->in_sink(i) : -1);
+    }
+    for (int j = 0; j < kMaxOut; ++j) {
+      const Net* n = o->out_net(j);
+      const auto it = n != nullptr ? en.net_idx.find(n) : en.net_idx.end();
+      s.push_back(it != en.net_idx.end() ? it->second : -1);
+    }
+  }
+  for (const Net* n : en.nets) s.push_back(n->num_sinks());
+  return s;
+}
+
+std::uint64_t hash_shape(const std::vector<std::int64_t>& s) {
+  Fnv1a f;
+  for (std::int64_t v : s) f.mix(static_cast<std::uint64_t>(v));
+  return f.value();
+}
+
+/// (shape, period, minimal rotation of the phase hashes) -> signature.
+/// Rotation-invariance matters: two terminals detect the same steady
+/// state at arbitrary phase offsets of each other.
+std::uint64_t signature_of(std::uint64_t shape_hash,
+                           const std::vector<std::uint64_t>& ph) {
+  const int p = static_cast<int>(ph.size());
+  int best = 0;
+  for (int r = 1; r < p; ++r) {
+    for (int i = 0; i < p; ++i) {
+      const std::uint64_t x = ph[static_cast<std::size_t>((r + i) % p)];
+      const std::uint64_t y = ph[static_cast<std::size_t>((best + i) % p)];
+      if (x != y) {
+        if (x < y) best = r;
+        break;
+      }
+    }
+  }
+  Fnv1a f;
+  f.mix(shape_hash);
+  f.mix(static_cast<std::uint64_t>(p));
+  for (int i = 0; i < p; ++i) {
+    f.mix(ph[static_cast<std::size_t>((best + i) % p)]);
+  }
+  // 0 means "unstamped" everywhere else; remap the (vanishingly rare)
+  // genuine zero.
+  return f.value() != 0 ? f.value() : 1;
+}
+
+}  // namespace
+
+std::shared_ptr<const CanonicalProgram> CanonicalProgram::capture(
+    const Simulator& sim, const CompiledProgram& pr) {
+  (void)sim;  // the program's own enumeration vectors are authoritative
+  std::shared_ptr<CanonicalProgram> cp(new CanonicalProgram());
+  Enumeration en;
+  en.objs = pr.objs_;
+  en.nets = pr.nets_;
+  en.index();
+
+  cp->shape_ = serialize_shape(en);
+
+  const auto obj_of = [&en](const void* p) {
+    const auto it = en.obj_idx.find(p);
+    return it != en.obj_idx.end() ? it->second : std::int32_t{-1};
+  };
+  cp->op_obj_.reserve(pr.ops_.size());
+  for (const auto& op : pr.ops_) {
+    const std::int32_t i = obj_of(op.obj);
+    if (i < 0) return nullptr;
+    cp->op_obj_.push_back(i);
+  }
+  cp->guard_in_.reserve(pr.guards_.size());
+  for (const auto& g : pr.guards_) {
+    if (g.input == nullptr) {
+      cp->guard_in_.push_back(-1);
+      continue;
+    }
+    const std::int32_t i = obj_of(g.input);
+    if (i < 0) return nullptr;
+    cp->guard_in_.push_back(i);
+  }
+  const auto index_all = [&obj_of](const auto& src,
+                                   std::vector<std::int32_t>* dst) {
+    dst->reserve(src.size());
+    for (const auto* o : src) {
+      const std::int32_t i = obj_of(o);
+      if (i < 0) return false;
+      dst->push_back(i);
+    }
+    return true;
+  };
+  if (!index_all(pr.fifos_, &cp->fifo_idx_) ||
+      !index_all(pr.merges_, &cp->merge_idx_) ||
+      !index_all(pr.nonfiring_inputs_, &cp->nonfiring_idx_) ||
+      !index_all(pr.req_nonempty_inputs_, &cp->req_nonempty_idx_)) {
+    return nullptr;
+  }
+
+  const int p = pr.period_;
+  cp->phases_.resize(static_cast<std::size_t>(p));
+  cp->phase_hash_.resize(static_cast<std::size_t>(p));
+  for (int k = 0; k < p; ++k) {
+    auto& out = cp->phases_[static_cast<std::size_t>(k)];
+    const auto& evs = pr.records_[static_cast<std::size_t>(k)].evs;
+    out.reserve(evs.size());
+    Fnv1a f;
+    for (const CycleEvent& ev : evs) {
+      CanonEv ce;
+      ce.kind = static_cast<std::uint8_t>(ev.kind);
+      ce.sink = ev.sink;
+      if (ev.kind == CycleEvent::Kind::kFire) {
+        ce.is_net = 0;
+        ce.idx = obj_of(ev.ptr);
+      } else {
+        ce.is_net = 1;
+        const auto it = en.net_idx.find(ev.ptr);
+        ce.idx = it != en.net_idx.end() ? it->second : -1;
+      }
+      if (ce.idx < 0) return nullptr;
+      f.mix(ce.kind);
+      f.mix(ce.is_net);
+      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ce.idx)));
+      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ce.sink)));
+      out.push_back(ce);
+    }
+    f.mix(out.size() + 1);
+    cp->phase_hash_[static_cast<std::size_t>(k)] = f.value();
+  }
+
+  cp->sig_ = signature_of(hash_shape(cp->shape_), cp->phase_hash_);
+
+  // Template: copy the POD program, scrub everything pointer-valued or
+  // armed-state so a stale source simulator can never be dereferenced
+  // through the shared image.
+  cp->tpl_ = pr;
+  cp->tpl_.nets_.assign(pr.nets_.size(), nullptr);
+  cp->tpl_.objs_.assign(pr.objs_.size(), nullptr);
+  cp->tpl_.records_.clear();
+  for (auto& op : cp->tpl_.ops_) op.obj = nullptr;
+  for (auto& g : cp->tpl_.guards_) g.input = nullptr;
+  std::fill(cp->tpl_.fifos_.begin(), cp->tpl_.fifos_.end(), nullptr);
+  std::fill(cp->tpl_.merges_.begin(), cp->tpl_.merges_.end(), nullptr);
+  std::fill(cp->tpl_.nonfiring_inputs_.begin(),
+            cp->tpl_.nonfiring_inputs_.end(), nullptr);
+  std::fill(cp->tpl_.req_nonempty_inputs_.begin(),
+            cp->tpl_.req_nonempty_inputs_.end(), nullptr);
+  cp->tpl_.value_.clear();
+  cp->tpl_.staged_.clear();
+  cp->tpl_.latch_accum_.clear();
+  cp->tpl_.pos_ = 0;
+  cp->tpl_.tpae_.clear();
+  cp->tpl_.tnete_.clear();
+  cp->tpl_.trow_.clear();
+  cp->tpl_.canonical_sig_ = cp->sig_;
+  return cp;
+}
+
+/// Memoized graph-shape half of window_signature: the enumeration and
+/// the structural hash depend only on the live object graph, which is
+/// invariant between add_group/remove_group (CompiledEngine clears its
+/// memo in invalidate()).  Without this, every post-cooldown candidate
+/// would re-walk the whole graph — a per-candidate cost the scalar
+/// baseline never pays.
+struct ShapeMemo {
+  CanonicalProgram::Enumeration en;
+  std::uint64_t shape_hash = 0;
+};
+
+std::uint64_t CanonicalProgram::window_signature(
+    const Simulator& sim, const std::vector<const CycleRecord*>& period,
+    std::shared_ptr<const void>* memo) {
+  if (period.empty()) return 0;
+  std::shared_ptr<const ShapeMemo> sm;
+  if (memo != nullptr && *memo != nullptr) {
+    sm = std::static_pointer_cast<const ShapeMemo>(*memo);
+  } else {
+    auto fresh = std::make_shared<ShapeMemo>();
+    fresh->en = Enumeration::of(sim);
+    if (!fresh->en.objs.empty()) {
+      fresh->shape_hash = hash_shape(serialize_shape(fresh->en));
+    }
+    sm = std::move(fresh);
+    if (memo != nullptr) *memo = sm;
+  }
+  const Enumeration& en = sm->en;
+  if (en.objs.empty()) return 0;
+  std::vector<std::uint64_t> ph(period.size());
+  for (std::size_t k = 0; k < period.size(); ++k) {
+    Fnv1a f;
+    std::size_t cnt = 0;
+    for (const CycleEvent& ev : period[k]->evs) {
+      std::int32_t idx = -1;
+      std::uint8_t is_net = 1;
+      if (ev.kind == CycleEvent::Kind::kFire) {
+        is_net = 0;
+        const auto it = en.obj_idx.find(ev.ptr);
+        if (it == en.obj_idx.end()) return 0;
+        idx = it->second;
+      } else {
+        const auto it = en.net_idx.find(ev.ptr);
+        if (it == en.net_idx.end()) return 0;
+        idx = it->second;
+      }
+      f.mix(static_cast<std::uint8_t>(ev.kind));
+      f.mix(is_net);
+      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(idx)));
+      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.sink)));
+      ++cnt;
+    }
+    f.mix(cnt + 1);
+    ph[k] = f.value();
+  }
+  return signature_of(sm->shape_hash, ph);
+}
+
+CanonicalProgram::Bound CanonicalProgram::bind(
+    Simulator& sim, const std::vector<const CycleRecord*>& window) const {
+  Bound out;
+  const int p = tpl_.period_;
+  if (static_cast<int>(window.size()) != p) return out;
+  Enumeration en = Enumeration::of(sim);
+  if (serialize_shape(en) != shape_) return out;
+
+  // Canonicalize the detection window against the *target* objects.
+  std::vector<std::vector<CanonEv>> win(static_cast<std::size_t>(p));
+  for (int k = 0; k < p; ++k) {
+    auto& dst = win[static_cast<std::size_t>(k)];
+    const auto& evs = window[static_cast<std::size_t>(k)]->evs;
+    dst.reserve(evs.size());
+    for (const CycleEvent& ev : evs) {
+      CanonEv ce;
+      ce.kind = static_cast<std::uint8_t>(ev.kind);
+      ce.sink = ev.sink;
+      if (ev.kind == CycleEvent::Kind::kFire) {
+        ce.is_net = 0;
+        const auto it = en.obj_idx.find(ev.ptr);
+        if (it == en.obj_idx.end()) return out;
+        ce.idx = it->second;
+      } else {
+        ce.is_net = 1;
+        const auto it = en.net_idx.find(ev.ptr);
+        if (it == en.net_idx.end()) return out;
+        ce.idx = it->second;
+      }
+      dst.push_back(ce);
+    }
+  }
+
+  // The rotation r with canonical phase (r+i) mod p == window[i] for
+  // all i.  The window is one full period, so the cycle about to run
+  // repeats window[0]'s phase: entry = r.
+  int entry = -1;
+  for (int r = 0; r < p && entry < 0; ++r) {
+    bool ok = true;
+    for (int i = 0; i < p && ok; ++i) {
+      ok = phases_[static_cast<std::size_t>((r + i) % p)] ==
+           win[static_cast<std::size_t>(i)];
+    }
+    if (ok) entry = r;
+  }
+  if (entry < 0) return out;
+
+  std::unique_ptr<CompiledProgram> q(new CompiledProgram(tpl_));
+  q->nets_ = en.nets;
+  q->objs_ = en.objs;
+  for (std::size_t k = 0; k < q->ops_.size(); ++k) {
+    q->ops_[k].obj = en.objs[static_cast<std::size_t>(op_obj_[k])];
+  }
+  for (std::size_t k = 0; k < q->guards_.size(); ++k) {
+    q->guards_[k].input =
+        guard_in_[k] >= 0 ? static_cast<InputObject*>(
+                                en.objs[static_cast<std::size_t>(guard_in_[k])])
+                          : nullptr;
+  }
+  for (std::size_t k = 0; k < q->fifos_.size(); ++k) {
+    q->fifos_[k] = static_cast<RamObject*>(
+        en.objs[static_cast<std::size_t>(fifo_idx_[k])]);
+  }
+  for (std::size_t k = 0; k < q->merges_.size(); ++k) {
+    q->merges_[k] = static_cast<AluObject*>(
+        en.objs[static_cast<std::size_t>(merge_idx_[k])]);
+  }
+  for (std::size_t k = 0; k < q->nonfiring_inputs_.size(); ++k) {
+    q->nonfiring_inputs_[k] = static_cast<InputObject*>(
+        en.objs[static_cast<std::size_t>(nonfiring_idx_[k])]);
+  }
+  for (std::size_t k = 0; k < q->req_nonempty_inputs_.size(); ++k) {
+    q->req_nonempty_inputs_[k] = static_cast<InputObject*>(
+        en.objs[static_cast<std::size_t>(req_nonempty_idx_[k])]);
+  }
+  // Rebuild the stored period with target pointers so the engine's
+  // fast re-arm (record compare against interpreted cycles) works on
+  // the bound clone exactly as on a locally built program.
+  q->records_.resize(static_cast<std::size_t>(p));
+  for (int k = 0; k < p; ++k) {
+    auto& rec = q->records_[static_cast<std::size_t>(k)];
+    const auto& src = phases_[static_cast<std::size_t>(k)];
+    rec.evs.clear();
+    rec.evs.reserve(src.size());
+    for (const CanonEv& ce : src) {
+      CycleEvent ev;
+      ev.kind = static_cast<CycleEvent::Kind>(ce.kind);
+      ev.sink = ce.sink;
+      ev.ptr = ce.is_net != 0
+                   ? static_cast<const void*>(
+                         en.nets[static_cast<std::size_t>(ce.idx)])
+                   : static_cast<const void*>(
+                         en.objs[static_cast<std::size_t>(ce.idx)]);
+      rec.evs.push_back(ev);
+    }
+    rec.hash = hash_cycle_events(rec.evs);
+  }
+  out.program = std::move(q);
+  out.entry = entry;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BatchProgramCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const CanonicalProgram> BatchProgramCache::find(
+    std::uint32_t crc, std::uint64_t sig) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++const_cast<Stats&>(stats_).lookups;
+  const auto it = map_.find({crc, sig});
+  if (it == map_.end()) return nullptr;
+  ++const_cast<Stats&>(stats_).hits;
+  return it->second;
+}
+
+std::shared_ptr<const CanonicalProgram> BatchProgramCache::insert(
+    std::uint32_t crc, std::uint64_t sig,
+    std::shared_ptr<const CanonicalProgram> p) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.try_emplace({crc, sig}, std::move(p));
+  if (inserted) ++stats_.inserts;
+  return it->second;
+}
+
+BatchProgramCache::Stats BatchProgramCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledEngine <-> shared cache (declared in compiled.hpp)
+// ---------------------------------------------------------------------------
+
+void CompiledEngine::publish(CompiledProgram& pr) {
+  if (shared_cache_ == nullptr || pr.canonical_sig_ != 0) return;
+  auto cp = CanonicalProgram::capture(sim_, pr);
+  if (cp == nullptr) return;
+  const std::uint64_t sig = cp->signature();
+  pr.canonical_sig_ = sig;
+  shared_cache_->insert(shared_crc_, sig, std::move(cp));
+}
+
+bool CompiledEngine::try_bind_shared(
+    const std::vector<const CycleRecord*>& period) {
+  const std::uint64_t sig =
+      CanonicalProgram::window_signature(sim_, period, &shape_memo_);
+  if (sig == 0) return false;
+  const auto cp = shared_cache_->find(shared_crc_, sig);
+  if (cp == nullptr) return false;
+  auto bound = cp->bind(sim_, period);
+  if (bound.program == nullptr) return false;
+  CompiledProgram* pr = bound.program.get();
+  // Same screens as a local-cache re-arm: live structural state must
+  // equal the entry phase's, and its guards must pass right now.
+  if (!pr->phase_matches(sim_, bound.entry)) return false;
+  if (!pr->guards_pass_live(bound.entry)) return false;
+  if (!pr->arm(sim_, bound.entry)) return false;
+  armed_ = pr;
+  cache_.insert(cache_.begin(), std::move(bound.program));
+  if (cache_.size() > kCompiledCacheSize) cache_.pop_back();
+  ++stats_.arms;
+  ++stats_.cache_binds;
+  reset_detector();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BatchedReplayEngine
+// ---------------------------------------------------------------------------
+
+// Everything a lockstep tick reads from the anchor on behalf of every
+// lane must compare equal here.
+bool BatchedReplayEngine::same_exec_shape(const CompiledProgram& x,
+                                          const CompiledProgram& y) {
+  using CKind = CompiledProgram::CKind;
+  if (x.period_ != y.period_ || x.n_nets_ != y.n_nets_ ||
+      x.n_objs_ != y.n_objs_) {
+    return false;
+  }
+  if (x.const_values_ != y.const_values_) return false;
+  if (x.op_end_ != y.op_end_ || x.guard_end_ != y.guard_end_ ||
+      x.latch_end_ != y.latch_end_ || x.latch_slots_ != y.latch_slots_) {
+    return false;
+  }
+  if (x.phase_has_ != y.phase_has_ || x.phase_mask_ != y.phase_mask_ ||
+      x.fifo_phase_ != y.fifo_phase_ || x.merge_phase_ != y.merge_phase_) {
+    return false;
+  }
+  if (x.ops_.size() != y.ops_.size() || x.guards_.size() != y.guards_.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < x.ops_.size(); ++k) {
+    const auto& a = x.ops_[k];
+    const auto& b = y.ops_[k];
+    if (a.kind != b.kind || a.op != b.op || a.flags != b.flags ||
+        a.shift != b.shift || a.a != b.a || a.b != b.b || a.c != b.c ||
+        a.o0 != b.o0 || a.o1 != b.o1) {
+      return false;
+    }
+    // Kinds whose batch execution reads the *anchor* object's
+    // parameters on every lane's behalf must prove those parameters
+    // equal.  (RAM/FIFO/LUT/IO kinds run on each lane's own object,
+    // so their parameters need no cross-lane equality.)
+    if (a.kind == CKind::kCounter) {
+      const auto& pa = static_cast<const CounterObject*>(a.obj)->params();
+      const auto& pb = static_cast<const CounterObject*>(b.obj)->params();
+      if (pa.start != pb.start || pa.step != pb.step ||
+          pa.modulo != pb.modulo) {
+        return false;
+      }
+    } else if (a.kind == CKind::kAlu && a.op == Opcode::kSel4) {
+      if (static_cast<const AluObject*>(a.obj)->params().table !=
+          static_cast<const AluObject*>(b.obj)->params().table) {
+        return false;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < x.guards_.size(); ++k) {
+    const auto& a = x.guards_[k];
+    const auto& b = y.guards_[k];
+    if (a.kind != b.kind || a.expect != b.expect || a.slot != b.slot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BatchedReplayEngine::BatchedReplayEngine(BatchProgramCache* cache,
+                                         int max_width)
+    : cache_(cache),
+      max_width_(std::clamp(max_width, 1, simd::kMaxBatchWidth)) {}
+
+int BatchedReplayEngine::add(Simulator& sim, std::uint32_t config_crc) {
+  Lane l;
+  l.sim = &sim;
+  l.crc = config_crc;
+  lanes_.push_back(l);
+  if (cache_ != nullptr && sim.compiled_engine() != nullptr) {
+    sim.compiled_engine()->set_shared_cache(cache_, config_crc);
+  }
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+void BatchedReplayEngine::rekey(int lane, std::uint32_t config_crc) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  l.crc = config_crc;
+  if (cache_ != nullptr && l.sim->compiled_engine() != nullptr) {
+    l.sim->compiled_engine()->set_shared_cache(cache_, config_crc);
+  }
+}
+
+void BatchedReplayEngine::set_active(int lane, bool active) {
+  lanes_.at(static_cast<std::size_t>(lane)).active = active;
+}
+
+CompiledProgram* BatchedReplayEngine::armed_program(const Lane& l) {
+  CompiledEngine* eng = l.sim->compiled_engine();
+  return eng != nullptr ? eng->armed_ : nullptr;
+}
+
+bool BatchedReplayEngine::batchable(const Lane& l) const {
+  if (l.rem <= 0 || l.needs_scalar) return false;
+  // Tracers and fault injectors hook every interpreted/replayed cycle
+  // at the boundary; the batch executes none of those hooks, so such
+  // lanes stay on the scalar path (bit-identical by construction).
+  if (l.sim->tracer_ != nullptr || l.sim->injector_ != nullptr) return false;
+  return armed_program(l) != nullptr;
+}
+
+void BatchedReplayEngine::run_cycles(long long n) {
+  if (n <= 0) return;
+  for (Lane& l : lanes_) l.rem = l.active ? n : 0;
+
+  for (;;) {
+    int ai = -1;
+    for (int i = 0; i < lanes(); ++i) {
+      if (batchable(lanes_[static_cast<std::size_t>(i)])) {
+        ai = i;
+        break;
+      }
+    }
+    if (ai < 0) {
+      // No replaying lane: interpret.  Lanes are independent
+      // simulators, so each gets a consecutive chunk of cycles — far
+      // better cache locality than a one-cycle round-robin across N
+      // object graphs — cut short the moment the lane arms so a batch
+      // can form.  This also serves guard-ejected lanes their
+      // mandatory scalar step, which re-fails the guard and deopts
+      // exactly as an unbatched run would.
+      constexpr long long kScalarChunk = 128;
+      bool any = false;
+      for (Lane& l : lanes_) {
+        if (l.rem <= 0) continue;
+        any = true;
+        long long done = 0;
+        do {
+          l.sim->step();
+          l.needs_scalar = false;
+          --l.rem;
+          ++done;
+        } while (done < kScalarChunk && l.rem > 0 && !batchable(l));
+        stats_.scalar_cycles += done;
+      }
+      if (!any) return;
+      continue;
+    }
+
+    Lane& anchor = lanes_[static_cast<std::size_t>(ai)];
+    CompiledProgram* apr = armed_program(anchor);
+    const int p = apr->period_;
+    pos_ = apr->pos_;
+    entry_pos_ = pos_;
+
+    cols_.clear();
+    for (int i = ai;
+         i < lanes() && static_cast<int>(cols_.size()) < max_width_; ++i) {
+      Lane& l = lanes_[static_cast<std::size_t>(i)];
+      if (!batchable(l)) continue;
+      CompiledProgram* pr = armed_program(l);
+      if (i != ai) {
+        if (l.crc != anchor.crc || !same_exec_shape(*apr, *pr)) {
+          ++stats_.join_rejects;
+          continue;
+        }
+        // Phase alignment: scalar-step the lane up to the anchor's
+        // boundary.  It may deopt on the way (guards) — then it just
+        // doesn't join this batch.
+        const int delta = (pos_ - pr->pos_ + p) % p;
+        if (delta > l.rem) continue;
+        for (int s = 0; s < delta; ++s) {
+          l.sim->step();
+          --l.rem;
+          ++stats_.scalar_cycles;
+        }
+        pr = armed_program(l);
+        if (l.rem <= 0 || pr == nullptr || pr->pos_ != pos_ ||
+            !same_exec_shape(*apr, *pr)) {
+          continue;
+        }
+      }
+      Col c;
+      c.lane = &l;
+      c.pr = pr;
+      c.eng = l.sim->compiled_engine();
+      c.entry_cycle = l.sim->cycle_;
+      cols_.push_back(c);
+    }
+
+    long long ticks = cols_[0].lane->rem;
+    for (const Col& c : cols_) ticks = std::min(ticks, c.lane->rem);
+
+    if (cols_.size() == 1) {
+      // A batch of one gains nothing over the engine's own replay loop.
+      Lane& l = *cols_[0].lane;
+      const long long did = cols_[0].eng->replay(ticks);
+      l.rem -= did;
+      stats_.scalar_cycles += did;
+      if (did == 0) {
+        // Instant guard deopt: interpret one cycle to guarantee
+        // progress (the engine already unpacked exact state).
+        l.sim->step();
+        --l.rem;
+        ++stats_.scalar_cycles;
+      }
+      continue;
+    }
+
+    ++stats_.gathers;
+    run_batch(ticks);
+  }
+}
+
+void BatchedReplayEngine::run_batch(long long max_ticks) {
+  const int w = static_cast<int>(cols_.size());
+  width_ = w;
+  cols_n_ = w;
+  CompiledProgram* apr = cols_[0].pr;
+  slots_ = apr->value_.size();
+  val_.resize(slots_ * static_cast<std::size_t>(w));
+  stg_.resize(slots_ * static_cast<std::size_t>(w));
+  zero_.assign(static_cast<std::size_t>(w), 0);
+
+  using CKind = CompiledProgram::CKind;
+  using Guard = CompiledProgram::Guard;
+
+  // Resolve shadow rows: one row per unique stateful object (the same
+  // counter/accumulator appears in several phases' op lists).
+  op_shadow_.assign(apr->ops_.size(), -1);
+  n_cnt_ = n_acc_ = n_cacc_ = 0;
+  {
+    std::unordered_map<const Object*, std::int32_t> seen;
+    for (std::size_t k = 0; k < apr->ops_.size(); ++k) {
+      const auto& op = apr->ops_[k];
+      if (op.kind != CKind::kCounter && op.kind != CKind::kAccum &&
+          op.kind != CKind::kCAccum) {
+        continue;
+      }
+      const auto it = seen.find(op.obj);
+      if (it != seen.end()) {
+        op_shadow_[k] = it->second;
+        continue;
+      }
+      std::int32_t row = 0;
+      switch (op.kind) {
+        case CKind::kCounter: row = n_cnt_++; break;
+        case CKind::kAccum: row = n_acc_++; break;
+        default: row = n_cacc_++; break;
+      }
+      seen.emplace(op.obj, row);
+      op_shadow_[k] = row;
+      const std::size_t base = static_cast<std::size_t>(row) * w;
+      switch (op.kind) {
+        case CKind::kCounter:
+          cnt_objs_.resize(base + w);
+          for (int c = 0; c < w; ++c) {
+            cnt_objs_[base + static_cast<std::size_t>(c)] =
+                static_cast<CounterObject*>(cols_[c].pr->ops_[k].obj);
+          }
+          break;
+        case CKind::kAccum:
+          acc_objs_.resize(base + w);
+          for (int c = 0; c < w; ++c) {
+            acc_objs_[base + static_cast<std::size_t>(c)] =
+                static_cast<AluObject*>(cols_[c].pr->ops_[k].obj);
+          }
+          break;
+        default:
+          cacc_objs_.resize(base + w);
+          for (int c = 0; c < w; ++c) {
+            cacc_objs_[base + static_cast<std::size_t>(c)] =
+                static_cast<AluObject*>(cols_[c].pr->ops_[k].obj);
+          }
+          break;
+      }
+    }
+  }
+  cnt_val_.resize(static_cast<std::size_t>(n_cnt_) * w);
+  cnt_rem_.resize(static_cast<std::size_t>(n_cnt_) * w);
+  acc_.resize(static_cast<std::size_t>(n_acc_) * w);
+  cacc_re_.resize(static_cast<std::size_t>(n_cacc_) * w);
+  cacc_im_.resize(static_cast<std::size_t>(n_cacc_) * w);
+
+  for (int c = 0; c < w; ++c) gather_column(c);
+
+  const simd::Kernels& kr = simd::kernels();
+  const int p = apr->period_;
+  const std::size_t sw = static_cast<std::size_t>(width_);
+  Word* const val = val_.data();
+  Word* const stg = stg_.data();
+
+  // Pre-bound execution tables.  Operand rows, shadow rows, kernel
+  // arguments and per-lane object pointers are all resolved here, once
+  // per gather, so the tick loop below does no pointer-chasing through
+  // cols_[c].pr->ops_ — it walks two flat arrays.  Row base pointers
+  // stay valid across compaction (only lane entries within a row move).
+  struct BOp {
+    CompiledProgram::CKind kind = CompiledProgram::CKind::kDrop;
+    std::uint16_t flags = 0;
+    bool sat = false;
+    bool dump = false;
+    int shift = 0;
+    simd::AluCall q{};          ///< kAlu: fully bound except n
+    Word* dst = nullptr;        ///< staged destination row
+    const Word* src = nullptr;  ///< primary value source row
+    const Word* wa = nullptr;   ///< RAM write address row
+    const Word* wd = nullptr;   ///< RAM write data row
+    Word* aux = nullptr;        ///< dump row / counter wrap-pulse row
+    Word* s0 = nullptr;         ///< shadow row (counter value / accum)
+    Word* s1 = nullptr;         ///< shadow row (counter remaining)
+    long long* c0 = nullptr;    ///< complex-accum re row
+    long long* c1 = nullptr;    ///< complex-accum im row
+    const CounterParams* cp = nullptr;
+    std::int32_t lrow = -1;     ///< live_objs_ row (live kinds only)
+  };
+  struct BGuard {
+    const Word* slot = nullptr;  ///< kValueTruth: value row
+    Word expect = 0;
+    std::int32_t grow = -1;  ///< kInputNonEmpty: guard_objs_ row
+  };
+
+  n_live_ = 0;
+  n_gin_ = 0;
+  for (const auto& op : apr->ops_) {
+    switch (op.kind) {
+      case CKind::kRam:
+      case CKind::kFifo:
+      case CKind::kLut:
+      case CKind::kCircLut:
+      case CKind::kInput:
+      case CKind::kOutput: ++n_live_; break;
+      default: break;
+    }
+  }
+  for (const auto& g : apr->guards_) {
+    if (g.kind == Guard::Kind::kInputNonEmpty) ++n_gin_;
+  }
+  live_objs_.assign(static_cast<std::size_t>(n_live_) * sw, nullptr);
+  guard_objs_.assign(static_cast<std::size_t>(n_gin_) * sw, nullptr);
+
+  std::vector<BOp> bops(apr->ops_.size());
+  {
+    const auto vrow = [&](std::int32_t slot) -> const Word* {
+      return slot >= 0 ? &val[static_cast<std::size_t>(slot) * sw]
+                       : zero_.data();
+    };
+    const auto srow = [&](std::int32_t slot) -> Word* {
+      return slot >= 0 ? &stg[static_cast<std::size_t>(slot) * sw] : nullptr;
+    };
+    std::int32_t lrow = 0;
+    for (std::size_t k = 0; k < apr->ops_.size(); ++k) {
+      const auto& op = apr->ops_[k];
+      BOp& b = bops[k];
+      b.kind = op.kind;
+      b.flags = op.flags;
+      b.sat = (op.flags & CompiledProgram::kFlagSaturate) != 0;
+      b.dump = (op.flags & CompiledProgram::kFlagDump) != 0;
+      b.shift = op.shift;
+      switch (op.kind) {
+        case CKind::kAlu:
+          b.q.op = op.op;
+          b.q.saturate = b.sat;
+          b.q.shift = op.shift;
+          b.q.a = vrow(op.a);
+          b.q.b = vrow(op.b);
+          b.q.c = vrow(op.c);
+          b.q.r0 = srow(op.o0);
+          b.q.r1 = srow(op.o1);
+          if (op.op == Opcode::kSel4) {
+            b.q.table = static_cast<AluObject*>(op.obj)->p_.table.data();
+          }
+          break;
+        case CKind::kCopy:
+        case CKind::kMergeAltCopy:
+          b.dst = srow(op.o0);
+          b.src = vrow(op.a);
+          break;
+        case CKind::kDrop:
+          break;
+        case CKind::kAccum:
+          b.s0 = acc_.data() + static_cast<std::size_t>(op_shadow_[k]) * sw;
+          b.src = vrow(op.a);
+          b.aux = srow(op.o0);
+          break;
+        case CKind::kCAccum:
+          b.c0 = cacc_re_.data() + static_cast<std::size_t>(op_shadow_[k]) * sw;
+          b.c1 = cacc_im_.data() + static_cast<std::size_t>(op_shadow_[k]) * sw;
+          b.src = vrow(op.a);
+          b.aux = srow(op.o0);
+          break;
+        case CKind::kCounter:
+          b.s0 = cnt_val_.data() + static_cast<std::size_t>(op_shadow_[k]) * sw;
+          b.s1 = cnt_rem_.data() + static_cast<std::size_t>(op_shadow_[k]) * sw;
+          b.dst = srow(op.o0);
+          b.aux = srow(op.o1);
+          b.cp = &static_cast<CounterObject*>(op.obj)->params();
+          break;
+        case CKind::kRam:
+          b.src = vrow(op.a);
+          b.dst = srow(op.o0);
+          b.wa = vrow(op.b);
+          b.wd = vrow(op.c);
+          break;
+        case CKind::kFifo:
+          b.src = vrow(op.a);
+          b.dst = srow(op.o0);
+          break;
+        case CKind::kLut:
+          b.src = vrow(op.a);
+          b.dst = srow(op.o0);
+          break;
+        case CKind::kCircLut:
+          b.dst = srow(op.o0);
+          break;
+        case CKind::kInput:
+          b.dst = srow(op.o0);
+          break;
+        case CKind::kOutput:
+          b.src = vrow(op.a);
+          break;
+      }
+      switch (op.kind) {
+        case CKind::kRam:
+        case CKind::kFifo:
+        case CKind::kLut:
+        case CKind::kCircLut:
+        case CKind::kInput:
+        case CKind::kOutput: {
+          b.lrow = lrow;
+          const std::size_t base = static_cast<std::size_t>(lrow) * sw;
+          for (int c = 0; c < w; ++c) {
+            live_objs_[base + static_cast<std::size_t>(c)] =
+                cols_[static_cast<std::size_t>(c)].pr->ops_[k].obj;
+          }
+          ++lrow;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  std::vector<BGuard> bguards(apr->guards_.size());
+  {
+    std::int32_t grow = 0;
+    for (std::size_t gi = 0; gi < apr->guards_.size(); ++gi) {
+      const Guard& g = apr->guards_[gi];
+      BGuard& b = bguards[gi];
+      if (g.kind == Guard::Kind::kValueTruth) {
+        b.slot = &val[static_cast<std::size_t>(g.slot) * sw];
+        b.expect = g.expect;
+      } else {
+        b.grow = grow;
+        const std::size_t base = static_cast<std::size_t>(grow) * sw;
+        for (int c = 0; c < w; ++c) {
+          guard_objs_[base + static_cast<std::size_t>(c)] =
+              cols_[static_cast<std::size_t>(c)].pr->guards_[gi].input;
+        }
+        ++grow;
+      }
+    }
+  }
+
+  long long tick = 0;
+  while (tick < max_ticks && cols_n_ > 0) {
+    const int ph = pos_;
+    const int n = cols_n_;
+
+    // Guards -> combined per-lane fail mask.  Evaluated before any
+    // mutation, so an ejected lane's state is exactly the boundary
+    // state — same contract as the scalar guard deopt.
+    std::uint32_t fail = 0;
+    const std::int32_t gb =
+        ph == 0 ? 0 : apr->guard_end_[static_cast<std::size_t>(ph) - 1];
+    const std::int32_t ge = apr->guard_end_[static_cast<std::size_t>(ph)];
+    for (std::int32_t gi = gb; gi < ge; ++gi) {
+      const BGuard& g = bguards[static_cast<std::size_t>(gi)];
+      if (g.grow < 0) {
+        fail |= kr.fail_mask(g.slot, g.expect, n);
+      } else {
+        InputObject* const* qs =
+            guard_objs_.data() + static_cast<std::size_t>(g.grow) * sw;
+        for (int c = 0; c < n; ++c) {
+          if (qs[c]->queue_.empty()) fail |= 1u << static_cast<unsigned>(c);
+        }
+      }
+    }
+    if (fail != 0) {
+      for (int c = n - 1; c >= 0; --c) {
+        if (((fail >> static_cast<unsigned>(c)) & 1u) != 0) {
+          cols_[c].lane->needs_scalar = true;
+          scatter_column(c, tick);
+          compact_column(c);
+          ++stats_.guard_exits;
+        }
+      }
+      continue;  // survivors re-check the (side-effect-free) guards
+    }
+
+    // Op list.
+    const std::int32_t ob =
+        ph == 0 ? 0 : apr->op_end_[static_cast<std::size_t>(ph) - 1];
+    const std::int32_t oe = apr->op_end_[static_cast<std::size_t>(ph)];
+    for (std::int32_t k = ob; k < oe; ++k) {
+      BOp& b = bops[static_cast<std::size_t>(k)];
+      switch (b.kind) {
+        case CKind::kAlu:
+          b.q.n = n;
+          kr.alu(b.q);
+          break;
+        case CKind::kCopy:
+        case CKind::kMergeAltCopy:
+          // Merge toggles are phase-determined; scatter restores them
+          // from merge_phase_, so the lockstep body is a plain copy.
+          std::memcpy(b.dst, b.src, static_cast<std::size_t>(n) * sizeof(Word));
+          break;
+        case CKind::kDrop:
+          break;
+        case CKind::kAccum:
+          kr.accum(b.s0, b.src, b.sat, b.dump, b.shift, b.aux, n);
+          break;
+        case CKind::kCAccum:
+          kr.caccum(b.c0, b.c1, b.src, b.dump, b.shift, b.aux, n);
+          break;
+        case CKind::kCounter:
+          kr.counter(b.s0, b.s1, b.cp->start, b.cp->step, b.cp->modulo, b.dst,
+                     b.aux, n);
+          break;
+        case CKind::kRam: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            auto* rm = static_cast<RamObject*>(os[c]);
+            const auto cap = static_cast<std::uint32_t>(rm->p_.capacity);
+            if ((b.flags & CompiledProgram::kFlagRead) != 0) {
+              b.dst[c] = rm->mem_[static_cast<std::uint32_t>(b.src[c]) % cap];
+            }
+            if ((b.flags & CompiledProgram::kFlagWrite) != 0) {
+              rm->mem_[static_cast<std::uint32_t>(b.wa[c]) % cap] = b.wd[c];
+            }
+          }
+          break;
+        }
+        case CKind::kFifo: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            auto* rm = static_cast<RamObject*>(os[c]);
+            if ((b.flags & CompiledProgram::kFlagRead) != 0) {
+              rm->fifo_.push_back(b.src[c]);
+            }
+            if ((b.flags & CompiledProgram::kFlagWrite) != 0) {
+              b.dst[c] = rm->fifo_.front();
+              rm->fifo_.pop_front();
+            }
+          }
+          break;
+        }
+        case CKind::kLut: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            auto* rm = static_cast<RamObject*>(os[c]);
+            b.dst[c] = rm->p_.preload[static_cast<std::uint32_t>(b.src[c]) %
+                                      rm->p_.preload.size()];
+          }
+          break;
+        }
+        case CKind::kCircLut: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            auto* rm = static_cast<RamObject*>(os[c]);
+            b.dst[c] = rm->p_.preload[rm->replay_pos_];
+            rm->replay_pos_ = (rm->replay_pos_ + 1) % rm->p_.preload.size();
+          }
+          break;
+        }
+        case CKind::kInput: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            auto* in = static_cast<InputObject*>(os[c]);
+            b.dst[c] = in->queue_.front();
+            in->queue_.pop_front();
+          }
+          break;
+        }
+        case CKind::kOutput: {
+          Object* const* os =
+              live_objs_.data() + static_cast<std::size_t>(b.lrow) * sw;
+          for (int c = 0; c < n; ++c) {
+            static_cast<OutputObject*>(os[c])->data_.push_back(b.src[c]);
+          }
+          break;
+        }
+      }
+      // Fire accounting is deferred to scatter_column (closed form).
+    }
+
+    // Latch: whole rows at once.
+    const std::int32_t lb =
+        ph == 0 ? 0 : apr->latch_end_[static_cast<std::size_t>(ph) - 1];
+    const std::int32_t le = apr->latch_end_[static_cast<std::size_t>(ph)];
+    for (std::int32_t li = lb; li < le; ++li) {
+      const auto s = static_cast<std::size_t>(
+          apr->latch_slots_[static_cast<std::size_t>(li)]);
+      std::memcpy(&val[s * sw], &stg[s * sw],
+                  static_cast<std::size_t>(n) * sizeof(Word));
+    }
+
+    pos_ = ph + 1 == p ? 0 : ph + 1;
+    ++tick;
+    ++stats_.batch_ticks;
+  }
+
+  for (int c = cols_n_ - 1; c >= 0; --c) scatter_column(c, tick);
+  cols_n_ = 0;
+  cols_.clear();
+  cnt_objs_.clear();
+  acc_objs_.clear();
+  cacc_objs_.clear();
+  live_objs_.clear();
+  guard_objs_.clear();
+}
+
+void BatchedReplayEngine::gather_column(int col) {
+  const Col& c = cols_[static_cast<std::size_t>(col)];
+  const CompiledProgram& pr = *c.pr;
+  const std::size_t sw = static_cast<std::size_t>(width_);
+  const std::size_t uc = static_cast<std::size_t>(col);
+  for (std::size_t s = 0; s < slots_; ++s) {
+    val_[s * sw + uc] = pr.value_[s];
+  }
+  for (int r = 0; r < n_cnt_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    cnt_val_[i] = cnt_objs_[i]->value_;
+    cnt_rem_[i] = cnt_objs_[i]->remaining_;
+  }
+  for (int r = 0; r < n_acc_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    acc_[i] = acc_objs_[i]->acc_;
+  }
+  for (int r = 0; r < n_cacc_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    cacc_re_[i] = cacc_objs_[i]->cacc_re_;
+    cacc_im_[i] = cacc_objs_[i]->cacc_im_;
+  }
+}
+
+void BatchedReplayEngine::scatter_column(int col, long long executed) {
+  Col& c = cols_[static_cast<std::size_t>(col)];
+  CompiledProgram& pr = *c.pr;
+  Simulator& sim = *c.lane->sim;
+  const std::size_t sw = static_cast<std::size_t>(width_);
+  const std::size_t uc = static_cast<std::size_t>(col);
+
+  for (std::size_t s = 0; s < slots_; ++s) {
+    pr.value_[s] = val_[s * sw + uc];
+  }
+  pr.pos_ = pos_;
+  for (int r = 0; r < n_cnt_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    cnt_objs_[i]->value_ = cnt_val_[i];
+    cnt_objs_[i]->remaining_ = cnt_rem_[i];
+  }
+  for (int r = 0; r < n_acc_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    acc_objs_[i]->acc_ = acc_[i];
+  }
+  for (int r = 0; r < n_cacc_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) * sw + uc;
+    cacc_objs_[i]->cacc_re_ = cacc_re_[i];
+    cacc_objs_[i]->cacc_im_ = cacc_im_[i];
+  }
+  // Merge toggles are a pure function of the phase boundary (the
+  // builder snapshots them per phase); restore from the row instead of
+  // toggling per tick.
+  const std::size_t mrow = static_cast<std::size_t>(pos_) * pr.merges_.size();
+  for (std::size_t m = 0; m < pr.merges_.size(); ++m) {
+    pr.merges_[m]->merge_toggle_ = pr.merge_phase_[mrow + m] != 0;
+  }
+
+  if (executed <= 0) return;
+
+  // Deferred accounting: phase ph (relative offset off from the entry
+  // phase) ran cnt times, the last at entry_cycle + off + floor((E-1-
+  // off)/P)*P — exactly the cycles the scalar replay would have
+  // stamped.
+  const int p = pr.period_;
+  for (int ph = 0; ph < p; ++ph) {
+    const long long off = (ph - entry_pos_ + p) % p;
+    if (off >= executed) continue;
+    const long long reps = (executed - 1 - off) / p;
+    const long long cnt = 1 + reps;
+    const long long last = c.entry_cycle + off + reps * p;
+    const std::int32_t ob =
+        ph == 0 ? 0 : pr.op_end_[static_cast<std::size_t>(ph) - 1];
+    const std::int32_t oe = pr.op_end_[static_cast<std::size_t>(ph)];
+    for (std::int32_t k = ob; k < oe; ++k) {
+      Object* o = pr.ops_[static_cast<std::size_t>(k)].obj;
+      o->fire_count_ += cnt;
+      if (o->fired_cycle_ < last) o->fired_cycle_ = last;
+    }
+    const std::int32_t lb =
+        ph == 0 ? 0 : pr.latch_end_[static_cast<std::size_t>(ph) - 1];
+    const std::int32_t le = pr.latch_end_[static_cast<std::size_t>(ph)];
+    for (std::int32_t li = lb; li < le; ++li) {
+      pr.latch_accum_[static_cast<std::size_t>(
+          pr.latch_slots_[static_cast<std::size_t>(li)])] += cnt;
+    }
+    sim.total_fires_ += cnt * (oe - ob);
+  }
+  sim.cycle_ += executed;
+  c.eng->stats_.replayed_cycles += executed;
+  stats_.batched_cycles += executed;
+  c.lane->rem -= executed;
+}
+
+void BatchedReplayEngine::compact_column(int hole) {
+  const int last = cols_n_ - 1;
+  if (hole != last) {
+    const std::size_t sw = static_cast<std::size_t>(width_);
+    const std::size_t h = static_cast<std::size_t>(hole);
+    const std::size_t l = static_cast<std::size_t>(last);
+    for (std::size_t s = 0; s < slots_; ++s) {
+      val_[s * sw + h] = val_[s * sw + l];
+    }
+    // stg_ needs no move: staged values live only between the op list
+    // and the latch of one tick, and ejection happens at the guard
+    // stage (before any op ran).
+    for (int r = 0; r < n_cnt_; ++r) {
+      const std::size_t b = static_cast<std::size_t>(r) * sw;
+      cnt_val_[b + h] = cnt_val_[b + l];
+      cnt_rem_[b + h] = cnt_rem_[b + l];
+      cnt_objs_[b + h] = cnt_objs_[b + l];
+    }
+    for (int r = 0; r < n_acc_; ++r) {
+      const std::size_t b = static_cast<std::size_t>(r) * sw;
+      acc_[b + h] = acc_[b + l];
+      acc_objs_[b + h] = acc_objs_[b + l];
+    }
+    for (int r = 0; r < n_cacc_; ++r) {
+      const std::size_t b = static_cast<std::size_t>(r) * sw;
+      cacc_re_[b + h] = cacc_re_[b + l];
+      cacc_im_[b + h] = cacc_im_[b + l];
+      cacc_objs_[b + h] = cacc_objs_[b + l];
+    }
+    for (int r = 0; r < n_live_; ++r) {
+      const std::size_t b = static_cast<std::size_t>(r) * sw;
+      live_objs_[b + h] = live_objs_[b + l];
+    }
+    for (int r = 0; r < n_gin_; ++r) {
+      const std::size_t b = static_cast<std::size_t>(r) * sw;
+      guard_objs_[b + h] = guard_objs_[b + l];
+    }
+    cols_[h] = cols_[l];
+  }
+  --cols_n_;
+}
+
+}  // namespace rsp::xpp

@@ -1,0 +1,261 @@
+// Batched cross-instance SIMD replay of compiled epoch programs.
+//
+// A Monte-Carlo link run (src/farm) simulates many *identical*
+// terminals that differ only in their random data streams.  Each one
+// independently detects the same steady state and replays the same
+// compiled epoch program (src/xpp/compiled.hpp) — N copies of the same
+// branch-free op list walking N separate SoA blocks.  This header
+// collapses that: lanes whose armed programs are provably the same
+// steady state execute together, one op at a time, over
+// struct-of-instance-arrays (slot-major: lane i of slot s lives at
+// value[s * width + i]) using the lane kernels in src/xpp/simd.hpp.
+//
+// Three pieces:
+//
+//  - CanonicalProgram: an immutable, pointer-free image of a compiled
+//    program — object/net structure serialized by enumeration index
+//    (no names, no addresses) plus the canonicalized per-phase event
+//    streams.  Its signature is rotation-invariant over the phase
+//    order, so two terminals that detected the same steady state at
+//    different phase offsets still produce the same key.
+//  - BatchProgramCache: a mutex-protected map from (config CRC-32,
+//    canonical signature) to CanonicalProgram.  First insert wins;
+//    identical terminals compile once and *bind* the shared image
+//    thereafter (CompiledEngine::try_bind_shared), translating the
+//    canonical indices back to their own objects and entering at the
+//    rotation that matches their detection window.
+//  - BatchedReplayEngine: owns no simulator — it references N lanes,
+//    gathers those whose armed program matches the anchor lane's
+//    (CRC + signature + exact structural compare; hash collisions can
+//    cost a missed batch, never correctness), aligns their phase, and
+//    ticks them in lockstep.  kValueTruth / kInputNonEmpty guards
+//    become per-lane fail masks: a guard miss ejects *only the failing
+//    lane* (exact state scattered back, program still armed, its own
+//    next scalar step re-fails the guard and deoptimizes exactly like
+//    an unbatched run); the surviving lanes keep replaying.
+//
+// Share-nothing invariant: lanes never exchange data.  The batch is a
+// pure execution-order transform, so every lane's trajectory — values,
+// fire counts, cycle stamps, deopt decisions — is bit-identical to
+// stepping that lane's simulator alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/xpp/compiled.hpp"
+#include "src/xpp/simd.hpp"
+
+namespace rsp::xpp {
+
+class AluObject;
+class CounterObject;
+class InputObject;
+class RamObject;
+
+/// Immutable pointer-free image of one compiled steady state, shared
+/// across simulators through a BatchProgramCache.
+class CanonicalProgram {
+ public:
+  /// Canonicalize @p pr (which was built against @p sim's live
+  /// objects).  Returns nullptr if the program references anything
+  /// outside the enumeration (never happens today — defensive).
+  static std::shared_ptr<const CanonicalProgram> capture(
+      const Simulator& sim, const CompiledProgram& pr);
+
+  /// Rotation-invariant signature of a detected period against a live
+  /// simulator: FNV-1a over (structure hash, period, minimal rotation
+  /// of the per-phase canonical event hashes).  0 = not computable.
+  /// @p shape_memo (optional) caches the graph-shape half across calls;
+  /// the caller must reset it whenever the object graph changes.
+  [[nodiscard]] static std::uint64_t window_signature(
+      const Simulator& sim, const std::vector<const CycleRecord*>& period,
+      std::shared_ptr<const void>* shape_memo = nullptr);
+
+  [[nodiscard]] std::uint64_t signature() const { return sig_; }
+  [[nodiscard]] int period() const { return tpl_.period_; }
+
+  struct Bound {
+    std::unique_ptr<CompiledProgram> program;  ///< nullptr on mismatch
+    int entry = 0;  ///< phase matching the window's next cycle
+  };
+
+  /// Bind this image to @p sim: verify the structural serialization
+  /// matches exactly, find the rotation under which the canonical
+  /// phases equal @p window, and materialize a CompiledProgram whose
+  /// pointers target @p sim's objects (records rebuilt and re-hashed
+  /// so the engine's fast re-arm compare works unchanged).
+  [[nodiscard]] Bound bind(Simulator& sim,
+                           const std::vector<const CycleRecord*>& window) const;
+
+  /// Stable enumeration of a simulator's live objects and nets — the
+  /// same group-ascending traversal CompiledProgram::Builder uses, so
+  /// a program's objs_/nets_ vectors are exactly this order.  Defined
+  /// in batch.cpp (serialization helpers take it by reference).
+  struct Enumeration;
+
+ private:
+  CanonicalProgram() = default;
+
+  /// One canonicalized token event: pointers replaced by enumeration
+  /// indices (is_net selects the net vs object table).
+  struct CanonEv {
+    std::uint8_t kind = 0;
+    std::uint8_t is_net = 0;
+    std::int32_t idx = -1;
+    std::int32_t sink = -1;
+    friend bool operator==(const CanonEv&, const CanonEv&) = default;
+  };
+
+  CompiledProgram tpl_;  ///< pointer fields scrubbed; POD arrays live
+  std::vector<std::int32_t> op_obj_;      ///< per op: object index
+  std::vector<std::int32_t> guard_in_;    ///< per guard: input object index
+  std::vector<std::int32_t> fifo_idx_, merge_idx_;
+  std::vector<std::int32_t> nonfiring_idx_, req_nonempty_idx_;
+  std::vector<std::vector<CanonEv>> phases_;  ///< canonical event streams
+  std::vector<std::uint64_t> phase_hash_;
+  std::vector<std::int64_t> shape_;  ///< structural serialization
+  std::uint64_t sig_ = 0;
+};
+
+/// Cross-simulator program cache keyed by (config CRC-32, canonical
+/// steady-state signature).  Thread-safe; first insert wins so every
+/// binder sees the same immutable image.
+class BatchProgramCache {
+ public:
+  struct Stats {
+    long long lookups = 0;
+    long long hits = 0;
+    long long inserts = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const CanonicalProgram> find(
+      std::uint32_t crc, std::uint64_t sig) const;
+
+  /// Insert unless an entry already exists; returns the resident one.
+  std::shared_ptr<const CanonicalProgram> insert(
+      std::uint32_t crc, std::uint64_t sig,
+      std::shared_ptr<const CanonicalProgram> p);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::shared_ptr<const CanonicalProgram>>
+      map_;
+  Stats stats_;
+};
+
+/// Lockstep SoA replay across N simulators running the same compiled
+/// program.  Single-threaded: one engine per farm worker; the shared
+/// cache is the only cross-thread state.
+class BatchedReplayEngine {
+ public:
+  struct Stats {
+    long long batch_ticks = 0;     ///< lockstep phase executions
+    long long batched_cycles = 0;  ///< lane-cycles advanced in lockstep
+    long long scalar_cycles = 0;   ///< lane-cycles advanced one by one
+    long long guard_exits = 0;     ///< lanes ejected by a guard mask
+    long long join_rejects = 0;    ///< armed lanes refused by the anchor
+    long long gathers = 0;         ///< batch formations
+  };
+
+  /// @p cache may be nullptr (lanes then share only within this
+  /// engine, by structural compare).  @p max_width caps lanes per
+  /// batch (clamped to simd::kMaxBatchWidth).
+  explicit BatchedReplayEngine(BatchProgramCache* cache = nullptr,
+                               int max_width = simd::kMaxBatchWidth);
+
+  /// Register @p sim as a lane; @p config_crc stamps its loaded
+  /// configuration (cache key half).  Attaches the shared cache to the
+  /// lane's compiled engine.  Returns the lane index.  The simulator
+  /// must outlive this engine (or be dropped via set_active(false)).
+  int add(Simulator& sim, std::uint32_t config_crc);
+
+  /// Re-stamp a lane after reconfiguration (new config CRC).
+  void rekey(int lane, std::uint32_t config_crc);
+
+  /// Exclude / re-include a lane (e.g. its trial completed).
+  void set_active(int lane, bool active);
+
+  [[nodiscard]] int lanes() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] int width() const { return max_width_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Advance every active lane by exactly @p n cycles, batching
+  /// whenever several lanes replay the same program at the same phase
+  /// and falling back to per-lane Simulator::step() otherwise.
+  void run_cycles(long long n);
+
+ private:
+  struct Lane {
+    Simulator* sim = nullptr;
+    std::uint32_t crc = 0;
+    bool active = true;
+    bool needs_scalar = false;  ///< guard-ejected: interpret once first
+    long long rem = 0;          ///< cycles still owed this run
+  };
+
+  /// One gathered column of the current batch.
+  struct Col {
+    Lane* lane = nullptr;
+    CompiledProgram* pr = nullptr;
+    CompiledEngine* eng = nullptr;
+    long long entry_cycle = 0;
+  };
+
+  [[nodiscard]] bool batchable(const Lane& l) const;
+  [[nodiscard]] static CompiledProgram* armed_program(const Lane& l);
+
+  /// Exact execution-identity compare (pointer fields excluded) of two
+  /// compiled programs — the correctness backstop behind the CRC /
+  /// signature fast key: a hash collision costs a missed batch, never
+  /// a wrong result.
+  [[nodiscard]] static bool same_exec_shape(const CompiledProgram& x,
+                                            const CompiledProgram& y);
+
+  /// Execute up to @p max_ticks lockstep phases over cols_; lanes that
+  /// fail a guard are scattered (with the ticks they completed) and
+  /// compacted away.  Survivors are scattered at the end.
+  void run_batch(long long max_ticks);
+
+  void gather_column(int col);
+  void scatter_column(int col, long long executed);
+  void compact_column(int hole);
+
+  BatchProgramCache* cache_ = nullptr;  ///< not owned
+  int max_width_ = simd::kMaxBatchWidth;
+  std::vector<Lane> lanes_;
+  Stats stats_;
+
+  // Batch scratch (sized at gather; slot-major, stride width_).
+  int width_ = 0;          ///< stride of the SoA arrays (gathered count)
+  int cols_n_ = 0;         ///< live columns (prefix of the stride)
+  int pos_ = 0;            ///< current phase (shared by construction)
+  int entry_pos_ = 0;      ///< phase at batch entry (deferred accounting)
+  std::size_t slots_ = 0;  ///< net-slot count of the batched program
+  std::vector<Col> cols_;
+  std::vector<Word> val_, stg_, zero_;
+  // Per-object shadow registers (unique stateful objects, lane-major
+  // rows like val_).  ops-index -> shadow row resolved per gather.
+  std::vector<std::int32_t> op_shadow_;
+  std::vector<Word> cnt_val_, cnt_rem_;
+  std::vector<Word> acc_;
+  std::vector<long long> cacc_re_, cacc_im_;
+  std::vector<CounterObject*> cnt_objs_;   ///< [shadow][col]
+  std::vector<AluObject*> acc_objs_, cacc_objs_;
+  int n_cnt_ = 0, n_acc_ = 0, n_cacc_ = 0;
+  // Per-lane object rows for ops that execute live on each lane's own
+  // objects (RAM/FIFO/LUT/IO) and for input-nonempty guards, resolved
+  // once per gather so the tick loop never chases cols_[c].pr chains.
+  std::vector<Object*> live_objs_;        ///< [live-op row][col]
+  std::vector<InputObject*> guard_objs_;  ///< [input-guard row][col]
+  int n_live_ = 0, n_gin_ = 0;
+};
+
+}  // namespace rsp::xpp

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/common/cplx.hpp"
+#include "src/common/fnv.hpp"
 #include "src/common/word.hpp"
 #include "src/xpp/alu.hpp"
 #include "src/xpp/counter.hpp"
@@ -32,26 +33,16 @@
 
 namespace rsp::xpp {
 
-namespace {
-
-/// FNV-1a over an event stream (detection heuristic only: a collision
-/// costs an exact-compare rejection, never correctness).
-std::uint64_t fnv_hash(const std::vector<CycleEvent>& evs) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
+std::uint64_t hash_cycle_events(const std::vector<CycleEvent>& evs) {
+  Fnv1a f;
   for (const CycleEvent& e : evs) {
-    mix(static_cast<std::uint64_t>(e.kind));
-    mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.ptr)));
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.sink)));
+    f.mix(static_cast<std::uint64_t>(e.kind));
+    f.mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.ptr)));
+    f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.sink)));
   }
-  mix(evs.size() + 1);
-  return h;
+  f.mix(evs.size() + 1);
+  return f.value();
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Builder: symbolic verification + lowering
@@ -721,6 +712,12 @@ struct CompiledProgram::Builder {
   bool lower_phase(const CycleRecord& r) {
     pr.phase_has_.insert(pr.phase_has_.end(), has.begin(), has.end());
     pr.phase_mask_.insert(pr.phase_mask_.end(), mask.begin(), mask.end());
+    // Phase-start FIFO depths and merge toggles, so any phase boundary
+    // can serve as a re-arm entry (not just phase 0).
+    for (RamObject* f : pr.fifos_) pr.fifo_phase_.push_back(fifo_sz.at(f));
+    for (AluObject* m : pr.merges_) {
+      pr.merge_phase_.push_back(tog.at(m) ? 1 : 0);
+    }
     mask_start = mask;
     guards.clear();
     fired.clear();
@@ -887,26 +884,32 @@ std::unique_ptr<CompiledProgram> CompiledProgram::build(
   return prog;
 }
 
-bool CompiledProgram::entry_matches(const Simulator& sim) const {
-  (void)sim;  // entry state lives behind the captured pointers
+bool CompiledProgram::phase_matches(const Simulator& sim, int k) const {
+  (void)sim;  // phase-start state lives behind the captured pointers
+  const std::size_t row =
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n_nets_);
   for (int i = 0; i < n_nets_; ++i) {
-    const Net* n = nets_[i];
+    const Net* n = nets_[static_cast<std::size_t>(i)];
     if (n->staged_.has_value()) return false;
-    if ((n->has_value_ ? 1 : 0) != phase_has_[static_cast<std::size_t>(i)]) {
+    if ((n->has_value_ ? 1 : 0) != phase_has_[row + static_cast<std::size_t>(i)]) {
       return false;
     }
-    if (n->consumed_mask_ != phase_mask_[static_cast<std::size_t>(i)]) {
+    if (n->consumed_mask_ != phase_mask_[row + static_cast<std::size_t>(i)]) {
       return false;
     }
   }
-  for (std::size_t k = 0; k < fifos_.size(); ++k) {
-    if (fifos_[k]->fifo_size() != fifo_entry_[k]) return false;
+  const std::size_t frow = static_cast<std::size_t>(k) * fifos_.size();
+  for (std::size_t f = 0; f < fifos_.size(); ++f) {
+    if (fifos_[f]->fifo_size() != fifo_phase_[frow + f]) return false;
   }
-  for (std::size_t k = 0; k < merges_.size(); ++k) {
-    if (merges_[k]->merge_toggle_ != (merge_entry_[k] != 0)) return false;
+  const std::size_t mrow = static_cast<std::size_t>(k) * merges_.size();
+  for (std::size_t m = 0; m < merges_.size(); ++m) {
+    if (merges_[m]->merge_toggle_ != (merge_phase_[mrow + m] != 0)) {
+      return false;
+    }
   }
-  for (std::size_t k = 0; k < nonfiring_inputs_.size(); ++k) {
-    if (nonfiring_inputs_[k]->queue_.empty() != (nonfiring_empty_[k] != 0)) {
+  for (std::size_t i = 0; i < nonfiring_inputs_.size(); ++i) {
+    if (nonfiring_inputs_[i]->queue_.empty() != (nonfiring_empty_[i] != 0)) {
       return false;
     }
   }
@@ -916,7 +919,29 @@ bool CompiledProgram::entry_matches(const Simulator& sim) const {
   return true;
 }
 
-bool CompiledProgram::arm(Simulator& sim) {
+bool CompiledProgram::guards_pass_live(int k) const {
+  const std::int32_t gb =
+      k == 0 ? 0 : guard_end_[static_cast<std::size_t>(k) - 1];
+  for (std::int32_t gi = gb; gi < guard_end_[static_cast<std::size_t>(k)];
+       ++gi) {
+    const Guard& g = guards_[static_cast<std::size_t>(gi)];
+    if (g.kind == Guard::Kind::kInputNonEmpty) {
+      if (g.input->queue_.empty()) return false;
+      continue;
+    }
+    // Value guards always reference a slot that is live (committed) at
+    // the guarded phase's entry, so the net's value is authoritative;
+    // const slots can't occur today but read from const_values_ anyway.
+    const Word v = g.slot < n_nets_
+                       ? nets_[static_cast<std::size_t>(g.slot)]->value_
+                       : const_values_[static_cast<std::size_t>(
+                             g.slot - n_nets_)];
+    if ((v != 0) != g.expect) return false;
+  }
+  return true;
+}
+
+bool CompiledProgram::arm(Simulator& sim, int entry) {
   Tracer* tr = sim.tracer_;
   if (tr != nullptr) {
     // Resolve counter-store pointers up front (paused tracers too: a
@@ -948,7 +973,12 @@ bool CompiledProgram::arm(Simulator& sim) {
     value_[static_cast<std::size_t>(n_nets_) + k] = const_values_[k];
   }
   latch_accum_.assign(static_cast<std::size_t>(n_nets_), 0);
-  pos_ = 0;
+  // Value packing is phase-independent: every slot the program reads
+  // from phase `entry` onward is either live now (committed value just
+  // copied) or re-latched before its first read — the symbolic
+  // readiness rules make a stale read impossible at any verified
+  // phase boundary.
+  pos_ = entry;
   // The worklists are re-derived at unpack; clear them so stale queued
   // flags cannot leak across the epoch.
   for (Object* o : sim.ready_) o->set_sched_queued(false);
@@ -1276,7 +1306,7 @@ CompiledEngine::CompiledEngine(Simulator& sim)
 }
 
 void CompiledEngine::end_cycle() {
-  cur_->hash = fnv_hash(cur_->evs);
+  cur_->hash = hash_cycle_events(cur_->evs);
   ++stats_.recorded_cycles;
   if (cooldown_ > 0) --cooldown_;
 
@@ -1305,12 +1335,38 @@ void CompiledEngine::end_cycle() {
       (sim_.injector_ == nullptr || !sim_.injector_->armed())) {
     for (std::size_t i = 0; i < cache_.size(); ++i) {
       CompiledProgram* pr = cache_[i].get();
-      if (pr->records().back().evs != cur_->evs) continue;
-      if (!pr->entry_matches(sim_)) continue;
-      if (!pr->arm(sim_)) break;
+      // The interpreted cycle may match *any* phase of the resident
+      // program, not just the final one: a single-lane guard deopt
+      // (batched replay) or a dump-boundary deopt can land mid-period.
+      // Check the final phase first — the legacy common case, and the
+      // unambiguous one when several phases are structurally identical
+      // (arming at any matching phase is sound regardless: the guards
+      // pin every value decision, so a mis-phased arm deopts at the
+      // next boundary before any mutation).
+      const int np = pr->period();
+      const auto& recs = pr->records();
+      int entry = -1;
+      for (int off = 0; off < np; ++off) {
+        const int k = (np - 1 + off) % np;  // np-1, 0, 1, ..., np-2
+        const std::size_t ks = static_cast<std::size_t>(k);
+        if (recs[ks].hash != cur_->hash) continue;
+        if (recs[ks].evs != cur_->evs) continue;
+        const int e = (k + 1) % np;
+        if (!pr->phase_matches(sim_, e)) continue;
+        // Live-guard prescreen: discriminates between structurally
+        // identical phases whose control values differ (e.g. the
+        // despreader's wrap flag) and avoids arm/deopt thrash.
+        if (!pr->guards_pass_live(e)) continue;
+        entry = e;
+        break;
+      }
+      if (entry < 0) continue;
+      if (!pr->arm(sim_, entry)) break;
       armed_ = pr;
+      publish(*pr);
       ++stats_.arms;
       ++stats_.rearms;
+      if (entry != 0) ++stats_.phase_rearms;
       if (i != 0) {
         std::rotate(cache_.begin(),
                     cache_.begin() + static_cast<std::ptrdiff_t>(i),
@@ -1405,6 +1461,7 @@ void CompiledEngine::try_arm(int p) {
     if (!same || !pr->entry_matches(sim_)) continue;
     if (!pr->arm(sim_)) return;
     armed_ = pr;
+    publish(*pr);
     ++stats_.arms;
     ++stats_.rearms;
     if (i != 0) {
@@ -1417,6 +1474,13 @@ void CompiledEngine::try_arm(int p) {
   }
 
   if (cooldown_ > 0) return;  // recently refused an equivalent candidate
+
+  // Before compiling from scratch, try the cross-simulator cache: an
+  // identical terminal may have already compiled this steady state.
+  // Behind the cooldown gate on purpose: computing the canonical
+  // window signature walks the whole object graph, so it must be paid
+  // at compile frequency, not per periodicity candidate.
+  if (shared_cache_ != nullptr && try_bind_shared(period)) return;
   std::unique_ptr<CompiledProgram> built = CompiledProgram::build(sim_, period);
   if (built == nullptr) {
     ++stats_.compile_refusals;
@@ -1433,10 +1497,18 @@ void CompiledEngine::try_arm(int p) {
     return;
   }
   armed_ = built.get();
+  publish(*built);
   cache_.insert(cache_.begin(), std::move(built));
   if (cache_.size() > kCompiledCacheSize) cache_.pop_back();
   ++stats_.arms;
   reset_detector();
+}
+
+void CompiledEngine::set_shared_cache(BatchProgramCache* cache,
+                                      std::uint32_t config_crc) {
+  shared_cache_ = cache;
+  shared_crc_ = config_crc;
+  if (cache != nullptr && armed_ != nullptr) publish(*armed_);
 }
 
 int CompiledEngine::exec_one() {
@@ -1486,6 +1558,7 @@ void CompiledEngine::deoptimize() {
 void CompiledEngine::invalidate() {
   deoptimize();
   cache_.clear();
+  shape_memo_.reset();
   reset_detector();
   cooldown_ = 0;
   last_guard_deopt_prog_ = nullptr;

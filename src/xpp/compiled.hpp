@@ -69,6 +69,9 @@
 namespace rsp::xpp {
 
 class AluObject;
+class BatchProgramCache;
+class BatchedReplayEngine;
+class CanonicalProgram;
 class CounterObject;
 class InputObject;
 class RamObject;
@@ -102,6 +105,13 @@ struct CycleRecord {
   std::uint64_t hash = 0;
 };
 
+/// The one hash over an event stream (detection heuristic only: a
+/// collision costs an exact-compare rejection, never correctness).
+/// Shared with the batch program cache's rebound records; pinned by
+/// tests/common/test_fnv.cpp.
+[[nodiscard]] std::uint64_t hash_cycle_events(
+    const std::vector<CycleEvent>& evs);
+
 /// Engine counters (exposed through Simulator::compiled_engine for
 /// tests and benchmarks — non-vacuousness checks and reports).
 struct CompiledStats {
@@ -110,6 +120,8 @@ struct CompiledStats {
   long long compile_refusals = 0;  ///< candidates rejected by verification
   long long arms = 0;              ///< times a program went live
   long long rearms = 0;            ///< arms served from the program cache
+  long long phase_rearms = 0;      ///< rearms that entered mid-program
+  long long cache_binds = 0;       ///< programs bound from a shared cache
   long long deopts = 0;            ///< epoch exits back to the interpreter
   long long replayed_cycles = 0;   ///< cycles executed by epoch replay
 };
@@ -135,12 +147,27 @@ class CompiledProgram {
   /// True if the live net/FIFO/toggle/input-queue structural state
   /// equals this program's entry state (phase 0 boundary) — the cheap
   /// re-arm test used by the engine's program cache.
-  [[nodiscard]] bool entry_matches(const Simulator& sim) const;
+  [[nodiscard]] bool entry_matches(const Simulator& sim) const {
+    return phase_matches(sim, 0);
+  }
+
+  /// Generalization of entry_matches to any phase boundary @p k: the
+  /// live structural state equals the program's recorded state at the
+  /// start of phase k.  Lets a deopt that lands mid-period re-arm
+  /// without waiting out a full re-detection window.
+  [[nodiscard]] bool phase_matches(const Simulator& sim, int k) const;
+
+  /// Pre-arm screen: evaluate phase @p k's guards against *live* state
+  /// (net values, input queues) instead of the packed SoA.  A re-arm
+  /// whose first phase would immediately guard-deopt is pointless and
+  /// can thrash (arm, deopt, re-arm...); this keeps it interpreted.
+  [[nodiscard]] bool guards_pass_live(int k) const;
 
   /// Pack net state into the SoA block, clear the event scheduler's
-  /// worklists, resolve Tracer counter pointers.  Returns false (and
-  /// leaves the simulator untouched) if the tracer is missing entries.
-  [[nodiscard]] bool arm(Simulator& sim);
+  /// worklists, resolve Tracer counter pointers, start replay at phase
+  /// @p entry.  Returns false (and leaves the simulator untouched) if
+  /// the tracer is missing entries.
+  [[nodiscard]] bool arm(Simulator& sim, int entry = 0);
 
   /// Execute one phase: guards, op list, commit list, trace deltas,
   /// clock/fire accounting.  Returns the phase's fire count, or -1
@@ -153,6 +180,10 @@ class CompiledProgram {
 
  private:
   CompiledProgram() = default;
+
+  friend class BatchedReplayEngine;  ///< SoA gather/scatter (batch.cpp)
+  friend class CanonicalProgram;     ///< capture/bind (batch.cpp)
+  friend class CompiledEngine;       ///< shared-cache stamp (publish)
 
   struct Builder;  ///< symbolic verification + lowering (compiled.cpp)
 
@@ -231,6 +262,9 @@ class CompiledProgram {
   std::vector<int> fifo_entry_;
   std::vector<AluObject*> merges_;    ///< kMergeAlt ALUs + entry toggles
   std::vector<std::uint8_t> merge_entry_;
+  std::vector<int> fifo_phase_;       ///< [phase*fifos+f] phase-start depth
+  std::vector<std::uint8_t> merge_phase_;  ///< [phase*merges+m] start toggle
+  std::uint64_t canonical_sig_ = 0;   ///< shared-cache stamp (0 = none)
   std::vector<InputObject*> nonfiring_inputs_;     ///< never fire in period
   std::vector<std::uint8_t> nonfiring_empty_;      ///< their entry emptiness
   std::vector<InputObject*> req_nonempty_inputs_;  ///< fire somewhere
@@ -295,12 +329,31 @@ class CompiledEngine {
 
   [[nodiscard]] const CompiledStats& stats() const { return stats_; }
 
+  /// Attach a cross-simulator program cache (see src/xpp/batch.hpp).
+  /// @p config_crc identifies the terminal's loaded configuration;
+  /// together with the program's canonical steady-state signature it
+  /// keys the cache, so identical terminals compile once and bind the
+  /// shared immutable program thereafter.  Pass nullptr to detach.
+  void set_shared_cache(BatchProgramCache* cache, std::uint32_t config_crc);
+
+  [[nodiscard]] std::uint32_t shared_crc() const { return shared_crc_; }
+
  private:
+  friend class BatchedReplayEngine;  ///< batched lane replay (batch.cpp)
+
   [[nodiscard]] CycleRecord& rec(long long t) {
     return ring_[static_cast<std::size_t>(t) % ring_.size()];
   }
   void reset_detector();
   void try_arm(int p);
+  /// Stamp + insert @p pr into the shared cache (no-op when already
+  /// stamped or no cache attached).  Defined in batch.cpp.
+  void publish(CompiledProgram& pr);
+  /// Try to satisfy a detected period from the shared cache: compute
+  /// the canonical signature of @p period, look it up, and bind the
+  /// cached immutable program to this simulator's objects.  Returns
+  /// true if a bound program was armed.  Defined in batch.cpp.
+  bool try_bind_shared(const std::vector<const CycleRecord*>& period);
 
   Simulator& sim_;
   std::vector<CycleRecord> ring_;  ///< last 2*kMaxCompiledPeriod records
@@ -324,6 +377,12 @@ class CompiledEngine {
   const CompiledProgram* last_guard_deopt_prog_ = nullptr;
   long long last_guard_deopt_cycle_ = -1;
   int preferred_period_ = 0;  ///< 0 = no pending period upgrade
+  BatchProgramCache* shared_cache_ = nullptr;  ///< not owned
+  std::uint32_t shared_crc_ = 0;
+  /// Graph-shape memo for canonical window signatures (batch.cpp);
+  /// valid only while the object graph is unchanged, so invalidate()
+  /// drops it alongside the program cache.
+  std::shared_ptr<const void> shape_memo_;
 };
 
 }  // namespace rsp::xpp

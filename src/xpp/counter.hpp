@@ -50,6 +50,7 @@ class CounterObject final : public Object {
 
  private:
   friend class CompiledProgram;  ///< replays the count/wrap sequence
+  friend class BatchedReplayEngine;  ///< shadows the registers per lane
 
   CounterParams p_;
   Word value_;

@@ -63,6 +63,7 @@ class InputObject final : public Object {
 
  private:
   friend class CompiledProgram;  ///< pops the queue during armed epochs
+  friend class BatchedReplayEngine;  ///< per-lane queue pops
 
   std::deque<Word> queue_;
 };
@@ -88,6 +89,7 @@ class OutputObject final : public Object {
 
  private:
   friend class CompiledProgram;  ///< appends drained words directly
+  friend class BatchedReplayEngine;  ///< per-lane appends
 
   std::vector<Word> data_;
 };

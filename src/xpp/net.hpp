@@ -135,6 +135,8 @@ class Net {
   /// including the generation counter, advanced by the latches the
   /// replay performed — bit-identically on deoptimization.
   friend class CompiledProgram;
+  friend class BatchedReplayEngine;
+  friend class CanonicalProgram;
 
   [[nodiscard]] bool all_consumed() const {
     const std::uint32_t full = (num_sinks_ >= 32)

@@ -202,6 +202,8 @@ class Object {
   /// without going through clock()/do_fire(); it maintains fired_cycle_
   /// and fire_count_ directly so stats stay exact at every boundary.
   friend class CompiledProgram;
+  friend class BatchedReplayEngine;
+  friend class CanonicalProgram;
 
   struct InBind {
     Net* net = nullptr;

@@ -52,6 +52,8 @@ class RamObject final : public Object {
 
  private:
   friend class CompiledProgram;  ///< direct mem/FIFO/replay-pos access
+  friend class BatchedReplayEngine;  ///< per-lane mem/FIFO/replay-pos
+  friend class CanonicalProgram;     ///< preload/shape capture
 
   bool fire_ram();
   bool fire_fifo();

@@ -199,6 +199,8 @@ class Simulator final : private SchedulerHooks {
   friend class FaultInjector;   ///< walks groups to resolve fault targets
   friend class CompiledEngine;  ///< drives step_event during recording
   friend class CompiledProgram; ///< packs/unpacks scheduler state
+  friend class BatchedReplayEngine;  ///< cross-instance SoA lane replay
+  friend class CanonicalProgram;     ///< canonical enumeration for binding
 
   struct Group {
     std::vector<std::unique_ptr<Object>> objects;

@@ -1,0 +1,119 @@
+// Pinned-value battery for the shared FNV-1a implementation.
+//
+// Two subsystems derive keys from this hash: the compiled engine's
+// steady-state detector (per-cycle event-stream hashes, fast re-arm
+// comparisons) and the batched replay program cache (config CRC-32 +
+// steady-state signature keys shared across Simulator instances).  If
+// either drifted — different basis, prime, mixing granularity or event
+// recipe — identical terminals would silently stop sharing programs.
+// Every value below is pinned to an exact literal so any change to
+// src/common/fnv.hpp is a loud, deliberate decision.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/fnv.hpp"
+
+namespace rsp {
+namespace {
+
+TEST(Fnv, ConstantsArePinned) {
+  // NOTE: this basis is the repo's historical constant (it differs from
+  // the canonical FNV-1a offset basis 14695981039346656037 by a dropped
+  // digit).  It has been baked into every recorded steady-state
+  // signature since the compiled engine landed; correctness only needs
+  // both consumers to agree, so it is pinned as-is.
+  EXPECT_EQ(kFnvBasis, 1469598103934665603ull);
+  EXPECT_EQ(kFnvPrime, 1099511628211ull);
+}
+
+TEST(Fnv, SingleMixPinnedValues) {
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 0), 4953163356653287321ull);
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 1), 4953162257141659110ull);
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 2), 4953161157630030899ull);
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 255), 4953155660071889844ull);
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 0xDEADBEEFull), 15597959157331910276ull);
+  EXPECT_EQ(fnv1a_mix(kFnvBasis, 0xFFFFFFFFFFFFFFFFull),
+            13493579617544636084ull);
+}
+
+TEST(Fnv, MixIsXorThenMultiply) {
+  // Algebraic pin: one step is exactly (h ^ v) * prime mod 2^64.  This
+  // catches a silent reorder to multiply-then-xor (FNV-1 vs FNV-1a).
+  const std::uint64_t h = 0x0123456789ABCDEFull;
+  const std::uint64_t v = 0x00FF00FF00FF00FFull;
+  EXPECT_EQ(fnv1a_mix(h, v), (h ^ v) * kFnvPrime);
+  EXPECT_NE(fnv1a_mix(h, v), (h * kFnvPrime) ^ v);
+}
+
+TEST(Fnv, SequencePinnedValue) {
+  Fnv1a f;
+  f.mix(1).mix(2).mix(3);
+  EXPECT_EQ(f.value(), 11570874782335668893ull);
+  // Order matters: 3,2,1 must differ.
+  Fnv1a g;
+  g.mix(3).mix(2).mix(1);
+  EXPECT_NE(g.value(), f.value());
+}
+
+TEST(Fnv, DefaultSeedIsBasis) {
+  EXPECT_EQ(Fnv1a().value(), kFnvBasis);
+  EXPECT_EQ(Fnv1a(42).value(), 42ull);
+  EXPECT_EQ(Fnv1a(42).mix(7).value(), fnv1a_mix(42, 7));
+}
+
+TEST(Fnv, BytesPinnedValue) {
+  const std::string s = "abc";
+  Fnv1a f;
+  f.mix_bytes(s.data(), s.size());
+  EXPECT_EQ(f.value(), 16242233503745875709ull);
+  // mix_bytes must treat bytes as unsigned (a 0x80+ byte must not
+  // sign-extend into the fold).
+  const char hi[1] = {static_cast<char>(0xFF)};
+  Fnv1a g;
+  g.mix_bytes(hi, 1);
+  EXPECT_EQ(g.value(), fnv1a_mix(kFnvBasis, 0xFFu));
+}
+
+TEST(Fnv, ConstexprUsable) {
+  // The batch program cache computes shape hashes in constexpr-friendly
+  // contexts; keep the whole surface constant-evaluable.
+  constexpr std::uint64_t h = Fnv1a().mix(1).mix(2).mix(3).value();
+  static_assert(h == 11570874782335668893ull);
+  EXPECT_EQ(h, 11570874782335668893ull);
+}
+
+// Reimplementation of the compiled engine's per-cycle event-stream
+// recipe (see hash_events in src/xpp/compiled.cpp): for each event mix
+// kind, then the pointer bits, then the sink cast through uint32; after
+// all events mix (count + 1).  Pinned with synthetic pointer values —
+// the recipe, not live addresses, is what must never drift.
+TEST(Fnv, EventRecipePinnedValues) {
+  struct Ev {
+    int kind;
+    std::uint64_t ptr;
+    std::int32_t sink;
+  };
+  const auto recipe = [](const std::vector<Ev>& evs) {
+    Fnv1a f;
+    for (const auto& e : evs) {
+      f.mix(static_cast<std::uint64_t>(e.kind));
+      f.mix(e.ptr);
+      f.mix(static_cast<std::uint32_t>(e.sink));
+    }
+    f.mix(evs.size() + 1);
+    return f.value();
+  };
+  EXPECT_EQ(recipe({}), 4953162257141659110ull);
+  EXPECT_EQ(recipe({{0, 0x1000, -1}, {1, 0x2000, 2}, {2, 0x3000, -1}}),
+            12686906879015170908ull);
+  // The sink is folded as uint32, so -1 mixes as 0xFFFFFFFF, not as a
+  // sign-extended 64-bit -1.
+  EXPECT_EQ(recipe({{0, 0x1000, -1}}),
+            Fnv1a().mix(0).mix(0x1000).mix(0xFFFFFFFFull).mix(2).value());
+}
+
+}  // namespace
+}  // namespace rsp

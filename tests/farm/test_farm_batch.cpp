@@ -1,0 +1,189 @@
+// Differential determinism for the batched task kind: run_batched at
+// ANY (thread count, lane width) must be bit-identical per task to the
+// scalar run() and to a longhand loop over the same task seeds — group
+// membership is a pure function of the task index and lanes share no
+// data, so lockstep replay is an execution-order transform only.
+//
+// This is the property src/farm/farm.hpp promises for BatchedTrial:
+// running a quantum in slices composes, so a batched trial's
+// trajectory equals running it alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/farm/farm.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/batch.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::farm {
+namespace {
+
+using xpp::ConfigId;
+using xpp::ConfigurationManager;
+using xpp::SchedulerKind;
+using xpp::Word;
+
+constexpr std::size_t kChips = 768;  // 48 SF-16 symbols per trial
+
+/// One despreader terminal: SF-16 finger fed a random chip stream
+/// drawn entirely from the task seed.  Both the scalar kernel and the
+/// batched trial below drive exactly this boundary script (feed half,
+/// run half; feed rest, run to drain), so their trajectories must
+/// agree word for word.
+struct Terminal {
+  ConfigurationManager mgr{{}, SchedulerKind::kCompiled};
+  ConfigId id = xpp::kNoConfig;
+  std::vector<Word> packed;
+
+  explicit Terminal(std::uint64_t seed) {
+    id = mgr.load(rake::maps::despreader_config(16, 1));
+    Rng rng(seed);
+    std::vector<CplxI> chips(kChips);
+    for (auto& c : chips) {
+      c = {static_cast<int>(rng.below(2000)) - 1000,
+           static_cast<int>(rng.below(2000)) - 1000};
+    }
+    packed = rake::maps::pack_stream(chips);
+  }
+
+  void feed(std::size_t begin, std::size_t end) {
+    mgr.input(id, "data").feed({packed.begin() + static_cast<std::ptrdiff_t>(
+                                    begin),
+                                packed.begin() + static_cast<std::ptrdiff_t>(
+                                    end)});
+  }
+
+  /// Folds the symbol stream into trial counts so any divergence in
+  /// any output word flips the recorded result.
+  [[nodiscard]] TrialResult result() {
+    TrialResult r;
+    for (const Word w : mgr.output(id, "out").take()) {
+      r.bits += 2;
+      r.bit_errors += static_cast<std::uint64_t>(w & 3);
+      r.frames += 1;
+      r.frame_errors += (w < 0) ? 1 : 0;
+    }
+    return r;
+  }
+};
+
+TrialResult scalar_kernel(std::uint64_t task_seed, std::size_t) {
+  Terminal t(task_seed);
+  t.feed(0, kChips / 2);
+  t.mgr.sim().run(kChips / 2);
+  t.feed(kChips / 2, kChips);
+  t.mgr.sim().run(kChips / 2 + 256);
+  return t.result();
+}
+
+class DespreaderBatchedTrial : public BatchedTrial {
+ public:
+  explicit DespreaderBatchedTrial(std::uint64_t seed) : t_(seed) {}
+
+  xpp::Simulator& sim() override { return t_.mgr.sim(); }
+
+  long long next_cycles() override {
+    switch (phase_++) {
+      case 0:
+        t_.feed(0, kChips / 2);
+        return kChips / 2;
+      case 1:
+        t_.feed(kChips / 2, kChips);
+        return kChips / 2 + 256;
+      default:
+        return 0;
+    }
+  }
+
+  TrialResult finish() override { return t_.result(); }
+
+ private:
+  Terminal t_;
+  int phase_ = 0;
+};
+
+std::vector<TrialResult> longhand(std::size_t n, std::uint64_t base) {
+  std::vector<TrialResult> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = scalar_kernel(Rng::split(base, i), i);
+  }
+  return out;
+}
+
+TEST(FarmBatch, BatchedRunBitIdenticalAcrossThreadsAndWidths) {
+  constexpr std::size_t kTasks = 13;  // deliberately not a width multiple
+  constexpr std::uint64_t kBase = 2026;
+  const auto reference = longhand(kTasks, kBase);
+  StreamingAggregate ref_agg;
+  for (const auto& r : reference) ref_agg.add(r);
+
+  BatchedTaskSpec spec;
+  spec.config_crc = xpp::config_crc32(rake::maps::despreader_config(16, 1));
+  xpp::BatchProgramCache cache;
+  spec.cache = &cache;
+
+  const BatchedTrialFactory factory = [](std::uint64_t seed, std::size_t) {
+    return std::make_unique<DespreaderBatchedTrial>(seed);
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const int threads : {1, 2, static_cast<int>(hw) + 3}) {
+    for (const int width : {1, 4, 8}) {
+      FarmOptions opts;
+      opts.threads = threads;
+      opts.queue_capacity = 3;  // force producer/consumer interleaving
+      ScenarioFarm farm(opts);
+      spec.width = width;
+      const BatchedFarmResult res =
+          farm.run_batched(kTasks, kBase, factory, spec);
+      EXPECT_EQ(res.result.per_task, reference)
+          << "per-task results diverged at threads=" << threads
+          << " width=" << width;
+      EXPECT_EQ(res.result.agg.total(), ref_agg.total())
+          << "aggregate diverged at threads=" << threads
+          << " width=" << width;
+      if (width >= 4) {
+        EXPECT_GT(res.batch.batched_cycles, 0)
+            << "lockstep replay never engaged at threads=" << threads
+            << " width=" << width;
+      }
+    }
+  }
+
+  // Scalar farm path agrees too (the batched kind is a superset).
+  ScenarioFarm farm({.threads = 2, .queue_capacity = 3});
+  EXPECT_EQ(farm.run(kTasks, kBase, scalar_kernel).per_task, reference);
+}
+
+TEST(FarmBatch, SharedCacheCompilesOnceAcrossGroups) {
+  constexpr std::size_t kTasks = 8;
+  xpp::BatchProgramCache cache;
+  BatchedTaskSpec spec;
+  spec.width = 4;  // two lockstep groups sharing one cache
+  spec.config_crc = xpp::config_crc32(rake::maps::despreader_config(16, 1));
+  spec.cache = &cache;
+  ScenarioFarm farm({.threads = 1, .queue_capacity = 3});
+  const BatchedFarmResult res = farm.run_batched(
+      kTasks, 7,
+      [](std::uint64_t seed, std::size_t) {
+        return std::make_unique<DespreaderBatchedTrial>(seed);
+      },
+      spec);
+  EXPECT_EQ(res.result.per_task, longhand(kTasks, 7));
+  // Identical terminals publish each distinct steady state exactly
+  // once across the whole run: the streaming program plus (possibly)
+  // the idle state the drain settles into — never once per group.
+  EXPECT_GE(cache.stats().inserts, 1);
+  EXPECT_LE(cache.stats().inserts, 2)
+      << "groups re-published an already-shared canonical program";
+  EXPECT_GT(cache.stats().hits, 0) << "later groups never bound the image";
+}
+
+}  // namespace
+}  // namespace rsp::farm

@@ -1,0 +1,464 @@
+// Differential battery for batched cross-instance SIMD replay
+// (src/xpp/batch.hpp): a fleet driven through BatchedReplayEngine must
+// be bit-identical, lane by lane, to the same fleet driven one
+// simulator at a time under scalar kCompiled — outputs, final cycle
+// and fire counts — across lane-group widths (1 / 8 / 16 / odd
+// remainders), forced single-lane guard ejection, mixed-program
+// fleets (which must never share a batch), and the shared program
+// cache (identical terminals compile once, bind thereafter).  The
+// dispatched SIMD kernel table is also checked lane-by-lane against
+// the always-available generic table.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/batch.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/simd.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet harness: every instance carries the same boundary script
+// (feeds + fixed cycle quanta), so the scalar and the batched drive
+// perform exactly the same external actions in the same order — only
+// who executes the cycles differs.
+// ---------------------------------------------------------------------------
+
+struct Step {
+  std::vector<std::pair<std::string, std::vector<Word>>> feeds;
+  long long cycles = 0;
+};
+
+struct Inst {
+  std::unique_ptr<ConfigurationManager> mgr;
+  ConfigId id = kNoConfig;
+  std::vector<ConfigId> idle;  ///< resident but never-fed configs
+  std::uint32_t crc = 0;
+  std::vector<Step> steps;
+};
+
+struct LaneObs {
+  std::vector<Word> out;
+  long long cycle = 0;
+  long long fires = 0;
+  friend bool operator==(const LaneObs&, const LaneObs&) = default;
+};
+
+Inst load(const Configuration& cfg) {
+  Inst inst;
+  inst.mgr = std::make_unique<ConfigurationManager>(ArrayGeometry{},
+                                                    SchedulerKind::kCompiled);
+  inst.crc = cfg.checksum ? *cfg.checksum : config_crc32(cfg);
+  inst.id = inst.mgr->load(cfg);
+  return inst;
+}
+
+LaneObs observe(Inst& inst) {
+  return {inst.mgr->output(inst.id, "out").take(), inst.mgr->sim().cycle(),
+          inst.mgr->sim().total_fires()};
+}
+
+std::vector<LaneObs> drive_scalar(std::vector<Inst>& fleet) {
+  std::vector<LaneObs> obs;
+  for (auto& inst : fleet) {
+    for (const auto& step : inst.steps) {
+      for (const auto& [port, words] : step.feeds) {
+        inst.mgr->input(inst.id, port).feed(words);
+      }
+      inst.mgr->sim().run(step.cycles);
+    }
+    obs.push_back(observe(inst));
+  }
+  return obs;
+}
+
+std::vector<LaneObs> drive_batched(std::vector<Inst>& fleet, int width,
+                                   BatchProgramCache* cache,
+                                   BatchedReplayEngine::Stats* stats_out) {
+  BatchedReplayEngine eng(cache, width);
+  for (auto& inst : fleet) eng.add(inst.mgr->sim(), inst.crc);
+  const std::size_t n_steps = fleet[0].steps.size();
+  for (std::size_t s = 0; s < n_steps; ++s) {
+    for (auto& inst : fleet) {
+      for (const auto& [port, words] : inst.steps[s].feeds) {
+        inst.mgr->input(inst.id, port).feed(words);
+      }
+    }
+    eng.run_cycles(fleet[0].steps[s].cycles);
+  }
+  if (stats_out != nullptr) *stats_out = eng.stats();
+  std::vector<LaneObs> obs;
+  for (auto& inst : fleet) obs.push_back(observe(inst));
+  return obs;
+}
+
+void expect_lanes_identical(const std::vector<LaneObs>& scalar,
+                            const std::vector<LaneObs>& batched,
+                            const std::string& what) {
+  ASSERT_EQ(scalar.size(), batched.size()) << what;
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    const std::string lane = what + " lane " + std::to_string(i);
+    EXPECT_EQ(scalar[i].out, batched[i].out) << lane << ": outputs diverged";
+    EXPECT_EQ(scalar[i].cycle, batched[i].cycle) << lane;
+    EXPECT_EQ(scalar[i].fires, batched[i].fires) << lane;
+  }
+}
+
+// -- per-scenario instance builders -----------------------------------------
+
+Inst descrambler_inst(std::size_t lane, std::size_t n_chips) {
+  Inst inst = load(rake::maps::descrambler_config());
+  const auto chips = random_chips(n_chips, 13 + lane);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<Word> code(n_chips);
+  for (auto& c : code) c = scr.next2() & 3;
+  inst.steps.push_back({{{"data", rake::maps::pack_stream(chips)},
+                         {"code", std::move(code)}},
+                        static_cast<long long>(n_chips) + 256});
+  return inst;
+}
+
+Inst despreader_inst(std::size_t lane, std::size_t n_chips,
+                     std::size_t fed_chips) {
+  Inst inst = load(rake::maps::despreader_config(16, 1));
+  const auto chips = random_chips(fed_chips, 29 + lane);
+  inst.steps.push_back({{{"data", rake::maps::pack_stream(chips)}},
+                        static_cast<long long>(n_chips) + 256});
+  return inst;
+}
+
+Inst fft64_inst(std::size_t lane, std::size_t n_symbols) {
+  constexpr long long kQuantum = 600;
+  Inst inst = load(ofdm::maps::fft64_stage_config(0));
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    Rng rng(77 + lane * 1000 + s);
+    std::vector<Word> sym(phy::kFftSize);
+    for (auto& w : sym) {
+      w = pack_cplx({static_cast<int>(rng.below(2000)) - 1000,
+                     static_cast<int>(rng.below(2000)) - 1000});
+    }
+    const std::vector<Word> ones(phy::kFftSize, 1);
+    inst.steps.push_back({{{"data", std::move(sym)}}, kQuantum});
+    inst.steps.push_back({{{"go", ones}}, kQuantum});
+    inst.steps.push_back({{{"go2", ones}}, kQuantum});
+  }
+  return inst;
+}
+
+/// Sparse-activity terminal: four despreader fingers resident, chips
+/// streamed through finger 0 only (bench_micro_sched's 4th scenario).
+Inst sparse_rake_inst(std::size_t lane, std::size_t n_chips) {
+  Inst inst = load(rake::maps::despreader_config(16, 1));
+  for (const int code : {2, 3, 5}) {
+    inst.idle.push_back(
+        inst.mgr->load(rake::maps::despreader_config(16, code)));
+  }
+  const auto chips = random_chips(n_chips, 61 + lane);
+  inst.steps.push_back({{{"data", rake::maps::pack_stream(chips)}},
+                        static_cast<long long>(n_chips) + 256});
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-by-lane equivalence across widths (incl. odd remainders)
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, DescramblerFleetAllWidths) {
+  const std::size_t kChips = 1024;
+  for (const auto& [n, width] : std::vector<std::pair<std::size_t, int>>{
+           {5, 1}, {5, 4}, {8, 8}, {13, 16}, {16, 16}}) {
+    std::vector<Inst> scalar_fleet, batched_fleet;
+    for (std::size_t i = 0; i < n; ++i) {
+      scalar_fleet.push_back(descrambler_inst(i, kChips));
+      batched_fleet.push_back(descrambler_inst(i, kChips));
+    }
+    BatchedReplayEngine::Stats st;
+    const auto sc = drive_scalar(scalar_fleet);
+    const auto ba = drive_batched(batched_fleet, width, nullptr, &st);
+    const std::string what = "descrambler n=" + std::to_string(n) +
+                             " width=" + std::to_string(width);
+    expect_lanes_identical(sc, ba, what);
+    if (width > 1 && n > 1) {
+      EXPECT_GT(st.batched_cycles, 0) << what << ": batching never engaged";
+    }
+  }
+}
+
+TEST(BatchEquiv, DespreaderFleetAllWidths) {
+  const std::size_t kChips = 1024;
+  for (const auto& [n, width] :
+       std::vector<std::pair<std::size_t, int>>{{7, 8}, {16, 16}, {3, 2}}) {
+    std::vector<Inst> scalar_fleet, batched_fleet;
+    for (std::size_t i = 0; i < n; ++i) {
+      scalar_fleet.push_back(despreader_inst(i, kChips, kChips));
+      batched_fleet.push_back(despreader_inst(i, kChips, kChips));
+    }
+    BatchedReplayEngine::Stats st;
+    const auto sc = drive_scalar(scalar_fleet);
+    const auto ba = drive_batched(batched_fleet, width, nullptr, &st);
+    const std::string what = "despreader n=" + std::to_string(n) +
+                             " width=" + std::to_string(width);
+    expect_lanes_identical(sc, ba, what);
+    EXPECT_GT(st.batched_cycles, 0) << what;
+    // The trailing idle drain runs every lane's input dry, so the
+    // input-nonempty guard must have ejected lanes from live batches.
+    EXPECT_GT(st.guard_exits, 0) << what << ": no guard ejection seen";
+  }
+}
+
+TEST(BatchEquiv, Fft64FleetFeedBoundaries) {
+  std::vector<Inst> scalar_fleet, batched_fleet;
+  for (std::size_t i = 0; i < 4; ++i) {
+    scalar_fleet.push_back(fft64_inst(i, 2));
+    batched_fleet.push_back(fft64_inst(i, 2));
+  }
+  BatchedReplayEngine::Stats st;
+  const auto sc = drive_scalar(scalar_fleet);
+  const auto ba = drive_batched(batched_fleet, 4, nullptr, &st);
+  expect_lanes_identical(sc, ba, "fft64");
+  EXPECT_GT(st.batched_cycles, 0) << "fft64 drain epochs never batched";
+}
+
+TEST(BatchEquiv, SparseRakeFleet) {
+  std::vector<Inst> scalar_fleet, batched_fleet;
+  for (std::size_t i = 0; i < 6; ++i) {
+    scalar_fleet.push_back(sparse_rake_inst(i, 512));
+    batched_fleet.push_back(sparse_rake_inst(i, 512));
+  }
+  BatchedReplayEngine::Stats st;
+  const auto sc = drive_scalar(scalar_fleet);
+  const auto ba = drive_batched(batched_fleet, 8, nullptr, &st);
+  expect_lanes_identical(sc, ba, "sparse rake");
+  EXPECT_GT(st.batched_cycles, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Guard-mask ejection: only the failing lane leaves the batch
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, ForcedSingleLaneGuardDeopt) {
+  // Lane 3's stream is half as long, so its input-nonempty guard fails
+  // mid-run while every other lane keeps replaying.  The ejected
+  // lane's trajectory (including its own scalar deopt and drain) must
+  // match the scalar drive exactly.
+  const std::size_t kChips = 1024;
+  std::vector<Inst> scalar_fleet, batched_fleet;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t fed = i == 3 ? kChips / 2 : kChips;
+    scalar_fleet.push_back(despreader_inst(i, kChips, fed));
+    batched_fleet.push_back(despreader_inst(i, kChips, fed));
+  }
+  BatchedReplayEngine::Stats st;
+  const auto sc = drive_scalar(scalar_fleet);
+  const auto ba = drive_batched(batched_fleet, 8, nullptr, &st);
+  expect_lanes_identical(sc, ba, "forced deopt");
+  EXPECT_GT(st.guard_exits, 0) << "short lane was never ejected";
+  EXPECT_GT(st.batched_cycles, 0) << "survivors stopped batching";
+  EXPECT_LT(sc[3].out.size(), sc[0].out.size())
+      << "short lane unexpectedly produced as much as full lanes";
+}
+
+// ---------------------------------------------------------------------------
+// Mixed programs must never share a batch
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, MixedProgramsNeverShareABatch) {
+  const std::size_t kChips = 1024;
+  std::vector<Inst> scalar_fleet, batched_fleet;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      scalar_fleet.push_back(descrambler_inst(i, kChips));
+      batched_fleet.push_back(descrambler_inst(i, kChips));
+    } else {
+      scalar_fleet.push_back(despreader_inst(i, kChips, kChips));
+      batched_fleet.push_back(despreader_inst(i, kChips, kChips));
+    }
+  }
+  BatchedReplayEngine::Stats st;
+  const auto sc = drive_scalar(scalar_fleet);
+  const auto ba = drive_batched(batched_fleet, 8, nullptr, &st);
+  expect_lanes_identical(sc, ba, "mixed fleet");
+  EXPECT_GT(st.join_rejects, 0)
+      << "an armed lane of the other program was never refused";
+  EXPECT_GT(st.batched_cycles, 0)
+      << "same-program lanes should still have batched among themselves";
+}
+
+// ---------------------------------------------------------------------------
+// Shared program cache: identical terminals compile once
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, SharedCacheCompilesOnceAcrossFleet) {
+  const std::size_t kChips = 1024;
+  std::vector<Inst> scalar_fleet, batched_fleet;
+  for (std::size_t i = 0; i < 8; ++i) {
+    scalar_fleet.push_back(descrambler_inst(i, kChips));
+    batched_fleet.push_back(descrambler_inst(i, kChips));
+  }
+  BatchProgramCache cache;
+  const auto sc = drive_scalar(scalar_fleet);
+  const auto ba = drive_batched(batched_fleet, 8, &cache, nullptr);
+  expect_lanes_identical(sc, ba, "shared cache fleet");
+  long long compiles = 0, binds = 0;
+  for (auto& inst : batched_fleet) {
+    const auto cs = inst.mgr->sim().compiled_engine()->stats();
+    compiles += cs.compiles;
+    binds += cs.cache_binds;
+  }
+  EXPECT_EQ(compiles, 1) << "identical terminals must compile exactly once";
+  EXPECT_GE(binds, 1) << "no terminal ever bound the shared image";
+  EXPECT_EQ(cache.stats().inserts, 1);
+  EXPECT_GE(cache.stats().hits, binds);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: fast re-arm may enter at any phase
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, FastRearmEntersMidPhase) {
+  // Despreader at SF=16 (16-phase epoch): the first feed is cut off
+  // mid-symbol, so the stream runs dry — and the engine deoptimizes —
+  // at a non-final phase.  After the refill, the resident program must
+  // fast re-arm at that mid-program phase instead of sitting through a
+  // full re-detection window.
+  // The first feed is long enough for the engine to arm (~300 cycles
+  // of detection) and replay, but cut at a non-multiple of the symbol
+  // so the dry-out lands mid-program.
+  const std::size_t kChips = 1024;
+  const std::size_t kCut = 600;  // 600 % 16 == 8: mid-symbol dry-out
+  const auto chips = random_chips(kChips, 97);
+  const auto packed = rake::maps::pack_stream(chips);
+  auto run = [&](SchedulerKind kind) {
+    ConfigurationManager mgr({}, kind);
+    const ConfigId id = mgr.load(rake::maps::despreader_config(16, 1));
+    mgr.input(id, "data").feed(
+        {packed.begin(), packed.begin() + static_cast<std::ptrdiff_t>(kCut)});
+    mgr.sim().run(static_cast<long long>(kCut) + 200);
+    mgr.input(id, "data").feed(
+        {packed.begin() + static_cast<std::ptrdiff_t>(kCut), packed.end()});
+    mgr.sim().run(static_cast<long long>(kChips) + 400);
+    long long phase_rearms = 0;
+    if (const CompiledEngine* eng = mgr.sim().compiled_engine()) {
+      phase_rearms = eng->stats().phase_rearms;
+    }
+    return std::make_pair(mgr.output(id, "out").take(), phase_rearms);
+  };
+  const auto event = run(SchedulerKind::kEventDriven);
+  const auto comp = run(SchedulerKind::kCompiled);
+  EXPECT_EQ(event.first, comp.first) << "outputs diverged across the refill";
+  EXPECT_GE(comp.second, 1) << "re-arm never entered mid-program";
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels vs the generic table, lane by lane
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquiv, DispatchedKernelsMatchGeneric) {
+  const simd::Kernels& fast = simd::kernels();
+  const simd::Kernels& ref = simd::generic_kernels();
+  Rng rng(4242);
+  const Word table[4] = {5, -7, 11, 13};
+  const Opcode ops[] = {
+      Opcode::kNop, Opcode::kAdd,    Opcode::kSub,      Opcode::kMul,
+      Opcode::kMulShr, Opcode::kNeg, Opcode::kAbs,      Opcode::kMin,
+      Opcode::kMax,    Opcode::kAnd, Opcode::kOr,       Opcode::kXor,
+      Opcode::kNot,    Opcode::kShl, Opcode::kShr,      Opcode::kShrRound,
+      Opcode::kEq,     Opcode::kNe,  Opcode::kLt,       Opcode::kLe,
+      Opcode::kGt,     Opcode::kGe,  Opcode::kMux,      Opcode::kSwap,
+      Opcode::kGate,   Opcode::kDup, Opcode::kPack,     Opcode::kUnpack,
+      Opcode::kSel4,   Opcode::kCAdd, Opcode::kCSub,    Opcode::kCMulShr,
+      Opcode::kCConj,  Opcode::kCNeg, Opcode::kCRotMj};
+  for (const int n : {1, 3, 8, 16, 31}) {
+    std::vector<Word> a(n), b(n), c(n);
+    for (int i = 0; i < n; ++i) {
+      a[i] = static_cast<Word>(rng.below(1u << 24)) - (1 << 23);
+      b[i] = static_cast<Word>(rng.below(1u << 24)) - (1 << 23);
+      c[i] = static_cast<Word>(rng.below(2));
+    }
+    for (const Opcode op : ops) {
+      for (const bool saturate : {false, true}) {
+        simd::AluCall q;
+        q.op = op;
+        q.saturate = saturate;
+        q.shift = static_cast<int>(rng.below(8));
+        q.table = table;
+        q.a = a.data();
+        q.b = b.data();
+        q.c = c.data();
+        q.n = n;
+        std::vector<Word> fr0(n, 0), fr1(n, 0), rr0(n, 0), rr1(n, 0);
+        q.r0 = fr0.data();
+        q.r1 = fr1.data();
+        fast.alu(q);
+        q.r0 = rr0.data();
+        q.r1 = rr1.data();
+        ref.alu(q);
+        EXPECT_EQ(fr0, rr0) << opcode_name(op) << " n=" << n
+                            << " sat=" << saturate << ": r0 diverged";
+        EXPECT_EQ(fr1, rr1) << opcode_name(op) << " n=" << n
+                            << " sat=" << saturate << ": r1 diverged";
+      }
+    }
+
+    // Counter / accumulator / guard-mask kernels.
+    std::vector<Word> v0(n), r0(n), o0f(n), o1f(n), o0r(n), o1r(n);
+    for (int i = 0; i < n; ++i) {
+      v0[i] = static_cast<Word>(rng.below(16));
+      r0[i] = static_cast<Word>(rng.below(16)) + 1;
+    }
+    auto vf = v0, vr = v0, rf = r0, rr = r0;
+    fast.counter(vf.data(), rf.data(), 2, 3, 16, o0f.data(), o1f.data(), n);
+    ref.counter(vr.data(), rr.data(), 2, 3, 16, o0r.data(), o1r.data(), n);
+    EXPECT_EQ(vf, vr);
+    EXPECT_EQ(rf, rr);
+    EXPECT_EQ(o0f, o0r);
+    EXPECT_EQ(o1f, o1r);
+
+    for (const bool dump : {false, true}) {
+      auto af = a, ar = a;
+      std::vector<Word> df(n, 0), dr(n, 0);
+      fast.accum(af.data(), b.data(), true, dump, 2, df.data(), n);
+      ref.accum(ar.data(), b.data(), true, dump, 2, dr.data(), n);
+      EXPECT_EQ(af, ar) << "accum dump=" << dump;
+      EXPECT_EQ(df, dr) << "accum dump=" << dump;
+
+      std::vector<long long> ref_(n, 1), imf(n, -2), rer(n, 1), imr(n, -2);
+      std::vector<Word> cf(n, 0), cr(n, 0);
+      fast.caccum(ref_.data(), imf.data(), a.data(), dump, 1, cf.data(), n);
+      ref.caccum(rer.data(), imr.data(), a.data(), dump, 1, cr.data(), n);
+      EXPECT_EQ(ref_, rer) << "caccum dump=" << dump;
+      EXPECT_EQ(imf, imr) << "caccum dump=" << dump;
+      EXPECT_EQ(cf, cr) << "caccum dump=" << dump;
+    }
+
+    for (const bool expect : {false, true}) {
+      EXPECT_EQ(fast.fail_mask(c.data(), expect, n),
+                ref.fail_mask(c.data(), expect, n))
+          << "fail_mask expect=" << expect << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsp::xpp
