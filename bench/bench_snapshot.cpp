@@ -1,0 +1,145 @@
+// Snapshot cost benchmark: what does crash-resilience cost at the
+// array layer?  Measures save_snapshot / restore_snapshot wall time and
+// snapshot size for a streaming descrambler cut mid-run, and
+// cross-checks the headline correctness claim word-for-word: the
+// restored run's remaining output stream must be bit-identical to the
+// uninterrupted run's.  Emits BENCH_snapshot.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/snapshot.hpp"
+
+namespace rsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::size_t snapshot_bytes = 0;
+  double save_seconds = 0.0;
+  double restore_seconds = 0.0;
+  bool identical = false;
+  long long cut_cycle = 0;
+  long long total_cycles = 0;
+};
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+Measurement run(std::size_t n_chips, int reps) {
+  const auto chips = random_chips(n_chips, 42);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<xpp::Word> code_words(chips.size());
+  for (auto& c : code_words) c = scr.next2() & 3;
+  const auto data = rake::maps::pack_stream(chips);
+  const auto cfg = rake::maps::descrambler_config();
+
+  auto fresh = [&] {
+    auto mgr = std::make_unique<xpp::ConfigurationManager>(
+        xpp::ArrayGeometry{}, xpp::SchedulerKind::kEventDriven);
+    const xpp::ConfigId id = mgr->load(cfg);
+    mgr->input(id, "data").feed(data);
+    mgr->input(id, "code").feed(code_words);
+    return mgr;
+  };
+  auto drain = [&](xpp::ConfigurationManager& mgr) {
+    auto& out = mgr.output(0, "out");  // first (only) load gets id 0
+    long long guard = static_cast<long long>(n_chips) * 16;
+    while (out.data().size() < chips.size() && guard-- > 0) mgr.sim().step();
+    return out.take();
+  };
+
+  Measurement m;
+
+  // Uninterrupted reference.
+  auto ref_mgr = fresh();
+  const auto ref_out = drain(*ref_mgr);
+  m.total_cycles = ref_mgr->sim().cycle();
+
+  // Cut halfway through the stream, best-of-reps on the timed phases.
+  auto mgr = fresh();
+  while (mgr->sim().cycle() < m.total_cycles / 2) mgr->sim().step();
+  m.cut_cycle = mgr->sim().cycle();
+
+  std::string bytes;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    bytes = xpp::save_snapshot(*mgr);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (m.save_seconds == 0.0 || s < m.save_seconds) m.save_seconds = s;
+  }
+  m.snapshot_bytes = bytes.size();
+
+  std::unique_ptr<xpp::ConfigurationManager> restored;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    restored = xpp::restore_snapshot_new(bytes);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (m.restore_seconds == 0.0 || s < m.restore_seconds) m.restore_seconds = s;
+  }
+
+  const auto cut_out = drain(*restored);
+  m.identical = cut_out == ref_out &&
+                restored->sim().cycle() == ref_mgr->sim().cycle() &&
+                restored->sim().total_fires() == ref_mgr->sim().total_fires();
+  return m;
+}
+
+bool write_json(const Measurement& m) {
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_snapshot\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
+  bench::appendf(j, "  \"workload\": \"descrambler_stream_halfway_cut\",\n");
+  bench::appendf(j, "  \"snapshot_bytes\": %zu,\n", m.snapshot_bytes);
+  bench::appendf(j, "  \"cut_cycle\": %lld,\n", m.cut_cycle);
+  bench::appendf(j, "  \"total_cycles\": %lld,\n", m.total_cycles);
+  bench::appendf(j, "  \"save_seconds\": %s,\n",
+                 bench::json_num(m.save_seconds, 9).c_str());
+  bench::appendf(j, "  \"restore_seconds\": %s,\n",
+                 bench::json_num(m.restore_seconds, 9).c_str());
+  bench::appendf(j, "  \"restored_bit_identical\": %s\n",
+                 m.identical ? "true" : "false");
+  bench::appendf(j, "}\n");
+  return bench::write_json_checked("BENCH_snapshot.json", j);
+}
+
+}  // namespace
+}  // namespace rsp
+
+int main(int argc, char** argv) {
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
+  rsp::bench::title("Snapshot cost: save/restore a mid-stream descrambler");
+
+  const std::size_t kChips = args.smoke ? 512 : 16384;
+  const rsp::Measurement m = rsp::run(kChips, args.smoke ? 2 : 7);
+
+  rsp::bench::Table t({"metric", "value"});
+  t.row({"snapshot size", rsp::bench::fmt_int(
+                              static_cast<long long>(m.snapshot_bytes)) +
+                              " B"});
+  t.row({"save time", rsp::bench::fmt(m.save_seconds * 1e6, 1) + " us"});
+  t.row({"restore time", rsp::bench::fmt(m.restore_seconds * 1e6, 1) + " us"});
+  t.row({"cut cycle", rsp::bench::fmt_int(m.cut_cycle) + " / " +
+                          rsp::bench::fmt_int(m.total_cycles)});
+  t.print();
+  rsp::bench::note(m.identical
+                       ? "cross-check: restored run bit-identical to reference"
+                       : "cross-check: FAILED — restored run diverged");
+  const bool wrote = rsp::write_json(m);
+  if (wrote) rsp::bench::note("wrote BENCH_snapshot.json");
+  return m.identical && wrote ? 0 : 1;
+}

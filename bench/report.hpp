@@ -208,10 +208,11 @@ inline void appendf(std::string& out, const char* f, ...) {
 }
 
 /// Validate `payload` with the same RFC 8259 checker the test suite
-/// uses, then write it.  A malformed payload (e.g. a locale that
-/// sneaks a "," decimal past json_num) is refused with a nonzero
-/// outcome so the perf smoke test fails loudly instead of shipping a
-/// broken BENCH_*.json.
+/// uses, then write it ATOMICALLY (temp file + rename).  A malformed
+/// payload (e.g. a locale that sneaks a "," decimal past json_num) is
+/// refused with a nonzero outcome so the perf smoke test fails loudly
+/// instead of shipping a broken BENCH_*.json; a bench killed mid-write
+/// leaves either the previous complete file or none, never a torn one.
 inline bool write_json_checked(const std::string& path,
                                const std::string& payload) {
   if (!rsp::testing::json_valid(payload)) {
@@ -219,15 +220,27 @@ inline bool write_json_checked(const std::string& path,
                  path.c_str());
     return false;
   }
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
     return false;
   }
   const std::size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
-  const bool ok = written == payload.size() && std::fclose(f) == 0;
-  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
-  return ok;
+  bool ok = written == payload.size() && std::fflush(f) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s over %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rsp::bench

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fftscale.dir/bench_ablation_fftscale.cpp.o"
+  "CMakeFiles/bench_ablation_fftscale.dir/bench_ablation_fftscale.cpp.o.d"
+  "bench_ablation_fftscale"
+  "bench_ablation_fftscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fftscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

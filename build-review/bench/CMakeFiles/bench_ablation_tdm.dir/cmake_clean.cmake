@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tdm.dir/bench_ablation_tdm.cpp.o"
+  "CMakeFiles/bench_ablation_tdm.dir/bench_ablation_tdm.cpp.o.d"
+  "bench_ablation_tdm"
+  "bench_ablation_tdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_gsm.dir/bench_baseline_gsm.cpp.o"
+  "CMakeFiles/bench_baseline_gsm.dir/bench_baseline_gsm.cpp.o.d"
+  "bench_baseline_gsm"
+  "bench_baseline_gsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ber_curves.dir/bench_ber_curves.cpp.o"
+  "CMakeFiles/bench_ber_curves.dir/bench_ber_curves.cpp.o.d"
+  "bench_ber_curves"
+  "bench_ber_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ber_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

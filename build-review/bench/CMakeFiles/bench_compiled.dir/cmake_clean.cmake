@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiled.dir/bench_compiled.cpp.o"
+  "CMakeFiles/bench_compiled.dir/bench_compiled.cpp.o.d"
+  "bench_compiled"
+  "bench_compiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

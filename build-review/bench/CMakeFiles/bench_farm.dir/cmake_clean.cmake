@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_farm.dir/bench_farm.cpp.o"
+  "CMakeFiles/bench_farm.dir/bench_farm.cpp.o.d"
+  "bench_farm"
+  "bench_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

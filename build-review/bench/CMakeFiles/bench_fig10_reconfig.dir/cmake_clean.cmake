@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reconfig.dir/bench_fig10_reconfig.cpp.o"
+  "CMakeFiles/bench_fig10_reconfig.dir/bench_fig10_reconfig.cpp.o.d"
+  "bench_fig10_reconfig"
+  "bench_fig10_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_board.dir/bench_fig11_board.cpp.o"
+  "CMakeFiles/bench_fig11_board.dir/bench_fig11_board.cpp.o.d"
+  "bench_fig11_board"
+  "bench_fig11_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

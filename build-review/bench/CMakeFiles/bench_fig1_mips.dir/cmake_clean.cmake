@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mips.dir/bench_fig1_mips.cpp.o"
+  "CMakeFiles/bench_fig1_mips.dir/bench_fig1_mips.cpp.o.d"
+  "bench_fig1_mips"
+  "bench_fig1_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

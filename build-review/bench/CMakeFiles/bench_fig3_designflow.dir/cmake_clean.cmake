@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_designflow.dir/bench_fig3_designflow.cpp.o"
+  "CMakeFiles/bench_fig3_designflow.dir/bench_fig3_designflow.cpp.o.d"
+  "bench_fig3_designflow"
+  "bench_fig3_designflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_designflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_partitioning.dir/bench_fig4_partitioning.cpp.o"
+  "CMakeFiles/bench_fig4_partitioning.dir/bench_fig4_partitioning.cpp.o.d"
+  "bench_fig4_partitioning"
+  "bench_fig4_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_descrambler.dir/bench_fig5_descrambler.cpp.o"
+  "CMakeFiles/bench_fig5_descrambler.dir/bench_fig5_descrambler.cpp.o.d"
+  "bench_fig5_descrambler"
+  "bench_fig5_descrambler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_descrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

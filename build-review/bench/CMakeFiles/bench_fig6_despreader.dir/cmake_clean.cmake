@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_despreader.dir/bench_fig6_despreader.cpp.o"
+  "CMakeFiles/bench_fig6_despreader.dir/bench_fig6_despreader.cpp.o.d"
+  "bench_fig6_despreader"
+  "bench_fig6_despreader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_despreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_chancorr.dir/bench_fig7_chancorr.cpp.o"
+  "CMakeFiles/bench_fig7_chancorr.dir/bench_fig7_chancorr.cpp.o.d"
+  "bench_fig7_chancorr"
+  "bench_fig7_chancorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chancorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_partitioning.cpp" "bench/CMakeFiles/bench_fig8_partitioning.dir/bench_fig8_partitioning.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_partitioning.dir/bench_fig8_partitioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/farm/CMakeFiles/rsp_farm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sdr/CMakeFiles/rsp_sdr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rake/CMakeFiles/rsp_rake.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ofdm/CMakeFiles/rsp_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gsm/CMakeFiles/rsp_gsm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

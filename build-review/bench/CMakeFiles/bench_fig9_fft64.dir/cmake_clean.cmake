@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fft64.dir/bench_fig9_fft64.cpp.o"
+  "CMakeFiles/bench_fig9_fft64.dir/bench_fig9_fft64.cpp.o.d"
+  "bench_fig9_fft64"
+  "bench_fig9_fft64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fft64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_xpp.dir/bench_micro_xpp.cpp.o"
+  "CMakeFiles/bench_micro_xpp.dir/bench_micro_xpp.cpp.o.d"
+  "bench_micro_xpp"
+  "bench_micro_xpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_xpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

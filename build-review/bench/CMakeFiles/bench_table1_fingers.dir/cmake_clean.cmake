@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fingers.dir/bench_table1_fingers.cpp.o"
+  "CMakeFiles/bench_table1_fingers.dir/bench_table1_fingers.cpp.o.d"
+  "bench_table1_fingers"
+  "bench_table1_fingers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fingers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_campaign.dir/farm_campaign.cpp.o"
+  "CMakeFiles/farm_campaign.dir/farm_campaign.cpp.o.d"
+  "farm_campaign"
+  "farm_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_gsm_link.dir/legacy_gsm_link.cpp.o"
+  "CMakeFiles/legacy_gsm_link.dir/legacy_gsm_link.cpp.o.d"
+  "legacy_gsm_link"
+  "legacy_gsm_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_gsm_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistandard_terminal.dir/multistandard_terminal.cpp.o"
+  "CMakeFiles/multistandard_terminal.dir/multistandard_terminal.cpp.o.d"
+  "multistandard_terminal"
+  "multistandard_terminal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistandard_terminal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multistandard_terminal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rake_softhandover.dir/rake_softhandover.cpp.o"
+  "CMakeFiles/rake_softhandover.dir/rake_softhandover.cpp.o.d"
+  "rake_softhandover"
+  "rake_softhandover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rake_softhandover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

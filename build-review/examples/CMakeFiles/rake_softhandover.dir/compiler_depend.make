@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rake_softhandover.
+# This may be replaced when dependencies are built.

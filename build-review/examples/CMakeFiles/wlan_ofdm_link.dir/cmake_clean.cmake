@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_ofdm_link.dir/wlan_ofdm_link.cpp.o"
+  "CMakeFiles/wlan_ofdm_link.dir/wlan_ofdm_link.cpp.o.d"
+  "wlan_ofdm_link"
+  "wlan_ofdm_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_ofdm_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

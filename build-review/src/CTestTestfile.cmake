@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xpp")
+subdirs("dedhw")
+subdirs("gsm")
+subdirs("dsp")
+subdirs("phy")
+subdirs("rake")
+subdirs("ofdm")
+subdirs("sdr")
+subdirs("farm")

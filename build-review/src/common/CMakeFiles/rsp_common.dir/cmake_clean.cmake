@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_common.dir/rng.cpp.o"
+  "CMakeFiles/rsp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rsp_common.dir/word.cpp.o"
+  "CMakeFiles/rsp_common.dir/word.cpp.o.d"
+  "librsp_common.a"
+  "librsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

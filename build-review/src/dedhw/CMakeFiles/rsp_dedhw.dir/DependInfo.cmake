@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dedhw/convcode.cpp" "src/dedhw/CMakeFiles/rsp_dedhw.dir/convcode.cpp.o" "gcc" "src/dedhw/CMakeFiles/rsp_dedhw.dir/convcode.cpp.o.d"
+  "/root/repo/src/dedhw/convcode_gen.cpp" "src/dedhw/CMakeFiles/rsp_dedhw.dir/convcode_gen.cpp.o" "gcc" "src/dedhw/CMakeFiles/rsp_dedhw.dir/convcode_gen.cpp.o.d"
+  "/root/repo/src/dedhw/ovsf.cpp" "src/dedhw/CMakeFiles/rsp_dedhw.dir/ovsf.cpp.o" "gcc" "src/dedhw/CMakeFiles/rsp_dedhw.dir/ovsf.cpp.o.d"
+  "/root/repo/src/dedhw/umts_scrambler.cpp" "src/dedhw/CMakeFiles/rsp_dedhw.dir/umts_scrambler.cpp.o" "gcc" "src/dedhw/CMakeFiles/rsp_dedhw.dir/umts_scrambler.cpp.o.d"
+  "/root/repo/src/dedhw/viterbi.cpp" "src/dedhw/CMakeFiles/rsp_dedhw.dir/viterbi.cpp.o" "gcc" "src/dedhw/CMakeFiles/rsp_dedhw.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_dedhw.dir/convcode.cpp.o"
+  "CMakeFiles/rsp_dedhw.dir/convcode.cpp.o.d"
+  "CMakeFiles/rsp_dedhw.dir/convcode_gen.cpp.o"
+  "CMakeFiles/rsp_dedhw.dir/convcode_gen.cpp.o.d"
+  "CMakeFiles/rsp_dedhw.dir/ovsf.cpp.o"
+  "CMakeFiles/rsp_dedhw.dir/ovsf.cpp.o.d"
+  "CMakeFiles/rsp_dedhw.dir/umts_scrambler.cpp.o"
+  "CMakeFiles/rsp_dedhw.dir/umts_scrambler.cpp.o.d"
+  "CMakeFiles/rsp_dedhw.dir/viterbi.cpp.o"
+  "CMakeFiles/rsp_dedhw.dir/viterbi.cpp.o.d"
+  "librsp_dedhw.a"
+  "librsp_dedhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_dedhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_farm.dir/farm.cpp.o"
+  "CMakeFiles/rsp_farm.dir/farm.cpp.o.d"
+  "CMakeFiles/rsp_farm.dir/kernels.cpp.o"
+  "CMakeFiles/rsp_farm.dir/kernels.cpp.o.d"
+  "CMakeFiles/rsp_farm.dir/resilient.cpp.o"
+  "CMakeFiles/rsp_farm.dir/resilient.cpp.o.d"
+  "CMakeFiles/rsp_farm.dir/stats.cpp.o"
+  "CMakeFiles/rsp_farm.dir/stats.cpp.o.d"
+  "librsp_farm.a"
+  "librsp_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

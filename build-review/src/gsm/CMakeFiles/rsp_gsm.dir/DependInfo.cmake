@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsm/burst.cpp" "src/gsm/CMakeFiles/rsp_gsm.dir/burst.cpp.o" "gcc" "src/gsm/CMakeFiles/rsp_gsm.dir/burst.cpp.o.d"
+  "/root/repo/src/gsm/equalizer.cpp" "src/gsm/CMakeFiles/rsp_gsm.dir/equalizer.cpp.o" "gcc" "src/gsm/CMakeFiles/rsp_gsm.dir/equalizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

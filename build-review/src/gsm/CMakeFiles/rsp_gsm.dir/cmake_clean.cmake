@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_gsm.dir/burst.cpp.o"
+  "CMakeFiles/rsp_gsm.dir/burst.cpp.o.d"
+  "CMakeFiles/rsp_gsm.dir/equalizer.cpp.o"
+  "CMakeFiles/rsp_gsm.dir/equalizer.cpp.o.d"
+  "librsp_gsm.a"
+  "librsp_gsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

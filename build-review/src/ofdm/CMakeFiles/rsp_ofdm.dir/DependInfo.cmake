@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ofdm/golden.cpp" "src/ofdm/CMakeFiles/rsp_ofdm.dir/golden.cpp.o" "gcc" "src/ofdm/CMakeFiles/rsp_ofdm.dir/golden.cpp.o.d"
+  "/root/repo/src/ofdm/maps.cpp" "src/ofdm/CMakeFiles/rsp_ofdm.dir/maps.cpp.o" "gcc" "src/ofdm/CMakeFiles/rsp_ofdm.dir/maps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_ofdm.dir/golden.cpp.o"
+  "CMakeFiles/rsp_ofdm.dir/golden.cpp.o.d"
+  "CMakeFiles/rsp_ofdm.dir/maps.cpp.o"
+  "CMakeFiles/rsp_ofdm.dir/maps.cpp.o.d"
+  "librsp_ofdm.a"
+  "librsp_ofdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

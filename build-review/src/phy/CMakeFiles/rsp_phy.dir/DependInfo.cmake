@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/rsp_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/fft.cpp" "src/phy/CMakeFiles/rsp_phy.dir/fft.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/fft.cpp.o.d"
+  "/root/repo/src/phy/jakes.cpp" "src/phy/CMakeFiles/rsp_phy.dir/jakes.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/jakes.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/rsp_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ofdm_tx.cpp" "src/phy/CMakeFiles/rsp_phy.dir/ofdm_tx.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/ofdm_tx.cpp.o.d"
+  "/root/repo/src/phy/umts_tx.cpp" "src/phy/CMakeFiles/rsp_phy.dir/umts_tx.cpp.o" "gcc" "src/phy/CMakeFiles/rsp_phy.dir/umts_tx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

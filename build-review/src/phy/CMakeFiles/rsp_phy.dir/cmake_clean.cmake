@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_phy.dir/channel.cpp.o"
+  "CMakeFiles/rsp_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/rsp_phy.dir/fft.cpp.o"
+  "CMakeFiles/rsp_phy.dir/fft.cpp.o.d"
+  "CMakeFiles/rsp_phy.dir/jakes.cpp.o"
+  "CMakeFiles/rsp_phy.dir/jakes.cpp.o.d"
+  "CMakeFiles/rsp_phy.dir/modulation.cpp.o"
+  "CMakeFiles/rsp_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/rsp_phy.dir/ofdm_tx.cpp.o"
+  "CMakeFiles/rsp_phy.dir/ofdm_tx.cpp.o.d"
+  "CMakeFiles/rsp_phy.dir/umts_tx.cpp.o"
+  "CMakeFiles/rsp_phy.dir/umts_tx.cpp.o.d"
+  "librsp_phy.a"
+  "librsp_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

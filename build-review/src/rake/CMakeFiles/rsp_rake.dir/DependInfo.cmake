@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rake/agc.cpp" "src/rake/CMakeFiles/rsp_rake.dir/agc.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/agc.cpp.o.d"
+  "/root/repo/src/rake/golden.cpp" "src/rake/CMakeFiles/rsp_rake.dir/golden.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/golden.cpp.o.d"
+  "/root/repo/src/rake/maps.cpp" "src/rake/CMakeFiles/rsp_rake.dir/maps.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/maps.cpp.o.d"
+  "/root/repo/src/rake/multidch.cpp" "src/rake/CMakeFiles/rsp_rake.dir/multidch.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/multidch.cpp.o.d"
+  "/root/repo/src/rake/receiver.cpp" "src/rake/CMakeFiles/rsp_rake.dir/receiver.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/receiver.cpp.o.d"
+  "/root/repo/src/rake/scenario.cpp" "src/rake/CMakeFiles/rsp_rake.dir/scenario.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/scenario.cpp.o.d"
+  "/root/repo/src/rake/search.cpp" "src/rake/CMakeFiles/rsp_rake.dir/search.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/search.cpp.o.d"
+  "/root/repo/src/rake/tdm.cpp" "src/rake/CMakeFiles/rsp_rake.dir/tdm.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/tdm.cpp.o.d"
+  "/root/repo/src/rake/transport.cpp" "src/rake/CMakeFiles/rsp_rake.dir/transport.cpp.o" "gcc" "src/rake/CMakeFiles/rsp_rake.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_rake.dir/agc.cpp.o"
+  "CMakeFiles/rsp_rake.dir/agc.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/golden.cpp.o"
+  "CMakeFiles/rsp_rake.dir/golden.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/maps.cpp.o"
+  "CMakeFiles/rsp_rake.dir/maps.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/multidch.cpp.o"
+  "CMakeFiles/rsp_rake.dir/multidch.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/receiver.cpp.o"
+  "CMakeFiles/rsp_rake.dir/receiver.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/scenario.cpp.o"
+  "CMakeFiles/rsp_rake.dir/scenario.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/search.cpp.o"
+  "CMakeFiles/rsp_rake.dir/search.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/tdm.cpp.o"
+  "CMakeFiles/rsp_rake.dir/tdm.cpp.o.d"
+  "CMakeFiles/rsp_rake.dir/transport.cpp.o"
+  "CMakeFiles/rsp_rake.dir/transport.cpp.o.d"
+  "librsp_rake.a"
+  "librsp_rake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_rake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

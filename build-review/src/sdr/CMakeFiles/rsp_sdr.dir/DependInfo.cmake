@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdr/area_model.cpp" "src/sdr/CMakeFiles/rsp_sdr.dir/area_model.cpp.o" "gcc" "src/sdr/CMakeFiles/rsp_sdr.dir/area_model.cpp.o.d"
+  "/root/repo/src/sdr/board.cpp" "src/sdr/CMakeFiles/rsp_sdr.dir/board.cpp.o" "gcc" "src/sdr/CMakeFiles/rsp_sdr.dir/board.cpp.o.d"
+  "/root/repo/src/sdr/mips_model.cpp" "src/sdr/CMakeFiles/rsp_sdr.dir/mips_model.cpp.o" "gcc" "src/sdr/CMakeFiles/rsp_sdr.dir/mips_model.cpp.o.d"
+  "/root/repo/src/sdr/partitioning.cpp" "src/sdr/CMakeFiles/rsp_sdr.dir/partitioning.cpp.o" "gcc" "src/sdr/CMakeFiles/rsp_sdr.dir/partitioning.cpp.o.d"
+  "/root/repo/src/sdr/rate_mobility.cpp" "src/sdr/CMakeFiles/rsp_sdr.dir/rate_mobility.cpp.o" "gcc" "src/sdr/CMakeFiles/rsp_sdr.dir/rate_mobility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rake/CMakeFiles/rsp_rake.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ofdm/CMakeFiles/rsp_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_sdr.dir/area_model.cpp.o"
+  "CMakeFiles/rsp_sdr.dir/area_model.cpp.o.d"
+  "CMakeFiles/rsp_sdr.dir/board.cpp.o"
+  "CMakeFiles/rsp_sdr.dir/board.cpp.o.d"
+  "CMakeFiles/rsp_sdr.dir/mips_model.cpp.o"
+  "CMakeFiles/rsp_sdr.dir/mips_model.cpp.o.d"
+  "CMakeFiles/rsp_sdr.dir/partitioning.cpp.o"
+  "CMakeFiles/rsp_sdr.dir/partitioning.cpp.o.d"
+  "CMakeFiles/rsp_sdr.dir/rate_mobility.cpp.o"
+  "CMakeFiles/rsp_sdr.dir/rate_mobility.cpp.o.d"
+  "librsp_sdr.a"
+  "librsp_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpp/alu.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/alu.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/alu.cpp.o.d"
+  "/root/repo/src/xpp/array.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/array.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/array.cpp.o.d"
+  "/root/repo/src/xpp/batch.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/batch.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/batch.cpp.o.d"
+  "/root/repo/src/xpp/builder.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/builder.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/builder.cpp.o.d"
+  "/root/repo/src/xpp/compiled.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/compiled.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/compiled.cpp.o.d"
+  "/root/repo/src/xpp/fault.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/fault.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/fault.cpp.o.d"
+  "/root/repo/src/xpp/manager.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/manager.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/manager.cpp.o.d"
+  "/root/repo/src/xpp/net.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/net.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/net.cpp.o.d"
+  "/root/repo/src/xpp/nml.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/nml.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/nml.cpp.o.d"
+  "/root/repo/src/xpp/ram.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/ram.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/ram.cpp.o.d"
+  "/root/repo/src/xpp/runner.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/runner.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/runner.cpp.o.d"
+  "/root/repo/src/xpp/sim.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/sim.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/sim.cpp.o.d"
+  "/root/repo/src/xpp/simd.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/simd.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/simd.cpp.o.d"
+  "/root/repo/src/xpp/simd_avx2.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/simd_avx2.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/simd_avx2.cpp.o.d"
+  "/root/repo/src/xpp/snapshot.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/snapshot.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/snapshot.cpp.o.d"
+  "/root/repo/src/xpp/trace.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/trace.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/trace.cpp.o.d"
+  "/root/repo/src/xpp/types.cpp" "src/xpp/CMakeFiles/rsp_xpp.dir/types.cpp.o" "gcc" "src/xpp/CMakeFiles/rsp_xpp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

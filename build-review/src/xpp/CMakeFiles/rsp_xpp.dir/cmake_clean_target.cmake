@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsp_xpp.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_cplx.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_cplx.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_fnv.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_fnv.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_umbrella.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_umbrella.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_word.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_word.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

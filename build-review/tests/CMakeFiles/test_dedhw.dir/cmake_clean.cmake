@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedhw.dir/dedhw/test_convcode.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_convcode.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_convcode_gen.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_convcode_gen.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_crc.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_crc.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_ovsf.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_ovsf.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_umts_scrambler.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_umts_scrambler.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_viterbi.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_viterbi.cpp.o.d"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_wlan_scrambler.cpp.o"
+  "CMakeFiles/test_dedhw.dir/dedhw/test_wlan_scrambler.cpp.o.d"
+  "test_dedhw"
+  "test_dedhw.pdb"
+  "test_dedhw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

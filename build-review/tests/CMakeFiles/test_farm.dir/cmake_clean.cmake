@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_farm.dir/common/test_rng_split.cpp.o"
+  "CMakeFiles/test_farm.dir/common/test_rng_split.cpp.o.d"
+  "CMakeFiles/test_farm.dir/farm/test_farm_batch.cpp.o"
+  "CMakeFiles/test_farm.dir/farm/test_farm_batch.cpp.o.d"
+  "CMakeFiles/test_farm.dir/farm/test_farm_determinism.cpp.o"
+  "CMakeFiles/test_farm.dir/farm/test_farm_determinism.cpp.o.d"
+  "CMakeFiles/test_farm.dir/farm/test_resilient.cpp.o"
+  "CMakeFiles/test_farm.dir/farm/test_resilient.cpp.o.d"
+  "test_farm"
+  "test_farm.pdb"
+  "test_farm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/ofdm/test_fault_seu.cpp.o"
+  "CMakeFiles/test_fault.dir/ofdm/test_fault_seu.cpp.o.d"
+  "CMakeFiles/test_fault.dir/rake/test_fault_degradation.cpp.o"
+  "CMakeFiles/test_fault.dir/rake/test_fault_degradation.cpp.o.d"
+  "CMakeFiles/test_fault.dir/xpp/test_fault.cpp.o"
+  "CMakeFiles/test_fault.dir/xpp/test_fault.cpp.o.d"
+  "CMakeFiles/test_fault.dir/xpp/test_stall.cpp.o"
+  "CMakeFiles/test_fault.dir/xpp/test_stall.cpp.o.d"
+  "CMakeFiles/test_fault.dir/xpp/test_txn_load.cpp.o"
+  "CMakeFiles/test_fault.dir/xpp/test_txn_load.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

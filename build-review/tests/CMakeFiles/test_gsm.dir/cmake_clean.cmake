@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsm.dir/gsm/test_burst.cpp.o"
+  "CMakeFiles/test_gsm.dir/gsm/test_burst.cpp.o.d"
+  "CMakeFiles/test_gsm.dir/gsm/test_equalizer.cpp.o"
+  "CMakeFiles/test_gsm.dir/gsm/test_equalizer.cpp.o.d"
+  "test_gsm"
+  "test_gsm.pdb"
+  "test_gsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ofdm.dir/ofdm/test_cfo.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_cfo.cpp.o.d"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_e2e.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_e2e.cpp.o.d"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_golden.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_golden.cpp.o.d"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_maps.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_maps.cpp.o.d"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_robustness.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_robustness.cpp.o.d"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_signal.cpp.o"
+  "CMakeFiles/test_ofdm.dir/ofdm/test_signal.cpp.o.d"
+  "test_ofdm"
+  "test_ofdm.pdb"
+  "test_ofdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/test_channel.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_channel.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_fft.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_fft.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_jakes.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_jakes.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_modulation.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_modulation.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm_tx.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm_tx.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_theory.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_theory.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_umts_tx.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_umts_tx.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rake/test_agc.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_agc.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_agc.cpp.o.d"
+  "/root/repo/tests/rake/test_golden.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_golden.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_golden.cpp.o.d"
+  "/root/repo/tests/rake/test_maps.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_maps.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_maps.cpp.o.d"
+  "/root/repo/tests/rake/test_multidch.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_multidch.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_multidch.cpp.o.d"
+  "/root/repo/tests/rake/test_receiver.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_receiver.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_receiver.cpp.o.d"
+  "/root/repo/tests/rake/test_robustness.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_robustness.cpp.o.d"
+  "/root/repo/tests/rake/test_scenario.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_scenario.cpp.o.d"
+  "/root/repo/tests/rake/test_search.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_search.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_search.cpp.o.d"
+  "/root/repo/tests/rake/test_tdm.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_tdm.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_tdm.cpp.o.d"
+  "/root/repo/tests/rake/test_tracked.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_tracked.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_tracked.cpp.o.d"
+  "/root/repo/tests/rake/test_transport.cpp" "tests/CMakeFiles/test_rake.dir/rake/test_transport.cpp.o" "gcc" "tests/CMakeFiles/test_rake.dir/rake/test_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/farm/CMakeFiles/rsp_farm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sdr/CMakeFiles/rsp_sdr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rake/CMakeFiles/rsp_rake.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ofdm/CMakeFiles/rsp_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gsm/CMakeFiles/rsp_gsm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rake.dir/rake/test_agc.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_agc.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_golden.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_golden.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_maps.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_maps.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_multidch.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_multidch.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_receiver.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_receiver.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_robustness.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_robustness.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_scenario.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_scenario.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_search.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_search.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_tdm.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_tdm.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_tracked.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_tracked.cpp.o.d"
+  "CMakeFiles/test_rake.dir/rake/test_transport.cpp.o"
+  "CMakeFiles/test_rake.dir/rake/test_transport.cpp.o.d"
+  "test_rake"
+  "test_rake.pdb"
+  "test_rake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

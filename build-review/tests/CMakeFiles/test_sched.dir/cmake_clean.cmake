@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/xpp/test_compiled_equiv.cpp.o"
+  "CMakeFiles/test_sched.dir/xpp/test_compiled_equiv.cpp.o.d"
+  "CMakeFiles/test_sched.dir/xpp/test_sched_equiv.cpp.o"
+  "CMakeFiles/test_sched.dir/xpp/test_sched_equiv.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

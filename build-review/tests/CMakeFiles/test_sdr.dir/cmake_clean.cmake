@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdr.dir/sdr/test_board.cpp.o"
+  "CMakeFiles/test_sdr.dir/sdr/test_board.cpp.o.d"
+  "CMakeFiles/test_sdr.dir/sdr/test_models.cpp.o"
+  "CMakeFiles/test_sdr.dir/sdr/test_models.cpp.o.d"
+  "test_sdr"
+  "test_sdr.pdb"
+  "test_sdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

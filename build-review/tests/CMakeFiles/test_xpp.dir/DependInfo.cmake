@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xpp/test_alu.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu.cpp.o.d"
+  "/root/repo/tests/xpp/test_alu_boundaries.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu_boundaries.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu_boundaries.cpp.o.d"
+  "/root/repo/tests/xpp/test_alu_rounding.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu_rounding.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_alu_rounding.cpp.o.d"
+  "/root/repo/tests/xpp/test_array.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_array.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_array.cpp.o.d"
+  "/root/repo/tests/xpp/test_builder.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_builder.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_builder.cpp.o.d"
+  "/root/repo/tests/xpp/test_builder_fuzz.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_builder_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_builder_fuzz.cpp.o.d"
+  "/root/repo/tests/xpp/test_counter.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_counter.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_counter.cpp.o.d"
+  "/root/repo/tests/xpp/test_macros.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_macros.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_macros.cpp.o.d"
+  "/root/repo/tests/xpp/test_manager.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_manager.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_manager.cpp.o.d"
+  "/root/repo/tests/xpp/test_net.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_net.cpp.o.d"
+  "/root/repo/tests/xpp/test_nml.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml.cpp.o.d"
+  "/root/repo/tests/xpp/test_nml_assets.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml_assets.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml_assets.cpp.o.d"
+  "/root/repo/tests/xpp/test_nml_equiv.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml_equiv.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_nml_equiv.cpp.o.d"
+  "/root/repo/tests/xpp/test_pipeline.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_pipeline.cpp.o.d"
+  "/root/repo/tests/xpp/test_ram.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_ram.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_ram.cpp.o.d"
+  "/root/repo/tests/xpp/test_stress.cpp" "tests/CMakeFiles/test_xpp.dir/xpp/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_xpp.dir/xpp/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/farm/CMakeFiles/rsp_farm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sdr/CMakeFiles/rsp_sdr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rake/CMakeFiles/rsp_rake.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ofdm/CMakeFiles/rsp_ofdm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gsm/CMakeFiles/rsp_gsm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/rsp_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dedhw/CMakeFiles/rsp_dedhw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpp/CMakeFiles/rsp_xpp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/rsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_xpp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sched[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dedhw[1]_include.cmake")
+include("/root/repo/build-review/tests/test_phy[1]_include.cmake")
+include("/root/repo/build-review/tests/test_rake[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ofdm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sdr[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_gsm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fault[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_farm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build-review/tests/test_batch[1]_include.cmake")
+include("/root/repo/build-review/tests/test_report[1]_include.cmake")

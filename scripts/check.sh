@@ -1,29 +1,88 @@
 #!/usr/bin/env bash
 # One-command verification sweep: tier-1 build + tests across the
-# sanitizer configs, the scalar-fallback SIMD configuration, and the
-# perf smoke benches.
+# sanitizer configs, the scalar-fallback SIMD configuration, the
+# snapshot battery, the kill-and-resume campaign smoke, and the perf
+# smoke benches.
 #
 #   scripts/check.sh          # everything below
 #   scripts/check.sh quick    # tier-1 build + tests only
 #
 # Build trees land in build-check-<name>/ next to the source tree so
-# the developer's own build/ is never touched.
+# the developer's own build/ is never touched.  Every stage runs under
+# a wall-clock timeout so a wedged build or test hangs the sweep for a
+# bounded time instead of forever.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 MODE="${1:-full}"
+# Per-stage timeout (seconds); sanitizer builds are the slowest stages.
+STAGE_TIMEOUT="${RSP_STAGE_TIMEOUT:-1800}"
 
 configure_build_test() {
   local name="$1" ctest_args="$2"
   shift 2
   local dir="$ROOT/build-check-$name"
   echo "==== [$name] configure + build ===="
-  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
-  cmake --build "$dir" -j "$JOBS"
+  timeout "$STAGE_TIMEOUT" cmake -S "$ROOT" -B "$dir" \
+    -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  timeout "$STAGE_TIMEOUT" cmake --build "$dir" -j "$JOBS"
   echo "==== [$name] ctest $ctest_args ===="
   # shellcheck disable=SC2086
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+  (cd "$dir" && timeout "$STAGE_TIMEOUT" ctest --output-on-failure \
+    -j "$JOBS" $ctest_args)
+}
+
+# Kill-and-resume smoke: SIGKILL a checkpointing campaign mid-run, then
+# resume from its checkpoint and require the final aggregate line to be
+# byte-identical to an uninterrupted run's — the crash-resilience
+# contract, exercised with a real kill against a real process.
+kill_resume_smoke() {
+  local dir="$ROOT/build-check-tier1"
+  local work ck ref_agg resumed_agg
+  work="$(mktemp -d)"
+  ck="$work/campaign.ck"
+  echo "==== [resume] kill-and-resume campaign smoke ===="
+
+  # Uninterrupted reference.
+  ref_agg="$(timeout "$STAGE_TIMEOUT" "$dir/examples/farm_campaign" \
+    --tasks 200 --seed 77 --poison 13 | grep '^AGG ')"
+
+  # Checkpointing run (slowed trials, few threads, frequent
+  # checkpoints), SIGKILLed as soon as the first checkpoint exists —
+  # i.e. genuinely mid-campaign.
+  timeout "$STAGE_TIMEOUT" "$dir/examples/farm_campaign" \
+    --tasks 200 --seed 77 --poison 13 --trial-us 5000 --threads 2 \
+    --checkpoint "$ck" --every 8 &
+  local pid=$!
+  for _ in $(seq 1 200); do
+    [ -s "$ck" ] && break
+    sleep 0.1
+  done
+  if ! [ -s "$ck" ]; then
+    echo "resume smoke: no checkpoint appeared before the kill" >&2
+    kill -KILL "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    rm -rf "$work"
+    return 1
+  fi
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  # Resume must finish the campaign and reproduce the reference
+  # aggregate bit for bit.
+  resumed_agg="$(timeout "$STAGE_TIMEOUT" "$dir/examples/farm_campaign" \
+    --tasks 200 --seed 77 --poison 13 \
+    --checkpoint "$ck" --every 8 --resume | grep '^AGG ')"
+  rm -rf "$work"
+
+  if [ "$ref_agg" != "$resumed_agg" ]; then
+    echo "resume smoke: aggregate diverged after kill+resume" >&2
+    echo "  reference: $ref_agg" >&2
+    echo "  resumed:   $resumed_agg" >&2
+    return 1
+  fi
+  echo "resume smoke: resumed aggregate bit-identical ($resumed_agg)"
 }
 
 # Tier-1: the contract every PR must keep (ROADMAP.md).
@@ -38,17 +97,29 @@ fi
 configure_build_test asan "" -DRSP_SANITIZE=address,undefined
 
 # Thread-safety sweep: the farm battery (the only multi-threaded
-# subsystem) must be TSan-clean.
+# subsystem, now including the resilient campaign driver) must be
+# TSan-clean.
 configure_build_test tsan "-L farm" -DRSP_SANITIZE=tsan
 
 # Scalar-fallback SIMD: non-x86 builds must never break silently, and
 # the batched-replay battery must stay bit-identical without lanes.
 configure_build_test simd-off "-L simd" -DRSP_SIMD=off
 
+# Snapshot battery: save→restore→continue bit-identity under every
+# scheduler plus the corruption fuzz (already part of tier-1; repeated
+# by label here so a snapshot regression is named in the sweep output).
+echo "==== [snapshot] ctest -L snapshot ===="
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L snapshot)
+
+# Crash-resilience end to end: kill a real campaign, resume it.
+kill_resume_smoke
+
 # Perf smoke: every bench binary runs its smoke preset and emits its
 # BENCH_*.json (numbers are advisory; failures are regressions in the
 # harnesses themselves, e.g. a bit-identity cross-check tripping).
 echo "==== [perf] ctest -L perf (smoke) ===="
-(cd "$ROOT/build-check-tier1" && ctest --output-on-failure -L perf)
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -L perf)
 
 echo "check.sh: all configurations green"

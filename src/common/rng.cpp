@@ -70,6 +70,20 @@ CplxF Rng::cgaussian(double power) {
   return {s * gaussian(), s * gaussian()};
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_spare = have_spare_;
+  st.spare = spare_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  have_spare_ = st.have_spare;
+  spare_ = st.spare;
+}
+
 std::uint64_t Rng::split(std::uint64_t base_seed, std::uint64_t index) {
   // The base is avalanched BEFORE the index is folded in: naive
   // additive schemes (base + index*C) alias across related bases —

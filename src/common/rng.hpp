@@ -43,6 +43,17 @@ class Rng {
   [[nodiscard]] static std::uint64_t split(std::uint64_t base_seed,
                                            std::uint64_t index);
 
+  /// Complete generator state, exposed for bit-exact snapshot/restore
+  /// (src/xpp/snapshot.hpp).  Includes the cached Box-Muller spare so a
+  /// restored generator replays the identical gaussian() stream.
+  struct State {
+    std::uint64_t s[4] = {};
+    bool have_spare = false;
+    double spare = 0.0;
+  };
+  [[nodiscard]] State state() const;
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   bool have_spare_ = false;

@@ -93,6 +93,15 @@ class DspModel {
     total_cycles_ = 0;
   }
 
+  /// Snapshot-restore hook (src/sdr board snapshots): overwrite the
+  /// accounting with previously captured totals.
+  void restore_accounting(std::map<std::string, TaskStats> tasks,
+                          long long instructions, long long cycles) {
+    tasks_ = std::move(tasks);
+    total_instructions_ = instructions;
+    total_cycles_ = cycles;
+  }
+
   [[nodiscard]] double clock_hz() const { return clock_hz_; }
 
  private:

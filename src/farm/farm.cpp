@@ -1,14 +1,16 @@
 #include "src/farm/farm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <exception>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "src/common/rng.hpp"
+#include "src/farm/queue.hpp"
 #include "src/xpp/batch.hpp"
 #include "src/xpp/sim.hpp"
 
@@ -16,55 +18,70 @@ namespace rsp::farm {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using detail::BoundedQueue;
 
-/// Bounded multi-producer/multi-consumer queue of task indices.  The
-/// submitter blocks in push() while the queue is full; workers block in
-/// pop() while it is empty; close() wakes everyone for shutdown.
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+constexpr std::size_t kNoFailure = std::numeric_limits<std::size_t>::max();
 
-  void push(std::size_t index) {
-    std::unique_lock<std::mutex> lock(m_);
-    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
-    if (closed_) return;
-    q_.push_back(index);
-    not_empty_.notify_one();
+/// Deterministic first-failure bookkeeping.  Workers record every
+/// failure they observe; the farm rethrows the one with the LOWEST
+/// index.  The skip rule — a worker drops a popped index only when it
+/// is ABOVE the current minimum failing index — makes the reported
+/// index thread-order independent: the minimum only ever decreases and
+/// is always the index of a task that actually failed, so the globally
+/// lowest failing task L can never satisfy "index > minimum" and is
+/// therefore always run, after which the minimum settles at L.
+struct FailureTracker {
+  std::atomic<std::size_t> min_failed{kNoFailure};
+  std::mutex m;
+  std::map<std::size_t, std::exception_ptr> errors;
+
+  [[nodiscard]] bool should_skip(std::size_t index) const {
+    return index > min_failed.load(std::memory_order_relaxed);
   }
 
-  /// False once the queue is closed and drained.
-  bool pop(std::size_t& index) {
-    std::unique_lock<std::mutex> lock(m_);
-    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
-    if (q_.empty()) return false;
-    index = q_.front();
-    q_.pop_front();
-    not_full_.notify_one();
-    return true;
+  void record(std::size_t index) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      errors.emplace(index, std::current_exception());
+    }
+    std::size_t cur = min_failed.load(std::memory_order_relaxed);
+    while (index < cur &&
+           !min_failed.compare_exchange_weak(cur, index,
+                                             std::memory_order_relaxed)) {
+    }
   }
 
-  void close() {
-    std::lock_guard<std::mutex> lock(m_);
-    closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+  /// Rethrow the lowest-index failure as FarmError (no-op if none).
+  void rethrow(const char* unit) {
+    const std::size_t lowest = min_failed.load();
+    if (lowest == kNoFailure) return;
+    std::string detail = "unknown exception";
+    try {
+      std::rethrow_exception(errors.at(lowest));
+    } catch (const std::exception& e) {
+      detail = e.what();
+    } catch (...) {
+    }
+    throw FarmError("farm: " + std::string(unit) + " " +
+                    std::to_string(lowest) + " failed: " + detail);
   }
-
- private:
-  std::mutex m_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<std::size_t> q_;
-  std::size_t capacity_;
-  bool closed_ = false;
 };
 
 }  // namespace
 
 ScenarioFarm::ScenarioFarm(FarmOptions opts)
     : threads_(opts.threads), queue_capacity_(opts.queue_capacity) {
-  if (threads_ <= 0) {
+  if (opts.threads < 0) {
+    throw std::invalid_argument("farm: threads must be >= 0 (0 = hardware "
+                                "concurrency); got " +
+                                std::to_string(opts.threads));
+  }
+  if (opts.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "farm: queue_capacity must be > 0 (a zero-capacity queue would "
+        "deadlock the submitter)");
+  }
+  if (threads_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads_ = hw == 0 ? 1 : static_cast<int>(hw);
   }
@@ -77,9 +94,8 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   const auto t0 = Clock::now();
 
   BoundedQueue queue(queue_capacity_);
-  std::mutex agg_mutex;           // guards result.agg (streaming sums)
-  std::mutex error_mutex;         // guards first_error
-  std::exception_ptr first_error; // first kernel failure, rethrown below
+  std::mutex agg_mutex;  // guards result.agg (streaming sums)
+  FailureTracker failures;
 
   const int workers =
       n_tasks < static_cast<std::size_t>(threads_)
@@ -89,6 +105,7 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   auto worker = [&] {
     std::size_t index = 0;
     while (queue.pop(index)) {
+      if (failures.should_skip(index)) continue;
       try {
         // Each slot of per_task is written by exactly one task, and the
         // join below publishes the writes — share-nothing by indexing.
@@ -97,9 +114,7 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
         std::lock_guard<std::mutex> lock(agg_mutex);
         result.agg.add(r);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        queue.close();  // stop handing out further work
+        failures.record(index);
       }
     }
   };
@@ -112,7 +127,7 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   queue.close();
   for (auto& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  failures.rethrow("task");
 
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
@@ -136,9 +151,8 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
       spec.cache != nullptr ? spec.cache : &local_cache;
 
   BoundedQueue queue(queue_capacity_);
-  std::mutex agg_mutex;            // guards result.agg and out.batch
-  std::mutex error_mutex;          // guards first_error
-  std::exception_ptr first_error;  // first trial failure, rethrown below
+  std::mutex agg_mutex;  // guards result.agg and out.batch
+  FailureTracker failures;
 
   // One group == one lockstep engine on one worker: lane membership is
   // a pure function of the task index, so results are identical at any
@@ -204,12 +218,11 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
   auto worker = [&] {
     std::size_t g = 0;
     while (queue.pop(g)) {
+      if (failures.should_skip(g)) continue;
       try {
         run_group(g);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        queue.close();
+        failures.record(g);
       }
     }
   };
@@ -221,7 +234,7 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
   queue.close();
   for (auto& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  failures.rethrow("batched group");
 
   out.result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();

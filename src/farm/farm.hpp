@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/farm/stats.hpp"
@@ -31,6 +33,15 @@ class Simulator;
 
 namespace rsp::farm {
 
+/// Thrown when a farm run fails: wraps the kernel exception of the
+/// LOWEST failing task index, regardless of which thread observed a
+/// failure first — the error a campaign reports is a pure function of
+/// (kernel, base_seed, n_tasks), never of thread scheduling.
+class FarmError : public std::runtime_error {
+ public:
+  explicit FarmError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// One Monte-Carlo trial.  @p task_seed is Rng::split(base, task_index)
 /// — the kernel must take ALL randomness from it and touch no shared
 /// mutable state (each invocation builds its own simulator/channel).
@@ -39,10 +50,12 @@ using TrialKernel =
 
 struct FarmOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Negative is rejected at ScenarioFarm construction.
   int threads = 0;
   /// Bound on the task queue: the submitting thread blocks once this
   /// many task indices are in flight, so a million-trial campaign never
-  /// materialises a million queue nodes.
+  /// materialises a million queue nodes.  Zero is rejected at
+  /// ScenarioFarm construction (it would deadlock the submitter).
   std::size_t queue_capacity = 256;
 };
 
@@ -126,12 +139,17 @@ struct BatchedFarmResult {
 
 class ScenarioFarm {
  public:
+  /// Throws std::invalid_argument for negative threads or a zero
+  /// queue capacity — misconfiguration fails loudly at construction,
+  /// not as a hang or a silent clamp inside run().
   explicit ScenarioFarm(FarmOptions opts = {});
 
   /// Run @p n_tasks trials of @p kernel, task i seeded with
   /// Rng::split(base_seed, i).  Blocks until all tasks finish.
-  /// A kernel exception propagates to the caller (remaining tasks are
-  /// drained without being run).
+  /// Kernel exceptions propagate as FarmError naming the LOWEST failing
+  /// task index (deterministic at any thread count: every task below
+  /// that index still runs; only tasks above a known failure are
+  /// skipped).
   [[nodiscard]] FarmResult run(std::size_t n_tasks, std::uint64_t base_seed,
                                const TrialKernel& kernel) const;
 

@@ -1,0 +1,60 @@
+// Bounded MPMC work queue shared by the farm drivers.
+//
+// Extracted from farm.cpp so the plain farm (farm.cpp) and the
+// resilient campaign driver (resilient.cpp) dispatch from the same
+// queue: the submitter blocks in push() while the queue is full (a
+// million-trial campaign never materialises a million queue nodes),
+// workers block in pop() while it is empty, and close() wakes everyone
+// for shutdown.  FIFO hand-out order is part of the contract — the
+// deterministic first-failure rule in farm.cpp relies on task indices
+// being dispatched in ascending order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace rsp::farm::detail {
+
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(std::size_t index) {
+    std::unique_lock<std::mutex> lock(m_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    q_.push_back(index);
+    not_empty_.notify_one();
+  }
+
+  /// False once the queue is closed and drained.
+  bool pop(std::size_t& index) {
+    std::unique_lock<std::mutex> lock(m_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    index = q_.front();
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::size_t> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rsp::farm::detail

@@ -1,0 +1,129 @@
+// Crash-resilient Monte-Carlo campaigns on top of the scenario farm.
+//
+// A plain ScenarioFarm::run aborts the whole campaign on the first
+// kernel failure — correct for a differential battery, wasteful for a
+// week-long BER sweep where one poisoned seed (or one wedged trial)
+// should not discard a million healthy ones.  run_resilient adds the
+// robustness layer:
+//
+//   * per-task wall-clock DEADLINES: a trial that exceeds its budget is
+//     abandoned on a watchdog (the runaway attempt keeps its own copies
+//     of everything and can never touch campaign state again);
+//   * bounded deterministic RETRY: a failed attempt is re-run with the
+//     SAME task seed — Rng::split(base, i) is a pure function, so a
+//     retry is a pure re-execution, and a flaky-infrastructure failure
+//     (OOM, timeout under load) gets a second chance while a
+//     deterministically poisoned task fails identically every time;
+//   * QUARANTINE: tasks that exhaust their attempts are excluded from
+//     the aggregate and reported with their index, status and error —
+//     the quarantined set is a pure function of (kernel, base_seed,
+//     n_tasks, options), identical at any thread count;
+//   * periodic CHECKPOINTS (atomic temp+rename, CRC-framed) holding the
+//     per-task completion map and results, with --resume picking up a
+//     SIGKILLed campaign and finishing to a bit-identical aggregate.
+//
+// The kill-and-resume smoke in scripts/check.sh and the battery in
+// tests/farm/test_resilient.cpp pin all four properties.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/farm/farm.hpp"
+
+namespace rsp::farm {
+
+struct ResilientOptions {
+  FarmOptions farm;
+  /// Attempts per task before quarantine (>= 1).
+  int max_attempts = 2;
+  /// Per-attempt wall-clock budget in seconds; 0 disables the watchdog.
+  double deadline_seconds = 0.0;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write a checkpoint every this many completed tasks (0 = only the
+  /// final checkpoint).
+  std::size_t checkpoint_every = 0;
+  /// Load checkpoint_path first and run only the missing tasks.  The
+  /// checkpoint must match (base_seed, n_tasks, tag) or the campaign
+  /// refuses to resume.
+  bool resume = false;
+  /// Free-form campaign identity stamped into checkpoints, so a resume
+  /// against the wrong campaign's file fails loudly.
+  std::string tag;
+};
+
+enum class TaskStatus : std::uint8_t {
+  kPending = 0,    ///< not yet run (only seen inside checkpoints)
+  kOk = 1,         ///< first attempt succeeded
+  kRetriedOk = 2,  ///< succeeded after at least one failed attempt
+  kFailed = 3,     ///< exhausted attempts on kernel exceptions
+  kTimedOut = 4,   ///< exhausted attempts on watchdog deadlines
+};
+
+[[nodiscard]] const char* task_status_name(TaskStatus s);
+
+struct TaskOutcome {
+  TaskStatus status = TaskStatus::kPending;
+  int attempts = 0;
+  std::string error;  ///< last failure message (empty when ok)
+
+  friend bool operator==(const TaskOutcome&, const TaskOutcome&) = default;
+};
+
+struct ResilientResult {
+  /// per_task slot i holds task i's result (zeros when quarantined);
+  /// agg sums COMPLETED tasks only, recomputed in index order at the
+  /// end so it is independent of thread scheduling and of resume.
+  FarmResult result;
+  std::vector<TaskOutcome> outcomes;       ///< one per task
+  std::vector<std::size_t> quarantined;    ///< failed/timed-out indices
+  std::size_t resumed_tasks = 0;           ///< prefilled from checkpoint
+  long long retries = 0;                   ///< extra attempts spent
+
+  [[nodiscard]] std::size_t completed() const {
+    return outcomes.size() - quarantined.size();
+  }
+  /// Human-readable campaign summary (counts, quarantine list).
+  [[nodiscard]] std::string report() const;
+};
+
+/// Run @p n_tasks trials of @p kernel (seeded exactly like
+/// ScenarioFarm::run) under the resilience policy in @p opts.  Never
+/// throws on kernel failures — they end up quarantined; throws
+/// std::invalid_argument on bad options and xpp::SnapshotError on
+/// checkpoint I/O or corruption.
+[[nodiscard]] ResilientResult run_resilient(std::size_t n_tasks,
+                                            std::uint64_t base_seed,
+                                            const TrialKernel& kernel,
+                                            const ResilientOptions& opts = {});
+
+/// On-disk campaign checkpoint: completion map + per-task results,
+/// CRC-framed like an array snapshot ("RSPCKPT1"; corruption throws
+/// xpp::SnapshotError before any field is trusted).
+struct CampaignCheckpoint {
+  std::uint64_t base_seed = 0;
+  std::uint64_t n_tasks = 0;
+  std::string tag;
+  long long retries = 0;
+  /// Slot i describes task i; status kPending means "not yet run".
+  std::vector<TaskOutcome> outcomes;
+  std::vector<TrialResult> per_task;
+
+  friend bool operator==(const CampaignCheckpoint&,
+                         const CampaignCheckpoint&) = default;
+};
+
+[[nodiscard]] std::string encode_campaign_checkpoint(
+    const CampaignCheckpoint& ck);
+[[nodiscard]] CampaignCheckpoint decode_campaign_checkpoint(
+    const std::string& bytes);
+/// Atomic write (temp + rename): a concurrent reader or a resume after
+/// SIGKILL sees either the previous complete checkpoint or this one.
+void save_campaign_checkpoint(const std::string& path,
+                              const CampaignCheckpoint& ck);
+[[nodiscard]] CampaignCheckpoint load_campaign_checkpoint(
+    const std::string& path);
+
+}  // namespace rsp::farm

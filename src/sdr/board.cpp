@@ -3,7 +3,99 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/xpp/snapshot.hpp"
+
 namespace rsp::sdr {
+
+namespace {
+
+constexpr char kBoardMagic[8] = {'R', 'S', 'P', 'B', 'O', 'R', 'D', '1'};
+constexpr std::uint32_t kBoardVersion = 1;
+
+void put_accounting(xpp::snap::Writer& w, const dsp::DspModel& m) {
+  w.u32(static_cast<std::uint32_t>(m.tasks().size()));
+  for (const auto& [name, st] : m.tasks()) {
+    w.str(name);
+    w.i64(st.instructions);
+    w.i64(st.cycles);
+  }
+  w.i64(m.total_instructions());
+  w.i64(m.total_cycles());
+}
+
+void get_accounting(xpp::snap::Reader& r, dsp::DspModel& m) {
+  std::map<std::string, dsp::DspModel::TaskStats> tasks;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    dsp::DspModel::TaskStats st;
+    st.instructions = r.i64();
+    st.cycles = r.i64();
+    tasks.emplace(std::move(name), st);
+  }
+  const long long instructions = r.i64();
+  const long long cycles = r.i64();
+  m.restore_accounting(std::move(tasks), instructions, cycles);
+}
+
+}  // namespace
+
+std::string save_board_snapshot(const SdrBoard& board,
+                                const xpp::FaultInjector* injector) {
+  xpp::snap::Writer w;
+  put_accounting(w, board.dsp());
+  put_accounting(w, board.microcontroller());
+  w.i64(board.fpga_words_routed());
+  // Nest the complete array snapshot as a length-prefixed blob — its
+  // own frame (magic/version/CRC) travels intact, so restoring the
+  // board exercises the same validation path as restoring an array.
+  w.str(xpp::save_snapshot(board.array(), injector));
+  return xpp::snap::frame(kBoardMagic, kBoardVersion, w.bytes());
+}
+
+void restore_board_snapshot(SdrBoard& board, const std::string& bytes,
+                            xpp::FaultInjector* injector) {
+  const std::string_view payload =
+      xpp::snap::unframe(kBoardMagic, kBoardVersion, bytes);
+  xpp::snap::Reader r(payload);
+  // Read everything (bounds-checked) before mutating the board: a
+  // truncated payload must not leave half-restored accounting.  The
+  // nested array restore validates freshness/geometry/scheduler itself.
+  xpp::snap::Reader probe(payload);
+  dsp::DspModel scratch_dsp, scratch_uc;
+  get_accounting(probe, scratch_dsp);
+  get_accounting(probe, scratch_uc);
+  (void)probe.i64();
+  const std::string nested = probe.str();
+  if (!probe.done()) {
+    throw xpp::SnapshotError("board snapshot: " +
+                             std::to_string(probe.remaining()) +
+                             " trailing byte(s) after payload");
+  }
+  // Restore the array first — it is the component that can fail on a
+  // semantic mismatch, and it must reject before the accounting is
+  // overwritten.
+  xpp::restore_snapshot(board.array(), nested, injector);
+  get_accounting(r, board.dsp());
+  get_accounting(r, board.microcontroller());
+  board.restore_fpga_words(r.i64());
+}
+
+std::unique_ptr<SdrBoard> restore_board_snapshot_new(
+    const std::string& bytes, xpp::FaultInjector* injector) {
+  const std::string_view payload =
+      xpp::snap::unframe(kBoardMagic, kBoardVersion, bytes);
+  xpp::snap::Reader r(payload);
+  dsp::DspModel scratch_dsp, scratch_uc;
+  get_accounting(r, scratch_dsp);
+  get_accounting(r, scratch_uc);
+  (void)r.i64();
+  const std::string nested = r.str();
+  const xpp::SnapshotInfo info = xpp::peek_snapshot(nested);
+  auto board = std::make_unique<SdrBoard>(info.geometry, info.scheduler);
+  restore_board_snapshot(*board, bytes, injector);
+  return board;
+}
 
 SliceRecord TimeSlicer::slice(
     const std::string& name,

@@ -9,26 +9,40 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/dsp/dsp.hpp"
 #include "src/xpp/manager.hpp"
 
+namespace rsp::xpp {
+class FaultInjector;
+}  // namespace rsp::xpp
+
 namespace rsp::sdr {
 
 class SdrBoard {
  public:
-  explicit SdrBoard(xpp::ArrayGeometry geom = {})
-      : array_(geom), dsp_(dsp::kDspClockHz), uc_(/*MIPS 4Kc*/ 100.0e6) {}
+  explicit SdrBoard(xpp::ArrayGeometry geom = {},
+                    xpp::SchedulerKind sched = xpp::SchedulerKind::kEventDriven)
+      : array_(geom, sched), dsp_(dsp::kDspClockHz), uc_(/*MIPS 4Kc*/ 100.0e6) {}
 
   xpp::ConfigurationManager& array() { return array_; }
+  [[nodiscard]] const xpp::ConfigurationManager& array() const {
+    return array_;
+  }
   dsp::DspModel& dsp() { return dsp_; }
+  [[nodiscard]] const dsp::DspModel& dsp() const { return dsp_; }
   dsp::DspModel& microcontroller() { return uc_; }
+  [[nodiscard]] const dsp::DspModel& microcontroller() const { return uc_; }
 
   /// Account words moved through the streaming-FPGA crossbar.
   void fpga_route(long long words) { fpga_words_ += words; }
   [[nodiscard]] long long fpga_words_routed() const { return fpga_words_; }
+
+  /// Snapshot-restore hook: overwrite the crossbar accounting.
+  void restore_fpga_words(long long words) { fpga_words_ = words; }
 
  private:
   xpp::ConfigurationManager array_;
@@ -36,6 +50,20 @@ class SdrBoard {
   dsp::DspModel uc_;
   long long fpga_words_ = 0;
 };
+
+/// Bit-exact board snapshot: DSP and microcontroller accounting, the
+/// FPGA routing counter, and the complete array snapshot
+/// (src/xpp/snapshot.hpp) nested as a CRC-framed blob.  Same save/
+/// restore contract as the array layer: restore into a freshly
+/// constructed board with the snapshot's geometry and scheduler, or use
+/// restore_board_snapshot_new.  Throws xpp::SnapshotError on corruption
+/// or mismatch.
+[[nodiscard]] std::string save_board_snapshot(
+    const SdrBoard& board, const xpp::FaultInjector* injector = nullptr);
+void restore_board_snapshot(SdrBoard& board, const std::string& bytes,
+                            xpp::FaultInjector* injector = nullptr);
+[[nodiscard]] std::unique_ptr<SdrBoard> restore_board_snapshot_new(
+    const std::string& bytes, xpp::FaultInjector* injector = nullptr);
 
 /// Record of one processing slice on the shared array.
 struct SliceRecord {

@@ -38,6 +38,7 @@ class AluObject final : public Object {
   friend class CompiledProgram;
   friend class BatchedReplayEngine;
   friend class CanonicalProgram;
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   // Stateful-opcode registers.
   Word acc_ = 0;                // kAccum

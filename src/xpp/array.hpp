@@ -90,6 +90,13 @@ class ResourceMap {
   [[nodiscard]] std::string occupancy_map() const;
 
  private:
+  /// Snapshot restore (snapshot.hpp) rebuilds the occupancy arrays
+  /// verbatim instead of replaying place(): after interleaved
+  /// load/release sequences the first-fit allocator would not reproduce
+  /// the same channel/track assignment from the surviving
+  /// configurations alone.
+  friend class SnapshotAccess;
+
   [[nodiscard]] int idx(Coord at) const { return at.row * geom_.cols() + at.col; }
   [[nodiscard]] bool cell_free(Coord at) const;
   Coord auto_place(ObjectKind kind, ConfigId id);

@@ -51,6 +51,7 @@ class CounterObject final : public Object {
  private:
   friend class CompiledProgram;  ///< replays the count/wrap sequence
   friend class BatchedReplayEngine;  ///< shadows the registers per lane
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   CounterParams p_;
   Word value_;

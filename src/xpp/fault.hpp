@@ -135,6 +135,12 @@ class FaultInjector {
   void on_cycle(Simulator& sim);
 
  private:
+  /// Snapshot save/restore (snapshot.hpp): the plan cursor, live stuck
+  /// windows (persisted as group+name, re-resolved on restore), the SEU
+  /// RNG state and the log are all captured so a snapshot taken inside
+  /// an armed fault window resumes the identical fault stream.
+  friend class SnapshotAccess;
+
   struct StuckWindow {
     Object* object = nullptr;
     long long until = kStuckForever;  ///< first cycle firing resumes

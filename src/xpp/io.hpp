@@ -64,6 +64,7 @@ class InputObject final : public Object {
  private:
   friend class CompiledProgram;  ///< pops the queue during armed epochs
   friend class BatchedReplayEngine;  ///< per-lane queue pops
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   std::deque<Word> queue_;
 };
@@ -90,6 +91,7 @@ class OutputObject final : public Object {
  private:
   friend class CompiledProgram;  ///< appends drained words directly
   friend class BatchedReplayEngine;  ///< per-lane appends
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   std::vector<Word> data_;
 };

@@ -31,6 +31,60 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 
 }  // namespace
 
+namespace detail {
+
+void instantiate_config(const Configuration& cfg,
+                        std::vector<std::unique_ptr<Object>>& objects,
+                        std::vector<std::unique_ptr<Net>>& nets) {
+  // Instantiate runtime objects.
+  objects.reserve(cfg.objects.size());
+  for (const auto& spec : cfg.objects) {
+    switch (spec.kind) {
+      case ObjectKind::kAlu:
+        objects.push_back(std::make_unique<AluObject>(spec.name, spec.alu));
+        break;
+      case ObjectKind::kCounter:
+        objects.push_back(
+            std::make_unique<CounterObject>(spec.name, spec.counter));
+        break;
+      case ObjectKind::kRam:
+        objects.push_back(std::make_unique<RamObject>(spec.name, spec.ram));
+        break;
+      case ObjectKind::kInput:
+        objects.push_back(std::make_unique<InputObject>(spec.name));
+        break;
+      case ObjectKind::kOutput:
+        objects.push_back(std::make_unique<OutputObject>(spec.name));
+        break;
+    }
+    for (const auto& [port, value] : spec.consts) {
+      objects.back()->set_const(port, value);
+    }
+  }
+
+  // Build nets: one per distinct source port, fanned out to all sinks.
+  std::map<std::pair<int, int>, Net*> by_src;
+  for (const auto& conn : cfg.connections) {
+    const auto key = std::make_pair(conn.src.object, conn.src.port);
+    Net* net = nullptr;
+    const auto it = by_src.find(key);
+    if (it == by_src.end()) {
+      nets.push_back(std::make_unique<Net>());
+      net = nets.back().get();
+      by_src.emplace(key, net);
+      objects[static_cast<std::size_t>(conn.src.object)]->bind_out(
+          conn.src.port, *net);
+    } else {
+      net = it->second;
+    }
+    objects[static_cast<std::size_t>(conn.dst.object)]->bind_in(conn.dst.port,
+                                                                *net);
+    if (conn.preload) net->preload(*conn.preload);
+  }
+}
+
+}  // namespace detail
+
 ConfigurationManager::ConfigurationManager(ArrayGeometry geom,
                                            SchedulerKind sched)
     : resources_(geom), sim_(sched) {}
@@ -82,51 +136,7 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
   std::vector<std::unique_ptr<Object>> objects;
   std::vector<std::unique_ptr<Net>> nets;
   try {
-    // Instantiate runtime objects.
-    objects.reserve(cfg.objects.size());
-    for (const auto& spec : cfg.objects) {
-      switch (spec.kind) {
-        case ObjectKind::kAlu:
-          objects.push_back(std::make_unique<AluObject>(spec.name, spec.alu));
-          break;
-        case ObjectKind::kCounter:
-          objects.push_back(
-              std::make_unique<CounterObject>(spec.name, spec.counter));
-          break;
-        case ObjectKind::kRam:
-          objects.push_back(std::make_unique<RamObject>(spec.name, spec.ram));
-          break;
-        case ObjectKind::kInput:
-          objects.push_back(std::make_unique<InputObject>(spec.name));
-          break;
-        case ObjectKind::kOutput:
-          objects.push_back(std::make_unique<OutputObject>(spec.name));
-          break;
-      }
-      for (const auto& [port, value] : spec.consts) {
-        objects.back()->set_const(port, value);
-      }
-    }
-
-    // Build nets: one per distinct source port, fanned out to all sinks.
-    std::map<std::pair<int, int>, Net*> by_src;
-    for (const auto& conn : cfg.connections) {
-      const auto key = std::make_pair(conn.src.object, conn.src.port);
-      Net* net = nullptr;
-      const auto it = by_src.find(key);
-      if (it == by_src.end()) {
-        nets.push_back(std::make_unique<Net>());
-        net = nets.back().get();
-        by_src.emplace(key, net);
-        objects[static_cast<std::size_t>(conn.src.object)]->bind_out(
-            conn.src.port, *net);
-      } else {
-        net = it->second;
-      }
-      objects[static_cast<std::size_t>(conn.dst.object)]->bind_in(conn.dst.port,
-                                                                  *net);
-      if (conn.preload) net->preload(*conn.preload);
-    }
+    detail::instantiate_config(cfg, objects, nets);
   } catch (...) {
     // Objects and nets were never handed to the simulator; dropping
     // them here plus releasing the placement restores every invariant
@@ -173,6 +183,7 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
   lc.load_cycles = cost;
   lc.loaded_at_cycle = sim_.cycle();
   loaded_.emplace(id, lc);
+  configs_.emplace(id, cfg);
   return id;
 }
 
@@ -204,6 +215,7 @@ void ConfigurationManager::release(ConfigId id) {
   }
   resources_.release(id);
   loaded_.erase(it);
+  configs_.erase(id);
 }
 
 const LoadedConfig& ConfigurationManager::info(ConfigId id) const {

@@ -92,6 +92,10 @@ class ConfigurationManager {
   }
 
  private:
+  /// Snapshot restore (snapshot.hpp) re-instantiates groups without
+  /// charging load cycles and rewrites the bookkeeping directly.
+  friend class SnapshotAccess;
+
   /// Shared lookup for input()/output(): resolves @p name in the group
   /// of @p id, throwing a ConfigError with a nearest-name suggestion or
   /// a kind mismatch diagnostic.
@@ -100,9 +104,22 @@ class ConfigurationManager {
   ResourceMap resources_;
   Simulator sim_;
   std::map<ConfigId, LoadedConfig> loaded_;
+  /// The Configuration value behind each loaded id — retained so a
+  /// snapshot can re-instantiate the identical objects/nets on restore.
+  std::map<ConfigId, Configuration> configs_;
   ConfigId next_id_ = 0;
   long long total_config_cycles_ = 0;
 };
+
+namespace detail {
+/// Instantiate @p cfg's runtime objects and nets (constants applied,
+/// nets fanned out in connection order, preloads latched).  No resource
+/// claims, no simulator mutation — shared by ConfigurationManager::load
+/// and snapshot restore so both produce structurally identical groups.
+void instantiate_config(const Configuration& cfg,
+                        std::vector<std::unique_ptr<Object>>& objects,
+                        std::vector<std::unique_ptr<Net>>& nets);
+}  // namespace detail
 
 /// Cycles needed to write @p cfg onto the array.
 [[nodiscard]] long long config_load_cycles(const Configuration& cfg);

@@ -137,6 +137,7 @@ class Net {
   friend class CompiledProgram;
   friend class BatchedReplayEngine;
   friend class CanonicalProgram;
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   [[nodiscard]] bool all_consumed() const {
     const std::uint32_t full = (num_sinks_ >= 32)

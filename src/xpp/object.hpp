@@ -204,6 +204,7 @@ class Object {
   friend class CompiledProgram;
   friend class BatchedReplayEngine;
   friend class CanonicalProgram;
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   struct InBind {
     Net* net = nullptr;

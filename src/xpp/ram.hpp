@@ -54,6 +54,7 @@ class RamObject final : public Object {
   friend class CompiledProgram;  ///< direct mem/FIFO/replay-pos access
   friend class BatchedReplayEngine;  ///< per-lane mem/FIFO/replay-pos
   friend class CanonicalProgram;     ///< preload/shape capture
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   bool fire_ram();
   bool fire_fifo();

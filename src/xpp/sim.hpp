@@ -201,6 +201,7 @@ class Simulator final : private SchedulerHooks {
   friend class CompiledProgram; ///< packs/unpacks scheduler state
   friend class BatchedReplayEngine;  ///< cross-instance SoA lane replay
   friend class CanonicalProgram;     ///< canonical enumeration for binding
+  friend class SnapshotAccess;  ///< bit-exact save/restore (snapshot.hpp)
 
   struct Group {
     std::vector<std::unique_ptr<Object>> objects;

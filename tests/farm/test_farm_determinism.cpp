@@ -137,7 +137,46 @@ TEST(FarmDeterminism, KernelExceptionPropagates) {
                        if (index == 5) throw std::runtime_error("boom");
                        return {};
                      }),
-      std::runtime_error);
+      FarmError);
+}
+
+TEST(FarmDeterminism, LowestFailingIndexReportedAtAnyThreadCount) {
+  // Multiple failing tasks: the rethrown FarmError must name the
+  // LOWEST failing index no matter how many threads raced, and carry
+  // that task's own message.  Failing task 21 is dispatched before 3
+  // only under some schedules — the skip rule must never let a
+  // later-index failure mask an earlier one.
+  for (const int threads : {1, 2, 5, 8}) {
+    FarmOptions opts;
+    opts.threads = threads;
+    opts.queue_capacity = 2;
+    ScenarioFarm farm(opts);
+    try {
+      (void)farm.run(64, 1,
+                     [&](std::uint64_t, std::size_t index) -> TrialResult {
+                       if (index == 3 || index == 21 || index == 40) {
+                         throw std::runtime_error("poison@" +
+                                                  std::to_string(index));
+                       }
+                       return {};
+                     });
+      FAIL() << "no exception at " << threads << " threads";
+    } catch (const FarmError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("task 3 failed"), std::string::npos)
+          << what << " (threads=" << threads << ")";
+      EXPECT_NE(what.find("poison@3"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(FarmDeterminism, InvalidOptionsRejectedAtConstruction) {
+  FarmOptions negative;
+  negative.threads = -1;
+  EXPECT_THROW(ScenarioFarm{negative}, std::invalid_argument);
+  FarmOptions zero_queue;
+  zero_queue.queue_capacity = 0;
+  EXPECT_THROW(ScenarioFarm{zero_queue}, std::invalid_argument);
 }
 
 TEST(FarmDeterminism, MoreThreadsThanTasksAndZeroTasks) {

@@ -1,0 +1,518 @@
+// Differential battery for bit-exact snapshot/restore (`ctest -L
+// snapshot`).
+//
+// The contract under test (src/xpp/snapshot.hpp): a run that is saved
+// at cycle C and restored into a fresh manager continues with a
+// trajectory bit-identical to the uninterrupted run — same per-cycle
+// fire counts, same outputs, same per-object statistics — under every
+// SchedulerKind, including a snapshot taken mid-compiled-epoch and one
+// taken inside an armed fault window.  Corrupted bytes (truncated,
+// bit-flipped, wrong magic/version, wrong CRC) must be rejected with
+// SnapshotError before any state is touched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/crc.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/farm/resilient.hpp"
+#include "src/ofdm/maps.hpp"
+#include "src/rake/maps.hpp"
+#include "src/sdr/board.hpp"
+#include "src/xpp/compiled.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/snapshot.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed,
+                                int amp = 1000) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp))) - amp};
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<Word>> descrambler_feeds(std::size_t n,
+                                                           std::uint64_t seed) {
+  const auto chips = random_chips(n, seed);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<Word> code_words(chips.size());
+  for (auto& c : code_words) c = scr.next2() & 3;
+  return {{"data", rake::maps::pack_stream(chips)}, {"code", code_words}};
+}
+
+/// Observable trajectory from some point of a run onward.
+struct Trace {
+  std::vector<int> fires_per_cycle;
+  long long final_cycle = 0;
+  long long total_fires = 0;
+  std::vector<ObjectStats> stats;
+  std::vector<Word> out;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+Trace collect(ConfigurationManager& mgr, ConfigId id, std::size_t n_out) {
+  Trace t;
+  auto& out = mgr.output(id, "out");
+  for (int guard = 0; guard < 200000 && out.data().size() < n_out; ++guard) {
+    t.fires_per_cycle.push_back(mgr.sim().step());
+  }
+  EXPECT_GE(out.data().size(), n_out) << "timed out";
+  t.final_cycle = mgr.sim().cycle();
+  t.total_fires = mgr.sim().total_fires();
+  t.stats = mgr.sim().stats(mgr.info(id).group);
+  t.out = out.take();
+  return t;
+}
+
+/// Run @p cfg to @p n_out outputs, snapshotting at @p cut_cycle and
+/// finishing the run in the RESTORED manager.  The returned trace
+/// covers the post-cut trajectory plus the full output stream (output
+/// words collected before the cut travel inside the snapshot).
+Trace run_with_cut(SchedulerKind kind, const Configuration& cfg,
+                   const std::map<std::string, std::vector<Word>>& feeds,
+                   std::size_t n_out, long long cut_cycle) {
+  ConfigurationManager mgr({}, kind);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  while (mgr.sim().cycle() < cut_cycle) mgr.sim().step();
+
+  const std::string bytes = save_snapshot(mgr);
+  auto restored = restore_snapshot_new(bytes);
+  return collect(*restored, id, n_out);
+}
+
+/// The uninterrupted reference: same run, no snapshot, trace recorded
+/// from @p cut_cycle on (so it is comparable to run_with_cut).
+Trace run_uninterrupted(SchedulerKind kind, const Configuration& cfg,
+                        const std::map<std::string, std::vector<Word>>& feeds,
+                        std::size_t n_out, long long cut_cycle) {
+  ConfigurationManager mgr({}, kind);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  while (mgr.sim().cycle() < cut_cycle) mgr.sim().step();
+  return collect(mgr, id, n_out);
+}
+
+void expect_identical(const Trace& ref, const Trace& cut,
+                      const std::string& what) {
+  EXPECT_EQ(ref.fires_per_cycle, cut.fires_per_cycle)
+      << what << ": per-cycle fire trace diverged after restore";
+  EXPECT_EQ(ref.final_cycle, cut.final_cycle) << what;
+  EXPECT_EQ(ref.total_fires, cut.total_fires) << what;
+  EXPECT_EQ(ref.out, cut.out) << what << ": output words diverged";
+  ASSERT_EQ(ref.stats.size(), cut.stats.size()) << what;
+  for (std::size_t i = 0; i < ref.stats.size(); ++i) {
+    EXPECT_EQ(ref.stats[i].name, cut.stats[i].name) << what;
+    EXPECT_EQ(ref.stats[i].fires, cut.stats[i].fires)
+        << what << ": object '" << ref.stats[i].name << "'";
+  }
+}
+
+const SchedulerKind kAllKinds[] = {
+    SchedulerKind::kScan, SchedulerKind::kEventDriven,
+    SchedulerKind::kCompiled};
+
+TEST(Snapshot, DescramblerCutPointsAllSchedulers) {
+  const auto feeds = descrambler_feeds(384, 11);
+  const auto cfg = rake::maps::descrambler_config();
+  for (const SchedulerKind kind : kAllKinds) {
+    for (const long long cut : {1LL, 7LL, 40LL, 173LL}) {
+      const std::string what = "descrambler kind=" +
+                               std::to_string(static_cast<int>(kind)) +
+                               " cut=" + std::to_string(cut);
+      expect_identical(run_uninterrupted(kind, cfg, feeds, 384, cut),
+                       run_with_cut(kind, cfg, feeds, 384, cut), what);
+    }
+  }
+}
+
+TEST(Snapshot, DespreaderCutPointsAllSchedulers) {
+  for (const int sf : {4, 64}) {
+    const auto chips = random_chips(static_cast<std::size_t>(sf) * 8, 23);
+    const std::map<std::string, std::vector<Word>> feeds{
+        {"data", rake::maps::pack_stream(chips)}};
+    const auto cfg = rake::maps::despreader_config(sf, 1);
+    for (const SchedulerKind kind : kAllKinds) {
+      for (const long long cut : {3LL, 29LL}) {
+        const std::string what = "despreader sf=" + std::to_string(sf) +
+                                 " kind=" +
+                                 std::to_string(static_cast<int>(kind)) +
+                                 " cut=" + std::to_string(cut);
+        expect_identical(
+            run_uninterrupted(kind, cfg, feeds, chips.size() / sf, cut),
+            run_with_cut(kind, cfg, feeds, chips.size() / sf, cut), what);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, MidCompiledEpochCut) {
+  // Steady streaming under kCompiled arms the epoch engine; a snapshot
+  // taken while armed deoptimizes, restores to a fresh detector, and
+  // the post-restore trajectory must still be bit-identical even
+  // though the restored run re-arms at a different cycle (or never).
+  const auto feeds = descrambler_feeds(2048, 31);
+  const auto cfg = rake::maps::descrambler_config();
+
+  ConfigurationManager mgr({}, SchedulerKind::kCompiled);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  int guard = 0;
+  while (guard++ < 100000 &&
+         !(mgr.sim().compiled_engine() && mgr.sim().compiled_engine()->armed())) {
+    mgr.sim().step();
+  }
+  ASSERT_TRUE(mgr.sim().compiled_engine() != nullptr &&
+              mgr.sim().compiled_engine()->armed())
+      << "engine never armed — the cut would not be mid-epoch";
+  for (int i = 0; i < 3; ++i) mgr.sim().step();  // land inside the epoch
+  const long long cut = mgr.sim().cycle();
+
+  const std::string bytes = save_snapshot(mgr);
+  auto restored = restore_snapshot_new(bytes);
+  const Trace a = collect(mgr, id, 2048);  // save() must not perturb
+  auto restored_trace = collect(*restored, id, 2048);
+  expect_identical(a, restored_trace, "mid-epoch cut at " + std::to_string(cut));
+}
+
+TEST(Snapshot, MidFaultWindowCut) {
+  // A stuck-at window straddling the cut plus a live SEU process: the
+  // restored run must replay the identical fault stream, so trajectory
+  // AND injector log match the uninterrupted run.
+  const auto feeds = descrambler_feeds(512, 47);
+  const auto cfg = rake::maps::descrambler_config();
+
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::kStuckObject, 10, "cmul", -1, 0, 0, 55});
+  plan.faults.push_back({FaultKind::kNetBitFlip, 25, "codemux", -1, 0, 5});
+  plan.seu = {0.05, 97, 0, 4000};
+
+  for (const SchedulerKind kind : kAllKinds) {
+    auto run = [&](bool with_cut) {
+      ConfigurationManager mgr({}, kind);
+      FaultInjector inj(plan);
+      mgr.sim().install_faults(&inj);
+      const ConfigId id = mgr.load(cfg);
+      for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+      while (mgr.sim().cycle() < 30) mgr.sim().step();  // inside the window
+      if (!with_cut) {
+        Trace t = collect(mgr, id, 512);
+        return std::make_pair(t, inj.log());
+      }
+      const std::string bytes = save_snapshot(mgr, &inj);
+      EXPECT_TRUE(peek_snapshot(bytes).has_fault_state);
+      FaultInjector inj2;
+      auto restored = restore_snapshot_new(bytes, &inj2);
+      Trace t = collect(*restored, id, 512);
+      return std::make_pair(t, inj2.log());
+    };
+    const auto ref = run(false);
+    const auto cut = run(true);
+    const std::string what =
+        "fault cut kind=" + std::to_string(static_cast<int>(kind));
+    expect_identical(ref.first, cut.first, what);
+    EXPECT_EQ(ref.second, cut.second) << what << ": fault logs diverged";
+  }
+}
+
+TEST(Snapshot, PeekReportsHeader) {
+  const auto feeds = descrambler_feeds(64, 3);
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  const ConfigId id = mgr.load(rake::maps::descrambler_config());
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  for (int i = 0; i < 17; ++i) mgr.sim().step();
+
+  const SnapshotInfo info = peek_snapshot(save_snapshot(mgr));
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.scheduler, SchedulerKind::kEventDriven);
+  EXPECT_EQ(info.cycle, mgr.sim().cycle());
+  EXPECT_EQ(info.configs, 1u);
+  EXPECT_FALSE(info.has_fault_state);
+}
+
+TEST(Snapshot, RejectsNonFreshTarget) {
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  const std::string bytes = save_snapshot(mgr);
+  ConfigurationManager dirty({}, SchedulerKind::kEventDriven);
+  dirty.sim().run(5);
+  EXPECT_THROW(restore_snapshot(dirty, bytes), SnapshotError);
+}
+
+TEST(Snapshot, RejectsGeometryAndSchedulerMismatch) {
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  const std::string bytes = save_snapshot(mgr);
+
+  ArrayGeometry small;
+  small.rows = 4;
+  ConfigurationManager wrong_geom(small, SchedulerKind::kEventDriven);
+  EXPECT_THROW(restore_snapshot(wrong_geom, bytes), SnapshotError);
+
+  ConfigurationManager wrong_sched({}, SchedulerKind::kScan);
+  EXPECT_THROW(restore_snapshot(wrong_sched, bytes), SnapshotError);
+}
+
+TEST(Snapshot, MissingInjectorForFaultStateRejected) {
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  FaultInjector inj(FaultPlan{{{FaultKind::kNetBitFlip, 100, "x"}}, {}});
+  mgr.sim().install_faults(&inj);
+  const std::string bytes = save_snapshot(mgr, &inj);
+  ConfigurationManager fresh({}, SchedulerKind::kEventDriven);
+  EXPECT_THROW(restore_snapshot(fresh, bytes, nullptr), SnapshotError);
+}
+
+TEST(SnapshotCrc, KnownVector) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(snap::crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(SnapshotCrc, MatchesBitwiseDedhwCrc) {
+  // snap::crc32 is the reflected form of the same IEEE 802.3
+  // polynomial the bitwise dedhw::Crc engine can compute: feeding each
+  // byte LSB-first into an MSB-first register with poly 0x04C11DB7 and
+  // bit-reversing the result must agree exactly.
+  const dedhw::Crc engine(32, 0x04C11DB7u, 0xFFFFFFFFu, 0xFFFFFFFFu);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string data(trial * 7 + 1, '\0');
+    for (auto& c : data) c = static_cast<char>(rng.below(256));
+    std::vector<std::uint8_t> bits;
+    for (const char c : data) {
+      for (int b = 0; b < 8; ++b) {
+        bits.push_back((static_cast<unsigned char>(c) >> b) & 1u);
+      }
+    }
+    std::uint32_t msb = engine.compute(bits);
+    std::uint32_t reflected = 0;
+    for (int b = 0; b < 32; ++b) {
+      reflected = (reflected << 1) | ((msb >> b) & 1u);
+    }
+    EXPECT_EQ(snap::crc32(data.data(), data.size()), reflected)
+        << "trial " << trial;
+  }
+}
+
+/// A small but non-trivial snapshot for the corruption fuzz.
+std::string fuzz_snapshot_bytes(std::uint64_t seed) {
+  const auto feeds = descrambler_feeds(64, seed);
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  const ConfigId id = mgr.load(rake::maps::descrambler_config());
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  const int cut = static_cast<int>(Rng(seed).below(50));
+  for (int i = 0; i < cut; ++i) mgr.sim().step();
+  return save_snapshot(mgr);
+}
+
+TEST(SnapshotFuzz, TruncationAlwaysDetected) {
+  const std::string bytes = fuzz_snapshot_bytes(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t seed = Rng::split(0xF00D, trial);
+    const std::size_t cut =
+        Rng(seed).below(static_cast<std::uint32_t>(bytes.size()));
+    const std::string truncated = bytes.substr(0, cut);
+    EXPECT_THROW(restore_snapshot_new(truncated), SnapshotError)
+        << "truncated to " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(SnapshotFuzz, BitFlipAlwaysDetected) {
+  // Any single flipped bit — header or payload — must be caught at the
+  // frame check (magic/version/length/CRC), never surface as UB or a
+  // partially applied restore.
+  const std::string bytes = fuzz_snapshot_bytes(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t seed = Rng::split(0xBEEF, trial);
+    Rng rng(seed);
+    std::string mutated = bytes;
+    const std::size_t byte =
+        rng.below(static_cast<std::uint32_t>(mutated.size()));
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << rng.below(8)));
+    EXPECT_THROW(restore_snapshot_new(mutated), SnapshotError)
+        << "flip in byte " << byte;
+  }
+}
+
+TEST(SnapshotFuzz, WrongVersionAndWrongCrcDiagnosed) {
+  const std::string bytes = fuzz_snapshot_bytes(3);
+
+  std::string wrong_version = bytes;
+  wrong_version[8] = static_cast<char>(wrong_version[8] ^ 0x7F);  // version LSB
+  try {
+    (void)restore_snapshot_new(wrong_version);
+    FAIL() << "wrong version accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+
+  std::string wrong_crc = bytes;
+  wrong_crc[20] = static_cast<char>(wrong_crc[20] ^ 0x01);  // CRC field
+  try {
+    (void)restore_snapshot_new(wrong_crc);
+    FAIL() << "wrong CRC accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+  }
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_THROW(restore_snapshot_new(wrong_magic), SnapshotError);
+}
+
+TEST(SnapshotFile, AtomicWriteRoundTrip) {
+  const auto feeds = descrambler_feeds(64, 9);
+  ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+  const ConfigId id = mgr.load(rake::maps::descrambler_config());
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  for (int i = 0; i < 23; ++i) mgr.sim().step();
+
+  const std::string path = ::testing::TempDir() + "rsp_snapshot_test.bin";
+  save_snapshot_file(path, mgr);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temp file left behind";
+  if (tmp) std::fclose(tmp);
+
+  auto restored = restore_snapshot_file(path);
+  EXPECT_EQ(restored->sim().cycle(), mgr.sim().cycle());
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)restore_snapshot_file(path + ".does-not-exist"),
+               SnapshotError);
+}
+
+TEST(SdrBoardSnapshot, RoundTripWithAccounting) {
+  sdr::SdrBoard board({}, SchedulerKind::kEventDriven);
+  board.dsp().charge("agc", dsp::DspOp::kMac, 120);
+  board.dsp().charge("sync", dsp::DspOp::kDiv, 3);
+  board.microcontroller().charge("mac-layer", dsp::DspOp::kBranch, 40);
+  board.fpga_route(4096);
+
+  const auto feeds = descrambler_feeds(256, 21);
+  const ConfigId id = board.array().load(rake::maps::descrambler_config());
+  for (const auto& [name, words] : feeds) {
+    board.array().input(id, name).feed(words);
+  }
+  while (board.array().sim().cycle() < 37) board.array().sim().step();
+
+  const std::string bytes = sdr::save_board_snapshot(board);
+  auto restored = sdr::restore_board_snapshot_new(bytes);
+
+  EXPECT_EQ(restored->dsp().total_instructions(),
+            board.dsp().total_instructions());
+  EXPECT_EQ(restored->dsp().total_cycles(), board.dsp().total_cycles());
+  EXPECT_EQ(restored->dsp().tasks().size(), board.dsp().tasks().size());
+  EXPECT_EQ(restored->microcontroller().total_cycles(),
+            board.microcontroller().total_cycles());
+  EXPECT_EQ(restored->fpga_words_routed(), 4096);
+
+  Trace a = collect(board.array(), id, 256);
+  Trace b = collect(restored->array(), id, 256);
+  expect_identical(a, b, "board round trip");
+}
+
+TEST(SdrBoardSnapshot, CorruptionRejected) {
+  sdr::SdrBoard board;
+  const std::string bytes = sdr::save_board_snapshot(board);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(Rng::split(0xB0A7D, trial));
+    std::string mutated = bytes;
+    const std::size_t byte =
+        rng.below(static_cast<std::uint32_t>(mutated.size()));
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << rng.below(8)));
+    EXPECT_THROW((void)sdr::restore_board_snapshot_new(mutated), SnapshotError);
+  }
+}
+
+TEST(CheckpointFuzz, RoundTripAndCorruptionDetected) {
+  // Campaign checkpoints ride the same frame machinery; corrupt bytes
+  // must throw before any field is trusted, and a clean round trip must
+  // be field-exact.
+  farm::CampaignCheckpoint ck;
+  ck.base_seed = 0xDEADBEEF;
+  ck.n_tasks = 17;
+  ck.tag = "fuzz-campaign";
+  ck.retries = 3;
+  ck.outcomes.resize(17);
+  ck.per_task.resize(17);
+  for (std::size_t i = 0; i < 17; ++i) {
+    if (i % 3 == 0) continue;  // kPending
+    ck.outcomes[i].status =
+        i % 5 == 0 ? farm::TaskStatus::kFailed : farm::TaskStatus::kOk;
+    ck.outcomes[i].attempts = static_cast<int>(i % 4 + 1);
+    if (i % 5 == 0) ck.outcomes[i].error = "poisoned seed";
+    ck.per_task[i] = {i * 100, i, i / 2, i % 2};
+  }
+
+  const std::string bytes = farm::encode_campaign_checkpoint(ck);
+  EXPECT_EQ(farm::decode_campaign_checkpoint(bytes), ck);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng rng(Rng::split(0xC4EC, trial));
+    std::string mutated = bytes;
+    if (trial % 2 == 0) {
+      mutated.resize(rng.below(static_cast<std::uint32_t>(mutated.size())));
+    } else {
+      const std::size_t byte =
+          rng.below(static_cast<std::uint32_t>(mutated.size()));
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << rng.below(8)));
+    }
+    EXPECT_THROW((void)farm::decode_campaign_checkpoint(mutated),
+                 SnapshotError)
+        << "trial " << trial;
+  }
+
+  EXPECT_THROW((void)farm::load_campaign_checkpoint(
+                   ::testing::TempDir() + "rsp_no_such_checkpoint.bin"),
+               SnapshotError);
+}
+
+TEST(Snapshot, MultiConfigResidencyRoundTrip) {
+  // Two resident configurations (the Figure 10 always-on shape): both
+  // must survive the round trip, including ResourceMap occupancy —
+  // proven by releasing one after restore and loading a third into the
+  // freed cells.
+  const auto chips = random_chips(128, 57);
+  auto run = [&](bool with_cut) {
+    ConfigurationManager mgr({}, SchedulerKind::kEventDriven);
+    const ConfigId d = mgr.load(rake::maps::descrambler_config());
+    const ConfigId p = mgr.load(rake::maps::despreader_config(16, 2));
+    dedhw::UmtsScrambler scr(9);
+    std::vector<Word> code_words(chips.size());
+    for (auto& c : code_words) c = scr.next2() & 3;
+    mgr.input(d, "data").feed(rake::maps::pack_stream(chips));
+    mgr.input(d, "code").feed(code_words);
+    mgr.input(p, "data").feed(rake::maps::pack_stream(chips));
+    for (int i = 0; i < 40; ++i) mgr.sim().step();
+
+    std::unique_ptr<ConfigurationManager> restored;
+    ConfigurationManager* m = &mgr;
+    if (with_cut) {
+      restored = restore_snapshot_new(save_snapshot(mgr));
+      m = restored.get();
+      EXPECT_TRUE(m->loaded(d) && m->loaded(p));
+    }
+    m->release(p);
+    const ConfigId q = m->load(rake::maps::despreader_config(16, 2));
+    std::vector<int> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(m->sim().step());
+    auto out = m->output(d, "out").take();
+    return std::make_tuple(fires, out, m->sim().cycle(), m->sim().total_fires(),
+                           q);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace rsp::xpp
