@@ -1,0 +1,424 @@
+// Terminal-fleet serving benchmark (src/fleet): aggregate frame
+// throughput of N same-configuration UMTS descrambler sessions under
+//  - per-instance scalar kCompiled (every terminal detects and
+//    compiles its own steady state — the PR-5 serving model), and
+//  - FleetManager admission against a warmed BatchProgramCache (every
+//    session cold-binds the published epoch program at admit time,
+//    skips steady-state detection entirely, and replays in lockstep
+//    SoA batches),
+// sweeping the session count upward until aggregate throughput stops
+// scaling (per-session throughput degrades past the knee threshold).
+//
+// A frame is a fixed quantum of kFrameChips chips fed at a boundary
+// and simulated for exactly kFrameChips cycles; both serving models
+// drive the identical boundary script, so every session's output words
+// must be bit-identical to the per-instance baseline — the harness
+// refuses to report a number otherwise.  A separate section measures
+// admission latency and mid-session reconfigure latency (descrambler
+// <-> despreader round trips against a warmed cache, p99 quoted).
+// Emits BENCH_fleet.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/fleet/fleet.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kFrameChips = 256;  ///< chips (and cycles) per frame
+constexpr long long kDrainCycles = 256;   ///< pipeline drain after last frame
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+/// Per-session boundary script: one data+code feed per frame,
+/// pre-generated so the timed drives measure simulation only.
+struct Script {
+  std::vector<std::vector<xpp::Word>> data;  ///< [frame]
+  std::vector<std::vector<xpp::Word>> code;
+};
+
+Script make_script(std::size_t session, std::size_t frames) {
+  Script s;
+  s.data.reserve(frames);
+  s.code.reserve(frames);
+  dedhw::UmtsScrambler scr(16);
+  for (std::size_t f = 0; f < frames; ++f) {
+    s.data.push_back(rake::maps::pack_stream(
+        random_chips(kFrameChips, 13 + session * 1000 + f)));
+    std::vector<xpp::Word> code(kFrameChips);
+    for (auto& c : code) c = scr.next2() & 3;
+    s.code.push_back(std::move(code));
+  }
+  return s;
+}
+
+/// Per-instance scalar kCompiled baseline: each terminal is its own
+/// cold ConfigurationManager (no shared cache) and runs its whole
+/// script alone — N independent detections, N compiles.
+double drive_baseline(const xpp::Configuration& cfg,
+                      const std::vector<Script>& scripts,
+                      std::vector<std::vector<xpp::Word>>* outputs) {
+  const auto t0 = Clock::now();
+  if (outputs != nullptr) outputs->clear();
+  for (const Script& s : scripts) {
+    xpp::ConfigurationManager mgr({}, xpp::SchedulerKind::kCompiled);
+    const xpp::ConfigId id = mgr.load(cfg);
+    for (std::size_t f = 0; f < s.data.size(); ++f) {
+      mgr.input(id, "data").feed(s.data[f]);
+      mgr.input(id, "code").feed(s.code[f]);
+      mgr.sim().run(static_cast<long long>(kFrameChips));
+    }
+    mgr.sim().run(kDrainCycles);
+    if (outputs != nullptr) outputs->push_back(mgr.output(id, "out").take());
+  }
+  return seconds_since(t0);
+}
+
+struct FleetRun {
+  double admit_seconds = 0.0;  ///< total wall time of the admit wave
+  double drive_seconds = 0.0;
+  double admit_p99_us = 0.0;
+  long long hits = 0;  ///< admissions served from the cache
+  fleet::FleetStats stats;
+  std::vector<std::vector<xpp::Word>> outputs;
+};
+
+double p99_us(std::vector<double>& samples_us) {
+  if (samples_us.empty()) return 0.0;
+  std::sort(samples_us.begin(), samples_us.end());
+  const std::size_t idx =
+      (samples_us.size() * 99 + 99) / 100 == 0
+          ? 0
+          : std::min(samples_us.size() - 1, (samples_us.size() * 99) / 100);
+  return samples_us[idx];
+}
+
+/// Fleet drive against @p cache, which the caller has already warmed
+/// (one terminal detected, compiled and published) — every admission
+/// here must be a cache hit that never runs detection.
+FleetRun drive_fleet(const xpp::Configuration& cfg,
+                     const std::vector<Script>& scripts,
+                     xpp::BatchProgramCache* cache) {
+  FleetRun run;
+  fleet::FleetOptions opts;
+  opts.batch_width = xpp::simd::kMaxBatchWidth;
+  opts.threads = 1;
+  opts.cache = cache;
+  fleet::FleetManager mgr(opts);
+
+  std::vector<fleet::SessionId> ids;
+  ids.reserve(scripts.size());
+  std::vector<double> admit_us;
+  admit_us.reserve(scripts.size());
+  const auto ta = Clock::now();
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    const auto t0 = Clock::now();
+    ids.push_back(mgr.admit(cfg));
+    admit_us.push_back(seconds_since(t0) * 1e6);
+    if (mgr.cache_hit(ids.back())) ++run.hits;
+  }
+  run.admit_seconds = seconds_since(ta);
+  run.admit_p99_us = p99_us(admit_us);
+
+  const std::size_t frames = scripts[0].data.size();
+  const auto td = Clock::now();
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < scripts.size(); ++i) {
+      mgr.input(ids[i], "data").feed(scripts[i].data[f]);
+      mgr.input(ids[i], "code").feed(scripts[i].code[f]);
+    }
+    mgr.run_cycles(static_cast<long long>(kFrameChips));
+  }
+  mgr.run_cycles(kDrainCycles);
+  run.drive_seconds = seconds_since(td);
+
+  run.outputs.reserve(ids.size());
+  for (const fleet::SessionId id : ids) {
+    run.outputs.push_back(mgr.output(id, "out").take());
+  }
+  run.stats = mgr.stats();
+  return run;
+}
+
+/// Publish the configuration's steady-state program into @p cache by
+/// running one throwaway terminal through a short stream.
+void warm_cache(const xpp::Configuration& cfg, bool with_code,
+                xpp::BatchProgramCache* cache) {
+  fleet::FleetOptions opts;
+  opts.cache = cache;
+  fleet::FleetManager mgr(opts);
+  const fleet::SessionId id = mgr.admit(cfg);
+  const auto chips =
+      rake::maps::pack_stream(random_chips(4 * kFrameChips, 999));
+  mgr.input(id, "data").feed(chips);
+  if (with_code) {
+    dedhw::UmtsScrambler scr(16);
+    std::vector<xpp::Word> code(4 * kFrameChips);
+    for (auto& c : code) c = scr.next2() & 3;
+    mgr.input(id, "code").feed(code);
+  }
+  mgr.run_cycles(4 * kFrameChips + kDrainCycles);
+}
+
+struct Row {
+  std::size_t sessions = 0;
+  double sessions_per_core = 0.0;
+  long long frames = 0;            ///< aggregate frames served
+  double baseline_fps = 0.0;       ///< frames/s, per-instance kCompiled
+  double fleet_fps = 0.0;          ///< frames/s, fleet serving
+  double admit_p99_us = 0.0;
+  long long hits = 0;
+  fleet::FleetStats stats;
+
+  [[nodiscard]] double speedup() const {
+    return baseline_fps > 0 ? fleet_fps / baseline_fps : 0.0;
+  }
+};
+
+bool identical(const std::vector<std::vector<xpp::Word>>& fleet_out,
+               const std::vector<std::vector<xpp::Word>>& base_out) {
+  if (fleet_out.size() != base_out.size()) return false;
+  for (std::size_t i = 0; i < fleet_out.size(); ++i) {
+    if (fleet_out[i].empty() || fleet_out[i] != base_out[i]) {
+      std::fprintf(stderr,
+                   "FAIL session %zu: fleet %zu words vs baseline %zu "
+                   "(or content mismatch)\n",
+                   i, fleet_out[i].size(), base_out[i].size());
+      return false;
+    }
+  }
+  return true;
+}
+
+Row run_point(const xpp::Configuration& cfg, std::size_t sessions,
+              std::size_t frames, int reps) {
+  std::vector<Script> scripts;
+  scripts.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    scripts.push_back(make_script(i, frames));
+  }
+
+  Row row;
+  row.sessions = sessions;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  row.sessions_per_core = static_cast<double>(sessions) / hw;
+  row.frames = static_cast<long long>(sessions * frames);
+
+  double base_best = 0.0;
+  std::vector<std::vector<xpp::Word>> base_out;
+  for (int r = 0; r < reps; ++r) {
+    const double t = drive_baseline(cfg, scripts, r == 0 ? &base_out : nullptr);
+    if (r == 0 || t < base_best) base_best = t;
+  }
+
+  double fleet_best = 0.0;
+  FleetRun first;
+  for (int r = 0; r < reps; ++r) {
+    // A fresh cache per rep keeps the warm-up cost honest; admission
+    // timing always sees exactly one published program.
+    xpp::BatchProgramCache cache;
+    warm_cache(cfg, /*with_code=*/true, &cache);
+    FleetRun run = drive_fleet(cfg, scripts, &cache);
+    const double t = run.drive_seconds;
+    if (r == 0) first = std::move(run);
+    if (r == 0 || t < fleet_best) fleet_best = t;
+  }
+
+  if (!identical(first.outputs, base_out)) std::exit(1);
+  if (first.hits != static_cast<long long>(sessions)) {
+    std::fprintf(stderr, "FAIL: %lld/%zu admissions hit the warmed cache\n",
+                 first.hits, sessions);
+    std::exit(1);
+  }
+  if (first.stats.compiles != 0) {
+    std::fprintf(stderr,
+                 "FAIL: admitted sessions ran steady-state detection "
+                 "(%lld compiles)\n",
+                 first.stats.compiles);
+    std::exit(1);
+  }
+
+  row.baseline_fps =
+      base_best > 0 ? static_cast<double>(row.frames) / base_best : 0.0;
+  row.fleet_fps =
+      fleet_best > 0 ? static_cast<double>(row.frames) / fleet_best : 0.0;
+  row.admit_p99_us = first.admit_p99_us;
+  row.hits = first.hits;
+  row.stats = first.stats;
+  return row;
+}
+
+/// Mid-session reconfigure latency: descrambler <-> despreader round
+/// trips on a live session, both configurations already published, so
+/// every re-admission is a cache hit.  Returns p99 in microseconds.
+struct ReconfigPoint {
+  std::size_t sessions = 0;
+  int swaps = 0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+ReconfigPoint measure_reconfigure(std::size_t sessions, int swaps) {
+  const auto descr = rake::maps::descrambler_config();
+  const auto despr = rake::maps::despreader_config(16, 1);
+  xpp::BatchProgramCache cache;
+  warm_cache(descr, /*with_code=*/true, &cache);
+  warm_cache(despr, /*with_code=*/false, &cache);
+
+  fleet::FleetOptions opts;
+  opts.cache = &cache;
+  fleet::FleetManager mgr(opts);
+  std::vector<fleet::SessionId> ids;
+  for (std::size_t i = 0; i < sessions; ++i) ids.push_back(mgr.admit(descr));
+
+  std::vector<double> us;
+  us.reserve(static_cast<std::size_t>(swaps) * 2);
+  for (int s = 0; s < swaps; ++s) {
+    const fleet::SessionId id = ids[static_cast<std::size_t>(s) % sessions];
+    auto t0 = Clock::now();
+    mgr.reconfigure(id, despr);
+    us.push_back(seconds_since(t0) * 1e6);
+    t0 = Clock::now();
+    mgr.reconfigure(id, descr);
+    us.push_back(seconds_since(t0) * 1e6);
+  }
+  ReconfigPoint p;
+  p.sessions = sessions;
+  p.swaps = swaps * 2;
+  double sum = 0.0;
+  for (const double v : us) sum += v;
+  p.mean_us = us.empty() ? 0.0 : sum / static_cast<double>(us.size());
+  p.p99_us = p99_us(us);
+  return p;
+}
+
+std::string render_json(const std::vector<Row>& rows, const ReconfigPoint& rc,
+                        bool smoke) {
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_fleet\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
+  bench::appendf(j, "  \"unit\": \"frames_per_second\",\n");
+  bench::appendf(j, "  \"frame_chips\": %zu,\n", kFrameChips);
+  bench::appendf(j, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  bench::appendf(j, "  \"bit_identical_sessions\": true,\n");
+  bench::appendf(j, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    bench::appendf(
+        j,
+        "    {\"sessions\": %zu, \"sessions_per_core\": %s, "
+        "\"frames\": %lld,\n"
+        "     \"baseline_fps\": %s, \"fleet_fps\": %s, \"speedup\": %s,\n"
+        "     \"cache_hit_admits\": %lld, \"admit_p99_us\": %s,\n"
+        "     \"fleet_adopts\": %lld, \"fleet_arms\": %lld, "
+        "\"compiles\": %lld,\n"
+        "     \"batched_cycles\": %lld, \"scalar_cycles\": %lld, "
+        "\"guard_exits\": %lld}%s\n",
+        r.sessions, bench::json_num(r.sessions_per_core, 2).c_str(), r.frames,
+        bench::json_num(r.baseline_fps, 1).c_str(),
+        bench::json_num(r.fleet_fps, 1).c_str(),
+        bench::json_num(r.speedup(), 3).c_str(), r.hits,
+        bench::json_num(r.admit_p99_us, 1).c_str(), r.stats.fleet_adopts,
+        r.stats.fleet_arms, r.stats.compiles, r.stats.batched_cycles,
+        r.stats.scalar_cycles, r.stats.guard_exits,
+        i + 1 < rows.size() ? "," : "");
+  }
+  bench::appendf(j, "  ],\n");
+  bench::appendf(j,
+                 "  \"reconfigure\": {\"sessions\": %zu, \"swaps\": %d, "
+                 "\"p99_us\": %s, \"mean_us\": %s}\n",
+                 rc.sessions, rc.swaps, bench::json_num(rc.p99_us, 1).c_str(),
+                 bench::json_num(rc.mean_us, 1).c_str());
+  bench::appendf(j, "}\n");
+  return j;
+}
+
+}  // namespace
+}  // namespace rsp
+
+int main(int argc, char** argv) {
+  const rsp::bench::Args args = rsp::bench::parse_args(argc, argv);
+  rsp::bench::title(
+      "Terminal-fleet serving: compile-once/replay-many admission vs "
+      "per-instance compiled terminals");
+  rsp::bench::note(std::string("SIMD ISA: ") + rsp::xpp::simd::isa_name() +
+                   ", batch width " +
+                   std::to_string(rsp::xpp::simd::kMaxBatchWidth));
+
+  const int reps = args.smoke ? 1 : 2;
+  const std::size_t frames = args.smoke ? 4 : 16;
+  const std::vector<std::size_t> sweep =
+      args.smoke ? std::vector<std::size_t>{4, 8}
+                 : std::vector<std::size_t>{8, 16, 32, 64, 128, 256};
+
+  const auto cfg = rsp::rake::maps::descrambler_config();
+  std::vector<rsp::Row> rows;
+  double best_aggregate = 0.0;
+  for (const std::size_t n : sweep) {
+    rows.push_back(rsp::run_point(cfg, n, frames, reps));
+    // Stop the sweep once serving breaks: aggregate throughput has
+    // fallen well off its peak (per-session rate dividing down as the
+    // population grows is expected and not a knee — the core is
+    // time-shared; what must NOT happen is the aggregate collapsing
+    // under working-set or lane-table pressure).
+    best_aggregate = std::max(best_aggregate, rows.back().fleet_fps);
+    if (rows.back().fleet_fps < 0.8 * best_aggregate) {
+      rsp::bench::note("sweep stopped: aggregate throughput knee at " +
+                       std::to_string(n) + " sessions");
+      break;
+    }
+  }
+
+  const rsp::ReconfigPoint rc =
+      rsp::measure_reconfigure(args.smoke ? 4 : 16, args.smoke ? 8 : 64);
+
+  rsp::bench::Table t({"sessions", "sess/core", "frames", "baseline f/s",
+                       "fleet f/s", "speedup", "admit p99 us", "batched cyc",
+                       "scalar cyc"});
+  for (const rsp::Row& r : rows) {
+    t.row({rsp::bench::fmt_int(static_cast<long long>(r.sessions)),
+           rsp::bench::fmt(r.sessions_per_core, 1), rsp::bench::fmt_int(r.frames),
+           rsp::bench::fmt(r.baseline_fps, 1), rsp::bench::fmt(r.fleet_fps, 1),
+           rsp::bench::fmt(r.speedup(), 2), rsp::bench::fmt(r.admit_p99_us, 1),
+           rsp::bench::fmt_int(r.stats.batched_cycles),
+           rsp::bench::fmt_int(r.stats.scalar_cycles)});
+  }
+  t.print();
+  rsp::bench::note("reconfigure p99 " + std::to_string(rc.p99_us) +
+                   " us over " + std::to_string(rc.swaps) +
+                   " cache-hit swaps");
+  rsp::bench::note(
+      "all sessions bit-identical to per-instance scalar kCompiled; every "
+      "admission adopted the published program (0 compiles after warm-up)");
+
+  const bool wrote = rsp::bench::write_json_checked(
+      "BENCH_fleet.json", rsp::render_json(rows, rc, args.smoke));
+  if (wrote) rsp::bench::note("wrote BENCH_fleet.json");
+  return wrote ? 0 : 1;
+}

@@ -96,10 +96,10 @@ fi
 # Memory-safety sweep: the full suite under ASan+UBSan.
 configure_build_test asan "" -DRSP_SANITIZE=address,undefined
 
-# Thread-safety sweep: the farm battery (the only multi-threaded
-# subsystem, now including the resilient campaign driver) must be
-# TSan-clean.
-configure_build_test tsan "-L farm" -DRSP_SANITIZE=tsan
+# Thread-safety sweep: the multi-threaded subsystems — the farm
+# battery (including the resilient campaign driver) and the fleet
+# session manager's group dispatch — must be TSan-clean.
+configure_build_test tsan "-L farm|fleet" -DRSP_SANITIZE=tsan
 
 # Scalar-fallback SIMD: non-x86 builds must never break silently, and
 # the batched-replay battery must stay bit-identical without lanes.
@@ -111,6 +111,14 @@ configure_build_test simd-off "-L simd" -DRSP_SIMD=off
 echo "==== [snapshot] ctest -L snapshot ===="
 (cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
   ctest --output-on-failure -j "$JOBS" -L snapshot)
+
+# Fleet-serving battery: cache-hit admission vs cold per-instance
+# kCompiled bit-identity, mid-session reconfigure, evict/re-admit
+# determinism across thread counts (already part of tier-1; repeated by
+# label so a serving regression is named in the sweep output).
+echo "==== [fleet] ctest -L fleet ===="
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L fleet)
 
 # Crash-resilience end to end: kill a real campaign, resume it.
 kill_resume_smoke

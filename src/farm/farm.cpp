@@ -19,53 +19,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 using detail::BoundedQueue;
+using detail::FailureTracker;
 
-constexpr std::size_t kNoFailure = std::numeric_limits<std::size_t>::max();
-
-/// Deterministic first-failure bookkeeping.  Workers record every
-/// failure they observe; the farm rethrows the one with the LOWEST
-/// index.  The skip rule — a worker drops a popped index only when it
-/// is ABOVE the current minimum failing index — makes the reported
-/// index thread-order independent: the minimum only ever decreases and
-/// is always the index of a task that actually failed, so the globally
-/// lowest failing task L can never satisfy "index > minimum" and is
-/// therefore always run, after which the minimum settles at L.
-struct FailureTracker {
-  std::atomic<std::size_t> min_failed{kNoFailure};
-  std::mutex m;
-  std::map<std::size_t, std::exception_ptr> errors;
-
-  [[nodiscard]] bool should_skip(std::size_t index) const {
-    return index > min_failed.load(std::memory_order_relaxed);
-  }
-
-  void record(std::size_t index) {
-    {
-      std::lock_guard<std::mutex> lock(m);
-      errors.emplace(index, std::current_exception());
-    }
-    std::size_t cur = min_failed.load(std::memory_order_relaxed);
-    while (index < cur &&
-           !min_failed.compare_exchange_weak(cur, index,
-                                             std::memory_order_relaxed)) {
-    }
-  }
-
-  /// Rethrow the lowest-index failure as FarmError (no-op if none).
-  void rethrow(const char* unit) {
-    const std::size_t lowest = min_failed.load();
-    if (lowest == kNoFailure) return;
-    std::string detail = "unknown exception";
-    try {
-      std::rethrow_exception(errors.at(lowest));
-    } catch (const std::exception& e) {
-      detail = e.what();
-    } catch (...) {
-    }
-    throw FarmError("farm: " + std::string(unit) + " " +
-                    std::to_string(lowest) + " failed: " + detail);
-  }
-};
+/// Drain the submit loop's outcome: a push refused by a closed queue
+/// means a task was never dispatched — the drivers treat that as a
+/// hard internal error (after joining the pool) rather than returning
+/// a result vector with silently missing slots.
+void throw_undispatched(std::size_t index, const char* unit) {
+  throw FarmError("farm: " + std::string(unit) + " " + std::to_string(index) +
+                  " was never dispatched (queue closed during push)");
+}
 
 }  // namespace
 
@@ -90,6 +53,9 @@ ScenarioFarm::ScenarioFarm(FarmOptions opts)
 FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
                              const TrialKernel& kernel) const {
   FarmResult result;
+  // Zero tasks: nothing to dispatch — return the empty result instead
+  // of spawning a worker thread that immediately exits.
+  if (n_tasks == 0) return result;
   result.per_task.resize(n_tasks);
   const auto t0 = Clock::now();
 
@@ -97,10 +63,9 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   std::mutex agg_mutex;  // guards result.agg (streaming sums)
   FailureTracker failures;
 
-  const int workers =
-      n_tasks < static_cast<std::size_t>(threads_)
-          ? static_cast<int>(n_tasks == 0 ? 1 : n_tasks)
-          : threads_;
+  const int workers = n_tasks < static_cast<std::size_t>(threads_)
+                          ? static_cast<int>(n_tasks)
+                          : threads_;
 
   auto worker = [&] {
     std::size_t index = 0;
@@ -123,10 +88,17 @@ FarmResult ScenarioFarm::run(std::size_t n_tasks, std::uint64_t base_seed,
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
 
-  for (std::size_t i = 0; i < n_tasks; ++i) queue.push(i);
+  std::size_t undispatched = detail::kNoFailure;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    if (!queue.push(i)) {
+      undispatched = i;
+      break;
+    }
+  }
   queue.close();
   for (auto& t : pool) t.join();
 
+  if (undispatched != detail::kNoFailure) throw_undispatched(undispatched, "task");
   failures.rethrow("task");
 
   result.wall_seconds =
@@ -139,6 +111,7 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
                                             const BatchedTrialFactory& factory,
                                             const BatchedTaskSpec& spec) const {
   BatchedFarmResult out;
+  if (n_tasks == 0) return out;  // nothing to dispatch; no pool
   out.result.per_task.resize(n_tasks);
   const auto t0 = Clock::now();
 
@@ -213,8 +186,8 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
     out.batch.gathers += s.gathers;
   };
 
-  const std::size_t pool_size = std::min<std::size_t>(
-      static_cast<std::size_t>(threads_), n_groups == 0 ? 1 : n_groups);
+  const std::size_t pool_size =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n_groups);
   auto worker = [&] {
     std::size_t g = 0;
     while (queue.pop(g)) {
@@ -230,10 +203,19 @@ BatchedFarmResult ScenarioFarm::run_batched(std::size_t n_tasks,
   std::vector<std::thread> pool;
   pool.reserve(pool_size);
   for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-  for (std::size_t g = 0; g < n_groups; ++g) queue.push(g);
+  std::size_t undispatched = detail::kNoFailure;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (!queue.push(g)) {
+      undispatched = g;
+      break;
+    }
+  }
   queue.close();
   for (auto& t : pool) t.join();
 
+  if (undispatched != detail::kNoFailure) {
+    throw_undispatched(undispatched, "batched group");
+  }
   failures.rethrow("batched group");
 
   out.result.wall_seconds =

@@ -1,19 +1,27 @@
-// Bounded MPMC work queue shared by the farm drivers.
+// Bounded MPMC work queue and failure bookkeeping shared by the farm
+// drivers and the fleet session dispatcher.
 //
-// Extracted from farm.cpp so the plain farm (farm.cpp) and the
-// resilient campaign driver (resilient.cpp) dispatch from the same
-// queue: the submitter blocks in push() while the queue is full (a
-// million-trial campaign never materialises a million queue nodes),
-// workers block in pop() while it is empty, and close() wakes everyone
-// for shutdown.  FIFO hand-out order is part of the contract — the
-// deterministic first-failure rule in farm.cpp relies on task indices
-// being dispatched in ascending order.
+// Extracted from farm.cpp so the plain farm (farm.cpp), the resilient
+// campaign driver (resilient.cpp) and the fleet manager (src/fleet)
+// dispatch from the same queue: the submitter blocks in push() while
+// the queue is full (a million-trial campaign never materialises a
+// million queue nodes), workers block in pop() while it is empty, and
+// close() wakes everyone for shutdown.  FIFO hand-out order is part of
+// the contract — the deterministic first-failure rule relies on task
+// indices being dispatched in ascending order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
+#include <limits>
+#include <map>
 #include <mutex>
+#include <string>
+
+#include "src/farm/farm.hpp"
 
 namespace rsp::farm::detail {
 
@@ -22,12 +30,19 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  void push(std::size_t index) {
+  /// Enqueue @p index, blocking while the queue is full.  Returns false
+  /// — and enqueues NOTHING — if the queue was closed before the push
+  /// could complete.  Callers must check: a dropped push is a task that
+  /// will never be dispatched, and ignoring it silently violates the
+  /// exactly-once contract (a task submitted concurrently with close()
+  /// used to vanish without a trace here).
+  [[nodiscard]] bool push(std::size_t index) {
     std::unique_lock<std::mutex> lock(m_);
     not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
-    if (closed_) return;
+    if (closed_) return false;
     q_.push_back(index);
     not_empty_.notify_one();
+    return true;
   }
 
   /// False once the queue is closed and drained.
@@ -55,6 +70,53 @@ class BoundedQueue {
   std::deque<std::size_t> q_;
   std::size_t capacity_;
   bool closed_ = false;
+};
+
+inline constexpr std::size_t kNoFailure = std::numeric_limits<std::size_t>::max();
+
+/// Deterministic first-failure bookkeeping.  Workers record every
+/// failure they observe; the driver rethrows the one with the LOWEST
+/// index.  The skip rule — a worker drops a popped index only when it
+/// is ABOVE the current minimum failing index — makes the reported
+/// index thread-order independent: the minimum only ever decreases and
+/// is always the index of a task that actually failed, so the globally
+/// lowest failing task L can never satisfy "index > minimum" and is
+/// therefore always run, after which the minimum settles at L.
+struct FailureTracker {
+  std::atomic<std::size_t> min_failed{kNoFailure};
+  std::mutex m;
+  std::map<std::size_t, std::exception_ptr> errors;
+
+  [[nodiscard]] bool should_skip(std::size_t index) const {
+    return index > min_failed.load(std::memory_order_relaxed);
+  }
+
+  void record(std::size_t index) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      errors.emplace(index, std::current_exception());
+    }
+    std::size_t cur = min_failed.load(std::memory_order_relaxed);
+    while (index < cur &&
+           !min_failed.compare_exchange_weak(cur, index,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Rethrow the lowest-index failure as FarmError (no-op if none).
+  void rethrow(const char* unit) {
+    const std::size_t lowest = min_failed.load();
+    if (lowest == kNoFailure) return;
+    std::string detail = "unknown exception";
+    try {
+      std::rethrow_exception(errors.at(lowest));
+    } catch (const std::exception& e) {
+      detail = e.what();
+    } catch (...) {
+    }
+    throw FarmError("farm: " + std::string(unit) + " " +
+                    std::to_string(lowest) + " failed: " + detail);
+  }
 };
 
 }  // namespace rsp::farm::detail

@@ -307,19 +307,29 @@ ResilientResult run_resilient(std::size_t n_tasks, std::uint64_t base_seed,
     }
   };
 
-  const int workers =
-      n_tasks < static_cast<std::size_t>(farm.threads())
-          ? static_cast<int>(n_tasks == 0 ? 1 : n_tasks)
-          : farm.threads();
+  // Zero tasks spawn zero workers (an empty campaign still finalises
+  // its — empty — aggregate and checkpoint below).
+  const int workers = n_tasks < static_cast<std::size_t>(farm.threads())
+                          ? static_cast<int>(n_tasks)
+                          : farm.threads();
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  bool undispatched = false;
   for (std::size_t i = 0; i < n_tasks; ++i) {
     if (out.outcomes[i].status != TaskStatus::kPending) continue;  // resumed
-    queue.push(i);
+    if (!queue.push(i)) {
+      undispatched = true;  // close() raced the submit loop
+      break;
+    }
   }
   queue.close();
   for (auto& t : pool) t.join();
+  if (undispatched) {
+    throw FarmError(
+        "farm: resilient campaign task was never dispatched (queue closed "
+        "during push)");
+  }
 
   // Order-independent finalisation: quarantine list and aggregate are
   // rebuilt serially in index order, so the end state is a pure

@@ -1,0 +1,286 @@
+#include "src/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/farm/queue.hpp"
+#include "src/xpp/builder.hpp"
+
+namespace rsp::fleet {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested < 0) {
+    throw std::invalid_argument("FleetManager: negative thread count " +
+                                std::to_string(requested));
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+FleetManager::FleetManager(FleetOptions opts) : opts_(opts) {
+  if (opts_.batch_width <= 0) {
+    throw std::invalid_argument("FleetManager: non-positive batch width " +
+                                std::to_string(opts_.batch_width));
+  }
+  threads_ = resolve_threads(opts_.threads);
+  if (opts_.cache != nullptr) {
+    cache_ = opts_.cache;
+  } else {
+    owned_cache_ = std::make_unique<xpp::BatchProgramCache>();
+    cache_ = owned_cache_.get();
+  }
+}
+
+FleetManager::~FleetManager() = default;
+
+FleetManager::Session& FleetManager::session_at(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("FleetManager: unknown session " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+const FleetManager::Session& FleetManager::session_at(SessionId id) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("FleetManager: unknown session " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+void FleetManager::join_group(Session& s) {
+  int gi = -1;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].crc == s.crc) {
+      gi = static_cast<int>(i);
+      break;
+    }
+  }
+  if (gi < 0) {
+    // An emptied group keeps its CRC, so a re-admitted CRC reuses its
+    // engine (and the engine reuses its freed lane slots).
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      if (groups_[i].members == 0) {
+        gi = static_cast<int>(i);
+        groups_[i].crc = s.crc;
+        break;
+      }
+    }
+  }
+  if (gi < 0) {
+    Group g;
+    g.crc = s.crc;
+    g.eng = std::make_unique<xpp::BatchedReplayEngine>(cache_,
+                                                       opts_.batch_width);
+    groups_.push_back(std::move(g));
+    gi = static_cast<int>(groups_.size()) - 1;
+  }
+  Group& g = groups_[static_cast<std::size_t>(gi)];
+  xpp::Simulator& sim = s.board->array().sim();
+  s.group = gi;
+  s.lane = g.eng->add(sim, s.crc);
+  ++g.members;
+
+  // Cache admission: adopt every program published for this CRC; the
+  // engine's fast re-arm scan picks whichever matches the session's
+  // live trajectory, and the detector stays off while any can arm.
+  s.hit = false;
+  if (xpp::CompiledEngine* eng = sim.compiled_engine()) {
+    for (const auto& image : cache_->find_all(s.crc)) {
+      if (eng->adopt_shared(image)) s.hit = true;
+    }
+  }
+}
+
+void FleetManager::leave_group(Session& s) {
+  if (s.group < 0) return;
+  Group& g = groups_[static_cast<std::size_t>(s.group)];
+  g.eng->remove(s.lane);
+  --g.members;
+  s.group = -1;
+  s.lane = -1;
+}
+
+SessionId FleetManager::admit(const xpp::Configuration& cfg) {
+  Session s;
+  s.board = std::make_unique<sdr::SdrBoard>(opts_.geometry,
+                                            xpp::SchedulerKind::kCompiled);
+  s.cfg_value = cfg;
+  s.crc = cfg.checksum ? *cfg.checksum : xpp::config_crc32(cfg);
+  s.cfg = s.board->array().load(cfg);
+  join_group(s);
+  const SessionId id = next_id_++;
+  ++admits_;
+  if (s.hit) ++cache_hit_admits_;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+void FleetManager::evict(SessionId id) {
+  Session& s = session_at(id);
+  leave_group(s);
+  // Fold the dying engine's counters into the retired bucket so
+  // stats() totals stay monotone across admit/evict churn.
+  if (const xpp::CompiledEngine* eng =
+          s.board->array().sim().compiled_engine()) {
+    const xpp::CompiledStats& cs = eng->stats();
+    retired_.compiles += cs.compiles;
+    retired_.fleet_adopts += cs.fleet_adopts;
+    retired_.fleet_arms += cs.fleet_arms;
+    retired_.replayed_cycles += cs.replayed_cycles;
+    retired_.recorded_cycles += cs.recorded_cycles;
+  }
+  sessions_.erase(id);
+  ++evicts_;
+}
+
+void FleetManager::reconfigure(SessionId id, const xpp::Configuration& next) {
+  Session& s = session_at(id);
+  leave_group(s);
+  // Releasing drops every program bound against the old groups
+  // (CompiledEngine::invalidate clears adopted images too — they hold
+  // raw object pointers), so load-after-release is safe.
+  s.board->array().release(s.cfg);
+  s.cfg = xpp::kNoConfig;
+  try {
+    s.cfg = s.board->array().load(next);
+  } catch (...) {
+    // Put the session back the way it was: reload the old
+    // configuration (re-charging its load cycles) and re-join its
+    // group, then let the caller see the failure.
+    s.cfg = s.board->array().load(s.cfg_value);
+    join_group(s);
+    throw;
+  }
+  s.cfg_value = next;
+  s.crc = next.checksum ? *next.checksum : xpp::config_crc32(next);
+  join_group(s);
+  ++reconfigures_;
+  if (s.hit) ++cache_hit_admits_;
+}
+
+void FleetManager::run_cycles(long long n) {
+  if (n <= 0) return;
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].members > 0 && groups_[i].eng->active_lanes() > 0) {
+      work.push_back(i);
+    }
+  }
+  if (work.empty()) return;
+
+  const int pool = std::min<int>(threads_, static_cast<int>(work.size()));
+  if (pool <= 1) {
+    for (std::size_t w : work) groups_[w].eng->run_cycles(n);
+    return;
+  }
+
+  // Session-aware dispatch: the group is the unit of work (its lanes
+  // replay in lockstep on one engine), handed out through the farm's
+  // bounded queue with the farm's deterministic lowest-index failure
+  // rule.  Groups share only the mutex-protected program cache, whose
+  // content is insertion-order independent, so trajectories are
+  // bit-identical at any thread count.
+  farm::detail::BoundedQueue queue(work.size());
+  farm::detail::FailureTracker failures;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) {
+    workers.emplace_back([&] {
+      std::size_t wi = 0;
+      while (queue.pop(wi)) {
+        if (failures.should_skip(wi)) continue;
+        try {
+          groups_[work[wi]].eng->run_cycles(n);
+        } catch (...) {
+          failures.record(wi);
+        }
+      }
+    });
+  }
+  std::size_t undispatched = farm::detail::kNoFailure;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (!queue.push(i)) {
+      undispatched = i;
+      break;
+    }
+  }
+  queue.close();
+  for (auto& th : workers) th.join();
+  if (undispatched != farm::detail::kNoFailure) {
+    throw farm::FarmError("fleet: group " + std::to_string(undispatched) +
+                          " was never dispatched (queue closed during push)");
+  }
+  failures.rethrow("fleet group");
+}
+
+sdr::SdrBoard& FleetManager::board(SessionId id) {
+  return *session_at(id).board;
+}
+
+xpp::ConfigId FleetManager::config_of(SessionId id) const {
+  return session_at(id).cfg;
+}
+
+std::uint32_t FleetManager::crc_of(SessionId id) const {
+  return session_at(id).crc;
+}
+
+bool FleetManager::cache_hit(SessionId id) const {
+  return session_at(id).hit;
+}
+
+xpp::InputObject& FleetManager::input(SessionId id, const std::string& name) {
+  Session& s = session_at(id);
+  return s.board->array().input(s.cfg, name);
+}
+
+xpp::OutputObject& FleetManager::output(SessionId id,
+                                        const std::string& name) {
+  Session& s = session_at(id);
+  return s.board->array().output(s.cfg, name);
+}
+
+FleetStats FleetManager::stats() const {
+  FleetStats out = retired_;
+  out.sessions = static_cast<int>(sessions_.size());
+  out.admits = admits_;
+  out.cache_hit_admits = cache_hit_admits_;
+  out.evicts = evicts_;
+  out.reconfigures = reconfigures_;
+  for (const auto& [id, s] : sessions_) {
+    (void)id;
+    if (const xpp::CompiledEngine* eng =
+            s.board->array().sim().compiled_engine()) {
+      const xpp::CompiledStats& cs = eng->stats();
+      out.compiles += cs.compiles;
+      out.fleet_adopts += cs.fleet_adopts;
+      out.fleet_arms += cs.fleet_arms;
+      out.replayed_cycles += cs.replayed_cycles;
+      out.recorded_cycles += cs.recorded_cycles;
+    }
+  }
+  for (const auto& g : groups_) {
+    if (g.members > 0) ++out.groups;
+    const xpp::BatchedReplayEngine::Stats& bs = g.eng->stats();
+    out.batch_ticks += bs.batch_ticks;
+    out.batched_cycles += bs.batched_cycles;
+    out.scalar_cycles += bs.scalar_cycles;
+    out.guard_exits += bs.guard_exits;
+    out.gathers += bs.gathers;
+  }
+  out.cache = cache_->stats();
+  return out;
+}
+
+}  // namespace rsp::fleet

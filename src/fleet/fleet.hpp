@@ -1,0 +1,198 @@
+// Terminal-fleet session manager: compile-once / replay-many serving.
+//
+// The paper's central claim is that one reconfigurable substrate can
+// serve many concurrent standards; the economics only work when the
+// expensive part — discovering and compiling a configuration's steady
+// state — is paid once per *fleet*, not once per *terminal*.  The
+// FleetManager is the serving layer that realizes that above the
+// scenario farm's share-nothing substrate:
+//
+//  - admit(cfg) builds a session: its own SdrBoard (kCompiled array),
+//    loads the configuration, and joins the session to the lockstep
+//    replay group of every other session with the same config CRC-32.
+//    If the shared BatchProgramCache already holds programs published
+//    for that CRC (by any earlier session, in any group, on any
+//    thread), the session COLD-BINDS them (CanonicalProgram::
+//    bind_cold) and skips steady-state detection entirely: from cycle
+//    0 its engine only runs the cheap fast re-arm scan and starts
+//    replaying the shared epoch program at the first phase boundary
+//    its live trajectory matches.  A miss runs ordinary per-instance
+//    kCompiled and publishes its program on first detection, so the
+//    next admit with that CRC hits.
+//  - within a group, sessions replay in lockstep SoA lanes
+//    (BatchedReplayEngine): the program image and phase cursor are
+//    shared copy-on-write style — immutable and referenced by every
+//    lane — while per-lane value state lives in private SoA rows; a
+//    lane is forked out of the batch only when its guard mask
+//    diverges, with its exact state scattered back (it deopts and
+//    re-arms exactly as an unbatched run would).
+//  - evict(id) releases the session and recycles its lane slot;
+//    reconfigure(id, next) releases the old configuration (dropping
+//    every adopted program — they hold pointers into the old groups),
+//    loads the new one, and re-admits the session into the group and
+//    shared programs of the new CRC.
+//
+// Bit-identity contract: a session's trajectory — outputs, fire
+// counts, cycle stamps — is bit-identical to a cold per-instance
+// kCompiled run of the same script, whether its programs were
+// compiled locally, bound from the cache at detection time, or
+// cold-bound at admission, and whether its cycles executed scalar or
+// batched.  The `ctest -L fleet` battery enforces this, including
+// mid-session reconfigure and evict/re-admit.
+//
+// Threading: run_cycles dispatches whole groups to a bounded-queue
+// worker pool (the farm's queue — session-aware dispatch: a group is
+// the dispatch unit because its lanes replay in lockstep on one
+// engine).  Groups share no mutable state but the mutex-protected
+// program cache, and cache content is order-independent (first insert
+// of identical immutable images wins), so session trajectories are
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sdr/board.hpp"
+#include "src/xpp/batch.hpp"
+
+namespace rsp::fleet {
+
+using SessionId = int;
+inline constexpr SessionId kNoSession = -1;
+
+struct FleetOptions {
+  /// Lanes per lockstep batch within a group (clamped to
+  /// simd::kMaxBatchWidth).
+  int batch_width = xpp::simd::kMaxBatchWidth;
+  /// Worker threads for run_cycles group dispatch; 0 = hardware
+  /// concurrency.  Negative throws at construction.
+  int threads = 1;
+  /// Per-terminal array geometry.
+  xpp::ArrayGeometry geometry;
+  /// Shared program cache; nullptr = the fleet owns a private one.
+  /// Point several fleets (or farm campaigns) at one cache to share
+  /// compiled programs across them.
+  xpp::BatchProgramCache* cache = nullptr;
+};
+
+/// Aggregate serving counters.  Engine counters are summed over every
+/// session's compiled engine and every group's batch engine at the
+/// time of the stats() call.
+struct FleetStats {
+  int sessions = 0;          ///< live sessions
+  int groups = 0;            ///< live lockstep groups (distinct CRCs)
+  long long admits = 0;
+  long long cache_hit_admits = 0;  ///< admissions that adopted >= 1 program
+  long long evicts = 0;
+  long long reconfigures = 0;
+  // Summed xpp::CompiledStats over live sessions.
+  long long compiles = 0;        ///< local steady-state compiles (misses)
+  long long fleet_adopts = 0;    ///< images cold-bound at admission
+  long long fleet_arms = 0;      ///< arms served with the detector off
+  long long replayed_cycles = 0;
+  long long recorded_cycles = 0;  ///< interpreted cycles
+  // Summed xpp::BatchedReplayEngine::Stats over live groups.
+  long long batch_ticks = 0;
+  long long batched_cycles = 0;
+  long long scalar_cycles = 0;
+  long long guard_exits = 0;
+  long long gathers = 0;
+  xpp::BatchProgramCache::Stats cache;
+};
+
+class FleetManager {
+ public:
+  /// Throws std::invalid_argument for negative threads or a
+  /// non-positive batch width.
+  explicit FleetManager(FleetOptions opts = {});
+  ~FleetManager();
+
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
+
+  /// Admit a terminal running @p cfg (which must carry or hash to a
+  /// CRC-32; ConfigBuilder stamps one).  Loads the configuration onto
+  /// a fresh board and joins the CRC's lockstep group, cold-binding
+  /// any programs already published for the CRC.  Throws
+  /// xpp::ConfigError if the configuration is invalid.
+  SessionId admit(const xpp::Configuration& cfg);
+
+  /// Remove a session: its board is destroyed and its lane recycled.
+  /// Drain outputs first — eviction discards them.
+  void evict(SessionId id);
+
+  /// Swap the session's configuration in place: release the old one
+  /// (adopted programs are dropped with it), load @p next, move the
+  /// session to the new CRC's group, and re-run cache admission.  The
+  /// board and its accounting survive.  If loading @p next fails the
+  /// old configuration is reloaded (re-charging its configuration
+  /// cycles) and the session re-joins its old group before the error
+  /// is rethrown, so the fleet never holds a session with nothing
+  /// loaded.
+  void reconfigure(SessionId id, const xpp::Configuration& next);
+
+  /// Advance every live session by exactly @p n cycles, batching
+  /// same-program sessions in lockstep and dispatching groups across
+  /// the worker pool.  Group failures surface as farm::FarmError
+  /// naming the lowest failing group deterministically.
+  void run_cycles(long long n);
+
+  // -- per-session access ---------------------------------------------------
+  [[nodiscard]] sdr::SdrBoard& board(SessionId id);
+  [[nodiscard]] xpp::ConfigId config_of(SessionId id) const;
+  [[nodiscard]] std::uint32_t crc_of(SessionId id) const;
+  /// True if the session's latest admission/reconfiguration adopted at
+  /// least one published program (i.e. it skips detection).
+  [[nodiscard]] bool cache_hit(SessionId id) const;
+  [[nodiscard]] xpp::InputObject& input(SessionId id, const std::string& name);
+  [[nodiscard]] xpp::OutputObject& output(SessionId id,
+                                          const std::string& name);
+
+  [[nodiscard]] int sessions() const { return static_cast<int>(sessions_.size()); }
+  [[nodiscard]] FleetStats stats() const;
+  [[nodiscard]] xpp::BatchProgramCache& cache() { return *cache_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<sdr::SdrBoard> board;
+    xpp::Configuration cfg_value;  ///< retained for reconfigure rollback
+    xpp::ConfigId cfg = xpp::kNoConfig;
+    std::uint32_t crc = 0;
+    int group = -1;
+    int lane = -1;
+    bool hit = false;
+  };
+
+  struct Group {
+    std::uint32_t crc = 0;
+    std::unique_ptr<xpp::BatchedReplayEngine> eng;
+    int members = 0;
+  };
+
+  Session& session_at(SessionId id);
+  [[nodiscard]] const Session& session_at(SessionId id) const;
+  /// Join @p s (with a loaded config) to its CRC's group and run cache
+  /// admission; fills group/lane/hit.
+  void join_group(Session& s);
+  void leave_group(Session& s);
+
+  FleetOptions opts_;
+  int threads_ = 1;
+  std::unique_ptr<xpp::BatchProgramCache> owned_cache_;
+  xpp::BatchProgramCache* cache_ = nullptr;
+  std::map<SessionId, Session> sessions_;
+  std::vector<Group> groups_;
+  SessionId next_id_ = 0;
+  long long admits_ = 0;
+  long long cache_hit_admits_ = 0;
+  long long evicts_ = 0;
+  long long reconfigures_ = 0;
+  // Engine counters of evicted sessions/emptied groups, folded in so
+  // stats() totals are monotone across churn.
+  FleetStats retired_;
+};
+
+}  // namespace rsp::fleet

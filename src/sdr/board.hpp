@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,18 @@ class SdrBoard {
   dsp::DspModel& microcontroller() { return uc_; }
   [[nodiscard]] const dsp::DspModel& microcontroller() const { return uc_; }
 
-  /// Account words moved through the streaming-FPGA crossbar.
-  void fpga_route(long long words) { fpga_words_ += words; }
+  /// Account words moved through the streaming-FPGA crossbar.  The
+  /// counter is monotone: a negative delta would drive the total
+  /// negative with no diagnostic, and board snapshots would then
+  /// round-trip the corrupt value forever.
+  void fpga_route(long long words) {
+    if (words < 0) {
+      throw std::invalid_argument(
+          "SdrBoard::fpga_route: negative word count " +
+          std::to_string(words));
+    }
+    fpga_words_ += words;
+  }
   [[nodiscard]] long long fpga_words_routed() const { return fpga_words_; }
 
   /// Snapshot-restore hook: overwrite the crossbar accounting.

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "src/common/fnv.hpp"
@@ -370,6 +371,21 @@ CanonicalProgram::Bound CanonicalProgram::bind(
   }
   if (entry < 0) return out;
 
+  out.program = materialize(en);
+  out.entry = entry;
+  return out;
+}
+
+std::unique_ptr<CompiledProgram> CanonicalProgram::bind_cold(
+    Simulator& sim) const {
+  Enumeration en = Enumeration::of(sim);
+  if (serialize_shape(en) != shape_) return nullptr;
+  return materialize(en);
+}
+
+std::unique_ptr<CompiledProgram> CanonicalProgram::materialize(
+    const Enumeration& en) const {
+  const int p = tpl_.period_;
   std::unique_ptr<CompiledProgram> q(new CompiledProgram(tpl_));
   q->nets_ = en.nets;
   q->objs_ = en.objs;
@@ -420,9 +436,7 @@ CanonicalProgram::Bound CanonicalProgram::bind(
     }
     rec.hash = hash_cycle_events(rec.evs);
   }
-  out.program = std::move(q);
-  out.entry = entry;
-  return out;
+  return q;
 }
 
 // ---------------------------------------------------------------------------
@@ -437,6 +451,21 @@ std::shared_ptr<const CanonicalProgram> BatchProgramCache::find(
   if (it == map_.end()) return nullptr;
   ++const_cast<Stats&>(stats_).hits;
   return it->second;
+}
+
+std::vector<std::shared_ptr<const CanonicalProgram>> BatchProgramCache::find_all(
+    std::uint32_t crc) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++const_cast<Stats&>(stats_).lookups;
+  std::vector<std::shared_ptr<const CanonicalProgram>> out;
+  // map_ is ordered by (crc, sig), so the range scan returns programs
+  // in ascending signature order — deterministic for every caller.
+  for (auto it = map_.lower_bound({crc, 0}); it != map_.end() && it->first.first == crc;
+       ++it) {
+    out.push_back(it->second);
+  }
+  if (!out.empty()) ++const_cast<Stats&>(stats_).hits;
+  return out;
 }
 
 std::shared_ptr<const CanonicalProgram> BatchProgramCache::insert(
@@ -464,6 +493,21 @@ void CompiledEngine::publish(CompiledProgram& pr) {
   const std::uint64_t sig = cp->signature();
   pr.canonical_sig_ = sig;
   shared_cache_->insert(shared_crc_, sig, std::move(cp));
+}
+
+bool CompiledEngine::adopt_shared(
+    const std::shared_ptr<const CanonicalProgram>& image) {
+  if (image == nullptr) return false;
+  auto pr = image->bind_cold(sim_);
+  if (pr == nullptr) return false;
+  // The bound clone carries the image's canonical signature (capture
+  // stamped the template), so publish() never re-inserts it.
+  cache_.insert(cache_.begin(), std::move(pr));
+  if (cache_.size() > kCompiledCacheSize) cache_.pop_back();
+  fleet_mode_ = true;
+  fleet_probation_ = kFleetProbation;
+  ++stats_.fleet_adopts;
+  return true;
 }
 
 bool CompiledEngine::try_bind_shared(
@@ -560,15 +604,26 @@ int BatchedReplayEngine::add(Simulator& sim, std::uint32_t config_crc) {
   Lane l;
   l.sim = &sim;
   l.crc = config_crc;
-  lanes_.push_back(l);
+  int idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    lanes_[static_cast<std::size_t>(idx)] = l;
+  } else {
+    lanes_.push_back(l);
+    idx = static_cast<int>(lanes_.size()) - 1;
+  }
   if (cache_ != nullptr && sim.compiled_engine() != nullptr) {
     sim.compiled_engine()->set_shared_cache(cache_, config_crc);
   }
-  return static_cast<int>(lanes_.size()) - 1;
+  return idx;
 }
 
 void BatchedReplayEngine::rekey(int lane, std::uint32_t config_crc) {
   Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  if (l.sim == nullptr) {
+    throw std::logic_error("BatchedReplayEngine::rekey: lane was removed");
+  }
   l.crc = config_crc;
   if (cache_ != nullptr && l.sim->compiled_engine() != nullptr) {
     l.sim->compiled_engine()->set_shared_cache(cache_, config_crc);
@@ -576,7 +631,29 @@ void BatchedReplayEngine::rekey(int lane, std::uint32_t config_crc) {
 }
 
 void BatchedReplayEngine::set_active(int lane, bool active) {
-  lanes_.at(static_cast<std::size_t>(lane)).active = active;
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  if (l.sim == nullptr) {
+    throw std::logic_error("BatchedReplayEngine::set_active: lane was removed");
+  }
+  l.active = active;
+}
+
+void BatchedReplayEngine::remove(int lane) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  if (l.sim == nullptr) return;  // already removed
+  l.sim = nullptr;
+  l.active = false;
+  l.rem = 0;
+  l.needs_scalar = false;
+  free_.push_back(lane);
+}
+
+int BatchedReplayEngine::active_lanes() const {
+  int n = 0;
+  for (const Lane& l : lanes_) {
+    if (l.sim != nullptr && l.active) ++n;
+  }
+  return n;
 }
 
 CompiledProgram* BatchedReplayEngine::armed_program(const Lane& l) {

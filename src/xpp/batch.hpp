@@ -92,6 +92,18 @@ class CanonicalProgram {
   [[nodiscard]] Bound bind(Simulator& sim,
                            const std::vector<const CycleRecord*>& window) const;
 
+  /// Cold bind — the fleet admission ("replay from cycle 0") entry
+  /// point: no detection window exists yet, so only the structural
+  /// serialization is verified and the program is materialized at its
+  /// canonical rotation.  The caller must NOT arm it blindly; the
+  /// engine's fast re-arm scan arms it at whichever phase boundary the
+  /// live trajectory first matches (state + guards prescreened), which
+  /// keeps the bound program bit-identity-safe without ever running
+  /// the periodicity detector.  Returns nullptr on shape mismatch
+  /// (config CRC collision, foreign groups on the array).
+  [[nodiscard]] std::unique_ptr<CompiledProgram> bind_cold(
+      Simulator& sim) const;
+
   /// Stable enumeration of a simulator's live objects and nets — the
   /// same group-ascending traversal CompiledProgram::Builder uses, so
   /// a program's objs_/nets_ vectors are exactly this order.  Defined
@@ -100,6 +112,11 @@ class CanonicalProgram {
 
  private:
   CanonicalProgram() = default;
+
+  /// Materialize a CompiledProgram whose pointers target @p en's
+  /// objects — the shared tail of bind() and bind_cold().
+  [[nodiscard]] std::unique_ptr<CompiledProgram> materialize(
+      const Enumeration& en) const;
 
   /// One canonicalized token event: pointers replaced by enumeration
   /// indices (is_net selects the net vs object table).
@@ -135,6 +152,15 @@ class BatchProgramCache {
 
   [[nodiscard]] std::shared_ptr<const CanonicalProgram> find(
       std::uint32_t crc, std::uint64_t sig) const;
+
+  /// Every published program for configuration @p crc, in ascending
+  /// signature order (deterministic).  This is the fleet admission key:
+  /// an admitting session knows its config CRC but not the steady-state
+  /// signature (only detection would reveal it), so it adopts all
+  /// programs published for the CRC and lets the fast re-arm scan pick
+  /// whichever matches its live trajectory.
+  [[nodiscard]] std::vector<std::shared_ptr<const CanonicalProgram>> find_all(
+      std::uint32_t crc) const;
 
   /// Insert unless an entry already exists; returns the resident one.
   std::shared_ptr<const CanonicalProgram> insert(
@@ -182,6 +208,14 @@ class BatchedReplayEngine {
 
   /// Exclude / re-include a lane (e.g. its trial completed).
   void set_active(int lane, bool active);
+
+  /// Detach a lane permanently (fleet eviction): the simulator is no
+  /// longer referenced and the slot is recycled by a later add(), so
+  /// admit/evict churn never grows the lane table without bound.
+  void remove(int lane);
+
+  /// Live (non-removed, active) lane count.
+  [[nodiscard]] int active_lanes() const;
 
   [[nodiscard]] int lanes() const { return static_cast<int>(lanes_.size()); }
   [[nodiscard]] int width() const { return max_width_; }
@@ -231,6 +265,7 @@ class BatchedReplayEngine {
   BatchProgramCache* cache_ = nullptr;  ///< not owned
   int max_width_ = simd::kMaxBatchWidth;
   std::vector<Lane> lanes_;
+  std::vector<int> free_;  ///< removed lane slots awaiting reuse
   Stats stats_;
 
   // Batch scratch (sized at gather; slot-major, stride width_).

@@ -1367,6 +1367,12 @@ void CompiledEngine::end_cycle() {
       ++stats_.arms;
       ++stats_.rearms;
       if (entry != 0) ++stats_.phase_rearms;
+      if (fleet_mode_) {
+        // An adopted program went live without the detector ever
+        // running; renew the probation allowance for the next deopt.
+        ++stats_.fleet_arms;
+        fleet_probation_ = kFleetProbation;
+      }
       if (i != 0) {
         std::rotate(cache_.begin(),
                     cache_.begin() + static_cast<std::ptrdiff_t>(i),
@@ -1375,6 +1381,25 @@ void CompiledEngine::end_cycle() {
       reset_detector();
       return;
     }
+  }
+
+  // Fleet admission: while adopted programs are resident, arms come
+  // exclusively from the fast re-arm scan above and the periodicity
+  // detector stays off — that is the "skip steady-state detection"
+  // contract.  Fall back to normal detection (per-instance compile +
+  // publish) when nothing armed for a whole probation window, or when
+  // a guard-deopt rhythm requested a period upgrade that no adopted
+  // program satisfies (only the detector can compile the longer
+  // period).
+  if (fleet_mode_) {
+    if (upgrade_pending || --fleet_probation_ <= 0) {
+      fleet_mode_ = false;
+      fleet_probation_ = 0;
+      reset_detector();
+      return;
+    }
+    cur_->evs.clear();
+    return;
   }
 
   const long long c = t_;
@@ -1564,6 +1589,10 @@ void CompiledEngine::invalidate() {
   last_guard_deopt_prog_ = nullptr;
   last_guard_deopt_cycle_ = -1;
   preferred_period_ = 0;
+  // Adopted programs died with the cache; a reconfigured session must
+  // re-adopt against its new object graph before skipping detection.
+  fleet_mode_ = false;
+  fleet_probation_ = 0;
 }
 
 void CompiledEngine::reset_detector() {

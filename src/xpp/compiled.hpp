@@ -86,6 +86,13 @@ inline constexpr int kCompiledRepeats = 3;
 /// Max compiled programs kept for cheap re-arming (MRU order).
 inline constexpr int kCompiledCacheSize = 4;
 
+/// Interpreted cycles a fleet-admitted engine waits for an adopted
+/// program to (re)arm before giving up on the fast path and re-enabling
+/// the periodicity detector.  Generous: warmup (pipeline fill) is tens
+/// of cycles on the paper's workloads, and a successful fleet arm
+/// resets the allowance.
+inline constexpr long long kFleetProbation = 8LL * kMaxCompiledPeriod;
+
 /// One token event observed while interpreting a cycle.  Pointers are
 /// only compared/hashed, never dereferenced, so records of removed
 /// groups are safe (invalidate() clears them anyway).
@@ -124,6 +131,8 @@ struct CompiledStats {
   long long cache_binds = 0;       ///< programs bound from a shared cache
   long long deopts = 0;            ///< epoch exits back to the interpreter
   long long replayed_cycles = 0;   ///< cycles executed by epoch replay
+  long long fleet_adopts = 0;      ///< shared images cold-bound at admission
+  long long fleet_arms = 0;        ///< arms served while the detector was off
 };
 
 /// A verified, lowered steady-state period.  Built once, then armed
@@ -338,6 +347,26 @@ class CompiledEngine {
 
   [[nodiscard]] std::uint32_t shared_crc() const { return shared_crc_; }
 
+  /// Fleet admission fast path ("replay from cycle 0"): cold-bind a
+  /// published canonical image into the program cache WITHOUT running
+  /// steady-state detection.  While at least one adopted program is
+  /// resident the engine stops feeding the periodicity detector
+  /// entirely; every interpreted cycle only runs the (cheap) fast
+  /// re-arm scan, which arms the adopted program at whichever phase
+  /// boundary the live trajectory first matches — structural state and
+  /// guards are prescreened, so the replayed trajectory stays
+  /// bit-identical to a cold per-instance run by the same argument as
+  /// any re-arm.  If nothing arms within kFleetProbation interpreted
+  /// cycles (or an armed-program upgrade is requested that no adopted
+  /// program satisfies), the engine falls back to normal detection and
+  /// per-instance compilation, publishing on first detection as usual.
+  /// Returns false if the image does not bind (shape mismatch).
+  /// Defined in batch.cpp.
+  bool adopt_shared(const std::shared_ptr<const CanonicalProgram>& image);
+
+  /// True while adopted programs suppress the periodicity detector.
+  [[nodiscard]] bool fleet_mode() const { return fleet_mode_; }
+
  private:
   friend class BatchedReplayEngine;  ///< batched lane replay (batch.cpp)
 
@@ -379,6 +408,12 @@ class CompiledEngine {
   int preferred_period_ = 0;  ///< 0 = no pending period upgrade
   BatchProgramCache* shared_cache_ = nullptr;  ///< not owned
   std::uint32_t shared_crc_ = 0;
+  // Fleet admission state: while fleet_mode_ is set the detector is
+  // bypassed (adopted programs serve every arm through the fast re-arm
+  // scan); probation counts interpreted cycles without an arm before
+  // the engine falls back to detection.
+  bool fleet_mode_ = false;
+  long long fleet_probation_ = 0;
   /// Graph-shape memo for canonical window signatures (batch.cpp);
   /// valid only while the object graph is unchanged, so invalidate()
   /// drops it alongside the program cache.

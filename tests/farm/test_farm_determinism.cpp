@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "src/common/rng.hpp"
 #include "src/farm/farm.hpp"
 #include "src/farm/kernels.hpp"
+#include "src/farm/queue.hpp"
 
 namespace rsp::farm {
 namespace {
@@ -194,6 +196,55 @@ TEST(FarmDeterminism, MoreThreadsThanTasksAndZeroTasks) {
   });
   EXPECT_TRUE(empty.per_task.empty());
   EXPECT_EQ(empty.agg.total().frames, 0u);
+}
+
+TEST(FarmDeterminism, ZeroTasksNeverInvokesTheKernel) {
+  // Regression: run(0, ...) used to spin up a worker pool for nothing.
+  // It must early-return an empty result without ever constructing a
+  // task, let alone dispatching one.
+  FarmOptions opts;
+  opts.threads = 8;
+  ScenarioFarm farm(opts);
+  std::atomic<int> calls{0};
+  const auto res = farm.run(0, 1, [&](std::uint64_t, std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return TrialResult{};
+  });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(res.per_task.empty());
+}
+
+TEST(FarmDeterminism, ClosedQueueRefusesPush) {
+  // Regression: BoundedQueue::push used to return void and silently
+  // drop the index when the queue was closed — a task submitted
+  // concurrently with close() vanished without a trace.  push must now
+  // report the refusal and enqueue nothing.
+  detail::BoundedQueue q(4);
+  ASSERT_TRUE(q.push(0));
+  q.close();
+  EXPECT_FALSE(q.push(1)) << "push into a closed queue must be refused";
+  std::size_t idx = 99;
+  EXPECT_TRUE(q.pop(idx)) << "the pre-close element must still drain";
+  EXPECT_EQ(idx, 0u);
+  EXPECT_FALSE(q.pop(idx)) << "the refused element must NOT have landed";
+}
+
+TEST(FarmDeterminism, CloseWhileBlockedInPushUnblocksAndRefuses) {
+  // The racing variant: a producer blocked on a FULL queue must wake
+  // when the queue closes and report the refused push, not enqueue.
+  detail::BoundedQueue q(1);
+  ASSERT_TRUE(q.push(7));  // queue now full
+  std::atomic<bool> pushed{true};
+  std::thread producer([&] { pushed.store(q.push(8)); });
+  // Give the producer time to block in push(), then close underneath.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_FALSE(pushed.load());
+  std::size_t idx = 0;
+  EXPECT_TRUE(q.pop(idx));
+  EXPECT_EQ(idx, 7u);
+  EXPECT_FALSE(q.pop(idx));
 }
 
 }  // namespace

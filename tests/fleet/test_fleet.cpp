@@ -1,0 +1,391 @@
+// Differential battery for the terminal-fleet session manager
+// (src/fleet/fleet.hpp): an admitted session — whether its programs
+// were adopted from the shared cache at admission (hit), compiled
+// locally (miss), or re-bound after a mid-session reconfigure — must
+// be bit-identical, output for output and cycle for cycle, to a cold
+// per-instance kCompiled run of the same boundary script.  The battery
+// also pins the serving claims themselves: a cache-hit session never
+// runs steady-state detection (compiles == 0, fleet arms > 0), a miss
+// publishes so the next admission hits, evict/re-admit churn recycles
+// lane slots, and trajectories are identical at any worker-thread
+// count (run under -DRSP_SANITIZE=tsan via scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/fleet/fleet.hpp"
+#include "src/rake/maps.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::fleet {
+namespace {
+
+using xpp::ConfigId;
+using xpp::Configuration;
+using xpp::ConfigurationManager;
+using xpp::Word;
+
+std::vector<CplxI> random_chips(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CplxI> out(n);
+  for (auto& c : out) {
+    c = {static_cast<int>(rng.below(2000)) - 1000,
+         static_cast<int>(rng.below(2000)) - 1000};
+  }
+  return out;
+}
+
+// Boundary script shared verbatim by the fleet drive and the cold
+// per-instance reference drive — only who executes the cycles differs.
+struct Step {
+  std::vector<std::pair<std::string, std::vector<Word>>> feeds;
+  long long cycles = 0;
+};
+
+struct Obs {
+  std::vector<Word> out;
+  long long cycle = 0;
+  long long fires = 0;
+  friend bool operator==(const Obs&, const Obs&) = default;
+};
+
+std::vector<Step> descrambler_steps(std::size_t lane, std::size_t n_chips) {
+  const auto chips = random_chips(n_chips, 13 + lane);
+  dedhw::UmtsScrambler scr(16);
+  std::vector<Word> code(n_chips);
+  for (auto& c : code) c = scr.next2() & 3;
+  return {{{{"data", rake::maps::pack_stream(chips)}, {"code", std::move(code)}},
+           static_cast<long long>(n_chips) + 256}};
+}
+
+std::vector<Step> despreader_steps(std::size_t lane, std::size_t n_chips) {
+  const auto chips = random_chips(n_chips, 29 + lane);
+  return {{{{"data", rake::maps::pack_stream(chips)}},
+           static_cast<long long>(n_chips) + 256}};
+}
+
+/// Cold reference: a fresh stand-alone kCompiled terminal (no shared
+/// cache, no fleet) running @p steps.
+Obs drive_cold(const Configuration& cfg, const std::vector<Step>& steps) {
+  ConfigurationManager mgr({}, xpp::SchedulerKind::kCompiled);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& step : steps) {
+    for (const auto& [port, words] : step.feeds) {
+      mgr.input(id, port).feed(words);
+    }
+    mgr.sim().run(step.cycles);
+  }
+  return {mgr.output(id, "out").take(), mgr.sim().cycle(),
+          mgr.sim().total_fires()};
+}
+
+Obs observe(FleetManager& fleet, SessionId id) {
+  return {fleet.output(id, "out").take(),
+          fleet.board(id).array().sim().cycle(),
+          fleet.board(id).array().sim().total_fires()};
+}
+
+/// Feed @p steps into @p id and advance the whole fleet step by step.
+void drive(FleetManager& fleet, SessionId id, const std::vector<Step>& steps) {
+  for (const auto& step : steps) {
+    for (const auto& [port, words] : step.feeds) {
+      fleet.input(id, port).feed(words);
+    }
+    fleet.run_cycles(step.cycles);
+  }
+}
+
+const xpp::CompiledStats& engine_stats(FleetManager& fleet, SessionId id) {
+  return fleet.board(id).array().sim().compiled_engine()->stats();
+}
+
+// ---------------------------------------------------------------------------
+// Cache-hit admission: detection skipped, trajectory bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, CacheHitAdmissionSkipsDetectionDescrambler) {
+  const std::size_t kChips = 1024;
+  const auto cfg = rake::maps::descrambler_config();
+  FleetManager fleet;
+
+  // Warm terminal: misses, detects, compiles, publishes.
+  const SessionId warm = fleet.admit(cfg);
+  EXPECT_FALSE(fleet.cache_hit(warm));
+  drive(fleet, warm, descrambler_steps(0, kChips));
+  ASSERT_GE(fleet.cache().stats().inserts, 1)
+      << "warm session never published its program";
+  EXPECT_GE(engine_stats(fleet, warm).compiles, 1);
+
+  // Admitted terminal: adopts the published image at cycle 0 and must
+  // never run steady-state detection, yet its trajectory is
+  // bit-identical to a cold stand-alone kCompiled run.
+  const SessionId hot = fleet.admit(cfg);
+  EXPECT_TRUE(fleet.cache_hit(hot));
+  EXPECT_GE(engine_stats(fleet, hot).fleet_adopts, 1);
+  const auto steps = descrambler_steps(1, kChips);
+  drive(fleet, hot, steps);
+  const Obs got = observe(fleet, hot);
+  const Obs want = drive_cold(cfg, steps);
+  EXPECT_EQ(want.out, got.out) << "cache-hit trajectory diverged from cold";
+  EXPECT_EQ(want.cycle, got.cycle);
+  EXPECT_EQ(want.fires, got.fires);
+  const auto& st = engine_stats(fleet, hot);
+  EXPECT_EQ(st.compiles, 0) << "cache-hit session ran detection";
+  EXPECT_GE(st.fleet_arms, 1) << "adopted program never armed";
+  EXPECT_GT(st.replayed_cycles, 0);
+}
+
+TEST(Fleet, CacheHitAdmissionDespreader) {
+  // The despreader exercises the period-upgrade escape hatch: if the
+  // adopted program's period is rejected by the engine's preferred
+  // period, fleet mode must hand back to the detector rather than
+  // interpret forever — and either way the trajectory matches cold.
+  const std::size_t kChips = 1024;
+  const auto cfg = rake::maps::despreader_config(16, 1);
+  FleetManager fleet;
+  const SessionId warm = fleet.admit(cfg);
+  drive(fleet, warm, despreader_steps(0, kChips));
+  ASSERT_GE(fleet.cache().stats().inserts, 1);
+
+  const SessionId hot = fleet.admit(cfg);
+  EXPECT_TRUE(fleet.cache_hit(hot));
+  const auto steps = despreader_steps(1, kChips);
+  drive(fleet, hot, steps);
+  const Obs got = observe(fleet, hot);
+  const Obs want = drive_cold(cfg, steps);
+  EXPECT_EQ(want.out, got.out);
+  EXPECT_EQ(want.cycle, got.cycle);
+  EXPECT_EQ(want.fires, got.fires);
+  EXPECT_GT(engine_stats(fleet, hot).replayed_cycles, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Miss → publish: concurrent same-config admissions converge on one image
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, MissPublishesForNextAdmission) {
+  const std::size_t kChips = 1024;
+  const auto cfg = rake::maps::descrambler_config();
+  FleetManager fleet;
+  const SessionId a = fleet.admit(cfg);
+  const SessionId b = fleet.admit(cfg);
+  EXPECT_FALSE(fleet.cache_hit(a));
+  EXPECT_FALSE(fleet.cache_hit(b));
+  const auto sa = descrambler_steps(0, kChips);
+  const auto sb = descrambler_steps(1, kChips);
+  // Interleave the feeds, then advance both sessions together.
+  for (std::size_t s = 0; s < sa.size(); ++s) {
+    for (const auto& [port, words] : sa[s].feeds) {
+      fleet.input(a, port).feed(words);
+    }
+    for (const auto& [port, words] : sb[s].feeds) {
+      fleet.input(b, port).feed(words);
+    }
+    fleet.run_cycles(sa[s].cycles);
+  }
+  // Identical configs produce one canonical image however the two
+  // detections race (first insert wins on identical content).
+  EXPECT_EQ(fleet.cache().stats().inserts, 1);
+  const Obs got_a = observe(fleet, a);
+  const Obs got_b = observe(fleet, b);
+  EXPECT_EQ(drive_cold(cfg, sa).out, got_a.out);
+  EXPECT_EQ(drive_cold(cfg, sb).out, got_b.out);
+  // The published image serves the next admission.
+  const SessionId c = fleet.admit(cfg);
+  EXPECT_TRUE(fleet.cache_hit(c));
+}
+
+// ---------------------------------------------------------------------------
+// Mid-session reconfigure
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, MidSessionReconfigureBitIdentity) {
+  const std::size_t kChips = 768;
+  const auto descr = rake::maps::descrambler_config();
+  const auto despr = rake::maps::despreader_config(16, 1);
+  const auto s1 = descrambler_steps(3, kChips);
+  const auto s2 = despreader_steps(4, kChips);
+
+  // Cold reference: one stand-alone terminal running the same
+  // release/load script on its own array.
+  ConfigurationManager mgr({}, xpp::SchedulerKind::kCompiled);
+  ConfigId id = mgr.load(descr);
+  for (const auto& step : s1) {
+    for (const auto& [port, words] : step.feeds) {
+      mgr.input(id, port).feed(words);
+    }
+    mgr.sim().run(step.cycles);
+  }
+  const std::vector<Word> want1 = mgr.output(id, "out").take();
+  mgr.release(id);
+  id = mgr.load(despr);
+  for (const auto& step : s2) {
+    for (const auto& [port, words] : step.feeds) {
+      mgr.input(id, port).feed(words);
+    }
+    mgr.sim().run(step.cycles);
+  }
+  const std::vector<Word> want2 = mgr.output(id, "out").take();
+  const long long want_cycle = mgr.sim().cycle();
+
+  // Fleet drive: warm both configs first so the reconfigured session
+  // re-admits as a cache hit, then replay the same script.
+  FleetManager fleet;
+  const SessionId w1 = fleet.admit(descr);
+  drive(fleet, w1, descrambler_steps(0, kChips));
+  const SessionId w2 = fleet.admit(despr);
+  drive(fleet, w2, despreader_steps(0, kChips));
+
+  const SessionId s = fleet.admit(descr);
+  EXPECT_TRUE(fleet.cache_hit(s));
+  drive(fleet, s, s1);
+  const std::vector<Word> got1 = fleet.output(s, "out").take();
+  fleet.reconfigure(s, despr);
+  EXPECT_TRUE(fleet.cache_hit(s)) << "re-admission missed a warmed cache";
+  EXPECT_EQ(fleet.crc_of(s), despr.checksum.value());
+  drive(fleet, s, s2);
+  EXPECT_EQ(want1, got1);
+  EXPECT_EQ(want2, fleet.output(s, "out").take());
+  EXPECT_EQ(want_cycle, fleet.board(s).array().sim().cycle());
+  EXPECT_EQ(fleet.stats().reconfigures, 1);
+}
+
+TEST(Fleet, ReconfigureLoadFailureRollsBack) {
+  const auto descr = rake::maps::descrambler_config();
+  Configuration bad = rake::maps::despreader_config(16, 1);
+  bad.checksum = *bad.checksum ^ 1u;  // corrupt: load must reject it
+  FleetManager fleet;
+  const SessionId s = fleet.admit(descr);
+  EXPECT_THROW(fleet.reconfigure(s, bad), xpp::ConfigError);
+  // The session survived with its old configuration loaded and
+  // re-joined — it can still be driven.
+  EXPECT_EQ(fleet.crc_of(s), descr.checksum.value());
+  drive(fleet, s, descrambler_steps(9, 256));
+  EXPECT_FALSE(fleet.output(s, "out").take().empty());
+  EXPECT_EQ(fleet.stats().reconfigures, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Evict / re-admit churn: determinism at every thread count, slot reuse
+// ---------------------------------------------------------------------------
+
+std::vector<Obs> churn_campaign(int threads) {
+  const std::size_t kChips = 512;
+  const auto descr = rake::maps::descrambler_config();
+  const auto despr = rake::maps::despreader_config(16, 1);
+  FleetOptions opts;
+  opts.threads = threads;
+  FleetManager fleet(opts);
+
+  // Two groups (distinct CRCs) so multi-threaded dispatch has real
+  // concurrent work; sessions evicted and re-admitted mid-campaign.
+  std::vector<SessionId> ids;
+  for (std::size_t i = 0; i < 3; ++i) ids.push_back(fleet.admit(descr));
+  for (std::size_t i = 0; i < 3; ++i) ids.push_back(fleet.admit(despr));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto steps = i < 3 ? descrambler_steps(i, kChips)
+                             : despreader_steps(i, kChips);
+    for (const auto& [port, words] : steps[0].feeds) {
+      fleet.input(ids[i], port).feed(words);
+    }
+  }
+  fleet.run_cycles(static_cast<long long>(kChips) + 256);
+
+  std::vector<Obs> obs;
+  for (const SessionId id : ids) obs.push_back(observe(fleet, id));
+
+  // Churn: evict one session of each group, re-admit, drive again.
+  fleet.evict(ids[0]);
+  fleet.evict(ids[3]);
+  ids[0] = fleet.admit(descr);
+  ids[3] = fleet.admit(despr);
+  EXPECT_TRUE(fleet.cache_hit(ids[0]));
+  EXPECT_TRUE(fleet.cache_hit(ids[3]));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto steps = i < 3 ? descrambler_steps(100 + i, kChips)
+                             : despreader_steps(100 + i, kChips);
+    for (const auto& [port, words] : steps[0].feeds) {
+      fleet.input(ids[i], port).feed(words);
+    }
+  }
+  fleet.run_cycles(static_cast<long long>(kChips) + 256);
+  for (const SessionId id : ids) obs.push_back(observe(fleet, id));
+
+  const FleetStats st = fleet.stats();
+  EXPECT_EQ(st.sessions, 6);
+  EXPECT_EQ(st.evicts, 2);
+  EXPECT_EQ(st.groups, 2);
+  return obs;
+}
+
+TEST(Fleet, ChurnDeterministicAcrossThreadCounts) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto base = churn_campaign(1);
+  ASSERT_FALSE(base.empty());
+  for (const int t : {2, static_cast<int>(hw == 0 ? 1 : hw) + 3}) {
+    EXPECT_EQ(base, churn_campaign(t))
+        << "trajectories diverged at threads=" << t;
+  }
+}
+
+TEST(Fleet, EvictRecyclesLaneSlots) {
+  const auto cfg = rake::maps::descrambler_config();
+  FleetManager fleet;
+  const SessionId warm = fleet.admit(cfg);
+  drive(fleet, warm, descrambler_steps(0, 512));
+  // Admit/evict churn at a steady population of 2 must not grow the
+  // per-group lane table (or the fleet's session/group bookkeeping).
+  for (int round = 0; round < 8; ++round) {
+    const SessionId s = fleet.admit(cfg);
+    EXPECT_TRUE(fleet.cache_hit(s));
+    drive(fleet, s, descrambler_steps(1 + round, 256));
+    fleet.evict(s);
+  }
+  EXPECT_EQ(fleet.sessions(), 1);
+  const FleetStats st = fleet.stats();
+  EXPECT_EQ(st.groups, 1);
+  EXPECT_EQ(st.admits, 9);
+  EXPECT_EQ(st.evicts, 8);
+  // Stats stay monotone across churn: every evicted hit session's
+  // adopt shows up in the folded totals.
+  EXPECT_GE(st.fleet_adopts, 8);
+  EXPECT_GE(st.fleet_arms, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Edges
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, EmptyFleetAndUnknownSessions) {
+  FleetManager fleet;
+  fleet.run_cycles(1000);  // no sessions: must be a no-op, not a hang
+  EXPECT_EQ(fleet.sessions(), 0);
+  EXPECT_THROW(fleet.board(0), std::out_of_range);
+  EXPECT_THROW(fleet.evict(7), std::out_of_range);
+  const SessionId s = fleet.admit(rake::maps::descrambler_config());
+  fleet.evict(s);
+  EXPECT_THROW(fleet.board(s), std::out_of_range);
+  fleet.run_cycles(64);  // all sessions evicted: again a no-op
+  EXPECT_EQ(fleet.stats().sessions, 0);
+}
+
+TEST(Fleet, RejectsBadOptions) {
+  FleetOptions negative;
+  negative.threads = -1;
+  EXPECT_THROW(FleetManager{negative}, std::invalid_argument);
+  FleetOptions width;
+  width.batch_width = 0;
+  EXPECT_THROW(FleetManager{width}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::fleet

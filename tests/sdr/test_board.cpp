@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "src/ofdm/maps.hpp"
 #include "src/rake/maps.hpp"
 
@@ -15,6 +18,20 @@ TEST(Board, ComponentsPresent) {
   EXPECT_EQ(board.microcontroller().clock_hz(), 100.0e6);
   board.fpga_route(128);
   EXPECT_EQ(board.fpga_words_routed(), 128);
+}
+
+TEST(Board, FpgaRouteRejectsNegativeWordCounts) {
+  // Regression: a negative delta used to drive the monotone crossbar
+  // counter negative with no diagnostic (and board snapshots would
+  // round-trip the corrupt value forever).
+  SdrBoard board;
+  board.fpga_route(64);
+  EXPECT_THROW(board.fpga_route(-1), std::invalid_argument);
+  EXPECT_THROW(board.fpga_route(std::numeric_limits<long long>::min()),
+               std::invalid_argument);
+  EXPECT_EQ(board.fpga_words_routed(), 64) << "failed route must not account";
+  board.fpga_route(0);  // zero stays legal (no-op)
+  EXPECT_EQ(board.fpga_words_routed(), 64);
 }
 
 TEST(TimeSlicerTest, RecordsSliceStats) {
