@@ -120,6 +120,19 @@ echo "==== [fleet] ctest -L fleet ===="
 (cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
   ctest --output-on-failure -j "$JOBS" -L fleet)
 
+# Workload battery: the Viterbi-ACS and channelizer array workloads
+# plus the delta-reconfiguration fuzz — golden-reference differential
+# tests over randomized inputs (already part of tier-1; repeated by
+# label here, and again in the ASan+UBSan tree, so a workload
+# regression is named in the sweep output and the randomized batteries
+# get a dedicated memory-safety pass).
+echo "==== [workload] ctest -L workload ===="
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L workload)
+echo "==== [workload-asan] ctest -L workload (ASan+UBSan) ===="
+(cd "$ROOT/build-check-asan" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L workload)
+
 # Crash-resilience end to end: kill a real campaign, resume it.
 kill_resume_smoke
 
@@ -129,5 +142,24 @@ kill_resume_smoke
 echo "==== [perf] ctest -L perf (smoke) ===="
 (cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
   ctest --output-on-failure -L perf)
+
+# Every emitted BENCH_*.json must carry the host-capability context
+# block (compiler, arch, SIMD ISA, lane width, hardware_concurrency) —
+# perf numbers without it are not comparable across machines.
+echo "==== [perf] BENCH_*.json host-context check ===="
+shopt -s nullglob
+bench_jsons=("$ROOT"/build-check-tier1/bench/BENCH_*.json)
+shopt -u nullglob
+if [ "${#bench_jsons[@]}" -eq 0 ]; then
+  echo "perf smoke emitted no BENCH_*.json" >&2
+  exit 1
+fi
+for f in "${bench_jsons[@]}"; do
+  if ! grep -q '"host":' "$f"; then
+    echo "BENCH json missing host context block: $f" >&2
+    exit 1
+  fi
+done
+echo "host context present in ${#bench_jsons[@]} BENCH_*.json files"
 
 echo "check.sh: all configurations green"

@@ -1,0 +1,44 @@
+#include "src/chan/golden.hpp"
+
+namespace rsp::chan {
+
+std::array<std::vector<CplxD>, kBands> golden_channelize(
+    const std::vector<CplxD>& x) {
+  const auto h = prototype_taps();
+  const std::size_t frames = x.size() / kBands;
+
+  // Branch FIRs: branch rho filters u_rho[m] = x[4m + rho] with taps
+  // h[4i + rho] / 4 (the same gain the array realizes via kBranchShift),
+  // zero initial state — matching the preloaded-zero delay nets.
+  std::array<std::vector<CplxD>, kBands> v;
+  for (int rho = 0; rho < kBands; ++rho) {
+    v[rho].resize(frames);
+    for (std::size_t m = 0; m < frames; ++m) {
+      CplxD acc{};
+      for (int i = 0; i < kTapsPerBranch; ++i) {
+        if (m < static_cast<std::size_t>(i)) break;
+        acc += (h[kBands * i + rho] / kBands) * x[kBands * (m - i) + rho];
+      }
+      v[rho][m] = acc;
+    }
+  }
+
+  // Radix-4 DFT across the branches, written exactly as the array's
+  // butterfly (W = -j realized as rot(z) = (im, -re)).
+  std::array<std::vector<CplxD>, kBands> y;
+  for (auto& band : y) band.resize(frames);
+  for (std::size_t m = 0; m < frames; ++m) {
+    const CplxD t0 = v[0][m] + v[2][m];
+    const CplxD t1 = v[0][m] - v[2][m];
+    const CplxD t2 = v[1][m] + v[3][m];
+    const CplxD t3 = v[1][m] - v[3][m];
+    const CplxD rot{t3.imag(), -t3.real()};
+    y[0][m] = t0 + t2;
+    y[1][m] = t1 + rot;
+    y[2][m] = t0 - t2;
+    y[3][m] = t1 - rot;
+  }
+  return y;
+}
+
+}  // namespace rsp::chan

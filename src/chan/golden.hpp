@@ -1,0 +1,28 @@
+// Double-precision golden reference for the polyphase channelizer.
+//
+// Mirrors src/chan/maps.cpp block for block — forward commutator,
+// type-1 polyphase branch FIRs with gain h/4, radix-4 DFT butterfly —
+// in double precision with unquantized prototype taps, so the only
+// differences from the array are coefficient quantization (Q11) and
+// the per-product rounding of kCMulShr.  The pinned tolerance in
+// tests/dsp/test_channelizer.cpp is derived from exactly those two
+// sources.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "src/chan/maps.hpp"
+
+namespace rsp::chan {
+
+using CplxD = std::complex<double>;
+
+/// Golden sub-band outputs for wideband input @p x (length a multiple
+/// of kBands): band b stream, x.size()/kBands samples each, in the
+/// same units as the array's 12-bit outputs.
+[[nodiscard]] std::array<std::vector<CplxD>, kBands> golden_channelize(
+    const std::vector<CplxD>& x);
+
+}  // namespace rsp::chan

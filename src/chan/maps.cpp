@@ -1,0 +1,217 @@
+#include "src/chan/maps.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/word.hpp"
+#include "src/xpp/builder.hpp"
+
+namespace rsp::chan {
+
+using xpp::ConfigBuilder;
+using xpp::Configuration;
+using xpp::ObjHandle;
+using xpp::Opcode;
+using xpp::Word;
+
+std::array<double, kProtoTaps> prototype_taps() {
+  // Hamming-windowed sinc, cutoff pi/4 (one bandwidth of the 4-band
+  // bank), centre at (N-1)/2 = 7.5 so no tap hits the singularity.
+  std::array<double, kProtoTaps> h{};
+  const double c = (kProtoTaps - 1) / 2.0;
+  double abs_sum = 0.0;
+  for (int n = 0; n < kProtoTaps; ++n) {
+    const double t = n - c;
+    const double sinc = std::sin(M_PI * t / kBands) / (M_PI * t);
+    const double win =
+        0.54 - 0.46 * std::cos(2.0 * M_PI * n / (kProtoTaps - 1));
+    h[n] = sinc * win;
+    abs_sum += std::abs(h[n]);
+  }
+  // Normalize sum |h| = 0.9: keeps every branch FIR and the radix-4
+  // combine strictly inside 12-bit range for full-scale input (see
+  // kBranchShift in maps.hpp).
+  for (double& v : h) v *= 0.9 / abs_sum;
+  return h;
+}
+
+std::array<Word, kProtoTaps> prototype_taps_q() {
+  const auto h = prototype_taps();
+  std::array<Word, kProtoTaps> q{};
+  for (int n = 0; n < kProtoTaps; ++n) {
+    q[n] = static_cast<Word>(std::lround(h[n] * (1 << kCoeffShift)));
+  }
+  return q;
+}
+
+namespace {
+
+/// One transposed-form 4-tap branch FIR on packed I/Q: four kCMulShr
+/// multipliers against real coefficients (h_q, 0), a kCAdd chain with
+/// preloaded-zero unit delays between stages.  Returns the handle whose
+/// out(0) carries the branch output v_rho.
+ObjHandle branch_fir(ConfigBuilder& b, const std::string& prefix,
+                     xpp::PortRef u, int rho,
+                     const std::array<Word, kProtoTaps>& hq) {
+  std::array<ObjHandle, kTapsPerBranch> mul;
+  for (int i = 0; i < kTapsPerBranch; ++i) {
+    mul[i] = b.alu_shift(prefix + "_m" + std::to_string(i), Opcode::kCMulShr,
+                         kBranchShift);
+    b.connect(u, mul[i].in(0));
+    b.tie(mul[i], 1, pack_iq(hq[kBands * i + rho], 0));
+  }
+  // Transposed chain: v = m0 + z^-1(m1 + z^-1(m2 + z^-1 m3)); the
+  // preloaded zero token on each inter-stage net is the delay register.
+  ObjHandle acc = mul[kTapsPerBranch - 1];
+  for (int i = kTapsPerBranch - 2; i >= 0; --i) {
+    const auto add = b.alu(prefix + "_a" + std::to_string(i), Opcode::kCAdd);
+    b.connect_preload(acc.out(0), add.in(0), 0);
+    b.connect(mul[i].out(0), add.in(1));
+    acc = add;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Configuration channelizer_config() {
+  ConfigBuilder b("chan_pfb4");
+  const auto hq = prototype_taps_q();
+
+  // Commutator: a free-running mod-4 counter deals sample n to branch
+  // n mod 4 through a two-level kDemux tree.  The select bits travel
+  // through their own demux level so each second-level demux sees a
+  // select token exactly when it sees a data token — the dataflow
+  // handshake keeps counter and sample stream in lock-step (the
+  // counter stalls as soon as its fan-out nets fill while "x" starves).
+  const auto x = b.input("x");
+  const auto cnt = b.counter("cnt", {0, 1, kBands});
+  const auto bit0 = b.alu("bit0", Opcode::kAnd);
+  b.tie(bit0, 1, 1);
+  b.connect(cnt.out(0), bit0.in(0));
+  const auto bit1 = b.alu_shift("bit1", Opcode::kShr, 1);
+  b.connect(cnt.out(0), bit1.in(0));
+
+  const auto dmxs = b.alu("dmx_sel", Opcode::kDemux);
+  b.connect(bit1.out(0), dmxs.in(0));
+  b.connect(bit0.out(0), dmxs.in(1));
+  const auto dmxh = b.alu("dmx_hi", Opcode::kDemux);
+  b.connect(bit1.out(0), dmxh.in(0));
+  b.connect(x.out(0), dmxh.in(1));
+  const auto dmx01 = b.alu("dmx01", Opcode::kDemux);
+  b.connect(dmxs.out(0), dmx01.in(0));
+  b.connect(dmxh.out(0), dmx01.in(1));
+  const auto dmx23 = b.alu("dmx23", Opcode::kDemux);
+  b.connect(dmxs.out(1), dmx23.in(0));
+  b.connect(dmxh.out(1), dmx23.in(1));
+
+  // Polyphase branches: branch rho filters u_rho[m] = x[4m + rho] with
+  // taps h[4i + rho], total gain h/4 (kBranchShift folds the 1/M DFT
+  // normalization).
+  const std::array<xpp::PortRef, kBands> u = {dmx01.out(0), dmx01.out(1),
+                                              dmx23.out(0), dmx23.out(1)};
+  std::array<ObjHandle, kBands> v;
+  for (int rho = 0; rho < kBands; ++rho) {
+    v[rho] = branch_fir(b, "b" + std::to_string(rho), u[rho], rho, hq);
+  }
+
+  // Radix-4 DFT across the branch outputs (W = e^{-j 2 pi / 4} = -j):
+  //   Y0 = t0 + t2        t0 = v0 + v2   t2 = v1 + v3
+  //   Y2 = t0 - t2        t1 = v0 - v2   t3 = v1 - v3
+  //   Y1 = t1 + (-j) t3
+  //   Y3 = t1 - (-j) t3
+  const auto t0 = b.alu("t0", Opcode::kCAdd);
+  b.connect(v[0].out(0), t0.in(0));
+  b.connect(v[2].out(0), t0.in(1));
+  const auto t1 = b.alu("t1", Opcode::kCSub);
+  b.connect(v[0].out(0), t1.in(0));
+  b.connect(v[2].out(0), t1.in(1));
+  const auto t2 = b.alu("t2", Opcode::kCAdd);
+  b.connect(v[1].out(0), t2.in(0));
+  b.connect(v[3].out(0), t2.in(1));
+  const auto t3 = b.alu("t3", Opcode::kCSub);
+  b.connect(v[1].out(0), t3.in(0));
+  b.connect(v[3].out(0), t3.in(1));
+  const auto rot = b.alu("rotmj", Opcode::kCRotMj);
+  b.connect(t3.out(0), rot.in(0));
+
+  const auto y0 = b.alu("y0", Opcode::kCAdd);
+  b.connect(t0.out(0), y0.in(0));
+  b.connect(t2.out(0), y0.in(1));
+  const auto y2 = b.alu("y2", Opcode::kCSub);
+  b.connect(t0.out(0), y2.in(0));
+  b.connect(t2.out(0), y2.in(1));
+  const auto y1 = b.alu("y1", Opcode::kCAdd);
+  b.connect(t1.out(0), y1.in(0));
+  b.connect(rot.out(0), y1.in(1));
+  const auto y3 = b.alu("y3", Opcode::kCSub);
+  b.connect(t1.out(0), y3.in(0));
+  b.connect(rot.out(0), y3.in(1));
+
+  const std::array<ObjHandle, kBands> y = {y0, y1, y2, y3};
+  for (int band = 0; band < kBands; ++band) {
+    const auto out = b.output("band" + std::to_string(band));
+    b.connect(y[band].out(0), out.in(0));
+  }
+  return b.build();
+}
+
+std::array<std::vector<CplxI>, kBands> run_channelizer(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& x,
+    xpp::RunResult* stats) {
+  if (x.size() % kBands != 0) {
+    throw std::invalid_argument(
+        "run_channelizer: input length must be a multiple of " +
+        std::to_string(kBands));
+  }
+  std::vector<Word> feed;
+  feed.reserve(x.size());
+  for (const CplxI& z : x) {
+    if (z.re < -2047 || z.re > 2047 || z.im < -2047 || z.im > 2047) {
+      throw std::invalid_argument(
+          "run_channelizer: sample exceeds 12-bit halves");
+    }
+    feed.push_back(pack_cplx(z));
+  }
+
+  const xpp::ConfigId id = mgr.load(channelizer_config());
+  const long long start = mgr.sim().cycle();
+  mgr.input(id, "x").feed(feed);
+  const std::size_t want = x.size() / kBands;
+  std::array<xpp::OutputObject*, kBands> sinks{};
+  for (int band = 0; band < kBands; ++band) {
+    sinks[band] = &mgr.output(id, "band" + std::to_string(band));
+  }
+  // The commutator counter free-runs ahead of the sample stream, so the
+  // array never reaches token-free quiescence — run until every band
+  // sink has its share of outputs instead.
+  const auto drained = [&] {
+    for (const auto* s : sinks) {
+      if (s->data().size() < want) return false;
+    }
+    return true;
+  };
+  long long guard = 0;
+  while (!drained()) {
+    mgr.sim().step();
+    if (++guard > static_cast<long long>(x.size()) * 8 + 10000) {
+      throw xpp::ConfigError("run_channelizer: sub-band stream stalled");
+    }
+  }
+  std::array<std::vector<CplxI>, kBands> bands;
+  for (int band = 0; band < kBands; ++band) {
+    const std::vector<Word> raw = sinks[band]->take();
+    bands[band].reserve(raw.size());
+    for (const Word w : raw) bands[band].push_back(unpack_cplx(w));
+  }
+  if (stats != nullptr) {
+    stats->cycles = mgr.sim().cycle() - start;
+    stats->load_cycles = mgr.info(id).load_cycles;
+    stats->info = mgr.info(id);
+  }
+  mgr.release(id);
+  return bands;
+}
+
+}  // namespace rsp::chan

@@ -1,0 +1,56 @@
+// XPP mapping of a 4-band polyphase channelizer (DFT filter bank).
+//
+// The multi-standard front end the paper motivates (one wideband ADC
+// stream serving UMTS, 802.11 and GSM paths at once) is a critically
+// sampled DFT filter bank: a commutator deals the wideband stream
+// across M = 4 polyphase branches, each branch runs one phase of the
+// prototype lowpass at 1/4 rate, and a 4-point DFT across the branch
+// outputs separates the sub-bands (PAPERS.md: reconfigurable filter
+// bank for multi-standard channelizers).  Everything runs in the
+// packed 12+12-bit I/Q fixed point of the array; the double-precision
+// golden model in golden.hpp mirrors the block structure exactly, and
+// tests/dsp/test_channelizer.cpp pins the fixed-point tolerance.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::chan {
+
+/// Bands and polyphase branches of the channelizer.
+inline constexpr int kBands = 4;
+
+/// Prototype lowpass length (kBands branches x kTapsPerBranch taps).
+inline constexpr int kProtoTaps = 16;
+inline constexpr int kTapsPerBranch = kProtoTaps / kBands;
+
+/// Coefficient quantization: taps are Q11, and each branch FIR's
+/// post-multiply shift is kBranchShift = 13, folding in the 1/M DFT
+/// normalization (total branch gain h/4).  The extra two bits keep the
+/// radix-4 combine out of 12-bit saturation even for full-scale input:
+/// sum |h| < 1, so |Y| <= sum|h| * 2048 / 4 < 512.
+inline constexpr int kCoeffShift = 11;
+inline constexpr int kBranchShift = 13;
+
+/// The real prototype lowpass (cutoff pi/4, Hamming-windowed sinc,
+/// normalized to sum |h| = 0.9) and its Q11 quantization.
+[[nodiscard]] std::array<double, kProtoTaps> prototype_taps();
+[[nodiscard]] std::array<xpp::Word, kProtoTaps> prototype_taps_q();
+
+/// The channelizer configuration: 1 input ("x", packed I/Q wideband
+/// samples), kBands outputs ("band0".."band3"), ~43 ALU-PAEs
+/// (commutator demux tree, 4 transposed-form branch FIRs, radix-4 DFT
+/// butterfly), no RAM-PAEs.
+[[nodiscard]] xpp::Configuration channelizer_config();
+
+/// Run @p x (length a multiple of kBands) through the array config and
+/// return the kBands sub-band streams, each x.size()/kBands long.
+[[nodiscard]] std::array<std::vector<CplxI>, kBands> run_channelizer(
+    xpp::ConfigurationManager& mgr, const std::vector<CplxI>& x,
+    xpp::RunResult* stats = nullptr);
+
+}  // namespace rsp::chan

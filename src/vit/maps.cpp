@@ -1,0 +1,226 @@
+#include "src/vit/maps.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/word.hpp"
+#include "src/dedhw/convcode.hpp"
+#include "src/xpp/builder.hpp"
+
+namespace rsp::vit {
+
+using dedhw::kG0;
+using dedhw::kG1;
+using dedhw::kNumStates;
+using xpp::ConfigBuilder;
+using xpp::Configuration;
+using xpp::Opcode;
+using xpp::RamMode;
+using xpp::RamParams;
+using xpp::Word;
+
+namespace {
+
+/// Branch-metric sign LUT for generator @p g: entry ns is +1 when the
+/// expected coded bit of the pred0 transition into state ns is 1, else
+/// -1.  The pred0 encoder window into ns is exactly ns (7 bits, bit 6
+/// clear); the pred1 window is ns + 64.  Both generators have bit 6
+/// set, so the pred1 expected bits are the complements of pred0's and
+/// bm(pred1) = -bm(pred0) — one LUT pair serves both butterflies.
+std::vector<Word> sign_lut(unsigned g) {
+  std::vector<Word> lut(kNumStates);
+  for (unsigned ns = 0; ns < static_cast<unsigned>(kNumStates); ++ns) {
+    lut[ns] = (std::popcount(ns & g) & 1) ? 1 : -1;
+  }
+  return lut;
+}
+
+}  // namespace
+
+Configuration acs_config() {
+  ConfigBuilder b("vit_acs_k7");
+
+  // Host streams each packed (sa, sb) soft pair 64 times — one copy per
+  // state — so the whole datapath is rate-balanced at one state/cycle
+  // and the array drains to true quiescence after the last step.
+  const auto soft = b.input("soft");
+  const auto dup = b.alu("dup", Opcode::kDup);
+  b.connect(soft.out(0), dup.in(0));
+  const auto unp = b.alu("unpack", Opcode::kUnpack);
+  b.connect(dup.out(0), unp.in(0));
+
+  // Master index k = 64*step + ns, advanced once per consumed soft word.
+  const auto cnt = b.counter("k", {0, 1, 0});
+  b.connect(dup.out(1), cnt.in(0));
+
+  // Address decomposition: ns = k & 63, step parity = (k >> 6) & 1.
+  // Metrics ping-pong between two 64-word banks: reads from bank
+  // parity, writes to bank parity^1 (read base rbase = parity << 6,
+  // write base wbase = rbase ^ 64).
+  const auto ns = b.alu("ns", Opcode::kAnd);
+  b.tie(ns, 1, 63);
+  b.connect(cnt.out(0), ns.in(0));
+  const auto par = b.alu_shift("par", Opcode::kShr, 6);
+  b.connect(cnt.out(0), par.in(0));
+  const auto par1 = b.alu("par1", Opcode::kAnd);
+  b.tie(par1, 1, 1);
+  b.connect(par.out(0), par1.in(0));
+  const auto rbase = b.alu_shift("rbase", Opcode::kShl, 6);
+  b.connect(par1.out(0), rbase.in(0));
+  const auto wbase = b.alu("wbase", Opcode::kXor);
+  b.tie(wbase, 1, 64);
+  b.connect(rbase.out(0), wbase.in(0));
+
+  // Predecessor states of ns: p0 = ns >> 1, p1 = p0 | 32.
+  const auto p0 = b.alu_shift("p0", Opcode::kShr, 1);
+  b.connect(ns.out(0), p0.in(0));
+  const auto p1 = b.alu("p1", Opcode::kOr);
+  b.tie(p1, 1, 32);
+  b.connect(p0.out(0), p1.in(0));
+  const auto addr0 = b.alu("addr0", Opcode::kAdd);
+  b.connect(rbase.out(0), addr0.in(0));
+  b.connect(p0.out(0), addr0.in(1));
+  const auto addr1 = b.alu("addr1", Opcode::kAdd);
+  b.connect(rbase.out(0), addr1.in(0));
+  b.connect(p1.out(0), addr1.in(1));
+  const auto waddr = b.alu("waddr", Opcode::kAdd);
+  b.connect(wbase.out(0), waddr.in(0));
+  b.connect(ns.out(0), waddr.in(1));
+
+  // Branch metric of the pred0 transition: bm = sgnA[ns]*sa + sgnB[ns]*sb
+  // (the pred1 metric is its negation, see sign_lut).
+  RamParams lut_a;
+  lut_a.mode = RamMode::kLut;
+  lut_a.capacity = kNumStates;
+  lut_a.preload = sign_lut(kG0);
+  const auto sgn_a = b.ram("sgn_a", std::move(lut_a));
+  b.connect(ns.out(0), sgn_a.in(0));
+  RamParams lut_b;
+  lut_b.mode = RamMode::kLut;
+  lut_b.capacity = kNumStates;
+  lut_b.preload = sign_lut(kG1);
+  const auto sgn_b = b.ram("sgn_b", std::move(lut_b));
+  b.connect(ns.out(0), sgn_b.in(0));
+  const auto bm_a = b.alu("bm_a", Opcode::kMul);
+  b.connect(sgn_a.out(0), bm_a.in(0));
+  b.connect(unp.out(0), bm_a.in(1));
+  const auto bm_b = b.alu("bm_b", Opcode::kMul);
+  b.connect(sgn_b.out(0), bm_b.in(0));
+  b.connect(unp.out(1), bm_b.in(1));
+  const auto bm = b.alu("bm", Opcode::kAdd);
+  b.connect(bm_a.out(0), bm.in(0));
+  b.connect(bm_b.out(0), bm.in(1));
+
+  // Ping-pong path-metric banks, duplicated across two RAM-PAEs so the
+  // two predecessor reads proceed in the same cycle; both copies see
+  // the identical write stream.  Bank 0 preload encodes the start
+  // state: metric[0] = 0, every other state -kMetricFloor.
+  std::vector<Word> init(kNumStates, -kMetricFloor);
+  init[0] = 0;
+  RamParams pm;
+  pm.mode = RamMode::kRam;
+  pm.capacity = 2 * kNumStates;
+  pm.preload = init;
+  const auto pm0 = b.ram("pm0", pm);
+  const auto pm1 = b.ram("pm1", std::move(pm));
+  b.connect(addr0.out(0), pm0.in(0));
+  b.connect(addr1.out(0), pm1.in(0));
+
+  // Add-compare-select.  sel reproduces dedhw's tie-break exactly:
+  // pred1 must be strictly greater to win (dedhw scans predecessors in
+  // ascending state order with a strict >).
+  const auto cand0 = b.alu("cand0", Opcode::kAdd);
+  b.connect(pm0.out(0), cand0.in(0));
+  b.connect(bm.out(0), cand0.in(1));
+  const auto cand1 = b.alu("cand1", Opcode::kSub);
+  b.connect(pm1.out(0), cand1.in(0));
+  b.connect(bm.out(0), cand1.in(1));
+  const auto sel = b.alu("sel", Opcode::kGt);
+  b.connect(cand1.out(0), sel.in(0));
+  b.connect(cand0.out(0), sel.in(1));
+  const auto newm = b.alu("newm", Opcode::kMux);
+  b.connect(sel.out(0), newm.in(0));
+  b.connect(cand0.out(0), newm.in(1));
+  b.connect(cand1.out(0), newm.in(2));
+  b.connect(waddr.out(0), pm0.in(1));
+  b.connect(waddr.out(0), pm1.in(1));
+  b.connect(newm.out(0), pm0.in(2));
+  b.connect(newm.out(0), pm1.in(2));
+
+  // Survivor bit out — the host runs the traceback.
+  const auto surv = b.output("surv");
+  b.connect(sel.out(0), surv.in(0));
+
+  return b.build();
+}
+
+std::vector<std::uint8_t> traceback(const std::vector<Word>& surv,
+                                    std::size_t steps, std::size_t n_info) {
+  // Terminated: the encoder's K-1 zero tail forces the survivor to end
+  // in state 0 — identical to dedhw::ViterbiDecoder::decode.
+  unsigned state = 0;
+  std::vector<std::uint8_t> decoded(steps);
+  for (std::size_t step = steps; step-- > 0;) {
+    decoded[step] = static_cast<std::uint8_t>(state & 1u);
+    const unsigned p =
+        surv[step * kNumStates + state] != 0 ? 1u : 0u;
+    state = (state >> 1) | (p << (dedhw::kConstraintLen - 2));
+  }
+  if (decoded.size() > n_info) decoded.resize(n_info);
+  return decoded;
+}
+
+std::vector<std::uint8_t> run_viterbi_acs(xpp::ConfigurationManager& mgr,
+                                          const std::vector<std::int32_t>& soft,
+                                          std::size_t n_info,
+                                          xpp::RunResult* stats) {
+  const std::size_t steps = soft.size() / 2;
+  // Exactness contract: soft values must fit the packed 12-bit halves,
+  // and the worst-case path metric must stay inside the saturating
+  // 24-bit ALU range so the on-array integers equal dedhw's int64 math.
+  long long excursion = kMetricFloor;
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    if (soft[i] < -2047 || soft[i] > 2047) {
+      throw std::invalid_argument("run_viterbi_acs: soft value " +
+                                  std::to_string(soft[i]) +
+                                  " exceeds 12 bits");
+    }
+    excursion += soft[i] < 0 ? -soft[i] : soft[i];
+  }
+  if (excursion > (1 << 23) - 1) {
+    throw std::invalid_argument(
+        "run_viterbi_acs: codeword long enough to saturate 24-bit path "
+        "metrics");
+  }
+
+  std::vector<Word> feed;
+  feed.reserve(steps * kNumStates);
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Word w = pack_iq(soft[2 * step], soft[2 * step + 1]);
+    for (int s = 0; s < kNumStates; ++s) feed.push_back(w);
+  }
+
+  const xpp::ConfigId id = mgr.load(acs_config());
+  const long long start = mgr.sim().cycle();
+  mgr.input(id, "soft").feed(feed);
+  auto& sink = mgr.output(id, "surv");
+  const std::size_t want = steps * kNumStates;
+  long long guard = 0;
+  while (sink.data().size() < want) {
+    mgr.sim().step();
+    if (++guard > static_cast<long long>(want) * 4 + 10000) {
+      throw xpp::ConfigError("run_viterbi_acs: survivor stream stalled");
+    }
+  }
+  const std::vector<Word> surv = sink.take();
+  if (stats != nullptr) {
+    stats->cycles = mgr.sim().cycle() - start;
+    stats->load_cycles = mgr.info(id).load_cycles;
+    stats->info = mgr.info(id);
+  }
+  mgr.release(id);
+  return traceback(surv, steps, n_info);
+}
+
+}  // namespace rsp::vit

@@ -1,0 +1,58 @@
+// XPP mapping of the K=7 Viterbi add-compare-select recursion.
+//
+// The paper's Figure 8 keeps channel decoding in dedicated hardware;
+// the reconfigurable-Viterbi literature (PAPERS.md: WiMAX decoder on a
+// reconfigurable array) maps the ACS butterflies onto the fabric
+// instead.  This module does that for the existing
+// dedhw::ViterbiDecoder's code (K=7, G0=0x6D, G1=0x4F, 64 states): a
+// time-multiplexed ACS array configuration that processes one trellis
+// state per cycle against ping-ponged path-metric banks in two
+// RAM-PAEs, streaming one survivor bit per state per step to the host,
+// which runs the (sequential, data-dependent) traceback.  The hard
+// decisions are bit-identical to dedhw::ViterbiDecoder::decode — proven
+// by the differential battery in tests/vit/test_viterbi_xpp.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/xpp/manager.hpp"
+#include "src/xpp/runner.hpp"
+
+namespace rsp::vit {
+
+/// Path-metric offset substituting for dedhw's -inf initialization:
+/// every state but 0 starts at -kMetricFloor.  Any path through a
+/// fake-initial state trails every true path by at least
+/// kMetricFloor - 24 * max|soft| > 0 until all states become reachable
+/// (6 steps), so it can never win an ACS comparison that dedhw would
+/// have decided differently.
+inline constexpr xpp::Word kMetricFloor = 1 << 16;
+
+/// The ACS array configuration: 1 input ("soft", packed (sa, sb) soft
+/// pairs replicated once per state), 1 output ("surv", one survivor
+/// bit per state per trellis step), ~20 ALU-PAEs and two RAM-PAEs
+/// holding duplicated ping-pong path-metric banks.
+[[nodiscard]] xpp::Configuration acs_config();
+
+/// Decode @p soft (2 soft values per trellis step, dedhw convention:
+/// positive favours bit 1, |value| <= 2047) on the array: stream the
+/// replicated soft words through @p cfg_id... load, run, release is
+/// handled internally.  Terminated traceback (encoder tail forces
+/// state 0), first @p n_info bits returned — the exact contract of
+/// dedhw::ViterbiDecoder::decode(soft, n_info, true).
+/// Throws std::invalid_argument when a soft value exceeds 12 bits or
+/// the codeword is long enough for the 24-bit metrics to saturate
+/// (kMetricFloor + sum |soft| must stay below 2^23).
+[[nodiscard]] std::vector<std::uint8_t> run_viterbi_acs(
+    xpp::ConfigurationManager& mgr, const std::vector<std::int32_t>& soft,
+    std::size_t n_info, xpp::RunResult* stats = nullptr);
+
+/// Host-side terminated traceback over the survivor-bit stream the
+/// array produced (surv[64 * step + state]).  Exposed so tests can
+/// re-run it over fault-corrupted survivor memories.
+[[nodiscard]] std::vector<std::uint8_t> traceback(
+    const std::vector<xpp::Word>& surv, std::size_t steps,
+    std::size_t n_info);
+
+}  // namespace rsp::vit

@@ -1,10 +1,16 @@
 #include "src/xpp/manager.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cstdlib>
+#include <map>
 #include <set>
+#include <tuple>
+#include <utility>
 
+#include "src/xpp/batch.hpp"
 #include "src/xpp/builder.hpp"
+#include "src/xpp/compiled.hpp"
 #include "src/xpp/trace.hpp"
 
 namespace rsp::xpp {
@@ -29,7 +35,92 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
+/// Canonical byte signature of one ObjectSpec — the same fields, in the
+/// same order, as the config_crc32 serializer's per-object record, so
+/// "changed" means exactly "its canonical serialization differs".
+std::vector<std::uint8_t> object_sig(const ObjectSpec& o) {
+  std::vector<std::uint8_t> s;
+  auto u8 = [&s](std::uint8_t v) { s.push_back(v); };
+  auto u32 = [&u8](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto word = [&u32](Word v) { u32(static_cast<std::uint32_t>(v)); };
+  u32(static_cast<std::uint32_t>(o.name.size()));
+  for (const char c : o.name) u8(static_cast<std::uint8_t>(c));
+  u8(static_cast<std::uint8_t>(o.kind));
+  u8(o.control ? 1 : 0);
+  u8(static_cast<std::uint8_t>(o.alu.op));
+  u32(static_cast<std::uint32_t>(o.alu.shift));
+  u8(o.alu.saturate ? 1 : 0);
+  for (const Word w : o.alu.table) word(w);
+  word(o.counter.start);
+  word(o.counter.step);
+  word(o.counter.modulo);
+  u8(static_cast<std::uint8_t>(o.ram.mode));
+  u32(static_cast<std::uint32_t>(o.ram.capacity));
+  u32(static_cast<std::uint32_t>(o.ram.preload.size()));
+  for (const Word w : o.ram.preload) word(w);
+  u8(o.placement.has_value() ? 1 : 0);
+  if (o.placement) {
+    u32(static_cast<std::uint32_t>(o.placement->row));
+    u32(static_cast<std::uint32_t>(o.placement->col));
+  }
+  u32(static_cast<std::uint32_t>(o.consts.size()));
+  for (const auto& [port, value] : o.consts) {
+    u32(static_cast<std::uint32_t>(port));
+    word(value);
+  }
+  return s;
+}
+
+/// Fan-out entry of a net diff: one sink binding (order-insensitive —
+/// the diff asks "does this net route the same", not "was it listed in
+/// the same order").
+using FanoutEntry = std::tuple<int, int, long long>;
+
+std::map<std::pair<int, int>, std::vector<FanoutEntry>> net_fanouts(
+    const Configuration& cfg) {
+  std::map<std::pair<int, int>, std::vector<FanoutEntry>> by_src;
+  for (const auto& c : cfg.connections) {
+    by_src[{c.src.object, c.src.port}].emplace_back(
+        c.dst.object, c.dst.port,
+        c.preload ? static_cast<long long>(*c.preload) : LLONG_MIN);
+  }
+  for (auto& [src, sinks] : by_src) std::sort(sinks.begin(), sinks.end());
+  return by_src;
+}
+
 }  // namespace
+
+ConfigDelta config_delta(const Configuration& from, const Configuration& to) {
+  ConfigDelta d;
+  const std::size_t common = std::min(from.objects.size(), to.objects.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (object_sig(from.objects[i]) != object_sig(to.objects[i])) {
+      ++d.changed_objects;
+    }
+  }
+  d.changed_objects += static_cast<int>(
+      std::max(from.objects.size(), to.objects.size()) - common);
+
+  const auto a = net_fanouts(from);
+  const auto b = net_fanouts(to);
+  for (const auto& [src, sinks] : a) {
+    const auto it = b.find(src);
+    if (it == b.end() || it->second != sinks) ++d.changed_nets;
+  }
+  for (const auto& [src, sinks] : b) {
+    if (a.find(src) == a.end()) ++d.changed_nets;
+  }
+  return d;
+}
+
+long long config_delta_cycles(const Configuration& from,
+                              const Configuration& to) {
+  const ConfigDelta d = config_delta(from, to);
+  return kDeltaCyclesBase + kLoadCyclesPerObject * d.changed_objects +
+         kLoadCyclesPerNet * d.changed_nets;
+}
 
 namespace detail {
 
@@ -98,7 +189,7 @@ long long config_load_cycles(const Configuration& cfg) {
          kLoadCyclesPerNet * static_cast<long long>(srcs.size());
 }
 
-ConfigId ConfigurationManager::load(const Configuration& cfg) {
+void ConfigurationManager::verify_config(const Configuration& cfg) {
   // Integrity first: a configuration stamped by ConfigBuilder::build
   // must hash to its recorded checksum, or it was corrupted between
   // build and load ("configurations cannot be overwritten illegally"
@@ -125,34 +216,13 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
                         "port");
     }
   }
+}
 
-  const ConfigId id = next_id_;
-  const Placement placement = resources_.place(cfg, id);
-  ++next_id_;
-
-  // Everything below may throw (net fan-out past kMaxNetSinks, bad
-  // object parameters); the resources claimed by place() must be
-  // returned so a failed load leaves the array exactly as it was.
-  std::vector<std::unique_ptr<Object>> objects;
-  std::vector<std::unique_ptr<Net>> nets;
-  try {
-    detail::instantiate_config(cfg, objects, nets);
-  } catch (...) {
-    // Objects and nets were never handed to the simulator; dropping
-    // them here plus releasing the placement restores every invariant
-    // (id stays consumed — ids are monotonic, not a resource).
-    resources_.release(id);
-    throw;
-  }
-
-  // Charge configuration-write time; everything already on the array
-  // keeps executing during the load.  Past this point nothing throws,
-  // so the cycle accounting only ever covers successful loads.
-  const long long cost = config_load_cycles(cfg);
-  const long long load_begin = sim_.cycle();
-  sim_.run(cost);
-  total_config_cycles_ += cost;
-
+void ConfigurationManager::register_loaded(
+    const Configuration& cfg, ConfigId id, const Placement& placement,
+    std::vector<std::unique_ptr<Object>> objects,
+    std::vector<std::unique_ptr<Net>> nets, long long cost,
+    long long load_begin) {
   LoadedConfig lc;
   lc.name = cfg.name;
   lc.group = sim_.add_group(std::move(objects), std::move(nets));
@@ -184,7 +254,177 @@ ConfigId ConfigurationManager::load(const Configuration& cfg) {
   lc.loaded_at_cycle = sim_.cycle();
   loaded_.emplace(id, lc);
   configs_.emplace(id, cfg);
+}
+
+void ConfigurationManager::maybe_adopt_programs(const Configuration& cfg) {
+  if (program_cache_ == nullptr || !cfg.checksum) return;
+  // The compiled engine detects whole-array periodicity, so published
+  // programs are only keyed meaningfully while this configuration is
+  // the array's sole resident.
+  if (loaded_.size() != 1 || !parked_.empty()) return;
+  CompiledEngine* eng = sim_.compiled_engine();
+  if (eng == nullptr) return;
+  eng->set_shared_cache(program_cache_, *cfg.checksum);
+  for (const auto& image : program_cache_->find_all(*cfg.checksum)) {
+    eng->adopt_shared(image);
+  }
+}
+
+void ConfigurationManager::attach_program_cache(BatchProgramCache* cache) {
+  program_cache_ = cache;
+  if (cache == nullptr) {
+    if (CompiledEngine* eng = sim_.compiled_engine()) {
+      eng->set_shared_cache(nullptr, 0);
+    }
+    return;
+  }
+  // Adopt for an already-resident sole configuration immediately.
+  if (loaded_.size() == 1 && parked_.empty()) {
+    maybe_adopt_programs(configs_.at(loaded_.begin()->first));
+  }
+}
+
+ConfigId ConfigurationManager::load(const Configuration& cfg) {
+  verify_config(cfg);
+
+  const ConfigId id = next_id_;
+  const Placement placement = resources_.place(cfg, id);
+  ++next_id_;
+
+  // Everything below may throw (net fan-out past kMaxNetSinks, bad
+  // object parameters); the resources claimed by place() must be
+  // returned so a failed load leaves the array exactly as it was.
+  std::vector<std::unique_ptr<Object>> objects;
+  std::vector<std::unique_ptr<Net>> nets;
+  try {
+    detail::instantiate_config(cfg, objects, nets);
+  } catch (...) {
+    // Objects and nets were never handed to the simulator; dropping
+    // them here plus releasing the placement restores every invariant
+    // (id stays consumed — ids are monotonic, not a resource).
+    resources_.release(id);
+    throw;
+  }
+
+  // Charge configuration-write time; everything already on the array
+  // keeps executing during the load.  Past this point nothing throws,
+  // so the cycle accounting only ever covers successful loads.
+  const long long cost = config_load_cycles(cfg);
+  const long long load_begin = sim_.cycle();
+  sim_.run(cost);
+  total_config_cycles_ += cost;
+
+  register_loaded(cfg, id, placement, std::move(objects), std::move(nets),
+                  cost, load_begin);
+  maybe_adopt_programs(cfg);
   return id;
+}
+
+DeltaReport ConfigurationManager::load_delta(ConfigId live,
+                                             const Configuration& target) {
+  const auto it = loaded_.find(live);
+  if (it == loaded_.end()) {
+    throw ConfigError("manager: load_delta from unknown configuration " +
+                      std::to_string(live));
+  }
+  verify_config(target);
+
+  const ConfigDelta d = config_delta(configs_.at(live), target);
+  const long long cost = kDeltaCyclesBase +
+                         kLoadCyclesPerObject * d.changed_objects +
+                         kLoadCyclesPerNet * d.changed_nets;
+
+  // Materialize the target exactly like a fresh load — identical
+  // objects, nets, preloads — before touching anything; a throw here
+  // leaves the live configuration running untouched.
+  std::vector<std::unique_ptr<Object>> objects;
+  std::vector<std::unique_ptr<Net>> nets;
+  detail::instantiate_config(target, objects, nets);
+
+  // Swap the resource claims: free the live configuration's and place
+  // the target under a fresh id.  The release-then-place order is what
+  // makes the result identical to a full release+load (same first-fit
+  // state); the copy restores the map exactly if placement fails.
+  const ResourceMap backup = resources_;
+  const ConfigId id = next_id_;
+  resources_.release(live);
+  Placement placement;
+  try {
+    placement = resources_.place(target, id);
+  } catch (...) {
+    resources_ = backup;
+    throw;
+  }
+  ++next_id_;
+
+  // Past this point nothing throws.  Charge the delta cost (the live
+  // configuration keeps executing while the changed PAEs are written),
+  // then swap the groups at one cycle boundary.
+  const long long begin = sim_.cycle();
+  sim_.run(cost);
+  total_config_cycles_ += cost;
+
+  const std::string old_name = it->second.name;
+  sim_.remove_group(it->second.group);
+  if (Tracer* t = sim_.tracer()) {
+    t->on_config_release(live, old_name, begin, sim_.cycle());
+  }
+  loaded_.erase(it);
+  configs_.erase(live);
+
+  register_loaded(target, id, placement, std::move(objects), std::move(nets),
+                  cost, begin);
+  maybe_adopt_programs(target);
+  return {id, d.changed_objects, d.changed_nets, cost};
+}
+
+void ConfigurationManager::park(ConfigId id) {
+  const auto it = loaded_.find(id);
+  if (it == loaded_.end()) {
+    throw ConfigError("manager: park of unknown configuration " +
+                      std::to_string(id));
+  }
+  const long long begin = sim_.cycle();
+  sim_.run(kParkCycles);
+  total_config_cycles_ += kParkCycles;
+  sim_.remove_group(it->second.group);
+  if (Tracer* t = sim_.tracer()) {
+    t->on_config_release(id, it->second.name, begin, sim_.cycle());
+  }
+  LoadedConfig lc = std::move(it->second);
+  lc.group = -1;
+  parked_.emplace(id, std::move(lc));
+  loaded_.erase(it);
+}
+
+void ConfigurationManager::acquire(ConfigId id) {
+  const auto it = parked_.find(id);
+  if (it == parked_.end()) {
+    throw ConfigError("manager: acquire of configuration " +
+                      std::to_string(id) + " which is not parked");
+  }
+  const Configuration& cfg = configs_.at(id);
+  // Fresh dynamic state, identical to a newly loaded instance; a throw
+  // here leaves the configuration parked and the pool untouched.
+  std::vector<std::unique_ptr<Object>> objects;
+  std::vector<std::unique_ptr<Net>> nets;
+  detail::instantiate_config(cfg, objects, nets);
+
+  const long long begin = sim_.cycle();
+  sim_.run(kAcquireCycles);
+  total_config_cycles_ += kAcquireCycles;
+
+  LoadedConfig lc = std::move(it->second);
+  parked_.erase(it);
+  lc.group = sim_.add_group(std::move(objects), std::move(nets));
+  lc.load_cycles = kAcquireCycles;
+  lc.loaded_at_cycle = sim_.cycle();
+  if (Tracer* t = sim_.tracer()) {
+    t->on_config_load(id, lc.name, begin, sim_.cycle());
+    t->annotate_group(lc.group, id);
+  }
+  loaded_.emplace(id, std::move(lc));
+  maybe_adopt_programs(cfg);
 }
 
 LoadReport ConfigurationManager::try_load(const Configuration& cfg) {
@@ -200,6 +440,25 @@ LoadReport ConfigurationManager::try_load(const Configuration& cfg) {
 void ConfigurationManager::release(ConfigId id) {
   const auto it = loaded_.find(id);
   if (it == loaded_.end()) {
+    // A parked configuration has no group to remove — just free its
+    // claims and charge the release cost.
+    const auto pit = parked_.find(id);
+    if (pit != parked_.end()) {
+      const long long cost =
+          kReleaseCyclesPerObject * (pit->second.alu_cells +
+                                     pit->second.ram_cells +
+                                     pit->second.io_channels);
+      const long long release_begin = sim_.cycle();
+      sim_.run(cost);
+      total_config_cycles_ += cost;
+      if (Tracer* t = sim_.tracer()) {
+        t->on_config_release(id, pit->second.name, release_begin, sim_.cycle());
+      }
+      resources_.release(id);
+      parked_.erase(pit);
+      configs_.erase(id);
+      return;
+    }
     throw ConfigError("manager: release of unknown configuration");
   }
   const long long cost =

@@ -22,6 +22,8 @@
 
 namespace rsp::xpp {
 
+class BatchProgramCache;
+
 /// Configuration-write cost model (cycles).  The XPP writes each
 /// object's configuration registers and each routing connection over an
 /// internal configuration bus; we charge a fixed setup plus a per-item
@@ -31,11 +33,52 @@ inline constexpr long long kLoadCyclesPerObject = 4;
 inline constexpr long long kLoadCyclesPerNet = 2;
 inline constexpr long long kReleaseCyclesPerObject = 1;
 
+/// Delta-reconfiguration cost model (cycles).  A delta load rewrites
+/// only the PAEs and nets whose canonical serialization differs from
+/// the live configuration's, so it pays the per-item charges on the
+/// *changed* items plus a smaller bus-arbitration setup than a full
+/// load (the frame is already open on an occupied array).
+inline constexpr long long kDeltaCyclesBase = 8;
+
+/// Cached-pool switch costs.  Parking detaches a configuration from
+/// the clock tree but keeps its placement claims (and its stored
+/// Configuration) on the array; acquiring re-arms it in place — no
+/// placement, no routing, no configuration-bus frame, just the PAE
+/// enable writes.
+inline constexpr long long kParkCycles = 4;
+inline constexpr long long kAcquireCycles = 8;
+
 /// Outcome of a non-throwing load attempt (try_load).
 struct LoadReport {
   ConfigId id = kNoConfig;  ///< valid only when ok()
   std::string error;        ///< diagnostic when the load was rejected
   [[nodiscard]] bool ok() const { return id != kNoConfig; }
+};
+
+/// Canonical-serialization diff between two configurations: how many
+/// object specs and how many nets (distinct source ports with their
+/// fan-out sets) a delta load must rewrite.  Objects are compared
+/// pairwise by index — the delta path targets configuration *variants*
+/// (same structure, different tables/constants), where index identity
+/// is the natural correspondence.
+struct ConfigDelta {
+  int changed_objects = 0;
+  int changed_nets = 0;
+};
+
+[[nodiscard]] ConfigDelta config_delta(const Configuration& from,
+                                       const Configuration& to);
+
+/// Cycles a delta load from @p from to @p to charges.
+[[nodiscard]] long long config_delta_cycles(const Configuration& from,
+                                            const Configuration& to);
+
+/// Outcome of a successful load_delta.
+struct DeltaReport {
+  ConfigId id = kNoConfig;     ///< the target configuration's new id
+  int changed_objects = 0;
+  int changed_nets = 0;
+  long long delta_cycles = 0;  ///< cycles charged for the switch
 };
 
 /// Book-keeping for a loaded configuration.
@@ -71,8 +114,46 @@ class ConfigurationManager {
   /// guarantee as load.
   LoadReport try_load(const Configuration& cfg);
 
-  /// Release a configuration and free all its resources.
+  /// Release a configuration (live or parked) and free all its
+  /// resources.
   void release(ConfigId id);
+
+  /// Delta reconfiguration: replace live configuration @p live with
+  /// @p target, charging cycles only for the objects/nets whose
+  /// canonical serialization changed (config_delta) instead of a full
+  /// release+load.  The target is verified (CRC, bounds) and
+  /// materialized exactly like a fresh load, so the post-delta array —
+  /// resource map, object/net state, everything observable — is
+  /// bit-identical to release(live) followed by load(target); only the
+  /// configuration-cycle charge differs.  Strong exception guarantee:
+  /// on any failure the live configuration keeps running and every
+  /// resource map entry is exactly as before the call.
+  DeltaReport load_delta(ConfigId live, const Configuration& target);
+
+  /// Park a live configuration: detach it from the clock tree (its
+  /// group leaves the simulator, dynamic state is dropped) while its
+  /// placement, routing claims and stored Configuration stay on the
+  /// array.  A parked configuration is re-armed in place by acquire()
+  /// for kAcquireCycles — no placement or routing work — which is what
+  /// makes a pre-placed configuration pool cheap to switch between.
+  void park(ConfigId id);
+
+  /// Re-arm a parked configuration (fresh dynamic state, identical to
+  /// a newly loaded instance).  Keeps its ConfigId.
+  void acquire(ConfigId id);
+
+  [[nodiscard]] bool parked(ConfigId id) const {
+    return parked_.count(id) > 0;
+  }
+
+  /// Attach a shared compiled-program cache (nullptr to detach).  After
+  /// every load / load_delta / acquire that leaves exactly one
+  /// configuration resident, the simulator's compiled engine (if any)
+  /// is pointed at the cache under the configuration's CRC and adopts
+  /// every program already published for it — the fleet fast path, so
+  /// a re-loaded configuration replays immediately instead of re-running
+  /// steady-state detection.
+  void attach_program_cache(BatchProgramCache* cache);
 
   [[nodiscard]] const LoadedConfig& info(ConfigId id) const;
   [[nodiscard]] bool loaded(ConfigId id) const { return loaded_.count(id) > 0; }
@@ -101,12 +182,34 @@ class ConfigurationManager {
   /// a kind mismatch diagnostic.
   Object& find_io(ConfigId id, const std::string& name, ObjectKind want);
 
+  /// Shared prologue of load/load_delta: CRC re-verification and
+  /// connection bounds checks, before anything is touched.
+  static void verify_config(const Configuration& cfg);
+
+  /// Shared epilogue of load/load_delta: hand the instantiated group to
+  /// the simulator, emit trace annotations, and record the bookkeeping.
+  /// Nothing in here throws (the caller has already charged @p cost).
+  void register_loaded(const Configuration& cfg, ConfigId id,
+                       const Placement& placement,
+                       std::vector<std::unique_ptr<Object>> objects,
+                       std::vector<std::unique_ptr<Net>> nets, long long cost,
+                       long long load_begin);
+
+  /// Compiled fast re-arm after load/load_delta/acquire (see
+  /// attach_program_cache).
+  void maybe_adopt_programs(const Configuration& cfg);
+
   ResourceMap resources_;
   Simulator sim_;
   std::map<ConfigId, LoadedConfig> loaded_;
-  /// The Configuration value behind each loaded id — retained so a
-  /// snapshot can re-instantiate the identical objects/nets on restore.
+  /// Parked pool: bookkeeping of configurations whose resources stay
+  /// claimed while their group is off the simulator (group == -1).
+  std::map<ConfigId, LoadedConfig> parked_;
+  /// The Configuration value behind each loaded or parked id — retained
+  /// so a snapshot (or acquire) can re-instantiate identical
+  /// objects/nets.
   std::map<ConfigId, Configuration> configs_;
+  BatchProgramCache* program_cache_ = nullptr;
   ConfigId next_id_ = 0;
   long long total_config_cycles_ = 0;
 };

@@ -446,6 +446,12 @@ class SnapshotAccess {
           "snapshot: simulator carries groups not loaded through the "
           "ConfigurationManager — only manager-loaded state is snapshottable");
     }
+    if (!mgr.parked_.empty()) {
+      throw SnapshotError(
+          "snapshot: parked configurations present — a parked entry holds "
+          "placement claims with no live array state; acquire or release "
+          "the pool before saving");
+    }
 
     put_geometry(w, mgr.resources_.geom_);
     w.u8(static_cast<std::uint8_t>(sim.kind_));

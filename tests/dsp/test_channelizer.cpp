@@ -1,0 +1,192 @@
+// Golden-reference battery for the array-mapped polyphase channelizer:
+// fixed-point sub-bands vs the double-precision DFT-filter-bank model,
+// within a pinned tolerance; edge sweeps; scheduler bit-identity.
+#include "src/chan/maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/chan/golden.hpp"
+#include "src/common/rng.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::chan {
+namespace {
+
+using xpp::SchedulerKind;
+
+// Pinned fixed-point tolerance, in 12-bit output LSBs, per component.
+//
+// Derivation (see also kBranchShift in maps.hpp): each branch FIR term
+// is kCMulShr(x, (h_q, 0)) >> 13, so per component the error against
+// the golden x * h/4 is
+//   - coefficient quantization: |h_q/2^13 - h/4| <= 2^-14, times
+//     |x| <= 2048  ->  0.125 LSB, and
+//   - one shr_round         ->  0.5 LSB,
+// i.e. 0.625 LSB per tap, 2.5 LSB per 4-tap branch.  The radix-4
+// butterfly adds four branch outputs exactly (kCAdd never saturates at
+// this scaling; the -j rotation is a lossless component swap), so the
+// worst case is 4 * 2.5 = 10 LSB.  Pinned with a little headroom:
+constexpr double kTolLsb = 12.0;
+
+std::vector<CplxI> random_input(std::size_t n, std::uint64_t seed,
+                                int amp = 2047) {
+  Rng rng(seed);
+  std::vector<CplxI> x(n);
+  for (auto& c : x) {
+    c = {static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp + 1))) -
+             amp,
+         static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * amp + 1))) -
+             amp};
+  }
+  return x;
+}
+
+std::vector<CplxD> to_double(const std::vector<CplxI>& x) {
+  std::vector<CplxD> d(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) d[i] = x[i].to_f();
+  return d;
+}
+
+/// Max per-component |array - golden| across all bands and samples.
+double max_error(const std::array<std::vector<CplxI>, kBands>& got,
+                 const std::array<std::vector<CplxD>, kBands>& want) {
+  double worst = 0.0;
+  for (int b = 0; b < kBands; ++b) {
+    EXPECT_EQ(got[b].size(), want[b].size()) << "band " << b;
+    for (std::size_t m = 0; m < got[b].size(); ++m) {
+      worst = std::max(worst, std::abs(got[b][m].re - want[b][m].real()));
+      worst = std::max(worst, std::abs(got[b][m].im - want[b][m].imag()));
+    }
+  }
+  return worst;
+}
+
+TEST(Channelizer, PrototypeIsNormalizedLowpass) {
+  const auto h = prototype_taps();
+  double abs_sum = 0.0;
+  for (const double v : h) abs_sum += std::abs(v);
+  EXPECT_NEAR(abs_sum, 0.9, 1e-12);
+  // Symmetric (linear phase) and centre-heavy.
+  for (int n = 0; n < kProtoTaps / 2; ++n) {
+    EXPECT_NEAR(h[n], h[kProtoTaps - 1 - n], 1e-12) << n;
+  }
+  EXPECT_GT(h[7], std::abs(h[0]));
+}
+
+TEST(Channelizer, RandomInputMatchesGoldenWithinPinnedTolerance) {
+  xpp::ConfigurationManager mgr;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto x =
+        random_input(256, static_cast<std::uint64_t>(trial) + 1);
+    const auto got = run_channelizer(mgr, x);
+    const auto want = golden_channelize(to_double(x));
+    EXPECT_LE(max_error(got, want), kTolLsb) << "trial " << trial;
+  }
+}
+
+// Edge sweep: all-zero, full-scale DC, full-scale alternating sign
+// (Nyquist), and the four corner constants.
+TEST(Channelizer, EdgeSweepStaysWithinToleranceAndNeverSaturates) {
+  xpp::ConfigurationManager mgr;
+  std::vector<std::vector<CplxI>> edges;
+  edges.push_back(std::vector<CplxI>(128, CplxI{0, 0}));
+  edges.push_back(std::vector<CplxI>(128, CplxI{2047, 2047}));
+  edges.push_back(std::vector<CplxI>(128, CplxI{-2047, -2047}));
+  edges.push_back(std::vector<CplxI>(128, CplxI{2047, -2047}));
+  edges.push_back(std::vector<CplxI>(128, CplxI{-2048 + 1, 2047}));
+  {
+    std::vector<CplxI> alt(128);
+    for (std::size_t n = 0; n < alt.size(); ++n) {
+      alt[n] = (n % 2 == 0) ? CplxI{2047, 2047} : CplxI{-2047, -2047};
+    }
+    edges.push_back(std::move(alt));
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto got = run_channelizer(mgr, edges[e]);
+    const auto want = golden_channelize(to_double(edges[e]));
+    EXPECT_LE(max_error(got, want), kTolLsb) << "edge " << e;
+    // The kBranchShift scaling argument: no output component may ever
+    // reach the 12-bit saturation rails, even at full scale.
+    for (int b = 0; b < kBands; ++b) {
+      for (const CplxI& z : got[b]) {
+        ASSERT_LT(std::abs(z.re), 2047) << "band " << b;
+        ASSERT_LT(std::abs(z.im), 2047) << "band " << b;
+      }
+    }
+  }
+}
+
+TEST(Channelizer, AllZeroInputYieldsExactZeros) {
+  xpp::ConfigurationManager mgr;
+  const std::vector<CplxI> x(64, CplxI{0, 0});
+  const auto got = run_channelizer(mgr, x);
+  for (int b = 0; b < kBands; ++b) {
+    for (const CplxI& z : got[b]) {
+      ASSERT_EQ(z, (CplxI{0, 0})) << "band " << b;
+    }
+  }
+}
+
+// Semantic selectivity: a complex tone at band c's centre frequency
+// (omega = 2*pi*c/4) lands its energy in sub-band c.
+TEST(Channelizer, TonePerBandLandsInItsOwnSubBand) {
+  xpp::ConfigurationManager mgr;
+  for (int c = 0; c < kBands; ++c) {
+    std::vector<CplxI> x(256);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+      const double ph = 2.0 * M_PI * c * static_cast<double>(n) / kBands;
+      x[n] = {static_cast<int>(std::lround(1500.0 * std::cos(ph))),
+              static_cast<int>(std::lround(1500.0 * std::sin(ph)))};
+    }
+    const auto got = run_channelizer(mgr, x);
+    // Steady-state mean magnitude per band (skip the FIR warm-up).
+    std::array<double, kBands> mag{};
+    for (int b = 0; b < kBands; ++b) {
+      for (std::size_t m = 8; m < got[b].size(); ++m) {
+        mag[b] += std::sqrt(static_cast<double>(got[b][m].norm2()));
+      }
+    }
+    for (int b = 0; b < kBands; ++b) {
+      if (b == c) continue;
+      EXPECT_GT(mag[c], 4.0 * mag[b]) << "tone " << c << " vs band " << b;
+    }
+  }
+}
+
+TEST(Channelizer, BitIdenticalAcrossSchedulers) {
+  const auto x = random_input(128, 99);
+  std::array<std::vector<CplxI>, kBands> ref;
+  bool first = true;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kScan, SchedulerKind::kEventDriven,
+        SchedulerKind::kCompiled}) {
+    xpp::ConfigurationManager mgr({}, kind);
+    const auto got = run_channelizer(mgr, x);
+    if (first) {
+      ref = got;
+      first = false;
+    } else {
+      for (int b = 0; b < kBands; ++b) {
+        ASSERT_EQ(got[b], ref[b])
+            << "scheduler " << static_cast<int>(kind) << " band " << b;
+      }
+    }
+  }
+}
+
+TEST(Channelizer, RejectsNonMultipleOfBandsAndOversizedSamples) {
+  xpp::ConfigurationManager mgr;
+  EXPECT_THROW((void)run_channelizer(mgr, std::vector<CplxI>(7)),
+               std::invalid_argument);
+  std::vector<CplxI> big(8, CplxI{0, 0});
+  big[2] = {2048, 0};
+  EXPECT_THROW((void)run_channelizer(mgr, big), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsp::chan

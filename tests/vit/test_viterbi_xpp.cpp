@@ -1,0 +1,204 @@
+// Differential battery for the array-mapped Viterbi ACS: the hard
+// decisions coming off the XPP configuration must be bit-identical to
+// dedhw::ViterbiDecoder::decode over randomized codewords, under every
+// scheduler.  Also covers the exactness-contract guards and an SEU in
+// the path-metric RAM (degrades locally, re-converges, clean re-run
+// recovers exactly).
+#include "src/vit/maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/dedhw/convcode.hpp"
+#include "src/dedhw/viterbi.hpp"
+#include "src/xpp/fault.hpp"
+#include "src/xpp/manager.hpp"
+
+namespace rsp::vit {
+namespace {
+
+using dedhw::kNumStates;
+using xpp::ConfigId;
+using xpp::ConfigurationManager;
+using xpp::SchedulerKind;
+using xpp::Word;
+
+/// Random soft vector for @p steps trellis steps, arbitrary values in
+/// the full 12-bit range — the strongest differential input: it need
+/// not be near any codeword.
+std::vector<std::int32_t> random_soft(std::size_t steps, Rng& rng,
+                                      int amp = 2047) {
+  std::vector<std::int32_t> soft(2 * steps);
+  for (auto& v : soft) {
+    v = static_cast<std::int32_t>(
+            rng.below(static_cast<std::uint32_t>(2 * amp + 1))) -
+        amp;
+  }
+  return soft;
+}
+
+/// Noisy BPSK soft values for an encoded codeword.
+std::vector<std::int32_t> noisy_codeword(const std::vector<std::uint8_t>& bits,
+                                         Rng& rng, int amp, int noise) {
+  const auto coded = dedhw::conv_encode(bits, dedhw::CodeRate::kR12);
+  std::vector<std::int32_t> soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const int n =
+        static_cast<int>(rng.below(static_cast<std::uint32_t>(2 * noise + 1))) -
+        noise;
+    soft[i] = (coded[i] ? amp : -amp) + n;
+  }
+  return soft;
+}
+
+class ViterbiXppSchedulers : public ::testing::TestWithParam<SchedulerKind> {};
+
+// The headline acceptance criterion: >= 1000 randomized codewords per
+// scheduler, every hard decision bit-identical to the dedicated
+// hardware decoder.
+TEST_P(ViterbiXppSchedulers, RandomSoftBitIdenticalToDedhw) {
+  ConfigurationManager mgr({}, GetParam());
+  const dedhw::ViterbiDecoder ref;
+  Rng rng(0x5EEDu + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 1000; ++trial) {
+    // Mostly short blocks for throughput, every 50th one longer so the
+    // ping-pong banks cycle through many parities in one run.
+    const std::size_t steps = (trial % 50 == 49) ? 70 : 14;
+    const std::size_t n_info = steps - (dedhw::kConstraintLen - 1);
+    const auto soft = random_soft(steps, rng);
+    const auto mapped = run_viterbi_acs(mgr, soft, n_info);
+    const auto golden = ref.decode(soft, n_info);
+    ASSERT_EQ(mapped, golden) << "scheduler "
+                              << static_cast<int>(GetParam()) << " trial "
+                              << trial;
+  }
+}
+
+// Semantic sanity on top of bit-identity: at moderate noise the array
+// decode recovers the transmitted bits of a real encoded block.
+TEST_P(ViterbiXppSchedulers, NoisyCodewordRecoversMessage) {
+  ConfigurationManager mgr({}, GetParam());
+  const dedhw::ViterbiDecoder ref;
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> bits(48);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+    const auto soft = noisy_codeword(bits, rng, /*amp=*/900, /*noise=*/600);
+    const auto mapped = run_viterbi_acs(mgr, soft, bits.size());
+    ASSERT_EQ(mapped, ref.decode(soft, bits.size())) << "trial " << trial;
+    EXPECT_EQ(mapped, bits) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, ViterbiXppSchedulers,
+                         ::testing::Values(SchedulerKind::kScan,
+                                           SchedulerKind::kEventDriven,
+                                           SchedulerKind::kCompiled));
+
+TEST(ViterbiXpp, RejectsOversizedSoftValues) {
+  ConfigurationManager mgr;
+  std::vector<std::int32_t> soft(2 * 10, 0);
+  soft[3] = 2048;  // one past the packed 12-bit range
+  EXPECT_THROW((void)run_viterbi_acs(mgr, soft, 4), std::invalid_argument);
+}
+
+TEST(ViterbiXpp, RejectsCodewordsThatWouldSaturateMetrics) {
+  ConfigurationManager mgr;
+  // kMetricFloor + sum|soft| past 2^23 - 1: 4100 steps at full scale.
+  std::vector<std::int32_t> soft(2 * 4100, 2047);
+  EXPECT_THROW((void)run_viterbi_acs(mgr, soft, 64), std::invalid_argument);
+}
+
+TEST(ViterbiXpp, StatsReportLoadAndRunCycles) {
+  ConfigurationManager mgr;
+  Rng rng(5);
+  const auto soft = random_soft(14, rng);
+  xpp::RunResult stats;
+  (void)run_viterbi_acs(mgr, soft, 8, &stats);
+  EXPECT_GT(stats.load_cycles, 0);
+  // One state per cycle once primed: at least steps * 64 run cycles.
+  EXPECT_GE(stats.cycles, 14 * 64);
+}
+
+// SEU in the path-metric RAM mid-decode: the decisions around the
+// strike may degrade, but (a) bits decoded from survivors written
+// before the strike are untouched, (b) the trellis re-merges so bits
+// far past the strike match the clean run, and (c) a clean re-run on
+// the same manager is bit-identical to dedhw again.
+TEST(ViterbiXpp, SeuInPathMetricRamDegradesButReconverges) {
+  const dedhw::ViterbiDecoder ref;
+  Rng rng(0xFau);
+  // A real (noisy) codeword, not arbitrary soft values: the likelihood
+  // structure makes survivor paths merge within a few constraint
+  // lengths of the strike, so the degradation stays local.  Moderate
+  // SNR keeps the metric margins small enough for the upset to flip
+  // decisions near the strike.
+  std::vector<std::uint8_t> bits(300);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  const auto soft = noisy_codeword(bits, rng, /*amp=*/300, /*noise=*/280);
+  const std::size_t steps = soft.size() / 2;
+  const std::size_t n_info = bits.size();
+  const auto golden = ref.decode(soft, n_info);
+
+  // Manual drive of the run_viterbi_acs loop so the fault can be armed
+  // at a precise point of the survivor stream (step kStrikeStep).
+  ConfigurationManager mgr;
+  std::vector<Word> feed;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Word w = pack_iq(soft[2 * step], soft[2 * step + 1]);
+    for (int s = 0; s < kNumStates; ++s) feed.push_back(w);
+  }
+  const ConfigId id = mgr.load(acs_config());
+  mgr.input(id, "soft").feed(feed);
+  auto& sink = mgr.output(id, "surv");
+
+  constexpr std::size_t kStrikeStep = 150;
+  while (sink.data().size() < kStrikeStep * kNumStates) mgr.sim().step();
+
+  // Upset one word of one path-metric bank: flip a high metric bit so
+  // a mediocre state suddenly looks like the best path.
+  xpp::FaultPlan plan;
+  xpp::Fault seu;
+  seu.kind = xpp::FaultKind::kRamCorrupt;
+  seu.cycle = mgr.sim().cycle();  // next cycle boundary
+  seu.object = "pm0";
+  seu.addr = 17;
+  seu.mask = Word{1} << 20;
+  plan.faults.push_back(seu);
+  xpp::FaultInjector inj(std::move(plan));
+  mgr.sim().install_faults(&inj);
+
+  const std::size_t want = steps * kNumStates;
+  long long guard = 0;
+  while (sink.data().size() < want) {
+    mgr.sim().step();
+    ASSERT_LT(++guard, 200000) << "stalled after SEU";
+  }
+  mgr.sim().install_faults(nullptr);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_TRUE(inj.log()[0].hit);
+  const auto hit = traceback(sink.take(), steps, n_info);
+  mgr.release(id);
+
+  // (a) Survivors written before the strike are bit-identical, so the
+  // decoded prefix (minus a re-merge window) matches the clean decode.
+  constexpr std::size_t kMerge = 64;  // ~9 constraint lengths of slack
+  for (std::size_t i = 0; i < kStrikeStep - kMerge; ++i) {
+    ASSERT_EQ(hit[i], golden[i]) << "pre-strike bit " << i;
+  }
+  // (b) Re-convergence: the tail far past the strike matches again.
+  for (std::size_t i = kStrikeStep + kMerge; i < n_info; ++i) {
+    ASSERT_EQ(hit[i], golden[i]) << "post-merge bit " << i;
+  }
+  // Degradation is real: at least one decision near the strike flipped.
+  EXPECT_NE(hit, golden);
+
+  // (c) Clean re-run on the same manager recovers exactly.
+  EXPECT_EQ(run_viterbi_acs(mgr, soft, n_info), golden);
+}
+
+}  // namespace
+}  // namespace rsp::vit

@@ -1,0 +1,265 @@
+// Fuzz battery for delta reconfiguration: for randomized configuration
+// pairs, switching via load_delta must leave the ResourceMap and the
+// array's observable behaviour bit-identical to a full release + load,
+// a failed delta must roll back exactly (snapshot byte-compare), and
+// the park/acquire pool must re-arm configurations identically to a
+// fresh load.  Style follows tests/xpp/test_builder_fuzz.cpp: every
+// case is seeded so a failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/xpp/builder.hpp"
+#include "src/xpp/manager.hpp"
+#include "src/xpp/snapshot.hpp"
+
+namespace rsp::xpp {
+namespace {
+
+constexpr std::uint64_t kFuzzBase = 0xDE17A0ull;
+constexpr int kPairs = 400;
+
+constexpr Opcode kUnaryOps[] = {Opcode::kNop, Opcode::kNeg, Opcode::kAbs,
+                                Opcode::kNot, Opcode::kCConj, Opcode::kCNeg};
+constexpr Opcode kBinaryOps[] = {Opcode::kAdd, Opcode::kSub, Opcode::kMul,
+                                 Opcode::kAnd, Opcode::kOr,  Opcode::kXor,
+                                 Opcode::kMin, Opcode::kMax};
+
+/// Random rate-1:1 pipeline "in" -> stages -> "out".  Drawing both
+/// configurations of a pair from closely related seeds produces a mix
+/// of identical, slightly-different and completely-different pairs.
+Configuration random_pipeline(Rng& rng, const std::string& name) {
+  ConfigBuilder b(name);
+  const auto in = b.input("in");
+  PortRef src = in.out(0);
+  const int stages = 2 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < stages; ++i) {
+    ObjHandle stage;
+    const std::string sname = "s" + std::to_string(i);
+    if (rng.below(2) == 0) {
+      stage = b.alu(sname, kUnaryOps[rng.below(std::size(kUnaryOps))]);
+    } else {
+      stage = b.alu(sname, kBinaryOps[rng.below(std::size(kBinaryOps))]);
+      b.tie(stage, 1, static_cast<Word>(rng.below(4096)) - 2048);
+    }
+    b.connect(src, stage.in(0));
+    src = stage.out(0);
+  }
+  const auto out = b.output("out");
+  b.connect(src, out.in(0));
+  return b.build();
+}
+
+std::vector<Word> random_words(Rng& rng, std::size_t n) {
+  std::vector<Word> w(n);
+  for (auto& v : w) v = static_cast<Word>(rng.below(1u << 24)) - (1 << 23);
+  return w;
+}
+
+/// Feed @p words into the sole live config and drain "out".
+std::vector<Word> drive(ConfigurationManager& mgr, ConfigId id,
+                        const std::vector<Word>& words) {
+  mgr.input(id, "in").feed(words);
+  auto& out = mgr.output(id, "out");
+  for (int guard = 0; guard < 100000 && out.data().size() < words.size();
+       ++guard) {
+    mgr.sim().step();
+  }
+  EXPECT_EQ(out.data().size(), words.size());
+  return out.take();
+}
+
+struct ResourceSnapshot {
+  int free_alu = 0;
+  int free_ram = 0;
+  int free_io = 0;
+  int routing = 0;
+  int objects = 0;
+  std::string occupancy;
+
+  friend bool operator==(const ResourceSnapshot&,
+                         const ResourceSnapshot&) = default;
+};
+
+ResourceSnapshot resource_snapshot(const ConfigurationManager& mgr) {
+  return {mgr.resources().free_alu_cells(), mgr.resources().free_ram_cells(),
+          mgr.resources().free_io_channels(), mgr.resources().routing_in_use(),
+          mgr.sim().object_count(), mgr.resources().occupancy_map()};
+}
+
+// The core equivalence: delta-switching A -> B lands in exactly the
+// state (resources, placement, behaviour) of release(A) + load(B).
+TEST(DeltaFuzz, DeltaSwitchEquivalentToFullReleaseLoad) {
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const std::uint64_t seed = Rng::split(kFuzzBase, pair);
+    Rng rng(seed);
+    Rng rng_a(Rng::split(seed, 1));
+    // Every third pair: identical configurations (pure re-arm delta).
+    Rng rng_b(Rng::split(seed, (pair % 3 == 0) ? 1 : 2));
+    const Configuration a = random_pipeline(rng_a, "fuzz_a");
+    const Configuration b = random_pipeline(rng_b, (pair % 3 == 0)
+                                                       ? "fuzz_a"
+                                                       : "fuzz_b");
+    const auto words = random_words(rng, 16);
+
+    ConfigurationManager delta_mgr;
+    const ConfigId a1 = delta_mgr.load(a);
+    (void)drive(delta_mgr, a1, words);  // dirty the dynamic state
+    const DeltaReport rep = delta_mgr.load_delta(a1, b);
+    EXPECT_EQ(rep.delta_cycles, config_delta_cycles(a, b)) << "pair " << pair;
+    EXPECT_FALSE(delta_mgr.loaded(a1));
+    ASSERT_TRUE(delta_mgr.loaded(rep.id));
+
+    ConfigurationManager full_mgr;
+    const ConfigId a2 = full_mgr.load(a);
+    (void)drive(full_mgr, a2, words);
+    full_mgr.release(a2);
+    const ConfigId b2 = full_mgr.load(b);
+
+    ASSERT_EQ(resource_snapshot(delta_mgr), resource_snapshot(full_mgr))
+        << "pair " << pair;
+    // Identical post-switch behaviour, word for word.
+    const auto probe = random_words(rng, 16);
+    ASSERT_EQ(drive(delta_mgr, rep.id, probe), drive(full_mgr, b2, probe))
+        << "pair " << pair;
+
+    // An identical-configuration delta is the documented floor cost.
+    if (pair % 3 == 0) {
+      EXPECT_EQ(rep.changed_objects, 0) << "pair " << pair;
+      EXPECT_EQ(rep.changed_nets, 0) << "pair " << pair;
+      EXPECT_EQ(rep.delta_cycles, kDeltaCyclesBase) << "pair " << pair;
+    }
+  }
+}
+
+// Mid-apply failure (target does not fit after the live config is
+// released) must restore the manager bit-exactly: same snapshot bytes,
+// live config still serving.
+TEST(DeltaFuzz, FailedDeltaRollsBackExactly) {
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t seed = Rng::split(kFuzzBase ^ 0xB00Bull, trial);
+    Rng rng(seed);
+    ConfigurationManager mgr;
+
+    // Filler occupies most of the array so the oversized target cannot
+    // be placed once the small live config is released.
+    ConfigBuilder filler("filler");
+    const auto fin = filler.input("in");
+    PortRef fsrc = fin.out(0);
+    const int alu_cells = mgr.resources().free_alu_cells();
+    for (int i = 0; i < alu_cells - 8; ++i) {
+      const auto s = filler.alu("f" + std::to_string(i), Opcode::kNop);
+      filler.connect(fsrc, s.in(0));
+      fsrc = s.out(0);
+    }
+    const auto fout = filler.output("out");
+    filler.connect(fsrc, fout.in(0));
+    (void)mgr.load(filler.build());
+
+    Rng rng_a(Rng::split(seed, 1));
+    const Configuration small = random_pipeline(rng_a, "small");
+    const ConfigId live = mgr.load(small);
+    const auto words = random_words(rng, 8);
+    (void)drive(mgr, live, words);
+
+    ConfigBuilder big("too_big");
+    const auto bin = big.input("in");
+    PortRef bsrc = bin.out(0);
+    for (int i = 0; i < 16; ++i) {  // > the 8 cells the release frees
+      const auto s = big.alu("b" + std::to_string(i), Opcode::kNop);
+      big.connect(bsrc, s.in(0));
+      bsrc = s.out(0);
+    }
+    const auto bout = big.output("out");
+    big.connect(bsrc, bout.in(0));
+
+    const std::string before = save_snapshot(mgr);
+    EXPECT_THROW((void)mgr.load_delta(live, big.build()), ConfigError)
+        << "trial " << trial;
+    EXPECT_EQ(save_snapshot(mgr), before) << "trial " << trial;
+    ASSERT_TRUE(mgr.loaded(live));
+    // The survivor still behaves.
+    const auto probe = random_words(rng, 8);
+    ConfigurationManager ref_mgr;
+    const ConfigId ref = ref_mgr.load(small);
+    (void)drive(ref_mgr, ref, words);
+    ASSERT_EQ(drive(mgr, live, probe), drive(ref_mgr, ref, probe))
+        << "trial " << trial;
+  }
+}
+
+// A corrupted target (stale checksum) is rejected up front — before
+// the live config is disturbed at all.
+TEST(DeltaFuzz, CorruptTargetRejectedBeforeAnyMutation) {
+  Rng rng_a(Rng::split(kFuzzBase + 0xC0FEull, 1));
+  Rng rng_b(Rng::split(kFuzzBase + 0xC0FEull, 2));
+  ConfigurationManager mgr;
+  const ConfigId live = mgr.load(random_pipeline(rng_a, "live"));
+  Configuration bad = random_pipeline(rng_b, "bad");
+  bad.checksum = *bad.checksum ^ 1;  // stored CRC no longer matches
+  const std::string before = save_snapshot(mgr);
+  EXPECT_THROW((void)mgr.load_delta(live, bad), ConfigError);
+  EXPECT_EQ(save_snapshot(mgr), before);
+  EXPECT_THROW((void)mgr.load_delta(live + 100, random_pipeline(rng_b, "x")),
+               ConfigError);  // unknown live id
+}
+
+// Park/acquire pool: a parked configuration keeps its placement, an
+// acquire re-arms it with fresh dynamic state identical to a fresh
+// load, and releasing a parked id frees its cells.
+TEST(DeltaFuzz, ParkAcquireRearmsIdenticallyToFreshLoad) {
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t seed = Rng::split(kFuzzBase + 0x9A47ull, trial);
+    Rng rng(seed);
+    Rng rng_a(Rng::split(seed, 1));
+    const Configuration cfg = random_pipeline(rng_a, "pool");
+    const auto words = random_words(rng, 12);
+
+    ConfigurationManager mgr;
+    const ConfigId id = mgr.load(cfg);
+    (void)drive(mgr, id, words);  // dirty state that park must discard
+    const int free_before_park = mgr.resources().free_alu_cells();
+    mgr.park(id);
+    EXPECT_TRUE(mgr.parked(id));
+    EXPECT_FALSE(mgr.loaded(id));
+    // Placement is retained while parked; only the objects leave.
+    EXPECT_EQ(mgr.resources().free_alu_cells(), free_before_park);
+    EXPECT_EQ(mgr.sim().object_count(), 0);
+
+    mgr.acquire(id);
+    EXPECT_TRUE(mgr.loaded(id));
+    EXPECT_FALSE(mgr.parked(id));
+    EXPECT_EQ(mgr.info(id).load_cycles, kAcquireCycles);
+
+    ConfigurationManager fresh;
+    const ConfigId fid = fresh.load(cfg);
+    const auto probe = random_words(rng, 12);
+    ASSERT_EQ(drive(mgr, id, probe), drive(fresh, fid, probe))
+        << "trial " << trial;
+
+    // Releasing from the pool frees everything.
+    mgr.park(id);
+    mgr.release(id);
+    EXPECT_FALSE(mgr.parked(id));
+    EXPECT_EQ(mgr.resources().free_alu_cells(),
+              ConfigurationManager().resources().free_alu_cells());
+  }
+}
+
+// Snapshots refuse to run while pool entries exist (a parked entry has
+// placement claims but no live array state to capture).
+TEST(DeltaFuzz, SnapshotRefusesWhileParked) {
+  Rng rng_a(Rng::split(kFuzzBase + 0x57A7ull, 1));
+  ConfigurationManager mgr;
+  const ConfigId id = mgr.load(random_pipeline(rng_a, "parkme"));
+  mgr.park(id);
+  EXPECT_THROW((void)save_snapshot(mgr), SnapshotError);
+  mgr.acquire(id);
+  EXPECT_NO_THROW((void)save_snapshot(mgr));
+}
+
+}  // namespace
+}  // namespace rsp::xpp

@@ -22,8 +22,10 @@
 #include "src/dedhw/umts_scrambler.hpp"
 #include "src/farm/resilient.hpp"
 #include "src/ofdm/maps.hpp"
+#include "src/chan/maps.hpp"
 #include "src/rake/maps.hpp"
 #include "src/sdr/board.hpp"
+#include "src/vit/maps.hpp"
 #include "src/xpp/compiled.hpp"
 #include "src/xpp/fault.hpp"
 #include "src/xpp/snapshot.hpp"
@@ -512,6 +514,97 @@ TEST(Snapshot, MultiConfigResidencyRoundTrip) {
                            q);
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+/// Like run_with_cut/run_uninterrupted but for configurations whose
+/// outputs are not named "out": drains every channel in @p outs until
+/// each holds @p n_out words.
+std::tuple<std::vector<int>, std::vector<std::vector<Word>>, long long>
+multi_out_run(SchedulerKind kind, const Configuration& cfg,
+              const std::map<std::string, std::vector<Word>>& feeds,
+              const std::vector<std::string>& outs, std::size_t n_out,
+              long long cut_cycle, bool with_cut) {
+  ConfigurationManager mgr({}, kind);
+  const ConfigId id = mgr.load(cfg);
+  for (const auto& [name, words] : feeds) mgr.input(id, name).feed(words);
+  while (mgr.sim().cycle() < cut_cycle) mgr.sim().step();
+
+  std::unique_ptr<ConfigurationManager> restored;
+  ConfigurationManager* m = &mgr;
+  if (with_cut) {
+    restored = restore_snapshot_new(save_snapshot(mgr));
+    m = restored.get();
+  }
+  const auto drained = [&] {
+    for (const auto& name : outs) {
+      if (m->output(id, name).data().size() < n_out) return false;
+    }
+    return true;
+  };
+  std::vector<int> fires;
+  for (int guard = 0; guard < 200000 && !drained(); ++guard) {
+    fires.push_back(m->sim().step());
+  }
+  EXPECT_TRUE(drained()) << cfg.name << ": timed out";
+  std::vector<std::vector<Word>> words;
+  for (const auto& name : outs) words.push_back(m->output(id, name).take());
+  return {std::move(fires), std::move(words), m->sim().cycle()};
+}
+
+// Mid-decode cut of the Viterbi ACS workload: the ping-ponged
+// path-metric RAMs, the gated counter and the half-drained survivor
+// stream all travel through the snapshot bit-exactly.
+TEST(Snapshot, MidViterbiDecodeCutAllSchedulers) {
+  Rng rng(314);
+  const std::size_t steps = 30;
+  std::vector<Word> feed;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Word w = pack_iq(static_cast<int>(rng.below(4095)) - 2047,
+                           static_cast<int>(rng.below(4095)) - 2047);
+    for (int s = 0; s < 64; ++s) feed.push_back(w);
+  }
+  const std::map<std::string, std::vector<Word>> feeds{{"soft", feed}};
+  const auto cfg = vit::acs_config();
+  for (const SchedulerKind kind : kAllKinds) {
+    for (const long long cut : {5LL, 801LL}) {
+      const std::string what = "viterbi kind=" +
+                               std::to_string(static_cast<int>(kind)) +
+                               " cut=" + std::to_string(cut);
+      EXPECT_EQ(multi_out_run(kind, cfg, feeds, {"surv"}, steps * 64, cut,
+                              false),
+                multi_out_run(kind, cfg, feeds, {"surv"}, steps * 64, cut,
+                              true))
+          << what;
+    }
+  }
+}
+
+// Mid-channelize cut: the free-running commutator counter, the
+// preloaded-zero FIR delay nets and four partially drained sub-band
+// streams restore bit-exactly (the config never quiesces, so the cut
+// always lands mid-flight).
+TEST(Snapshot, MidChannelizeCutAllSchedulers) {
+  Rng rng(315);
+  std::vector<Word> feed(128);
+  for (auto& w : feed) {
+    w = pack_iq(static_cast<int>(rng.below(4095)) - 2047,
+                static_cast<int>(rng.below(4095)) - 2047);
+  }
+  const std::map<std::string, std::vector<Word>> feeds{{"x", feed}};
+  const std::vector<std::string> bands{"band0", "band1", "band2", "band3"};
+  const auto cfg = chan::channelizer_config();
+  for (const SchedulerKind kind : kAllKinds) {
+    for (const long long cut : {4LL, 57LL}) {
+      const std::string what = "channelizer kind=" +
+                               std::to_string(static_cast<int>(kind)) +
+                               " cut=" + std::to_string(cut);
+      EXPECT_EQ(multi_out_run(kind, cfg, feeds, bands, feed.size() / 4, cut,
+                              false),
+                multi_out_run(kind, cfg, feeds, bands, feed.size() / 4, cut,
+                              true))
+          << what;
+    }
+  }
 }
 
 }  // namespace
