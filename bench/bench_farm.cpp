@@ -57,6 +57,20 @@ int main(int argc, char** argv) {
       trials, kBaseSeed,
       [&](std::uint64_t seed, std::size_t) { return kernel(seed); });
 
+  // Substrate vs simulator wall-clock split (serial): the same trials
+  // stopped after transmit+channel, so the ratio is the PHY-substrate
+  // share of trial time (bench_phy measures the substrate kernels
+  // themselves; this records how much of a farm campaign they are).
+  farm::kernels::RakeTrial substrate_kernel = kernel;
+  substrate_kernel.substrate_only = true;
+  const auto substrate_run = farm::run_serial(
+      trials, kBaseSeed,
+      [&](std::uint64_t seed, std::size_t) { return substrate_kernel(seed); });
+  const double substrate_frac =
+      reference.wall_seconds > 0.0
+          ? substrate_run.wall_seconds / reference.wall_seconds
+          : 0.0;
+
   std::vector<Point> points;
   bool identical = true;
   bench::Table table({"threads", "frames/s", "speedup vs 1", "wall (s)"});
@@ -89,6 +103,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   bench::note("per-task results bit-identical across all thread counts");
+  bench::note("PHY substrate share of serial trial wall-clock: " +
+              bench::fmt(substrate_frac, 2));
   if (hw < 4) {
     bench::note("note: only " + std::to_string(hw) +
                 " hardware thread(s) — 4-thread speedup is reported but "
@@ -105,6 +121,8 @@ int main(int argc, char** argv) {
   bench::appendf(j, "  \"threads_override\": %d,\n", args.threads);
   bench::appendf(j, "  \"smoke\": %s,\n", args.smoke ? "true" : "false");
   bench::appendf(j, "  \"deterministic_across_threads\": true,\n");
+  bench::appendf(j, "  \"substrate_frac_serial\": %s,\n",
+                 bench::json_num(substrate_frac, 3).c_str());
   bench::appendf(j, "  \"scaling\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];

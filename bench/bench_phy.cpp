@@ -1,0 +1,413 @@
+// Vectorized PHY substrate: scalar reference vs batched block paths,
+// per kernel and end-to-end (ROADMAP item 2).  Every workload runs
+// twice — once with the substrate forced to the preserved scalar
+// reference, once with the block paths — on identical seeds, after a
+// bit-identity cross-check of the exactly value-preserving transforms.
+// Emits BENCH_phy.json and FAILS (nonzero exit) when the AWGN+multipath
+// sample-generation speedup (Rayleigh-fading configuration) drops below
+// 2x, in smoke and full runs alike; the end-to-end trial-throughput
+// floor is enforced in full runs only (trial times are
+// receiver-dominated and noisy at smoke sizes).
+//
+// The static zero-Doppler channel is reported but NOT gated: its
+// reference loop is already noise-bound — cos(0)/sin(0) hit libm's
+// tiny-argument fast path, and the Box-Muller stream must keep the
+// scalar draw order bit-for-bit (the farm BER contract), so the noise
+// generation itself has no vectorization headroom.  The fading
+// configuration is where the substrate's per-sample redraw fix and SoA
+// kernels pay off.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/farm/kernels.hpp"
+#include "src/phy/batch_phy.hpp"
+#include "src/phy/channel.hpp"
+#include "src/phy/ofdm_tx.hpp"
+#include "src/phy/umts_tx.hpp"
+
+namespace {
+
+using namespace rsp;
+using phy::ScopedSubstrateMode;
+using phy::SubstrateMode;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock a thunk under a forced substrate mode.
+template <typename F>
+double timed(SubstrateMode m, F&& f) {
+  ScopedSubstrateMode guard(m);
+  const double t0 = now_s();
+  f();
+  return now_s() - t0;
+}
+
+struct KernelPoint {
+  const char* name;
+  const char* unit;
+  double scalar_rate = 0.0;
+  double batched_rate = 0.0;
+  [[nodiscard]] double speedup() const {
+    return scalar_rate > 0.0 ? batched_rate / scalar_rate : 0.0;
+  }
+};
+
+std::vector<phy::Tap> farm_taps() {
+  return {{2, {0.62, 0.0}, 0.0}, {9, {0.0, 0.55}, 0.0}, {17, {0.39, -0.3}, 0.0}};
+}
+
+phy::BasestationConfig farm_bs(Rng& rng) {
+  phy::BasestationConfig bs;
+  bs.scrambling_code = 16;
+  bs.cpich_gain = 0.5;
+  phy::DpchConfig ch;
+  ch.sf = 64;
+  ch.code_index = 3;
+  ch.gain = 0.7;
+  ch.bits.resize(256);
+  for (auto& b : ch.bits) b = rng.bit() ? 1 : 0;
+  bs.channels.push_back(ch);
+  return bs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::title(
+      "Vectorized PHY substrate — scalar reference vs batched block paths");
+  bench::note(std::string("phy SIMD backend: ") + phy::simd::phy_isa_name());
+
+  const int n = args.smoke ? 16384 : 262144;  // samples per repetition
+  const int reps = args.smoke ? 3 : 8;
+  volatile double sink = 0.0;  // keeps results observable
+
+  // -- bit-identity cross-check before any timing ---------------------
+  {
+    Rng src(5);
+    std::vector<CplxF> x(4096);
+    for (auto& v : x) v = src.cgaussian(1.0);
+    phy::MultipathChannel cr(farm_taps(), 3.84e6);
+    phy::MultipathChannel cb(farm_taps(), 3.84e6);
+    Rng r1(42), r2(42);
+    std::vector<CplxF> yr, yb;
+    {
+      ScopedSubstrateMode m(SubstrateMode::kReference);
+      yr = cr.run(x, 2.0, r1);
+    }
+    {
+      ScopedSubstrateMode m(SubstrateMode::kBlock);
+      yb = cb.run(x, 2.0, r2);
+    }
+    bool same = yr.size() == yb.size();
+    for (std::size_t i = 0; same && i < yr.size(); ++i) {
+      same = yr[i].real() == yb[i].real() && yr[i].imag() == yb[i].imag();
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "DIVERGENCE: block substrate is not bit-identical to the "
+                   "scalar reference\n");
+      return 1;
+    }
+    bench::note("cross-check: block substrate bit-identical to reference");
+  }
+
+  std::vector<KernelPoint> kernels;
+
+  // -- scrambling chip generation ------------------------------------
+  {
+    KernelPoint p{"umts_scrambler_chips", "chips_per_second"};
+    const long long chips = static_cast<long long>(n) * reps;
+    {
+      dedhw::UmtsScrambler s(16);
+      const double t = timed(SubstrateMode::kReference, [&] {
+        double acc = 0.0;
+        for (long long i = 0; i < chips; ++i) acc += s.next2();
+        sink = sink + acc;
+      });
+      p.scalar_rate = static_cast<double>(chips) / t;
+    }
+    {
+      dedhw::UmtsScrambler s(16);
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(n));
+      const double t = timed(SubstrateMode::kBlock, [&] {
+        double acc = 0.0;
+        for (int r = 0; r < reps; ++r) {
+          s.next2_block(buf.data(), n);
+          acc += buf[static_cast<std::size_t>(r) % buf.size()];
+        }
+        sink = sink + acc;
+      });
+      p.batched_rate = static_cast<double>(chips) / t;
+    }
+    kernels.push_back(p);
+  }
+
+  // Shared complex input for the channel workloads.
+  Rng src(17);
+  std::vector<CplxF> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = src.cgaussian(1.0);
+
+  // -- AWGN -----------------------------------------------------------
+  {
+    KernelPoint p{"awgn", "samples_per_second"};
+    const double total = static_cast<double>(n) * reps;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      Rng rng(7);
+      const double t = timed(mode, [&] {
+        for (int r = 0; r < reps; ++r) {
+          const auto y = phy::awgn(x, 4.0, rng);
+          sink = sink + y.back().real();
+        }
+      });
+      (mode == SubstrateMode::kReference ? p.scalar_rate : p.batched_rate) =
+          total / t;
+    }
+    kernels.push_back(p);
+  }
+
+  // -- multipath + AWGN, static channel (reported, not gated) ---------
+  {
+    KernelPoint p{"multipath_awgn", "samples_per_second"};
+    const double total = static_cast<double>(n) * reps;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      phy::MultipathChannel ch(farm_taps(), 3.84e6);
+      Rng rng(7);
+      const double t = timed(mode, [&] {
+        for (int r = 0; r < reps; ++r) {
+          const auto y = ch.run(x, 0.0, rng);
+          sink = sink + y.back().real();
+        }
+      });
+      (mode == SubstrateMode::kReference ? p.scalar_rate : p.batched_rate) =
+          total / t;
+    }
+    kernels.push_back(p);
+  }
+
+  // -- multipath with Rayleigh block fading + AWGN (the gated kernel) -
+  double mp_awgn_speedup = 0.0;
+  {
+    KernelPoint p{"multipath_rayleigh_awgn", "samples_per_second"};
+    const double total = static_cast<double>(n) * reps;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      phy::MultipathChannel ch(farm_taps(), 3.84e6);
+      Rng fade(3);
+      ch.enable_rayleigh(512, fade);
+      Rng rng(7);
+      const double t = timed(mode, [&] {
+        for (int r = 0; r < reps; ++r) {
+          const auto y = ch.run(x, 0.0, rng);
+          sink = sink + y.back().real();
+        }
+      });
+      (mode == SubstrateMode::kReference ? p.scalar_rate : p.batched_rate) =
+          total / t;
+    }
+    mp_awgn_speedup = p.speedup();
+    kernels.push_back(p);
+  }
+
+  // -- UMTS downlink transmit ----------------------------------------
+  {
+    KernelPoint p{"umts_downlink_tx", "chips_per_second"};
+    Rng bits(1);
+    const auto bs = farm_bs(bits);
+    const double total = static_cast<double>(n) * reps;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      phy::UmtsDownlinkTx tx(bs);
+      const double t = timed(mode, [&] {
+        for (int r = 0; r < reps; ++r) {
+          const auto y = tx.generate(n);
+          sink = sink + y[0].back().real();
+        }
+      });
+      (mode == SubstrateMode::kReference ? p.scalar_rate : p.batched_rate) =
+          total / t;
+    }
+    kernels.push_back(p);
+  }
+
+  // -- OFDM PPDU assembly --------------------------------------------
+  {
+    KernelPoint p{"ofdm_build_ppdu", "ppdus_per_second"};
+    Rng bits(2);
+    std::vector<std::uint8_t> psdu(800);
+    for (auto& b : psdu) b = bits.bit() ? 1 : 0;
+    const int ppdus = args.smoke ? 40 : 400;
+    phy::OfdmTransmitter tx;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      const double t = timed(mode, [&] {
+        for (int r = 0; r < ppdus; ++r) {
+          const auto y = tx.build_ppdu(psdu, 6);
+          sink = sink + y.back().real();
+        }
+      });
+      (mode == SubstrateMode::kReference ? p.scalar_rate : p.batched_rate) =
+          static_cast<double>(ppdus) / t;
+    }
+    kernels.push_back(p);
+  }
+
+  bench::Table ktable({"kernel", "unit", "scalar", "batched", "speedup"});
+  for (const auto& p : kernels) {
+    ktable.row({p.name, p.unit, bench::fmt(p.scalar_rate, 0),
+                bench::fmt(p.batched_rate, 0), bench::fmt(p.speedup(), 2)});
+  }
+  ktable.print();
+
+  // -- end-to-end trial throughput ------------------------------------
+  struct EndToEnd {
+    const char* name;
+    double scalar_rate = 0.0;
+    double batched_rate = 0.0;
+    double substrate_frac = 0.0;  // substrate share of batched trial time
+    [[nodiscard]] double speedup() const {
+      return scalar_rate > 0.0 ? batched_rate / scalar_rate : 0.0;
+    }
+  };
+  std::vector<EndToEnd> e2e;
+  const int trials = args.smoke ? 10 : 80;
+  {
+    EndToEnd e{"rake_trial"};
+    farm::kernels::RakeTrial kernel;
+    kernel.esn0_db = 0.0;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      const double t = timed(mode, [&] {
+        for (int i = 1; i <= trials; ++i) {
+          const auto r = kernel(static_cast<std::uint64_t>(i));
+          sink = sink + static_cast<double>(r.bit_errors);
+        }
+      });
+      (mode == SubstrateMode::kReference ? e.scalar_rate : e.batched_rate) =
+          static_cast<double>(trials) / t;
+    }
+    {
+      farm::kernels::RakeTrial sub = kernel;
+      sub.substrate_only = true;
+      const double t = timed(SubstrateMode::kBlock, [&] {
+        for (int i = 1; i <= trials; ++i) {
+          const auto r = sub(static_cast<std::uint64_t>(i));
+          sink = sink + static_cast<double>(r.bits);
+        }
+      });
+      const double full_wall = static_cast<double>(trials) / e.batched_rate;
+      e.substrate_frac = full_wall > 0.0 ? t / full_wall : 0.0;
+    }
+    e2e.push_back(e);
+  }
+  {
+    EndToEnd e{"wlan_trial"};
+    farm::kernels::WlanTrial kernel;
+    kernel.esn0_db = 10.0;
+    for (const auto mode : {SubstrateMode::kReference, SubstrateMode::kBlock}) {
+      const double t = timed(mode, [&] {
+        for (int i = 1; i <= trials; ++i) {
+          const auto r = kernel(static_cast<std::uint64_t>(i));
+          sink = sink + static_cast<double>(r.bit_errors);
+        }
+      });
+      (mode == SubstrateMode::kReference ? e.scalar_rate : e.batched_rate) =
+          static_cast<double>(trials) / t;
+    }
+    {
+      farm::kernels::WlanTrial sub = kernel;
+      sub.substrate_only = true;
+      const double t = timed(SubstrateMode::kBlock, [&] {
+        for (int i = 1; i <= trials; ++i) {
+          const auto r = sub(static_cast<std::uint64_t>(i));
+          sink = sink + static_cast<double>(r.bits);
+        }
+      });
+      const double full_wall = static_cast<double>(trials) / e.batched_rate;
+      e.substrate_frac = full_wall > 0.0 ? t / full_wall : 0.0;
+    }
+    e2e.push_back(e);
+  }
+
+  bench::Table etable({"trial", "scalar trials/s", "batched trials/s",
+                       "speedup", "substrate share"});
+  for (const auto& e : e2e) {
+    etable.row({e.name, bench::fmt(e.scalar_rate, 1),
+                bench::fmt(e.batched_rate, 1), bench::fmt(e.speedup(), 2),
+                bench::fmt(e.substrate_frac, 2)});
+  }
+  etable.print();
+  (void)sink;
+
+  // -- gates ----------------------------------------------------------
+  bool ok = true;
+  constexpr double kMinMpAwgnSpeedup = 2.0;
+  if (mp_awgn_speedup < kMinMpAwgnSpeedup) {
+    std::fprintf(stderr,
+                 "GATE FAILED: multipath(rayleigh)+awgn speedup %.2f < %.1fx\n",
+                 mp_awgn_speedup, kMinMpAwgnSpeedup);
+    ok = false;
+  }
+  constexpr double kMinRakeSpeedup = 1.05;
+  const double rake_speedup = e2e[0].speedup();
+  if (!args.smoke && rake_speedup < kMinRakeSpeedup) {
+    std::fprintf(stderr, "GATE FAILED: rake trial speedup %.2f < %.2fx\n",
+                 rake_speedup, kMinRakeSpeedup);
+    ok = false;
+  }
+  if (ok) {
+    bench::note("gates: multipath(rayleigh)+awgn >= 2x " +
+                std::string(args.smoke ? "(end-to-end gate skipped in smoke)"
+                                       : "and rake trials >= 1.05x") +
+                " — passed");
+  }
+
+  // -- JSON ------------------------------------------------------------
+  std::string j;
+  bench::appendf(j, "{\n  \"bench\": \"bench_phy\",\n");
+  bench::appendf(j, "  %s,\n", bench::host_context_json().c_str());
+  bench::appendf(j, "  \"phy_simd_backend\": \"%s\",\n",
+                 phy::simd::phy_isa_name());
+  bench::appendf(j, "  \"smoke\": %s,\n", args.smoke ? "true" : "false");
+  bench::appendf(j, "  \"samples_per_rep\": %d,\n", n);
+  bench::appendf(j, "  \"reps\": %d,\n", reps);
+  bench::appendf(j, "  \"trials\": %d,\n", trials);
+  bench::appendf(j, "  \"bit_identical_cross_check\": true,\n");
+  bench::appendf(j, "  \"gate_min_multipath_rayleigh_awgn_speedup\": %s,\n",
+                 bench::json_num(kMinMpAwgnSpeedup, 1).c_str());
+  bench::appendf(j, "  \"gate_min_rake_trial_speedup\": %s,\n",
+                 bench::json_num(kMinRakeSpeedup, 2).c_str());
+  bench::appendf(j, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& p = kernels[i];
+    bench::appendf(j,
+                   "    {\"name\": \"%s\", \"unit\": \"%s\", \"scalar\": %s, "
+                   "\"batched\": %s, \"speedup\": %s}%s\n",
+                   p.name, p.unit, bench::json_num(p.scalar_rate, 0).c_str(),
+                   bench::json_num(p.batched_rate, 0).c_str(),
+                   bench::json_num(p.speedup(), 2).c_str(),
+                   i + 1 < kernels.size() ? "," : "");
+  }
+  bench::appendf(j, "  ],\n  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const auto& e = e2e[i];
+    bench::appendf(
+        j,
+        "    {\"name\": \"%s\", \"scalar_trials_per_s\": %s, "
+        "\"batched_trials_per_s\": %s, \"speedup\": %s, "
+        "\"substrate_frac\": %s}%s\n",
+        e.name, bench::json_num(e.scalar_rate, 1).c_str(),
+        bench::json_num(e.batched_rate, 1).c_str(),
+        bench::json_num(e.speedup(), 2).c_str(),
+        bench::json_num(e.substrate_frac, 3).c_str(),
+        i + 1 < e2e.size() ? "," : "");
+  }
+  bench::appendf(j, "  ],\n  \"gates_passed\": %s\n}\n", ok ? "true" : "false");
+  if (!bench::write_json_checked("BENCH_phy.json", j)) return 1;
+  bench::note("wrote BENCH_phy.json");
+  return ok ? 0 : 1;
+}

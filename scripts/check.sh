@@ -102,8 +102,28 @@ configure_build_test asan "" -DRSP_SANITIZE=address,undefined
 configure_build_test tsan "-L farm|fleet" -DRSP_SANITIZE=tsan
 
 # Scalar-fallback SIMD: non-x86 builds must never break silently, and
-# the batched-replay battery must stay bit-identical without lanes.
-configure_build_test simd-off "-L simd" -DRSP_SIMD=off
+# the batched-replay and PHY-substrate batteries must stay bit-identical
+# without lanes.
+configure_build_test simd-off "-L simd|phy" -DRSP_SIMD=off
+
+# Vectorized-PHY-substrate battery: block transmit/channel paths
+# bit-identical to the scalar references, Doppler phase vs long-double
+# golden, dispatched vs baseline kernel tables (already part of tier-1;
+# repeated by label, again under ASan+UBSan, with a forced-reference
+# (RSP_PHY_BATCH=off) pass, and the bench_phy smoke with its >=2x
+# sample-generation gate).
+echo "==== [phy] ctest -L phy ===="
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L phy)
+echo "==== [phy-asan] ctest -L phy (ASan+UBSan) ===="
+(cd "$ROOT/build-check-asan" && timeout "$STAGE_TIMEOUT" \
+  ctest --output-on-failure -j "$JOBS" -L phy)
+echo "==== [phy-reference] full suite with RSP_PHY_BATCH=off ===="
+(cd "$ROOT/build-check-tier1" && timeout "$STAGE_TIMEOUT" \
+  env RSP_PHY_BATCH=off ctest --output-on-failure -j "$JOBS")
+echo "==== [phy] bench_phy --smoke (speedup gate) ===="
+(cd "$ROOT/build-check-tier1/bench" && timeout "$STAGE_TIMEOUT" \
+  ./bench_phy --smoke)
 
 # Snapshot battery: save→restore→continue bit-identity under every
 # scheduler plus the corruption fuzz (already part of tier-1; repeated

@@ -4,6 +4,7 @@
 // experiments replay bit-identically for a given seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/cplx.hpp"
@@ -32,6 +33,16 @@ class Rng {
 
   /// Circularly-symmetric complex Gaussian with E|z|^2 = @p power.
   CplxF cgaussian(double power = 1.0);
+
+  /// Fill @p dst with @p n standard-normal draws, bit-identical to n
+  /// successive gaussian() calls: a cached Box-Muller spare is emitted
+  /// first, pairs follow in (cos, sin) order, and an odd tail leaves
+  /// the sin half cached exactly as the scalar path would.  The block
+  /// form exists so the PHY substrate (src/phy/batch_phy.hpp) can draw
+  /// a whole noise block without per-sample call/branch overhead while
+  /// keeping the per-trial draw order — and hence every Monte-Carlo
+  /// aggregate — unchanged.
+  void fill_gaussian(double* dst, std::size_t n);
 
   /// Derive the seed of independent sub-stream @p index from
   /// @p base_seed.  Pure function of (base_seed, index): parallel

@@ -52,8 +52,70 @@ CplxI UmtsScrambler::next() {
           1 - 2 * static_cast<int>((b >> 1) & 1u)};
 }
 
+UmtsScrambler::Ext UmtsScrambler::extend(int k) const {
+  // Bit j of ext holds sequence bit s(i+j); the registers seed bits
+  // 0..17 and the recurrences
+  //   x: s(m) = s(m-18) ^ s(m-11)                       (1 + X^7 + X^18)
+  //   y: s(m) = s(m-18) ^ s(m-13) ^ s(m-11) ^ s(m-8)    (taps 5,7,10)
+  // extend whole chunks at once — up to 11 bits for x and 8 for y per
+  // shift/XOR, bounded by the smallest tap distance, instead of one
+  // register clock per chip.
+  Ext e{x_, y_};
+  const int need = k + 18;  // bits k..k+17 become the advanced register
+  for (int h = 18; h < need;) {
+    const int c = need - h < 11 ? need - h : 11;
+    const std::uint64_t nb =
+        ((e.x >> (h - 18)) ^ (e.x >> (h - 11))) & ((1ull << c) - 1ull);
+    e.x |= nb << h;
+    h += c;
+  }
+  for (int h = 18; h < need;) {
+    const int c = need - h < 8 ? need - h : 8;
+    const std::uint64_t nb = ((e.y >> (h - 18)) ^ (e.y >> (h - 13)) ^
+                              (e.y >> (h - 11)) ^ (e.y >> (h - 8))) &
+                             ((1ull << c) - 1ull);
+    e.y |= nb << h;
+    h += c;
+  }
+  return e;
+}
+
+void UmtsScrambler::next2_block(std::uint8_t* dst, long long n) {
+  while (n > 0) {
+    const int k = n < 32 ? static_cast<int>(n) : 32;
+    const Ext e = extend(k);
+    // All k outputs drop out of the extended registers in parallel:
+    // the I branch reads tap 0 of both LFSRs, so its next k bits are
+    // just the low bits of x^y; the Q branch's masked tap sums become
+    // shifted XORs of the same words.
+    const std::uint64_t zi = e.x ^ e.y;
+    const std::uint64_t zq =
+        ((e.x >> 4) ^ (e.x >> 6) ^ (e.x >> 15)) ^
+        ((e.y >> 5) ^ (e.y >> 6) ^ (e.y >> 8) ^ (e.y >> 9) ^ (e.y >> 10) ^
+         (e.y >> 11) ^ (e.y >> 12) ^ (e.y >> 13) ^ (e.y >> 14) ^
+         (e.y >> 15));
+    for (int j = 0; j < k; ++j) {
+      dst[j] = static_cast<std::uint8_t>(((zi >> j) & 1u) |
+                                         (((zq >> j) & 1u) << 1));
+    }
+    x_ = static_cast<std::uint32_t>(e.x >> k) & kMask18;
+    y_ = static_cast<std::uint32_t>(e.y >> k) & kMask18;
+    dst += k;
+    n -= k;
+  }
+}
+
 void UmtsScrambler::skip(long long chips) {
-  for (long long i = 0; i < chips; ++i) step();
+  // Word-at-a-time register advance (same extension as next2_block,
+  // no outputs) — multipath-aligned finger offsets stop costing one
+  // clock per skipped chip.
+  while (chips > 0) {
+    const int k = chips < 32 ? static_cast<int>(chips) : 32;
+    const Ext e = extend(k);
+    x_ = static_cast<std::uint32_t>(e.x >> k) & kMask18;
+    y_ = static_cast<std::uint32_t>(e.y >> k) & kMask18;
+    chips -= k;
+  }
 }
 
 }  // namespace rsp::dedhw

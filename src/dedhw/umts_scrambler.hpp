@@ -27,6 +27,14 @@ class UmtsScrambler {
   /// exactly the stream handed to the array in Figure 5.
   std::uint8_t next2();
 
+  /// Block form of next2(): write @p n chips, bit-identical to n
+  /// scalar calls.  Generated word-at-a-time — the Gold-code LFSRs are
+  /// extended up to 32 steps per iteration with parallel shift/XOR of
+  /// the whole register instead of one clock per chip — which is what
+  /// makes the vectorized PHY substrate's chip generation cheap
+  /// (src/phy/batch_phy.hpp).
+  void next2_block(std::uint8_t* dst, long long n);
+
   /// Next chip as a complex ±1±j value.
   CplxI next();
 
@@ -42,6 +50,13 @@ class UmtsScrambler {
  private:
   void seed();
   void step();
+  /// Extend the 18-bit registers @p k more sequence bits (k <= 32)
+  /// word-at-a-time; bit j of the returned pair is s(i+j).
+  struct Ext {
+    std::uint64_t x;
+    std::uint64_t y;
+  };
+  [[nodiscard]] Ext extend(int k) const;
 
   std::uint32_t code_;
   std::uint32_t x_ = 0;  // 18-bit states, bit 0 = s(i)

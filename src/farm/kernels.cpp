@@ -29,6 +29,12 @@ TrialResult RakeTrial::operator()(std::uint64_t seed) const {
       {{2, {0.62, 0.0}, 0.0}, {9, {0.0, 0.55}, 0.0}, {17, {0.39, -0.3}, 0.0}},
       3.84e6);
   const auto rx = mp.run(chips, esn0_db, rng);
+  if (substrate_only) {
+    TrialResult r;
+    r.frames = 1;
+    r.bits = rx.size();
+    return r;
+  }
   rake::RakeConfig cfg;
   cfg.scrambling_codes = {16};
   cfg.sf = 64;
@@ -62,6 +68,12 @@ TrialResult WlanTrial::operator()(std::uint64_t seed) const {
   std::vector<CplxF> lead(150, CplxF{0, 0});
   capture.insert(capture.begin(), lead.begin(), lead.end());
   capture = phy::awgn(capture, esn0_db, rng);
+  if (substrate_only) {
+    TrialResult r;
+    r.frames = 1;
+    r.bits = capture.size();
+    return r;
+  }
   ofdm::OfdmRxConfig cfg;
   cfg.mbps = mbps;
   ofdm::OfdmReceiver receiver(cfg);

@@ -19,6 +19,10 @@ struct RakeTrial {
   int fingers = 3;         ///< paths combined (1 = no diversity)
   double esn0_db = 0.0;    ///< chip-level Es/N0
   int symbols = 192;       ///< DPCH symbols per trial (SF 64 chips each)
+  /// Stop after transmit + channel (no receiver): isolates the PHY
+  /// substrate share of trial wall-clock for the benches.  The result
+  /// then carries only frames=1 and the sample count in bits.
+  bool substrate_only = false;
   /// Frame counts as errored when any payload bit is wrong.
   [[nodiscard]] TrialResult operator()(std::uint64_t seed) const;
 };
@@ -29,6 +33,9 @@ struct WlanTrial {
   int mbps = 6;              ///< rate mode (6..54)
   double esn0_db = 10.0;     ///< sample-level Es/N0
   std::size_t psdu_bits = 800;
+  /// Stop after transmit + AWGN (no receiver): isolates the PHY
+  /// substrate share of trial wall-clock for the benches.
+  bool substrate_only = false;
   [[nodiscard]] TrialResult operator()(std::uint64_t seed) const;
 };
 

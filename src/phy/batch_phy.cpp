@@ -1,0 +1,127 @@
+#include "src/phy/batch_phy.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numbers>
+
+#include "src/common/dbmath.hpp"
+
+namespace rsp::phy {
+
+namespace {
+
+SubstrateMode initial_mode() {
+  const char* env = std::getenv("RSP_PHY_BATCH");
+  if (env != nullptr && std::strcmp(env, "off") == 0) {
+    return SubstrateMode::kReference;
+  }
+  return SubstrateMode::kBlock;
+}
+
+std::atomic<SubstrateMode>& mode_flag() {
+  static std::atomic<SubstrateMode> m{initial_mode()};
+  return m;
+}
+
+/// Unevaluated-in-extended-precision double-double value a + b, |b| <<
+/// |a|.
+struct Dd {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+/// Exact product of two doubles as a double-double (Dekker via FMA;
+/// std::fma is correctly rounded on every platform, hardware or soft,
+/// so the result is deterministic across hosts).
+Dd two_prod(double a, double b) {
+  const double p = a * b;
+  return {p, std::fma(a, b, -p)};
+}
+
+/// Error-free sum of two doubles (Knuth two-sum).
+Dd two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  return {s, (a - (s - bb)) + (b - bb)};
+}
+
+/// 2π to ~107 bits: hi is the correctly rounded double, lo the
+/// remainder.
+constexpr double kTwoPiHi = 6.283185307179586476925286766559005768e+00;
+constexpr double kTwoPiLo = 2.449293598294706414027215640574742232e-16;
+
+}  // namespace
+
+SubstrateMode substrate_mode() {
+  return mode_flag().load(std::memory_order_relaxed);
+}
+
+void set_substrate_mode(SubstrateMode m) {
+  mode_flag().store(m, std::memory_order_relaxed);
+}
+
+double block_phase(double w, long long global) {
+  if (w == 0.0 || global == 0) return 0.0;
+  // global < 2^53 is exact as a double for any index a campaign can
+  // reach (2^53 samples at 3.84 Mcps is ~74 years of chips).
+  const double g = static_cast<double>(global);
+  const Dd p = two_prod(w, g);
+  const double k = std::nearbyint(p.hi / kTwoPiHi);
+  // r = p - k*2π in double-double: both the product k*2πhi and the
+  // running sums keep their error terms.
+  const Dd m1 = two_prod(k, kTwoPiHi);
+  const Dd s1 = two_sum(p.hi, -m1.hi);
+  const double lo = s1.lo + p.lo - m1.lo - k * kTwoPiLo;
+  return s1.hi + lo;
+}
+
+void noise_add_block(std::vector<CplxF>& y, double s, Rng& rng) {
+  // std::complex<double> is layout-compatible with double[2], so the
+  // output is one flat array whose element order matches the scalar
+  // draw order (re, im per sample) exactly.
+  double* flat = reinterpret_cast<double*>(y.data());
+  const auto& k = simd::phy_kernels();
+  double draws[2 * kPhyBlock];
+  std::size_t remaining = 2 * y.size();
+  while (remaining > 0) {
+    const std::size_t n =
+        remaining < sizeof(draws) / sizeof(draws[0])
+            ? remaining
+            : sizeof(draws) / sizeof(draws[0]);
+    rng.fill_gaussian(draws, n);
+    k.axpy_scaled(flat, draws, s, static_cast<int>(n));
+    flat += n;
+    remaining -= n;
+  }
+}
+
+void scrambler_chips_pm1(dedhw::UmtsScrambler& scr, double* re, double* im,
+                         long long n) {
+  const auto& k = simd::phy_kernels();
+  std::uint8_t two_bit[kPhyBlock];
+  while (n > 0) {
+    const int c = n < kPhyBlock ? static_cast<int>(n) : kPhyBlock;
+    scr.next2_block(two_bit, c);
+    k.chips_to_pm1(two_bit, re, im, c);
+    re += c;
+    im += c;
+    n -= c;
+  }
+}
+
+namespace scalarref {
+
+std::vector<CplxF> awgn(const std::vector<CplxF>& x, double esn0_db,
+                        Rng& rng) {
+  const double n0 = db_to_lin(-esn0_db);
+  std::vector<CplxF> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] + rng.cgaussian(n0);
+  }
+  return y;
+}
+
+}  // namespace scalarref
+
+}  // namespace rsp::phy

@@ -1,0 +1,118 @@
+// Vectorized PHY substrate: block-oriented helpers shared by the
+// transmit/channel hot paths (src/phy/channel.cpp, umts_tx.cpp,
+// ofdm_tx.cpp) and the substrate benches/tests.
+//
+// PR 6/8 batched the simulator side of every Monte-Carlo trial; this
+// layer does the same for the per-trial transmit/channel side, which
+// had become the dominant share of farm wall-clock (ROADMAP item 2).
+// Samples are processed in SoA blocks of kPhyBlock instead of one
+// complex scalar at a time, with the arithmetic split along a strict
+// policy (DESIGN.md "Vectorized PHY substrate"):
+//
+//   * exactly value-preserving transforms — hoisting loop-invariant
+//     scales, caching the pure-function block-fading draw, lowering
+//     the Gold-code LFSRs to word-at-a-time steps, batching the
+//     Box-Muller stream in draw order, reordering independent SoA
+//     loops — MUST be bit-identical to the scalar reference, enforced
+//     by the differential battery in tests/phy/test_batch_phy.cpp;
+//   * numerically inexact rewrites (the per-block mod-2π Doppler phase
+//     reduction, which is a precision BUGFIX for long campaigns) are
+//     pinned against a long-double golden model with a derived
+//     tolerance, following the src/chan/ precedent.
+//
+// The per-trial draw ORDER never changes, so every farm BER aggregate
+// is bit-identical to the scalar substrate's.  The share-nothing
+// RakeTrial/WlanTrial contract is kept: all block state is local to
+// the call (or to the per-trial tx/channel object); the only globals
+// are the immutable kernel table and the substrate-mode flag below.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cplx.hpp"
+#include "src/common/rng.hpp"
+#include "src/dedhw/umts_scrambler.hpp"
+#include "src/phy/simd_phy.hpp"
+
+namespace rsp::phy {
+
+/// Samples per SoA processing block.  Large enough to amortize the
+/// per-block oscillator/phase setup, small enough that the scratch
+/// (a few doubles per sample) stays cache-resident.
+inline constexpr int kPhyBlock = 1024;
+
+/// Substrate execution mode.  kBlock (default) runs the vectorized
+/// block paths; kReference runs the preserved pre-vectorization scalar
+/// loops.  The reference mode is the baseline the benches measure
+/// against and the oracle the differential tests compare with; it can
+/// also be forced in the field with RSP_PHY_BATCH=off.
+enum class SubstrateMode : std::uint8_t { kReference, kBlock };
+
+[[nodiscard]] SubstrateMode substrate_mode();
+
+/// Override the mode (benches/tests).  Set it before trials run: the
+/// flag is a process-wide atomic read by every substrate call, not
+/// per-trial state.
+void set_substrate_mode(SubstrateMode m);
+
+/// RAII mode override for tests.
+class ScopedSubstrateMode {
+ public:
+  explicit ScopedSubstrateMode(SubstrateMode m) : prev_(substrate_mode()) {
+    set_substrate_mode(m);
+  }
+  ~ScopedSubstrateMode() { set_substrate_mode(prev_); }
+  ScopedSubstrateMode(const ScopedSubstrateMode&) = delete;
+  ScopedSubstrateMode& operator=(const ScopedSubstrateMode&) = delete;
+
+ private:
+  SubstrateMode prev_;
+};
+
+/// w*global reduced into (-π, π] with double-double accuracy: the
+/// Doppler rotator's per-block phase base.  A naive w*double(global)
+/// loses absolute precision linearly in the sample index (≈ 1e-6 rad
+/// at 2^40, 1e-3 at 2^50 — visible rotation jitter over a long
+/// campaign); splitting the product into exact hi/lo halves via FMA
+/// and subtracting the nearest multiple of a two-double 2π keeps the
+/// error at the 1e-19 rad level for any index a campaign can reach.
+/// Pure function; deterministic across backends (std::fma is
+/// correctly rounded whether hardware or soft).
+[[nodiscard]] double block_phase(double w, long long global);
+
+/// Reusable SoA scratch (re/im planes).
+struct SoaBuf {
+  std::vector<double> re;
+  std::vector<double> im;
+  void resize(std::size_t n) {
+    re.resize(n);
+    im.resize(n);
+  }
+  void zero(std::size_t n) {
+    re.assign(n, 0.0);
+    im.assign(n, 0.0);
+  }
+};
+
+/// y[i] += s * cgaussian-draw(i) over the whole vector, drawing the
+/// Box-Muller stream blockwise in the exact scalar order (re then im
+/// per sample).  @p s is the already-hoisted per-component scale.
+void noise_add_block(std::vector<CplxF>& y, double s, Rng& rng);
+
+/// Produce @p n scrambling chips as ±1 SoA doubles using the
+/// word-at-a-time LFSR block step (dedhw::UmtsScrambler::next2_block).
+void scrambler_chips_pm1(dedhw::UmtsScrambler& scr, double* re, double* im,
+                         long long n);
+
+namespace scalarref {
+
+/// The pre-vectorization phy::awgn loop, preserved verbatim as the
+/// bench baseline and differential-test oracle.
+[[nodiscard]] std::vector<CplxF> awgn(const std::vector<CplxF>& x,
+                                      double esn0_db, Rng& rng);
+
+}  // namespace scalarref
+
+}  // namespace rsp::phy

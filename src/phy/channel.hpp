@@ -38,13 +38,32 @@ class MultipathChannel {
 
   /// Pass @p x through the channel, then add complex AWGN so the
   /// resulting Es/N0 equals @p esn0_db given unit input signal power.
+  ///
+  /// Runs the vectorized block substrate by default (SoA blocks,
+  /// cached per-(block,path) fading gains, per-block mod-2π Doppler
+  /// phase base — see src/phy/batch_phy.hpp).  Exactly
+  /// value-preserving for doppler_hz == 0 paths and for block fading;
+  /// for doppler_hz != 0 the per-block phase reduction FIXES the
+  /// precision drift of the old w*sample_index product (pinned against
+  /// a long-double golden model in tests/phy/test_batch_phy.cpp).
   [[nodiscard]] std::vector<CplxF> run(const std::vector<CplxF>& x,
                                        double esn0_db, Rng& rng);
+
+  /// Advance the channel clock @p n samples without producing output
+  /// (long-campaign time offsets; exercises the large-index phase
+  /// path).
+  void skip(long long n) { sample_index_ += n; }
+  [[nodiscard]] long long sample_index() const { return sample_index_; }
 
   const std::vector<Tap>& taps() const { return taps_; }
   [[nodiscard]] int max_delay() const;
 
  private:
+  [[nodiscard]] std::vector<CplxF> run_reference(const std::vector<CplxF>& x,
+                                                 double esn0_db, Rng& rng);
+  [[nodiscard]] std::vector<CplxF> run_block(const std::vector<CplxF>& x,
+                                             double esn0_db, Rng& rng);
+
   std::vector<Tap> taps_;
   double fs_;
   long long coherence_ = 0;

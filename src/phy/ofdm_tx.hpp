@@ -89,6 +89,11 @@ class OfdmTransmitter {
 
   /// Build a complete PPDU (preambles + DATA) for @p psdu_bits at
   /// @p mbps.  Returns 20 MHz time-domain samples with unit mean power.
+  ///
+  /// The default (block-substrate) path caches the constant preambles,
+  /// preallocates the output and reuses one FFT buffer across symbols —
+  /// identical arithmetic, so bit-identical to the reference assembly
+  /// (enforced by tests/phy/test_batch_phy.cpp).
   [[nodiscard]] std::vector<CplxF> build_ppdu(
       const std::vector<std::uint8_t>& psdu_bits, int mbps) const;
 
@@ -102,6 +107,11 @@ class OfdmTransmitter {
   std::uint8_t seed() const { return seed_; }
 
  private:
+  [[nodiscard]] std::vector<CplxF> build_ppdu_reference(
+      const std::vector<std::uint8_t>& psdu_bits, int mbps) const;
+  [[nodiscard]] std::vector<CplxF> build_ppdu_block(
+      const std::vector<std::uint8_t>& psdu_bits, int mbps) const;
+
   std::uint8_t seed_;
 };
 

@@ -1,0 +1,70 @@
+// Baseline PHY SIMD backend + runtime dispatch (see simd_phy.hpp).
+// Mirrors src/xpp/simd.cpp: this TU compiles the lane loops with the
+// project's default flags; the AVX2 variant lives in simd_phy_avx2.cpp
+// and is only followed after __builtin_cpu_supports says the feature
+// is present and RSP_SIMD doesn't say "off".
+#include "src/phy/simd_phy.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rsp::phy::simd {
+
+namespace baseline {
+#include "src/phy/simd_phy_lanes.inc"
+}  // namespace baseline
+
+namespace detail {
+/// Defined in simd_phy_avx2.cpp; nullptr when that TU could not be
+/// built with AVX2 (unsupported compiler flag or RSP_SIMD=off).
+const PhyKernels* phy_avx2_kernels();
+}  // namespace detail
+
+namespace {
+
+struct Backend {
+  const PhyKernels* k = nullptr;
+  const char* name = "scalar";
+};
+
+Backend pick() {
+  Backend b;
+  b.k = &baseline::kPhyTable;
+#if defined(RSP_SIMD_OFF)
+  b.name = "scalar";
+  return b;
+#else
+  const char* env = std::getenv("RSP_SIMD");
+  const bool veto = env != nullptr && std::strcmp(env, "off") == 0;
+#if defined(__x86_64__) || defined(__i386__)
+  if (!veto && detail::phy_avx2_kernels() != nullptr &&
+      __builtin_cpu_supports("avx2")) {
+    b.k = detail::phy_avx2_kernels();
+    b.name = "avx2";
+    return b;
+  }
+  b.name = "sse2";
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+  b.name = "neon";
+#else
+  b.name = "scalar";
+#endif
+  if (veto) b.name = "scalar";
+  return b;
+#endif
+}
+
+const Backend& backend() {
+  static const Backend b = pick();
+  return b;
+}
+
+}  // namespace
+
+const PhyKernels& phy_kernels() { return *backend().k; }
+
+const PhyKernels& generic_phy_kernels() { return baseline::kPhyTable; }
+
+const char* phy_isa_name() { return backend().name; }
+
+}  // namespace rsp::phy::simd

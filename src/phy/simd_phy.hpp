@@ -1,0 +1,66 @@
+// Portable SIMD substrate for the block PHY transmit/channel kernels.
+//
+// Same two-TU dispatch scheme as src/xpp/simd.hpp, instantiated for
+// the double-precision sample domain: the lane loops in
+// simd_phy_lanes.inc are compiled once with the project's baseline
+// flags (simd_phy.cpp — the compiler auto-vectorizes for SSE2/NEON)
+// and once with -mavx2 (simd_phy_avx2.cpp), and the AVX2 table is
+// selected at startup only when the CPU reports the feature and
+// neither the RSP_SIMD=off build option nor the RSP_SIMD environment
+// variable vetoes it.
+//
+// Every kernel is pure double multiply/add in a fixed order — no
+// transcendentals, no FMA — so all backends are bit-identical by
+// construction; the inexact pieces of the substrate (Box-Muller,
+// cos/sin oscillators) are generated scalar in batch_phy.cpp and
+// passed in as arrays.  A kernel never owns state: callers hand in
+// SoA scratch they gathered themselves.
+#pragma once
+
+#include <cstdint>
+
+namespace rsp::phy::simd {
+
+/// The lane-kernel table.  All arrays are sample-indexed [0, n).
+struct PhyKernels {
+  /// y[k] += s*g[k] over a flat (interleaved re,im) double view.
+  void (*axpy_scaled)(double* y, const double* g, double s, int n) = nullptr;
+  /// y[i] += g*x[i], complex SoA, naive-formula order.
+  void (*axpy_cplx)(double* yre, double* yim, const double* xre,
+                    const double* xim, double gre, double gim,
+                    int n) = nullptr;
+  /// y[i] += (g*rot[i])*x[i] with rot tabulated as (cs, sn).
+  void (*rot_axpy)(double* yre, double* yim, const double* xre,
+                   const double* xim, const double* cs, const double* sn,
+                   double gre, double gim, int n) = nullptr;
+  /// sum[i] += a[i]*sym (one channel, one QPSK symbol).
+  void (*spread_accum)(double* sre, double* sim, const double* a,
+                       double symre, double symim, int n) = nullptr;
+  /// out[i] = (gain*c[i])*sum[i] with c the ±1±j scrambling chips.
+  void (*scramble_mix)(double* outre, double* outim, const double* cre,
+                       const double* cim, const double* sre,
+                       const double* sim, double gain, int n) = nullptr;
+  /// Expand two-bit scrambler chips to ±1 doubles.
+  void (*chips_to_pm1)(const std::uint8_t* two_bit, double* re, double* im,
+                       int n) = nullptr;
+  void (*fill_const)(double* dst, double v, int n) = nullptr;
+  void (*deinterleave)(const double* aos, double* re, double* im,
+                       int n) = nullptr;
+  void (*interleave)(const double* re, const double* im, double* aos,
+                     int n) = nullptr;
+  /// y[i] += s*{g[2i], g[2i+1]} into SoA halves (scalar draw order).
+  void (*noise_add_soa)(double* yre, double* yim, const double* g, double s,
+                        int n) = nullptr;
+};
+
+/// Best kernel table for this build + CPU (+ RSP_SIMD env override).
+[[nodiscard]] const PhyKernels& phy_kernels();
+
+/// The baseline table, always available — differential tests compare
+/// the dispatched table against this one sample by sample.
+[[nodiscard]] const PhyKernels& generic_phy_kernels();
+
+/// Name of the selected backend: "avx2", "sse2", "neon" or "scalar".
+[[nodiscard]] const char* phy_isa_name();
+
+}  // namespace rsp::phy::simd

@@ -1,0 +1,26 @@
+// AVX2 instantiation of the PHY lane kernels.  This TU is the only
+// phy TU built with -mavx2 (added by src/phy/CMakeLists.txt when the
+// compiler accepts the flag); dispatch in simd_phy.cpp only follows
+// the pointer returned here after __builtin_cpu_supports says the
+// feature is present, so the binary stays portable.  -mfma is NOT
+// added: FMA contraction would change results versus the baseline
+// table and break the bit-identity contract of simd_phy_lanes.inc.
+#include "src/phy/simd_phy.hpp"
+
+namespace rsp::phy::simd::detail {
+
+#if defined(__AVX2__) && !defined(RSP_SIMD_OFF)
+
+namespace avx2 {
+#include "src/phy/simd_phy_lanes.inc"
+}  // namespace avx2
+
+const PhyKernels* phy_avx2_kernels() { return &avx2::kPhyTable; }
+
+#else
+
+const PhyKernels* phy_avx2_kernels() { return nullptr; }
+
+#endif
+
+}  // namespace rsp::phy::simd::detail

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/phy/batch_phy.hpp"
+#include "src/phy/simd_phy.hpp"
+
 namespace rsp::phy {
 
 std::vector<CplxF> qpsk_map(const std::vector<std::uint8_t>& bits) {
@@ -55,6 +58,30 @@ void UmtsDownlinkTx::reset() {
 }
 
 std::vector<std::vector<CplxF>> UmtsDownlinkTx::generate(int n_chips) {
+  if (substrate_mode() == SubstrateMode::kBlock) {
+    return generate_block(n_chips);
+  }
+  return generate_reference(n_chips);
+}
+
+// Extend channel @p ch's symbol stream through index @p m_last + 1 —
+// the same on-demand append the reference does inside its chip loop
+// (bits repeat cyclically), hoisted to run once per generate call.
+void UmtsDownlinkTx::extend_symbols(std::size_t ch, std::size_t m_last) {
+  const auto& dpch = cfg_.channels[ch];
+  while (symbols_[ch].size() <= m_last + 1) {
+    const std::size_t bi = (2 * symbols_[ch].size()) % dpch.bits.size();
+    const double q = 1.0 / std::sqrt(2.0);
+    symbols_[ch].push_back(
+        {q * (1 - 2 * static_cast<int>(dpch.bits[bi] & 1u)),
+         q * (1 - 2 * static_cast<int>(dpch.bits[bi + 1] & 1u))});
+  }
+}
+
+// Pre-vectorization per-chip loop, preserved verbatim: bench baseline
+// and differential-test oracle for the block path.
+std::vector<std::vector<CplxF>> UmtsDownlinkTx::generate_reference(
+    int n_chips) {
   const int n_ant = num_antennas();
   std::vector<std::vector<CplxF>> out(
       static_cast<std::size_t>(n_ant),
@@ -103,6 +130,93 @@ std::vector<std::vector<CplxF>> UmtsDownlinkTx::generate(int n_chips) {
       out[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] =
           cfg_.gain * c * sum;
     }
+  }
+  chip_pos_ += n_chips;
+  return out;
+}
+
+std::vector<std::vector<CplxF>> UmtsDownlinkTx::generate_block(int n_chips) {
+  const int n_ant = num_antennas();
+  std::vector<std::vector<CplxF>> out(
+      static_cast<std::size_t>(n_ant),
+      std::vector<CplxF>(static_cast<std::size_t>(n_chips), CplxF{0, 0}));
+  if (n_chips <= 0) return out;
+  const double cpich_a = cfg_.cpich_gain / std::sqrt(2.0);
+  const auto& k = simd::phy_kernels();
+  const std::size_t n = static_cast<std::size_t>(n_chips);
+
+  // Scrambling chips for the whole call, word-at-a-time, as ±1 SoA.
+  SoaBuf chips;
+  chips.resize(n);
+  scrambler_chips_pm1(scrambler_, chips.re.data(), chips.im.data(), n_chips);
+
+  for (std::size_t ch = 0; ch < cfg_.channels.size(); ++ch) {
+    extend_symbols(ch, static_cast<std::size_t>((chip_pos_ + n_chips - 1) /
+                                                cfg_.channels[ch].sf));
+  }
+
+  SoaBuf sum;
+  SoaBuf mixed;
+  mixed.resize(n);
+  std::vector<double> acoef;
+  for (int a = 0; a < n_ant; ++a) {
+    sum.zero(n);
+    if (cfg_.cpich_gain > 0.0) {
+      // CPICH pilot: constant per 256-chip symbol (the reference adds
+      // it into a zeroed accumulator first, and 0 + v == v exactly).
+      std::size_t i = 0;
+      while (i < n) {
+        const long long p = chip_pos_ + static_cast<long long>(i);
+        const long long sym = p / kCpichSf;
+        const std::size_t len = std::min<std::size_t>(
+            n - i, static_cast<std::size_t>((sym + 1) * kCpichSf - p));
+        const double sign = (a == 0) ? 1.0 : ((sym % 2 == 0) ? 1.0 : -1.0);
+        k.fill_const(sum.re.data() + i, cpich_a * sign, static_cast<int>(len));
+        k.fill_const(sum.im.data() + i, cpich_a * sign, static_cast<int>(len));
+        i += len;
+      }
+    }
+    // Channels accumulate in index order, matching the reference's
+    // per-chip addition order element for element.
+    for (std::size_t ch = 0; ch < cfg_.channels.size(); ++ch) {
+      const auto& dpch = cfg_.channels[ch];
+      if (a == 1 && !dpch.sttd) continue;  // non-STTD only on antenna 0
+      // Per-chip spreading coefficient gain * OVSF chip over one
+      // period — the symbol-invariant half of the reference's product.
+      acoef.resize(static_cast<std::size_t>(dpch.sf));
+      for (int j = 0; j < dpch.sf; ++j) {
+        acoef[static_cast<std::size_t>(j)] =
+            dpch.gain *
+            static_cast<double>(dedhw::ovsf_chip(dpch.sf, dpch.code_index, j));
+      }
+      std::size_t i = 0;
+      while (i < n) {
+        const long long p = chip_pos_ + static_cast<long long>(i);
+        const auto m = static_cast<std::size_t>(p / dpch.sf);
+        const int phase = static_cast<int>(p % dpch.sf);
+        const std::size_t len = std::min<std::size_t>(
+            n - i, static_cast<std::size_t>(dpch.sf - phase));
+        CplxF s;
+        if (a == 0) {
+          s = symbols_[ch][m];
+        } else {
+          // STTD antenna 1: (-s2*, s1*) per symbol pair.
+          s = (m % 2 == 0) ? -std::conj(symbols_[ch][m + 1])
+                           : std::conj(symbols_[ch][m - 1]);
+        }
+        k.spread_accum(sum.re.data() + i, sum.im.data() + i,
+                       acoef.data() + phase, s.real(), s.imag(),
+                       static_cast<int>(len));
+        i += len;
+      }
+    }
+    k.scramble_mix(mixed.re.data(), mixed.im.data(), chips.re.data(),
+                   chips.im.data(), sum.re.data(), sum.im.data(), cfg_.gain,
+                   static_cast<int>(n));
+    k.interleave(
+        mixed.re.data(), mixed.im.data(),
+        reinterpret_cast<double*>(out[static_cast<std::size_t>(a)].data()),
+        static_cast<int>(n));
   }
   chip_pos_ += n_chips;
   return out;

@@ -55,6 +55,12 @@ class UmtsDownlinkTx {
 
   /// Generate @p n_chips of the scrambled composite downlink, one
   /// vector per antenna.  Consecutive calls continue the stream.
+  ///
+  /// Runs the vectorized block substrate by default — word-at-a-time
+  /// scrambling chips, per-OVSF-period spreading coefficients, SoA
+  /// accumulate/mix kernels — bit-identical to the scalar per-chip
+  /// reference (every transform is exactly value-preserving; enforced
+  /// by tests/phy/test_batch_phy.cpp).
   [[nodiscard]] std::vector<std::vector<CplxF>> generate(int n_chips);
 
   /// Restart from chip 0 / frame boundary.
@@ -68,6 +74,10 @@ class UmtsDownlinkTx {
   }
 
  private:
+  [[nodiscard]] std::vector<std::vector<CplxF>> generate_reference(int n_chips);
+  [[nodiscard]] std::vector<std::vector<CplxF>> generate_block(int n_chips);
+  void extend_symbols(std::size_t ch, std::size_t m_last);
+
   BasestationConfig cfg_;
   bool diversity_ = false;
   dedhw::UmtsScrambler scrambler_;
